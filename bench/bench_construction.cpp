@@ -1,0 +1,72 @@
+// E1 (Scenario 1 / Coconut Fig. "index construction"): bulk construction
+// across families and dataset sizes. Expected shape: CTree and CLSM build
+// several times faster than ADS+, with random writes O(1) vs O(N/buffer).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace coconut {
+namespace bench {
+namespace {
+
+void RunConstruction(benchmark::State& state, palm::IndexFamily family) {
+  const size_t count = static_cast<size_t>(state.range(0));
+  const auto& collection = AstroCollection(count);
+  palm::VariantSpec spec;
+  spec.sax = BenchSax();
+  spec.family = family;
+  spec.buffer_entries = 4096;
+  // A realistic constrained budget: ~1/8 of the summarization set.
+  spec.memory_budget_bytes =
+      std::max<size_t>(64 << 10, count * sizeof(core::IndexEntry) / 8);
+
+  storage::IoStats io;
+  for (auto _ : state) {
+    Arena arena = Arena::Make("bench_construction", spec.sax.series_length);
+    arena.FillRaw(collection);
+    const storage::IoStats before = *arena.storage->io_stats();
+    auto index = BuildStatic(spec, &arena, collection);
+    io = arena.storage->io_stats()->Since(before);
+    benchmark::DoNotOptimize(index->num_entries());
+  }
+  state.counters["seq_writes"] = static_cast<double>(io.sequential_writes);
+  state.counters["rand_writes"] = static_cast<double>(io.random_writes);
+  state.counters["series"] = static_cast<double>(count);
+  state.counters["series_per_sec"] = benchmark::Counter(
+      static_cast<double>(count), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_Construct_ADS(benchmark::State& state) {
+  RunConstruction(state, palm::IndexFamily::kAds);
+}
+void BM_Construct_CTree(benchmark::State& state) {
+  RunConstruction(state, palm::IndexFamily::kCTree);
+}
+void BM_Construct_CLSM(benchmark::State& state) {
+  RunConstruction(state, palm::IndexFamily::kClsm);
+}
+
+BENCHMARK(BM_Construct_ADS)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Arg(32000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Construct_CTree)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Arg(32000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Construct_CLSM)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Arg(32000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace coconut
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// E3 + E6 (Scenario 1 recommender flip; Section 2 space-vs-time): the
+// materialization trade-off. Rows report build time, storage and query
+// latency for non-materialized vs materialized CTree, and the computed
+// crossover query count beyond which materializing wins the total
+// workflow cost — the point where the demo's recommender changes advice.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+
+namespace coconut {
+namespace bench {
+namespace {
+
+constexpr size_t kCount = 16'000;
+
+struct MatMetrics {
+  double build_seconds = 0;
+  double query_seconds = 0;
+  uint64_t index_bytes = 0;
+};
+
+MatMetrics Measure(bool materialized) {
+  static std::map<bool, MatMetrics> cache;
+  auto it = cache.find(materialized);
+  if (it != cache.end()) return it->second;
+
+  Arena arena = Arena::Make("bench_mat", 256);
+  const auto& collection = AstroCollection(kCount);
+  arena.FillRaw(collection);
+
+  palm::VariantSpec spec;
+  spec.sax = BenchSax();
+  spec.family = palm::IndexFamily::kCTree;
+  spec.materialized = materialized;
+
+  MatMetrics metrics;
+  WallTimer build_timer;
+  auto index = BuildStatic(spec, &arena, collection);
+  metrics.build_seconds = build_timer.ElapsedSeconds();
+  metrics.index_bytes = index->index_bytes();
+
+  auto queries = workload::MakeNoisyQueries(collection, 32, 0.4, 55);
+  WallTimer query_timer;
+  for (const auto& query : queries) {
+    auto result = index->ExactSearch(query, {}, nullptr);
+    benchmark::DoNotOptimize(result.value().distance_sq);
+  }
+  metrics.query_seconds = query_timer.ElapsedSeconds() / queries.size();
+  cache[materialized] = metrics;
+  return metrics;
+}
+
+void BM_Materialization(benchmark::State& state) {
+  const bool materialized = state.range(0) != 0;
+  MatMetrics metrics;
+  for (auto _ : state) {
+    metrics = Measure(materialized);
+  }
+  state.counters["build_seconds"] = metrics.build_seconds;
+  state.counters["query_ms"] = metrics.query_seconds * 1e3;
+  state.counters["index_mib"] = metrics.index_bytes / 1048576.0;
+}
+BENCHMARK(BM_Materialization)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Workflow cost build + N * query for growing N; the crossover is where
+// the materialized curve dips below the non-materialized one.
+void BM_WorkflowCrossover(benchmark::State& state) {
+  const uint64_t queries = static_cast<uint64_t>(state.range(0));
+  MatMetrics non_mat;
+  MatMetrics mat;
+  for (auto _ : state) {
+    non_mat = Measure(false);
+    mat = Measure(true);
+  }
+  const double cost_non_mat =
+      non_mat.build_seconds + queries * non_mat.query_seconds;
+  const double cost_mat = mat.build_seconds + queries * mat.query_seconds;
+  state.counters["workflow_nonmat_s"] = cost_non_mat;
+  state.counters["workflow_mat_s"] = cost_mat;
+  state.counters["materialized_wins"] = cost_mat < cost_non_mat ? 1.0 : 0.0;
+  // Analytic crossover from the measured slopes.
+  const double denom = non_mat.query_seconds - mat.query_seconds;
+  state.counters["crossover_queries"] =
+      denom > 0 ? (mat.build_seconds - non_mat.build_seconds) / denom : -1.0;
+}
+BENCHMARK(BM_WorkflowCrossover)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace coconut
+
+BENCHMARK_MAIN();

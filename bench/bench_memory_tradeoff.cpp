@@ -1,0 +1,71 @@
+// E5 (Section 2, memory-vs-construction): construction cost as the memory
+// budget shrinks. Expected shape: Coconut (CTree) degrades gracefully —
+// the external sort spills runs and at worst adds a merge pass — while
+// ADS+, which relies on in-memory buffering of similar series, collapses
+// into per-insert random I/O once its buffers can't hold the data.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace coconut {
+namespace bench {
+namespace {
+
+constexpr size_t kCount = 16'000;
+
+void RunWithBudget(benchmark::State& state, palm::IndexFamily family) {
+  const size_t budget = static_cast<size_t>(state.range(0)) << 10;  // KiB.
+  const auto& collection = AstroCollection(kCount);
+  palm::VariantSpec spec;
+  spec.sax = BenchSax();
+  spec.family = family;
+  spec.memory_budget_bytes = budget;
+  spec.buffer_entries =
+      std::max<size_t>(64, budget / sizeof(core::IndexEntry));
+
+  storage::IoStats io;
+  for (auto _ : state) {
+    Arena arena = Arena::Make("bench_memory", 256);
+    arena.FillRaw(collection);
+    const storage::IoStats before = *arena.storage->io_stats();
+    auto index = BuildStatic(spec, &arena, collection);
+    io = arena.storage->io_stats()->Since(before);
+    benchmark::DoNotOptimize(index->num_entries());
+  }
+  state.counters["budget_kib"] = static_cast<double>(state.range(0));
+  state.counters["seq_writes"] = static_cast<double>(io.sequential_writes);
+  state.counters["rand_writes"] = static_cast<double>(io.random_writes);
+  state.counters["rand_reads"] = static_cast<double>(io.random_reads);
+}
+
+void BM_Memory_CTree(benchmark::State& state) {
+  RunWithBudget(state, palm::IndexFamily::kCTree);
+}
+void BM_Memory_ADS(benchmark::State& state) {
+  RunWithBudget(state, palm::IndexFamily::kAds);
+}
+
+// Budgets in KiB: 64 KiB (a fraction of the 512 KB summarization set),
+// up to 16 MiB (everything fits).
+BENCHMARK(BM_Memory_CTree)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Arg(16384)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Memory_ADS)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Arg(16384)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace coconut
+
+BENCHMARK_MAIN();

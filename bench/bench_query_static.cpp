@@ -1,0 +1,98 @@
+// E2/F2 (Scenario 1 query phase): approximate and exact query cost across
+// families on the same static collection, plus the access-locality number
+// behind the heat map. Expected shape: CTree answers with fewer I/Os and
+// far higher locality than ADS+; materialization removes raw fetches.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "palm/heatmap.h"
+
+namespace coconut {
+namespace bench {
+namespace {
+
+constexpr size_t kCount = 16'000;
+constexpr int kQuerySeed = 1234;
+
+struct PreparedIndex {
+  Arena arena;
+  std::unique_ptr<core::DataSeriesIndex> index;
+};
+
+PreparedIndex* Prepare(palm::IndexFamily family, bool materialized) {
+  // Cache one built index per (family, materialized) across benchmark runs.
+  static std::map<std::pair<int, bool>, std::unique_ptr<PreparedIndex>> cache;
+  auto key = std::make_pair(static_cast<int>(family), materialized);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto prepared = std::make_unique<PreparedIndex>();
+    prepared->arena = Arena::Make("bench_query", 256);
+    const auto& collection = AstroCollection(kCount);
+    prepared->arena.FillRaw(collection);
+    palm::VariantSpec spec;
+    spec.sax = BenchSax();
+    spec.family = family;
+    spec.materialized = materialized;
+    spec.buffer_entries = 4096;
+    prepared->index = BuildStatic(spec, &prepared->arena, collection);
+    it = cache.emplace(key, std::move(prepared)).first;
+  }
+  return it->second.get();
+}
+
+void RunQuery(benchmark::State& state, palm::IndexFamily family,
+              bool materialized, bool exact) {
+  PreparedIndex* prepared = Prepare(family, materialized);
+  const auto& collection = AstroCollection(kCount);
+  auto queries = workload::MakeNoisyQueries(collection, 64, 0.4, kQuerySeed);
+
+  core::QueryCounters counters;
+  storage::IoStats io;
+  size_t q = 0;
+  prepared->arena.storage->tracker()->Clear();
+  prepared->arena.storage->tracker()->Enable();
+  const storage::IoStats before = *prepared->arena.storage->io_stats();
+  for (auto _ : state) {
+    auto result =
+        exact ? prepared->index->ExactSearch(queries[q % queries.size()], {},
+                                             &counters)
+              : prepared->index->ApproxSearch(queries[q % queries.size()], {},
+                                              &counters);
+    benchmark::DoNotOptimize(result.value().distance_sq);
+    ++q;
+  }
+  io = prepared->arena.storage->io_stats()->Since(before);
+  prepared->arena.storage->tracker()->Disable();
+
+  const double per_query = q > 0 ? 1.0 / q : 0.0;
+  state.counters["reads_per_query"] =
+      static_cast<double>(io.total_reads()) * per_query;
+  state.counters["raw_fetches_per_query"] =
+      static_cast<double>(counters.raw_fetches) * per_query;
+  state.counters["leaves_pruned_per_query"] =
+      static_cast<double>(counters.leaves_pruned) * per_query;
+  state.counters["access_locality"] =
+      palm::AccessLocality(prepared->arena.storage->tracker()->events());
+}
+
+#define QUERY_BENCH(name, family, mat, exact)          \
+  void name(benchmark::State& state) {                 \
+    RunQuery(state, family, mat, exact);               \
+  }                                                    \
+  BENCHMARK(name)->Unit(benchmark::kMillisecond)
+
+QUERY_BENCH(BM_Approx_ADS, palm::IndexFamily::kAds, false, false);
+QUERY_BENCH(BM_Approx_CTree, palm::IndexFamily::kCTree, false, false);
+QUERY_BENCH(BM_Approx_CLSM, palm::IndexFamily::kClsm, false, false);
+QUERY_BENCH(BM_Exact_ADS, palm::IndexFamily::kAds, false, true);
+QUERY_BENCH(BM_Exact_CTree, palm::IndexFamily::kCTree, false, true);
+QUERY_BENCH(BM_Exact_CLSM, palm::IndexFamily::kClsm, false, true);
+QUERY_BENCH(BM_Exact_ADSFull, palm::IndexFamily::kAds, true, true);
+QUERY_BENCH(BM_Exact_CTreeFull, palm::IndexFamily::kCTree, true, true);
+QUERY_BENCH(BM_Exact_CLSMFull, palm::IndexFamily::kClsm, true, true);
+
+}  // namespace
+}  // namespace bench
+}  // namespace coconut
+
+BENCHMARK_MAIN();

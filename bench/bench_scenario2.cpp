@@ -1,0 +1,136 @@
+// E9 (Scenario 2): streaming exploration head-to-head — ADS+PP and ADS+TP
+// (state of the art) vs CLSM-BTP (recommender's choice) on a seismic
+// stream with interleaved window queries. Expected shape: CLSM-BTP ingests
+// with sequential I/O at a fraction of ADS+'s cost while query latency
+// stays low both under updates and in quiet phases.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "workload/seismic.h"
+
+namespace coconut {
+namespace bench {
+namespace {
+
+constexpr size_t kLength = 256;
+constexpr size_t kBatch = 512;
+// The stream must outgrow the memory budget (256 KiB = 8192 entries), or
+// ADS+ never spills and ingestion looks artificially free.
+constexpr int kBatches = 24;
+
+enum class Contender { kAdsPp, kAdsTp, kClsmBtp };
+
+palm::VariantSpec SpecFor(Contender c) {
+  palm::VariantSpec spec;
+  spec.sax = BenchSax(kLength);
+  spec.buffer_entries = 1024;
+  // Streaming: memory is scarce relative to the stream.
+  spec.memory_budget_bytes = 256 << 10;
+  switch (c) {
+    case Contender::kAdsPp:
+      spec.family = palm::IndexFamily::kAds;
+      spec.mode = palm::StreamMode::kPP;
+      break;
+    case Contender::kAdsTp:
+      spec.family = palm::IndexFamily::kAds;
+      spec.mode = palm::StreamMode::kTP;
+      break;
+    case Contender::kClsmBtp:
+      spec.family = palm::IndexFamily::kClsm;
+      spec.mode = palm::StreamMode::kBTP;
+      break;
+  }
+  return spec;
+}
+
+void RunScenario(benchmark::State& state, Contender contender) {
+  double ingest_seconds = 0;
+  double query_under_load_ms = 0;
+  double quiet_query_ms = 0;
+  storage::IoStats ingest_io;
+  size_t partitions = 0;
+
+  for (auto _ : state) {
+    Arena arena = Arena::Make("bench_scn2", kLength);
+    auto index = palm::CreateStreamingIndex(SpecFor(contender),
+                                            arena.storage.get(), "stream",
+                                            nullptr, arena.raw.get())
+                     .TakeValue();
+    workload::SeismicGenerator gen({.series_length = kLength,
+                                    .batch_size = kBatch,
+                                    .event_probability = 0.06});
+    auto quake = gen.EarthquakeTemplate(99);
+
+    uint64_t id = 0;
+    int queries = 0;
+    const storage::IoStats before = *arena.storage->io_stats();
+    for (int b = 0; b < kBatches; ++b) {
+      auto batch = gen.NextBatch();
+      WallTimer ingest_timer;
+      for (size_t i = 0; i < batch.series.size(); ++i) {
+        arena.raw->Append(batch.series[i]).TakeValue();
+        if (!index->Ingest(id++, batch.series[i], batch.timestamps[i]).ok()) {
+          std::abort();
+        }
+      }
+      ingest_seconds += ingest_timer.ElapsedSeconds();
+      if (b % 4 == 3) {
+        // Query the recent window while ingestion is mid-flight.
+        const int64_t now = gen.current_time();
+        core::SearchOptions opts;
+        opts.window =
+            core::TimeWindow{now - static_cast<int64_t>(3 * kBatch), now};
+        WallTimer query_timer;
+        benchmark::DoNotOptimize(
+            index->ExactSearch(quake, opts, nullptr).value().found);
+        query_under_load_ms += query_timer.ElapsedMillis();
+        ++queries;
+      }
+    }
+    ingest_io = arena.storage->io_stats()->Since(before);
+    query_under_load_ms /= queries;
+
+    // Quiet phase: updates stopped.
+    if (!index->FlushAll().ok()) std::abort();
+    const int64_t now = gen.current_time();
+    core::SearchOptions opts;
+    opts.window = core::TimeWindow{now / 2, now};
+    WallTimer quiet_timer;
+    for (int r = 0; r < 4; ++r) {
+      benchmark::DoNotOptimize(
+          index->ExactSearch(quake, opts, nullptr).value().found);
+    }
+    quiet_query_ms = quiet_timer.ElapsedMillis() / 4;
+    partitions = index->num_partitions();
+  }
+
+  state.counters["ingest_seconds"] = ingest_seconds;
+  state.counters["ingest_rand_writes"] =
+      static_cast<double>(ingest_io.random_writes);
+  state.counters["ingest_seq_writes"] =
+      static_cast<double>(ingest_io.sequential_writes);
+  state.counters["query_under_load_ms"] = query_under_load_ms;
+  state.counters["quiet_query_ms"] = quiet_query_ms;
+  state.counters["final_partitions"] = static_cast<double>(partitions);
+}
+
+void BM_Scenario2_AdsPP(benchmark::State& state) {
+  RunScenario(state, Contender::kAdsPp);
+}
+void BM_Scenario2_AdsTP(benchmark::State& state) {
+  RunScenario(state, Contender::kAdsTp);
+}
+void BM_Scenario2_ClsmBTP(benchmark::State& state) {
+  RunScenario(state, Contender::kClsmBtp);
+}
+
+BENCHMARK(BM_Scenario2_AdsPP)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Scenario2_AdsTP)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Scenario2_ClsmBTP)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace coconut
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+// E8 (the core claim, Section 1): interleaved (sortable) summarizations
+// keep similar series adjacent in sorted order; segment-major packing does
+// not. Two measurements over the same collection:
+//   1. Neighborhood quality: how close the true nearest neighbor ranks in
+//      each sorted order around the query's key (approximate-search
+//      quality of a sorted layout).
+//   2. Page pruning power: fraction of key-contiguous leaf pages an exact
+//      query can skip via their SAX bounding regions.
+// Expected shape: interleaving wins both by a wide margin.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "series/distance.h"
+#include "series/paa.h"
+#include "series/sortable.h"
+
+namespace coconut {
+namespace bench {
+namespace {
+
+constexpr size_t kCount = 16'000;
+constexpr size_t kQueries = 48;
+constexpr size_t kNeighborhood = 128;  // Entries probed around the key.
+constexpr size_t kPageEntries = 127;   // Entries per 4 KiB leaf.
+
+struct Orders {
+  std::vector<size_t> interleaved;    // Collection indices in key order.
+  std::vector<size_t> segment_major;
+  std::vector<series::SortableKey> interleaved_keys;  // Parallel, sorted.
+  std::vector<series::SortableKey> segment_major_keys;
+};
+
+const Orders& MakeOrders(const series::SeriesCollection& collection,
+                         const series::SaxConfig& sax) {
+  static Orders orders;
+  if (!orders.interleaved.empty()) return orders;
+  const size_t n = collection.size();
+  std::vector<series::SortableKey> ikeys(n);
+  std::vector<series::SortableKey> skeys(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto word = series::ComputeSax(collection[i], sax);
+    ikeys[i] = series::InterleaveSax(word, sax);
+    skeys[i] = series::SegmentMajorKey(word, sax);
+  }
+  auto order_by = [&](const std::vector<series::SortableKey>& keys) {
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return keys[a] < keys[b]; });
+    return order;
+  };
+  orders.interleaved = order_by(ikeys);
+  orders.segment_major = order_by(skeys);
+  orders.interleaved_keys.resize(n);
+  orders.segment_major_keys.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    orders.interleaved_keys[i] = ikeys[orders.interleaved[i]];
+    orders.segment_major_keys[i] = skeys[orders.segment_major[i]];
+  }
+  return orders;
+}
+
+// Best true distance among the `kNeighborhood` sorted entries around the
+// query key, divided by the true NN distance (>= 1; 1 = perfect).
+double NeighborhoodRatio(const series::SeriesCollection& collection,
+                         const std::vector<size_t>& order,
+                         const std::vector<series::SortableKey>& sorted_keys,
+                         const series::SortableKey& query_key,
+                         std::span<const float> query, double true_nn) {
+  auto it = std::lower_bound(sorted_keys.begin(), sorted_keys.end(),
+                             query_key);
+  const size_t center = static_cast<size_t>(it - sorted_keys.begin());
+  const size_t begin = center >= kNeighborhood / 2
+                           ? center - kNeighborhood / 2
+                           : 0;
+  const size_t end = std::min(order.size(), begin + kNeighborhood);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = begin; i < end; ++i) {
+    best = std::min(best,
+                    series::EuclideanSquared(query, collection[order[i]]));
+  }
+  return std::sqrt(best) / std::max(1e-9, std::sqrt(true_nn));
+}
+
+// Fraction of key-contiguous pages prunable by their SAX region given the
+// true-NN distance as the best-so-far bound.
+double PruningPower(const series::SeriesCollection& collection,
+                    const std::vector<size_t>& order,
+                    const series::SaxConfig& sax,
+                    std::span<const float> query_paa, double bound) {
+  size_t pruned = 0;
+  size_t pages = 0;
+  for (size_t start = 0; start < order.size(); start += kPageEntries) {
+    const size_t end = std::min(order.size(), start + kPageEntries);
+    series::SaxWord min_sym;
+    series::SaxWord max_sym;
+    min_sym.fill(0xFF);
+    max_sym.fill(0);
+    for (size_t i = start; i < end; ++i) {
+      auto word = series::ComputeSax(collection[order[i]], sax);
+      for (int s = 0; s < sax.num_segments; ++s) {
+        min_sym[s] = std::min(min_sym[s], word[s]);
+        max_sym[s] = std::max(max_sym[s], word[s]);
+      }
+    }
+    auto region = series::RegionFromSymbolRange(min_sym, max_sym, sax);
+    if (series::MinDistSquared(query_paa, region, sax) >= bound) ++pruned;
+    ++pages;
+  }
+  return pages == 0 ? 0.0 : static_cast<double>(pruned) / pages;
+}
+
+void RunQuality(benchmark::State& state, bool interleaved) {
+  const series::SaxConfig sax = BenchSax();
+  const auto& collection = AstroCollection(kCount);
+  const Orders& orders = MakeOrders(collection, sax);
+  auto queries = workload::MakeNoisyQueries(collection, kQueries, 0.5, 77);
+
+  double ratio_sum = 0;
+  double pruning_sum = 0;
+  for (auto _ : state) {
+    ratio_sum = 0;
+    pruning_sum = 0;
+    for (const auto& query : queries) {
+      double true_nn = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < collection.size(); ++i) {
+        true_nn = std::min(true_nn,
+                           series::EuclideanSquared(query, collection[i]));
+      }
+      auto word = series::ComputeSax(query, sax);
+      auto paa = series::ComputePaa(query, sax.num_segments);
+      if (interleaved) {
+        ratio_sum += NeighborhoodRatio(
+            collection, orders.interleaved, orders.interleaved_keys,
+            series::InterleaveSax(word, sax), query, true_nn);
+        pruning_sum += PruningPower(collection, orders.interleaved, sax, paa,
+                                    true_nn * 1.0001);
+      } else {
+        ratio_sum += NeighborhoodRatio(
+            collection, orders.segment_major, orders.segment_major_keys,
+            series::SegmentMajorKey(word, sax), query, true_nn);
+        pruning_sum += PruningPower(collection, orders.segment_major, sax,
+                                    paa, true_nn * 1.0001);
+      }
+    }
+  }
+  state.counters["nn_distance_ratio"] = ratio_sum / kQueries;
+  state.counters["page_pruning_fraction"] = pruning_sum / kQueries;
+}
+
+void BM_Sortable_Interleaved(benchmark::State& state) {
+  RunQuality(state, true);
+}
+void BM_Sortable_SegmentMajor(benchmark::State& state) {
+  RunQuality(state, false);
+}
+BENCHMARK(BM_Sortable_Interleaved)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Sortable_SegmentMajor)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace coconut
+
+BENCHMARK_MAIN();

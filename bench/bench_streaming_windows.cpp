@@ -1,0 +1,132 @@
+// E7 (Section 3): PP vs TP vs BTP under variable-sized window queries.
+// Expected shape: TP wins small windows (skips partitions) but degrades as
+// windows grow (one probe per partition); PP is flat (single structure,
+// per-entry filtering); BTP tracks the better of the two everywhere and
+// bounds the partitions an approximate query touches.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "palm/factory.h"
+#include "workload/seismic.h"
+
+namespace coconut {
+namespace bench {
+namespace {
+
+constexpr size_t kLength = 256;
+constexpr size_t kBatch = 512;
+constexpr int kBatches = 24;
+
+enum class Scheme { kPP, kTP, kBTP };
+
+struct PreparedStream {
+  Arena arena;
+  std::unique_ptr<stream::StreamingIndex> index;
+  int64_t now = 0;
+  std::vector<float> quake;
+};
+
+PreparedStream* Prepare(Scheme scheme) {
+  static std::map<int, std::unique_ptr<PreparedStream>> cache;
+  auto it = cache.find(static_cast<int>(scheme));
+  if (it == cache.end()) {
+    auto prepared = std::make_unique<PreparedStream>();
+    prepared->arena = Arena::Make("bench_windows", kLength);
+
+    palm::VariantSpec spec;
+    spec.sax = BenchSax(kLength);
+    spec.buffer_entries = 1024;
+    switch (scheme) {
+      case Scheme::kPP:
+        spec.family = palm::IndexFamily::kClsm;
+        spec.mode = palm::StreamMode::kPP;
+        break;
+      case Scheme::kTP:
+        spec.family = palm::IndexFamily::kCTree;
+        spec.mode = palm::StreamMode::kTP;
+        break;
+      case Scheme::kBTP:
+        spec.family = palm::IndexFamily::kClsm;
+        spec.mode = palm::StreamMode::kBTP;
+        break;
+    }
+    prepared->index =
+        palm::CreateStreamingIndex(spec, prepared->arena.storage.get(),
+                                   "stream", nullptr, prepared->arena.raw.get())
+            .TakeValue();
+
+    workload::SeismicGenerator gen({.series_length = kLength,
+                                    .batch_size = kBatch,
+                                    .event_probability = 0.06});
+    uint64_t id = 0;
+    for (int b = 0; b < kBatches; ++b) {
+      auto batch = gen.NextBatch();
+      for (size_t i = 0; i < batch.series.size(); ++i) {
+        prepared->arena.raw->Append(batch.series[i]).TakeValue();
+        if (!prepared->index
+                 ->Ingest(id++, batch.series[i], batch.timestamps[i])
+                 .ok()) {
+          std::abort();
+        }
+      }
+    }
+    if (!prepared->arena.raw->Flush().ok()) std::abort();
+    if (!prepared->index->FlushAll().ok()) std::abort();
+    prepared->now = gen.current_time();
+    prepared->quake = gen.EarthquakeTemplate(333);
+    it = cache.emplace(static_cast<int>(scheme), std::move(prepared)).first;
+  }
+  return it->second.get();
+}
+
+void RunWindowQuery(benchmark::State& state, Scheme scheme, bool exact) {
+  PreparedStream* prepared = Prepare(scheme);
+  const double window_pct = static_cast<double>(state.range(0));
+  const auto span =
+      static_cast<int64_t>(window_pct / 100.0 * prepared->now);
+  core::TimeWindow window{prepared->now - span, prepared->now};
+  core::SearchOptions options;
+  options.window = window;
+
+  core::QueryCounters counters;
+  const storage::IoStats before = *prepared->arena.storage->io_stats();
+  size_t q = 0;
+  for (auto _ : state) {
+    auto result =
+        exact ? prepared->index->ExactSearch(prepared->quake, options,
+                                             &counters)
+              : prepared->index->ApproxSearch(prepared->quake, options,
+                                              &counters);
+    benchmark::DoNotOptimize(result.value().found);
+    ++q;
+  }
+  const storage::IoStats io = prepared->arena.storage->io_stats()->Since(before);
+  const double per_query = q > 0 ? 1.0 / q : 0;
+  state.counters["window_pct"] = window_pct;
+  state.counters["reads_per_query"] =
+      static_cast<double>(io.total_reads()) * per_query;
+  state.counters["partitions"] =
+      static_cast<double>(prepared->index->num_partitions());
+  state.counters["partitions_visited_pq"] =
+      static_cast<double>(counters.partitions_visited) * per_query;
+}
+
+#define WINDOW_BENCH(name, scheme, exact)                           \
+  void name(benchmark::State& state) {                              \
+    RunWindowQuery(state, scheme, exact);                           \
+  }                                                                 \
+  BENCHMARK(name)->Arg(2)->Arg(10)->Arg(25)->Arg(100)->Unit(        \
+      benchmark::kMillisecond)
+
+WINDOW_BENCH(BM_WindowExact_PP, Scheme::kPP, true);
+WINDOW_BENCH(BM_WindowExact_TP, Scheme::kTP, true);
+WINDOW_BENCH(BM_WindowExact_BTP, Scheme::kBTP, true);
+WINDOW_BENCH(BM_WindowApprox_PP, Scheme::kPP, false);
+WINDOW_BENCH(BM_WindowApprox_TP, Scheme::kTP, false);
+WINDOW_BENCH(BM_WindowApprox_BTP, Scheme::kBTP, false);
+
+}  // namespace
+}  // namespace bench
+}  // namespace coconut
+
+BENCHMARK_MAIN();

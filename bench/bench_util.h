@@ -1,0 +1,89 @@
+#ifndef COCONUT_BENCH_BENCH_UTIL_H_
+#define COCONUT_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/entry.h"
+#include "core/raw_store.h"
+#include "palm/factory.h"
+#include "storage/storage_manager.h"
+#include "workload/astronomy.h"
+#include "workload/generator.h"
+
+namespace coconut {
+namespace bench {
+
+inline series::SaxConfig BenchSax(int length = 256) {
+  return series::SaxConfig{.series_length = length,
+                           .num_segments = 16,
+                           .bits_per_segment = 8};
+}
+
+/// One isolated arena per measured index: storage manager + raw store.
+struct Arena {
+  std::unique_ptr<storage::StorageManager> storage;
+  std::unique_ptr<core::RawSeriesStore> raw;
+
+  Arena() = default;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  static Arena Make(const std::string& tag, int series_length) {
+    Arena arena;
+    arena.storage = storage::MakeTempStorage(tag).TakeValue();
+    arena.raw = core::RawSeriesStore::Create(arena.storage.get(), "raw",
+                                             series_length)
+                    .TakeValue();
+    return arena;
+  }
+
+  void FillRaw(const series::SeriesCollection& collection) {
+    for (size_t i = 0; i < collection.size(); ++i) {
+      raw->Append(collection[i]).TakeValue();
+    }
+    if (auto st = raw->Flush(); !st.ok()) std::abort();
+  }
+
+  ~Arena() {
+    if (storage != nullptr) (void)storage->Clear();
+  }
+};
+
+/// Cached astronomy collection shared across benchmark registrations.
+inline const series::SeriesCollection& AstroCollection(size_t count,
+                                                       int length = 256) {
+  static std::map<std::pair<size_t, int>, series::SeriesCollection> cache;
+  auto key = std::make_pair(count, length);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    workload::AstronomyGenerator gen(
+        {.series_length = static_cast<size_t>(length)});
+    it = cache.emplace(key, gen.Generate(count)).first;
+  }
+  return it->second;
+}
+
+/// Builds a static index of `spec` over `collection` inside `arena`.
+inline std::unique_ptr<core::DataSeriesIndex> BuildStatic(
+    const palm::VariantSpec& spec, Arena* arena,
+    const series::SeriesCollection& collection) {
+  auto index = palm::CreateStaticIndex(spec, arena->storage.get(), "index",
+                                       nullptr, arena->raw.get())
+                   .TakeValue();
+  for (size_t i = 0; i < collection.size(); ++i) {
+    if (auto st = index->Insert(i, collection[i], static_cast<int64_t>(i));
+        !st.ok()) {
+      std::abort();
+    }
+  }
+  if (auto st = index->Finalize(); !st.ok()) std::abort();
+  return index;
+}
+
+}  // namespace bench
+}  // namespace coconut
+
+#endif  // COCONUT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,142 @@
+// F1 (Figure 1): every cell of the variant matrix builds and answers
+// queries — the rows behind the GUI's side-by-side comparison of
+// construction speed, storage consumption and query performance.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "palm/factory.h"
+
+namespace coconut {
+namespace bench {
+namespace {
+
+constexpr size_t kCount = 8'000;
+constexpr size_t kQueries = 8;
+
+void RunStaticVariant(benchmark::State& state, palm::IndexFamily family,
+                      bool materialized) {
+  palm::VariantSpec spec;
+  spec.sax = BenchSax();
+  spec.family = family;
+  spec.materialized = materialized;
+  spec.buffer_entries = 2048;
+  const auto& collection = AstroCollection(kCount);
+
+  double build_s = 0;
+  double query_ms = 0;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    Arena arena = Arena::Make("bench_matrix", 256);
+    arena.FillRaw(collection);
+    WallTimer build_timer;
+    auto index = BuildStatic(spec, &arena, collection);
+    build_s = build_timer.ElapsedSeconds();
+    bytes = index->index_bytes();
+
+    auto queries = workload::MakeNoisyQueries(collection, kQueries, 0.4, 3);
+    WallTimer query_timer;
+    for (const auto& query : queries) {
+      benchmark::DoNotOptimize(
+          index->ExactSearch(query, {}, nullptr).value().distance_sq);
+    }
+    query_ms = query_timer.ElapsedMillis() / kQueries;
+  }
+  state.SetLabel(palm::VariantName(spec));
+  state.counters["build_seconds"] = build_s;
+  state.counters["index_mib"] = bytes / 1048576.0;
+  state.counters["exact_query_ms"] = query_ms;
+}
+
+void RunStreamingVariant(benchmark::State& state, palm::IndexFamily family,
+                         palm::StreamMode mode, bool materialized) {
+  palm::VariantSpec spec;
+  spec.sax = BenchSax();
+  spec.family = family;
+  spec.mode = mode;
+  spec.materialized = materialized;
+  spec.buffer_entries = 1024;
+  spec.memory_budget_bytes = 512 << 10;
+  const auto& collection = AstroCollection(kCount);
+
+  double ingest_s = 0;
+  double query_ms = 0;
+  size_t partitions = 0;
+  for (auto _ : state) {
+    Arena arena = Arena::Make("bench_matrix_s", 256);
+    arena.FillRaw(collection);
+    auto index = palm::CreateStreamingIndex(spec, arena.storage.get(),
+                                            "stream", nullptr,
+                                            arena.raw.get())
+                     .TakeValue();
+    WallTimer ingest_timer;
+    for (size_t i = 0; i < collection.size(); ++i) {
+      if (!index->Ingest(i, collection[i], static_cast<int64_t>(i)).ok()) {
+        std::abort();
+      }
+    }
+    ingest_s = ingest_timer.ElapsedSeconds();
+
+    core::SearchOptions opts;
+    opts.window = core::TimeWindow{static_cast<int64_t>(kCount / 2),
+                                   static_cast<int64_t>(kCount)};
+    auto queries = workload::MakeNoisyQueries(collection, kQueries, 0.4, 4);
+    WallTimer query_timer;
+    for (const auto& query : queries) {
+      benchmark::DoNotOptimize(
+          index->ExactSearch(query, opts, nullptr).value().found);
+    }
+    query_ms = query_timer.ElapsedMillis() / kQueries;
+    partitions = index->num_partitions();
+  }
+  state.SetLabel(palm::VariantName(spec));
+  state.counters["ingest_seconds"] = ingest_s;
+  state.counters["window_query_ms"] = query_ms;
+  state.counters["partitions"] = static_cast<double>(partitions);
+}
+
+#define STATIC_CELL(name, family, mat)                                \
+  void name(benchmark::State& state) {                                \
+    RunStaticVariant(state, family, mat);                             \
+  }                                                                   \
+  BENCHMARK(name)->Iterations(1)->Unit(benchmark::kMillisecond)
+
+STATIC_CELL(BM_Matrix_ADS, palm::IndexFamily::kAds, false);
+STATIC_CELL(BM_Matrix_ADSFull, palm::IndexFamily::kAds, true);
+STATIC_CELL(BM_Matrix_CTree, palm::IndexFamily::kCTree, false);
+STATIC_CELL(BM_Matrix_CTreeFull, palm::IndexFamily::kCTree, true);
+STATIC_CELL(BM_Matrix_CLSM, palm::IndexFamily::kClsm, false);
+STATIC_CELL(BM_Matrix_CLSMFull, palm::IndexFamily::kClsm, true);
+
+#define STREAM_CELL(name, family, mode, mat)                          \
+  void name(benchmark::State& state) {                                \
+    RunStreamingVariant(state, family, mode, mat);                    \
+  }                                                                   \
+  BENCHMARK(name)->Iterations(1)->Unit(benchmark::kMillisecond)
+
+STREAM_CELL(BM_Matrix_AdsPP, palm::IndexFamily::kAds, palm::StreamMode::kPP,
+            false);
+STREAM_CELL(BM_Matrix_AdsFullPP, palm::IndexFamily::kAds,
+            palm::StreamMode::kPP, true);
+STREAM_CELL(BM_Matrix_AdsTP, palm::IndexFamily::kAds, palm::StreamMode::kTP,
+            false);
+STREAM_CELL(BM_Matrix_AdsFullTP, palm::IndexFamily::kAds,
+            palm::StreamMode::kTP, true);
+STREAM_CELL(BM_Matrix_CTreePP, palm::IndexFamily::kCTree,
+            palm::StreamMode::kPP, false);
+STREAM_CELL(BM_Matrix_CTreeFullPP, palm::IndexFamily::kCTree,
+            palm::StreamMode::kPP, true);
+STREAM_CELL(BM_Matrix_CTreeTP, palm::IndexFamily::kCTree,
+            palm::StreamMode::kTP, false);
+STREAM_CELL(BM_Matrix_CTreeFullTP, palm::IndexFamily::kCTree,
+            palm::StreamMode::kTP, true);
+STREAM_CELL(BM_Matrix_ClsmBTP, palm::IndexFamily::kClsm,
+            palm::StreamMode::kBTP, false);
+STREAM_CELL(BM_Matrix_ClsmFullBTP, palm::IndexFamily::kClsm,
+            palm::StreamMode::kBTP, true);
+
+}  // namespace
+}  // namespace bench
+}  // namespace coconut
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// A full Coconut Palm "GUI session" against the algorithms server,
+// exercising the JSON request/response protocol end to end the way the
+// PHP/JS client of the paper would: register data, ask the recommender,
+// build competing indexes, query them, and fetch a heat map.
+//
+//   ./palm_session
+#include <cstdio>
+#include <filesystem>
+
+#include "palm/server.h"
+#include "workload/generator.h"
+
+using namespace coconut;
+using palm::IndexFamily;
+using palm::VariantSpec;
+
+int main() {
+  const std::string root = std::filesystem::temp_directory_path().string() +
+                           "/coconut_palm_session";
+  auto server = palm::Server::Create(root).TakeValue();
+
+  series::SaxConfig sax{.series_length = 128, .num_segments = 16,
+                        .bits_per_segment = 8};
+
+  std::printf(">> registering dataset 'walk' (8000 x 128)\n");
+  workload::RandomWalkGenerator gen(128, 4242);
+  auto collection = gen.Generate(8000);
+  if (auto st = server->RegisterDataset("walk", collection, nullptr);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf(">> GET /recommend\n");
+  palm::Scenario scenario;
+  scenario.sax = sax;
+  scenario.dataset_size = 8000;
+  scenario.expected_queries = 50;
+  std::printf("<< %s\n\n", server->RecommendJson(scenario).c_str());
+
+  std::printf(">> POST /build {variant: CTree}\n");
+  VariantSpec ctree;
+  ctree.sax = sax;
+  ctree.family = IndexFamily::kCTree;
+  std::printf("<< %s\n\n",
+              server->BuildIndex("ctree", ctree, "walk").TakeValue().c_str());
+
+  std::printf(">> POST /build {variant: CLSM}\n");
+  VariantSpec clsm;
+  clsm.sax = sax;
+  clsm.family = IndexFamily::kClsm;
+  clsm.buffer_entries = 1024;
+  std::printf("<< %s\n\n",
+              server->BuildIndex("clsm", clsm, "walk").TakeValue().c_str());
+
+  std::printf(">> GET /indexes\n");
+  std::printf("<< %s\n\n", server->ListIndexes().c_str());
+
+  std::printf(">> POST /query {index: ctree, exact: true, heatmap: true}\n");
+  auto queries = workload::MakeNoisyQueries(collection, 1, 0.3, 17);
+  palm::QueryRequest req;
+  req.index = "ctree";
+  req.query = queries[0];
+  req.exact = true;
+  req.capture_heatmap = true;
+  req.heatmap_time_bins = 6;
+  req.heatmap_location_bins = 24;
+  std::printf("<< %s\n\n", server->Query(req).TakeValue().c_str());
+
+  std::printf(">> POST /query {index: clsm, exact: false}\n");
+  req.index = "clsm";
+  req.exact = false;
+  req.capture_heatmap = false;
+  std::printf("<< %s\n", server->Query(req).TakeValue().c_str());
+
+  std::filesystem::remove_all(root);
+  return 0;
+}

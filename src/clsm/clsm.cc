@@ -1,0 +1,369 @@
+#include "clsm/clsm.h"
+
+#include <algorithm>
+
+#include "seqtable/table_search.h"
+#include "series/distance.h"
+#include "series/paa.h"
+
+namespace coconut {
+namespace clsm {
+
+namespace {
+
+using core::IndexEntry;
+using core::SearchOptions;
+using core::SearchResult;
+using seqtable::LeafView;
+using seqtable::SeqTable;
+using seqtable::SeqTableBuilder;
+using seqtable::SeqTableOptions;
+
+SeqTableOptions RunOptions(const Clsm::Options& options) {
+  SeqTableOptions topts;
+  topts.sax = options.sax;
+  topts.materialized = options.materialized;
+  topts.fill_factor = 1.0;  // Runs are immutable: always fully packed.
+  return topts;
+}
+
+/// One input of a two-way merge: either the sorted memtable or a run scan.
+class MergeSource {
+ public:
+  virtual ~MergeSource() = default;
+  /// Loads the next entry; false at end.
+  virtual Result<bool> Next(IndexEntry* entry, std::vector<float>* payload) = 0;
+};
+
+class MemtableSource : public MergeSource {
+ public:
+  MemtableSource(std::vector<IndexEntry> entries, std::vector<float> payloads,
+                 size_t series_length)
+      : entries_(std::move(entries)),
+        payloads_(std::move(payloads)),
+        len_(series_length) {}
+
+  Result<bool> Next(IndexEntry* entry, std::vector<float>* payload) override {
+    if (pos_ >= entries_.size()) return false;
+    *entry = entries_[pos_];
+    if (payload != nullptr && !payloads_.empty()) {
+      payload->assign(payloads_.begin() + pos_ * len_,
+                      payloads_.begin() + (pos_ + 1) * len_);
+    }
+    ++pos_;
+    return true;
+  }
+
+ private:
+  std::vector<IndexEntry> entries_;
+  std::vector<float> payloads_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+class TableSource : public MergeSource {
+ public:
+  explicit TableSource(const SeqTable* table) : scanner_(table->NewScanner()) {}
+
+  Result<bool> Next(IndexEntry* entry, std::vector<float>* payload) override {
+    return scanner_.Next(entry, payload);
+  }
+
+ private:
+  SeqTable::Scanner scanner_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Clsm>> Clsm::Create(storage::StorageManager* storage,
+                                           const std::string& prefix,
+                                           const Options& options,
+                                           storage::BufferPool* pool,
+                                           core::RawSeriesStore* raw) {
+  if (!options.sax.Valid()) {
+    return Status::InvalidArgument("invalid SaxConfig");
+  }
+  if (options.growth_factor < 2) {
+    return Status::InvalidArgument("growth_factor must be >= 2");
+  }
+  if (options.buffer_entries == 0) {
+    return Status::InvalidArgument("buffer_entries must be > 0");
+  }
+  if (!options.materialized && raw == nullptr) {
+    return Status::InvalidArgument(
+        "non-materialized CLSM needs a raw store for verification");
+  }
+  return std::unique_ptr<Clsm>(
+      new Clsm(storage, prefix, options, pool, raw));
+}
+
+uint64_t Clsm::LevelCapacity(size_t level) const {
+  uint64_t cap = options_.buffer_entries;
+  for (size_t i = 0; i <= level; ++i) {
+    cap *= static_cast<uint64_t>(options_.growth_factor);
+  }
+  return cap;
+}
+
+std::string Clsm::RunName(size_t level) {
+  return prefix_ + ".L" + std::to_string(level) + "." +
+         std::to_string(version_++);
+}
+
+Status Clsm::Insert(uint64_t series_id, std::span<const float> znorm_values,
+                    int64_t timestamp) {
+  if (znorm_values.size() != static_cast<size_t>(options_.sax.series_length)) {
+    return Status::InvalidArgument("series length mismatch");
+  }
+  IndexEntry entry;
+  entry.key = series::InterleaveSax(
+      series::ComputeSax(znorm_values, options_.sax), options_.sax);
+  entry.series_id = series_id;
+  entry.timestamp = timestamp;
+  memtable_.push_back(entry);
+  if (options_.materialized) {
+    memtable_payloads_.insert(memtable_payloads_.end(), znorm_values.begin(),
+                              znorm_values.end());
+  }
+  if (memtable_.size() >= options_.buffer_entries) {
+    COCONUT_RETURN_NOT_OK(FlushBuffer());
+  }
+  return Status::OK();
+}
+
+Status Clsm::FlushBuffer() {
+  if (memtable_.empty()) return Status::OK();
+  COCONUT_RETURN_NOT_OK(MergeIntoLevel(0, /*from_memtable=*/true));
+  return CascadeFrom(0);
+}
+
+Status Clsm::MergeIntoLevel(size_t level, bool from_memtable) {
+  const size_t len = options_.sax.series_length;
+
+  // Assemble the newer input.
+  std::unique_ptr<MergeSource> newer;
+  if (from_memtable) {
+    // Sort the buffer: indices sorted by key, then payloads permuted.
+    std::vector<size_t> order(memtable_.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+      return core::EntryKeyLess()(memtable_[a], memtable_[b]);
+    });
+    std::vector<IndexEntry> sorted_entries(memtable_.size());
+    std::vector<float> sorted_payloads;
+    if (options_.materialized) sorted_payloads.resize(memtable_payloads_.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      sorted_entries[i] = memtable_[order[i]];
+      if (options_.materialized) {
+        std::copy(memtable_payloads_.begin() + order[i] * len,
+                  memtable_payloads_.begin() + (order[i] + 1) * len,
+                  sorted_payloads.begin() + i * len);
+      }
+    }
+    newer = std::make_unique<MemtableSource>(std::move(sorted_entries),
+                                             std::move(sorted_payloads), len);
+    memtable_.clear();
+    memtable_payloads_.clear();
+  } else {
+    newer = std::make_unique<TableSource>(levels_[level - 1].get());
+  }
+
+  if (levels_.size() <= level) levels_.resize(level + 1);
+
+  // Older input: the existing run at this level, if any.
+  std::unique_ptr<MergeSource> older;
+  if (levels_[level] != nullptr) {
+    older = std::make_unique<TableSource>(levels_[level].get());
+  }
+
+  const std::string new_name = RunName(level);
+  COCONUT_ASSIGN_OR_RETURN(
+      std::unique_ptr<SeqTableBuilder> builder,
+      SeqTableBuilder::Create(storage_, new_name, RunOptions(options_)));
+
+  // Two-way merge; ties go to the newer input (freshness, though entries
+  // are append-only here so order among equals is cosmetic).
+  IndexEntry a_entry, b_entry;
+  std::vector<float> a_payload, b_payload;
+  COCONUT_ASSIGN_OR_RETURN(bool a_has, newer->Next(&a_entry, &a_payload));
+  bool b_has = false;
+  if (older != nullptr) {
+    COCONUT_ASSIGN_OR_RETURN(b_has, older->Next(&b_entry, &b_payload));
+  }
+  while (a_has || b_has) {
+    const bool take_a =
+        a_has && (!b_has || !core::EntryKeyLess()(b_entry, a_entry));
+    if (take_a) {
+      COCONUT_RETURN_NOT_OK(builder->Add(
+          a_entry, options_.materialized
+                       ? std::span<const float>(a_payload)
+                       : std::span<const float>()));
+      COCONUT_ASSIGN_OR_RETURN(a_has, newer->Next(&a_entry, &a_payload));
+    } else {
+      COCONUT_RETURN_NOT_OK(builder->Add(
+          b_entry, options_.materialized
+                       ? std::span<const float>(b_payload)
+                       : std::span<const float>()));
+      COCONUT_ASSIGN_OR_RETURN(b_has, older->Next(&b_entry, &b_payload));
+    }
+  }
+  entries_rewritten_ += builder->entries_added();
+  ++merges_performed_;
+  COCONUT_RETURN_NOT_OK(builder->Finish());
+
+  // Swap in the merged run; drop inputs.
+  if (levels_[level] != nullptr) {
+    const std::string old_name = levels_[level]->name();
+    levels_[level].reset();
+    COCONUT_RETURN_NOT_OK(storage_->RemoveFile(old_name));
+  }
+  if (!from_memtable) {
+    const std::string drained = levels_[level - 1]->name();
+    levels_[level - 1].reset();
+    COCONUT_RETURN_NOT_OK(storage_->RemoveFile(drained));
+  }
+  COCONUT_ASSIGN_OR_RETURN(levels_[level],
+                           SeqTable::Open(storage_, new_name, pool_));
+  return Status::OK();
+}
+
+Status Clsm::CascadeFrom(size_t start) {
+  for (size_t level = start; level < levels_.size(); ++level) {
+    if (levels_[level] == nullptr) continue;
+    if (levels_[level]->num_entries() <= LevelCapacity(level)) break;
+    COCONUT_RETURN_NOT_OK(MergeIntoLevel(level + 1, /*from_memtable=*/false));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<SearchResult>> Clsm::KnnSearch(
+    std::span<const float> query, size_t k, const SearchOptions& options,
+    core::QueryCounters* counters) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  std::vector<float> paa_storage;
+  seqtable::SearchContext ctx = seqtable::MakeSearchContext(
+      options_.sax, query, &paa_storage, raw_, counters);
+  seqtable::KnnCollector collector(k);
+
+  // Buffered entries first (cheap, tightens the bound).
+  const size_t len = options_.sax.series_length;
+  for (size_t i = 0; i < memtable_.size(); ++i) {
+    const IndexEntry& entry = memtable_[i];
+    if (!options.window.Contains(entry.timestamp)) continue;
+    const series::SaxWord word =
+        series::DeinterleaveKey(entry.key, options_.sax);
+    if (series::MinDistSquaredToSax(ctx.query_paa, word, options_.sax) >=
+        collector.bound()) {
+      continue;
+    }
+    SearchResult candidate;
+    candidate.found = true;
+    candidate.series_id = entry.series_id;
+    candidate.timestamp = entry.timestamp;
+    if (options_.materialized) {
+      candidate.distance_sq = series::EuclideanSquaredEarlyAbandon(
+          query,
+          std::span<const float>(memtable_payloads_.data() + i * len, len),
+          collector.bound());
+    } else {
+      std::vector<float> fetched(len);
+      COCONUT_RETURN_NOT_OK(raw_->Get(entry.series_id, fetched));
+      if (counters != nullptr) ++counters->raw_fetches;
+      candidate.distance_sq = series::EuclideanSquaredEarlyAbandon(
+          query, fetched, collector.bound());
+    }
+    collector.Offer(candidate);
+  }
+
+  for (const auto& level : levels_) {
+    if (level == nullptr) continue;
+    COCONUT_RETURN_NOT_OK(
+        seqtable::ExactKnnScanTable(*level, ctx, options, &collector));
+  }
+  return collector.Take();
+}
+
+uint64_t Clsm::num_entries() const {
+  uint64_t total = memtable_.size();
+  for (const auto& level : levels_) {
+    if (level != nullptr) total += level->num_entries();
+  }
+  return total;
+}
+
+size_t Clsm::num_active_levels() const {
+  size_t active = 0;
+  for (const auto& level : levels_) {
+    if (level != nullptr) ++active;
+  }
+  return active;
+}
+
+uint64_t Clsm::level_entries(size_t level) const {
+  if (level >= levels_.size() || levels_[level] == nullptr) return 0;
+  return levels_[level]->num_entries();
+}
+
+uint64_t Clsm::total_file_bytes() const {
+  uint64_t total = 0;
+  for (const auto& level : levels_) {
+    if (level != nullptr) total += level->file_bytes();
+  }
+  return total;
+}
+
+Status Clsm::SearchMemtable(const std::span<const float>& query,
+                            const SearchOptions& options,
+                            core::QueryCounters* counters,
+                            int max_verifications, SearchResult* best) {
+  if (memtable_.empty()) return Status::OK();
+  std::vector<float> paa_storage;
+  seqtable::SearchContext ctx = seqtable::MakeSearchContext(
+      options_.sax, query, &paa_storage, raw_, counters);
+  return seqtable::EvaluateCandidates(ctx, options, memtable_,
+                                      memtable_payloads_,
+                                      options_.materialized,
+                                      max_verifications, best);
+}
+
+Result<SearchResult> Clsm::ApproxSearch(std::span<const float> query,
+                                        const SearchOptions& options,
+                                        core::QueryCounters* counters) {
+  SearchResult best;
+  COCONUT_RETURN_NOT_OK(SearchMemtable(query, options, counters,
+                                       options.approx_candidates, &best));
+  std::vector<float> paa_storage;
+  seqtable::SearchContext ctx = seqtable::MakeSearchContext(
+      options_.sax, query, &paa_storage, raw_, counters);
+  for (const auto& level : levels_) {
+    if (level == nullptr) continue;
+    COCONUT_ASSIGN_OR_RETURN(SearchResult r,
+                             seqtable::ApproxSearchTable(*level, ctx, options));
+    best.Improve(r);
+  }
+  return best;
+}
+
+Result<SearchResult> Clsm::ExactSearch(std::span<const float> query,
+                                       const SearchOptions& options,
+                                       core::QueryCounters* counters) {
+  // Seed with the approximate answer, then prune-scan every run. The best
+  // distance is shared across runs, so later runs prune harder.
+  COCONUT_ASSIGN_OR_RETURN(SearchResult best,
+                           ApproxSearch(query, options, counters));
+  COCONUT_RETURN_NOT_OK(
+      SearchMemtable(query, options, counters, /*max_verifications=*/-1,
+                     &best));
+  std::vector<float> paa_storage;
+  seqtable::SearchContext ctx = seqtable::MakeSearchContext(
+      options_.sax, query, &paa_storage, raw_, counters);
+  for (const auto& level : levels_) {
+    if (level == nullptr) continue;
+    COCONUT_RETURN_NOT_OK(
+        seqtable::ExactScanTable(*level, ctx, options, &best));
+  }
+  return best;
+}
+
+}  // namespace clsm
+}  // namespace coconut

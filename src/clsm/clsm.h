@@ -1,0 +1,128 @@
+#ifndef COCONUT_CLSM_CLSM_H_
+#define COCONUT_CLSM_CLSM_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/entry.h"
+#include "core/raw_store.h"
+#include "core/types.h"
+#include "seqtable/seq_table.h"
+
+namespace coconut {
+namespace clsm {
+
+/// CoconutLSM: the write-optimized index of the paper. Incoming series
+/// accumulate in an in-memory buffer; every flush and every compaction is a
+/// sort-merge producing a fresh compact SeqTable with purely sequential
+/// I/O. This is only possible because the summarizations are sortable — a
+/// log-structured merge over unsortable iSAX words has no merge order.
+///
+/// Leveling policy: disk level i (0-based) holds at most one run of at most
+/// buffer_entries * growth_factor^(i+1) entries. A higher growth factor
+/// means fewer levels (faster reads, each query touches every run) but
+/// more rewriting per merge (slower ingestion) — the Section 2 read/write
+/// knob.
+class Clsm {
+ public:
+  struct Options {
+    series::SaxConfig sax;
+    /// Materialized ("CLSMFull"): series travel through every merge.
+    bool materialized = false;
+    /// LSM growth factor T (>= 2).
+    int growth_factor = 4;
+    /// In-memory buffer capacity in entries (the paper's memory budget).
+    size_t buffer_entries = 1024;
+  };
+
+  /// Creates an empty LSM tree writing runs named `<prefix>.L<i>.<version>`.
+  /// `raw` is required for non-materialized verification; `pool` optional.
+  static Result<std::unique_ptr<Clsm>> Create(storage::StorageManager* storage,
+                                              const std::string& prefix,
+                                              const Options& options,
+                                              storage::BufferPool* pool,
+                                              core::RawSeriesStore* raw);
+
+  /// Buffers one (z-normalized) series; triggers a flush/merge cascade when
+  /// the buffer fills.
+  Status Insert(uint64_t series_id, std::span<const float> znorm_values,
+                int64_t timestamp);
+
+  /// Forces the buffer to disk (e.g. before measuring read-only queries).
+  Status FlushBuffer();
+
+  Result<core::SearchResult> ApproxSearch(std::span<const float> query,
+                                          const core::SearchOptions& options,
+                                          core::QueryCounters* counters);
+
+  Result<core::SearchResult> ExactSearch(std::span<const float> query,
+                                         const core::SearchOptions& options,
+                                         core::QueryCounters* counters);
+
+  /// Exact k-nearest-neighbors across the buffer and every run; the
+  /// k-th-best bound is shared, so later runs prune harder.
+  Result<std::vector<core::SearchResult>> KnnSearch(
+      std::span<const float> query, size_t k,
+      const core::SearchOptions& options, core::QueryCounters* counters);
+
+  uint64_t num_entries() const;
+  size_t buffered_entries() const { return memtable_.size(); }
+
+  /// Number of disk levels currently holding a run.
+  size_t num_active_levels() const;
+
+  /// Entries in level i's run (0 when empty).
+  uint64_t level_entries(size_t level) const;
+
+  /// Total bytes across all run files.
+  uint64_t total_file_bytes() const;
+
+  /// Cumulative entries rewritten by flushes and compactions — the write
+  /// amplification the growth factor trades against read cost.
+  uint64_t entries_rewritten() const { return entries_rewritten_; }
+  uint64_t merges_performed() const { return merges_performed_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  Clsm(storage::StorageManager* storage, std::string prefix, Options options,
+       storage::BufferPool* pool, core::RawSeriesStore* raw)
+      : storage_(storage),
+        prefix_(std::move(prefix)),
+        options_(options),
+        pool_(pool),
+        raw_(raw) {}
+
+  uint64_t LevelCapacity(size_t level) const;
+  Status MergeIntoLevel(size_t level, bool from_memtable);
+  Status CascadeFrom(size_t level);
+  std::string RunName(size_t level);
+
+  /// Evaluates the in-memory buffer against a query.
+  Status SearchMemtable(const std::span<const float>& query,
+                        const core::SearchOptions& options,
+                        core::QueryCounters* counters,
+                        int max_verifications, core::SearchResult* best);
+
+  storage::StorageManager* storage_;
+  std::string prefix_;
+  Options options_;
+  storage::BufferPool* pool_;
+  core::RawSeriesStore* raw_;
+
+  std::vector<core::IndexEntry> memtable_;
+  std::vector<float> memtable_payloads_;
+
+  std::vector<std::unique_ptr<seqtable::SeqTable>> levels_;
+  uint64_t version_ = 0;
+  uint64_t entries_rewritten_ = 0;
+  uint64_t merges_performed_ = 0;
+};
+
+}  // namespace clsm
+}  // namespace coconut
+
+#endif  // COCONUT_CLSM_CLSM_H_

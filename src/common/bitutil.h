@@ -1,0 +1,26 @@
+#ifndef COCONUT_COMMON_BITUTIL_H_
+#define COCONUT_COMMON_BITUTIL_H_
+
+#include <cstdint>
+
+namespace coconut {
+namespace bitutil {
+
+/// Extracts bit `pos` (0 = most significant of an 8-bit symbol window of
+/// width `width`) from `value`.
+inline uint8_t GetBitMsbFirst(uint64_t value, int width, int pos) {
+  return static_cast<uint8_t>((value >> (width - 1 - pos)) & 1ULL);
+}
+
+/// Sets the bit at MSB-first position `pos` within a `width`-bit window.
+inline uint64_t SetBitMsbFirst(uint64_t value, int width, int pos) {
+  return value | (1ULL << (width - 1 - pos));
+}
+
+/// Number of 64-bit words needed to hold `bits` bits.
+inline int WordsForBits(int bits) { return (bits + 63) / 64; }
+
+}  // namespace bitutil
+}  // namespace coconut
+
+#endif  // COCONUT_COMMON_BITUTIL_H_

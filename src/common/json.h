@@ -1,0 +1,81 @@
+#ifndef COCONUT_COMMON_JSON_H_
+#define COCONUT_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coconut {
+
+/// Streaming JSON writer producing compact, valid JSON. The Palm algorithms
+/// server serializes every response through this class, mirroring the
+/// GUI<->server JSON protocol of the paper without an HTTP transport.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("name"); w.String("ctree");
+///   w.Key("seconds"); w.Double(1.25);
+///   w.EndObject();
+///   std::string payload = w.TakeString();
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Writes an object key; must be followed by exactly one value.
+  void Key(const std::string& name);
+
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Convenience: Key + value in one call.
+  void Field(const std::string& name, const std::string& value) {
+    Key(name);
+    String(value);
+  }
+  void Field(const std::string& name, int64_t value) {
+    Key(name);
+    Int(value);
+  }
+  void Field(const std::string& name, uint64_t value) {
+    Key(name);
+    Uint(value);
+  }
+  void Field(const std::string& name, double value) {
+    Key(name);
+    Double(value);
+  }
+  void Field(const std::string& name, bool value) {
+    Key(name);
+    Bool(value);
+  }
+
+  /// Returns the accumulated JSON text and resets the writer.
+  std::string TakeString();
+
+  /// Read-only view of the buffer (for tests).
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+  static void AppendEscaped(std::string* out, const std::string& s);
+
+  std::string out_;
+  // Tracks whether a value was already emitted at each nesting depth, so a
+  // comma is written before subsequent siblings.
+  std::vector<bool> needs_comma_{false};
+  bool pending_key_ = false;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_COMMON_JSON_H_

@@ -1,0 +1,131 @@
+#ifndef COCONUT_COMMON_STATUS_H_
+#define COCONUT_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace coconut {
+
+/// Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIoError,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kResourceExhausted,
+  kNotSupported,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation that can fail. Library code reports failures
+/// through Status/Result rather than exceptions (Google style).
+///
+/// The OK status carries no allocation; error statuses carry a code and a
+/// message describing the failure site.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is undefined; callers must check ok() first (the
+/// COCONUT_ASSIGN_OR_RETURN macro does this).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  T& value() { return std::get<T>(payload_); }
+  const T& value() const { return std::get<T>(payload_); }
+
+  /// Moves the value out of the result.
+  T TakeValue() { return std::move(std::get<T>(payload_)); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace coconut
+
+/// Propagates a non-OK Status to the caller.
+#define COCONUT_RETURN_NOT_OK(expr)               \
+  do {                                            \
+    ::coconut::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+/// Evaluates a Result-returning expression; on success binds the value to
+/// `lhs`, on failure propagates the Status.
+#define COCONUT_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto COCONUT_CONCAT_(_res_, __LINE__) = (expr); \
+  if (!COCONUT_CONCAT_(_res_, __LINE__).ok())     \
+    return COCONUT_CONCAT_(_res_, __LINE__).status(); \
+  lhs = COCONUT_CONCAT_(_res_, __LINE__).TakeValue()
+
+#define COCONUT_CONCAT_IMPL_(a, b) a##b
+#define COCONUT_CONCAT_(a, b) COCONUT_CONCAT_IMPL_(a, b)
+
+#endif  // COCONUT_COMMON_STATUS_H_

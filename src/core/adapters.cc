@@ -1,0 +1,99 @@
+#include "core/adapters.h"
+
+namespace coconut {
+namespace core {
+
+// -------------------------------------------------------------- CTree
+
+Result<std::unique_ptr<CTreeIndexAdapter>> CTreeIndexAdapter::Create(
+    storage::StorageManager* storage, const std::string& name,
+    const ctree::CTree::Options& options, storage::BufferPool* pool,
+    RawSeriesStore* raw) {
+  auto adapter = std::unique_ptr<CTreeIndexAdapter>(
+      new CTreeIndexAdapter(storage, name, options, pool, raw));
+  COCONUT_ASSIGN_OR_RETURN(adapter->builder_,
+                           ctree::CTree::Builder::Create(storage, name,
+                                                         options));
+  return adapter;
+}
+
+Status CTreeIndexAdapter::Insert(uint64_t series_id,
+                                 std::span<const float> znorm_values,
+                                 int64_t timestamp) {
+  if (tree_ != nullptr) {
+    return tree_->Insert(series_id, znorm_values, timestamp);
+  }
+  ++pending_;
+  return builder_->Add(series_id, znorm_values, timestamp);
+}
+
+Status CTreeIndexAdapter::Finalize() {
+  if (tree_ != nullptr) return tree_->Flush();
+  COCONUT_ASSIGN_OR_RETURN(tree_, builder_->Finish(pool_, raw_));
+  builder_.reset();
+  return Status::OK();
+}
+
+Result<SearchResult> CTreeIndexAdapter::ApproxSearch(
+    std::span<const float> query, const SearchOptions& options,
+    QueryCounters* counters) {
+  if (tree_ == nullptr) {
+    return Status::Internal("CTree queried before Finalize()");
+  }
+  return tree_->ApproxSearch(query, options, counters);
+}
+
+Result<SearchResult> CTreeIndexAdapter::ExactSearch(
+    std::span<const float> query, const SearchOptions& options,
+    QueryCounters* counters) {
+  if (tree_ == nullptr) {
+    return Status::Internal("CTree queried before Finalize()");
+  }
+  return tree_->ExactSearch(query, options, counters);
+}
+
+uint64_t CTreeIndexAdapter::num_entries() const {
+  return tree_ != nullptr ? tree_->num_entries() : pending_;
+}
+
+uint64_t CTreeIndexAdapter::index_bytes() const {
+  return tree_ != nullptr ? tree_->file_bytes() : 0;
+}
+
+std::string CTreeIndexAdapter::describe() const {
+  return options_.materialized ? "CTreeFull" : "CTree";
+}
+
+// -------------------------------------------------------------- CLSM
+
+Result<std::unique_ptr<ClsmIndexAdapter>> ClsmIndexAdapter::Create(
+    storage::StorageManager* storage, const std::string& name,
+    const clsm::Clsm::Options& options, storage::BufferPool* pool,
+    RawSeriesStore* raw) {
+  COCONUT_ASSIGN_OR_RETURN(
+      std::unique_ptr<clsm::Clsm> lsm,
+      clsm::Clsm::Create(storage, name, options, pool, raw));
+  return std::unique_ptr<ClsmIndexAdapter>(
+      new ClsmIndexAdapter(std::move(lsm)));
+}
+
+std::string ClsmIndexAdapter::describe() const {
+  return lsm_->options().materialized ? "CLSMFull" : "CLSM";
+}
+
+// -------------------------------------------------------------- ADS+
+
+Result<std::unique_ptr<AdsIndexAdapter>> AdsIndexAdapter::Create(
+    storage::StorageManager* storage, const std::string& name,
+    const ads::AdsIndex::Options& options, RawSeriesStore* raw) {
+  COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<ads::AdsIndex> ads,
+                           ads::AdsIndex::Create(storage, name, options, raw));
+  return std::unique_ptr<AdsIndexAdapter>(new AdsIndexAdapter(std::move(ads)));
+}
+
+std::string AdsIndexAdapter::describe() const {
+  return ads_->options().materialized ? "ADSFull" : "ADS+";
+}
+
+}  // namespace core
+}  // namespace coconut

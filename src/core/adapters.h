@@ -1,0 +1,135 @@
+#ifndef COCONUT_CORE_ADAPTERS_H_
+#define COCONUT_CORE_ADAPTERS_H_
+
+#include <memory>
+#include <string>
+
+#include "ads/ads_index.h"
+#include "clsm/clsm.h"
+#include "core/index.h"
+#include "ctree/ctree.h"
+
+namespace coconut {
+namespace core {
+
+/// CTree behind the DataSeriesIndex facade. Inserts before Finalize feed
+/// the external-sort bulk build; after Finalize they take the B-tree's
+/// top-down insert path (leaf rewrite or split).
+class CTreeIndexAdapter : public DataSeriesIndex {
+ public:
+  static Result<std::unique_ptr<CTreeIndexAdapter>> Create(
+      storage::StorageManager* storage, const std::string& name,
+      const ctree::CTree::Options& options, storage::BufferPool* pool,
+      RawSeriesStore* raw);
+
+  Status Insert(uint64_t series_id, std::span<const float> znorm_values,
+                int64_t timestamp) override;
+  Status Finalize() override;
+  Result<SearchResult> ApproxSearch(std::span<const float> query,
+                                    const SearchOptions& options,
+                                    QueryCounters* counters) override;
+  Result<SearchResult> ExactSearch(std::span<const float> query,
+                                   const SearchOptions& options,
+                                   QueryCounters* counters) override;
+  uint64_t num_entries() const override;
+  uint64_t index_bytes() const override;
+  std::string describe() const override;
+
+  /// Valid only after Finalize().
+  ctree::CTree* tree() { return tree_.get(); }
+
+ private:
+  CTreeIndexAdapter(storage::StorageManager* storage, std::string name,
+                    const ctree::CTree::Options& options,
+                    storage::BufferPool* pool, RawSeriesStore* raw)
+      : storage_(storage),
+        name_(std::move(name)),
+        options_(options),
+        pool_(pool),
+        raw_(raw) {}
+
+  storage::StorageManager* storage_;
+  std::string name_;
+  ctree::CTree::Options options_;
+  storage::BufferPool* pool_;
+  RawSeriesStore* raw_;
+  std::unique_ptr<ctree::CTree::Builder> builder_;
+  std::unique_ptr<ctree::CTree> tree_;
+  uint64_t pending_ = 0;
+};
+
+/// CLSM behind the facade (already incremental; Finalize = flush).
+class ClsmIndexAdapter : public DataSeriesIndex {
+ public:
+  static Result<std::unique_ptr<ClsmIndexAdapter>> Create(
+      storage::StorageManager* storage, const std::string& name,
+      const clsm::Clsm::Options& options, storage::BufferPool* pool,
+      RawSeriesStore* raw);
+
+  Status Insert(uint64_t series_id, std::span<const float> znorm_values,
+                int64_t timestamp) override {
+    return lsm_->Insert(series_id, znorm_values, timestamp);
+  }
+  Status Finalize() override { return lsm_->FlushBuffer(); }
+  Result<SearchResult> ApproxSearch(std::span<const float> query,
+                                    const SearchOptions& options,
+                                    QueryCounters* counters) override {
+    return lsm_->ApproxSearch(query, options, counters);
+  }
+  Result<SearchResult> ExactSearch(std::span<const float> query,
+                                   const SearchOptions& options,
+                                   QueryCounters* counters) override {
+    return lsm_->ExactSearch(query, options, counters);
+  }
+  uint64_t num_entries() const override { return lsm_->num_entries(); }
+  uint64_t index_bytes() const override { return lsm_->total_file_bytes(); }
+  std::string describe() const override;
+
+  clsm::Clsm* lsm() { return lsm_.get(); }
+
+ private:
+  explicit ClsmIndexAdapter(std::unique_ptr<clsm::Clsm> lsm)
+      : lsm_(std::move(lsm)) {}
+
+  std::unique_ptr<clsm::Clsm> lsm_;
+};
+
+/// ADS+ behind the facade (incremental; Finalize = flush buffers).
+class AdsIndexAdapter : public DataSeriesIndex {
+ public:
+  static Result<std::unique_ptr<AdsIndexAdapter>> Create(
+      storage::StorageManager* storage, const std::string& name,
+      const ads::AdsIndex::Options& options, RawSeriesStore* raw);
+
+  Status Insert(uint64_t series_id, std::span<const float> znorm_values,
+                int64_t timestamp) override {
+    return ads_->Insert(series_id, znorm_values, timestamp);
+  }
+  Status Finalize() override { return ads_->FlushAll(); }
+  Result<SearchResult> ApproxSearch(std::span<const float> query,
+                                    const SearchOptions& options,
+                                    QueryCounters* counters) override {
+    return ads_->ApproxSearch(query, options, counters);
+  }
+  Result<SearchResult> ExactSearch(std::span<const float> query,
+                                   const SearchOptions& options,
+                                   QueryCounters* counters) override {
+    return ads_->ExactSearch(query, options, counters);
+  }
+  uint64_t num_entries() const override { return ads_->num_entries(); }
+  uint64_t index_bytes() const override { return ads_->total_file_bytes(); }
+  std::string describe() const override;
+
+  ads::AdsIndex* ads() { return ads_.get(); }
+
+ private:
+  explicit AdsIndexAdapter(std::unique_ptr<ads::AdsIndex> ads)
+      : ads_(std::move(ads)) {}
+
+  std::unique_ptr<ads::AdsIndex> ads_;
+};
+
+}  // namespace core
+}  // namespace coconut
+
+#endif  // COCONUT_CORE_ADAPTERS_H_

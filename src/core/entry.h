@@ -1,0 +1,57 @@
+#ifndef COCONUT_CORE_ENTRY_H_
+#define COCONUT_CORE_ENTRY_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "series/sortable.h"
+
+namespace coconut {
+namespace core {
+
+/// The fixed 32-byte index record every Coconut structure stores and sorts.
+///
+/// Non-materialized indexes store only IndexEntry records; the series body
+/// stays in the raw data file and is fetched through `series_id`.
+/// Materialized ("Full") indexes append the series values right after the
+/// entry inside index pages, trading space and construction time for
+/// queries that never touch the raw file (Section 2, space/time trade-off).
+struct IndexEntry {
+  series::SortableKey key;  ///< Interleaved sortable summarization.
+  uint64_t series_id;       ///< Ordinal in the raw data store.
+  int64_t timestamp;        ///< Arrival time; kInfinitePast for static data.
+
+  friend bool operator==(const IndexEntry& a, const IndexEntry& b) {
+    return a.key == b.key && a.series_id == b.series_id &&
+           a.timestamp == b.timestamp;
+  }
+};
+static_assert(sizeof(IndexEntry) == 32, "IndexEntry must pack to 32 bytes");
+static_assert(std::is_trivially_copyable_v<IndexEntry>);
+
+/// Timestamp used for static (non-streaming) data.
+inline constexpr int64_t kNoTimestamp = 0;
+
+/// Orders entries by sortable key, breaking ties by series id so sorts are
+/// total and deterministic.
+struct EntryKeyLess {
+  bool operator()(const IndexEntry& a, const IndexEntry& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    return a.series_id < b.series_id;
+  }
+};
+
+/// Raw-byte comparator over serialized IndexEntry records (the external
+/// sorter works on untyped fixed-size records).
+inline bool EntryBytesLess(const uint8_t* a, const uint8_t* b) {
+  IndexEntry ea;
+  IndexEntry eb;
+  std::memcpy(&ea, a, sizeof(ea));
+  std::memcpy(&eb, b, sizeof(eb));
+  return EntryKeyLess()(ea, eb);
+}
+
+}  // namespace core
+}  // namespace coconut
+
+#endif  // COCONUT_CORE_ENTRY_H_

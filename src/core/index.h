@@ -1,0 +1,56 @@
+#ifndef COCONUT_CORE_INDEX_H_
+#define COCONUT_CORE_INDEX_H_
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "core/types.h"
+
+namespace coconut {
+namespace core {
+
+/// Uniform facade over every static index family in the Figure-1 matrix
+/// (ADS+, CTree, CLSM — materialized or not). The Palm server, the factory
+/// and the streaming wrappers all speak this interface.
+///
+/// Lifecycle: Insert() any number of series (z-normalized), then
+/// Finalize(). For bulk-built structures (CTree) Insert before Finalize
+/// feeds the construction sort and queries are only legal afterwards; for
+/// incremental structures (CLSM, ADS+) Finalize merely drains buffers.
+/// Post-Finalize Inserts are supported by every family (the B-tree takes
+/// the top-down insert path with its fill-factor slack).
+class DataSeriesIndex {
+ public:
+  virtual ~DataSeriesIndex() = default;
+
+  /// Adds one z-normalized series under `series_id`.
+  virtual Status Insert(uint64_t series_id,
+                        std::span<const float> znorm_values,
+                        int64_t timestamp) = 0;
+
+  /// Seals construction / drains buffers. Idempotent.
+  virtual Status Finalize() = 0;
+
+  virtual Result<SearchResult> ApproxSearch(std::span<const float> query,
+                                            const SearchOptions& options,
+                                            QueryCounters* counters) = 0;
+
+  virtual Result<SearchResult> ExactSearch(std::span<const float> query,
+                                           const SearchOptions& options,
+                                           QueryCounters* counters) = 0;
+
+  virtual uint64_t num_entries() const = 0;
+
+  /// Bytes of index structures on disk (excludes the raw data file).
+  virtual uint64_t index_bytes() const = 0;
+
+  /// Human-readable variant name, e.g. "CTreeFull".
+  virtual std::string describe() const = 0;
+};
+
+}  // namespace core
+}  // namespace coconut
+
+#endif  // COCONUT_CORE_INDEX_H_

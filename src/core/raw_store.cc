@@ -1,0 +1,112 @@
+#include "core/raw_store.h"
+
+#include <cstring>
+
+#include "storage/page.h"
+
+namespace coconut {
+namespace core {
+
+namespace {
+
+using storage::kPageSize;
+using storage::Page;
+
+constexpr uint64_t kMagic = 0xC0C04A17DA7A0001ULL;
+// Buffer up to 64 series (or ~1 MiB) before appending.
+constexpr uint64_t kFlushSeries = 64;
+
+}  // namespace
+
+Result<std::unique_ptr<RawSeriesStore>> RawSeriesStore::Create(
+    storage::StorageManager* storage, const std::string& name,
+    int series_length) {
+  if (series_length <= 0) {
+    return Status::InvalidArgument("series_length must be positive");
+  }
+  COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> file,
+                           storage->CreateFile(name));
+  // Reserve the header page.
+  Page header;
+  COCONUT_RETURN_NOT_OK(file->Append(header.data(), kPageSize));
+  auto store = std::unique_ptr<RawSeriesStore>(
+      new RawSeriesStore(std::move(file), series_length, 0));
+  COCONUT_RETURN_NOT_OK(store->WriteHeader());
+  return store;
+}
+
+Result<std::unique_ptr<RawSeriesStore>> RawSeriesStore::Open(
+    storage::StorageManager* storage, const std::string& name) {
+  COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> file,
+                           storage->OpenFile(name));
+  Page header;
+  COCONUT_RETURN_NOT_OK(file->ReadPage(0, &header));
+  if (header.Read<uint64_t>(0) != kMagic) {
+    return Status::InvalidArgument("'" + name + "' is not a RawSeriesStore");
+  }
+  const int length = static_cast<int>(header.Read<uint32_t>(8));
+  const uint64_t count = header.Read<uint64_t>(16);
+  return std::unique_ptr<RawSeriesStore>(
+      new RawSeriesStore(std::move(file), length, count));
+}
+
+Status RawSeriesStore::WriteHeader() {
+  Page header;
+  header.Write<uint64_t>(0, kMagic);
+  header.Write<uint32_t>(8, static_cast<uint32_t>(series_length_));
+  header.Write<uint64_t>(16, count_);
+  return file_->WritePage(0, header);
+}
+
+Result<uint64_t> RawSeriesStore::Append(std::span<const float> values) {
+  if (values.size() != static_cast<size_t>(series_length_)) {
+    return Status::InvalidArgument("series length mismatch on Append");
+  }
+  append_buffer_.insert(append_buffer_.end(), values.begin(), values.end());
+  ++buffered_series_;
+  const uint64_t id = count_++;
+  if (buffered_series_ >= kFlushSeries) {
+    // Drain data only; the header (a random write) is deferred to Flush()
+    // so steady-state ingestion stays purely sequential.
+    COCONUT_RETURN_NOT_OK(file_->Append(
+        append_buffer_.data(), append_buffer_.size() * sizeof(float)));
+    append_buffer_.clear();
+    buffered_series_ = 0;
+  }
+  return id;
+}
+
+Status RawSeriesStore::Flush() {
+  if (buffered_series_ > 0) {
+    COCONUT_RETURN_NOT_OK(file_->Append(
+        append_buffer_.data(), append_buffer_.size() * sizeof(float)));
+    append_buffer_.clear();
+    buffered_series_ = 0;
+  }
+  return WriteHeader();
+}
+
+Status RawSeriesStore::Get(uint64_t id, std::span<float> out) const {
+  if (out.size() != static_cast<size_t>(series_length_)) {
+    return Status::InvalidArgument("output span length mismatch");
+  }
+  if (id >= count_) {
+    return Status::NotFound("series id " + std::to_string(id) +
+                            " out of range");
+  }
+  const uint64_t persisted = count_ - buffered_series_;
+  if (id >= persisted) {
+    // Still in the append buffer.
+    const size_t pos =
+        static_cast<size_t>(id - persisted) * series_length_;
+    std::memcpy(out.data(), append_buffer_.data() + pos,
+                series_length_ * sizeof(float));
+    return Status::OK();
+  }
+  const uint64_t offset =
+      kPageSize + id * static_cast<uint64_t>(series_length_) * sizeof(float);
+  return file_->ReadAt(offset, out.data(), series_length_ * sizeof(float));
+}
+
+}  // namespace core
+}  // namespace coconut

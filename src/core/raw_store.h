@@ -1,0 +1,61 @@
+#ifndef COCONUT_CORE_RAW_STORE_H_
+#define COCONUT_CORE_RAW_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "storage/storage_manager.h"
+
+namespace coconut {
+namespace core {
+
+/// The raw data series file. Series are appended once (sequential writes,
+/// buffered) and fetched by ordinal id (one random read each) — the
+/// "access the raw data file to fetch the original data series" cost that
+/// non-materialized indexes pay at query time (Section 2 of the paper).
+class RawSeriesStore {
+ public:
+  /// Creates an empty store for series of `series_length` points.
+  static Result<std::unique_ptr<RawSeriesStore>> Create(
+      storage::StorageManager* storage, const std::string& name,
+      int series_length);
+
+  /// Opens an existing store.
+  static Result<std::unique_ptr<RawSeriesStore>> Open(
+      storage::StorageManager* storage, const std::string& name);
+
+  /// Appends one series (values.size() must equal series_length); returns
+  /// its id. Writes are buffered; call Flush() before reading new ids.
+  Result<uint64_t> Append(std::span<const float> values);
+
+  /// Reads series `id` into `out` (size series_length).
+  Status Get(uint64_t id, std::span<float> out) const;
+
+  /// Drains the append buffer and persists the header.
+  Status Flush();
+
+  uint64_t count() const { return count_; }
+  int series_length() const { return series_length_; }
+  uint64_t file_bytes() const { return file_->size_bytes(); }
+
+ private:
+  RawSeriesStore(std::unique_ptr<storage::File> file, int series_length,
+                 uint64_t count)
+      : file_(std::move(file)), series_length_(series_length), count_(count) {}
+
+  Status WriteHeader();
+
+  std::unique_ptr<storage::File> file_;
+  int series_length_;
+  uint64_t count_;
+  std::vector<float> append_buffer_;
+  uint64_t buffered_series_ = 0;
+};
+
+}  // namespace core
+}  // namespace coconut
+
+#endif  // COCONUT_CORE_RAW_STORE_H_

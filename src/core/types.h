@@ -1,0 +1,70 @@
+#ifndef COCONUT_CORE_TYPES_H_
+#define COCONUT_CORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+
+namespace coconut {
+namespace core {
+
+/// Closed time interval [begin, end] over entry timestamps. Streaming
+/// queries ("find the nearest neighbor within the last hour") carry one.
+struct TimeWindow {
+  int64_t begin = std::numeric_limits<int64_t>::min();
+  int64_t end = std::numeric_limits<int64_t>::max();
+
+  bool Contains(int64_t t) const { return t >= begin && t <= end; }
+
+  bool Intersects(int64_t lo, int64_t hi) const {
+    return lo <= end && hi >= begin;
+  }
+
+  /// Whether [lo, hi] lies entirely inside the window (no per-entry
+  /// timestamp checks needed for such a partition).
+  bool Covers(int64_t lo, int64_t hi) const { return begin <= lo && hi <= end; }
+
+  static TimeWindow All() { return TimeWindow{}; }
+};
+
+/// Outcome of a similarity query.
+struct SearchResult {
+  bool found = false;
+  uint64_t series_id = 0;
+  /// Squared Euclidean distance between the (z-normalized) query and match.
+  double distance_sq = std::numeric_limits<double>::infinity();
+  int64_t timestamp = 0;
+
+  /// Replaces this result if `other` is closer.
+  void Improve(const SearchResult& other) {
+    if (other.found && other.distance_sq < distance_sq) *this = other;
+  }
+};
+
+/// Per-query knobs.
+struct SearchOptions {
+  /// Temporal constraint; entries outside are ignored. Default: unbounded.
+  TimeWindow window = TimeWindow::All();
+  /// How many best-summarization candidates an approximate search verifies
+  /// against the raw series (non-materialized indexes pay one random I/O
+  /// per verification).
+  int approx_candidates = 10;
+};
+
+/// Counters describing how one query executed (reported next to IoStats).
+struct QueryCounters {
+  uint64_t leaves_visited = 0;
+  uint64_t leaves_pruned = 0;
+  uint64_t entries_examined = 0;
+  uint64_t raw_fetches = 0;
+  uint64_t partitions_visited = 0;
+  uint64_t partitions_skipped = 0;
+
+  void Reset() { *this = QueryCounters{}; }
+};
+
+}  // namespace core
+}  // namespace coconut
+
+#endif  // COCONUT_CORE_TYPES_H_

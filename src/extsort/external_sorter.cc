@@ -1,0 +1,381 @@
+#include "extsort/external_sorter.h"
+
+#include <algorithm>
+#include <cstring>
+#include <queue>
+
+#include "storage/page.h"
+
+namespace coconut {
+namespace extsort {
+
+namespace {
+
+using storage::kPageSize;
+
+/// Streams a sorted in-memory buffer.
+class VectorStream : public SortedStream {
+ public:
+  VectorStream(std::vector<uint8_t> data, size_t record_size)
+      : data_(std::move(data)), record_size_(record_size) {}
+
+  Result<bool> Next(uint8_t* out) override {
+    if (pos_ >= data_.size()) return false;
+    std::memcpy(out, data_.data() + pos_, record_size_);
+    pos_ += record_size_;
+    return true;
+  }
+
+  size_t record_size() const override { return record_size_; }
+
+ private:
+  std::vector<uint8_t> data_;
+  size_t record_size_;
+  size_t pos_ = 0;
+};
+
+/// Buffered sequential reader over a spilled run file. `buffer_bytes` is
+/// the read-ahead granularity: larger buffers amortize the seek paid when a
+/// k-way merge switches between run files, which is why merge fan-in is
+/// bounded by the memory budget.
+class RunFileStream : public SortedStream {
+ public:
+  RunFileStream(std::unique_ptr<storage::File> file, size_t record_size,
+                size_t buffer_bytes)
+      : file_(std::move(file)), record_size_(record_size) {
+    chunk_records_ = std::max<size_t>(
+        1, std::max(kPageSize, buffer_bytes) / record_size_);
+    chunk_.resize(chunk_records_ * record_size_);
+  }
+
+  Result<bool> Next(uint8_t* out) override {
+    if (chunk_pos_ >= chunk_filled_) {
+      COCONUT_RETURN_NOT_OK(Refill());
+      if (chunk_filled_ == 0) return false;
+    }
+    std::memcpy(out, chunk_.data() + chunk_pos_, record_size_);
+    chunk_pos_ += record_size_;
+    return true;
+  }
+
+  size_t record_size() const override { return record_size_; }
+
+ private:
+  Status Refill() {
+    chunk_pos_ = 0;
+    chunk_filled_ = 0;
+    const uint64_t remaining = file_->size_bytes() - file_offset_;
+    if (remaining == 0) return Status::OK();
+    const size_t to_read =
+        static_cast<size_t>(std::min<uint64_t>(remaining, chunk_.size()));
+    COCONUT_RETURN_NOT_OK(file_->ReadAt(file_offset_, chunk_.data(), to_read));
+    file_offset_ += to_read;
+    chunk_filled_ = to_read;
+    return Status::OK();
+  }
+
+  std::unique_ptr<storage::File> file_;
+  size_t record_size_;
+  size_t chunk_records_;
+  std::vector<uint8_t> chunk_;
+  size_t chunk_pos_ = 0;
+  size_t chunk_filled_ = 0;
+  uint64_t file_offset_ = 0;
+};
+
+/// K-way merge over child streams (binary heap on the lookahead record).
+class MergeStream : public SortedStream {
+ public:
+  MergeStream(std::vector<SortedStream*> children, size_t record_size,
+              std::function<bool(const uint8_t*, const uint8_t*)> less)
+      : children_(std::move(children)),
+        record_size_(record_size),
+        less_(std::move(less)) {
+    lookahead_.resize(children_.size() * record_size_);
+  }
+
+  /// Loads the first record of every child. Must be called once before Next.
+  Status Init() {
+    for (size_t i = 0; i < children_.size(); ++i) {
+      COCONUT_ASSIGN_OR_RETURN(bool has,
+                               children_[i]->Next(LookaheadFor(i)));
+      if (has) heap_.push_back(i);
+    }
+    auto cmp = [this](size_t a, size_t b) {
+      // std::push_heap builds a max-heap; invert to pop the smallest.
+      return less_(LookaheadFor(b), LookaheadFor(a));
+    };
+    std::make_heap(heap_.begin(), heap_.end(), cmp);
+    return Status::OK();
+  }
+
+  Result<bool> Next(uint8_t* out) override {
+    if (heap_.empty()) return false;
+    auto cmp = [this](size_t a, size_t b) {
+      return less_(LookaheadFor(b), LookaheadFor(a));
+    };
+    std::pop_heap(heap_.begin(), heap_.end(), cmp);
+    const size_t idx = heap_.back();
+    std::memcpy(out, LookaheadFor(idx), record_size_);
+    COCONUT_ASSIGN_OR_RETURN(bool has, children_[idx]->Next(LookaheadFor(idx)));
+    if (has) {
+      std::push_heap(heap_.begin(), heap_.end(), cmp);
+    } else {
+      heap_.pop_back();
+    }
+    return true;
+  }
+
+  size_t record_size() const override { return record_size_; }
+
+ private:
+  uint8_t* LookaheadFor(size_t i) { return lookahead_.data() + i * record_size_; }
+
+  std::vector<SortedStream*> children_;
+  size_t record_size_;
+  std::function<bool(const uint8_t*, const uint8_t*)> less_;
+  std::vector<uint8_t> lookahead_;
+  std::vector<size_t> heap_;
+};
+
+/// Owns child streams and the merge over them.
+class OwningMergeStream : public SortedStream {
+ public:
+  OwningMergeStream(std::vector<std::unique_ptr<SortedStream>> owned,
+                    size_t record_size,
+                    std::function<bool(const uint8_t*, const uint8_t*)> less)
+      : owned_(std::move(owned)) {
+    std::vector<SortedStream*> raw;
+    raw.reserve(owned_.size());
+    for (auto& s : owned_) raw.push_back(s.get());
+    merge_ = std::make_unique<MergeStream>(std::move(raw), record_size,
+                                           std::move(less));
+  }
+
+  Status Init() { return merge_->Init(); }
+
+  Result<bool> Next(uint8_t* out) override { return merge_->Next(out); }
+  size_t record_size() const override { return merge_->record_size(); }
+
+ private:
+  std::vector<std::unique_ptr<SortedStream>> owned_;
+  std::unique_ptr<MergeStream> merge_;
+};
+
+}  // namespace
+
+ExternalSorter::ExternalSorter(Options options)
+    : options_(std::move(options)) {
+  max_buffered_records_ =
+      std::max<size_t>(1, options_.memory_budget_bytes / options_.record_size);
+  buffer_.reserve(std::min<size_t>(max_buffered_records_, 4096) *
+                  options_.record_size);
+}
+
+ExternalSorter::~ExternalSorter() {
+  // Best-effort cleanup of any leftover run files.
+  for (const auto& name : run_names_) {
+    (void)options_.storage->RemoveFile(name);
+  }
+}
+
+Result<std::unique_ptr<ExternalSorter>> ExternalSorter::Create(
+    Options options) {
+  if (options.record_size == 0) {
+    return Status::InvalidArgument("record_size must be > 0");
+  }
+  if (options.storage == nullptr) {
+    return Status::InvalidArgument("storage manager is required");
+  }
+  if (!options.less) {
+    return Status::InvalidArgument("comparator is required");
+  }
+  return std::unique_ptr<ExternalSorter>(new ExternalSorter(std::move(options)));
+}
+
+Status ExternalSorter::Add(const void* record) {
+  if (finished_) return Status::Internal("Add after Finish");
+  if (buffered_records_ >= max_buffered_records_) {
+    COCONUT_RETURN_NOT_OK(SpillRun());
+  }
+  const auto* bytes = static_cast<const uint8_t*>(record);
+  buffer_.insert(buffer_.end(), bytes, bytes + options_.record_size);
+  ++buffered_records_;
+  ++stats_.records;
+  return Status::OK();
+}
+
+Status ExternalSorter::SpillRun() {
+  if (buffered_records_ == 0) return Status::OK();
+  // Sort pointers into the buffer, then emit in order.
+  std::vector<const uint8_t*> ptrs(buffered_records_);
+  for (size_t i = 0; i < buffered_records_; ++i) {
+    ptrs[i] = buffer_.data() + i * options_.record_size;
+  }
+  std::sort(ptrs.begin(), ptrs.end(), options_.less);
+
+  const std::string name =
+      options_.temp_prefix + ".run" + std::to_string(next_run_id_++);
+  COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> file,
+                           options_.storage->CreateFile(name));
+  // Write in page-sized batches for sequential I/O.
+  std::vector<uint8_t> out;
+  out.reserve(kPageSize + options_.record_size);
+  for (const uint8_t* p : ptrs) {
+    out.insert(out.end(), p, p + options_.record_size);
+    if (out.size() >= kPageSize) {
+      COCONUT_RETURN_NOT_OK(file->Append(out.data(), out.size()));
+      out.clear();
+    }
+  }
+  if (!out.empty()) {
+    COCONUT_RETURN_NOT_OK(file->Append(out.data(), out.size()));
+  }
+  run_names_.push_back(name);
+  ++stats_.runs_spilled;
+  buffer_.clear();
+  buffered_records_ = 0;
+  return Status::OK();
+}
+
+Result<std::string> ExternalSorter::MergeRuns(
+    const std::vector<std::string>& inputs, const std::string& output_name) {
+  const size_t merge_buffer =
+      std::max<size_t>(kPageSize,
+                       options_.memory_budget_bytes / (inputs.size() + 1));
+  std::vector<std::unique_ptr<SortedStream>> streams;
+  streams.reserve(inputs.size());
+  for (const auto& name : inputs) {
+    COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> file,
+                             options_.storage->OpenFile(name));
+    streams.push_back(std::make_unique<RunFileStream>(
+        std::move(file), options_.record_size, merge_buffer));
+  }
+  OwningMergeStream merge(std::move(streams), options_.record_size,
+                          options_.less);
+  COCONUT_RETURN_NOT_OK(merge.Init());
+
+  COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> out_file,
+                           options_.storage->CreateFile(output_name));
+  std::vector<uint8_t> record(options_.record_size);
+  std::vector<uint8_t> out;
+  out.reserve(kPageSize + options_.record_size);
+  while (true) {
+    COCONUT_ASSIGN_OR_RETURN(bool has, merge.Next(record.data()));
+    if (!has) break;
+    out.insert(out.end(), record.begin(), record.end());
+    if (out.size() >= kPageSize) {
+      COCONUT_RETURN_NOT_OK(out_file->Append(out.data(), out.size()));
+      out.clear();
+    }
+  }
+  if (!out.empty()) {
+    COCONUT_RETURN_NOT_OK(out_file->Append(out.data(), out.size()));
+  }
+  // Inputs merged; delete them.
+  for (const auto& name : inputs) {
+    COCONUT_RETURN_NOT_OK(options_.storage->RemoveFile(name));
+  }
+  return output_name;
+}
+
+Result<std::unique_ptr<SortedStream>> ExternalSorter::Finish() {
+  if (finished_) return Status::Internal("Finish called twice");
+  finished_ = true;
+
+  // Everything fits: a single in-memory sorted stream, zero I/O.
+  if (run_names_.empty()) {
+    std::vector<const uint8_t*> ptrs(buffered_records_);
+    for (size_t i = 0; i < buffered_records_; ++i) {
+      ptrs[i] = buffer_.data() + i * options_.record_size;
+    }
+    std::sort(ptrs.begin(), ptrs.end(), options_.less);
+    std::vector<uint8_t> sorted;
+    sorted.reserve(buffer_.size());
+    for (const uint8_t* p : ptrs) {
+      sorted.insert(sorted.end(), p, p + options_.record_size);
+    }
+    buffer_.clear();
+    buffered_records_ = 0;
+    stats_.in_memory = true;
+    return std::unique_ptr<SortedStream>(
+        std::make_unique<VectorStream>(std::move(sorted), options_.record_size));
+  }
+
+  // Spill the tail so every record is in some run.
+  COCONUT_RETURN_NOT_OK(SpillRun());
+
+  // Bound the merge fan-in by the memory budget: one page per input run
+  // plus one output page.
+  const size_t fan_in = std::max<size_t>(
+      2, options_.memory_budget_bytes / kPageSize > 1
+             ? options_.memory_budget_bytes / kPageSize - 1
+             : 2);
+
+  // Multi-pass merging under extreme memory pressure.
+  std::vector<std::string> pending = run_names_;
+  while (pending.size() > fan_in) {
+    ++stats_.merge_passes;
+    std::vector<std::string> next;
+    for (size_t i = 0; i < pending.size(); i += fan_in) {
+      const size_t end = std::min(pending.size(), i + fan_in);
+      std::vector<std::string> group(pending.begin() + i,
+                                     pending.begin() + end);
+      if (group.size() == 1) {
+        next.push_back(group[0]);
+        continue;
+      }
+      const std::string out_name =
+          options_.temp_prefix + ".merge" + std::to_string(next_run_id_++);
+      COCONUT_ASSIGN_OR_RETURN(std::string merged,
+                               MergeRuns(group, out_name));
+      next.push_back(merged);
+    }
+    pending = std::move(next);
+  }
+  run_names_ = pending;
+  ++stats_.merge_passes;
+
+  // Final merge streamed to the caller.
+  const size_t merge_buffer =
+      std::max<size_t>(kPageSize,
+                       options_.memory_budget_bytes / (run_names_.size() + 1));
+  std::vector<std::unique_ptr<SortedStream>> streams;
+  for (const auto& name : run_names_) {
+    COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> file,
+                             options_.storage->OpenFile(name));
+    streams.push_back(std::make_unique<RunFileStream>(
+        std::move(file), options_.record_size, merge_buffer));
+  }
+  auto merge = std::make_unique<OwningMergeStream>(
+      std::move(streams), options_.record_size, options_.less);
+  COCONUT_RETURN_NOT_OK(merge->Init());
+  return std::unique_ptr<SortedStream>(std::move(merge));
+}
+
+Result<std::vector<uint8_t>> SortToBytes(ExternalSorter::Options options,
+                                         const std::vector<uint8_t>& records) {
+  const size_t record_size = options.record_size;
+  if (record_size == 0 || records.size() % record_size != 0) {
+    return Status::InvalidArgument("records not a multiple of record_size");
+  }
+  COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<ExternalSorter> sorter,
+                           ExternalSorter::Create(std::move(options)));
+  for (size_t off = 0; off < records.size(); off += record_size) {
+    COCONUT_RETURN_NOT_OK(sorter->Add(records.data() + off));
+  }
+  COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<SortedStream> stream,
+                           sorter->Finish());
+  std::vector<uint8_t> out;
+  out.reserve(records.size());
+  std::vector<uint8_t> record(record_size);
+  while (true) {
+    COCONUT_ASSIGN_OR_RETURN(bool has, stream->Next(record.data()));
+    if (!has) break;
+    out.insert(out.end(), record.begin(), record.end());
+  }
+  return out;
+}
+
+}  // namespace extsort
+}  // namespace coconut

@@ -1,0 +1,104 @@
+#ifndef COCONUT_EXTSORT_EXTERNAL_SORTER_H_
+#define COCONUT_EXTSORT_EXTERNAL_SORTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/storage_manager.h"
+
+namespace coconut {
+namespace extsort {
+
+/// Pull-based stream of sorted fixed-size records.
+class SortedStream {
+ public:
+  virtual ~SortedStream() = default;
+
+  /// Copies the next record into `out` (record_size bytes). Returns false at
+  /// end of stream; a non-OK status only on I/O failure.
+  virtual Result<bool> Next(uint8_t* out) = 0;
+
+  virtual size_t record_size() const = 0;
+};
+
+/// Counters describing how a sort executed — the evidence for the
+/// memory-vs-construction experiment (E5): with enough memory the sort is
+/// one in-memory pass; with less it spills runs and merges them with
+/// sequential I/O; with very little it needs multiple merge passes.
+struct SortStats {
+  uint64_t records = 0;
+  uint64_t runs_spilled = 0;
+  uint64_t merge_passes = 0;
+  bool in_memory = false;
+};
+
+/// Two-pass (or multi-pass under extreme memory pressure) external merge
+/// sort over fixed-size binary records, the construction engine of every
+/// Coconut index. Records are accumulated up to the memory budget, sorted,
+/// and spilled as sequential runs; Finish() k-way-merges the runs into one
+/// sorted stream using one input page per run plus one output page.
+class ExternalSorter {
+ public:
+  struct Options {
+    /// Size of one record in bytes (> 0).
+    size_t record_size = 0;
+    /// Cap on buffered bytes before spilling a run. Also bounds merge
+    /// fan-in: max_fan_in = budget / kPageSize - 1 (>= 2).
+    size_t memory_budget_bytes = 64 << 20;
+    /// Where run files live. Not owned.
+    storage::StorageManager* storage = nullptr;
+    /// Prefix for run file names (unique per concurrent sort).
+    std::string temp_prefix = "sort";
+    /// Strict-weak-order over serialized records.
+    std::function<bool(const uint8_t*, const uint8_t*)> less;
+  };
+
+  /// Validates options; fails on zero record size / missing storage / less.
+  static Result<std::unique_ptr<ExternalSorter>> Create(Options options);
+
+  ~ExternalSorter();
+
+  ExternalSorter(const ExternalSorter&) = delete;
+  ExternalSorter& operator=(const ExternalSorter&) = delete;
+
+  /// Buffers one record, spilling a sorted run if the budget is exhausted.
+  Status Add(const void* record);
+
+  /// Seals input and returns the merged sorted stream. The sorter must stay
+  /// alive while the stream is consumed. Call at most once.
+  Result<std::unique_ptr<SortedStream>> Finish();
+
+  const SortStats& stats() const { return stats_; }
+
+ private:
+  explicit ExternalSorter(Options options);
+
+  Status SpillRun();
+  Result<std::string> MergeRuns(const std::vector<std::string>& inputs,
+                                const std::string& output_name);
+
+  Options options_;
+  size_t max_buffered_records_;
+  std::vector<uint8_t> buffer_;
+  size_t buffered_records_ = 0;
+  std::vector<std::string> run_names_;
+  uint64_t next_run_id_ = 0;
+  SortStats stats_;
+  bool finished_ = false;
+  // Keeps merge inputs alive while the final stream is consumed.
+  std::vector<std::unique_ptr<SortedStream>> live_inputs_;
+};
+
+/// Convenience for tests: sorts `records` (concatenated fixed-size records)
+/// and returns the sorted concatenation.
+Result<std::vector<uint8_t>> SortToBytes(ExternalSorter::Options options,
+                                         const std::vector<uint8_t>& records);
+
+}  // namespace extsort
+}  // namespace coconut
+
+#endif  // COCONUT_EXTSORT_EXTERNAL_SORTER_H_

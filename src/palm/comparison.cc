@@ -1,0 +1,52 @@
+#include "palm/comparison.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace coconut {
+namespace palm {
+
+std::string RenderBarChart(const std::string& title, const std::string& unit,
+                           const std::vector<ComparisonRow>& rows, int width) {
+  std::string out = "== " + title + " (" + unit + ") ==\n";
+  double max_value = 0.0;
+  size_t label_width = 0;
+  for (const auto& row : rows) {
+    max_value = std::max(max_value, row.value);
+    label_width = std::max(label_width, row.label.size());
+  }
+  for (const auto& row : rows) {
+    std::string label = row.label;
+    label.resize(label_width, ' ');
+    int bar = 0;
+    if (max_value > 0) {
+      bar = static_cast<int>(row.value / max_value * width + 0.5);
+    }
+    char value_buf[32];
+    std::snprintf(value_buf, sizeof(value_buf), "%.3g", row.value);
+    out += "  " + label + " |" + std::string(bar, '#') + " " + value_buf +
+           "\n";
+  }
+  return out;
+}
+
+void ComparisonToJson(const std::string& title, const std::string& unit,
+                      const std::vector<ComparisonRow>& rows,
+                      JsonWriter* writer) {
+  writer->BeginObject();
+  writer->Field("title", title);
+  writer->Field("unit", unit);
+  writer->Key("rows");
+  writer->BeginArray();
+  for (const auto& row : rows) {
+    writer->BeginObject();
+    writer->Field("label", row.label);
+    writer->Field("value", row.value);
+    writer->EndObject();
+  }
+  writer->EndArray();
+  writer->EndObject();
+}
+
+}  // namespace palm
+}  // namespace coconut

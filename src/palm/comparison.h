@@ -1,0 +1,32 @@
+#ifndef COCONUT_PALM_COMPARISON_H_
+#define COCONUT_PALM_COMPARISON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace coconut {
+namespace palm {
+
+/// One bar of a GUI comparison panel (construction speed, storage
+/// consumption, query latency across index variants — Section 4).
+struct ComparisonRow {
+  std::string label;
+  double value = 0.0;
+};
+
+/// Renders a horizontal text bar chart, bars scaled to the largest value.
+std::string RenderBarChart(const std::string& title, const std::string& unit,
+                           const std::vector<ComparisonRow>& rows,
+                           int width = 48);
+
+/// Serializes a panel for the GUI client.
+void ComparisonToJson(const std::string& title, const std::string& unit,
+                      const std::vector<ComparisonRow>& rows,
+                      JsonWriter* writer);
+
+}  // namespace palm
+}  // namespace coconut
+
+#endif  // COCONUT_PALM_COMPARISON_H_

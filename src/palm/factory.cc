@@ -1,0 +1,185 @@
+#include "palm/factory.h"
+
+#include "core/adapters.h"
+#include "stream/btp.h"
+#include "stream/pp.h"
+#include "stream/tp.h"
+
+namespace coconut {
+namespace palm {
+
+namespace {
+
+std::string FamilyName(const VariantSpec& spec) {
+  switch (spec.family) {
+    case IndexFamily::kAds:
+      return spec.materialized ? "ADSFull" : "ADS+";
+    case IndexFamily::kCTree:
+      return spec.materialized ? "CTreeFull" : "CTree";
+    case IndexFamily::kClsm:
+      return spec.materialized ? "CLSMFull" : "CLSM";
+  }
+  return "?";
+}
+
+// ADS+'s in-memory budget in entries, derived from the byte budget.
+size_t AdsBufferEntries(const VariantSpec& spec) {
+  const size_t record = sizeof(core::IndexEntry) +
+                        (spec.materialized
+                             ? spec.sax.series_length * sizeof(float)
+                             : 0);
+  return std::max<size_t>(64, spec.memory_budget_bytes / record);
+}
+
+Result<std::unique_ptr<core::DataSeriesIndex>> MakeInner(
+    const VariantSpec& spec, storage::StorageManager* storage,
+    const std::string& name, storage::BufferPool* pool,
+    core::RawSeriesStore* raw) {
+  switch (spec.family) {
+    case IndexFamily::kAds: {
+      ads::AdsIndex::Options opts;
+      opts.sax = spec.sax;
+      opts.materialized = spec.materialized;
+      opts.leaf_capacity = spec.ads_leaf_capacity;
+      opts.global_buffer_entries = AdsBufferEntries(spec);
+      COCONUT_ASSIGN_OR_RETURN(
+          std::unique_ptr<core::AdsIndexAdapter> adapter,
+          core::AdsIndexAdapter::Create(storage, name, opts, raw));
+      return std::unique_ptr<core::DataSeriesIndex>(std::move(adapter));
+    }
+    case IndexFamily::kCTree: {
+      ctree::CTree::Options opts;
+      opts.sax = spec.sax;
+      opts.materialized = spec.materialized;
+      opts.fill_factor = spec.fill_factor;
+      opts.sort_memory_bytes = spec.memory_budget_bytes;
+      COCONUT_ASSIGN_OR_RETURN(
+          std::unique_ptr<core::CTreeIndexAdapter> adapter,
+          core::CTreeIndexAdapter::Create(storage, name, opts, pool, raw));
+      return std::unique_ptr<core::DataSeriesIndex>(std::move(adapter));
+    }
+    case IndexFamily::kClsm: {
+      clsm::Clsm::Options opts;
+      opts.sax = spec.sax;
+      opts.materialized = spec.materialized;
+      opts.growth_factor = spec.growth_factor;
+      opts.buffer_entries = spec.buffer_entries;
+      COCONUT_ASSIGN_OR_RETURN(
+          std::unique_ptr<core::ClsmIndexAdapter> adapter,
+          core::ClsmIndexAdapter::Create(storage, name, opts, pool, raw));
+      return std::unique_ptr<core::DataSeriesIndex>(std::move(adapter));
+    }
+  }
+  return Status::InvalidArgument("unknown index family");
+}
+
+}  // namespace
+
+std::string VariantName(const VariantSpec& spec) {
+  std::string name = FamilyName(spec);
+  switch (spec.mode) {
+    case StreamMode::kStatic:
+      break;
+    case StreamMode::kPP:
+      name += "-PP";
+      break;
+    case StreamMode::kTP:
+      name += "-TP";
+      break;
+    case StreamMode::kBTP:
+      name += "-BTP";
+      break;
+  }
+  return name;
+}
+
+bool SpecIsValid(const VariantSpec& spec, std::string* why) {
+  if (!spec.sax.Valid()) {
+    if (why != nullptr) *why = "invalid SaxConfig";
+    return false;
+  }
+  if (spec.mode == StreamMode::kBTP && spec.family != IndexFamily::kClsm) {
+    if (why != nullptr) {
+      *why = "BTP requires sort-merged partitions; only the Coconut LSM "
+             "variant supports it (Figure 1)";
+    }
+    return false;
+  }
+  if (spec.mode == StreamMode::kTP && spec.family == IndexFamily::kClsm) {
+    if (why != nullptr) {
+      *why = "CLSM already merges log-structured runs; plain TP applies to "
+             "ADS+ and CTree partitions (Figure 1)";
+    }
+    return false;
+  }
+  return true;
+}
+
+Result<std::unique_ptr<core::DataSeriesIndex>> CreateStaticIndex(
+    const VariantSpec& spec, storage::StorageManager* storage,
+    const std::string& name, storage::BufferPool* pool,
+    core::RawSeriesStore* raw) {
+  std::string why;
+  if (!SpecIsValid(spec, &why)) return Status::InvalidArgument(why);
+  if (spec.mode != StreamMode::kStatic) {
+    return Status::InvalidArgument(
+        "CreateStaticIndex called with a streaming mode");
+  }
+  return MakeInner(spec, storage, name, pool, raw);
+}
+
+Result<std::unique_ptr<stream::StreamingIndex>> CreateStreamingIndex(
+    const VariantSpec& spec, storage::StorageManager* storage,
+    const std::string& name, storage::BufferPool* pool,
+    core::RawSeriesStore* raw) {
+  std::string why;
+  if (!SpecIsValid(spec, &why)) return Status::InvalidArgument(why);
+  switch (spec.mode) {
+    case StreamMode::kStatic:
+      return Status::InvalidArgument(
+          "CreateStreamingIndex called with kStatic mode");
+    case StreamMode::kPP: {
+      COCONUT_ASSIGN_OR_RETURN(
+          std::unique_ptr<core::DataSeriesIndex> inner,
+          MakeInner(spec, storage, name, pool, raw));
+      // PP over CTree inserts top-down into the B-tree: finalize the empty
+      // bulk build up front so Ingest takes the insert path.
+      if (spec.family == IndexFamily::kCTree) {
+        COCONUT_RETURN_NOT_OK(inner->Finalize());
+      }
+      return std::unique_ptr<stream::StreamingIndex>(
+          std::make_unique<stream::PostProcessingIndex>(std::move(inner)));
+    }
+    case StreamMode::kTP: {
+      stream::TemporalPartitioningIndex::Options opts;
+      opts.sax = spec.sax;
+      opts.materialized = spec.materialized;
+      opts.backend = spec.family == IndexFamily::kAds
+                         ? stream::PartitionBackend::kAds
+                         : stream::PartitionBackend::kSeqTable;
+      opts.buffer_entries = spec.buffer_entries;
+      opts.ads_leaf_capacity = spec.ads_leaf_capacity;
+      COCONUT_ASSIGN_OR_RETURN(
+          std::unique_ptr<stream::TemporalPartitioningIndex> tp,
+          stream::TemporalPartitioningIndex::Create(storage, name, opts, pool,
+                                                    raw));
+      return std::unique_ptr<stream::StreamingIndex>(std::move(tp));
+    }
+    case StreamMode::kBTP: {
+      stream::BoundedTemporalPartitioningIndex::BtpOptions opts;
+      opts.sax = spec.sax;
+      opts.materialized = spec.materialized;
+      opts.buffer_entries = spec.buffer_entries;
+      opts.merge_k = spec.btp_merge_k;
+      COCONUT_ASSIGN_OR_RETURN(
+          std::unique_ptr<stream::BoundedTemporalPartitioningIndex> btp,
+          stream::BoundedTemporalPartitioningIndex::Create(storage, name,
+                                                           opts, pool, raw));
+      return std::unique_ptr<stream::StreamingIndex>(std::move(btp));
+    }
+  }
+  return Status::InvalidArgument("unknown stream mode");
+}
+
+}  // namespace palm
+}  // namespace coconut

@@ -1,0 +1,67 @@
+#ifndef COCONUT_PALM_FACTORY_H_
+#define COCONUT_PALM_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "core/index.h"
+#include "series/isax.h"
+#include "core/raw_store.h"
+#include "storage/buffer_pool.h"
+#include "storage/storage_manager.h"
+#include "stream/streaming_index.h"
+
+namespace coconut {
+namespace palm {
+
+/// The three index families of the demo.
+enum class IndexFamily { kAds, kCTree, kClsm };
+
+/// Streaming scheme (kStatic = no temporal dimension).
+enum class StreamMode { kStatic, kPP, kTP, kBTP };
+
+/// One cell of the Figure-1 variant matrix plus its tuning knobs. The
+/// factory validates combinations against the matrix: BTP exists only for
+/// CLSM (it requires sort-merged partitions), TP only for ADS+/CTree.
+struct VariantSpec {
+  IndexFamily family = IndexFamily::kCTree;
+  bool materialized = false;
+  StreamMode mode = StreamMode::kStatic;
+  series::SaxConfig sax;
+
+  /// CTree: build-time leaf occupancy.
+  double fill_factor = 1.0;
+  /// CLSM: growth factor T.
+  int growth_factor = 4;
+  /// CLSM buffer / TP-BTP partition buffer, in entries.
+  size_t buffer_entries = 4096;
+  /// CTree construction-sort budget; also sizes the ADS+ global buffer.
+  size_t memory_budget_bytes = 64ull << 20;
+  /// ADS+: leaf split threshold.
+  size_t ads_leaf_capacity = 1024;
+  /// BTP: equal-size partitions per consolidation.
+  int btp_merge_k = 2;
+};
+
+/// Variant display name, e.g. "CTreeFull-PP", "CLSM-BTP", "ADS+".
+std::string VariantName(const VariantSpec& spec);
+
+/// Whether `spec` is a cell of the paper's variant matrix.
+bool SpecIsValid(const VariantSpec& spec, std::string* why);
+
+/// Creates a static (mode kStatic) index.
+Result<std::unique_ptr<core::DataSeriesIndex>> CreateStaticIndex(
+    const VariantSpec& spec, storage::StorageManager* storage,
+    const std::string& name, storage::BufferPool* pool,
+    core::RawSeriesStore* raw);
+
+/// Creates a streaming (PP/TP/BTP) index.
+Result<std::unique_ptr<stream::StreamingIndex>> CreateStreamingIndex(
+    const VariantSpec& spec, storage::StorageManager* storage,
+    const std::string& name, storage::BufferPool* pool,
+    core::RawSeriesStore* raw);
+
+}  // namespace palm
+}  // namespace coconut
+
+#endif  // COCONUT_PALM_FACTORY_H_

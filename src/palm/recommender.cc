@@ -1,0 +1,140 @@
+#include "palm/recommender.h"
+
+#include <algorithm>
+
+#include "core/entry.h"
+
+namespace coconut {
+namespace palm {
+
+namespace {
+
+// Materialization pays off once enough queries amortize the extra
+// construction and storage: each non-materialized query pays
+// approx_candidates-ish random fetches into the raw file, while
+// materializing costs roughly one extra sequential pass over the data.
+// The crossover used here mirrors the demo's Scenario-1 narrative.
+bool MaterializationPaysOff(const Scenario& s,
+                            std::vector<std::string>* rationale) {
+  // Random fetches saved per query vs sequential pages of extra build work.
+  const double fetches_saved_per_query = 10.0;
+  const double seq_to_rand_cost_ratio = 0.1;  // One seek ~ 10 seq pages.
+  const double extra_build_pages =
+      static_cast<double>(s.dataset_size) *
+      s.sax.series_length * sizeof(float) / 4096.0;
+  const double saved = s.expected_queries * fetches_saved_per_query;
+  const double paid = extra_build_pages * seq_to_rand_cost_ratio;
+  const bool pays = saved > paid;
+  if (pays) {
+    rationale->push_back(
+        "projected query count is high enough that the extra space and "
+        "construction cost of a materialized index is amortized by faster "
+        "queries (no raw-file fetches)");
+  } else {
+    rationale->push_back(
+        "few projected queries: a non-materialized index is smaller and "
+        "faster to build, and the occasional raw-file fetch at query time "
+        "is cheaper than materializing everything");
+  }
+  return pays;
+}
+
+}  // namespace
+
+Recommendation Recommend(const Scenario& scenario) {
+  Recommendation rec;
+  rec.spec.sax = scenario.sax;
+  rec.spec.memory_budget_bytes = scenario.memory_budget_bytes;
+  auto& why = rec.rationale;
+
+  if (scenario.storage_constrained) {
+    rec.spec.materialized = false;
+    why.push_back(
+        "storage is constrained: keep the index non-materialized (compact "
+        "Coconut indexes already avoid the sparse-node bloat of ADS+)");
+  }
+
+  if (scenario.streaming) {
+    // Continuous ingestion: log-structured writes are the only way to keep
+    // up without random I/O (Section 2, read/write trade-off).
+    rec.spec.family = IndexFamily::kClsm;
+    why.push_back(
+        "data keeps arriving: CoconutLSM ingests with sequential "
+        "log-structured writes while staying queryable");
+
+    if (scenario.window_queries) {
+      rec.spec.mode = StreamMode::kBTP;
+      why.push_back(
+          "queries carry temporal windows: Bounded Temporal Partitioning "
+          "skips partitions outside the window like TP, prunes large sorted "
+          "partitions like PP, and bounds the partitions an approximate "
+          "query touches");
+    } else {
+      rec.spec.mode = StreamMode::kPP;
+      why.push_back(
+          "no window constraints: a single log-structured index with "
+          "post-processing timestamp checks is simplest and has no "
+          "partition overhead");
+    }
+    if (!scenario.storage_constrained) {
+      rec.spec.materialized = MaterializationPaysOff(scenario, &why);
+    }
+    // Size the ingest buffer from the memory budget (half of it, leaving
+    // room for query-time caching), floor 256 entries.
+    const size_t record =
+        sizeof(core::IndexEntry) +
+        (rec.spec.materialized ? scenario.sax.series_length * sizeof(float)
+                               : 0);
+    rec.spec.buffer_entries = std::max<size_t>(
+        256, scenario.memory_budget_bytes / 2 / record);
+    rec.spec.growth_factor = 4;
+    return rec;
+  }
+
+  // Static collection.
+  if (scenario.update_ratio > 0.3) {
+    rec.spec.family = IndexFamily::kClsm;
+    rec.spec.mode =
+        scenario.window_queries ? StreamMode::kBTP : StreamMode::kStatic;
+    why.push_back(
+        "updates dominate the post-build workload: CoconutLSM absorbs them "
+        "with sequential merges instead of per-leaf random writes");
+  } else {
+    rec.spec.family = IndexFamily::kCTree;
+    rec.spec.mode =
+        scenario.window_queries ? StreamMode::kPP : StreamMode::kStatic;
+    why.push_back(
+        "the collection is (mostly) fixed: CoconutTree bulk-loads compactly "
+        "and contiguously via external sorting and is the fastest to query");
+    if (scenario.window_queries) {
+      why.push_back(
+          "occasional temporal constraints are handled by post-processing "
+          "timestamp checks inside the single tree");
+    }
+    if (scenario.update_ratio > 0.0) {
+      rec.spec.fill_factor = 0.7;
+      why.push_back(
+          "a trickle of updates is expected: build leaves at 70% occupancy "
+          "so inserts land in existing pages instead of splitting");
+    } else {
+      rec.spec.fill_factor = 1.0;
+      why.push_back("read-only workload: pack leaves full (fill factor 1.0)");
+    }
+  }
+
+  if (!scenario.storage_constrained) {
+    rec.spec.materialized = MaterializationPaysOff(scenario, &why);
+  }
+
+  if (scenario.memory_budget_bytes <
+      scenario.dataset_size * sizeof(core::IndexEntry)) {
+    why.push_back(
+        "memory is smaller than the summarization set: Coconut still builds "
+        "with a two-pass external sort, whereas buffering-based indexes "
+        "(ADS+) degrade to random I/O at this budget");
+  }
+  return rec;
+}
+
+}  // namespace palm
+}  // namespace coconut

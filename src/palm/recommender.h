@@ -1,0 +1,56 @@
+#ifndef COCONUT_PALM_RECOMMENDER_H_
+#define COCONUT_PALM_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "palm/factory.h"
+
+namespace coconut {
+namespace palm {
+
+/// Description of the application an index is wanted for — the knobs the
+/// Palm GUI exposes (Section 4: dataset kind, memory budget, anticipated
+/// window size, projected workload).
+struct Scenario {
+  /// Whether data keeps arriving during exploration (Scenario 2) or the
+  /// collection is fixed up front (Scenario 1).
+  bool streaming = false;
+  /// Expected number of data series.
+  uint64_t dataset_size = 1'000'000;
+  /// Series length and summarization shape.
+  series::SaxConfig sax;
+  /// Projected number of similarity queries in the exploration workflow.
+  uint64_t expected_queries = 10;
+  /// For static collections: fraction of post-build operations that are
+  /// inserts (0 = read-only).
+  double update_ratio = 0.0;
+  /// Available main memory.
+  uint64_t memory_budget_bytes = 256ull << 20;
+  /// Whether queries carry temporal windows of interest.
+  bool window_queries = false;
+  /// Typical window length as a fraction of retained history (0..1];
+  /// meaningful when window_queries is true.
+  double typical_window_fraction = 0.25;
+  /// Whether storage footprint is a first-class concern (e.g. cloud cost).
+  bool storage_constrained = false;
+};
+
+/// A recommendation plus the decision path that produced it. The
+/// recommender is a decision tree precisely so it can explain itself
+/// (Section 4: "designed as a decision tree to be able to provide users
+/// with the rationale for its advice").
+struct Recommendation {
+  VariantSpec spec;
+  std::vector<std::string> rationale;
+
+  std::string variant_name() const { return VariantName(spec); }
+};
+
+/// Runs the decision tree.
+Recommendation Recommend(const Scenario& scenario);
+
+}  // namespace palm
+}  // namespace coconut
+
+#endif  // COCONUT_PALM_RECOMMENDER_H_

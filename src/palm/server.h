@@ -1,0 +1,122 @@
+#ifndef COCONUT_PALM_SERVER_H_
+#define COCONUT_PALM_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "core/index.h"
+#include "core/raw_store.h"
+#include "palm/factory.h"
+#include "palm/recommender.h"
+#include "storage/buffer_pool.h"
+#include "storage/storage_manager.h"
+#include "stream/streaming_index.h"
+
+namespace coconut {
+namespace palm {
+
+/// A similarity query as the GUI client would issue it.
+struct QueryRequest {
+  std::string index;
+  /// Raw query series (the server z-normalizes).
+  std::vector<float> query;
+  bool exact = true;
+  std::optional<core::TimeWindow> window;
+  int approx_candidates = 10;
+  /// Capture the page-access pattern and embed a heat map in the response.
+  bool capture_heatmap = false;
+  size_t heatmap_time_bins = 16;
+  size_t heatmap_location_bins = 64;
+};
+
+/// The Coconut Palm algorithms server (Figure 1, right half) — in-process
+/// substitute for the demo's REST backend. The GUI's requests map to
+/// methods; every response is the JSON payload the PHP/JS client would
+/// plot. Each index gets its own working directory, IoStats and buffer
+/// pool so construction and query metrics are isolated per variant,
+/// exactly what the GUI's side-by-side comparison panels need.
+class Server {
+ public:
+  /// Creates a server rooted at `root_dir` (created if absent).
+  static Result<std::unique_ptr<Server>> Create(const std::string& root_dir,
+                                                size_t pool_bytes_per_index =
+                                                    4ull << 20);
+
+  /// Registers an in-memory dataset (z-normalized on ingestion). Optional
+  /// `timestamps` (one per series) for streaming experiments; defaults to
+  /// the series ordinal.
+  Status RegisterDataset(const std::string& name,
+                         const series::SeriesCollection& data,
+                         const std::vector<int64_t>* timestamps);
+
+  /// Builds a static index over a registered dataset. Returns the build
+  /// report JSON: construction seconds, sequential/random I/O, bytes.
+  Result<std::string> BuildIndex(const std::string& index_name,
+                                 const VariantSpec& spec,
+                                 const std::string& dataset_name);
+
+  /// Creates an empty streaming index.
+  Result<std::string> CreateStream(const std::string& stream_name,
+                                   const VariantSpec& spec);
+
+  /// Feeds a batch into a streaming index. Series ids continue from the
+  /// stream's current count. Returns the ingest report JSON.
+  Result<std::string> IngestBatch(const std::string& stream_name,
+                                  const series::SeriesCollection& batch,
+                                  const std::vector<int64_t>& timestamps);
+
+  /// Executes a query against a static or streaming index; returns the
+  /// query report JSON (match, distance, latency, I/O, optional heat map).
+  Result<std::string> Query(const QueryRequest& request);
+
+  /// Runs the recommender; returns {variant, spec knobs, rationale[]}.
+  std::string RecommendJson(const Scenario& scenario);
+
+  /// JSON array describing every index and stream (the GUI's index list).
+  std::string ListIndexes() const;
+
+  /// Direct access for examples/benches (nullptr when absent).
+  core::DataSeriesIndex* static_index(const std::string& name);
+  stream::StreamingIndex* stream_index(const std::string& name);
+  storage::StorageManager* index_storage(const std::string& name);
+
+ private:
+  struct Dataset {
+    series::SeriesCollection data{0};
+    std::vector<int64_t> timestamps;
+  };
+
+  struct IndexHandle {
+    VariantSpec spec;
+    std::unique_ptr<storage::StorageManager> storage;
+    std::unique_ptr<storage::BufferPool> pool;
+    std::unique_ptr<core::RawSeriesStore> raw;
+    std::unique_ptr<core::DataSeriesIndex> static_index;
+    std::unique_ptr<stream::StreamingIndex> stream_index;
+    uint64_t next_series_id = 0;
+    double build_seconds = 0.0;
+    storage::IoStats build_io;
+  };
+
+  Server(std::string root_dir, size_t pool_bytes)
+      : root_dir_(std::move(root_dir)), pool_bytes_(pool_bytes) {}
+
+  Result<IndexHandle*> NewHandle(const std::string& index_name,
+                                 const VariantSpec& spec);
+
+  static void WriteIoStats(const storage::IoStats& io, JsonWriter* w);
+
+  std::string root_dir_;
+  size_t pool_bytes_;
+  std::map<std::string, Dataset> datasets_;
+  std::map<std::string, std::unique_ptr<IndexHandle>> indexes_;
+};
+
+}  // namespace palm
+}  // namespace coconut
+
+#endif  // COCONUT_PALM_SERVER_H_

@@ -1,0 +1,70 @@
+#include "seqtable/merge.h"
+
+#include <algorithm>
+
+#include "core/entry.h"
+
+namespace coconut {
+namespace seqtable {
+
+namespace {
+
+using core::IndexEntry;
+
+// One input with a single-entry lookahead.
+struct Cursor {
+  SeqTable::Scanner scanner;
+  IndexEntry entry;
+  std::vector<float> payload;
+  bool has = false;
+
+  explicit Cursor(const SeqTable* table) : scanner(table->NewScanner()) {}
+
+  Status Advance() {
+    auto r = scanner.Next(&entry, &payload);
+    if (!r.ok()) return r.status();
+    has = r.value();
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SeqTable>> MergeTables(
+    storage::StorageManager* storage, const std::string& out_name,
+    const SeqTableOptions& options, const std::vector<const SeqTable*>& inputs,
+    storage::BufferPool* pool) {
+  COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<SeqTableBuilder> builder,
+                           SeqTableBuilder::Create(storage, out_name, options));
+
+  std::vector<std::unique_ptr<Cursor>> cursors;
+  cursors.reserve(inputs.size());
+  for (const SeqTable* table : inputs) {
+    auto cursor = std::make_unique<Cursor>(table);
+    COCONUT_RETURN_NOT_OK(cursor->Advance());
+    if (cursor->has) cursors.push_back(std::move(cursor));
+  }
+
+  // Small-k merge: linear scan for the minimum (k is the BTP merge factor
+  // or the LSM level count — single digits).
+  while (!cursors.empty()) {
+    size_t min_idx = 0;
+    for (size_t i = 1; i < cursors.size(); ++i) {
+      if (core::EntryKeyLess()(cursors[i]->entry, cursors[min_idx]->entry)) {
+        min_idx = i;
+      }
+    }
+    Cursor* c = cursors[min_idx].get();
+    COCONUT_RETURN_NOT_OK(builder->Add(
+        c->entry, options.materialized ? std::span<const float>(c->payload)
+                                       : std::span<const float>()));
+    COCONUT_RETURN_NOT_OK(c->Advance());
+    if (!c->has) cursors.erase(cursors.begin() + min_idx);
+  }
+
+  COCONUT_RETURN_NOT_OK(builder->Finish());
+  return SeqTable::Open(storage, out_name, pool);
+}
+
+}  // namespace seqtable
+}  // namespace coconut

@@ -1,0 +1,27 @@
+#ifndef COCONUT_SEQTABLE_MERGE_H_
+#define COCONUT_SEQTABLE_MERGE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "seqtable/seq_table.h"
+
+namespace coconut {
+namespace seqtable {
+
+/// Sort-merges any number of SeqTables into a fresh table named `out_name`
+/// (sequential reads of every input, sequential write of the output) and
+/// opens it. The inputs are left untouched; callers delete them when the
+/// swap is complete. This is the primitive behind BTP's partition
+/// consolidation — possible only because summarizations sort.
+Result<std::unique_ptr<SeqTable>> MergeTables(
+    storage::StorageManager* storage, const std::string& out_name,
+    const SeqTableOptions& options, const std::vector<const SeqTable*>& inputs,
+    storage::BufferPool* pool);
+
+}  // namespace seqtable
+}  // namespace coconut
+
+#endif  // COCONUT_SEQTABLE_MERGE_H_

@@ -1,0 +1,219 @@
+#ifndef COCONUT_SEQTABLE_SEQ_TABLE_H_
+#define COCONUT_SEQTABLE_SEQ_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/entry.h"
+#include "series/distance.h"
+#include "series/isax.h"
+#include "storage/buffer_pool.h"
+#include "storage/storage_manager.h"
+
+namespace coconut {
+namespace seqtable {
+
+/// In-memory summary of one leaf page, loaded from the on-disk directory.
+/// min_key orders leaves; [min_sym, max_sym] per segment define the leaf's
+/// SAX bounding region for MINDIST page pruning during exact search.
+struct LeafMeta {
+  series::SortableKey min_key;
+  series::SaxWord min_sym;
+  series::SaxWord max_sym;
+  uint32_t count = 0;
+  /// Physical page holding this leaf. Contiguous (1 + ordinal) right after
+  /// a bulk build; leaves appended by post-build inserts (splits) land at
+  /// the end of the file, which is exactly how update traffic erodes a
+  /// B-tree's contiguity.
+  uint64_t page_no = 0;
+};
+
+/// Decoded contents of one leaf page.
+struct LeafView {
+  std::vector<core::IndexEntry> entries;
+  /// Materialized tables only: entries.size() * series_length floats,
+  /// series i at [i*len, (i+1)*len).
+  std::vector<float> payloads;
+};
+
+/// Shape and materialization of a table.
+struct SeqTableOptions {
+  series::SaxConfig sax;
+  /// Materialized tables embed the series values next to each entry.
+  bool materialized = false;
+  /// Fraction of each leaf filled at build time (CTree's update headroom
+  /// knob). In (0, 1].
+  double fill_factor = 1.0;
+};
+
+class SeqTable;
+
+/// Streaming builder for the paper's Compact and Contiguous Sequence Table:
+/// entries must arrive in sortable-key order (the output of an external
+/// sort or an LSM merge) and are laid out densely page after page with
+/// purely sequential writes. Finish() appends the leaf directory and writes
+/// the header.
+class SeqTableBuilder {
+ public:
+  static Result<std::unique_ptr<SeqTableBuilder>> Create(
+      storage::StorageManager* storage, const std::string& name,
+      const SeqTableOptions& options);
+
+  /// Adds the next entry. `payload` must hold series_length values for
+  /// materialized tables and be empty otherwise. Entries must be
+  /// non-decreasing in key; out-of-order input is rejected.
+  Status Add(const core::IndexEntry& entry, std::span<const float> payload);
+
+  /// Seals the table. No Add calls may follow.
+  Status Finish();
+
+  uint64_t entries_added() const { return entries_added_; }
+
+  /// Entries that fit in one leaf at the configured fill factor.
+  size_t leaf_fill_target() const { return leaf_fill_target_; }
+
+ private:
+  SeqTableBuilder(storage::StorageManager* storage, std::string name,
+                  const SeqTableOptions& options);
+
+  Status OpenFile();
+  Status FlushLeaf();
+
+  storage::StorageManager* storage_;
+  std::string name_;
+  SeqTableOptions options_;
+  std::unique_ptr<storage::File> file_;
+
+  size_t record_size_;
+  size_t leaf_capacity_;
+  size_t leaf_fill_target_;
+
+  // Current leaf accumulation.
+  std::vector<core::IndexEntry> leaf_entries_;
+  std::vector<float> leaf_payloads_;
+
+  std::vector<LeafMeta> directory_;
+  uint64_t entries_added_ = 0;
+  int64_t min_timestamp_ = INT64_MAX;
+  int64_t max_timestamp_ = INT64_MIN;
+  series::SortableKey last_key_ = series::SortableKey::Min();
+  bool finished_ = false;
+};
+
+/// Read-side of a sequence table. The leaf directory is resident in memory
+/// (it is ~0.1% of the data size); leaf pages are fetched on demand,
+/// optionally through a BufferPool.
+class SeqTable {
+ public:
+  /// Opens a table previously sealed by SeqTableBuilder::Finish.
+  /// `pool` may be nullptr (reads bypass caching).
+  static Result<std::unique_ptr<SeqTable>> Open(
+      storage::StorageManager* storage, const std::string& name,
+      storage::BufferPool* pool);
+
+  uint64_t num_entries() const { return num_entries_; }
+  size_t num_leaves() const { return directory_.size(); }
+  const SeqTableOptions& options() const { return options_; }
+  const series::SaxConfig& sax() const { return options_.sax; }
+  bool materialized() const { return options_.materialized; }
+  const std::string& name() const { return name_; }
+
+  /// Arrival-time range covered by this table (INT64_MAX/INT64_MIN when
+  /// empty); drives temporal partition pruning in TP/BTP.
+  int64_t min_timestamp() const { return min_timestamp_; }
+  int64_t max_timestamp() const { return max_timestamp_; }
+
+  const std::vector<LeafMeta>& directory() const { return directory_; }
+
+  /// Index of the leaf whose key range contains `key` (the last leaf whose
+  /// min_key <= key, clamped to leaf 0).
+  size_t FindLeafForKey(const series::SortableKey& key) const;
+
+  /// Reads and decodes leaf `leaf_idx`.
+  Status ReadLeaf(size_t leaf_idx, LeafView* view) const;
+
+  /// SAX bounding region of a leaf, for page-level MINDIST pruning.
+  series::SaxRegion LeafRegion(size_t leaf_idx) const;
+
+  /// Bytes of the backing file.
+  uint64_t file_bytes() const { return file_->size_bytes(); }
+
+  // -------------------------------------------------------------- updates
+  // Post-build mutation support used by CTree. All three methods keep the
+  // in-memory directory authoritative; PersistDirectory() writes it back.
+
+  /// Rewrites leaf `leaf_idx` in place with `view` (must fit in one page).
+  /// Directory metadata (count, key, SAX bounds) is recomputed.
+  Status UpdateLeaf(size_t leaf_idx, const LeafView& view);
+
+  /// Appends a brand-new leaf page at the end of the file and inserts its
+  /// directory entry at position `dir_pos` (keeping key order). Returns the
+  /// new leaf's directory index.
+  Result<size_t> InsertLeaf(size_t dir_pos, const LeafView& view);
+
+  /// Rewrites the directory and header after updates (appends a fresh
+  /// directory region; the stale one becomes dead space, as in real
+  /// copy-on-write directories).
+  Status PersistDirectory();
+
+  /// Entries per leaf page at 100% fill for this table's record size.
+  size_t leaf_capacity() const { return leaf_capacity_; }
+
+  /// Sequentially iterates every entry in key order (used by LSM merges and
+  /// BTP partition consolidation).
+  class Scanner {
+   public:
+    explicit Scanner(const SeqTable* table) : table_(table) {}
+
+    /// Fetches the next entry. Returns false at the end. For materialized
+    /// tables `payload` (if non-null) receives the series values.
+    Result<bool> Next(core::IndexEntry* entry, std::vector<float>* payload);
+
+   private:
+    const SeqTable* table_;
+    size_t leaf_idx_ = 0;
+    size_t pos_in_leaf_ = 0;
+    LeafView view_;
+    bool view_loaded_ = false;
+  };
+
+  Scanner NewScanner() const { return Scanner(this); }
+
+ private:
+  SeqTable(storage::StorageManager* storage, std::string name,
+           storage::BufferPool* pool)
+      : storage_(storage), name_(std::move(name)), pool_(pool) {}
+
+  Status Load();
+  Status DecodeLeafPage(const storage::Page& page, LeafView* view) const;
+  Status EncodeLeafPage(const LeafView& view, storage::Page* page) const;
+  LeafMeta MetaFromView(const LeafView& view, uint64_t page_no) const;
+
+  storage::StorageManager* storage_;
+  std::string name_;
+  storage::BufferPool* pool_;
+  std::unique_ptr<storage::File> file_;
+
+  SeqTableOptions options_;
+  size_t record_size_ = 0;
+  size_t leaf_capacity_ = 0;
+  uint64_t num_entries_ = 0;
+  int64_t min_timestamp_ = INT64_MAX;
+  int64_t max_timestamp_ = INT64_MIN;
+  std::vector<LeafMeta> directory_;
+};
+
+/// Record bytes per entry for a configuration.
+size_t RecordSize(const SeqTableOptions& options);
+
+/// Entries per leaf page at 100% fill.
+size_t LeafCapacity(const SeqTableOptions& options);
+
+}  // namespace seqtable
+}  // namespace coconut
+
+#endif  // COCONUT_SEQTABLE_SEQ_TABLE_H_

@@ -1,0 +1,259 @@
+#include "seqtable/table_search.h"
+
+#include <algorithm>
+
+#include "series/distance.h"
+#include "series/paa.h"
+
+namespace coconut {
+namespace seqtable {
+
+namespace {
+
+using core::IndexEntry;
+using core::SearchOptions;
+using core::SearchResult;
+
+// A candidate awaiting verification, ordered by its lower bound.
+struct Candidate {
+  double mindist;
+  size_t index_in_leaf;
+};
+
+}  // namespace
+
+SearchContext MakeSearchContext(const series::SaxConfig& sax,
+                                std::span<const float> query,
+                                std::vector<float>* paa_storage,
+                                core::RawSeriesStore* raw,
+                                core::QueryCounters* counters) {
+  SearchContext ctx;
+  ctx.sax = sax;
+  ctx.query = query;
+  *paa_storage = series::ComputePaa(query, sax.num_segments);
+  ctx.query_paa = *paa_storage;
+  ctx.query_key =
+      series::InterleaveSax(series::ComputeSaxFromPaa(*paa_storage, sax), sax);
+  ctx.raw = raw;
+  ctx.counters = counters;
+  return ctx;
+}
+
+Status VerifyCandidate(const SearchContext& ctx, const IndexEntry& entry,
+                       std::span<const float> payload, SearchResult* best) {
+  std::vector<float> fetched;
+  std::span<const float> values = payload;
+  if (values.empty()) {
+    if (ctx.raw == nullptr) {
+      return Status::Internal(
+          "non-materialized verification requires a raw store");
+    }
+    fetched.resize(ctx.sax.series_length);
+    COCONUT_RETURN_NOT_OK(ctx.raw->Get(entry.series_id, fetched));
+    values = fetched;
+    if (ctx.counters != nullptr) ++ctx.counters->raw_fetches;
+  }
+  const double d = series::EuclideanSquaredEarlyAbandon(ctx.query, values,
+                                                        best->distance_sq);
+  SearchResult candidate;
+  candidate.found = true;
+  candidate.series_id = entry.series_id;
+  candidate.distance_sq = d;
+  candidate.timestamp = entry.timestamp;
+  best->Improve(candidate);
+  return Status::OK();
+}
+
+Status EvaluateCandidates(const SearchContext& ctx,
+                          const SearchOptions& options,
+                          std::span<const IndexEntry> entries,
+                          std::span<const float> payloads, bool materialized,
+                          int max_verifications, SearchResult* best) {
+  std::vector<Candidate> candidates;
+  candidates.reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const IndexEntry& entry = entries[i];
+    if (!options.window.Contains(entry.timestamp)) continue;
+    if (ctx.counters != nullptr) ++ctx.counters->entries_examined;
+    const series::SaxWord word = series::DeinterleaveKey(entry.key, ctx.sax);
+    const double lb = series::MinDistSquaredToSax(ctx.query_paa, word, ctx.sax);
+    candidates.push_back(Candidate{lb, i});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.mindist < b.mindist;
+            });
+  const size_t limit = max_verifications < 0
+                           ? candidates.size()
+                           : std::min<size_t>(candidates.size(),
+                                              static_cast<size_t>(
+                                                  max_verifications));
+  const size_t len = ctx.sax.series_length;
+  for (size_t c = 0; c < limit; ++c) {
+    const Candidate& cand = candidates[c];
+    // The lower bound only tightens as best improves; stop early.
+    if (cand.mindist >= best->distance_sq) break;
+    std::span<const float> payload;
+    if (materialized) {
+      payload = std::span<const float>(
+          payloads.data() + cand.index_in_leaf * len, len);
+    }
+    COCONUT_RETURN_NOT_OK(
+        VerifyCandidate(ctx, entries[cand.index_in_leaf], payload, best));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Evaluates one loaded leaf via EvaluateCandidates.
+Status EvaluateLeaf(const SeqTable& table, const SearchContext& ctx,
+                    const SearchOptions& options, const LeafView& view,
+                    int max_verifications, SearchResult* best) {
+  return EvaluateCandidates(ctx, options, view.entries, view.payloads,
+                            table.materialized(), max_verifications, best);
+}
+
+}  // namespace
+
+Result<SearchResult> ApproxSearchTable(const SeqTable& table,
+                                       const SearchContext& ctx,
+                                       const SearchOptions& options) {
+  SearchResult best;
+  if (table.num_leaves() == 0) return best;
+
+  const size_t home = table.FindLeafForKey(ctx.query_key);
+  // Probe the home leaf; if a time window filtered out every entry, widen
+  // outward ring by ring so streaming queries still return an answer.
+  const size_t max_ring = table.num_leaves();
+  for (size_t ring = 0; ring < max_ring; ++ring) {
+    bool probed_any = false;
+    for (int side = 0; side < 2; ++side) {
+      if (ring == 0 && side == 1) continue;
+      size_t idx;
+      if (side == 0) {
+        if (home + ring >= table.num_leaves()) continue;
+        idx = home + ring;
+      } else {
+        if (ring > home) continue;
+        idx = home - ring;
+      }
+      probed_any = true;
+      LeafView view;
+      COCONUT_RETURN_NOT_OK(table.ReadLeaf(idx, &view));
+      if (ctx.counters != nullptr) ++ctx.counters->leaves_visited;
+      COCONUT_RETURN_NOT_OK(EvaluateLeaf(table, ctx, options, view,
+                                         options.approx_candidates, &best));
+    }
+    if (best.found) break;
+    if (!probed_any) break;
+  }
+  return best;
+}
+
+double KnnCollector::bound() const {
+  if (heap_.size() < k_) return std::numeric_limits<double>::infinity();
+  return heap_.front().distance_sq;
+}
+
+namespace {
+bool FartherFirst(const SearchResult& a, const SearchResult& b) {
+  return a.distance_sq < b.distance_sq;
+}
+}  // namespace
+
+void KnnCollector::Offer(const SearchResult& result) {
+  if (!result.found || result.distance_sq >= bound()) return;
+  // Collapse duplicate ids: keep only the closer observation.
+  for (auto& existing : heap_) {
+    if (existing.series_id == result.series_id) {
+      if (result.distance_sq < existing.distance_sq) {
+        existing = result;
+        std::make_heap(heap_.begin(), heap_.end(), FartherFirst);
+      }
+      return;
+    }
+  }
+  heap_.push_back(result);
+  std::push_heap(heap_.begin(), heap_.end(), FartherFirst);
+  if (heap_.size() > k_) {
+    std::pop_heap(heap_.begin(), heap_.end(), FartherFirst);
+    heap_.pop_back();
+  }
+}
+
+std::vector<SearchResult> KnnCollector::Take() {
+  std::sort_heap(heap_.begin(), heap_.end(), FartherFirst);
+  return std::move(heap_);
+}
+
+Status ExactKnnScanTable(const SeqTable& table, const SearchContext& ctx,
+                         const SearchOptions& options,
+                         KnnCollector* collector) {
+  const size_t len = ctx.sax.series_length;
+  for (size_t leaf = 0; leaf < table.num_leaves(); ++leaf) {
+    const series::SaxRegion region = table.LeafRegion(leaf);
+    if (series::MinDistSquared(ctx.query_paa, region, ctx.sax) >=
+        collector->bound()) {
+      if (ctx.counters != nullptr) ++ctx.counters->leaves_pruned;
+      continue;
+    }
+    LeafView view;
+    COCONUT_RETURN_NOT_OK(table.ReadLeaf(leaf, &view));
+    if (ctx.counters != nullptr) ++ctx.counters->leaves_visited;
+    for (size_t i = 0; i < view.entries.size(); ++i) {
+      const IndexEntry& entry = view.entries[i];
+      if (!options.window.Contains(entry.timestamp)) continue;
+      if (ctx.counters != nullptr) ++ctx.counters->entries_examined;
+      const series::SaxWord word =
+          series::DeinterleaveKey(entry.key, ctx.sax);
+      if (series::MinDistSquaredToSax(ctx.query_paa, word, ctx.sax) >=
+          collector->bound()) {
+        continue;
+      }
+      SearchResult candidate;
+      candidate.found = true;
+      candidate.series_id = entry.series_id;
+      candidate.timestamp = entry.timestamp;
+      std::vector<float> fetched;
+      std::span<const float> values;
+      if (table.materialized()) {
+        values = std::span<const float>(view.payloads.data() + i * len, len);
+      } else {
+        if (ctx.raw == nullptr) {
+          return Status::Internal("kNN verification requires a raw store");
+        }
+        fetched.resize(len);
+        COCONUT_RETURN_NOT_OK(ctx.raw->Get(entry.series_id, fetched));
+        values = fetched;
+        if (ctx.counters != nullptr) ++ctx.counters->raw_fetches;
+      }
+      candidate.distance_sq = series::EuclideanSquaredEarlyAbandon(
+          ctx.query, values, collector->bound());
+      collector->Offer(candidate);
+    }
+  }
+  return Status::OK();
+}
+
+Status ExactScanTable(const SeqTable& table, const SearchContext& ctx,
+                      const SearchOptions& options, SearchResult* best) {
+  for (size_t leaf = 0; leaf < table.num_leaves(); ++leaf) {
+    const series::SaxRegion region = table.LeafRegion(leaf);
+    const double leaf_lb =
+        series::MinDistSquared(ctx.query_paa, region, ctx.sax);
+    if (leaf_lb >= best->distance_sq) {
+      if (ctx.counters != nullptr) ++ctx.counters->leaves_pruned;
+      continue;
+    }
+    LeafView view;
+    COCONUT_RETURN_NOT_OK(table.ReadLeaf(leaf, &view));
+    if (ctx.counters != nullptr) ++ctx.counters->leaves_visited;
+    COCONUT_RETURN_NOT_OK(EvaluateLeaf(table, ctx, options, view,
+                                       /*max_verifications=*/-1, best));
+  }
+  return Status::OK();
+}
+
+}  // namespace seqtable
+}  // namespace coconut

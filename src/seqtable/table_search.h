@@ -1,0 +1,110 @@
+#ifndef COCONUT_SEQTABLE_TABLE_SEARCH_H_
+#define COCONUT_SEQTABLE_TABLE_SEARCH_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/raw_store.h"
+#include "core/types.h"
+#include "seqtable/seq_table.h"
+
+namespace coconut {
+namespace seqtable {
+
+/// Everything a query needs, bundled so the same engine serves CTree, CLSM
+/// levels and TP/BTP partitions. The query must already be z-normalized.
+struct SearchContext {
+  series::SaxConfig sax;
+  std::span<const float> query;      ///< z-normalized query values.
+  std::span<const float> query_paa;  ///< PAA of the query.
+  series::SortableKey query_key;     ///< Interleaved key of the query.
+  /// Raw store for verification fetches on non-materialized tables. May be
+  /// nullptr for materialized-only search.
+  core::RawSeriesStore* raw = nullptr;
+  /// Optional per-query counters.
+  core::QueryCounters* counters = nullptr;
+};
+
+/// Builds a SearchContext from a z-normalized query. The PAA buffer is
+/// owned by the caller via `paa_storage`.
+SearchContext MakeSearchContext(const series::SaxConfig& sax,
+                                std::span<const float> query,
+                                std::vector<float>* paa_storage,
+                                core::RawSeriesStore* raw,
+                                core::QueryCounters* counters);
+
+/// Approximate search: probes the leaf whose key range contains the query
+/// key (the iSAX intuition: co-located summarizations are likely near
+/// neighbors), ranks its entries by MINDIST, and verifies the best
+/// `options.approx_candidates` candidates against the actual series.
+/// Widens to neighboring leaves when a time window filters everything out.
+Result<core::SearchResult> ApproxSearchTable(const SeqTable& table,
+                                             const SearchContext& ctx,
+                                             const core::SearchOptions& options);
+
+/// Exact-search continuation: skip-sequential scan of the whole leaf level.
+/// Leaves whose SAX bounding region lower-bounds above best-so-far are
+/// skipped without I/O; surviving entries are verified with early-abandon
+/// Euclidean distance. Improves `best` in place (callers seed it with an
+/// approximate answer; CLSM calls this once per level with a shared best).
+Status ExactScanTable(const SeqTable& table, const SearchContext& ctx,
+                      const core::SearchOptions& options,
+                      core::SearchResult* best);
+
+/// Verifies one candidate entry: fetches the series (payload or raw store),
+/// computes the true distance with early abandon against best->distance_sq,
+/// and improves *best. `payload` may be empty for non-materialized tables.
+Status VerifyCandidate(const SearchContext& ctx, const core::IndexEntry& entry,
+                       std::span<const float> payload,
+                       core::SearchResult* best);
+
+/// Evaluates a flat batch of entries (an in-memory buffer, an ADS+ leaf, a
+/// decoded page): filters by options.window, ranks by MINDIST, verifies the
+/// `max_verifications` most promising (all when < 0) with shared-bsf
+/// pruning. `payloads` holds entries.size()*series_length floats when
+/// `materialized`, else is ignored.
+Status EvaluateCandidates(const SearchContext& ctx,
+                          const core::SearchOptions& options,
+                          std::span<const core::IndexEntry> entries,
+                          std::span<const float> payloads, bool materialized,
+                          int max_verifications, core::SearchResult* best);
+
+/// Accumulates the k nearest neighbors during a search. The pruning bound
+/// is the distance of the current k-th best (infinite until k results are
+/// collected), so single-NN search is the k=1 special case.
+class KnnCollector {
+ public:
+  explicit KnnCollector(size_t k) : k_(k) {}
+
+  /// Current pruning bound: the k-th best squared distance (or +inf).
+  double bound() const;
+
+  /// Offers one verified result; keeps it if it beats the k-th best.
+  /// Duplicate series ids are collapsed (the closer one wins).
+  void Offer(const core::SearchResult& result);
+
+  /// Results sorted by ascending distance.
+  std::vector<core::SearchResult> Take();
+
+  size_t k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+
+ private:
+  size_t k_;
+  // Max-heap by distance: the root is the current k-th best.
+  std::vector<core::SearchResult> heap_;
+};
+
+/// Exact k-nearest-neighbors over a table: the same skip-sequential scan
+/// as ExactScanTable, pruning with the collector's k-th-best bound.
+/// Callers seed the collector across tables/partitions and Take() at the
+/// end; timestamps are filtered by options.window as usual.
+Status ExactKnnScanTable(const SeqTable& table, const SearchContext& ctx,
+                         const core::SearchOptions& options,
+                         KnnCollector* collector);
+
+}  // namespace seqtable
+}  // namespace coconut
+
+#endif  // COCONUT_SEQTABLE_TABLE_SEARCH_H_

@@ -1,0 +1,94 @@
+#include "series/breakpoints.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace coconut {
+namespace series {
+
+namespace {
+
+std::vector<double> BuildTable(int bits) {
+  const int cardinality = 1 << bits;
+  std::vector<double> table(cardinality - 1);
+  for (int i = 1; i < cardinality; ++i) {
+    table[i - 1] =
+        Breakpoints::InverseNormalCdf(static_cast<double>(i) / cardinality);
+  }
+  return table;
+}
+
+}  // namespace
+
+double Breakpoints::InverseNormalCdf(double p) {
+  // Peter Acklam's rational approximation with one Halley refinement step.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  static constexpr double kPLow = 0.02425;
+
+  double x;
+  if (p <= 0.0) return -HUGE_VAL;
+  if (p >= 1.0) return HUGE_VAL;
+  if (p < kPLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - kPLow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+
+  // One step of Halley's method against the normal CDF via erfc.
+  const double e = 0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+const std::vector<double>& Breakpoints::ForBits(int bits) {
+  static const std::array<std::vector<double>, 9> tables = [] {
+    std::array<std::vector<double>, 9> t;
+    for (int b = 1; b <= 8; ++b) t[b] = BuildTable(b);
+    return t;
+  }();
+  return tables[bits];
+}
+
+uint8_t Breakpoints::Quantize(double value, int bits) {
+  const auto& table = ForBits(bits);
+  // First breakpoint strictly greater than value; symbol = its index.
+  auto it = std::upper_bound(table.begin(), table.end(), value);
+  return static_cast<uint8_t>(it - table.begin());
+}
+
+double Breakpoints::RegionLower(uint8_t s, int bits) {
+  if (s == 0) return -HUGE_VAL;
+  return ForBits(bits)[s - 1];
+}
+
+double Breakpoints::RegionUpper(uint8_t s, int bits) {
+  const auto& table = ForBits(bits);
+  if (s >= table.size()) return HUGE_VAL;
+  return table[s];
+}
+
+}  // namespace series
+}  // namespace coconut

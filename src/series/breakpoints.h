@@ -1,0 +1,37 @@
+#ifndef COCONUT_SERIES_BREAKPOINTS_H_
+#define COCONUT_SERIES_BREAKPOINTS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace coconut {
+namespace series {
+
+/// iSAX quantization breakpoints: the 2^bits - 1 quantiles of the standard
+/// normal distribution that split it into 2^bits equiprobable regions.
+/// Symbol value s (0..2^bits-1) covers [breakpoint[s-1], breakpoint[s]) with
+/// -inf / +inf sentinels at the ends, and symbols are ordered by value so
+/// quantization is monotone — the property sortable summarizations build on.
+class Breakpoints {
+ public:
+  /// Cached breakpoint table for `bits` in [1, 8].
+  static const std::vector<double>& ForBits(int bits);
+
+  /// Quantizes `value` to its symbol at cardinality 2^bits.
+  static uint8_t Quantize(double value, int bits);
+
+  /// Lower edge of symbol `s` at cardinality 2^bits (-HUGE_VAL for s = 0).
+  static double RegionLower(uint8_t s, int bits);
+
+  /// Upper edge of symbol `s` at cardinality 2^bits (+HUGE_VAL for the top).
+  static double RegionUpper(uint8_t s, int bits);
+
+  /// Inverse CDF of the standard normal (Acklam's rational approximation,
+  /// |relative error| < 1.15e-9). Exposed for tests.
+  static double InverseNormalCdf(double p);
+};
+
+}  // namespace series
+}  // namespace coconut
+
+#endif  // COCONUT_SERIES_BREAKPOINTS_H_

@@ -1,0 +1,134 @@
+#include "series/distance.h"
+
+#include <cmath>
+
+#include "series/breakpoints.h"
+
+namespace coconut {
+namespace series {
+
+namespace {
+
+// Conservative double->float narrowing for region bounds: rounding to
+// nearest could move a lower edge *up* (or an upper edge *down*), which
+// would let MINDIST exceed a true distance and prune a real neighbor.
+// Rounding outward keeps the bound sound at the cost of an infinitesimally
+// looser region.
+inline float FloorToFloat(double x) {
+  if (x <= -HUGE_VAL) return -HUGE_VALF;
+  float f = static_cast<float>(x);
+  if (static_cast<double>(f) > x) f = std::nextafterf(f, -HUGE_VALF);
+  return f;
+}
+
+inline float CeilToFloat(double x) {
+  if (x >= HUGE_VAL) return HUGE_VALF;
+  float f = static_cast<float>(x);
+  if (static_cast<double>(f) < x) f = std::nextafterf(f, HUGE_VALF);
+  return f;
+}
+
+}  // namespace
+
+double EuclideanSquared(std::span<const Value> a, std::span<const Value> b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double EuclideanSquaredEarlyAbandon(std::span<const Value> a,
+                                    std::span<const Value> b,
+                                    double threshold) {
+  double acc = 0.0;
+  const size_t n = a.size();
+  size_t i = 0;
+  // Check the abandon condition every 16 points to keep the loop tight.
+  while (i + 16 <= n) {
+    for (size_t j = 0; j < 16; ++j, ++i) {
+      const double d = static_cast<double>(a[i]) - b[i];
+      acc += d * d;
+    }
+    if (acc > threshold) return acc;
+  }
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+SaxRegion RegionFromSax(const SaxWord& word, const SaxConfig& config) {
+  SaxRegion region;
+  for (int s = 0; s < config.num_segments; ++s) {
+    region.lower[s] = FloorToFloat(
+        Breakpoints::RegionLower(word[s], config.bits_per_segment));
+    region.upper[s] = CeilToFloat(
+        Breakpoints::RegionUpper(word[s], config.bits_per_segment));
+  }
+  return region;
+}
+
+SaxRegion RegionFromSymbolRange(const SaxWord& min_symbol,
+                                const SaxWord& max_symbol,
+                                const SaxConfig& config) {
+  SaxRegion region;
+  for (int s = 0; s < config.num_segments; ++s) {
+    region.lower[s] = FloorToFloat(
+        Breakpoints::RegionLower(min_symbol[s], config.bits_per_segment));
+    region.upper[s] = CeilToFloat(
+        Breakpoints::RegionUpper(max_symbol[s], config.bits_per_segment));
+  }
+  return region;
+}
+
+SaxRegion RegionFromPrefix(const SaxWord& prefix,
+                           std::span<const uint8_t> prefix_bits,
+                           const SaxConfig& config) {
+  SaxRegion region;
+  const int full_bits = config.bits_per_segment;
+  for (int s = 0; s < config.num_segments; ++s) {
+    const int pb = prefix_bits[s];
+    if (pb == 0) {
+      region.lower[s] = -HUGE_VALF;
+      region.upper[s] = HUGE_VALF;
+      continue;
+    }
+    // The prefix fixes the top pb bits; the covered symbols at full
+    // cardinality are [prefix << (full-pb), (prefix+1) << (full-pb) - 1].
+    const int shift = full_bits - pb;
+    const uint8_t lo_sym = static_cast<uint8_t>(prefix[s] << shift);
+    const uint8_t hi_sym =
+        static_cast<uint8_t>(((prefix[s] + 1u) << shift) - 1u);
+    region.lower[s] = FloorToFloat(Breakpoints::RegionLower(lo_sym, full_bits));
+    region.upper[s] = CeilToFloat(Breakpoints::RegionUpper(hi_sym, full_bits));
+  }
+  return region;
+}
+
+double MinDistSquared(std::span<const float> query_paa,
+                      const SaxRegion& region, const SaxConfig& config) {
+  double acc = 0.0;
+  for (int s = 0; s < config.num_segments; ++s) {
+    double d = 0.0;
+    if (query_paa[s] < region.lower[s]) {
+      d = region.lower[s] - query_paa[s];
+    } else if (query_paa[s] > region.upper[s]) {
+      d = query_paa[s] - region.upper[s];
+    }
+    acc += d * d;
+  }
+  const double scale = static_cast<double>(config.series_length) /
+                       config.num_segments;
+  return scale * acc;
+}
+
+double MinDistSquaredToSax(std::span<const float> query_paa,
+                           const SaxWord& word, const SaxConfig& config) {
+  return MinDistSquared(query_paa, RegionFromSax(word, config), config);
+}
+
+}  // namespace series
+}  // namespace coconut

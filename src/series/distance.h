@@ -1,0 +1,62 @@
+#ifndef COCONUT_SERIES_DISTANCE_H_
+#define COCONUT_SERIES_DISTANCE_H_
+
+#include <array>
+#include <span>
+
+#include "series/isax.h"
+#include "series/series.h"
+
+namespace coconut {
+namespace series {
+
+/// Squared Euclidean distance between two equal-length series.
+double EuclideanSquared(std::span<const Value> a, std::span<const Value> b);
+
+/// Squared Euclidean distance that stops accumulating once it exceeds
+/// `threshold` (returns a value > threshold in that case). Exact search uses
+/// this to abandon raw-series comparisons early.
+double EuclideanSquaredEarlyAbandon(std::span<const Value> a,
+                                    std::span<const Value> b,
+                                    double threshold);
+
+/// A hyper-rectangle in PAA space: per-segment value bounds. Regions come
+/// from a single iSAX word (the cell the word quantizes to) or from a range
+/// of words (e.g. everything stored in one index page).
+struct SaxRegion {
+  std::array<float, kMaxSegments> lower;
+  std::array<float, kMaxSegments> upper;
+};
+
+/// Region of a single iSAX word at full cardinality.
+SaxRegion RegionFromSax(const SaxWord& word, const SaxConfig& config);
+
+/// Region spanned by per-segment symbol ranges [min_symbol, max_symbol];
+/// used for page-level pruning where a page stores many words.
+SaxRegion RegionFromSymbolRange(const SaxWord& min_symbol,
+                                const SaxWord& max_symbol,
+                                const SaxConfig& config);
+
+/// Region of an iSAX prefix: only the top `prefix_bits[s]` bits of each
+/// symbol are fixed (ADS+ internal nodes). `prefix_bits` of 0 leaves the
+/// segment unconstrained.
+SaxRegion RegionFromPrefix(const SaxWord& prefix,
+                           std::span<const uint8_t> prefix_bits,
+                           const SaxConfig& config);
+
+/// MINDIST lower bound (squared) between a query's PAA vector and a region.
+/// Guaranteed <= the true squared Euclidean distance between the
+/// z-normalized query and any series whose summarization falls inside the
+/// region. Scale factor n/w converts per-segment gaps to full-length
+/// distance, as in the iSAX papers.
+double MinDistSquared(std::span<const float> query_paa, const SaxRegion& region,
+                      const SaxConfig& config);
+
+/// Convenience: MINDIST from a query PAA to a single iSAX word's region.
+double MinDistSquaredToSax(std::span<const float> query_paa,
+                           const SaxWord& word, const SaxConfig& config);
+
+}  // namespace series
+}  // namespace coconut
+
+#endif  // COCONUT_SERIES_DISTANCE_H_

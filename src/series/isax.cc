@@ -1,0 +1,37 @@
+#include "series/isax.h"
+
+#include "series/breakpoints.h"
+#include "series/paa.h"
+
+namespace coconut {
+namespace series {
+
+SaxWord ComputeSaxFromPaa(std::span<const float> paa,
+                          const SaxConfig& config) {
+  SaxWord word{};
+  for (int s = 0; s < config.num_segments; ++s) {
+    word[s] = Breakpoints::Quantize(paa[s], config.bits_per_segment);
+  }
+  return word;
+}
+
+SaxWord ComputeSax(std::span<const Value> values, const SaxConfig& config) {
+  std::array<float, kMaxSegments> paa;
+  ComputePaa(values, config.num_segments,
+             std::span<float>(paa.data(), config.num_segments));
+  return ComputeSaxFromPaa(
+      std::span<const float>(paa.data(), config.num_segments), config);
+}
+
+std::string SaxWordToString(const SaxWord& word, const SaxConfig& config) {
+  std::string out = "[";
+  for (int s = 0; s < config.num_segments; ++s) {
+    if (s > 0) out += ' ';
+    out += std::to_string(static_cast<int>(word[s]));
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace series
+}  // namespace coconut

@@ -1,0 +1,55 @@
+#ifndef COCONUT_SERIES_ISAX_H_
+#define COCONUT_SERIES_ISAX_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "series/series.h"
+
+namespace coconut {
+namespace series {
+
+/// Upper bound on segments supported by the fixed-size SaxWord/SortableKey
+/// representations (16 segments x 8 bits = 128-bit keys).
+inline constexpr int kMaxSegments = 16;
+
+/// Shape of the summarization: how a series of `series_length` points is
+/// split into `num_segments` PAA segments, each quantized to
+/// 2^bits_per_segment iSAX symbols.
+struct SaxConfig {
+  int series_length = 256;
+  int num_segments = 16;
+  int bits_per_segment = 8;
+
+  int cardinality() const { return 1 << bits_per_segment; }
+  int key_bits() const { return num_segments * bits_per_segment; }
+
+  bool Valid() const {
+    return series_length > 0 && num_segments > 0 &&
+           num_segments <= kMaxSegments && bits_per_segment > 0 &&
+           bits_per_segment <= 8 && series_length >= num_segments;
+  }
+
+  bool operator==(const SaxConfig&) const = default;
+};
+
+/// An iSAX word: one symbol per segment, at the configuration's full
+/// cardinality. Unused trailing segments are zero.
+using SaxWord = std::array<uint8_t, kMaxSegments>;
+
+/// Quantizes a PAA vector into an iSAX word.
+SaxWord ComputeSaxFromPaa(std::span<const float> paa, const SaxConfig& config);
+
+/// PAA + quantization in one call. `values` must have length
+/// config.series_length and should already be z-normalized.
+SaxWord ComputeSax(std::span<const Value> values, const SaxConfig& config);
+
+/// Debug rendering, e.g. "[3.7 0.12 ...]" -> "37.12...." style "s0.s1..."
+std::string SaxWordToString(const SaxWord& word, const SaxConfig& config);
+
+}  // namespace series
+}  // namespace coconut
+
+#endif  // COCONUT_SERIES_ISAX_H_

@@ -1,0 +1,36 @@
+#include "series/paa.h"
+
+namespace coconut {
+namespace series {
+
+void ComputePaa(std::span<const Value> values, int num_segments,
+                std::span<float> out) {
+  const size_t n = values.size();
+  const double seg_len = static_cast<double>(n) / num_segments;
+  for (int s = 0; s < num_segments; ++s) {
+    const double begin = s * seg_len;
+    const double end = (s + 1) * seg_len;
+    double acc = 0.0;
+    // Whole points fully inside [begin, end), fractional ends weighted.
+    size_t first = static_cast<size_t>(begin);
+    size_t last = static_cast<size_t>(end) + (end > static_cast<size_t>(end) ? 1 : 0);
+    if (last > n) last = n;
+    for (size_t i = first; i < last; ++i) {
+      double w = 1.0;
+      if (static_cast<double>(i) < begin) w -= begin - i;
+      if (static_cast<double>(i + 1) > end) w -= (i + 1) - end;
+      acc += w * values[i];
+    }
+    out[s] = static_cast<float>(acc / seg_len);
+  }
+}
+
+std::vector<float> ComputePaa(std::span<const Value> values,
+                              int num_segments) {
+  std::vector<float> out(num_segments);
+  ComputePaa(values, num_segments, out);
+  return out;
+}
+
+}  // namespace series
+}  // namespace coconut

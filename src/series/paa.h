@@ -1,0 +1,25 @@
+#ifndef COCONUT_SERIES_PAA_H_
+#define COCONUT_SERIES_PAA_H_
+
+#include <span>
+#include <vector>
+
+#include "series/series.h"
+
+namespace coconut {
+namespace series {
+
+/// Piecewise Aggregate Approximation: the mean of each of `num_segments`
+/// equal-length chunks. The series length need not divide evenly; boundary
+/// points contribute fractionally so the approximation stays a valid basis
+/// for the lower-bounding distance.
+std::vector<float> ComputePaa(std::span<const Value> values, int num_segments);
+
+/// In-place variant writing into `out` (size must be num_segments).
+void ComputePaa(std::span<const Value> values, int num_segments,
+                std::span<float> out);
+
+}  // namespace series
+}  // namespace coconut
+
+#endif  // COCONUT_SERIES_PAA_H_

@@ -1,0 +1,36 @@
+#include "series/series.h"
+
+#include <cmath>
+
+namespace coconut {
+namespace series {
+
+void ZNormalize(std::span<Value> values) {
+  if (values.empty()) return;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (Value v : values) {
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(values.size());
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
+  if (variance < 1e-9) {
+    for (Value& v : values) v = 0.0f;
+    return;
+  }
+  const double inv_std = 1.0 / std::sqrt(variance);
+  for (Value& v : values) {
+    v = static_cast<Value>((v - mean) * inv_std);
+  }
+}
+
+std::vector<Value> ZNormalized(std::span<const Value> values) {
+  std::vector<Value> out(values.begin(), values.end());
+  ZNormalize(out);
+  return out;
+}
+
+}  // namespace series
+}  // namespace coconut

@@ -1,0 +1,61 @@
+#ifndef COCONUT_SERIES_SERIES_H_
+#define COCONUT_SERIES_SERIES_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace coconut {
+namespace series {
+
+/// Data series values are single-precision floats, matching the public data
+/// series benchmarks the paper uses.
+using Value = float;
+
+/// Z-normalizes `values` in place: zero mean, unit variance. Constant
+/// series (variance ~ 0) are mapped to all-zeros rather than dividing by
+/// zero. Similarity search on data series is conventionally performed on
+/// z-normalized series, and every index in this repo ingests normalized
+/// values.
+void ZNormalize(std::span<Value> values);
+
+/// Returns a z-normalized copy.
+std::vector<Value> ZNormalized(std::span<const Value> values);
+
+/// A flat, cache-friendly collection of equal-length data series. Series i
+/// occupies values()[i*length .. (i+1)*length).
+class SeriesCollection {
+ public:
+  SeriesCollection(size_t length) : length_(length) {}
+
+  /// Appends one series; its size must equal length().
+  void Append(std::span<const Value> series) {
+    data_.insert(data_.end(), series.begin(), series.end());
+  }
+
+  /// Read-only view of series `i`.
+  std::span<const Value> operator[](size_t i) const {
+    return {data_.data() + i * length_, length_};
+  }
+
+  /// Mutable view of series `i`.
+  std::span<Value> Mutable(size_t i) {
+    return {data_.data() + i * length_, length_};
+  }
+
+  size_t size() const { return length_ == 0 ? 0 : data_.size() / length_; }
+  size_t length() const { return length_; }
+  const std::vector<Value>& data() const { return data_; }
+  std::vector<Value>& mutable_data() { return data_; }
+
+  void Reserve(size_t n) { data_.reserve(n * length_); }
+
+ private:
+  size_t length_;
+  std::vector<Value> data_;
+};
+
+}  // namespace series
+}  // namespace coconut
+
+#endif  // COCONUT_SERIES_SERIES_H_

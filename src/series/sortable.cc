@@ -1,0 +1,88 @@
+#include "series/sortable.h"
+
+#include <cstdio>
+
+namespace coconut {
+namespace series {
+
+namespace {
+
+// Sets global key bit `t` (0 = most significant of the whole key).
+inline void SetKeyBit(SortableKey* key, int t) {
+  key->words[t / 64] |= 1ULL << (63 - (t % 64));
+}
+
+// Reads global key bit `t`.
+inline uint8_t GetKeyBit(const SortableKey& key, int t) {
+  return static_cast<uint8_t>((key.words[t / 64] >> (63 - (t % 64))) & 1ULL);
+}
+
+}  // namespace
+
+std::string SortableKey::ToHex() const {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(words[0]),
+                static_cast<unsigned long long>(words[1]));
+  return buf;
+}
+
+SortableKey InterleaveSax(const SaxWord& word, const SaxConfig& config) {
+  SortableKey key;
+  const int bits = config.bits_per_segment;
+  const int segs = config.num_segments;
+  for (int round = 0; round < bits; ++round) {
+    for (int seg = 0; seg < segs; ++seg) {
+      const uint8_t bit =
+          static_cast<uint8_t>((word[seg] >> (bits - 1 - round)) & 1);
+      if (bit != 0) SetKeyBit(&key, round * segs + seg);
+    }
+  }
+  return key;
+}
+
+SaxWord DeinterleaveKey(const SortableKey& key, const SaxConfig& config) {
+  SaxWord word{};
+  const int bits = config.bits_per_segment;
+  const int segs = config.num_segments;
+  for (int round = 0; round < bits; ++round) {
+    for (int seg = 0; seg < segs; ++seg) {
+      if (GetKeyBit(key, round * segs + seg) != 0) {
+        word[seg] = static_cast<uint8_t>(word[seg] |
+                                         (1u << (bits - 1 - round)));
+      }
+    }
+  }
+  return word;
+}
+
+SortableKey SegmentMajorKey(const SaxWord& word, const SaxConfig& config) {
+  SortableKey key;
+  const int bits = config.bits_per_segment;
+  const int segs = config.num_segments;
+  int t = 0;
+  for (int seg = 0; seg < segs; ++seg) {
+    for (int b = 0; b < bits; ++b, ++t) {
+      if (((word[seg] >> (bits - 1 - b)) & 1) != 0) SetKeyBit(&key, t);
+    }
+  }
+  return key;
+}
+
+SaxWord SegmentMajorToSax(const SortableKey& key, const SaxConfig& config) {
+  SaxWord word{};
+  const int bits = config.bits_per_segment;
+  const int segs = config.num_segments;
+  int t = 0;
+  for (int seg = 0; seg < segs; ++seg) {
+    for (int b = 0; b < bits; ++b, ++t) {
+      if (GetKeyBit(key, t) != 0) {
+        word[seg] = static_cast<uint8_t>(word[seg] | (1u << (bits - 1 - b)));
+      }
+    }
+  }
+  return word;
+}
+
+}  // namespace series
+}  // namespace coconut

@@ -1,0 +1,64 @@
+#ifndef COCONUT_SERIES_SORTABLE_H_
+#define COCONUT_SERIES_SORTABLE_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "series/isax.h"
+
+namespace coconut {
+namespace series {
+
+/// The sortable summarization at the heart of Coconut.
+///
+/// A SortableKey interleaves the bits of every iSAX symbol round-robin,
+/// most-significant bits first: bit 0 of the key is the MSB of segment 0's
+/// symbol, bit 1 the MSB of segment 1's, ..., then the second bit of each
+/// symbol, and so on. Sorting by this key is a z-order traversal of iSAX
+/// space, so series that are similar in *all* segments are adjacent in the
+/// sorted order — unlike segment-major packing, which only clusters by the
+/// first segment (the flaw Section 1 of the paper describes).
+///
+/// The interleaving is lossless: DeinterleaveKey recovers the exact iSAX
+/// word, so lower-bounding distances can be computed straight from stored
+/// keys ("invertibility" in the Coconut paper).
+///
+/// Keys compare lexicographically; words[0] holds key bits 0..63 (bit 0 in
+/// the word's MSB), words[1] bits 64..127.
+struct SortableKey {
+  std::array<uint64_t, 2> words{0, 0};
+
+  auto operator<=>(const SortableKey&) const = default;
+
+  /// Smallest possible key.
+  static SortableKey Min() { return SortableKey{}; }
+  /// Largest possible key.
+  static SortableKey Max() {
+    return SortableKey{{~0ULL, ~0ULL}};
+  }
+
+  /// 32 hex chars, most significant first.
+  std::string ToHex() const;
+};
+
+/// Interleaves an iSAX word into its sortable key.
+SortableKey InterleaveSax(const SaxWord& word, const SaxConfig& config);
+
+/// Inverts InterleaveSax, recovering the iSAX word exactly.
+SaxWord DeinterleaveKey(const SortableKey& key, const SaxConfig& config);
+
+/// The *non*-sortable baseline: concatenates symbols segment after segment
+/// (the "original order within the data series" layout the paper says fails
+/// to cluster similar series). Used by the E8 experiment to quantify how
+/// much interleaving matters.
+SortableKey SegmentMajorKey(const SaxWord& word, const SaxConfig& config);
+
+/// Inverts SegmentMajorKey.
+SaxWord SegmentMajorToSax(const SortableKey& key, const SaxConfig& config);
+
+}  // namespace series
+}  // namespace coconut
+
+#endif  // COCONUT_SERIES_SORTABLE_H_

@@ -1,0 +1,53 @@
+#ifndef COCONUT_STORAGE_ACCESS_TRACKER_H_
+#define COCONUT_STORAGE_ACCESS_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace coconut {
+namespace storage {
+
+/// One recorded page access. `sequence` is a global logical clock so the
+/// heat map can lay out accesses over time.
+struct AccessEvent {
+  uint32_t file_id;
+  uint64_t page_no;
+  bool is_write;
+  uint64_t sequence;
+};
+
+/// Records every page access while enabled. This is the raw feed behind the
+/// Palm GUI's heat map (Figure 2): the renderer bins events by file offset
+/// and by time to visualize whether an index touches storage contiguously
+/// (CTree/CLSM) or scatters random I/Os (ADS+).
+class AccessTracker {
+ public:
+  AccessTracker() = default;
+
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void Clear() {
+    events_.clear();
+    next_sequence_ = 0;
+  }
+
+  /// Called by the storage layer on each page touched.
+  void Record(uint32_t file_id, uint64_t page_no, bool is_write) {
+    if (!enabled_) return;
+    events_.push_back(AccessEvent{file_id, page_no, is_write, next_sequence_++});
+  }
+
+  const std::vector<AccessEvent>& events() const { return events_; }
+
+ private:
+  bool enabled_ = false;
+  std::vector<AccessEvent> events_;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace storage
+}  // namespace coconut
+
+#endif  // COCONUT_STORAGE_ACCESS_TRACKER_H_

@@ -1,0 +1,54 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+
+namespace coconut {
+namespace storage {
+
+BufferPool::BufferPool(size_t capacity_bytes)
+    : capacity_pages_(std::max<size_t>(1, capacity_bytes / kPageSize)) {}
+
+Result<const Page*> BufferPool::GetPage(File* file, uint64_t page_no) {
+  const uint64_t key = MakeKey(file->file_id(), page_no);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++hits_;
+    // Move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &lru_.front().page;
+  }
+  ++misses_;
+  // Evict if full.
+  while (lru_.size() >= capacity_pages_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Frame{key, Page{}});
+  Status st = file->ReadPage(page_no, &lru_.front().page);
+  if (!st.ok()) {
+    map_.erase(key);  // No-op if absent; defensive.
+    lru_.pop_front();
+    return st;
+  }
+  map_[key] = lru_.begin();
+  return &lru_.front().page;
+}
+
+void BufferPool::Invalidate(uint32_t file_id) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if ((it->key >> 40) == file_id) {
+      map_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace storage
+}  // namespace coconut

@@ -1,0 +1,142 @@
+#include "storage/file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace coconut {
+namespace storage {
+
+namespace {
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " failed for '" + path + "': " + std::strerror(errno);
+}
+}  // namespace
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<File>> File::Create(const std::string& path,
+                                           uint32_t file_id, IoStats* stats,
+                                           AccessTracker* tracker) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(Errno("open(create)", path));
+  return std::unique_ptr<File>(
+      new File(fd, path, file_id, /*size=*/0, stats, tracker));
+}
+
+Result<std::unique_ptr<File>> File::Open(const std::string& path,
+                                         uint32_t file_id, IoStats* stats,
+                                         AccessTracker* tracker) {
+  int fd = ::open(path.c_str(), O_RDWR, 0644);
+  if (fd < 0) return Status::IoError(Errno("open", path));
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IoError(Errno("lseek", path));
+  }
+  return std::unique_ptr<File>(new File(
+      fd, path, file_id, static_cast<uint64_t>(size), stats, tracker));
+}
+
+void File::CountRead(uint64_t offset, size_t len) {
+  if (stats_ != nullptr) {
+    const bool sequential =
+        stats_->last_read_file == IoStats::kNoFile ||
+        (stats_->last_read_file == file_id_ && offset == stats_->last_read_end);
+    if (sequential) {
+      ++stats_->sequential_reads;
+    } else {
+      ++stats_->random_reads;
+    }
+    stats_->bytes_read += len;
+    stats_->last_read_file = file_id_;
+    stats_->last_read_end = offset + len;
+  }
+  if (tracker_ != nullptr && tracker_->enabled()) {
+    tracker_->Record(file_id_, offset / kPageSize, /*is_write=*/false);
+  }
+}
+
+void File::CountWrite(uint64_t offset, size_t len) {
+  if (stats_ != nullptr) {
+    const bool sequential = stats_->last_write_file == IoStats::kNoFile ||
+                            (stats_->last_write_file == file_id_ &&
+                             offset == stats_->last_write_end);
+    if (sequential) {
+      ++stats_->sequential_writes;
+    } else {
+      ++stats_->random_writes;
+    }
+    stats_->bytes_written += len;
+    stats_->last_write_file = file_id_;
+    stats_->last_write_end = offset + len;
+  }
+  if (tracker_ != nullptr && tracker_->enabled()) {
+    tracker_->Record(file_id_, offset / kPageSize, /*is_write=*/true);
+  }
+}
+
+Status File::ReadPage(uint64_t page_no, Page* page) {
+  const uint64_t offset = page_no * kPageSize;
+  if (offset >= size_bytes_) {
+    return Status::OutOfRange("ReadPage past EOF in '" + path_ + "' (page " +
+                              std::to_string(page_no) + ")");
+  }
+  ssize_t n = ::pread(fd_, page->data(), kPageSize, static_cast<off_t>(offset));
+  if (n < 0) return Status::IoError(Errno("pread", path_));
+  // The final page of a file may be short; zero-fill the tail.
+  if (static_cast<size_t>(n) < kPageSize) {
+    std::memset(page->data() + n, 0, kPageSize - n);
+  }
+  CountRead(offset, kPageSize);
+  return Status::OK();
+}
+
+Status File::WritePage(uint64_t page_no, const Page& page) {
+  const uint64_t offset = page_no * kPageSize;
+  ssize_t n = ::pwrite(fd_, page.data(), kPageSize, static_cast<off_t>(offset));
+  if (n < 0) return Status::IoError(Errno("pwrite", path_));
+  if (static_cast<size_t>(n) != kPageSize) {
+    return Status::IoError("short pwrite to '" + path_ + "'");
+  }
+  if (offset + kPageSize > size_bytes_) size_bytes_ = offset + kPageSize;
+  CountWrite(offset, kPageSize);
+  return Status::OK();
+}
+
+Status File::Append(const void* data, size_t len) {
+  const uint64_t offset = size_bytes_;
+  ssize_t n = ::pwrite(fd_, data, len, static_cast<off_t>(offset));
+  if (n < 0) return Status::IoError(Errno("pwrite(append)", path_));
+  if (static_cast<size_t>(n) != len) {
+    return Status::IoError("short append to '" + path_ + "'");
+  }
+  size_bytes_ += len;
+  CountWrite(offset, len);
+  return Status::OK();
+}
+
+Status File::ReadAt(uint64_t offset, void* data, size_t len) {
+  if (offset + len > size_bytes_) {
+    return Status::OutOfRange("ReadAt past EOF in '" + path_ + "'");
+  }
+  ssize_t n = ::pread(fd_, data, len, static_cast<off_t>(offset));
+  if (n < 0) return Status::IoError(Errno("pread", path_));
+  if (static_cast<size_t>(n) != len) {
+    return Status::IoError("short pread from '" + path_ + "'");
+  }
+  CountRead(offset, len);
+  return Status::OK();
+}
+
+Status File::Sync() {
+  if (::fsync(fd_) != 0) return Status::IoError(Errno("fsync", path_));
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace coconut

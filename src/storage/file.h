@@ -1,0 +1,89 @@
+#ifndef COCONUT_STORAGE_FILE_H_
+#define COCONUT_STORAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/access_tracker.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace coconut {
+namespace storage {
+
+/// Instrumented POSIX file. Every read/write updates the shared IoStats
+/// (classifying sequential vs random by comparing against the end of the
+/// previous access of the same kind) and, when page-aligned, notifies the
+/// AccessTracker for heat-map rendering.
+///
+/// Files are obtained through StorageManager, which assigns the file_id used
+/// by tracker events.
+class File {
+ public:
+  ~File();
+
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Creates (truncates) a file at `path`.
+  static Result<std::unique_ptr<File>> Create(const std::string& path,
+                                              uint32_t file_id,
+                                              IoStats* stats,
+                                              AccessTracker* tracker);
+
+  /// Opens an existing file for read/write.
+  static Result<std::unique_ptr<File>> Open(const std::string& path,
+                                            uint32_t file_id, IoStats* stats,
+                                            AccessTracker* tracker);
+
+  /// Reads the `page_no`-th kPageSize page into `page`.
+  Status ReadPage(uint64_t page_no, Page* page);
+
+  /// Writes `page` at page index `page_no`, extending the file if needed.
+  Status WritePage(uint64_t page_no, const Page& page);
+
+  /// Appends `len` raw bytes at the end of the file (sequential write).
+  Status Append(const void* data, size_t len);
+
+  /// Reads `len` raw bytes starting at byte `offset`.
+  Status ReadAt(uint64_t offset, void* data, size_t len);
+
+  /// Flushes file contents to stable storage.
+  Status Sync();
+
+  /// Current file length in bytes.
+  uint64_t size_bytes() const { return size_bytes_; }
+
+  /// Number of whole pages in the file.
+  uint64_t num_pages() const { return (size_bytes_ + kPageSize - 1) / kPageSize; }
+
+  uint32_t file_id() const { return file_id_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  File(int fd, std::string path, uint32_t file_id, uint64_t size,
+       IoStats* stats, AccessTracker* tracker)
+      : fd_(fd),
+        path_(std::move(path)),
+        file_id_(file_id),
+        size_bytes_(size),
+        stats_(stats),
+        tracker_(tracker) {}
+
+  void CountRead(uint64_t offset, size_t len);
+  void CountWrite(uint64_t offset, size_t len);
+
+  int fd_;
+  std::string path_;
+  uint32_t file_id_;
+  uint64_t size_bytes_;
+  IoStats* stats_;       // Not owned; shared across files of one manager.
+  AccessTracker* tracker_;  // Not owned; may be nullptr.
+};
+
+}  // namespace storage
+}  // namespace coconut
+
+#endif  // COCONUT_STORAGE_FILE_H_

@@ -1,0 +1,49 @@
+#ifndef COCONUT_STORAGE_PAGE_H_
+#define COCONUT_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace coconut {
+namespace storage {
+
+/// All on-disk structures in this repo are laid out in fixed-size pages.
+inline constexpr size_t kPageSize = 4096;
+
+/// A page-sized, zero-initialized byte buffer with typed accessors.
+class Page {
+ public:
+  Page() { data_.fill(0); }
+
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+  static constexpr size_t size() { return kPageSize; }
+
+  void Clear() { data_.fill(0); }
+
+  /// Copies a trivially-copyable value at byte offset `off`.
+  template <typename T>
+  void Write(size_t off, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::memcpy(data_.data() + off, &value, sizeof(T));
+  }
+
+  /// Reads a trivially-copyable value from byte offset `off`.
+  template <typename T>
+  T Read(size_t off) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    std::memcpy(&value, data_.data() + off, sizeof(T));
+    return value;
+  }
+
+ private:
+  std::array<uint8_t, kPageSize> data_;
+};
+
+}  // namespace storage
+}  // namespace coconut
+
+#endif  // COCONUT_STORAGE_PAGE_H_

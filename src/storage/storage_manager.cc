@@ -1,0 +1,90 @@
+#include "storage/storage_manager.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace coconut {
+namespace storage {
+
+namespace fs = std::filesystem;
+
+Result<std::unique_ptr<StorageManager>> StorageManager::Create(
+    const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::IoError("create_directories('" + directory +
+                           "'): " + ec.message());
+  }
+  return std::unique_ptr<StorageManager>(new StorageManager(directory));
+}
+
+StorageManager::~StorageManager() = default;
+
+std::string StorageManager::PathFor(const std::string& name) const {
+  return directory_ + "/" + name;
+}
+
+Result<std::unique_ptr<File>> StorageManager::CreateFile(
+    const std::string& name) {
+  return File::Create(PathFor(name), next_file_id_++, &stats_, &tracker_);
+}
+
+Result<std::unique_ptr<File>> StorageManager::OpenFile(
+    const std::string& name) {
+  return File::Open(PathFor(name), next_file_id_++, &stats_, &tracker_);
+}
+
+Status StorageManager::RemoveFile(const std::string& name) {
+  if (::unlink(PathFor(name).c_str()) != 0) {
+    return Status::IoError("unlink('" + PathFor(name) +
+                           "'): " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool StorageManager::Exists(const std::string& name) const {
+  struct stat st;
+  return ::stat(PathFor(name).c_str(), &st) == 0;
+}
+
+uint64_t StorageManager::TotalBytesOnDisk() const {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (entry.is_regular_file(ec)) {
+      total += entry.file_size(ec);
+    }
+  }
+  return total;
+}
+
+Status StorageManager::Clear() {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    fs::remove_all(entry.path(), ec);
+    if (ec) {
+      return Status::IoError("remove_all('" + entry.path().string() +
+                             "'): " + ec.message());
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<StorageManager>> MakeTempStorage(
+    const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t id = counter.fetch_add(1);
+  std::string dir = fs::temp_directory_path().string() + "/coconut_" + prefix +
+                    "_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(id);
+  return StorageManager::Create(dir);
+}
+
+}  // namespace storage
+}  // namespace coconut

@@ -1,0 +1,76 @@
+#ifndef COCONUT_STORAGE_STORAGE_MANAGER_H_
+#define COCONUT_STORAGE_STORAGE_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/access_tracker.h"
+#include "storage/file.h"
+#include "storage/io_stats.h"
+
+namespace coconut {
+namespace storage {
+
+/// Owns a working directory and hands out instrumented File handles whose
+/// I/O all flows into one IoStats / AccessTracker pair. Each index variant
+/// gets its own StorageManager so its footprint and I/O behaviour can be
+/// measured in isolation — this is the "Storage Layer" box of Figure 1.
+class StorageManager {
+ public:
+  /// Creates (mkdir -p) the working directory. Files created through the
+  /// manager live inside it.
+  static Result<std::unique_ptr<StorageManager>> Create(
+      const std::string& directory);
+
+  ~StorageManager();
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  /// Creates (truncates) a file named `name` inside the directory.
+  Result<std::unique_ptr<File>> CreateFile(const std::string& name);
+
+  /// Opens an existing file named `name`.
+  Result<std::unique_ptr<File>> OpenFile(const std::string& name);
+
+  /// Deletes the named file from disk.
+  Status RemoveFile(const std::string& name);
+
+  /// Whether `name` exists inside the directory.
+  bool Exists(const std::string& name) const;
+
+  /// Sum of the sizes of every file currently in the directory (bytes);
+  /// the storage-consumption metric shown by the GUI.
+  uint64_t TotalBytesOnDisk() const;
+
+  /// Removes every file in the directory (used between experiments).
+  Status Clear();
+
+  IoStats* io_stats() { return &stats_; }
+  AccessTracker* tracker() { return &tracker_; }
+  const std::string& directory() const { return directory_; }
+
+ private:
+  explicit StorageManager(std::string directory)
+      : directory_(std::move(directory)) {}
+
+  std::string PathFor(const std::string& name) const;
+
+  std::string directory_;
+  IoStats stats_;
+  AccessTracker tracker_;
+  uint32_t next_file_id_ = 0;
+};
+
+/// Creates a unique fresh directory under the system temp root, for tests
+/// and benches. The returned manager owns it.
+Result<std::unique_ptr<StorageManager>> MakeTempStorage(
+    const std::string& prefix);
+
+}  // namespace storage
+}  // namespace coconut
+
+#endif  // COCONUT_STORAGE_STORAGE_MANAGER_H_

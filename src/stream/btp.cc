@@ -1,0 +1,110 @@
+#include "stream/btp.h"
+
+#include <algorithm>
+#include <map>
+
+#include "seqtable/merge.h"
+
+namespace coconut {
+namespace stream {
+
+Result<std::unique_ptr<BoundedTemporalPartitioningIndex>>
+BoundedTemporalPartitioningIndex::Create(storage::StorageManager* storage,
+                                         const std::string& prefix,
+                                         const BtpOptions& options,
+                                         storage::BufferPool* pool,
+                                         core::RawSeriesStore* raw) {
+  if (!options.sax.Valid()) {
+    return Status::InvalidArgument("invalid SaxConfig");
+  }
+  if (options.merge_k < 2) {
+    return Status::InvalidArgument("merge_k must be >= 2");
+  }
+  if (options.buffer_entries == 0) {
+    return Status::InvalidArgument("buffer_entries must be > 0");
+  }
+  if (!options.materialized && raw == nullptr) {
+    return Status::InvalidArgument(
+        "non-materialized BTP needs a raw store for verification");
+  }
+  Options topts;
+  topts.sax = options.sax;
+  topts.materialized = options.materialized;
+  topts.backend = PartitionBackend::kSeqTable;
+  topts.buffer_entries = options.buffer_entries;
+  return std::unique_ptr<BoundedTemporalPartitioningIndex>(
+      new BoundedTemporalPartitioningIndex(storage, prefix, topts, pool, raw,
+                                           options.merge_k));
+}
+
+int BoundedTemporalPartitioningIndex::max_size_class() const {
+  int max_class = 0;
+  for (const auto& p : partitions_) max_class = std::max(max_class, p.size_class);
+  return max_class;
+}
+
+Status BoundedTemporalPartitioningIndex::AfterSeal() {
+  // Repeatedly merge the oldest merge_k partitions that share a size class.
+  // Partitions of one class are temporally adjacent (they were created in
+  // stream order and merges preserve that order), so the merged partition's
+  // time range is contiguous.
+  while (true) {
+    // Count partitions per class.
+    std::map<int, std::vector<size_t>> by_class;
+    for (size_t i = 0; i < partitions_.size(); ++i) {
+      by_class[partitions_[i].size_class].push_back(i);
+    }
+    int merge_class = -1;
+    for (const auto& [cls, indices] : by_class) {
+      if (indices.size() >= static_cast<size_t>(merge_k_)) {
+        merge_class = cls;
+        break;
+      }
+    }
+    if (merge_class < 0) return Status::OK();
+
+    const std::vector<size_t>& indices = by_class[merge_class];
+    std::vector<size_t> chosen(indices.begin(), indices.begin() + merge_k_);
+
+    std::vector<const seqtable::SeqTable*> inputs;
+    int64_t t_min = INT64_MAX;
+    int64_t t_max = INT64_MIN;
+    for (size_t idx : chosen) {
+      inputs.push_back(partitions_[idx].table.get());
+      t_min = std::min(t_min, partitions_[idx].t_min);
+      t_max = std::max(t_max, partitions_[idx].t_max);
+    }
+
+    seqtable::SeqTableOptions topts;
+    topts.sax = options_.sax;
+    topts.materialized = options_.materialized;
+    const std::string out_name =
+        prefix_ + ".m" + std::to_string(next_merge_id_++);
+    COCONUT_ASSIGN_OR_RETURN(
+        std::unique_ptr<seqtable::SeqTable> merged,
+        seqtable::MergeTables(storage_, out_name, topts, inputs, pool_));
+    ++merges_;
+
+    SealedPartition merged_partition;
+    merged_partition.table = std::move(merged);
+    merged_partition.t_min = t_min;
+    merged_partition.t_max = t_max;
+    merged_partition.entries = merged_partition.table->num_entries();
+    merged_partition.size_class = merge_class + 1;
+    merged_partition.name = out_name;
+
+    // Remove the inputs (delete their files) and insert the merged
+    // partition where the oldest input sat, keeping partitions_ in time
+    // order.
+    const size_t insert_at = chosen.front();
+    for (auto it = chosen.rbegin(); it != chosen.rend(); ++it) {
+      COCONUT_RETURN_NOT_OK(storage_->RemoveFile(partitions_[*it].name));
+      partitions_.erase(partitions_.begin() + *it);
+    }
+    partitions_.insert(partitions_.begin() + insert_at,
+                       std::move(merged_partition));
+  }
+}
+
+}  // namespace stream
+}  // namespace coconut

@@ -1,0 +1,58 @@
+#ifndef COCONUT_STREAM_PP_H_
+#define COCONUT_STREAM_PP_H_
+
+#include <memory>
+
+#include "core/index.h"
+#include "stream/streaming_index.h"
+
+namespace coconut {
+namespace stream {
+
+/// Post-Processing (PP): one monolithic index; window queries examine the
+/// timestamp of every encountered entry and discard those outside the
+/// window (Section 3). Cheap to maintain, but queries over small windows
+/// still pay for the whole structure — there is no partition skipping.
+class PostProcessingIndex : public StreamingIndex {
+ public:
+  /// Wraps any static index (ADS+, CTree or CLSM, materialized or not).
+  /// The inner index must already be Finalized if it requires it (CTree).
+  explicit PostProcessingIndex(std::unique_ptr<core::DataSeriesIndex> inner)
+      : inner_(std::move(inner)) {}
+
+  Status Ingest(uint64_t series_id, std::span<const float> znorm_values,
+                int64_t timestamp) override {
+    return inner_->Insert(series_id, znorm_values, timestamp);
+  }
+
+  Status FlushAll() override { return inner_->Finalize(); }
+
+  Result<core::SearchResult> ApproxSearch(
+      std::span<const float> query, const core::SearchOptions& options,
+      core::QueryCounters* counters) override {
+    // The window rides inside options; every index family filters entry
+    // timestamps during evaluation — which *is* post-processing.
+    return inner_->ApproxSearch(query, options, counters);
+  }
+
+  Result<core::SearchResult> ExactSearch(
+      std::span<const float> query, const core::SearchOptions& options,
+      core::QueryCounters* counters) override {
+    return inner_->ExactSearch(query, options, counters);
+  }
+
+  uint64_t num_entries() const override { return inner_->num_entries(); }
+  size_t num_partitions() const override { return 1; }
+  uint64_t index_bytes() const override { return inner_->index_bytes(); }
+  std::string describe() const override { return inner_->describe() + "-PP"; }
+
+  core::DataSeriesIndex* inner() { return inner_.get(); }
+
+ private:
+  std::unique_ptr<core::DataSeriesIndex> inner_;
+};
+
+}  // namespace stream
+}  // namespace coconut
+
+#endif  // COCONUT_STREAM_PP_H_

@@ -1,0 +1,52 @@
+#ifndef COCONUT_STREAM_STREAMING_INDEX_H_
+#define COCONUT_STREAM_STREAMING_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "core/types.h"
+
+namespace coconut {
+namespace stream {
+
+/// Facade over the streaming schemes of Section 3 (PP, TP, BTP). Values in
+/// each temporal window are treated as time-ordered sequences: series
+/// arrive with timestamps, and queries carry a window of interest in
+/// SearchOptions.window.
+class StreamingIndex {
+ public:
+  virtual ~StreamingIndex() = default;
+
+  /// Ingests one z-normalized series stamped `timestamp`. Timestamps must
+  /// be non-decreasing across calls (stream order).
+  virtual Status Ingest(uint64_t series_id,
+                        std::span<const float> znorm_values,
+                        int64_t timestamp) = 0;
+
+  /// Drains any in-memory buffer to storage.
+  virtual Status FlushAll() = 0;
+
+  virtual Result<core::SearchResult> ApproxSearch(
+      std::span<const float> query, const core::SearchOptions& options,
+      core::QueryCounters* counters) = 0;
+
+  virtual Result<core::SearchResult> ExactSearch(
+      std::span<const float> query, const core::SearchOptions& options,
+      core::QueryCounters* counters) = 0;
+
+  virtual uint64_t num_entries() const = 0;
+
+  /// Sealed partitions currently held (1 for PP's monolithic index).
+  virtual size_t num_partitions() const = 0;
+
+  virtual uint64_t index_bytes() const = 0;
+
+  virtual std::string describe() const = 0;
+};
+
+}  // namespace stream
+}  // namespace coconut
+
+#endif  // COCONUT_STREAM_STREAMING_INDEX_H_

@@ -1,0 +1,260 @@
+#include "stream/tp.h"
+
+#include <algorithm>
+
+#include "seqtable/table_search.h"
+#include "series/paa.h"
+
+namespace coconut {
+namespace stream {
+
+namespace {
+
+using core::IndexEntry;
+using core::SearchOptions;
+using core::SearchResult;
+using core::TimeWindow;
+
+}  // namespace
+
+Result<std::unique_ptr<TemporalPartitioningIndex>>
+TemporalPartitioningIndex::Create(storage::StorageManager* storage,
+                                  const std::string& prefix,
+                                  const Options& options,
+                                  storage::BufferPool* pool,
+                                  core::RawSeriesStore* raw) {
+  if (!options.sax.Valid()) {
+    return Status::InvalidArgument("invalid SaxConfig");
+  }
+  if (options.buffer_entries == 0) {
+    return Status::InvalidArgument("buffer_entries must be > 0");
+  }
+  if (!options.materialized && raw == nullptr) {
+    return Status::InvalidArgument(
+        "non-materialized TP needs a raw store for verification");
+  }
+  return std::unique_ptr<TemporalPartitioningIndex>(
+      new TemporalPartitioningIndex(storage, prefix, options, pool, raw));
+}
+
+Status TemporalPartitioningIndex::EnsureCurrentAds() {
+  if (current_ads_ != nullptr) return Status::OK();
+  ads::AdsIndex::Options aopts;
+  aopts.sax = options_.sax;
+  aopts.materialized = options_.materialized;
+  aopts.leaf_capacity = options_.ads_leaf_capacity;
+  aopts.global_buffer_entries = options_.buffer_entries;
+  COCONUT_ASSIGN_OR_RETURN(
+      current_ads_,
+      ads::AdsIndex::Create(
+          storage_, prefix_ + ".p" + std::to_string(next_partition_id_),
+          aopts, raw_));
+  return Status::OK();
+}
+
+size_t TemporalPartitioningIndex::UnsealedCount() const {
+  if (options_.backend == PartitionBackend::kAds) {
+    return current_ads_ == nullptr
+               ? 0
+               : static_cast<size_t>(current_ads_->num_entries());
+  }
+  return buffer_.size();
+}
+
+Status TemporalPartitioningIndex::Ingest(uint64_t series_id,
+                                         std::span<const float> znorm_values,
+                                         int64_t timestamp) {
+  if (znorm_values.size() != static_cast<size_t>(options_.sax.series_length)) {
+    return Status::InvalidArgument("series length mismatch");
+  }
+  if (options_.backend == PartitionBackend::kAds) {
+    COCONUT_RETURN_NOT_OK(EnsureCurrentAds());
+    COCONUT_RETURN_NOT_OK(
+        current_ads_->Insert(series_id, znorm_values, timestamp));
+  } else {
+    IndexEntry entry;
+    entry.key = series::InterleaveSax(
+        series::ComputeSax(znorm_values, options_.sax), options_.sax);
+    entry.series_id = series_id;
+    entry.timestamp = timestamp;
+    buffer_.push_back(entry);
+    if (options_.materialized) {
+      buffer_payloads_.insert(buffer_payloads_.end(), znorm_values.begin(),
+                              znorm_values.end());
+    }
+  }
+  unsealed_t_min_ = std::min(unsealed_t_min_, timestamp);
+  unsealed_t_max_ = std::max(unsealed_t_max_, timestamp);
+
+  if (UnsealedCount() >= options_.buffer_entries) {
+    COCONUT_RETURN_NOT_OK(SealPartition());
+    COCONUT_RETURN_NOT_OK(AfterSeal());
+  }
+  return Status::OK();
+}
+
+Status TemporalPartitioningIndex::SealPartition() {
+  if (UnsealedCount() == 0) return Status::OK();
+
+  SealedPartition partition;
+  partition.t_min = unsealed_t_min_;
+  partition.t_max = unsealed_t_max_;
+  partition.name = prefix_ + ".p" + std::to_string(next_partition_id_++);
+
+  if (options_.backend == PartitionBackend::kAds) {
+    COCONUT_RETURN_NOT_OK(current_ads_->FlushAll());
+    partition.entries = current_ads_->num_entries();
+    partition.ads = std::move(current_ads_);
+  } else {
+    // Sort the buffer by key and lay it out as one compact partition.
+    const size_t len = options_.sax.series_length;
+    std::vector<size_t> order(buffer_.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+      return core::EntryKeyLess()(buffer_[a], buffer_[b]);
+    });
+    seqtable::SeqTableOptions topts;
+    topts.sax = options_.sax;
+    topts.materialized = options_.materialized;
+    COCONUT_ASSIGN_OR_RETURN(
+        std::unique_ptr<seqtable::SeqTableBuilder> builder,
+        seqtable::SeqTableBuilder::Create(storage_, partition.name, topts));
+    for (size_t i : order) {
+      std::span<const float> payload;
+      if (options_.materialized) {
+        payload =
+            std::span<const float>(buffer_payloads_.data() + i * len, len);
+      }
+      COCONUT_RETURN_NOT_OK(builder->Add(buffer_[i], payload));
+    }
+    partition.entries = builder->entries_added();
+    COCONUT_RETURN_NOT_OK(builder->Finish());
+    COCONUT_ASSIGN_OR_RETURN(
+        partition.table,
+        seqtable::SeqTable::Open(storage_, partition.name, pool_));
+    buffer_.clear();
+    buffer_payloads_.clear();
+  }
+
+  partitions_.push_back(std::move(partition));
+  unsealed_t_min_ = INT64_MAX;
+  unsealed_t_max_ = INT64_MIN;
+  return Status::OK();
+}
+
+Status TemporalPartitioningIndex::FlushAll() {
+  COCONUT_RETURN_NOT_OK(SealPartition());
+  return AfterSeal();
+}
+
+Status TemporalPartitioningIndex::SearchUnsealed(
+    std::span<const float> query, const SearchOptions& options,
+    core::QueryCounters* counters, bool exact, SearchResult* best) {
+  if (options_.backend == PartitionBackend::kAds) {
+    if (current_ads_ == nullptr || current_ads_->num_entries() == 0) {
+      return Status::OK();
+    }
+    auto r = exact ? current_ads_->ExactSearch(query, options, counters)
+                   : current_ads_->ApproxSearch(query, options, counters);
+    if (!r.ok()) return r.status();
+    best->Improve(r.value());
+    return Status::OK();
+  }
+  if (buffer_.empty()) return Status::OK();
+  std::vector<float> paa_storage;
+  seqtable::SearchContext ctx = seqtable::MakeSearchContext(
+      options_.sax, query, &paa_storage, raw_, counters);
+  return seqtable::EvaluateCandidates(
+      ctx, options, buffer_, buffer_payloads_, options_.materialized,
+      exact ? -1 : options.approx_candidates, best);
+}
+
+Result<SearchResult> TemporalPartitioningIndex::ApproxSearch(
+    std::span<const float> query, const SearchOptions& options,
+    core::QueryCounters* counters) {
+  SearchResult best;
+  // Newest data first: the unsealed tail, then partitions newest to oldest.
+  COCONUT_RETURN_NOT_OK(
+      SearchUnsealed(query, options, counters, /*exact=*/false, &best));
+  std::vector<float> paa_storage;
+  seqtable::SearchContext ctx = seqtable::MakeSearchContext(
+      options_.sax, query, &paa_storage, raw_, counters);
+  for (auto it = partitions_.rbegin(); it != partitions_.rend(); ++it) {
+    if (!options.window.Intersects(it->t_min, it->t_max)) {
+      if (counters != nullptr) ++counters->partitions_skipped;
+      continue;
+    }
+    if (counters != nullptr) ++counters->partitions_visited;
+    // Fully covered partitions skip per-entry timestamp checks.
+    SearchOptions inner = options;
+    if (options.window.Covers(it->t_min, it->t_max)) {
+      inner.window = TimeWindow::All();
+    }
+    if (it->table != nullptr) {
+      COCONUT_ASSIGN_OR_RETURN(
+          SearchResult r, seqtable::ApproxSearchTable(*it->table, ctx, inner));
+      best.Improve(r);
+    } else {
+      COCONUT_ASSIGN_OR_RETURN(SearchResult r,
+                               it->ads->ApproxSearch(query, inner, counters));
+      best.Improve(r);
+    }
+  }
+  return best;
+}
+
+Result<SearchResult> TemporalPartitioningIndex::ExactSearch(
+    std::span<const float> query, const SearchOptions& options,
+    core::QueryCounters* counters) {
+  // Seed with the approximate pass (cheap, tightens the bound), then scan
+  // every intersecting partition with the shared best-so-far.
+  COCONUT_ASSIGN_OR_RETURN(SearchResult best,
+                           ApproxSearch(query, options, counters));
+  COCONUT_RETURN_NOT_OK(
+      SearchUnsealed(query, options, counters, /*exact=*/true, &best));
+  std::vector<float> paa_storage;
+  seqtable::SearchContext ctx = seqtable::MakeSearchContext(
+      options_.sax, query, &paa_storage, raw_, counters);
+  for (auto it = partitions_.rbegin(); it != partitions_.rend(); ++it) {
+    if (!options.window.Intersects(it->t_min, it->t_max)) continue;
+    SearchOptions inner = options;
+    if (options.window.Covers(it->t_min, it->t_max)) {
+      inner.window = TimeWindow::All();
+    }
+    if (it->table != nullptr) {
+      COCONUT_RETURN_NOT_OK(
+          seqtable::ExactScanTable(*it->table, ctx, inner, &best));
+    } else {
+      COCONUT_ASSIGN_OR_RETURN(SearchResult r,
+                               it->ads->ExactSearch(query, inner, counters));
+      best.Improve(r);
+    }
+  }
+  return best;
+}
+
+uint64_t TemporalPartitioningIndex::num_entries() const {
+  uint64_t total = UnsealedCount();
+  for (const auto& p : partitions_) total += p.entries;
+  return total;
+}
+
+uint64_t TemporalPartitioningIndex::index_bytes() const {
+  uint64_t total = 0;
+  for (const auto& p : partitions_) {
+    if (p.table != nullptr) total += p.table->file_bytes();
+    if (p.ads != nullptr) total += p.ads->total_file_bytes();
+  }
+  if (current_ads_ != nullptr) total += current_ads_->total_file_bytes();
+  return total;
+}
+
+std::string TemporalPartitioningIndex::describe() const {
+  std::string base = options_.backend == PartitionBackend::kAds
+                         ? (options_.materialized ? "ADSFull" : "ADS+")
+                         : (options_.materialized ? "CTreeFull" : "CTree");
+  return base + "-TP";
+}
+
+}  // namespace stream
+}  // namespace coconut

@@ -1,0 +1,120 @@
+#ifndef COCONUT_STREAM_TP_H_
+#define COCONUT_STREAM_TP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ads/ads_index.h"
+#include "core/entry.h"
+#include "core/raw_store.h"
+#include "seqtable/seq_table.h"
+#include "stream/streaming_index.h"
+
+namespace coconut {
+namespace stream {
+
+/// Which structure backs each sealed temporal partition.
+enum class PartitionBackend {
+  kSeqTable,  ///< Sorted compact partitions ("CTreeTP").
+  kAds,       ///< One ADS+ tree per partition ("ADS+TP").
+};
+
+/// Temporal Partitioning (TP, Section 3): every time the in-memory buffer
+/// fills, its contents are sealed into a new immutable partition tagged
+/// with its [min, max] arrival-time range. Window queries touch only
+/// partitions whose range intersects the window — small windows skip
+/// nearly everything — but partitions accumulate without bound, so large
+/// windows pay one probe per partition.
+class TemporalPartitioningIndex : public StreamingIndex {
+ public:
+  struct Options {
+    series::SaxConfig sax;
+    bool materialized = false;
+    PartitionBackend backend = PartitionBackend::kSeqTable;
+    /// Entries buffered before sealing a partition.
+    size_t buffer_entries = 4096;
+    /// Leaf capacity for kAds partitions.
+    size_t ads_leaf_capacity = 1024;
+  };
+
+  static Result<std::unique_ptr<TemporalPartitioningIndex>> Create(
+      storage::StorageManager* storage, const std::string& prefix,
+      const Options& options, storage::BufferPool* pool,
+      core::RawSeriesStore* raw);
+
+  ~TemporalPartitioningIndex() override = default;
+
+  Status Ingest(uint64_t series_id, std::span<const float> znorm_values,
+                int64_t timestamp) override;
+  Status FlushAll() override;
+  Result<core::SearchResult> ApproxSearch(
+      std::span<const float> query, const core::SearchOptions& options,
+      core::QueryCounters* counters) override;
+  Result<core::SearchResult> ExactSearch(
+      std::span<const float> query, const core::SearchOptions& options,
+      core::QueryCounters* counters) override;
+  uint64_t num_entries() const override;
+  size_t num_partitions() const override { return partitions_.size(); }
+  uint64_t index_bytes() const override;
+  std::string describe() const override;
+
+ protected:
+  struct SealedPartition {
+    std::unique_ptr<seqtable::SeqTable> table;  // kSeqTable backend.
+    std::unique_ptr<ads::AdsIndex> ads;         // kAds backend.
+    int64_t t_min = 0;
+    int64_t t_max = 0;
+    uint64_t entries = 0;
+    int size_class = 0;  // Used by the BTP subclass.
+    std::string name;
+  };
+
+  TemporalPartitioningIndex(storage::StorageManager* storage,
+                            std::string prefix, const Options& options,
+                            storage::BufferPool* pool,
+                            core::RawSeriesStore* raw)
+      : storage_(storage),
+        prefix_(std::move(prefix)),
+        options_(options),
+        pool_(pool),
+        raw_(raw) {}
+
+  /// Seals the current buffer / in-progress ADS+ tree into a partition.
+  Status SealPartition();
+
+  /// Hook for BTP: consolidation after a partition is appended.
+  virtual Status AfterSeal() { return Status::OK(); }
+
+  /// Evaluates the unsealed tail (buffer or live ADS+ tree).
+  Status SearchUnsealed(std::span<const float> query,
+                        const core::SearchOptions& options,
+                        core::QueryCounters* counters, bool exact,
+                        core::SearchResult* best);
+
+  size_t UnsealedCount() const;
+  Status EnsureCurrentAds();
+
+  storage::StorageManager* storage_;
+  std::string prefix_;
+  Options options_;
+  storage::BufferPool* pool_;
+  core::RawSeriesStore* raw_;
+
+  // kSeqTable backend: buffered entries (+payloads when materialized).
+  std::vector<core::IndexEntry> buffer_;
+  std::vector<float> buffer_payloads_;
+
+  // kAds backend: the partition being built, live.
+  std::unique_ptr<ads::AdsIndex> current_ads_;
+
+  std::vector<SealedPartition> partitions_;
+  uint64_t next_partition_id_ = 0;
+  int64_t unsealed_t_min_ = INT64_MAX;
+  int64_t unsealed_t_max_ = INT64_MIN;
+};
+
+}  // namespace stream
+}  // namespace coconut
+
+#endif  // COCONUT_STREAM_TP_H_

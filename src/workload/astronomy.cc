@@ -1,0 +1,137 @@
+#include "workload/astronomy.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace coconut {
+namespace workload {
+
+const char* AstronomyClassName(AstronomyClass c) {
+  switch (c) {
+    case AstronomyClass::kNoise:
+      return "noise";
+    case AstronomyClass::kBinaryStar:
+      return "binary_star";
+    case AstronomyClass::kSupernova:
+      return "supernova";
+    case AstronomyClass::kVariableStar:
+      return "variable_star";
+  }
+  return "?";
+}
+
+std::vector<float> AstronomyGenerator::NoiseCurve() {
+  // AR(1) red noise: photometric measurements are correlated in time.
+  std::vector<float> curve(options_.series_length);
+  double x = 0.0;
+  const double phi = 0.9;
+  for (size_t i = 0; i < curve.size(); ++i) {
+    x = phi * x + rng_.NextGaussian();
+    curve[i] = static_cast<float>(x);
+  }
+  return curve;
+}
+
+void AstronomyGenerator::AddBinaryStar(std::vector<float>* curve,
+                                       Rng* rng) const {
+  // Eclipsing binary: periodic box-shaped brightness dips.
+  const size_t n = curve->size();
+  const size_t period = n / (2 + rng->NextBounded(6));     // 2..7 eclipses.
+  const size_t dip_width = std::max<size_t>(2, period / 8);
+  const size_t phase = rng->NextBounded(period);
+  const double depth = options_.signal_to_noise * (0.8 + 0.4 * rng->NextDouble());
+  for (size_t i = phase; i < n; i += period) {
+    for (size_t j = i; j < std::min(n, i + dip_width); ++j) {
+      (*curve)[j] -= static_cast<float>(depth);
+    }
+  }
+}
+
+void AstronomyGenerator::AddSupernova(std::vector<float>* curve,
+                                      Rng* rng) const {
+  // Transient: sharp rise over ~3% of the curve, exponential decay after.
+  const size_t n = curve->size();
+  const size_t onset = n / 8 + rng->NextBounded(n / 2);
+  const size_t rise = std::max<size_t>(2, n / 32);
+  const double peak = options_.signal_to_noise * (1.0 + rng->NextDouble());
+  const double decay_tau = n / 6.0;
+  for (size_t i = onset; i < n; ++i) {
+    double level;
+    if (i < onset + rise) {
+      level = peak * static_cast<double>(i - onset + 1) / rise;
+    } else {
+      level = peak * std::exp(-static_cast<double>(i - onset - rise) /
+                              decay_tau);
+    }
+    (*curve)[i] += static_cast<float>(level);
+  }
+}
+
+void AstronomyGenerator::AddVariableStar(std::vector<float>* curve,
+                                         Rng* rng) const {
+  // Pulsating variable: smooth sinusoid with random period and phase.
+  const size_t n = curve->size();
+  const double cycles = 1.5 + 4.0 * rng->NextDouble();
+  const double phase = 2.0 * std::numbers::pi * rng->NextDouble();
+  const double amplitude =
+      options_.signal_to_noise * (0.6 + 0.6 * rng->NextDouble());
+  for (size_t i = 0; i < n; ++i) {
+    (*curve)[i] += static_cast<float>(
+        amplitude *
+        std::sin(2.0 * std::numbers::pi * cycles * i / n + phase));
+  }
+}
+
+series::SeriesCollection AstronomyGenerator::Generate(size_t count) {
+  series::SeriesCollection collection(options_.series_length);
+  collection.Reserve(count);
+  labels_.clear();
+  labels_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<float> curve = NoiseCurve();
+    const double dice = rng_.NextDouble();
+    AstronomyClass cls = AstronomyClass::kNoise;
+    if (dice < options_.binary_fraction) {
+      cls = AstronomyClass::kBinaryStar;
+      AddBinaryStar(&curve, &rng_);
+    } else if (dice < options_.binary_fraction +
+                          options_.supernova_fraction) {
+      cls = AstronomyClass::kSupernova;
+      AddSupernova(&curve, &rng_);
+    } else if (dice < options_.binary_fraction +
+                          options_.supernova_fraction +
+                          options_.variable_fraction) {
+      cls = AstronomyClass::kVariableStar;
+      AddVariableStar(&curve, &rng_);
+    }
+    series::ZNormalize(curve);
+    collection.Append(curve);
+    labels_.push_back(cls);
+  }
+  return collection;
+}
+
+std::vector<float> AstronomyGenerator::PatternTemplate(AstronomyClass c,
+                                                       uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<float> curve(options_.series_length, 0.0f);
+  switch (c) {
+    case AstronomyClass::kNoise:
+      for (float& v : curve) v = static_cast<float>(rng.NextGaussian());
+      break;
+    case AstronomyClass::kBinaryStar:
+      AddBinaryStar(&curve, &rng);
+      break;
+    case AstronomyClass::kSupernova:
+      AddSupernova(&curve, &rng);
+      break;
+    case AstronomyClass::kVariableStar:
+      AddVariableStar(&curve, &rng);
+      break;
+  }
+  series::ZNormalize(curve);
+  return curve;
+}
+
+}  // namespace workload
+}  // namespace coconut

@@ -1,0 +1,69 @@
+#ifndef COCONUT_WORKLOAD_ASTRONOMY_H_
+#define COCONUT_WORKLOAD_ASTRONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "series/series.h"
+
+namespace coconut {
+namespace workload {
+
+/// What a synthetic light curve contains (Scenario 1 searches for the
+/// "known patterns of interest — a supernova, a binary star, etc.").
+enum class AstronomyClass {
+  kNoise,        ///< Red-noise background only.
+  kBinaryStar,   ///< Periodic eclipse dips.
+  kSupernova,    ///< Fast-rise, exponential-decay transient.
+  kVariableStar, ///< Smooth sinusoidal pulsation.
+};
+
+const char* AstronomyClassName(AstronomyClass c);
+
+/// Synthetic substitute for the demo's "large collection of raw astronomy
+/// data series" (see DESIGN.md substitutions): red-noise light curves with
+/// planted, parameter-randomized astrophysical patterns. The generator
+/// remembers each series' class so experiments can verify that searching
+/// with a pattern template really retrieves series of that class.
+class AstronomyGenerator {
+ public:
+  struct Options {
+    size_t series_length = 256;
+    /// Fraction of series carrying each pattern (remainder is noise).
+    double binary_fraction = 0.05;
+    double supernova_fraction = 0.05;
+    double variable_fraction = 0.05;
+    /// Pattern amplitude relative to the noise sigma.
+    double signal_to_noise = 6.0;
+    uint64_t seed = 42;
+  };
+
+  explicit AstronomyGenerator(const Options& options) : options_(options), rng_(options.seed) {}
+
+  /// Generates `count` z-normalized light curves; labels() afterwards has
+  /// one class per series.
+  series::SeriesCollection Generate(size_t count);
+
+  const std::vector<AstronomyClass>& labels() const { return labels_; }
+
+  /// A clean (noise-free) z-normalized template of a pattern class, usable
+  /// as a query target.
+  std::vector<float> PatternTemplate(AstronomyClass c, uint64_t seed) const;
+
+ private:
+  std::vector<float> NoiseCurve();
+  void AddBinaryStar(std::vector<float>* curve, Rng* rng) const;
+  void AddSupernova(std::vector<float>* curve, Rng* rng) const;
+  void AddVariableStar(std::vector<float>* curve, Rng* rng) const;
+
+  Options options_;
+  Rng rng_;
+  std::vector<AstronomyClass> labels_;
+};
+
+}  // namespace workload
+}  // namespace coconut
+
+#endif  // COCONUT_WORKLOAD_ASTRONOMY_H_

@@ -1,0 +1,54 @@
+#include "workload/dataset_io.h"
+
+#include <cstdio>
+
+namespace coconut {
+namespace workload {
+
+Status WriteDataset(const std::string& path,
+                    const series::SeriesCollection& collection) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  const auto& data = collection.data();
+  const size_t written = std::fwrite(data.data(), sizeof(float), data.size(), f);
+  std::fclose(f);
+  if (written != data.size()) {
+    return Status::IoError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<series::SeriesCollection> ReadDataset(const std::string& path,
+                                             size_t series_length) {
+  if (series_length == 0) {
+    return Status::InvalidArgument("series_length must be > 0");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0 ||
+      static_cast<size_t>(size) % (series_length * sizeof(float)) != 0) {
+    std::fclose(f);
+    return Status::InvalidArgument(
+        "'" + path + "' is not a multiple of the series size");
+  }
+  series::SeriesCollection collection(series_length);
+  collection.mutable_data().resize(static_cast<size_t>(size) / sizeof(float));
+  const size_t read = std::fread(collection.mutable_data().data(),
+                                 sizeof(float),
+                                 collection.mutable_data().size(), f);
+  std::fclose(f);
+  if (read != collection.mutable_data().size()) {
+    return Status::IoError("short read from '" + path + "'");
+  }
+  return collection;
+}
+
+}  // namespace workload
+}  // namespace coconut

@@ -1,0 +1,26 @@
+#ifndef COCONUT_WORKLOAD_DATASET_IO_H_
+#define COCONUT_WORKLOAD_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "series/series.h"
+
+namespace coconut {
+namespace workload {
+
+/// Writes a collection as the flat binary row-major float32 format used by
+/// the public data series benchmarks (and the original Coconut code):
+/// count * length floats, no header. Shape travels out of band.
+Status WriteDataset(const std::string& path,
+                    const series::SeriesCollection& collection);
+
+/// Reads a flat float32 dataset of fixed-length series. The file size must
+/// be a multiple of series_length * 4.
+Result<series::SeriesCollection> ReadDataset(const std::string& path,
+                                             size_t series_length);
+
+}  // namespace workload
+}  // namespace coconut
+
+#endif  // COCONUT_WORKLOAD_DATASET_IO_H_

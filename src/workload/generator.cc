@@ -1,0 +1,44 @@
+#include "workload/generator.h"
+
+namespace coconut {
+namespace workload {
+
+std::vector<float> RandomWalkGenerator::Next() {
+  std::vector<float> values(length_);
+  double x = 0.0;
+  for (size_t i = 0; i < length_; ++i) {
+    x += rng_.NextGaussian();
+    values[i] = static_cast<float>(x);
+  }
+  series::ZNormalize(values);
+  return values;
+}
+
+series::SeriesCollection RandomWalkGenerator::Generate(size_t count) {
+  series::SeriesCollection collection(length_);
+  collection.Reserve(count);
+  for (size_t i = 0; i < count; ++i) collection.Append(Next());
+  return collection;
+}
+
+std::vector<std::vector<float>> MakeNoisyQueries(
+    const series::SeriesCollection& collection, size_t count, double noise,
+    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> queries;
+  queries.reserve(count);
+  for (size_t q = 0; q < count; ++q) {
+    const size_t base = rng.NextBounded(collection.size());
+    std::vector<float> query(collection[base].begin(),
+                             collection[base].end());
+    for (float& v : query) {
+      v += static_cast<float>(noise * rng.NextGaussian());
+    }
+    series::ZNormalize(query);
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace workload
+}  // namespace coconut

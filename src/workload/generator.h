@@ -1,0 +1,41 @@
+#ifndef COCONUT_WORKLOAD_GENERATOR_H_
+#define COCONUT_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "series/series.h"
+
+namespace coconut {
+namespace workload {
+
+/// The standard synthetic workload of the data series indexing literature:
+/// cumulative sums of Gaussian steps, z-normalized.
+class RandomWalkGenerator {
+ public:
+  RandomWalkGenerator(size_t series_length, uint64_t seed)
+      : length_(series_length), rng_(seed) {}
+
+  /// Generates one z-normalized series.
+  std::vector<float> Next();
+
+  /// Generates a collection of `count` series.
+  series::SeriesCollection Generate(size_t count);
+
+ private:
+  size_t length_;
+  Rng rng_;
+};
+
+/// Query workload: noisy copies of indexed series (the "known patterns"
+/// the demo searches for) re-normalized. `noise` is the per-point Gaussian
+/// sigma added before re-normalization.
+std::vector<std::vector<float>> MakeNoisyQueries(
+    const series::SeriesCollection& collection, size_t count, double noise,
+    uint64_t seed);
+
+}  // namespace workload
+}  // namespace coconut
+
+#endif  // COCONUT_WORKLOAD_GENERATOR_H_

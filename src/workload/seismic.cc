@@ -1,0 +1,80 @@
+#include "workload/seismic.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace coconut {
+namespace workload {
+
+std::vector<float> SeismicGenerator::Background() {
+  // Microseism: band-limited noise modelled as an AR(2) process with a
+  // gentle oscillatory component (ocean-wave band).
+  std::vector<float> trace(options_.series_length);
+  double x1 = 0.0;
+  double x2 = 0.0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const double x = 1.6 * x1 - 0.7 * x2 + rng_.NextGaussian();
+    trace[i] = static_cast<float>(x);
+    x2 = x1;
+    x1 = x;
+  }
+  return trace;
+}
+
+void SeismicGenerator::AddEarthquake(std::vector<float>* trace,
+                                     Rng* rng) const {
+  const size_t n = trace->size();
+  const size_t p_onset = n / 8 + rng->NextBounded(n / 3);
+  // S-wave follows the P-wave after a travel-time gap.
+  const size_t sp_gap = n / 16 + rng->NextBounded(n / 8);
+  const size_t s_onset = std::min(n - 1, p_onset + sp_gap);
+  const double p_amp = options_.signal_to_noise * 0.4;
+  const double s_amp = options_.signal_to_noise;
+  const double p_tau = n / 24.0;
+  const double s_tau = n / 8.0;
+  const double p_freq = 8.0 + 6.0 * rng->NextDouble();   // Higher frequency.
+  const double s_freq = 3.0 + 3.0 * rng->NextDouble();   // Lower, stronger.
+  for (size_t i = p_onset; i < n; ++i) {
+    const double t = static_cast<double>(i - p_onset);
+    const double envelope = p_amp * (t / 2.0 + 1.0) * std::exp(-t / p_tau);
+    (*trace)[i] += static_cast<float>(
+        envelope *
+        std::sin(2.0 * std::numbers::pi * p_freq * i / n));
+  }
+  for (size_t i = s_onset; i < n; ++i) {
+    const double t = static_cast<double>(i - s_onset);
+    const double envelope = s_amp * (t / 3.0 + 1.0) * std::exp(-t / s_tau);
+    (*trace)[i] += static_cast<float>(
+        envelope *
+        std::sin(2.0 * std::numbers::pi * s_freq * i / n));
+  }
+}
+
+SeismicBatch SeismicGenerator::NextBatch() {
+  SeismicBatch batch(options_.series_length);
+  batch.series.Reserve(options_.batch_size);
+  batch.timestamps.reserve(options_.batch_size);
+  batch.has_event.reserve(options_.batch_size);
+  for (size_t i = 0; i < options_.batch_size; ++i) {
+    std::vector<float> trace = Background();
+    const bool event = rng_.NextDouble() < options_.event_probability;
+    if (event) AddEarthquake(&trace, &rng_);
+    series::ZNormalize(trace);
+    batch.series.Append(trace);
+    batch.timestamps.push_back(now_);
+    batch.has_event.push_back(event);
+    now_ += options_.tick;
+  }
+  return batch;
+}
+
+std::vector<float> SeismicGenerator::EarthquakeTemplate(uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<float> trace(options_.series_length, 0.0f);
+  AddEarthquake(&trace, &rng);
+  series::ZNormalize(trace);
+  return trace;
+}
+
+}  // namespace workload
+}  // namespace coconut

@@ -1,0 +1,66 @@
+#ifndef COCONUT_WORKLOAD_SEISMIC_H_
+#define COCONUT_WORKLOAD_SEISMIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "series/series.h"
+
+namespace coconut {
+namespace workload {
+
+/// One timestamped batch of a seismic stream.
+struct SeismicBatch {
+  series::SeriesCollection series;
+  std::vector<int64_t> timestamps;
+  /// Which series in the batch contain an earthquake signature.
+  std::vector<bool> has_event;
+
+  explicit SeismicBatch(size_t length) : series(length) {}
+};
+
+/// Synthetic substitute for the IRIS seismic feed of Scenario 2 (see
+/// DESIGN.md substitutions): continuous microseism background with
+/// Poisson-arriving earthquake signatures (impulsive P-wave onset followed
+/// by a larger S-wave with an exponentially decaying coda). Batches carry
+/// monotonically increasing timestamps, modelling windows cut from a live
+/// channel.
+class SeismicGenerator {
+ public:
+  struct Options {
+    size_t series_length = 256;
+    size_t batch_size = 256;
+    /// Probability that any one series in a batch contains an event.
+    double event_probability = 0.05;
+    /// Event amplitude relative to background sigma.
+    double signal_to_noise = 8.0;
+    /// Timestamp step between consecutive series in the stream.
+    int64_t tick = 1;
+    uint64_t seed = 7;
+  };
+
+  explicit SeismicGenerator(const Options& options)
+      : options_(options), rng_(options.seed) {}
+
+  /// Produces the next batch; timestamps continue from the previous batch.
+  SeismicBatch NextBatch();
+
+  /// A clean earthquake signature template (z-normalized) for querying.
+  std::vector<float> EarthquakeTemplate(uint64_t seed) const;
+
+  int64_t current_time() const { return now_; }
+
+ private:
+  std::vector<float> Background();
+  void AddEarthquake(std::vector<float>* trace, Rng* rng) const;
+
+  Options options_;
+  Rng rng_;
+  int64_t now_ = 0;
+};
+
+}  // namespace workload
+}  // namespace coconut
+
+#endif  // COCONUT_WORKLOAD_SEISMIC_H_

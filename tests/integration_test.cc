@@ -1,0 +1,216 @@
+// Cross-cutting invariants over the whole variant matrix: every index
+// family must return the *same* exact nearest neighbor on the same data,
+// whatever its internal structure — plus end-to-end properties that span
+// modules (reopen cycles, mixed static+streaming workloads, SAX-shape
+// sweeps).
+#include <gtest/gtest.h>
+
+#include "palm/factory.h"
+#include "tests/test_util.h"
+#include "workload/astronomy.h"
+#include "workload/generator.h"
+
+namespace coconut {
+namespace {
+
+using palm::IndexFamily;
+using palm::StreamMode;
+using palm::VariantSpec;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = storage::MakeTempStorage("integration_test");
+    ASSERT_TRUE(r.ok());
+    mgr_ = r.TakeValue();
+  }
+  void TearDown() override { ASSERT_TRUE(mgr_->Clear().ok()); }
+
+  std::unique_ptr<storage::StorageManager> mgr_;
+};
+
+TEST_F(IntegrationTest, AllFamiliesAgreeOnExactAnswers) {
+  series::SaxConfig sax{.series_length = 128, .num_segments = 16,
+                        .bits_per_segment = 8};
+  auto collection = testutil::RandomWalkCollection(700, 128, 42);
+  auto raw = core::RawSeriesStore::Create(mgr_.get(), "raw", 128).TakeValue();
+  ASSERT_TRUE(testutil::FillRawStore(raw.get(), collection).ok());
+
+  std::vector<std::unique_ptr<core::DataSeriesIndex>> indexes;
+  for (auto family :
+       {IndexFamily::kAds, IndexFamily::kCTree, IndexFamily::kClsm}) {
+    for (bool materialized : {false, true}) {
+      VariantSpec spec;
+      spec.sax = sax;
+      spec.family = family;
+      spec.materialized = materialized;
+      spec.buffer_entries = 128;
+      auto index = palm::CreateStaticIndex(
+                       spec, mgr_.get(),
+                       "idx" + std::to_string(indexes.size()), nullptr,
+                       raw.get())
+                       .TakeValue();
+      for (size_t i = 0; i < collection.size(); ++i) {
+        ASSERT_TRUE(index->Insert(i, collection[i], 0).ok());
+      }
+      ASSERT_TRUE(index->Finalize().ok());
+      indexes.push_back(std::move(index));
+    }
+  }
+
+  auto queries = workload::MakeNoisyQueries(collection, 10, 0.5, 77);
+  for (const auto& query : queries) {
+    auto truth = testutil::BruteForceNearest(collection, query);
+    for (auto& index : indexes) {
+      auto got = index->ExactSearch(query, {}, nullptr).TakeValue();
+      ASSERT_TRUE(got.found) << index->describe();
+      EXPECT_NEAR(got.distance_sq, truth.distance_sq, 1e-6)
+          << index->describe();
+    }
+  }
+}
+
+TEST_F(IntegrationTest, StreamingAndStaticAgreeOnFullWindow) {
+  // A streaming BTP index over the whole history must answer full-window
+  // queries identically to a static CTree over the same data.
+  series::SaxConfig sax{.series_length = 64, .num_segments = 8,
+                        .bits_per_segment = 8};
+  auto collection = testutil::RandomWalkCollection(500, 64, 21);
+  auto raw = core::RawSeriesStore::Create(mgr_.get(), "raw", 64).TakeValue();
+  ASSERT_TRUE(testutil::FillRawStore(raw.get(), collection).ok());
+
+  VariantSpec static_spec;
+  static_spec.sax = sax;
+  static_spec.family = IndexFamily::kCTree;
+  auto static_index =
+      palm::CreateStaticIndex(static_spec, mgr_.get(), "static", nullptr,
+                              raw.get())
+          .TakeValue();
+  VariantSpec stream_spec;
+  stream_spec.sax = sax;
+  stream_spec.family = IndexFamily::kClsm;
+  stream_spec.mode = StreamMode::kBTP;
+  stream_spec.buffer_entries = 64;
+  auto stream_index =
+      palm::CreateStreamingIndex(stream_spec, mgr_.get(), "stream", nullptr,
+                                 raw.get())
+          .TakeValue();
+
+  for (size_t i = 0; i < collection.size(); ++i) {
+    ASSERT_TRUE(
+        static_index->Insert(i, collection[i], static_cast<int64_t>(i)).ok());
+    ASSERT_TRUE(
+        stream_index->Ingest(i, collection[i], static_cast<int64_t>(i)).ok());
+  }
+  ASSERT_TRUE(static_index->Finalize().ok());
+
+  auto queries = workload::MakeNoisyQueries(collection, 8, 0.4, 5);
+  for (const auto& query : queries) {
+    auto a = static_index->ExactSearch(query, {}, nullptr).TakeValue();
+    auto b = stream_index->ExactSearch(query, {}, nullptr).TakeValue();
+    ASSERT_TRUE(a.found);
+    ASSERT_TRUE(b.found);
+    EXPECT_NEAR(a.distance_sq, b.distance_sq, 1e-9);
+  }
+}
+
+// Shape sweep: the whole pipeline must be correct for any summarization
+// configuration, not just the default 16x8.
+class SaxShapeSweep
+    : public IntegrationTest,
+      public ::testing::WithParamInterface<std::tuple<int, int, int>> {};
+
+TEST_P(SaxShapeSweep, CTreeExactMatchesBruteForce) {
+  auto [length, segments, bits] = GetParam();
+  series::SaxConfig sax{.series_length = length, .num_segments = segments,
+                        .bits_per_segment = bits};
+  ASSERT_TRUE(sax.Valid());
+  auto collection = testutil::RandomWalkCollection(
+      300, static_cast<size_t>(length), 97 + length + segments + bits);
+  auto raw =
+      core::RawSeriesStore::Create(mgr_.get(), "raw", length).TakeValue();
+  ASSERT_TRUE(testutil::FillRawStore(raw.get(), collection).ok());
+
+  VariantSpec spec;
+  spec.sax = sax;
+  spec.family = IndexFamily::kCTree;
+  auto index =
+      palm::CreateStaticIndex(spec, mgr_.get(), "idx", nullptr, raw.get())
+          .TakeValue();
+  for (size_t i = 0; i < collection.size(); ++i) {
+    ASSERT_TRUE(index->Insert(i, collection[i], 0).ok());
+  }
+  ASSERT_TRUE(index->Finalize().ok());
+
+  for (int q = 0; q < 5; ++q) {
+    auto query = testutil::NoisyCopy(collection, q * 51 % 300, 0.4, q);
+    auto truth = testutil::BruteForceNearest(collection, query);
+    auto got = index->ExactSearch(query, {}, nullptr).TakeValue();
+    EXPECT_NEAR(got.distance_sq, truth.distance_sq, 1e-6)
+        << "shape " << length << "/" << segments << "/" << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SaxShapeSweep,
+    ::testing::Values(std::make_tuple(64, 8, 8), std::make_tuple(64, 16, 4),
+                      std::make_tuple(96, 12, 6), std::make_tuple(128, 16, 8),
+                      std::make_tuple(32, 4, 8), std::make_tuple(40, 5, 3),
+                      std::make_tuple(64, 16, 1)));
+
+TEST_F(IntegrationTest, PlantedAstronomyPatternsAreRetrievedByAllFamilies) {
+  // Scenario-1 semantics end to end: a supernova query template must
+  // retrieve a supernova-labelled series through every index family.
+  workload::AstronomyGenerator gen({.series_length = 128,
+                                    .supernova_fraction = 0.1,
+                                    .signal_to_noise = 8.0});
+  auto collection = gen.Generate(1200);
+  auto raw = core::RawSeriesStore::Create(mgr_.get(), "raw", 128).TakeValue();
+  ASSERT_TRUE(testutil::FillRawStore(raw.get(), collection).ok());
+
+  series::SaxConfig sax{.series_length = 128, .num_segments = 16,
+                        .bits_per_segment = 8};
+  auto query = gen.PatternTemplate(workload::AstronomyClass::kSupernova, 1);
+  auto truth = testutil::BruteForceNearest(collection, query);
+  ASSERT_EQ(gen.labels()[truth.index], workload::AstronomyClass::kSupernova);
+
+  int family_id = 0;
+  for (auto family :
+       {IndexFamily::kAds, IndexFamily::kCTree, IndexFamily::kClsm}) {
+    VariantSpec spec;
+    spec.sax = sax;
+    spec.family = family;
+    spec.buffer_entries = 256;
+    auto index = palm::CreateStaticIndex(
+                     spec, mgr_.get(), "fam" + std::to_string(family_id++),
+                     nullptr, raw.get())
+                     .TakeValue();
+    for (size_t i = 0; i < collection.size(); ++i) {
+      ASSERT_TRUE(index->Insert(i, collection[i], 0).ok());
+    }
+    ASSERT_TRUE(index->Finalize().ok());
+    auto got = index->ExactSearch(query, {}, nullptr).TakeValue();
+    EXPECT_EQ(got.series_id, truth.index) << index->describe();
+    EXPECT_EQ(gen.labels()[got.series_id],
+              workload::AstronomyClass::kSupernova)
+        << index->describe();
+  }
+}
+
+TEST_F(IntegrationTest, QueryBeforeFinalizeFailsCleanly) {
+  series::SaxConfig sax{.series_length = 64, .num_segments = 8,
+                        .bits_per_segment = 8};
+  auto raw = core::RawSeriesStore::Create(mgr_.get(), "raw", 64).TakeValue();
+  VariantSpec spec;
+  spec.sax = sax;
+  spec.family = IndexFamily::kCTree;
+  auto index =
+      palm::CreateStaticIndex(spec, mgr_.get(), "idx", nullptr, raw.get())
+          .TakeValue();
+  std::vector<float> query(64, 0.0f);
+  EXPECT_FALSE(index->ExactSearch(query, {}, nullptr).ok());
+  EXPECT_FALSE(index->ApproxSearch(query, {}, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace coconut

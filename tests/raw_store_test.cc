@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "core/raw_store.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace core {
+namespace {
+
+class RawStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = storage::MakeTempStorage("raw_store_test");
+    ASSERT_TRUE(r.ok());
+    mgr_ = r.TakeValue();
+  }
+  void TearDown() override { ASSERT_TRUE(mgr_->Clear().ok()); }
+
+  std::unique_ptr<storage::StorageManager> mgr_;
+};
+
+TEST_F(RawStoreTest, AppendAssignsSequentialIds) {
+  auto store = RawSeriesStore::Create(mgr_.get(), "raw", 8).TakeValue();
+  std::vector<float> s(8, 1.0f);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(store->Append(s).TakeValue(), i);
+  }
+  EXPECT_EQ(store->count(), 10u);
+}
+
+TEST_F(RawStoreTest, GetReturnsExactValues) {
+  auto store = RawSeriesStore::Create(mgr_.get(), "raw", 16).TakeValue();
+  auto collection = testutil::RandomWalkCollection(200, 16, 1);
+  ASSERT_TRUE(testutil::FillRawStore(store.get(), collection).ok());
+  std::vector<float> out(16);
+  for (size_t i = 0; i < 200; i += 17) {
+    ASSERT_TRUE(store->Get(i, out).ok());
+    for (size_t j = 0; j < 16; ++j) EXPECT_EQ(out[j], collection[i][j]);
+  }
+}
+
+TEST_F(RawStoreTest, GetServesUnflushedFromBuffer) {
+  auto store = RawSeriesStore::Create(mgr_.get(), "raw", 4).TakeValue();
+  std::vector<float> a{1, 2, 3, 4};
+  std::vector<float> b{5, 6, 7, 8};
+  ASSERT_TRUE(store->Append(a).ok());
+  ASSERT_TRUE(store->Append(b).ok());
+  // Not flushed: still readable.
+  std::vector<float> out(4);
+  ASSERT_TRUE(store->Get(1, out).ok());
+  EXPECT_EQ(out[0], 5.0f);
+  EXPECT_EQ(out[3], 8.0f);
+}
+
+TEST_F(RawStoreTest, PersistsAcrossReopen) {
+  auto collection = testutil::RandomWalkCollection(100, 32, 2);
+  {
+    auto store = RawSeriesStore::Create(mgr_.get(), "raw", 32).TakeValue();
+    ASSERT_TRUE(testutil::FillRawStore(store.get(), collection).ok());
+  }
+  auto reopened = RawSeriesStore::Open(mgr_.get(), "raw").TakeValue();
+  EXPECT_EQ(reopened->count(), 100u);
+  EXPECT_EQ(reopened->series_length(), 32);
+  std::vector<float> out(32);
+  ASSERT_TRUE(reopened->Get(99, out).ok());
+  for (size_t j = 0; j < 32; ++j) EXPECT_EQ(out[j], collection[99][j]);
+}
+
+TEST_F(RawStoreTest, RejectsBadArguments) {
+  EXPECT_FALSE(RawSeriesStore::Create(mgr_.get(), "raw", 0).ok());
+  auto store = RawSeriesStore::Create(mgr_.get(), "raw", 8).TakeValue();
+  std::vector<float> wrong(4, 0.0f);
+  EXPECT_FALSE(store->Append(wrong).ok());
+  std::vector<float> out(8);
+  EXPECT_EQ(store->Get(0, out).code(), StatusCode::kNotFound);
+  std::vector<float> small(4);
+  ASSERT_TRUE(store->Append(std::vector<float>(8, 1.0f)).ok());
+  EXPECT_FALSE(store->Get(0, small).ok());
+}
+
+TEST_F(RawStoreTest, OpenRejectsForeignFile) {
+  auto f = mgr_->CreateFile("junk").TakeValue();
+  storage::Page p;
+  ASSERT_TRUE(f->WritePage(0, p).ok());
+  EXPECT_FALSE(RawSeriesStore::Open(mgr_.get(), "junk").ok());
+}
+
+TEST_F(RawStoreTest, SteadyStateIngestionIsSequential) {
+  auto store = RawSeriesStore::Create(mgr_.get(), "raw", 64).TakeValue();
+  auto collection = testutil::RandomWalkCollection(1000, 64, 3);
+  mgr_->io_stats()->Reset();
+  for (size_t i = 0; i < collection.size(); ++i) {
+    ASSERT_TRUE(store->Append(collection[i]).ok());
+  }
+  // No Flush yet: data drains in buffered appends, zero random writes.
+  EXPECT_EQ(mgr_->io_stats()->random_writes, 0u);
+  ASSERT_TRUE(store->Flush().ok());
+  // The explicit flush pays exactly one header write.
+  EXPECT_LE(mgr_->io_stats()->random_writes, 1u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace coconut

@@ -1,0 +1,439 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/entry.h"
+#include "seqtable/seq_table.h"
+#include "seqtable/table_search.h"
+#include "series/paa.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace seqtable {
+namespace {
+
+using core::IndexEntry;
+using series::SaxConfig;
+using series::SortableKey;
+
+class SeqTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = storage::MakeTempStorage("seqtable_test");
+    ASSERT_TRUE(r.ok());
+    mgr_ = r.TakeValue();
+  }
+  void TearDown() override { ASSERT_TRUE(mgr_->Clear().ok()); }
+
+  // Builds a table from a z-normalized collection, sorted by key.
+  std::unique_ptr<SeqTable> BuildFromCollection(
+      const series::SeriesCollection& collection, const SeqTableOptions& opts,
+      const std::string& name = "table") {
+    struct Rec {
+      IndexEntry entry;
+      size_t ordinal;
+    };
+    std::vector<Rec> recs;
+    for (size_t i = 0; i < collection.size(); ++i) {
+      IndexEntry e;
+      e.key = series::InterleaveSax(series::ComputeSax(collection[i], opts.sax),
+                                    opts.sax);
+      e.series_id = i;
+      e.timestamp = static_cast<int64_t>(i);
+      recs.push_back({e, i});
+    }
+    std::sort(recs.begin(), recs.end(), [](const Rec& a, const Rec& b) {
+      return core::EntryKeyLess()(a.entry, b.entry);
+    });
+    auto builder = SeqTableBuilder::Create(mgr_.get(), name, opts).TakeValue();
+    for (const auto& rec : recs) {
+      std::span<const float> payload;
+      if (opts.materialized) payload = collection[rec.ordinal];
+      EXPECT_TRUE(builder->Add(rec.entry, payload).ok());
+    }
+    EXPECT_TRUE(builder->Finish().ok());
+    return SeqTable::Open(mgr_.get(), name, nullptr).TakeValue();
+  }
+
+  std::unique_ptr<storage::StorageManager> mgr_;
+};
+
+SaxConfig SmallSax() {
+  return SaxConfig{.series_length = 64, .num_segments = 8,
+                   .bits_per_segment = 8};
+}
+
+TEST_F(SeqTableTest, EmptyTableRoundTrip) {
+  SeqTableOptions opts{.sax = SmallSax()};
+  auto builder = SeqTableBuilder::Create(mgr_.get(), "t", opts).TakeValue();
+  ASSERT_TRUE(builder->Finish().ok());
+  auto table = SeqTable::Open(mgr_.get(), "t", nullptr).TakeValue();
+  EXPECT_EQ(table->num_entries(), 0u);
+  EXPECT_EQ(table->num_leaves(), 0u);
+}
+
+TEST_F(SeqTableTest, RejectsInvalidOptions) {
+  SeqTableOptions bad{.sax = SmallSax(), .materialized = false,
+                      .fill_factor = 0.0};
+  EXPECT_FALSE(SeqTableBuilder::Create(mgr_.get(), "t", bad).ok());
+  SeqTableOptions bad2{.sax = SmallSax(), .materialized = true,
+                       .fill_factor = 1.0};
+  bad2.sax.series_length = 2000;  // Too long to fit a page when materialized.
+  bad2.sax.num_segments = 8;
+  EXPECT_FALSE(SeqTableBuilder::Create(mgr_.get(), "t", bad2).ok());
+}
+
+TEST_F(SeqTableTest, RejectsOutOfOrderAdds) {
+  SeqTableOptions opts{.sax = SmallSax()};
+  auto builder = SeqTableBuilder::Create(mgr_.get(), "t", opts).TakeValue();
+  IndexEntry hi{};
+  hi.key = SortableKey{{10, 0}};
+  IndexEntry lo{};
+  lo.key = SortableKey{{5, 0}};
+  ASSERT_TRUE(builder->Add(hi, {}).ok());
+  EXPECT_FALSE(builder->Add(lo, {}).ok());
+}
+
+TEST_F(SeqTableTest, RejectsPayloadMismatch) {
+  SeqTableOptions mat{.sax = SmallSax(), .materialized = true};
+  auto builder = SeqTableBuilder::Create(mgr_.get(), "t", mat).TakeValue();
+  IndexEntry e{};
+  EXPECT_FALSE(builder->Add(e, {}).ok());  // Missing payload.
+
+  SeqTableOptions nonmat{.sax = SmallSax(), .materialized = false};
+  auto builder2 =
+      SeqTableBuilder::Create(mgr_.get(), "t2", nonmat).TakeValue();
+  std::vector<float> payload(64, 0.0f);
+  EXPECT_FALSE(builder2->Add(e, payload).ok());  // Unexpected payload.
+}
+
+TEST_F(SeqTableTest, ScannerSeesAllEntriesInOrder) {
+  auto collection = testutil::RandomWalkCollection(500, 64, 42);
+  SeqTableOptions opts{.sax = SmallSax()};
+  auto table = BuildFromCollection(collection, opts);
+  EXPECT_EQ(table->num_entries(), 500u);
+
+  auto scanner = table->NewScanner();
+  IndexEntry entry;
+  SortableKey prev = SortableKey::Min();
+  size_t count = 0;
+  std::vector<bool> seen(500, false);
+  while (true) {
+    auto has = scanner.Next(&entry, nullptr);
+    ASSERT_TRUE(has.ok());
+    if (!has.value()) break;
+    EXPECT_LE(prev, entry.key);
+    prev = entry.key;
+    ASSERT_LT(entry.series_id, 500u);
+    EXPECT_FALSE(seen[entry.series_id]);
+    seen[entry.series_id] = true;
+    ++count;
+  }
+  EXPECT_EQ(count, 500u);
+}
+
+TEST_F(SeqTableTest, MaterializedPayloadRoundTrip) {
+  auto collection = testutil::RandomWalkCollection(100, 64, 7);
+  SeqTableOptions opts{.sax = SmallSax(), .materialized = true};
+  auto table = BuildFromCollection(collection, opts);
+
+  auto scanner = table->NewScanner();
+  IndexEntry entry;
+  std::vector<float> payload;
+  size_t checked = 0;
+  while (true) {
+    auto has = scanner.Next(&entry, &payload);
+    ASSERT_TRUE(has.ok());
+    if (!has.value()) break;
+    ASSERT_EQ(payload.size(), 64u);
+    auto original = collection[entry.series_id];
+    for (size_t j = 0; j < 64; ++j) EXPECT_EQ(payload[j], original[j]);
+    ++checked;
+  }
+  EXPECT_EQ(checked, 100u);
+}
+
+TEST_F(SeqTableTest, FillFactorControlsLeafCount) {
+  auto collection = testutil::RandomWalkCollection(600, 64, 9);
+  SeqTableOptions full{.sax = SmallSax(), .fill_factor = 1.0};
+  SeqTableOptions half{.sax = SmallSax(), .fill_factor = 0.5};
+  auto table_full = BuildFromCollection(collection, full, "full");
+  auto table_half = BuildFromCollection(collection, half, "half");
+  EXPECT_GE(table_half->num_leaves(), table_full->num_leaves() * 2 - 1);
+  EXPECT_EQ(table_full->num_entries(), table_half->num_entries());
+}
+
+TEST_F(SeqTableTest, DirectoryMinKeysAreSorted) {
+  auto collection = testutil::RandomWalkCollection(1000, 64, 10);
+  auto table = BuildFromCollection(collection, {.sax = SmallSax()});
+  const auto& dir = table->directory();
+  ASSERT_GT(dir.size(), 1u);
+  for (size_t i = 1; i < dir.size(); ++i) {
+    EXPECT_LE(dir[i - 1].min_key, dir[i].min_key);
+  }
+}
+
+TEST_F(SeqTableTest, FindLeafForKeyLocatesContainingLeaf) {
+  auto collection = testutil::RandomWalkCollection(1000, 64, 11);
+  auto table = BuildFromCollection(collection, {.sax = SmallSax()});
+  // Every stored key must be found inside the leaf FindLeafForKey returns.
+  auto scanner = table->NewScanner();
+  IndexEntry entry;
+  while (true) {
+    auto has = scanner.Next(&entry, nullptr);
+    ASSERT_TRUE(has.ok());
+    if (!has.value()) break;
+    const size_t leaf = table->FindLeafForKey(entry.key);
+    LeafView view;
+    ASSERT_TRUE(table->ReadLeaf(leaf, &view).ok());
+    bool found = false;
+    for (const auto& e : view.entries) {
+      if (e.series_id == entry.series_id) found = true;
+    }
+    EXPECT_TRUE(found) << "series " << entry.series_id;
+  }
+}
+
+TEST_F(SeqTableTest, LeafRegionContainsAllLeafEntries) {
+  auto collection = testutil::RandomWalkCollection(400, 64, 12);
+  SaxConfig sax = SmallSax();
+  auto table = BuildFromCollection(collection, {.sax = sax});
+  for (size_t leaf = 0; leaf < table->num_leaves(); ++leaf) {
+    series::SaxRegion region = table->LeafRegion(leaf);
+    LeafView view;
+    ASSERT_TRUE(table->ReadLeaf(leaf, &view).ok());
+    for (const auto& entry : view.entries) {
+      // MINDIST from the entry's own PAA (reconstructed from its series)
+      // to its leaf's region must be zero-ish: the region contains it.
+      auto paa = series::ComputePaa(collection[entry.series_id],
+                                    sax.num_segments);
+      EXPECT_LT(series::MinDistSquared(paa, region, sax), 1e-9);
+    }
+  }
+}
+
+TEST_F(SeqTableTest, TimestampsTracked) {
+  SeqTableOptions opts{.sax = SmallSax()};
+  auto builder = SeqTableBuilder::Create(mgr_.get(), "t", opts).TakeValue();
+  IndexEntry e{};
+  e.key = SortableKey{{1, 0}};
+  e.timestamp = 100;
+  ASSERT_TRUE(builder->Add(e, {}).ok());
+  e.key = SortableKey{{2, 0}};
+  e.timestamp = 50;
+  ASSERT_TRUE(builder->Add(e, {}).ok());
+  ASSERT_TRUE(builder->Finish().ok());
+  auto table = SeqTable::Open(mgr_.get(), "t", nullptr).TakeValue();
+  EXPECT_EQ(table->min_timestamp(), 50);
+  EXPECT_EQ(table->max_timestamp(), 100);
+}
+
+TEST_F(SeqTableTest, BuildIsSequentialIo) {
+  auto collection = testutil::RandomWalkCollection(2000, 64, 13);
+  mgr_->io_stats()->Reset();
+  auto table = BuildFromCollection(collection, {.sax = SmallSax()});
+  const auto& io = *mgr_->io_stats();
+  // Construction writes leaves + directory with appends; only the header
+  // rewrite (1) is random.
+  EXPECT_LE(io.random_writes, 2u);
+  EXPECT_GT(io.sequential_writes, table->num_leaves() - 1);
+}
+
+TEST_F(SeqTableTest, OpenRejectsForeignFile) {
+  auto f = mgr_->CreateFile("junk").TakeValue();
+  storage::Page p;
+  ASSERT_TRUE(f->WritePage(0, p).ok());
+  EXPECT_FALSE(SeqTable::Open(mgr_.get(), "junk", nullptr).ok());
+}
+
+// -------------------------------------------------------------- updates
+
+TEST_F(SeqTableTest, UpdateLeafRewritesInPlace) {
+  auto collection = testutil::RandomWalkCollection(300, 64, 14);
+  auto table = BuildFromCollection(collection, {.sax = SmallSax(),
+                                                .fill_factor = 0.5});
+  LeafView view;
+  ASSERT_TRUE(table->ReadLeaf(0, &view).ok());
+  const size_t before = view.entries.size();
+  const uint64_t entries_before = table->num_entries();
+
+  // Duplicate the first entry (any key >= min works for leaf 0's slot).
+  view.entries.insert(view.entries.begin(), view.entries.front());
+  ASSERT_TRUE(table->UpdateLeaf(0, view).ok());
+  EXPECT_EQ(table->num_entries(), entries_before + 1);
+  EXPECT_EQ(table->directory()[0].count, before + 1);
+
+  LeafView reread;
+  ASSERT_TRUE(table->ReadLeaf(0, &reread).ok());
+  EXPECT_EQ(reread.entries.size(), before + 1);
+}
+
+TEST_F(SeqTableTest, InsertLeafKeepsOrderAndPersists) {
+  auto collection = testutil::RandomWalkCollection(300, 64, 15);
+  auto table = BuildFromCollection(collection, {.sax = SmallSax()});
+  const size_t leaves_before = table->num_leaves();
+
+  // Split leaf 0 by hand: move its upper half into a new leaf.
+  LeafView view;
+  ASSERT_TRUE(table->ReadLeaf(0, &view).ok());
+  const size_t mid = view.entries.size() / 2;
+  LeafView right;
+  right.entries.assign(view.entries.begin() + mid, view.entries.end());
+  view.entries.resize(mid);
+  ASSERT_TRUE(table->UpdateLeaf(0, view).ok());
+  ASSERT_TRUE(table->InsertLeaf(1, right).ok());
+  EXPECT_EQ(table->num_leaves(), leaves_before + 1);
+  ASSERT_TRUE(table->PersistDirectory().ok());
+
+  // Reopen: directory changes survive, scan order still sorted & complete.
+  auto reopened = SeqTable::Open(mgr_.get(), "table", nullptr).TakeValue();
+  EXPECT_EQ(reopened->num_leaves(), leaves_before + 1);
+  EXPECT_EQ(reopened->num_entries(), 300u);
+  auto scanner = reopened->NewScanner();
+  IndexEntry entry;
+  SortableKey prev = SortableKey::Min();
+  size_t count = 0;
+  while (true) {
+    auto has = scanner.Next(&entry, nullptr);
+    ASSERT_TRUE(has.ok());
+    if (!has.value()) break;
+    EXPECT_LE(prev, entry.key);
+    prev = entry.key;
+    ++count;
+  }
+  EXPECT_EQ(count, 300u);
+}
+
+// -------------------------------------------------------------- search
+
+class TableSearchTest : public SeqTableTest {
+ protected:
+  void BuildWithRaw(size_t n, bool materialized, uint64_t seed) {
+    collection_ = testutil::RandomWalkCollection(n, 64, seed);
+    raw_ = core::RawSeriesStore::Create(mgr_.get(), "raw", 64).TakeValue();
+    ASSERT_TRUE(testutil::FillRawStore(raw_.get(), collection_).ok());
+    SeqTableOptions opts{.sax = SmallSax(), .materialized = materialized};
+    table_ = BuildFromCollection(collection_, opts);
+  }
+
+  core::SearchResult Exact(std::span<const float> query) {
+    std::vector<float> paa;
+    auto ctx = MakeSearchContext(SmallSax(), query, &paa, raw_.get(),
+                                 &counters_);
+    auto approx = ApproxSearchTable(*table_, ctx, {}).TakeValue();
+    EXPECT_TRUE(ExactScanTable(*table_, ctx, {}, &approx).ok());
+    return approx;
+  }
+
+  series::SeriesCollection collection_{64};
+  std::unique_ptr<core::RawSeriesStore> raw_;
+  std::unique_ptr<SeqTable> table_;
+  core::QueryCounters counters_;
+};
+
+TEST_F(TableSearchTest, ExactMatchesBruteForceNonMaterialized) {
+  BuildWithRaw(800, /*materialized=*/false, 21);
+  for (int q = 0; q < 20; ++q) {
+    auto query = testutil::NoisyCopy(collection_, q * 37 % 800, 0.3, 100 + q);
+    auto truth = testutil::BruteForceNearest(collection_, query);
+    auto got = Exact(query);
+    ASSERT_TRUE(got.found);
+    EXPECT_NEAR(got.distance_sq, truth.distance_sq, 1e-6)
+        << "query " << q << ": got id " << got.series_id << " want "
+        << truth.index;
+  }
+}
+
+TEST_F(TableSearchTest, ExactMatchesBruteForceMaterialized) {
+  BuildWithRaw(800, /*materialized=*/true, 22);
+  for (int q = 0; q < 20; ++q) {
+    auto query = testutil::NoisyCopy(collection_, q * 53 % 800, 0.3, 200 + q);
+    auto truth = testutil::BruteForceNearest(collection_, query);
+    auto got = Exact(query);
+    ASSERT_TRUE(got.found);
+    EXPECT_NEAR(got.distance_sq, truth.distance_sq, 1e-6);
+  }
+}
+
+TEST_F(TableSearchTest, ExactFindsPlantedIdenticalSeries) {
+  BuildWithRaw(500, /*materialized=*/false, 23);
+  // Query = an indexed series verbatim: distance must be ~0 and id right.
+  std::vector<float> query(collection_[123].begin(), collection_[123].end());
+  auto got = Exact(query);
+  ASSERT_TRUE(got.found);
+  EXPECT_EQ(got.series_id, 123u);
+  EXPECT_NEAR(got.distance_sq, 0.0, 1e-9);
+}
+
+TEST_F(TableSearchTest, ApproxIsReasonablyClose) {
+  BuildWithRaw(1000, /*materialized=*/false, 24);
+  double ratio_sum = 0;
+  int found = 0;
+  for (int q = 0; q < 30; ++q) {
+    auto query = testutil::NoisyCopy(collection_, q * 31 % 1000, 0.5, 300 + q);
+    std::vector<float> paa;
+    auto ctx = MakeSearchContext(SmallSax(), query, &paa, raw_.get(), nullptr);
+    auto approx = ApproxSearchTable(*table_, ctx, {}).TakeValue();
+    ASSERT_TRUE(approx.found);
+    auto truth = testutil::BruteForceNearest(collection_, query);
+    EXPECT_GE(approx.distance_sq, truth.distance_sq - 1e-9);
+    ratio_sum += std::sqrt(approx.distance_sq) /
+                 std::max(1e-9, std::sqrt(truth.distance_sq));
+    ++found;
+  }
+  // Approximate answers should be within ~2.5x of the true NN distance on
+  // average for random walks at this scale.
+  EXPECT_LT(ratio_sum / found, 2.5);
+}
+
+TEST_F(TableSearchTest, ExactScanPrunesLeaves) {
+  BuildWithRaw(2000, /*materialized=*/false, 25);
+  auto query = testutil::NoisyCopy(collection_, 42, 0.1, 999);
+  counters_.Reset();
+  auto got = Exact(query);
+  ASSERT_TRUE(got.found);
+  EXPECT_GT(counters_.leaves_pruned, 0u);
+  EXPECT_LT(counters_.leaves_visited,
+            counters_.leaves_pruned + counters_.leaves_visited);
+}
+
+TEST_F(TableSearchTest, WindowFilteringRestrictsResults) {
+  BuildWithRaw(600, /*materialized=*/false, 26);
+  // Timestamps in BuildFromCollection are the ordinals. Query for the exact
+  // copy of series 500 but restrict the window to [0, 100]: series 500 is
+  // excluded, so the answer must differ and respect the window.
+  std::vector<float> query(collection_[500].begin(), collection_[500].end());
+  core::SearchOptions opts;
+  opts.window = core::TimeWindow{0, 100};
+  std::vector<float> paa;
+  auto ctx = MakeSearchContext(SmallSax(), query, &paa, raw_.get(), nullptr);
+  auto best = ApproxSearchTable(*table_, ctx, opts).TakeValue();
+  ASSERT_TRUE(ExactScanTable(*table_, ctx, opts, &best).ok());
+  ASSERT_TRUE(best.found);
+  EXPECT_LE(best.timestamp, 100);
+  EXPECT_NE(best.series_id, 500u);
+
+  // Brute force within the window agrees.
+  double truth = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i <= 100; ++i) {
+    truth = std::min(truth, series::EuclideanSquared(query, collection_[i]));
+  }
+  EXPECT_NEAR(best.distance_sq, truth, 1e-6);
+}
+
+TEST_F(TableSearchTest, EmptyWindowFindsNothing) {
+  BuildWithRaw(100, /*materialized=*/false, 27);
+  std::vector<float> query(collection_[0].begin(), collection_[0].end());
+  core::SearchOptions opts;
+  opts.window = core::TimeWindow{5000, 6000};  // No timestamps in range.
+  std::vector<float> paa;
+  auto ctx = MakeSearchContext(SmallSax(), query, &paa, raw_.get(), nullptr);
+  auto best = ApproxSearchTable(*table_, ctx, opts).TakeValue();
+  EXPECT_FALSE(best.found);
+  ASSERT_TRUE(ExactScanTable(*table_, ctx, opts, &best).ok());
+  EXPECT_FALSE(best.found);
+}
+
+}  // namespace
+}  // namespace seqtable
+}  // namespace coconut

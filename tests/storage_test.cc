@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "storage/buffer_pool.h"
+#include "storage/file.h"
+#include "storage/storage_manager.h"
+
+namespace coconut {
+namespace storage {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = MakeTempStorage("storage_test");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    mgr_ = r.TakeValue();
+  }
+
+  void TearDown() override {
+    if (mgr_) { ASSERT_TRUE(mgr_->Clear().ok()); }
+  }
+
+  std::unique_ptr<StorageManager> mgr_;
+};
+
+TEST_F(StorageTest, CreateWriteReadPage) {
+  auto fr = mgr_->CreateFile("a");
+  ASSERT_TRUE(fr.ok());
+  auto file = fr.TakeValue();
+
+  Page out;
+  std::memcpy(out.data(), "hello", 5);
+  ASSERT_TRUE(file->WritePage(0, out).ok());
+  EXPECT_EQ(file->size_bytes(), kPageSize);
+
+  Page in;
+  ASSERT_TRUE(file->ReadPage(0, &in).ok());
+  EXPECT_EQ(std::memcmp(in.data(), "hello", 5), 0);
+}
+
+TEST_F(StorageTest, ReadPastEofFails) {
+  auto file = mgr_->CreateFile("a").TakeValue();
+  Page p;
+  Status st = file->ReadPage(0, &p);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(StorageTest, AppendAndReadAt) {
+  auto file = mgr_->CreateFile("a").TakeValue();
+  const std::string data = "0123456789";
+  ASSERT_TRUE(file->Append(data.data(), data.size()).ok());
+  ASSERT_TRUE(file->Append(data.data(), data.size()).ok());
+  EXPECT_EQ(file->size_bytes(), 20u);
+
+  char buf[10];
+  ASSERT_TRUE(file->ReadAt(5, buf, 10).ok());
+  EXPECT_EQ(std::memcmp(buf, "5678901234", 10), 0);
+}
+
+TEST_F(StorageTest, SequentialVsRandomClassification) {
+  auto file = mgr_->CreateFile("a").TakeValue();
+  Page p;
+  // Pages 0,1,2 in order: first write starts at offset 0 == expected 0,
+  // so all three are sequential.
+  ASSERT_TRUE(file->WritePage(0, p).ok());
+  ASSERT_TRUE(file->WritePage(1, p).ok());
+  ASSERT_TRUE(file->WritePage(2, p).ok());
+  EXPECT_EQ(mgr_->io_stats()->sequential_writes, 3u);
+  EXPECT_EQ(mgr_->io_stats()->random_writes, 0u);
+
+  // Jump back: random.
+  ASSERT_TRUE(file->WritePage(0, p).ok());
+  EXPECT_EQ(mgr_->io_stats()->random_writes, 1u);
+
+  // Reads: 0 then 1 sequential, then 0 again random.
+  ASSERT_TRUE(file->ReadPage(0, &p).ok());
+  ASSERT_TRUE(file->ReadPage(1, &p).ok());
+  ASSERT_TRUE(file->ReadPage(0, &p).ok());
+  EXPECT_EQ(mgr_->io_stats()->sequential_reads, 2u);
+  EXPECT_EQ(mgr_->io_stats()->random_reads, 1u);
+}
+
+TEST_F(StorageTest, IoStatsSinceSnapshot) {
+  auto file = mgr_->CreateFile("a").TakeValue();
+  Page p;
+  ASSERT_TRUE(file->WritePage(0, p).ok());
+  IoStats before = *mgr_->io_stats();
+  ASSERT_TRUE(file->WritePage(1, p).ok());
+  ASSERT_TRUE(file->ReadPage(0, &p).ok());
+  IoStats delta = mgr_->io_stats()->Since(before);
+  EXPECT_EQ(delta.total_writes(), 1u);
+  EXPECT_EQ(delta.total_reads(), 1u);
+}
+
+TEST_F(StorageTest, OpenExistingFilePreservesContent) {
+  {
+    auto file = mgr_->CreateFile("persist").TakeValue();
+    ASSERT_TRUE(file->Append("abc", 3).ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  auto reopened = mgr_->OpenFile("persist").TakeValue();
+  EXPECT_EQ(reopened->size_bytes(), 3u);
+  char buf[3];
+  ASSERT_TRUE(reopened->ReadAt(0, buf, 3).ok());
+  EXPECT_EQ(std::memcmp(buf, "abc", 3), 0);
+}
+
+TEST_F(StorageTest, RemoveFileAndExists) {
+  { auto f = mgr_->CreateFile("gone").TakeValue(); }
+  EXPECT_TRUE(mgr_->Exists("gone"));
+  ASSERT_TRUE(mgr_->RemoveFile("gone").ok());
+  EXPECT_FALSE(mgr_->Exists("gone"));
+  EXPECT_FALSE(mgr_->RemoveFile("gone").ok());
+}
+
+TEST_F(StorageTest, TotalBytesOnDisk) {
+  auto a = mgr_->CreateFile("a").TakeValue();
+  auto b = mgr_->CreateFile("b").TakeValue();
+  Page p;
+  ASSERT_TRUE(a->WritePage(0, p).ok());
+  ASSERT_TRUE(b->WritePage(0, p).ok());
+  ASSERT_TRUE(b->WritePage(1, p).ok());
+  EXPECT_EQ(mgr_->TotalBytesOnDisk(), 3 * kPageSize);
+}
+
+TEST_F(StorageTest, AccessTrackerRecordsOnlyWhenEnabled) {
+  auto file = mgr_->CreateFile("a").TakeValue();
+  Page p;
+  ASSERT_TRUE(file->WritePage(0, p).ok());
+  EXPECT_TRUE(mgr_->tracker()->events().empty());
+
+  mgr_->tracker()->Enable();
+  ASSERT_TRUE(file->WritePage(1, p).ok());
+  ASSERT_TRUE(file->ReadPage(0, &p).ok());
+  mgr_->tracker()->Disable();
+  ASSERT_TRUE(file->WritePage(2, p).ok());
+
+  const auto& ev = mgr_->tracker()->events();
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_TRUE(ev[0].is_write);
+  EXPECT_EQ(ev[0].page_no, 1u);
+  EXPECT_FALSE(ev[1].is_write);
+  EXPECT_EQ(ev[1].page_no, 0u);
+  EXPECT_LT(ev[0].sequence, ev[1].sequence);
+}
+
+// ---------------------------------------------------------------- BufferPool
+
+TEST_F(StorageTest, BufferPoolCachesPages) {
+  auto file = mgr_->CreateFile("a").TakeValue();
+  Page p;
+  std::memcpy(p.data(), "xyz", 3);
+  ASSERT_TRUE(file->WritePage(0, p).ok());
+
+  BufferPool pool(16 * kPageSize);
+  auto r1 = pool.GetPage(file.get(), 0);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(std::memcmp(r1.value()->data(), "xyz", 3), 0);
+  EXPECT_EQ(pool.misses(), 1u);
+
+  auto r2 = pool.GetPage(file.get(), 0);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(pool.hits(), 1u);
+  // Second fetch must not touch the file again.
+  EXPECT_EQ(mgr_->io_stats()->total_reads(), 1u);
+}
+
+TEST_F(StorageTest, BufferPoolEvictsLru) {
+  auto file = mgr_->CreateFile("a").TakeValue();
+  Page p;
+  for (uint64_t i = 0; i < 4; ++i) ASSERT_TRUE(file->WritePage(i, p).ok());
+
+  BufferPool pool(2 * kPageSize);  // Capacity: 2 pages.
+  ASSERT_TRUE(pool.GetPage(file.get(), 0).ok());
+  ASSERT_TRUE(pool.GetPage(file.get(), 1).ok());
+  ASSERT_TRUE(pool.GetPage(file.get(), 2).ok());  // Evicts page 0.
+  EXPECT_EQ(pool.cached_pages(), 2u);
+  ASSERT_TRUE(pool.GetPage(file.get(), 0).ok());  // Miss again.
+  EXPECT_EQ(pool.misses(), 4u);
+  EXPECT_EQ(pool.hits(), 0u);
+}
+
+TEST_F(StorageTest, BufferPoolInvalidate) {
+  auto file = mgr_->CreateFile("a").TakeValue();
+  Page p;
+  std::memcpy(p.data(), "old", 3);
+  ASSERT_TRUE(file->WritePage(0, p).ok());
+
+  BufferPool pool(4 * kPageSize);
+  ASSERT_TRUE(pool.GetPage(file.get(), 0).ok());
+
+  std::memcpy(p.data(), "new", 3);
+  ASSERT_TRUE(file->WritePage(0, p).ok());
+  pool.Invalidate(file->file_id());
+
+  auto r = pool.GetPage(file.get(), 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::memcmp(r.value()->data(), "new", 3), 0);
+}
+
+TEST_F(StorageTest, BufferPoolErrorOnMissingPage) {
+  auto file = mgr_->CreateFile("a").TakeValue();
+  BufferPool pool(4 * kPageSize);
+  auto r = pool.GetPage(file.get(), 5);
+  EXPECT_FALSE(r.ok());
+  // Failed fetch must not leave a frame behind.
+  EXPECT_EQ(pool.cached_pages(), 0u);
+}
+
+TEST_F(StorageTest, PageTypedReadWrite) {
+  Page p;
+  p.Write<uint64_t>(8, 0xDEADBEEFULL);
+  p.Write<double>(16, 2.5);
+  EXPECT_EQ(p.Read<uint64_t>(8), 0xDEADBEEFULL);
+  EXPECT_EQ(p.Read<double>(16), 2.5);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace coconut

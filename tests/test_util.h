@@ -1,0 +1,79 @@
+#ifndef COCONUT_TESTS_TEST_UTIL_H_
+#define COCONUT_TESTS_TEST_UTIL_H_
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/raw_store.h"
+#include "series/distance.h"
+#include "series/series.h"
+#include "storage/storage_manager.h"
+
+namespace coconut {
+namespace testutil {
+
+/// Z-normalized random-walk collection: the standard synthetic workload of
+/// the data series indexing literature.
+inline series::SeriesCollection RandomWalkCollection(size_t count,
+                                                     size_t length,
+                                                     uint64_t seed) {
+  series::SeriesCollection collection(length);
+  collection.Reserve(count);
+  Rng rng(seed);
+  std::vector<float> buf(length);
+  for (size_t i = 0; i < count; ++i) {
+    double x = 0.0;
+    for (size_t j = 0; j < length; ++j) {
+      x += rng.NextGaussian();
+      buf[j] = static_cast<float>(x);
+    }
+    series::ZNormalize(buf);
+    collection.Append(buf);
+  }
+  return collection;
+}
+
+/// A query similar to collection[base] plus Gaussian noise (re-normalized).
+inline std::vector<float> NoisyCopy(const series::SeriesCollection& collection,
+                                    size_t base, double noise,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> q(collection[base].begin(), collection[base].end());
+  for (float& v : q) v += static_cast<float>(noise * rng.NextGaussian());
+  series::ZNormalize(q);
+  return q;
+}
+
+/// Ground truth by linear scan.
+struct BruteForceResult {
+  size_t index;
+  double distance_sq;
+};
+
+inline BruteForceResult BruteForceNearest(
+    const series::SeriesCollection& collection,
+    std::span<const float> query) {
+  BruteForceResult best{0, std::numeric_limits<double>::infinity()};
+  for (size_t i = 0; i < collection.size(); ++i) {
+    const double d = series::EuclideanSquared(query, collection[i]);
+    if (d < best.distance_sq) best = BruteForceResult{i, d};
+  }
+  return best;
+}
+
+/// Populates a raw store from a collection (ids = ordinals).
+inline Status FillRawStore(core::RawSeriesStore* store,
+                           const series::SeriesCollection& collection) {
+  for (size_t i = 0; i < collection.size(); ++i) {
+    auto r = store->Append(collection[i]);
+    if (!r.ok()) return r.status();
+  }
+  return store->Flush();
+}
+
+}  // namespace testutil
+}  // namespace coconut
+
+#endif  // COCONUT_TESTS_TEST_UTIL_H_

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "series/distance.h"
+#include "tests/test_util.h"
+#include "workload/astronomy.h"
+#include "workload/dataset_io.h"
+#include "workload/generator.h"
+#include "workload/seismic.h"
+
+namespace coconut {
+namespace workload {
+namespace {
+
+// ---------------------------------------------------------- random walk
+
+TEST(RandomWalkTest, GeneratesNormalizedSeries) {
+  RandomWalkGenerator gen(128, 1);
+  auto collection = gen.Generate(50);
+  ASSERT_EQ(collection.size(), 50u);
+  for (size_t i = 0; i < collection.size(); ++i) {
+    double sum = 0;
+    double sum_sq = 0;
+    for (float v : collection[i]) {
+      sum += v;
+      sum_sq += static_cast<double>(v) * v;
+    }
+    EXPECT_NEAR(sum / 128, 0.0, 1e-4);
+    EXPECT_NEAR(sum_sq / 128, 1.0, 1e-2);
+  }
+}
+
+TEST(RandomWalkTest, SeedsAreReproducible) {
+  RandomWalkGenerator a(64, 7);
+  RandomWalkGenerator b(64, 7);
+  auto ca = a.Generate(5);
+  auto cb = b.Generate(5);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 64; ++j) EXPECT_EQ(ca[i][j], cb[i][j]);
+  }
+}
+
+TEST(RandomWalkTest, NoisyQueriesAreCloseToTheirBase) {
+  RandomWalkGenerator gen(64, 3);
+  auto collection = gen.Generate(100);
+  auto queries = MakeNoisyQueries(collection, 10, 0.2, 5);
+  ASSERT_EQ(queries.size(), 10u);
+  for (const auto& q : queries) {
+    auto truth = testutil::BruteForceNearest(collection, q);
+    // Low noise: the nearest neighbor should be quite close.
+    EXPECT_LT(std::sqrt(truth.distance_sq), 8.0);
+  }
+}
+
+// ---------------------------------------------------------- astronomy
+
+TEST(AstronomyTest, LabelsMatchRequestedFractions) {
+  AstronomyGenerator::Options opts;
+  opts.series_length = 128;
+  opts.binary_fraction = 0.1;
+  opts.supernova_fraction = 0.1;
+  opts.variable_fraction = 0.1;
+  AstronomyGenerator gen(opts);
+  auto collection = gen.Generate(2000);
+  ASSERT_EQ(gen.labels().size(), 2000u);
+  size_t counts[4] = {0, 0, 0, 0};
+  for (auto label : gen.labels()) ++counts[static_cast<int>(label)];
+  EXPECT_NEAR(counts[1] / 2000.0, 0.1, 0.03);  // Binary.
+  EXPECT_NEAR(counts[2] / 2000.0, 0.1, 0.03);  // Supernova.
+  EXPECT_NEAR(counts[3] / 2000.0, 0.1, 0.03);  // Variable.
+  EXPECT_GT(counts[0], 1000u);                 // Mostly noise.
+}
+
+TEST(AstronomyTest, PatternQueriesRetrieveTheirClass) {
+  // The Scenario-1 premise: searching with a supernova template must find
+  // series labelled supernova, not background noise.
+  AstronomyGenerator::Options opts;
+  opts.series_length = 128;
+  opts.binary_fraction = 0.1;
+  opts.supernova_fraction = 0.1;
+  opts.variable_fraction = 0.1;
+  opts.signal_to_noise = 8.0;
+  AstronomyGenerator gen(opts);
+  auto collection = gen.Generate(1500);
+
+  for (auto cls : {AstronomyClass::kSupernova, AstronomyClass::kBinaryStar}) {
+    int hits = 0;
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      auto query = gen.PatternTemplate(cls, 1000 + seed);
+      auto truth = testutil::BruteForceNearest(collection, query);
+      if (gen.labels()[truth.index] == cls) ++hits;
+    }
+    EXPECT_GE(hits, 5) << "class " << AstronomyClassName(cls);
+  }
+}
+
+TEST(AstronomyTest, SeriesAreNormalized) {
+  AstronomyGenerator gen({.series_length = 64});
+  auto collection = gen.Generate(20);
+  for (size_t i = 0; i < collection.size(); ++i) {
+    double sum = 0;
+    for (float v : collection[i]) sum += v;
+    EXPECT_NEAR(sum / 64, 0.0, 1e-4);
+  }
+}
+
+// ---------------------------------------------------------- seismic
+
+TEST(SeismicTest, BatchesHaveMonotoneTimestamps) {
+  SeismicGenerator gen({.series_length = 128, .batch_size = 64});
+  int64_t prev = -1;
+  for (int b = 0; b < 5; ++b) {
+    auto batch = gen.NextBatch();
+    ASSERT_EQ(batch.series.size(), 64u);
+    ASSERT_EQ(batch.timestamps.size(), 64u);
+    for (int64_t t : batch.timestamps) {
+      EXPECT_GT(t, prev);
+      prev = t;
+    }
+  }
+}
+
+TEST(SeismicTest, EventRateRoughlyMatches) {
+  SeismicGenerator gen({.series_length = 128, .batch_size = 256,
+                        .event_probability = 0.2});
+  size_t events = 0;
+  size_t total = 0;
+  for (int b = 0; b < 10; ++b) {
+    auto batch = gen.NextBatch();
+    for (bool e : batch.has_event) {
+      events += e ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(events) / total, 0.2, 0.05);
+}
+
+TEST(SeismicTest, EarthquakeTemplateRetrievesEventTraces) {
+  // The Scenario-2 premise: the earthquake template's nearest neighbors
+  // are event-bearing traces.
+  SeismicGenerator gen({.series_length = 128, .batch_size = 512,
+                        .event_probability = 0.1, .signal_to_noise = 10.0});
+  auto batch = gen.NextBatch();
+  int hits = 0;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    auto query = gen.EarthquakeTemplate(500 + seed);
+    auto truth = testutil::BruteForceNearest(batch.series, query);
+    if (batch.has_event[truth.index]) ++hits;
+  }
+  EXPECT_GE(hits, 4);
+}
+
+// ---------------------------------------------------------- dataset io
+
+TEST(DatasetIoTest, RoundTrip) {
+  RandomWalkGenerator gen(32, 9);
+  auto collection = gen.Generate(40);
+  const std::string path =
+      std::filesystem::temp_directory_path().string() + "/coconut_ds_test.bin";
+  ASSERT_TRUE(WriteDataset(path, collection).ok());
+  auto loaded = ReadDataset(path, 32).TakeValue();
+  ASSERT_EQ(loaded.size(), 40u);
+  for (size_t i = 0; i < 40; ++i) {
+    for (size_t j = 0; j < 32; ++j) EXPECT_EQ(loaded[i][j], collection[i][j]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(DatasetIoTest, RejectsBadShape) {
+  RandomWalkGenerator gen(32, 9);
+  auto collection = gen.Generate(3);
+  const std::string path =
+      std::filesystem::temp_directory_path().string() + "/coconut_ds_bad.bin";
+  ASSERT_TRUE(WriteDataset(path, collection).ok());
+  EXPECT_FALSE(ReadDataset(path, 17).ok());  // 96 floats % 17 != 0.
+  EXPECT_FALSE(ReadDataset(path, 0).ok());
+  EXPECT_FALSE(ReadDataset("/nonexistent/nope.bin", 32).ok());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace coconut
