@@ -1,9 +1,17 @@
 // E1 (Scenario 1 / Coconut Fig. "index construction"): bulk construction
 // across families and dataset sizes. Expected shape: CTree and CLSM build
 // several times faster than ADS+, with random writes O(1) vs O(N/buffer).
+// The *_Threads benchmarks isolate the parallel bulk-load engine: run
+// generation with N worker threads against the single-threaded baseline,
+// identical output guaranteed by the extsort determinism tests.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/entry.h"
+#include "extsort/external_sorter.h"
 
 namespace coconut {
 namespace bench {
@@ -36,6 +44,74 @@ void RunConstruction(benchmark::State& state, palm::IndexFamily family) {
       static_cast<double>(count), benchmark::Counter::kIsIterationInvariantRate);
 }
 
+// Parallel run generation: sort a fixed record set with state.range(0)
+// worker threads. The budget is scaled so every configuration spills the
+// same 16 runs of 12500 records (the sorter sizes chunks as
+// budget/(threads+1) in parallel mode, budget/1 serially) — the sweep then
+// varies worker parallelism only, not run size or merge fan-in.
+void BM_ParallelRunGeneration(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const size_t count = 200000;
+  std::vector<core::IndexEntry> entries(count);
+  Rng rng(7);
+  for (size_t i = 0; i < count; ++i) {
+    entries[i].key = series::SortableKey{{rng.NextUint64(), rng.NextUint64()}};
+    entries[i].series_id = i;
+    entries[i].timestamp = 0;
+  }
+  const size_t run_bytes = count * sizeof(core::IndexEntry) / 16;
+  uint64_t runs = 0;
+  for (auto _ : state) {
+    auto storage = storage::MakeTempStorage("bench_psort").TakeValue();
+    extsort::ExternalSorter::Options opts;
+    opts.record_size = sizeof(core::IndexEntry);
+    opts.memory_budget_bytes =
+        threads > 1 ? run_bytes * (threads + 1) : run_bytes;
+    opts.threads = threads;
+    opts.storage = storage.get();
+    opts.less = core::EntryBytesLess;
+    auto sorter = extsort::ExternalSorter::Create(opts).TakeValue();
+    for (const auto& e : entries) {
+      if (auto st = sorter->Add(&e); !st.ok()) std::abort();
+    }
+    auto stream = sorter->Finish().TakeValue();
+    core::IndexEntry rec;
+    uint64_t drained = 0;
+    while (stream->Next(reinterpret_cast<uint8_t*>(&rec)).TakeValue()) {
+      ++drained;
+    }
+    benchmark::DoNotOptimize(drained);
+    runs = sorter->stats().runs_spilled;
+    (void)storage->Clear();
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["runs_spilled"] = static_cast<double>(runs);
+  state.counters["records_per_sec"] = benchmark::Counter(
+      static_cast<double>(count), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// Full CTree bulk load with a parallel construction sort (the end-to-end
+// speedup the GUI's build panel would show).
+void BM_CTreeConstruct_Threads(benchmark::State& state) {
+  const size_t count = 16000;
+  const auto& collection = AstroCollection(count);
+  palm::VariantSpec spec;
+  spec.sax = BenchSax();
+  spec.family = palm::IndexFamily::kCTree;
+  spec.construction_threads = static_cast<size_t>(state.range(0));
+  spec.memory_budget_bytes =
+      std::max<size_t>(64 << 10, count * sizeof(core::IndexEntry) / 8);
+  for (auto _ : state) {
+    Arena arena = Arena::Make("bench_ctree_par", spec.sax.series_length);
+    arena.FillRaw(collection);
+    auto index = BuildStatic(spec, &arena, collection);
+    benchmark::DoNotOptimize(index->num_entries());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["series_per_sec"] = benchmark::Counter(
+      static_cast<double>(count), benchmark::Counter::kIsIterationInvariantRate);
+}
+
 void BM_Construct_ADS(benchmark::State& state) {
   RunConstruction(state, palm::IndexFamily::kAds);
 }
@@ -46,6 +122,18 @@ void BM_Construct_CLSM(benchmark::State& state) {
   RunConstruction(state, palm::IndexFamily::kClsm);
 }
 
+BENCHMARK(BM_ParallelRunGeneration)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_CTreeConstruct_Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 BENCHMARK(BM_Construct_ADS)
     ->Arg(4000)
     ->Arg(16000)

@@ -1,0 +1,89 @@
+#ifndef COCONUT_COMMON_THREAD_POOL_H_
+#define COCONUT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace coconut {
+
+/// Fixed-size worker pool for independent tasks (batched queries, parallel
+/// run generation drivers). Tasks must not throw; error propagation happens
+/// through whatever state the task closes over.
+class ThreadPool {
+ public:
+  /// `threads` is clamped to at least 1.
+  explicit ThreadPool(size_t threads) {
+    const size_t n = threads == 0 ? 1 : threads;
+    workers_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Never blocks.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++outstanding_;
+      queue_.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ set and drained.
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --outstanding_;
+      }
+      idle_cv_.notify_all();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t outstanding_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_COMMON_THREAD_POOL_H_

@@ -48,6 +48,7 @@ Result<std::unique_ptr<CTree::Builder>> CTree::Builder::Create(
   extsort::ExternalSorter::Options sopts;
   sopts.record_size = SortRecordSize(options);
   sopts.memory_budget_bytes = options.sort_memory_bytes;
+  sopts.threads = options.sort_threads;
   sopts.storage = storage;
   sopts.temp_prefix = name + ".sort";
   sopts.less = core::EntryBytesLess;  // Key prefix leads every record.

@@ -32,6 +32,8 @@ class CTree {
     double fill_factor = 1.0;
     /// Memory budget for the construction sort (the GUI's memory knob).
     size_t sort_memory_bytes = 64ull << 20;
+    /// Worker threads for the construction sort's run generation.
+    size_t sort_threads = 1;
   };
 
   /// Accumulates records and bulk-builds the tree via external sorting.

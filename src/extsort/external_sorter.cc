@@ -84,6 +84,9 @@ class RunFileStream : public SortedStream {
 };
 
 /// K-way merge over child streams (binary heap on the lookahead record).
+/// Equal records pop from the lowest-indexed child, so when children are
+/// ordered by run sequence the merge is stable — the property that makes
+/// sorter output byte-identical across thread counts and memory budgets.
 class MergeStream : public SortedStream {
  public:
   MergeStream(std::vector<SortedStream*> children, size_t record_size,
@@ -101,19 +104,14 @@ class MergeStream : public SortedStream {
                                children_[i]->Next(LookaheadFor(i)));
       if (has) heap_.push_back(i);
     }
-    auto cmp = [this](size_t a, size_t b) {
-      // std::push_heap builds a max-heap; invert to pop the smallest.
-      return less_(LookaheadFor(b), LookaheadFor(a));
-    };
+    auto cmp = [this](size_t a, size_t b) { return HeapAfter(a, b); };
     std::make_heap(heap_.begin(), heap_.end(), cmp);
     return Status::OK();
   }
 
   Result<bool> Next(uint8_t* out) override {
     if (heap_.empty()) return false;
-    auto cmp = [this](size_t a, size_t b) {
-      return less_(LookaheadFor(b), LookaheadFor(a));
-    };
+    auto cmp = [this](size_t a, size_t b) { return HeapAfter(a, b); };
     std::pop_heap(heap_.begin(), heap_.end(), cmp);
     const size_t idx = heap_.back();
     std::memcpy(out, LookaheadFor(idx), record_size_);
@@ -130,6 +128,14 @@ class MergeStream : public SortedStream {
 
  private:
   uint8_t* LookaheadFor(size_t i) { return lookahead_.data() + i * record_size_; }
+
+  /// std::push_heap builds a max-heap; "a sorts after b" pops the smallest
+  /// record, ties broken toward the lower child index (stability).
+  bool HeapAfter(size_t a, size_t b) {
+    if (less_(LookaheadFor(b), LookaheadFor(a))) return true;
+    if (less_(LookaheadFor(a), LookaheadFor(b))) return false;
+    return b < a;
+  }
 
   std::vector<SortedStream*> children_;
   size_t record_size_;
@@ -166,14 +172,27 @@ class OwningMergeStream : public SortedStream {
 
 ExternalSorter::ExternalSorter(Options options)
     : options_(std::move(options)) {
-  max_buffered_records_ =
-      std::max<size_t>(1, options_.memory_budget_bytes / options_.record_size);
+  if (parallel()) {
+    // One producer chunk plus up to `threads` in-flight chunks share the
+    // budget, so parallelism never exceeds the configured memory.
+    max_buffered_records_ = std::max<size_t>(
+        1, options_.memory_budget_bytes /
+               ((options_.threads + 1) * options_.record_size));
+  } else {
+    max_buffered_records_ = std::max<size_t>(
+        1, options_.memory_budget_bytes / options_.record_size);
+  }
   buffer_.reserve(std::min<size_t>(max_buffered_records_, 4096) *
                   options_.record_size);
 }
 
 ExternalSorter::~ExternalSorter() {
+  StopWorkers();
   // Best-effort cleanup of any leftover run files.
+  for (const auto& [seq, name] : runs_by_seq_) {
+    (void)seq;
+    (void)options_.storage->RemoveFile(name);
+  }
   for (const auto& name : run_names_) {
     (void)options_.storage->RemoveFile(name);
   }
@@ -190,13 +209,18 @@ Result<std::unique_ptr<ExternalSorter>> ExternalSorter::Create(
   if (!options.less) {
     return Status::InvalidArgument("comparator is required");
   }
-  return std::unique_ptr<ExternalSorter>(new ExternalSorter(std::move(options)));
+  return std::unique_ptr<ExternalSorter>(
+      new ExternalSorter(std::move(options)));
 }
 
 Status ExternalSorter::Add(const void* record) {
   if (finished_) return Status::Internal("Add after Finish");
   if (buffered_records_ >= max_buffered_records_) {
-    COCONUT_RETURN_NOT_OK(SpillRun());
+    if (parallel()) {
+      COCONUT_RETURN_NOT_OK(EnqueueChunk());
+    } else {
+      COCONUT_RETURN_NOT_OK(SpillRun());
+    }
   }
   const auto* bytes = static_cast<const uint8_t*>(record);
   buffer_.insert(buffer_.end(), bytes, bytes + options_.record_size);
@@ -205,24 +229,28 @@ Status ExternalSorter::Add(const void* record) {
   return Status::OK();
 }
 
-Status ExternalSorter::SpillRun() {
-  if (buffered_records_ == 0) return Status::OK();
-  // Sort pointers into the buffer, then emit in order.
-  std::vector<const uint8_t*> ptrs(buffered_records_);
-  for (size_t i = 0; i < buffered_records_; ++i) {
-    ptrs[i] = buffer_.data() + i * options_.record_size;
-  }
-  std::sort(ptrs.begin(), ptrs.end(), options_.less);
+namespace {
 
-  const std::string name =
-      options_.temp_prefix + ".run" + std::to_string(next_run_id_++);
+/// Stable-sorts `num_records` records in `data` and writes them to a fresh
+/// run file in page-sized batches (sequential I/O).
+Status WriteSortedRun(storage::StorageManager* storage,
+                      const std::string& name, const uint8_t* data,
+                      size_t num_records, size_t record_size,
+                      const std::function<bool(const uint8_t*,
+                                               const uint8_t*)>& less) {
+  std::vector<const uint8_t*> ptrs(num_records);
+  for (size_t i = 0; i < num_records; ++i) {
+    ptrs[i] = data + i * record_size;
+  }
+  // Stable: equal records keep input order, for deterministic output.
+  std::stable_sort(ptrs.begin(), ptrs.end(), less);
+
   COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> file,
-                           options_.storage->CreateFile(name));
-  // Write in page-sized batches for sequential I/O.
+                           storage->CreateFile(name));
   std::vector<uint8_t> out;
-  out.reserve(kPageSize + options_.record_size);
+  out.reserve(kPageSize + record_size);
   for (const uint8_t* p : ptrs) {
-    out.insert(out.end(), p, p + options_.record_size);
+    out.insert(out.end(), p, p + record_size);
     if (out.size() >= kPageSize) {
       COCONUT_RETURN_NOT_OK(file->Append(out.data(), out.size()));
       out.clear();
@@ -231,11 +259,87 @@ Status ExternalSorter::SpillRun() {
   if (!out.empty()) {
     COCONUT_RETURN_NOT_OK(file->Append(out.data(), out.size()));
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ExternalSorter::SpillRun() {
+  if (buffered_records_ == 0) return Status::OK();
+  const std::string name =
+      options_.temp_prefix + ".run" + std::to_string(next_run_id_++);
+  if (Status st = WriteSortedRun(options_.storage, name, buffer_.data(),
+                                 buffered_records_, options_.record_size,
+                                 options_.less);
+      !st.ok()) {
+    (void)options_.storage->RemoveFile(name);  // Drop any partial file.
+    return st;
+  }
   run_names_.push_back(name);
   ++stats_.runs_spilled;
   buffer_.clear();
   buffered_records_ = 0;
   return Status::OK();
+}
+
+Status ExternalSorter::SortAndSpillChunk(uint64_t seq,
+                                         const std::vector<uint8_t>& data,
+                                         size_t num_records) {
+  const std::string name =
+      options_.temp_prefix + ".run" + std::to_string(seq);
+  if (Status st = WriteSortedRun(options_.storage, name, data.data(),
+                                 num_records, options_.record_size,
+                                 options_.less);
+      !st.ok()) {
+    (void)options_.storage->RemoveFile(name);  // Drop any partial file.
+    return st;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  runs_by_seq_[seq] = name;
+  ++stats_.runs_spilled;
+  return Status::OK();
+}
+
+Status ExternalSorter::EnqueueChunk() {
+  if (buffered_records_ == 0) return Status::OK();
+  // Lazy spawn: inputs that fit in one chunk never pay for threads, and
+  // threads_used stays honest — it counts workers that generated runs.
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+    stats_.threads_used = options_.threads;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock, [this] {
+      return chunks_in_flight_ < options_.threads || !worker_error_.ok();
+    });
+    if (!worker_error_.ok()) return worker_error_;
+    ++chunks_in_flight_;
+  }
+  // shared_ptr because std::function requires a copyable closure.
+  auto data = std::make_shared<std::vector<uint8_t>>(std::move(buffer_));
+  const uint64_t seq = next_chunk_seq_++;
+  const size_t num_records = buffered_records_;
+  pool_->Submit([this, seq, data, num_records] {
+    Status st = SortAndSpillChunk(seq, *data, num_records);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!st.ok() && worker_error_.ok()) worker_error_ = st;
+      --chunks_in_flight_;
+    }
+    space_cv_.notify_all();
+  });
+  buffer_ = std::vector<uint8_t>();
+  buffer_.reserve(std::min<size_t>(max_buffered_records_, 4096) *
+                  options_.record_size);
+  buffered_records_ = 0;
+  return Status::OK();
+}
+
+void ExternalSorter::StopWorkers() {
+  if (pool_ == nullptr) return;
+  pool_->Wait();  // Outstanding chunks finish spilling.
+  pool_.reset();  // Joins the workers.
 }
 
 Result<std::string> ExternalSorter::MergeRuns(
@@ -283,13 +387,33 @@ Result<std::unique_ptr<SortedStream>> ExternalSorter::Finish() {
   if (finished_) return Status::Internal("Finish called twice");
   finished_ = true;
 
+  if (parallel()) {
+    // Hand the tail to the workers (unless nothing was ever enqueued and
+    // the whole input fits in one chunk — then sort it in memory below),
+    // then drain and join.
+    if (next_chunk_seq_ > 0 && buffered_records_ > 0) {
+      COCONUT_RETURN_NOT_OK(EnqueueChunk());
+    }
+    StopWorkers();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      COCONUT_RETURN_NOT_OK(worker_error_);
+    }
+    // Merge order must follow chunk (input) order for stable output.
+    for (auto& [seq, name] : runs_by_seq_) {
+      (void)seq;
+      run_names_.push_back(std::move(name));
+    }
+    runs_by_seq_.clear();
+  }
+
   // Everything fits: a single in-memory sorted stream, zero I/O.
   if (run_names_.empty()) {
     std::vector<const uint8_t*> ptrs(buffered_records_);
     for (size_t i = 0; i < buffered_records_; ++i) {
       ptrs[i] = buffer_.data() + i * options_.record_size;
     }
-    std::sort(ptrs.begin(), ptrs.end(), options_.less);
+    std::stable_sort(ptrs.begin(), ptrs.end(), options_.less);
     std::vector<uint8_t> sorted;
     sorted.reserve(buffer_.size());
     for (const uint8_t* p : ptrs) {

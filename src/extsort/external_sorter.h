@@ -1,13 +1,17 @@
 #ifndef COCONUT_EXTSORT_EXTERNAL_SORTER_H_
 #define COCONUT_EXTSORT_EXTERNAL_SORTER_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "storage/storage_manager.h"
 
 namespace coconut {
@@ -33,6 +37,8 @@ struct SortStats {
   uint64_t records = 0;
   uint64_t runs_spilled = 0;
   uint64_t merge_passes = 0;
+  /// Worker threads that generated runs (1 = synchronous sort-and-spill).
+  uint64_t threads_used = 1;
   bool in_memory = false;
 };
 
@@ -41,6 +47,13 @@ struct SortStats {
 /// Coconut index. Records are accumulated up to the memory budget, sorted,
 /// and spilled as sequential runs; Finish() k-way-merges the runs into one
 /// sorted stream using one input page per run plus one output page.
+///
+/// With `threads > 1`, run generation is parallel: the producer keeps
+/// filling fixed-size chunks while worker threads sort and spill earlier
+/// chunks concurrently, all under the same memory budget (one producer
+/// chunk plus at most `threads` in-flight chunks). The sort is stable —
+/// equal records keep input order — so output bytes are identical whatever
+/// the thread count or budget (the determinism the oracle tests pin down).
 class ExternalSorter {
  public:
   struct Options {
@@ -49,6 +62,9 @@ class ExternalSorter {
     /// Cap on buffered bytes before spilling a run. Also bounds merge
     /// fan-in: max_fan_in = budget / kPageSize - 1 (>= 2).
     size_t memory_budget_bytes = 64 << 20;
+    /// Worker threads for run generation. 1 = synchronous (sort and spill
+    /// inline in Add); N > 1 pipelines sorting/spilling behind ingestion.
+    size_t threads = 1;
     /// Where run files live. Not owned.
     storage::StorageManager* storage = nullptr;
     /// Prefix for run file names (unique per concurrent sort).
@@ -81,6 +97,17 @@ class ExternalSorter {
   Result<std::string> MergeRuns(const std::vector<std::string>& inputs,
                                 const std::string& output_name);
 
+  // --- parallel run generation (threads > 1) ---
+  bool parallel() const { return options_.threads > 1; }
+  /// Sorts one chunk and writes run file `temp_prefix + ".run" + seq`.
+  Status SortAndSpillChunk(uint64_t seq, const std::vector<uint8_t>& data,
+                           size_t num_records);
+  /// Hands the producer buffer to the worker pool (blocks while `threads`
+  /// chunks are already in flight, keeping memory under the budget).
+  Status EnqueueChunk();
+  /// Drains outstanding chunks and joins the worker pool. Idempotent.
+  void StopWorkers();
+
   Options options_;
   size_t max_buffered_records_;
   std::vector<uint8_t> buffer_;
@@ -91,6 +118,16 @@ class ExternalSorter {
   bool finished_ = false;
   // Keeps merge inputs alive while the final stream is consumed.
   std::vector<std::unique_ptr<SortedStream>> live_inputs_;
+
+  std::unique_ptr<ThreadPool> pool_;  // Non-null iff parallel().
+  std::mutex mu_;
+  std::condition_variable space_cv_;  // Producer waits for a free slot.
+  size_t chunks_in_flight_ = 0;  // Queued + currently being spilled.
+  Status worker_error_;
+  uint64_t next_chunk_seq_ = 0;
+  // Run names keyed by chunk sequence: merge order must follow input
+  // order, not spill-completion order, for stable (deterministic) output.
+  std::map<uint64_t, std::string> runs_by_seq_;
 };
 
 /// Convenience for tests: sorts `records` (concatenated fixed-size records)

@@ -53,6 +53,7 @@ Result<std::unique_ptr<core::DataSeriesIndex>> MakeInner(
       opts.materialized = spec.materialized;
       opts.fill_factor = spec.fill_factor;
       opts.sort_memory_bytes = spec.memory_budget_bytes;
+      opts.sort_threads = spec.construction_threads;
       COCONUT_ASSIGN_OR_RETURN(
           std::unique_ptr<core::CTreeIndexAdapter> adapter,
           core::CTreeIndexAdapter::Create(storage, name, opts, pool, raw));

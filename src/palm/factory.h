@@ -37,6 +37,9 @@ struct VariantSpec {
   size_t buffer_entries = 4096;
   /// CTree construction-sort budget; also sizes the ADS+ global buffer.
   size_t memory_budget_bytes = 64ull << 20;
+  /// Worker threads for the construction sort (CTree bulk load). 1 =
+  /// synchronous; N pipelines run generation behind ingestion.
+  size_t construction_threads = 1;
   /// ADS+: leaf split threshold.
   size_t ads_leaf_capacity = 1024;
   /// BTP: equal-size partitions per consolidation.

@@ -1,7 +1,10 @@
 #include "palm/server.h"
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "palm/heatmap.h"
 #include "series/series.h"
@@ -250,6 +253,40 @@ Result<std::string> Server::Query(const QueryRequest& request) {
   }
   w.EndObject();
   return w.TakeString();
+}
+
+std::vector<Result<std::string>> Server::QueryBatch(
+    const std::vector<QueryRequest>& requests, size_t threads) {
+  std::vector<Result<std::string>> results(
+      requests.size(), Result<std::string>(Status::Internal("not executed")));
+  if (requests.empty()) return results;
+
+  // Group request ordinals by target index. One task per group keeps every
+  // index single-threaded (buffer pool pointers, tracker state and query
+  // counters are per-index), while distinct indexes proceed in parallel.
+  std::map<std::string, std::vector<size_t>> by_index;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    by_index[requests[i].index].push_back(i);
+  }
+
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = std::min<size_t>(8, hw == 0 ? 1 : hw);
+  }
+  threads = std::min(threads, by_index.size());
+
+  ThreadPool pool(threads);
+  for (auto& [index_name, ordinals] : by_index) {
+    (void)index_name;
+    const std::vector<size_t>* group = &ordinals;
+    pool.Submit([this, group, &requests, &results] {
+      for (size_t ordinal : *group) {
+        results[ordinal] = Query(requests[ordinal]);
+      }
+    });
+  }
+  pool.Wait();
+  return results;
 }
 
 std::string Server::RecommendJson(const Scenario& scenario) {

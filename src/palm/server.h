@@ -73,6 +73,15 @@ class Server {
   /// query report JSON (match, distance, latency, I/O, optional heat map).
   Result<std::string> Query(const QueryRequest& request);
 
+  /// Executes independent requests concurrently on a small thread pool and
+  /// returns one result per request, positionally. Requests that target the
+  /// same index are serialized on one worker (per-index isolation: each
+  /// index's buffer pool, I/O counters and heat-map tracker stay
+  /// single-threaded); requests for distinct indexes run in parallel.
+  /// `threads` = 0 picks hardware concurrency (capped at 8).
+  std::vector<Result<std::string>> QueryBatch(
+      const std::vector<QueryRequest>& requests, size_t threads = 0);
+
   /// Runs the recommender; returns {variant, spec knobs, rationale[]}.
   std::string RecommendJson(const Scenario& scenario);
 

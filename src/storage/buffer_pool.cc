@@ -9,6 +9,7 @@ BufferPool::BufferPool(size_t capacity_bytes)
     : capacity_pages_(std::max<size_t>(1, capacity_bytes / kPageSize)) {}
 
 Result<const Page*> BufferPool::GetPage(File* file, uint64_t page_no) {
+  std::lock_guard<std::mutex> lock(mu_);
   const uint64_t key = MakeKey(file->file_id(), page_no);
   auto it = map_.find(key);
   if (it != map_.end()) {
@@ -35,6 +36,7 @@ Result<const Page*> BufferPool::GetPage(File* file, uint64_t page_no) {
 }
 
 void BufferPool::Invalidate(uint32_t file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if ((it->key >> 40) == file_id) {
       map_.erase(it->key);
@@ -46,6 +48,7 @@ void BufferPool::Invalidate(uint32_t file_id) {
 }
 
 void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   map_.clear();
 }

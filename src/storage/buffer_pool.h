@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/status.h"
@@ -20,6 +21,12 @@ namespace storage {
 ///
 /// The pool is read-only from the caller's perspective: pages are fetched,
 /// never mutated in cache. Writers go directly to File and must Invalidate.
+///
+/// Structure and hit/miss accounting are mutex-protected, so concurrent
+/// callers cannot corrupt the LRU. The pointer returned by GetPage is only
+/// guaranteed until the same caller's next GetPage, so query execution over
+/// one pool must still be serialized (the Palm server runs batched queries
+/// with per-index isolation for exactly this reason).
 class BufferPool {
  public:
   /// `capacity_bytes` is rounded down to whole pages (at least one page).
@@ -39,10 +46,19 @@ class BufferPool {
   /// Drops everything.
   void Clear();
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
   size_t capacity_pages() const { return capacity_pages_; }
-  size_t cached_pages() const { return map_.size(); }
+  size_t cached_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
 
  private:
   struct Frame {
@@ -58,6 +74,7 @@ class BufferPool {
   }
 
   size_t capacity_pages_;
+  mutable std::mutex mu_;
   LruList lru_;  // Front = most recently used.
   std::unordered_map<uint64_t, LruList::iterator> map_;
   uint64_t hits_ = 0;

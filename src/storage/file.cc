@@ -21,16 +21,18 @@ File::~File() {
 
 Result<std::unique_ptr<File>> File::Create(const std::string& path,
                                            uint32_t file_id, IoStats* stats,
-                                           AccessTracker* tracker) {
+                                           AccessTracker* tracker,
+                                           std::mutex* io_mutex) {
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Status::IoError(Errno("open(create)", path));
   return std::unique_ptr<File>(
-      new File(fd, path, file_id, /*size=*/0, stats, tracker));
+      new File(fd, path, file_id, /*size=*/0, stats, tracker, io_mutex));
 }
 
 Result<std::unique_ptr<File>> File::Open(const std::string& path,
                                          uint32_t file_id, IoStats* stats,
-                                         AccessTracker* tracker) {
+                                         AccessTracker* tracker,
+                                         std::mutex* io_mutex) {
   int fd = ::open(path.c_str(), O_RDWR, 0644);
   if (fd < 0) return Status::IoError(Errno("open", path));
   off_t size = ::lseek(fd, 0, SEEK_END);
@@ -38,11 +40,14 @@ Result<std::unique_ptr<File>> File::Open(const std::string& path,
     ::close(fd);
     return Status::IoError(Errno("lseek", path));
   }
-  return std::unique_ptr<File>(new File(
-      fd, path, file_id, static_cast<uint64_t>(size), stats, tracker));
+  return std::unique_ptr<File>(new File(fd, path, file_id,
+                                        static_cast<uint64_t>(size), stats,
+                                        tracker, io_mutex));
 }
 
 void File::CountRead(uint64_t offset, size_t len) {
+  std::unique_lock<std::mutex> lock;
+  if (io_mutex_ != nullptr) lock = std::unique_lock<std::mutex>(*io_mutex_);
   if (stats_ != nullptr) {
     const bool sequential =
         stats_->last_read_file == IoStats::kNoFile ||
@@ -62,6 +67,8 @@ void File::CountRead(uint64_t offset, size_t len) {
 }
 
 void File::CountWrite(uint64_t offset, size_t len) {
+  std::unique_lock<std::mutex> lock;
+  if (io_mutex_ != nullptr) lock = std::unique_lock<std::mutex>(*io_mutex_);
   if (stats_ != nullptr) {
     const bool sequential = stats_->last_write_file == IoStats::kNoFile ||
                             (stats_->last_write_file == file_id_ &&

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -27,16 +28,20 @@ class File {
   File(const File&) = delete;
   File& operator=(const File&) = delete;
 
-  /// Creates (truncates) a file at `path`.
+  /// Creates (truncates) a file at `path`. `io_mutex` (optional, not owned)
+  /// serializes stats/tracker updates when files of one manager are used
+  /// from several threads (parallel run generation, batched queries).
   static Result<std::unique_ptr<File>> Create(const std::string& path,
                                               uint32_t file_id,
                                               IoStats* stats,
-                                              AccessTracker* tracker);
+                                              AccessTracker* tracker,
+                                              std::mutex* io_mutex = nullptr);
 
   /// Opens an existing file for read/write.
   static Result<std::unique_ptr<File>> Open(const std::string& path,
                                             uint32_t file_id, IoStats* stats,
-                                            AccessTracker* tracker);
+                                            AccessTracker* tracker,
+                                            std::mutex* io_mutex = nullptr);
 
   /// Reads the `page_no`-th kPageSize page into `page`.
   Status ReadPage(uint64_t page_no, Page* page);
@@ -64,13 +69,14 @@ class File {
 
  private:
   File(int fd, std::string path, uint32_t file_id, uint64_t size,
-       IoStats* stats, AccessTracker* tracker)
+       IoStats* stats, AccessTracker* tracker, std::mutex* io_mutex)
       : fd_(fd),
         path_(std::move(path)),
         file_id_(file_id),
         size_bytes_(size),
         stats_(stats),
-        tracker_(tracker) {}
+        tracker_(tracker),
+        io_mutex_(io_mutex) {}
 
   void CountRead(uint64_t offset, size_t len);
   void CountWrite(uint64_t offset, size_t len);
@@ -81,6 +87,7 @@ class File {
   uint64_t size_bytes_;
   IoStats* stats_;       // Not owned; shared across files of one manager.
   AccessTracker* tracker_;  // Not owned; may be nullptr.
+  std::mutex* io_mutex_;    // Not owned; may be nullptr (single-threaded).
 };
 
 }  // namespace storage

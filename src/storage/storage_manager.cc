@@ -32,12 +32,14 @@ std::string StorageManager::PathFor(const std::string& name) const {
 
 Result<std::unique_ptr<File>> StorageManager::CreateFile(
     const std::string& name) {
-  return File::Create(PathFor(name), next_file_id_++, &stats_, &tracker_);
+  return File::Create(PathFor(name), next_file_id_.fetch_add(1), &stats_,
+                      &tracker_, &io_mutex_);
 }
 
 Result<std::unique_ptr<File>> StorageManager::OpenFile(
     const std::string& name) {
-  return File::Open(PathFor(name), next_file_id_++, &stats_, &tracker_);
+  return File::Open(PathFor(name), next_file_id_.fetch_add(1), &stats_,
+                    &tracker_, &io_mutex_);
 }
 
 Status StorageManager::RemoveFile(const std::string& name) {

@@ -1,8 +1,10 @@
 #ifndef COCONUT_STORAGE_STORAGE_MANAGER_H_
 #define COCONUT_STORAGE_STORAGE_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -49,8 +51,12 @@ class StorageManager {
   /// Removes every file in the directory (used between experiments).
   Status Clear();
 
+  /// Shared counters. Concurrent File I/O updates them under an internal
+  /// mutex; read them from quiescent sections — before/after a parallel
+  /// phase — for consistent values.
   IoStats* io_stats() { return &stats_; }
   AccessTracker* tracker() { return &tracker_; }
+
   const std::string& directory() const { return directory_; }
 
  private:
@@ -62,7 +68,8 @@ class StorageManager {
   std::string directory_;
   IoStats stats_;
   AccessTracker tracker_;
-  uint32_t next_file_id_ = 0;
+  std::mutex io_mutex_;
+  std::atomic<uint32_t> next_file_id_{0};
 };
 
 /// Creates a unique fresh directory under the system temp root, for tests

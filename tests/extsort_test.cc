@@ -217,6 +217,150 @@ TEST_F(ExtSortTest, SpilledRunsUseSequentialWrites) {
   EXPECT_LE(io.random_writes, 2 * sorter->stats().runs_spilled + 2);
 }
 
+// ------------------------------------------------- parallel + determinism
+
+TEST_F(ExtSortTest, ParallelRunGenerationSortsCorrectly) {
+  auto entries = RandomEntries(6000, 21);
+  ExternalSorter::Options o = Opts(500 * sizeof(IndexEntry));
+  o.threads = 4;
+  auto sorter = ExternalSorter::Create(o).TakeValue();
+  for (const auto& e : entries) ASSERT_TRUE(sorter->Add(&e).ok());
+  auto stream = sorter->Finish().TakeValue();
+  IndexEntry rec;
+  size_t count = 0;
+  SortableKey prev = SortableKey::Min();
+  while (true) {
+    auto has = stream->Next(reinterpret_cast<uint8_t*>(&rec));
+    ASSERT_TRUE(has.ok());
+    if (!has.value()) break;
+    EXPECT_LE(prev, rec.key);
+    prev = rec.key;
+    ++count;
+  }
+  EXPECT_EQ(count, entries.size());
+  EXPECT_EQ(sorter->stats().threads_used, 4u);
+  EXPECT_GT(sorter->stats().runs_spilled, 0u);
+  EXPECT_FALSE(sorter->stats().in_memory);
+}
+
+TEST_F(ExtSortTest, ParallelSmallInputStaysInMemory) {
+  auto entries = RandomEntries(10, 22);
+  ExternalSorter::Options o = Opts(1 << 20);
+  o.threads = 4;
+  auto sorter = ExternalSorter::Create(o).TakeValue();
+  for (const auto& e : entries) ASSERT_TRUE(sorter->Add(&e).ok());
+  auto stream = sorter->Finish().TakeValue();
+  IndexEntry rec;
+  size_t count = 0;
+  while (true) {
+    auto has = stream->Next(reinterpret_cast<uint8_t*>(&rec));
+    ASSERT_TRUE(has.ok());
+    if (!has.value()) break;
+    ++count;
+  }
+  EXPECT_EQ(count, entries.size());
+  EXPECT_TRUE(sorter->stats().in_memory);
+  EXPECT_EQ(sorter->stats().runs_spilled, 0u);
+  // No worker generated a run, so the stat reports a synchronous sort.
+  EXPECT_EQ(sorter->stats().threads_used, 1u);
+}
+
+TEST_F(ExtSortTest, OutputBytesIdenticalAcrossThreadCounts) {
+  auto entries = RandomEntries(5000, 23);
+  const auto input = ToBytes(entries);
+  ExternalSorter::Options base = Opts(400 * sizeof(IndexEntry));
+  auto reference = SortToBytes(base, input).TakeValue();
+  for (size_t threads : {2u, 3u, 8u}) {
+    ExternalSorter::Options o = Opts(400 * sizeof(IndexEntry));
+    o.threads = threads;
+    auto got = SortToBytes(o, input).TakeValue();
+    EXPECT_EQ(got, reference) << "threads=" << threads;
+  }
+}
+
+TEST_F(ExtSortTest, OutputBytesIdenticalAcrossMemoryBudgets) {
+  auto entries = RandomEntries(3000, 24);
+  const auto input = ToBytes(entries);
+
+  // In-memory, spilled two-pass, and multi-pass merges must all emit the
+  // exact same bytes.
+  auto in_memory_sorter = ExternalSorter::Create(Opts(8 << 20)).TakeValue();
+  auto spilled_sorter =
+      ExternalSorter::Create(Opts(300 * sizeof(IndexEntry))).TakeValue();
+  auto multipass_sorter = ExternalSorter::Create(Opts(4096)).TakeValue();
+
+  auto drain = [&](ExternalSorter* sorter) {
+    for (size_t off = 0; off < input.size(); off += sizeof(IndexEntry)) {
+      EXPECT_TRUE(sorter->Add(input.data() + off).ok());
+    }
+    auto stream = sorter->Finish().TakeValue();
+    std::vector<uint8_t> out;
+    out.reserve(input.size());
+    std::vector<uint8_t> rec(sizeof(IndexEntry));
+    while (true) {
+      auto has = stream->Next(rec.data());
+      EXPECT_TRUE(has.ok());
+      if (!has.value()) break;
+      out.insert(out.end(), rec.begin(), rec.end());
+    }
+    return out;
+  };
+
+  const auto from_memory = drain(in_memory_sorter.get());
+  const auto from_spill = drain(spilled_sorter.get());
+  const auto from_multipass = drain(multipass_sorter.get());
+
+  EXPECT_TRUE(in_memory_sorter->stats().in_memory);
+  EXPECT_GT(spilled_sorter->stats().runs_spilled, 0u);
+  EXPECT_GT(multipass_sorter->stats().merge_passes, 1u);
+
+  EXPECT_EQ(from_spill, from_memory);
+  EXPECT_EQ(from_multipass, from_memory);
+}
+
+TEST_F(ExtSortTest, EqualRecordsKeepInputOrderEverywhere) {
+  // Records that compare equal under `less` but differ in bytes: the sort
+  // is stable, so input order must survive any thread count or budget.
+  std::vector<IndexEntry> entries(2000);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    entries[i].key = SortableKey{{i % 7, 0}};  // Many ties per key.
+    entries[i].series_id = i;
+    entries[i].timestamp = static_cast<int64_t>(i);
+  }
+  const auto input = ToBytes(entries);
+  // Compare by key only — series_id/timestamp make equal records
+  // byte-distinct, exposing any instability.
+  auto key_only_less = [](const uint8_t* a, const uint8_t* b) {
+    IndexEntry ea, eb;
+    std::memcpy(&ea, a, sizeof(ea));
+    std::memcpy(&eb, b, sizeof(eb));
+    return ea.key < eb.key;
+  };
+
+  std::vector<std::vector<uint8_t>> outputs;
+  for (auto [budget, threads] :
+       {std::pair<size_t, size_t>{8 << 20, 1},
+        {200 * sizeof(IndexEntry), 1},
+        {200 * sizeof(IndexEntry), 4},
+        {4096, 1},
+        {4096, 4}}) {
+    ExternalSorter::Options o = Opts(budget);
+    o.threads = threads;
+    o.less = key_only_less;
+    outputs.push_back(SortToBytes(o, input).TakeValue());
+  }
+  for (size_t i = 1; i < outputs.size(); ++i) {
+    EXPECT_EQ(outputs[i], outputs[0]) << "config " << i;
+  }
+  // Within each key class, series ids ascend (input order preserved).
+  auto sorted = FromBytes(outputs[0]);
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].key == sorted[i - 1].key) {
+      EXPECT_LT(sorted[i - 1].series_id, sorted[i].series_id) << "at " << i;
+    }
+  }
+}
+
 TEST_F(ExtSortTest, AddAfterFinishFails) {
   auto sorter = ExternalSorter::Create(Opts(1 << 20)).TakeValue();
   IndexEntry e{};

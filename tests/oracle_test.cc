@@ -1,0 +1,156 @@
+// The oracle correctness harness: every palm::Factory static variant's
+// exact search must match testutil::BruteForceKnn (linear scan over the raw
+// collection) — unconstrained and under time windows, with serial and
+// parallel construction sorts. This suite is the regression net every
+// performance PR runs under: any change to the construction pipeline,
+// storage layer or query path that alters exact results fails here.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "palm/factory.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace palm {
+namespace {
+
+series::SaxConfig OracleSax() {
+  return series::SaxConfig{.series_length = 64, .num_segments = 8,
+                           .bits_per_segment = 8};
+}
+
+struct OracleCase {
+  IndexFamily family;
+  bool materialized;
+  size_t construction_threads;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<OracleCase>& info) {
+  VariantSpec spec;
+  spec.family = info.param.family;
+  spec.materialized = info.param.materialized;
+  std::string name = VariantName(spec);
+  // Gtest parameter names must be alphanumeric.
+  for (char& c : name) {
+    if (c == '+' || c == '-') c = 'x';
+  }
+  return name + "_t" + std::to_string(info.param.construction_threads);
+}
+
+class OracleKnnTest : public ::testing::TestWithParam<OracleCase> {
+ protected:
+  void SetUp() override {
+    auto r = storage::MakeTempStorage("oracle_test");
+    ASSERT_TRUE(r.ok());
+    mgr_ = r.TakeValue();
+    raw_ = core::RawSeriesStore::Create(mgr_.get(), "raw", 64).TakeValue();
+  }
+  void TearDown() override { ASSERT_TRUE(mgr_->Clear().ok()); }
+
+  VariantSpec Spec() const {
+    const OracleCase& c = GetParam();
+    VariantSpec spec;
+    spec.sax = OracleSax();
+    spec.family = c.family;
+    spec.materialized = c.materialized;
+    spec.construction_threads = c.construction_threads;
+    spec.buffer_entries = 128;
+    // Small enough that the CTree construction sort spills runs, so the
+    // external-sort path (serial or parallel) is actually exercised.
+    spec.memory_budget_bytes = 64 << 10;
+    return spec;
+  }
+
+  std::unique_ptr<storage::StorageManager> mgr_;
+  std::unique_ptr<core::RawSeriesStore> raw_;
+};
+
+TEST_P(OracleKnnTest, ExactSearchMatchesBruteForceOracle) {
+  auto collection = testutil::RandomWalkCollection(500, 64, 77);
+  ASSERT_TRUE(testutil::FillRawStore(raw_.get(), collection).ok());
+
+  auto index =
+      CreateStaticIndex(Spec(), mgr_.get(), "idx", nullptr, raw_.get())
+          .TakeValue();
+  for (size_t i = 0; i < collection.size(); ++i) {
+    ASSERT_TRUE(
+        index->Insert(i, collection[i], static_cast<int64_t>(i)).ok());
+  }
+  ASSERT_TRUE(index->Finalize().ok());
+  ASSERT_EQ(index->num_entries(), collection.size());
+
+  for (int q = 0; q < 8; ++q) {
+    auto query = testutil::NoisyCopy(collection, q * 61 % 500, 0.5, q);
+    auto oracle = testutil::BruteForceKnn(collection, query, 1);
+    ASSERT_EQ(oracle.size(), 1u);
+    auto got = index->ExactSearch(query, {}, nullptr).TakeValue();
+    ASSERT_TRUE(got.found) << index->describe();
+    EXPECT_NEAR(got.distance_sq, oracle[0].distance_sq, 1e-6)
+        << index->describe() << " query " << q;
+    // The returned id must actually be at the reported distance.
+    EXPECT_NEAR(series::EuclideanSquared(query, collection[got.series_id]),
+                got.distance_sq, 1e-6)
+        << index->describe();
+  }
+}
+
+TEST_P(OracleKnnTest, WindowedExactSearchMatchesWindowedOracle) {
+  auto collection = testutil::RandomWalkCollection(400, 64, 78);
+  ASSERT_TRUE(testutil::FillRawStore(raw_.get(), collection).ok());
+
+  auto index =
+      CreateStaticIndex(Spec(), mgr_.get(), "idx", nullptr, raw_.get())
+          .TakeValue();
+  for (size_t i = 0; i < collection.size(); ++i) {
+    ASSERT_TRUE(
+        index->Insert(i, collection[i], static_cast<int64_t>(i)).ok());
+  }
+  ASSERT_TRUE(index->Finalize().ok());
+
+  const core::TimeWindow window{50, 250};
+  core::SearchOptions options;
+  options.window = window;
+  for (int q = 0; q < 5; ++q) {
+    auto query = testutil::NoisyCopy(collection, (q * 91 + 30) % 400, 0.5,
+                                     100 + q);
+    auto oracle = testutil::BruteForceKnn(collection, query, 1, window);
+    ASSERT_EQ(oracle.size(), 1u);
+    auto got = index->ExactSearch(query, options, nullptr).TakeValue();
+    ASSERT_TRUE(got.found) << index->describe();
+    EXPECT_GE(got.timestamp, window.begin);
+    EXPECT_LE(got.timestamp, window.end);
+    EXPECT_NEAR(got.distance_sq, oracle[0].distance_sq, 1e-6)
+        << index->describe() << " query " << q;
+  }
+}
+
+TEST_P(OracleKnnTest, OracleTopKIsSortedAndDeterministic) {
+  auto collection = testutil::RandomWalkCollection(200, 64, 79);
+  auto query = testutil::NoisyCopy(collection, 17, 0.4, 5);
+  auto top = testutil::BruteForceKnn(collection, query, 10);
+  ASSERT_EQ(top.size(), 10u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i].distance_sq, top[i - 1].distance_sq);
+  }
+  // k past the collection size returns everything in the window.
+  EXPECT_EQ(testutil::BruteForceKnn(collection, query, 500).size(), 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStaticVariants, OracleKnnTest,
+    ::testing::Values(
+        OracleCase{IndexFamily::kAds, false, 1},
+        OracleCase{IndexFamily::kAds, true, 1},
+        OracleCase{IndexFamily::kCTree, false, 1},
+        OracleCase{IndexFamily::kCTree, true, 1},
+        OracleCase{IndexFamily::kCTree, false, 3},
+        OracleCase{IndexFamily::kCTree, true, 3},
+        OracleCase{IndexFamily::kClsm, false, 1},
+        OracleCase{IndexFamily::kClsm, true, 1}),
+    CaseName);
+
+}  // namespace
+}  // namespace palm
+}  // namespace coconut

@@ -429,6 +429,72 @@ TEST_F(ServerTest, ListIndexesEnumeratesAll) {
   EXPECT_NE(list.find("\"streaming\":true"), std::string::npos);
 }
 
+TEST_F(ServerTest, QueryBatchMatchesSequentialQueries) {
+  // Three indexes of different families over the same dataset; a batch
+  // mixing targets must return, positionally, exactly what sequential
+  // Query calls return.
+  ASSERT_TRUE(server_->BuildIndex("ct", CTreeSpec(), "walk").ok());
+  VariantSpec ads = CTreeSpec();
+  ads.family = IndexFamily::kAds;
+  ASSERT_TRUE(server_->BuildIndex("ads", ads, "walk").ok());
+  VariantSpec lsm = CTreeSpec();
+  lsm.family = IndexFamily::kClsm;
+  ASSERT_TRUE(server_->BuildIndex("lsm", lsm, "walk").ok());
+
+  std::vector<QueryRequest> requests;
+  for (int q = 0; q < 12; ++q) {
+    QueryRequest req;
+    req.index = q % 3 == 0 ? "ct" : (q % 3 == 1 ? "ads" : "lsm");
+    req.query.assign(collection_[(q * 29) % 300].begin(),
+                     collection_[(q * 29) % 300].end());
+    requests.push_back(std::move(req));
+  }
+
+  auto batched = server_->QueryBatch(requests, 4);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(batched[i].ok()) << i << ": " << batched[i].status().ToString();
+    // Every query plants an exact member of the dataset: found at ~0.
+    EXPECT_NE(batched[i].value().find("\"found\":true"), std::string::npos)
+        << i;
+    // Same index + same query sequentially must find the same series.
+    auto solo = server_->Query(requests[i]).TakeValue();
+    auto id_of = [](const std::string& json) {
+      auto pos = json.find("\"series_id\":");
+      return json.substr(pos, json.find(',', pos) - pos);
+    };
+    EXPECT_EQ(id_of(batched[i].value()), id_of(solo)) << i;
+  }
+}
+
+TEST_F(ServerTest, QueryBatchReportsPerRequestErrors) {
+  ASSERT_TRUE(server_->BuildIndex("ct", CTreeSpec(), "walk").ok());
+  std::vector<QueryRequest> requests(3);
+  requests[0].index = "ct";
+  requests[0].query.assign(collection_[5].begin(), collection_[5].end());
+  requests[1].index = "missing";
+  requests[1].query.assign(64, 0.0f);
+  requests[2].index = "ct";
+  requests[2].query.assign(collection_[7].begin(), collection_[7].end());
+
+  auto results = server_->QueryBatch(requests, 2);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(results[2].ok());
+}
+
+TEST_F(ServerTest, QueryBatchEmptyAndDefaultThreads) {
+  EXPECT_TRUE(server_->QueryBatch({}).empty());
+  ASSERT_TRUE(server_->BuildIndex("ct", CTreeSpec(), "walk").ok());
+  std::vector<QueryRequest> one(1);
+  one[0].index = "ct";
+  one[0].query.assign(collection_[0].begin(), collection_[0].end());
+  auto results = server_->QueryBatch(one);  // threads = 0 -> hardware pick.
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok());
+}
+
 TEST_F(ServerTest, RecommendJsonCarriesRationale) {
   Scenario s;
   s.sax = TestSax();

@@ -1,12 +1,14 @@
 #ifndef COCONUT_TESTS_TEST_UTIL_H_
 #define COCONUT_TESTS_TEST_UTIL_H_
 
+#include <algorithm>
 #include <limits>
 #include <memory>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/raw_store.h"
+#include "core/types.h"
 #include "series/distance.h"
 #include "series/series.h"
 #include "storage/storage_manager.h"
@@ -61,6 +63,35 @@ inline BruteForceResult BruteForceNearest(
     if (d < best.distance_sq) best = BruteForceResult{i, d};
   }
   return best;
+}
+
+/// The oracle every index variant is verified against: exact k nearest
+/// neighbors by linear scan over the raw collection, ascending by distance
+/// (ties broken by ordinal so the result is deterministic). An optional
+/// `window` restricts candidates to ordinals whose timestamp — supplied via
+/// `timestamps`, or the ordinal itself when null — falls inside it.
+inline std::vector<BruteForceResult> BruteForceKnn(
+    const series::SeriesCollection& collection, std::span<const float> query,
+    size_t k, const core::TimeWindow& window = core::TimeWindow::All(),
+    const std::vector<int64_t>* timestamps = nullptr) {
+  std::vector<BruteForceResult> all;
+  all.reserve(collection.size());
+  for (size_t i = 0; i < collection.size(); ++i) {
+    const int64_t t =
+        timestamps != nullptr ? (*timestamps)[i] : static_cast<int64_t>(i);
+    if (!window.Contains(t)) continue;
+    all.push_back(
+        BruteForceResult{i, series::EuclideanSquared(query, collection[i])});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const BruteForceResult& a, const BruteForceResult& b) {
+              if (a.distance_sq != b.distance_sq) {
+                return a.distance_sq < b.distance_sq;
+              }
+              return a.index < b.index;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
 }
 
 /// Populates a raw store from a collection (ids = ordinals).
