@@ -1,0 +1,112 @@
+// Sharding sweep: one logical CTree index partitioned by invSAX key range
+// across K shards, built concurrently (each shard runs its own parallel
+// construction sort) and queried scatter-gather. Expected shape on a
+// multi-core host: build wall time drops as K grows until the memory
+// budget split dominates, and exact-query latency improves once per-shard
+// work (smaller trees, smaller heaps) outweighs the fan-out overhead. On
+// the single-core CI host the sweep shows pipelining only — re-measure on
+// real hardware (see README). The extsort determinism suite and
+// sharded_oracle_test guarantee results are bit-for-bit unchanged by K.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "palm/sharded_index.h"
+#include "storage/buffer_pool.h"
+
+namespace coconut {
+namespace bench {
+namespace {
+
+palm::VariantSpec ShardedSpec(size_t num_shards, size_t count) {
+  palm::VariantSpec spec;
+  spec.sax = BenchSax();
+  spec.family = palm::IndexFamily::kCTree;
+  spec.num_shards = num_shards;
+  spec.construction_threads = 2;
+  spec.memory_budget_bytes =
+      std::max<size_t>(256 << 10, count * sizeof(core::IndexEntry) / 8);
+  return spec;
+}
+
+/// Total page-cache budget, identical at every K: the factory divides it
+/// across shards, so the sweep measures sharding, not extra cache.
+constexpr size_t kPoolBytes = 4ull << 20;
+
+std::unique_ptr<core::DataSeriesIndex> BuildWithPool(
+    const palm::VariantSpec& spec, Arena* arena, storage::BufferPool* pool,
+    const series::SeriesCollection& collection) {
+  auto index = palm::CreateStaticIndex(spec, arena->storage.get(), "index",
+                                       pool, arena->raw.get())
+                   .TakeValue();
+  for (size_t i = 0; i < collection.size(); ++i) {
+    if (auto st = index->Insert(i, collection[i], static_cast<int64_t>(i));
+        !st.ok()) {
+      std::abort();
+    }
+  }
+  if (auto st = index->Finalize(); !st.ok()) std::abort();
+  return index;
+}
+
+void BM_ShardedBuild(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  const size_t count = 16000;
+  const auto& collection = AstroCollection(count);
+  const palm::VariantSpec spec = ShardedSpec(shards, count);
+  for (auto _ : state) {
+    Arena arena = Arena::Make("bench_sharded_build", spec.sax.series_length);
+    arena.FillRaw(collection);
+    storage::BufferPool pool(kPoolBytes);
+    auto index = BuildWithPool(spec, &arena, &pool, collection);
+    benchmark::DoNotOptimize(index->num_entries());
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["series_per_sec"] = benchmark::Counter(
+      static_cast<double>(count), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_ShardedQueryExact(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  const size_t count = 8000;
+  const auto& collection = AstroCollection(count);
+  const palm::VariantSpec spec = ShardedSpec(shards, count);
+  Arena arena = Arena::Make("bench_sharded_query", spec.sax.series_length);
+  arena.FillRaw(collection);
+  storage::BufferPool pool(kPoolBytes);
+  auto index = BuildWithPool(spec, &arena, &pool, collection);
+
+  workload::AstronomyGenerator gen(
+      {.series_length = static_cast<size_t>(spec.sax.series_length)});
+  auto queries = gen.Generate(16);
+  size_t q = 0;
+  uint64_t found = 0;
+  for (auto _ : state) {
+    auto r = index->ExactSearch(queries[q % queries.size()], {}, nullptr);
+    if (!r.ok()) std::abort();
+    found += r.value().found ? 1 : 0;
+    ++q;
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+}
+
+BENCHMARK(BM_ShardedBuild)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_ShardedQueryExact)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(4);
+
+}  // namespace
+}  // namespace bench
+}  // namespace coconut
+
+BENCHMARK_MAIN();

@@ -34,6 +34,11 @@ class CTree {
     size_t sort_memory_bytes = 64ull << 20;
     /// Worker threads for the construction sort's run generation.
     size_t sort_threads = 1;
+    /// Worker threads for the construction sort's merge phase (0 = follow
+    /// sort_threads; output bytes are identical either way).
+    size_t sort_merge_threads = 0;
+    /// Key ranges for the parallel final merge (0 = one per merge worker).
+    size_t sort_merge_partitions = 0;
   };
 
   /// Accumulates records and bulk-builds the tree via external sorting.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <queue>
 
 #include "storage/page.h"
@@ -34,7 +35,8 @@ class VectorStream : public SortedStream {
   size_t pos_ = 0;
 };
 
-/// Buffered sequential reader over a spilled run file. `buffer_bytes` is
+/// Buffered sequential reader over a spilled run file, or over a byte
+/// slice of one (a key range of the partitioned merge). `buffer_bytes` is
 /// the read-ahead granularity: larger buffers amortize the seek paid when a
 /// k-way merge switches between run files, which is why merge fan-in is
 /// bounded by the memory budget.
@@ -42,7 +44,17 @@ class RunFileStream : public SortedStream {
  public:
   RunFileStream(std::unique_ptr<storage::File> file, size_t record_size,
                 size_t buffer_bytes)
-      : file_(std::move(file)), record_size_(record_size) {
+      : RunFileStream(std::move(file), record_size, buffer_bytes, 0,
+                      std::numeric_limits<uint64_t>::max()) {}
+
+  /// Streams records in byte range [begin_offset, end_offset) of the file.
+  RunFileStream(std::unique_ptr<storage::File> file, size_t record_size,
+                size_t buffer_bytes, uint64_t begin_offset,
+                uint64_t end_offset)
+      : file_(std::move(file)),
+        record_size_(record_size),
+        file_offset_(begin_offset),
+        end_offset_(std::min(end_offset, file_->size_bytes())) {
     chunk_records_ = std::max<size_t>(
         1, std::max(kPageSize, buffer_bytes) / record_size_);
     chunk_.resize(chunk_records_ * record_size_);
@@ -64,7 +76,8 @@ class RunFileStream : public SortedStream {
   Status Refill() {
     chunk_pos_ = 0;
     chunk_filled_ = 0;
-    const uint64_t remaining = file_->size_bytes() - file_offset_;
+    if (end_offset_ <= file_offset_) return Status::OK();
+    const uint64_t remaining = end_offset_ - file_offset_;
     if (remaining == 0) return Status::OK();
     const size_t to_read =
         static_cast<size_t>(std::min<uint64_t>(remaining, chunk_.size()));
@@ -81,6 +94,33 @@ class RunFileStream : public SortedStream {
   size_t chunk_pos_ = 0;
   size_t chunk_filled_ = 0;
   uint64_t file_offset_ = 0;
+  uint64_t end_offset_;
+};
+
+/// Streams child streams back to back. The partitioned merge produces one
+/// sorted file per key range; ranges are disjoint and ordered, so their
+/// concatenation is globally sorted.
+class ConcatStream : public SortedStream {
+ public:
+  ConcatStream(std::vector<std::unique_ptr<SortedStream>> children,
+               size_t record_size)
+      : children_(std::move(children)), record_size_(record_size) {}
+
+  Result<bool> Next(uint8_t* out) override {
+    while (current_ < children_.size()) {
+      COCONUT_ASSIGN_OR_RETURN(bool has, children_[current_]->Next(out));
+      if (has) return true;
+      ++current_;
+    }
+    return false;
+  }
+
+  size_t record_size() const override { return record_size_; }
+
+ private:
+  std::vector<std::unique_ptr<SortedStream>> children_;
+  size_t record_size_;
+  size_t current_ = 0;
 };
 
 /// K-way merge over child streams (binary heap on the lookahead record).
@@ -167,6 +207,36 @@ class OwningMergeStream : public SortedStream {
   std::vector<std::unique_ptr<SortedStream>> owned_;
   std::unique_ptr<MergeStream> merge_;
 };
+
+/// K-way-merges already-opened sorted streams (ordered by run sequence for
+/// stability) into a fresh file, page-buffered sequential appends. The one
+/// write path shared by group merges and range merges.
+Status MergeStreamsToFile(
+    storage::StorageManager* storage,
+    std::vector<std::unique_ptr<SortedStream>> streams, size_t record_size,
+    const std::function<bool(const uint8_t*, const uint8_t*)>& less,
+    const std::string& output_name) {
+  OwningMergeStream merge(std::move(streams), record_size, less);
+  COCONUT_RETURN_NOT_OK(merge.Init());
+  COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> out_file,
+                           storage->CreateFile(output_name));
+  std::vector<uint8_t> record(record_size);
+  std::vector<uint8_t> out;
+  out.reserve(kPageSize + record_size);
+  while (true) {
+    COCONUT_ASSIGN_OR_RETURN(bool has, merge.Next(record.data()));
+    if (!has) break;
+    out.insert(out.end(), record.begin(), record.end());
+    if (out.size() >= kPageSize) {
+      COCONUT_RETURN_NOT_OK(out_file->Append(out.data(), out.size()));
+      out.clear();
+    }
+  }
+  if (!out.empty()) {
+    COCONUT_RETURN_NOT_OK(out_file->Append(out.data(), out.size()));
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -276,7 +346,12 @@ Status ExternalSorter::SpillRun() {
     return st;
   }
   run_names_.push_back(name);
-  ++stats_.runs_spilled;
+  {
+    // Stats are always mutated under mu_ so totals stay exact when run
+    // generation or merging is threaded.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.runs_spilled;
+  }
   buffer_.clear();
   buffered_records_ = 0;
   return Status::OK();
@@ -343,10 +418,13 @@ void ExternalSorter::StopWorkers() {
 }
 
 Result<std::string> ExternalSorter::MergeRuns(
-    const std::vector<std::string>& inputs, const std::string& output_name) {
-  const size_t merge_buffer =
-      std::max<size_t>(kPageSize,
-                       options_.memory_budget_bytes / (inputs.size() + 1));
+    const std::vector<std::string>& inputs, const std::string& output_name,
+    size_t concurrency) {
+  // Concurrent group merges share the budget, so each one gets 1/Nth —
+  // parallelism must not multiply resident memory.
+  const size_t merge_buffer = std::max<size_t>(
+      kPageSize, options_.memory_budget_bytes /
+                     (std::max<size_t>(1, concurrency) * (inputs.size() + 1)));
   std::vector<std::unique_ptr<SortedStream>> streams;
   streams.reserve(inputs.size());
   for (const auto& name : inputs) {
@@ -355,32 +433,296 @@ Result<std::string> ExternalSorter::MergeRuns(
     streams.push_back(std::make_unique<RunFileStream>(
         std::move(file), options_.record_size, merge_buffer));
   }
-  OwningMergeStream merge(std::move(streams), options_.record_size,
-                          options_.less);
-  COCONUT_RETURN_NOT_OK(merge.Init());
-
-  COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> out_file,
-                           options_.storage->CreateFile(output_name));
-  std::vector<uint8_t> record(options_.record_size);
-  std::vector<uint8_t> out;
-  out.reserve(kPageSize + options_.record_size);
-  while (true) {
-    COCONUT_ASSIGN_OR_RETURN(bool has, merge.Next(record.data()));
-    if (!has) break;
-    out.insert(out.end(), record.begin(), record.end());
-    if (out.size() >= kPageSize) {
-      COCONUT_RETURN_NOT_OK(out_file->Append(out.data(), out.size()));
-      out.clear();
-    }
-  }
-  if (!out.empty()) {
-    COCONUT_RETURN_NOT_OK(out_file->Append(out.data(), out.size()));
-  }
+  COCONUT_RETURN_NOT_OK(MergeStreamsToFile(options_.storage,
+                                           std::move(streams),
+                                           options_.record_size,
+                                           options_.less, output_name));
   // Inputs merged; delete them.
   for (const auto& name : inputs) {
     COCONUT_RETURN_NOT_OK(options_.storage->RemoveFile(name));
   }
   return output_name;
+}
+
+size_t ExternalSorter::MergeThreadCount() const {
+  const size_t t = options_.merge_threads != 0 ? options_.merge_threads
+                                               : options_.threads;
+  return std::max<size_t>(1, t);
+}
+
+Result<std::vector<std::string>> ExternalSorter::MergePassGroups(
+    const std::vector<std::string>& pending, size_t fan_in,
+    ThreadPool* pool) {
+  // Groups, their inputs and their output names are all fixed up front, so
+  // the pass produces the same files in the same order however (and on
+  // however many threads) the group merges execute.
+  struct Group {
+    std::vector<std::string> inputs;
+    std::string output;
+  };
+  std::vector<Group> groups;
+  std::vector<std::string> next;
+  for (size_t i = 0; i < pending.size(); i += fan_in) {
+    const size_t end = std::min(pending.size(), i + fan_in);
+    if (end - i == 1) {
+      next.push_back(pending[i]);
+      continue;
+    }
+    Group g;
+    g.inputs.assign(pending.begin() + i, pending.begin() + end);
+    g.output = options_.temp_prefix + ".merge" + std::to_string(next_run_id_++);
+    next.push_back(g.output);
+    groups.push_back(std::move(g));
+  }
+
+  // The per-stream buffer floor is one page, so N concurrent group merges
+  // need N * (fan_in + 1) pages; cap concurrency to what the budget truly
+  // covers (under extreme pressure this degrades to the serial pass).
+  const size_t budget_slots = std::max<size_t>(
+      1, options_.memory_budget_bytes / ((fan_in + 1) * kPageSize));
+  const size_t concurrency = std::min(
+      {MergeThreadCount(), groups.size(), budget_slots});
+
+  if (pool == nullptr || groups.size() <= 1 || concurrency <= 1) {
+    for (const auto& g : groups) {
+      if (Result<std::string> r = MergeRuns(g.inputs, g.output); !r.ok()) {
+        for (const Group& gg : groups) {
+          (void)options_.storage->RemoveFile(gg.output);
+        }
+        return r.status();
+      }
+    }
+    return next;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.merge_threads_used =
+        std::max<uint64_t>(stats_.merge_threads_used, concurrency);
+  }
+  std::vector<Status> statuses(groups.size());
+  // Waves of `concurrency` groups keep resident buffers inside the budget
+  // (the pool may have more threads than the budget can feed).
+  for (size_t wave = 0; wave < groups.size(); wave += concurrency) {
+    const size_t wave_end = std::min(groups.size(), wave + concurrency);
+    for (size_t gi = wave; gi < wave_end; ++gi) {
+      const Group* group = &groups[gi];
+      Status* slot = &statuses[gi];
+      pool->Submit([this, group, slot, concurrency] {
+        Result<std::string> r = MergeRuns(group->inputs, group->output,
+                                          concurrency);
+        *slot = r.status();
+      });
+    }
+    pool->Wait();
+  }
+  for (const Status& st : statuses) {
+    if (!st.ok()) {
+      // Don't leak .merge outputs (complete or partial): `next` is being
+      // discarded, so nothing else tracks them.
+      for (const Group& g : groups) {
+        (void)options_.storage->RemoveFile(g.output);
+      }
+      return st;
+    }
+  }
+  return next;
+}
+
+namespace {
+
+/// First record index in the sorted run `file` that is not less than
+/// `splitter` (lower bound), by binary search over ReadAt.
+Result<uint64_t> LowerBoundRecord(
+    storage::File* file, size_t record_size,
+    const std::function<bool(const uint8_t*, const uint8_t*)>& less,
+    const uint8_t* splitter) {
+  uint64_t lo = 0;
+  uint64_t hi = file->size_bytes() / record_size;
+  std::vector<uint8_t> rec(record_size);
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    COCONUT_RETURN_NOT_OK(
+        file->ReadAt(mid * record_size, rec.data(), record_size));
+    if (less(rec.data(), splitter)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<uint8_t>>> ExternalSorter::PickSplitters(
+    size_t num_ranges) {
+  // Deterministic sampling: fixed per-run offsets, so splitters — and with
+  // them the range files — depend only on the runs, never on timing.
+  constexpr size_t kSamplesPerRun = 32;
+  const size_t record_size = options_.record_size;
+  std::vector<std::vector<uint8_t>> samples;
+  for (const auto& name : run_names_) {
+    COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> file,
+                             options_.storage->OpenFile(name));
+    const uint64_t n = file->size_bytes() / record_size;
+    const uint64_t s = std::min<uint64_t>(n, kSamplesPerRun);
+    for (uint64_t j = 0; j < s; ++j) {
+      const uint64_t idx = j * n / s;
+      std::vector<uint8_t> rec(record_size);
+      COCONUT_RETURN_NOT_OK(
+          file->ReadAt(idx * record_size, rec.data(), record_size));
+      samples.push_back(std::move(rec));
+    }
+  }
+  std::stable_sort(samples.begin(), samples.end(),
+                   [this](const std::vector<uint8_t>& a,
+                          const std::vector<uint8_t>& b) {
+                     return options_.less(a.data(), b.data());
+                   });
+  std::vector<std::vector<uint8_t>> splitters;
+  for (size_t i = 1; i < num_ranges && !samples.empty(); ++i) {
+    const std::vector<uint8_t>& candidate =
+        samples[i * samples.size() / num_ranges];
+    // Keep splitters strictly ascending and strictly above the smallest
+    // sample: an equal splitter would carve an empty range, and a fully
+    // duplicated key space should fall back to the serial merge.
+    const uint8_t* prev = splitters.empty() ? samples.front().data()
+                                            : splitters.back().data();
+    if (!options_.less(prev, candidate.data())) continue;
+    splitters.push_back(candidate);
+  }
+  return splitters;
+}
+
+Result<std::unique_ptr<SortedStream>> ExternalSorter::PartitionedFinalMerge(
+    ThreadPool* pool, size_t num_ranges) {
+  // The per-stream buffer floor is one page, so each concurrent range
+  // merge pins (runs + 1) pages; budget_slots is how many the budget can
+  // feed at once. Fewer than two and partitioning buys nothing over the
+  // streaming serial merge — decided before sampling, so declining costs
+  // no I/O.
+  const size_t budget_slots = std::max<size_t>(
+      1, options_.memory_budget_bytes /
+             ((run_names_.size() + 1) * kPageSize));
+  if (budget_slots < 2) {
+    return std::unique_ptr<SortedStream>(nullptr);
+  }
+
+  COCONUT_ASSIGN_OR_RETURN(std::vector<std::vector<uint8_t>> splitters,
+                           PickSplitters(num_ranges));
+  if (splitters.empty()) {
+    // One key class dominates the sample; a single streaming merge is both
+    // simpler and cheaper. nullptr tells Finish to take the serial path.
+    return std::unique_ptr<SortedStream>(nullptr);
+  }
+  const size_t ranges = splitters.size() + 1;
+  const size_t record_size = options_.record_size;
+
+  // Per run: byte offsets of every range boundary. Lower-bound semantics
+  // put each tie class entirely into one range, which is what makes the
+  // concatenation byte-identical to the serial stable merge.
+  std::vector<std::vector<uint64_t>> boundaries(run_names_.size());
+  for (size_t r = 0; r < run_names_.size(); ++r) {
+    COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> file,
+                             options_.storage->OpenFile(run_names_[r]));
+    boundaries[r].resize(ranges + 1);
+    boundaries[r][0] = 0;
+    for (size_t i = 0; i < splitters.size(); ++i) {
+      COCONUT_ASSIGN_OR_RETURN(
+          uint64_t idx, LowerBoundRecord(file.get(), record_size,
+                                         options_.less, splitters[i].data()));
+      boundaries[r][i + 1] = idx * record_size;
+    }
+    boundaries[r][ranges] = file->size_bytes();
+  }
+
+  // Budget: concurrent range merges each hold one buffer per run slice
+  // plus an output buffer; concurrency is capped by budget_slots (the
+  // one-page-floor bound computed above) and merges run in waves of that
+  // size.
+  const size_t concurrent =
+      std::min({MergeThreadCount(), ranges, budget_slots});
+  const size_t merge_buffer = std::max<size_t>(
+      kPageSize, options_.memory_budget_bytes /
+                     (concurrent * (run_names_.size() + 1)));
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.merge_threads_used =
+        std::max<uint64_t>(stats_.merge_threads_used, concurrent);
+  }
+  std::vector<std::string> range_names(ranges);
+  for (size_t i = 0; i < ranges; ++i) {
+    range_names[i] = options_.temp_prefix + ".range" + std::to_string(i);
+  }
+  std::vector<Status> statuses(ranges);
+  auto submit_range = [&](size_t i) {
+    const size_t range = i;
+    const std::string* out_name = &range_names[i];
+    Status* slot = &statuses[i];
+    const auto* bounds = &boundaries;
+    pool->Submit([this, range, out_name, slot, bounds, merge_buffer,
+                  record_size] {
+      *slot = [&]() -> Status {
+        // Children ordered by run sequence — the tie-break order the
+        // stable merge relies on. Empty slices are skipped; that cannot
+        // reorder the survivors.
+        std::vector<std::unique_ptr<SortedStream>> streams;
+        for (size_t r = 0; r < run_names_.size(); ++r) {
+          const uint64_t begin = (*bounds)[r][range];
+          const uint64_t end = (*bounds)[r][range + 1];
+          if (begin >= end) continue;
+          COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> file,
+                                   options_.storage->OpenFile(run_names_[r]));
+          streams.push_back(std::make_unique<RunFileStream>(
+              std::move(file), record_size, merge_buffer, begin, end));
+        }
+        return MergeStreamsToFile(options_.storage, std::move(streams),
+                                  record_size, options_.less, *out_name);
+      }();
+    });
+  };
+  for (size_t wave = 0; wave < ranges; wave += concurrent) {
+    const size_t wave_end = std::min(ranges, wave + concurrent);
+    for (size_t i = wave; i < wave_end; ++i) submit_range(i);
+    pool->Wait();
+  }
+  for (const Status& st : statuses) {
+    if (!st.ok()) {
+      // Don't leak .range files (complete or partial); the runs are still
+      // tracked by run_names_ for destructor cleanup.
+      for (const auto& name : range_names) {
+        (void)options_.storage->RemoveFile(name);
+      }
+      return st;
+    }
+  }
+
+  // Runs are fully partitioned into range files; drop them and stream the
+  // ranges back to back.
+  for (const auto& name : run_names_) {
+    COCONUT_RETURN_NOT_OK(options_.storage->RemoveFile(name));
+  }
+  run_names_ = range_names;  // Destructor cleanup now tracks range files.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.merge_passes;
+    stats_.merge_ranges = ranges;
+  }
+
+  const size_t concat_buffer = std::max<size_t>(
+      kPageSize, options_.memory_budget_bytes / (ranges + 1));
+  std::vector<std::unique_ptr<SortedStream>> outputs;
+  outputs.reserve(ranges);
+  for (const auto& name : range_names) {
+    COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> file,
+                             options_.storage->OpenFile(name));
+    outputs.push_back(std::make_unique<RunFileStream>(
+        std::move(file), record_size, concat_buffer));
+  }
+  return std::unique_ptr<SortedStream>(
+      std::make_unique<ConcatStream>(std::move(outputs), record_size));
 }
 
 Result<std::unique_ptr<SortedStream>> ExternalSorter::Finish() {
@@ -436,29 +778,46 @@ Result<std::unique_ptr<SortedStream>> ExternalSorter::Finish() {
              ? options_.memory_budget_bytes / kPageSize - 1
              : 2);
 
+  // Merge workers: intermediate passes run their fan-in groups
+  // concurrently, and the final pass is range-partitioned across the pool.
+  // Both leave the output bytes untouched (see class comment).
+  // merge_threads_used is recorded where merges actually run in parallel
+  // (budget capping can serialize them despite the pool existing).
+  const size_t merge_threads = MergeThreadCount();
+  std::unique_ptr<ThreadPool> merge_pool;
+  if (merge_threads > 1 && run_names_.size() > 1) {
+    merge_pool = std::make_unique<ThreadPool>(merge_threads);
+  }
+
   // Multi-pass merging under extreme memory pressure.
   std::vector<std::string> pending = run_names_;
   while (pending.size() > fan_in) {
-    ++stats_.merge_passes;
-    std::vector<std::string> next;
-    for (size_t i = 0; i < pending.size(); i += fan_in) {
-      const size_t end = std::min(pending.size(), i + fan_in);
-      std::vector<std::string> group(pending.begin() + i,
-                                     pending.begin() + end);
-      if (group.size() == 1) {
-        next.push_back(group[0]);
-        continue;
-      }
-      const std::string out_name =
-          options_.temp_prefix + ".merge" + std::to_string(next_run_id_++);
-      COCONUT_ASSIGN_OR_RETURN(std::string merged,
-                               MergeRuns(group, out_name));
-      next.push_back(merged);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.merge_passes;
     }
-    pending = std::move(next);
+    COCONUT_ASSIGN_OR_RETURN(pending,
+                             MergePassGroups(pending, fan_in,
+                                             merge_pool.get()));
+    // run_names_ tracks every live intermediate file for cleanup.
+    run_names_ = pending;
   }
-  run_names_ = pending;
-  ++stats_.merge_passes;
+
+  if (merge_pool != nullptr && run_names_.size() > 1) {
+    const size_t ranges = options_.merge_partitions != 0
+                              ? options_.merge_partitions
+                              : merge_threads;
+    if (ranges > 1) {
+      COCONUT_ASSIGN_OR_RETURN(
+          std::unique_ptr<SortedStream> stream,
+          PartitionedFinalMerge(merge_pool.get(), ranges));
+      if (stream != nullptr) return stream;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.merge_passes;
+  }
 
   // Final merge streamed to the caller.
   const size_t merge_buffer =

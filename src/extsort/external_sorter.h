@@ -33,12 +33,22 @@ class SortedStream {
 /// memory-vs-construction experiment (E5): with enough memory the sort is
 /// one in-memory pass; with less it spills runs and merges them with
 /// sequential I/O; with very little it needs multiple merge passes.
+///
+/// All counters are aggregated under the sorter's mutex, so they are exact
+/// whatever the thread count: totals like `records` and `runs_spilled` are
+/// invariant across `threads`/`merge_threads` (the determinism tests assert
+/// this).
 struct SortStats {
   uint64_t records = 0;
   uint64_t runs_spilled = 0;
   uint64_t merge_passes = 0;
   /// Worker threads that generated runs (1 = synchronous sort-and-spill).
   uint64_t threads_used = 1;
+  /// Worker threads that executed the merge phase (1 = serial merge).
+  uint64_t merge_threads_used = 1;
+  /// Disjoint key ranges the final merge was partitioned into (1 = one
+  /// streaming k-way merge).
+  uint64_t merge_ranges = 1;
   bool in_memory = false;
 };
 
@@ -54,6 +64,18 @@ struct SortStats {
 /// chunk plus at most `threads` in-flight chunks). The sort is stable —
 /// equal records keep input order — so output bytes are identical whatever
 /// the thread count or budget (the determinism the oracle tests pin down).
+///
+/// With `merge_threads > 1` the merge phase is parallel too. Intermediate
+/// passes merge their fan-in groups concurrently. The final pass splits the
+/// key space into disjoint ranges via sampled splitters, k-way-merges each
+/// range on the pool into a range file, and streams the concatenation.
+/// Partitioning uses lower-bound semantics — every record equal to a
+/// splitter lands in the range at or above it — so no tie class straddles a
+/// boundary and the concatenation is byte-identical to the serial stable
+/// merge, whatever the thread or partition count. The trade-off is one
+/// extra materialization: the serial final merge streams straight out of
+/// the run files, the parallel one writes range files first (sequential
+/// I/O) and streams those.
 class ExternalSorter {
  public:
   struct Options {
@@ -65,6 +87,13 @@ class ExternalSorter {
     /// Worker threads for run generation. 1 = synchronous (sort and spill
     /// inline in Add); N > 1 pipelines sorting/spilling behind ingestion.
     size_t threads = 1;
+    /// Worker threads for the merge phase. 0 = follow `threads`; 1 =
+    /// serial streaming merge; N > 1 = range-partitioned parallel merge
+    /// (output bytes unchanged — see class comment).
+    size_t merge_threads = 0;
+    /// Key ranges for the parallel final merge. 0 = one range per merge
+    /// worker. Ignored when the effective merge thread count is 1.
+    size_t merge_partitions = 0;
     /// Where run files live. Not owned.
     storage::StorageManager* storage = nullptr;
     /// Prefix for run file names (unique per concurrent sort).
@@ -94,8 +123,29 @@ class ExternalSorter {
   explicit ExternalSorter(Options options);
 
   Status SpillRun();
+  /// Merges `inputs` into `output_name`. `concurrency` is how many merges
+  /// share the memory budget at once (buffers are divided by it).
   Result<std::string> MergeRuns(const std::vector<std::string>& inputs,
-                                const std::string& output_name);
+                                const std::string& output_name,
+                                size_t concurrency = 1);
+
+  // --- parallel merge phase (merge_threads > 1) ---
+  /// Effective merge worker count (merge_threads, falling back to threads).
+  size_t MergeThreadCount() const;
+  /// Runs one multi-pass round: merges each fan-in group of `pending` into
+  /// a fresh file, concurrently when a pool is given. Returns the next
+  /// round's run names in deterministic (input) order.
+  Result<std::vector<std::string>> MergePassGroups(
+      const std::vector<std::string>& pending, size_t fan_in,
+      ThreadPool* pool);
+  /// Samples run files and returns ascending, deduplicated splitter records
+  /// carving the key space into at most `num_ranges` disjoint ranges.
+  Result<std::vector<std::vector<uint8_t>>> PickSplitters(size_t num_ranges);
+  /// Range-partitioned final merge over run_names_: merges every key range
+  /// into its own file on `pool` and returns a stream over the ordered
+  /// concatenation (byte-identical to the serial merge).
+  Result<std::unique_ptr<SortedStream>> PartitionedFinalMerge(
+      ThreadPool* pool, size_t num_ranges);
 
   // --- parallel run generation (threads > 1) ---
   bool parallel() const { return options_.threads > 1; }

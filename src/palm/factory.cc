@@ -1,6 +1,7 @@
 #include "palm/factory.h"
 
 #include "core/adapters.h"
+#include "palm/sharded_index.h"
 #include "stream/btp.h"
 #include "stream/pp.h"
 #include "stream/tp.h"
@@ -91,6 +92,9 @@ std::string VariantName(const VariantSpec& spec) {
       name += "-BTP";
       break;
   }
+  if (spec.num_shards > 1) {
+    name += "-S" + std::to_string(spec.num_shards);
+  }
   return name;
 }
 
@@ -113,6 +117,17 @@ bool SpecIsValid(const VariantSpec& spec, std::string* why) {
     }
     return false;
   }
+  if (spec.num_shards == 0) {
+    if (why != nullptr) *why = "num_shards must be >= 1";
+    return false;
+  }
+  if (spec.num_shards > 1 && spec.mode != StreamMode::kStatic) {
+    if (why != nullptr) {
+      *why = "sharding applies to static indexes; streaming modes already "
+             "partition temporally";
+    }
+    return false;
+  }
   return true;
 }
 
@@ -125,6 +140,27 @@ Result<std::unique_ptr<core::DataSeriesIndex>> CreateStaticIndex(
   if (spec.mode != StreamMode::kStatic) {
     return Status::InvalidArgument(
         "CreateStaticIndex called with a streaming mode");
+  }
+  if (spec.num_shards > 1) {
+    // The sharded wrapper owns a full stack per shard (storage, pool, raw
+    // store) under the given manager's directory; the passed-in pool and
+    // raw store serve the unsharded path only.
+    ShardedIndex::Options opts;
+    opts.spec = spec;
+    opts.num_shards = spec.num_shards;
+    opts.build_threads = spec.shard_build_threads;
+    opts.query_threads = spec.shard_query_threads;
+    if (pool != nullptr) {
+      // Split the caller's cache budget across shards so the aggregate
+      // page cache matches the unsharded configuration — otherwise a
+      // shard sweep would conflate shard speedup with extra cache.
+      opts.pool_bytes_per_shard = std::max<size_t>(
+          storage::kPageSize,
+          pool->capacity_pages() * storage::kPageSize / spec.num_shards);
+    }
+    COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<ShardedIndex> sharded,
+                             ShardedIndex::Create(storage, name, opts));
+    return std::unique_ptr<core::DataSeriesIndex>(std::move(sharded));
   }
   return MakeInner(spec, storage, name, pool, raw);
 }

@@ -44,6 +44,18 @@ struct VariantSpec {
   size_t ads_leaf_capacity = 1024;
   /// BTP: equal-size partitions per consolidation.
   int btp_merge_k = 2;
+
+  /// Shards for static indexes: > 1 partitions the dataset by invSAX key
+  /// range across that many independent per-shard storage managers /
+  /// buffer pools, built concurrently and queried scatter-gather (exact
+  /// results are unchanged — see ShardedIndex). 1 = unsharded. Streaming
+  /// modes do not support sharding yet.
+  size_t num_shards = 1;
+  /// Worker threads finalizing shards concurrently (0 = one per shard).
+  size_t shard_build_threads = 0;
+  /// Worker threads fanning a query out across shards (0 = one per shard,
+  /// capped at 8).
+  size_t shard_query_threads = 0;
 };
 
 /// Variant display name, e.g. "CTreeFull-PP", "CLSM-BTP", "ADS+".

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "palm/heatmap.h"
+#include "palm/sharded_index.h"
 #include "series/series.h"
 
 namespace coconut {
@@ -103,8 +104,14 @@ Result<std::string> Server::BuildIndex(const std::string& index_name,
       handle->static_index,
       CreateStaticIndex(spec, handle->storage.get(), "index", handle->pool.get(),
                         handle->raw.get()));
+  // Sharded indexes route every series into a shard-local raw store; the
+  // handle-level store would be a dead second copy of the dataset (doubled
+  // disk and build I/O), so only unsharded indexes populate it.
+  const bool shard_owned_raw = spec.num_shards > 1;
   for (size_t i = 0; i < dataset.data.size(); ++i) {
-    COCONUT_RETURN_NOT_OK(handle->raw->Append(dataset.data[i]).status());
+    if (!shard_owned_raw) {
+      COCONUT_RETURN_NOT_OK(handle->raw->Append(dataset.data[i]).status());
+    }
     COCONUT_RETURN_NOT_OK(handle->static_index->Insert(
         i, dataset.data[i], dataset.timestamps[i]));
   }
@@ -113,12 +120,20 @@ Result<std::string> Server::BuildIndex(const std::string& index_name,
   handle->next_series_id = dataset.data.size();
   handle->build_seconds = timer.ElapsedSeconds();
   handle->build_io = handle->storage->io_stats()->Since(before);
+  // Sharded builds do their I/O through per-shard storage managers (fresh
+  // at this point, so totals == this build); fold them into the report.
+  if (auto* sharded =
+          dynamic_cast<ShardedIndex*>(handle->static_index.get());
+      sharded != nullptr) {
+    handle->build_io.Add(sharded->AggregateIoStats());
+  }
 
   JsonWriter w;
   w.BeginObject();
   w.Field("index", index_name);
   w.Field("variant", VariantName(spec));
   w.Field("dataset", dataset_name);
+  w.Field("shards", static_cast<uint64_t>(spec.num_shards));
   w.Field("entries", handle->static_index->num_entries());
   w.Field("build_seconds", handle->build_seconds);
   w.Field("index_bytes", handle->static_index->index_bytes());
@@ -197,15 +212,26 @@ Result<std::string> Server::Query(const QueryRequest& request) {
   if (request.window.has_value()) options.window = *request.window;
   options.approx_candidates = request.approx_candidates;
 
+  // A sharded index reads through per-shard storage managers; snapshot
+  // those too so the reported query I/O is real, not the handle's zeros.
+  auto* sharded = dynamic_cast<ShardedIndex*>(handle->static_index.get());
+
   core::QueryCounters counters;
   storage::AccessTracker* tracker = handle->storage->tracker();
   if (request.capture_heatmap) {
+    if (sharded != nullptr) {
+      // Shard I/O never touches the handle-level tracker; a silent empty
+      // heat map would read as an all-cold result, so refuse instead.
+      return Status::NotSupported(
+          "heat maps are not captured for sharded indexes yet");
+    }
     tracker->Clear();
     tracker->Enable();
   }
 
   WallTimer timer;
-  const storage::IoStats before = *handle->storage->io_stats();
+  storage::IoStats before = *handle->storage->io_stats();
+  if (sharded != nullptr) before.Add(sharded->AggregateIoStats());
   Result<core::SearchResult> result =
       handle->static_index != nullptr
           ? (request.exact
@@ -233,7 +259,9 @@ Result<std::string> Server::Query(const QueryRequest& request) {
   }
   w.Field("seconds", seconds);
   w.Key("io");
-  WriteIoStats(handle->storage->io_stats()->Since(before), &w);
+  storage::IoStats after = *handle->storage->io_stats();
+  if (sharded != nullptr) after.Add(sharded->AggregateIoStats());
+  WriteIoStats(after.Since(before), &w);
   w.Key("counters");
   w.BeginObject();
   w.Field("leaves_visited", counters.leaves_visited);
@@ -317,6 +345,7 @@ std::string Server::ListIndexes() const {
     w.Field("name", name);
     w.Field("variant", VariantName(handle->spec));
     w.Field("streaming", handle->stream_index != nullptr);
+    w.Field("shards", static_cast<uint64_t>(handle->spec.num_shards));
     const uint64_t entries = handle->static_index != nullptr
                                  ? handle->static_index->num_entries()
                                  : handle->stream_index->num_entries();

@@ -78,7 +78,11 @@ class Server {
   /// same index are serialized on one worker (per-index isolation: each
   /// index's buffer pool, I/O counters and heat-map tracker stay
   /// single-threaded); requests for distinct indexes run in parallel.
-  /// `threads` = 0 picks hardware concurrency (capped at 8).
+  /// A sharded index (spec.num_shards > 1) additionally fans each query
+  /// out across its shards on its own pool — scatter-gather under the same
+  /// facade — so one request exploits shard parallelism even when the
+  /// batch serializes on its index. `threads` = 0 picks hardware
+  /// concurrency (capped at 8).
   std::vector<Result<std::string>> QueryBatch(
       const std::vector<QueryRequest>& requests, size_t threads = 0);
 

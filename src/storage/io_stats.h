@@ -40,6 +40,18 @@ struct IoStats {
 
   void Reset() { *this = IoStats{}; }
 
+  /// Accumulates another set of counters (device-head tracking fields are
+  /// meaningless across devices and stay untouched). One shared helper so
+  /// every aggregation site picks up future counters automatically.
+  void Add(const IoStats& other) {
+    sequential_reads += other.sequential_reads;
+    random_reads += other.random_reads;
+    sequential_writes += other.sequential_writes;
+    random_writes += other.random_writes;
+    bytes_read += other.bytes_read;
+    bytes_written += other.bytes_written;
+  }
+
   /// Difference since an earlier snapshot (counters are monotone).
   IoStats Since(const IoStats& before) const {
     IoStats d;

@@ -56,9 +56,12 @@ bool StorageManager::Exists(const std::string& name) const {
 }
 
 uint64_t StorageManager::TotalBytesOnDisk() const {
+  // Recursive: a sharded index keeps each shard's stack in a subdirectory
+  // of its parent manager, and those bytes are part of its footprint.
   uint64_t total = 0;
   std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+  for (const auto& entry :
+       fs::recursive_directory_iterator(directory_, ec)) {
     if (entry.is_regular_file(ec)) {
       total += entry.file_size(ec);
     }

@@ -44,8 +44,9 @@ class StorageManager {
   /// Whether `name` exists inside the directory.
   bool Exists(const std::string& name) const;
 
-  /// Sum of the sizes of every file currently in the directory (bytes);
-  /// the storage-consumption metric shown by the GUI.
+  /// Sum of the sizes of every file under the directory, recursively
+  /// (shard stacks live in subdirectories); the storage-consumption
+  /// metric shown by the GUI.
   uint64_t TotalBytesOnDisk() const;
 
   /// Removes every file in the directory (used between experiments).
@@ -56,6 +57,14 @@ class StorageManager {
   /// phase — for consistent values.
   IoStats* io_stats() { return &stats_; }
   AccessTracker* tracker() { return &tracker_; }
+
+  /// Consistent copy of the I/O counters taken under the same mutex the
+  /// files update them with — safe to call while other threads do I/O
+  /// (the concurrency stress tests read accounting mid-flight this way).
+  IoStats SnapshotIoStats() const {
+    std::lock_guard<std::mutex> lock(io_mutex_);
+    return stats_;
+  }
 
   const std::string& directory() const { return directory_; }
 
@@ -68,7 +77,7 @@ class StorageManager {
   std::string directory_;
   IoStats stats_;
   AccessTracker tracker_;
-  std::mutex io_mutex_;
+  mutable std::mutex io_mutex_;
   std::atomic<uint32_t> next_file_id_{0};
 };
 

@@ -1,0 +1,299 @@
+// The sharding equivalence harness: for every static factory variant and
+// shard count K, the sharded index's exact search must be *exactly* equal —
+// same id, same distance — to the unsharded index and to the brute-force
+// oracle, unconstrained and under time windows, including queries whose
+// nearest neighbor lives in a different shard than the query itself routes
+// to (the scatter-gather exactness argument: shards partition the dataset
+// disjointly, each shard answers exactly over its partition, and the gather
+// keeps the global minimum).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "palm/factory.h"
+#include "palm/sharded_index.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace palm {
+namespace {
+
+series::SaxConfig ShardSax() {
+  return series::SaxConfig{.series_length = 64, .num_segments = 8,
+                           .bits_per_segment = 8};
+}
+
+struct ShardCase {
+  IndexFamily family;
+  bool materialized;
+  size_t num_shards;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ShardCase>& info) {
+  VariantSpec spec;
+  spec.family = info.param.family;
+  spec.materialized = info.param.materialized;
+  std::string name = VariantName(spec);
+  for (char& c : name) {
+    if (c == '+' || c == '-') c = 'x';
+  }
+  return name + "_K" + std::to_string(info.param.num_shards);
+}
+
+class ShardedOracleTest : public ::testing::TestWithParam<ShardCase> {
+ protected:
+  void SetUp() override {
+    auto r = storage::MakeTempStorage("sharded_oracle");
+    ASSERT_TRUE(r.ok());
+    mgr_ = r.TakeValue();
+    raw_ = core::RawSeriesStore::Create(mgr_.get(), "raw", 64).TakeValue();
+  }
+  void TearDown() override { ASSERT_TRUE(mgr_->Clear().ok()); }
+
+  VariantSpec BaseSpec() const {
+    const ShardCase& c = GetParam();
+    VariantSpec spec;
+    spec.sax = ShardSax();
+    spec.family = c.family;
+    spec.materialized = c.materialized;
+    spec.buffer_entries = 128;
+    // Small enough that CTree shards actually spill and merge runs, so the
+    // parallel merge phase inside shard builds is exercised too.
+    spec.memory_budget_bytes = 64 << 10;
+    spec.construction_threads = c.family == IndexFamily::kCTree ? 2 : 1;
+    return spec;
+  }
+
+  /// Builds an index over `collection` (ids = ordinals, timestamps =
+  /// ordinals) and finalizes it.
+  std::unique_ptr<core::DataSeriesIndex> Build(
+      const VariantSpec& spec, const std::string& name,
+      const series::SeriesCollection& collection) {
+    auto r = CreateStaticIndex(spec, mgr_.get(), name, nullptr, raw_.get());
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    auto index = r.TakeValue();
+    for (size_t i = 0; i < collection.size(); ++i) {
+      EXPECT_TRUE(
+          index->Insert(i, collection[i], static_cast<int64_t>(i)).ok());
+    }
+    EXPECT_TRUE(index->Finalize().ok());
+    return index;
+  }
+
+  std::unique_ptr<storage::StorageManager> mgr_;
+  std::unique_ptr<core::RawSeriesStore> raw_;
+};
+
+TEST_P(ShardedOracleTest, ShardedEqualsUnshardedEqualsBruteForce) {
+  const ShardCase& c = GetParam();
+  auto collection = testutil::RandomWalkCollection(240, 64, 91);
+  ASSERT_TRUE(testutil::FillRawStore(raw_.get(), collection).ok());
+
+  VariantSpec unsharded_spec = BaseSpec();
+  auto unsharded = Build(unsharded_spec, "flat", collection);
+
+  VariantSpec sharded_spec = BaseSpec();
+  sharded_spec.num_shards = c.num_shards;
+  auto sharded = Build(sharded_spec, "sharded", collection);
+
+  ASSERT_EQ(sharded->num_entries(), collection.size());
+  ASSERT_EQ(unsharded->num_entries(), collection.size());
+
+  auto* impl = dynamic_cast<ShardedIndex*>(sharded.get());
+  if (c.num_shards > 1) {
+    ASSERT_NE(impl, nullptr);
+    ASSERT_EQ(impl->num_shards(), c.num_shards);
+    // Shards partition the dataset: entries sum to the collection size.
+    uint64_t total = 0;
+    for (size_t s = 0; s < impl->num_shards(); ++s) {
+      total += impl->shard_entries(s);
+    }
+    EXPECT_EQ(total, collection.size());
+  }
+
+  // Low-noise queries route to their neighbor's shard (similar series,
+  // similar key); high-noise ones land wherever their own summarization
+  // says while the true neighbor sits in another shard — the
+  // boundary-straddling case the gather must get right. The high-noise
+  // seeds are chosen (verified against this collection/seed) so the set
+  // straddles for every K in the parameter sweep.
+  struct QuerySpec {
+    int q;
+    double noise;
+  };
+  const QuerySpec specs[] = {{0, 0.5},  {1, 0.5},  {2, 0.5},  {3, 0.5},
+                             {4, 0.5},  {5, 0.5},  {6, 0.5},  {7, 0.5},
+                             {0, 3.0},  {1, 3.0},  {5, 3.0},  {7, 3.0},
+                             {12, 3.0}, {14, 3.0}, {17, 3.0}, {20, 3.0}};
+  size_t straddling = 0;
+  for (const QuerySpec& qs : specs) {
+    const int q = qs.q;
+    auto query = testutil::NoisyCopy(collection, (q * 53 + 11) % 240,
+                                     qs.noise, 200 + q);
+    auto oracle = testutil::BruteForceKnn(collection, query, 1);
+    ASSERT_EQ(oracle.size(), 1u);
+
+    auto flat = unsharded->ExactSearch(query, {}, nullptr).TakeValue();
+    auto shard = sharded->ExactSearch(query, {}, nullptr).TakeValue();
+    ASSERT_TRUE(flat.found);
+    ASSERT_TRUE(shard.found) << sharded->describe();
+
+    // Exact equivalence: same id and same distance as both the unsharded
+    // index and the linear-scan oracle.
+    EXPECT_EQ(shard.series_id, oracle[0].index) << "query " << q;
+    EXPECT_EQ(shard.series_id, flat.series_id) << "query " << q;
+    EXPECT_NEAR(shard.distance_sq, oracle[0].distance_sq, 1e-9)
+        << sharded->describe() << " query " << q;
+    EXPECT_NEAR(shard.distance_sq, flat.distance_sq, 1e-9) << "query " << q;
+    // And the id really is at the reported distance.
+    EXPECT_NEAR(
+        series::EuclideanSquared(query, collection[shard.series_id]),
+        shard.distance_sq, 1e-9);
+
+    if (impl != nullptr && c.num_shards > 1 &&
+        impl->ShardOf(query) !=
+            impl->ShardOf(collection[oracle[0].index])) {
+      ++straddling;
+    }
+  }
+  if (c.num_shards > 1) {
+    // The query set must include answers that cross shard boundaries —
+    // otherwise this suite would never catch a broken gather.
+    EXPECT_GT(straddling, 0u) << "no query straddled a shard boundary; "
+                                 "weaken the routing or reseed";
+  }
+}
+
+TEST_P(ShardedOracleTest, WindowedShardedSearchMatchesWindowedOracle) {
+  const ShardCase& c = GetParam();
+  auto collection = testutil::RandomWalkCollection(200, 64, 92);
+  ASSERT_TRUE(testutil::FillRawStore(raw_.get(), collection).ok());
+
+  VariantSpec sharded_spec = BaseSpec();
+  sharded_spec.num_shards = c.num_shards;
+  auto sharded = Build(sharded_spec, "sharded", collection);
+
+  const core::TimeWindow window{40, 160};
+  core::SearchOptions options;
+  options.window = window;
+  for (int q = 0; q < 5; ++q) {
+    auto query = testutil::NoisyCopy(collection, (q * 71 + 9) % 200, 0.5,
+                                     300 + q);
+    auto oracle = testutil::BruteForceKnn(collection, query, 1, window);
+    ASSERT_EQ(oracle.size(), 1u);
+    auto got = sharded->ExactSearch(query, options, nullptr).TakeValue();
+    ASSERT_TRUE(got.found) << sharded->describe();
+    EXPECT_GE(got.timestamp, window.begin);
+    EXPECT_LE(got.timestamp, window.end);
+    EXPECT_EQ(got.series_id, oracle[0].index) << "query " << q;
+    EXPECT_NEAR(got.distance_sq, oracle[0].distance_sq, 1e-9)
+        << sharded->describe() << " query " << q;
+  }
+}
+
+TEST_P(ShardedOracleTest, ApproxSearchReturnsValidCandidate) {
+  const ShardCase& c = GetParam();
+  auto collection = testutil::RandomWalkCollection(150, 64, 93);
+  ASSERT_TRUE(testutil::FillRawStore(raw_.get(), collection).ok());
+
+  VariantSpec sharded_spec = BaseSpec();
+  sharded_spec.num_shards = c.num_shards;
+  auto sharded = Build(sharded_spec, "sharded", collection);
+
+  auto query = testutil::NoisyCopy(collection, 42, 0.4, 400);
+  auto got = sharded->ApproxSearch(query, {}, nullptr).TakeValue();
+  ASSERT_TRUE(got.found);
+  ASSERT_LT(got.series_id, collection.size());
+  // Approximate answers carry no exactness contract, but the reported
+  // distance must be the true distance of the reported id.
+  EXPECT_NEAR(series::EuclideanSquared(query, collection[got.series_id]),
+              got.distance_sq, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariantsAllShardCounts, ShardedOracleTest,
+    ::testing::Values(
+        ShardCase{IndexFamily::kAds, false, 1},
+        ShardCase{IndexFamily::kAds, false, 2},
+        ShardCase{IndexFamily::kAds, false, 4},
+        ShardCase{IndexFamily::kAds, false, 7},
+        ShardCase{IndexFamily::kAds, true, 1},
+        ShardCase{IndexFamily::kAds, true, 2},
+        ShardCase{IndexFamily::kAds, true, 4},
+        ShardCase{IndexFamily::kAds, true, 7},
+        ShardCase{IndexFamily::kCTree, false, 1},
+        ShardCase{IndexFamily::kCTree, false, 2},
+        ShardCase{IndexFamily::kCTree, false, 4},
+        ShardCase{IndexFamily::kCTree, false, 7},
+        ShardCase{IndexFamily::kCTree, true, 1},
+        ShardCase{IndexFamily::kCTree, true, 2},
+        ShardCase{IndexFamily::kCTree, true, 4},
+        ShardCase{IndexFamily::kCTree, true, 7},
+        ShardCase{IndexFamily::kClsm, false, 1},
+        ShardCase{IndexFamily::kClsm, false, 2},
+        ShardCase{IndexFamily::kClsm, false, 4},
+        ShardCase{IndexFamily::kClsm, false, 7},
+        ShardCase{IndexFamily::kClsm, true, 1},
+        ShardCase{IndexFamily::kClsm, true, 2},
+        ShardCase{IndexFamily::kClsm, true, 4},
+        ShardCase{IndexFamily::kClsm, true, 7}),
+    CaseName);
+
+// Shards may legitimately be empty (tiny dataset, many shards): searches
+// must still gather the exact answer from the populated ones.
+TEST(ShardedEdgeTest, MoreShardsThanDataStillExact) {
+  auto mgr = storage::MakeTempStorage("sharded_edge").TakeValue();
+  auto raw = core::RawSeriesStore::Create(mgr.get(), "raw", 64).TakeValue();
+  auto collection = testutil::RandomWalkCollection(10, 64, 94);
+  ASSERT_TRUE(testutil::FillRawStore(raw.get(), collection).ok());
+
+  VariantSpec spec;
+  spec.sax = ShardSax();
+  spec.family = IndexFamily::kCTree;
+  spec.num_shards = 7;
+  auto index =
+      CreateStaticIndex(spec, mgr.get(), "idx", nullptr, raw.get())
+          .TakeValue();
+  for (size_t i = 0; i < collection.size(); ++i) {
+    ASSERT_TRUE(
+        index->Insert(i, collection[i], static_cast<int64_t>(i)).ok());
+  }
+  ASSERT_TRUE(index->Finalize().ok());
+  ASSERT_EQ(index->num_entries(), collection.size());
+
+  for (int q = 0; q < 3; ++q) {
+    auto query = testutil::NoisyCopy(collection, q * 3, 0.5, 500 + q);
+    auto oracle = testutil::BruteForceKnn(collection, query, 1);
+    auto got = index->ExactSearch(query, {}, nullptr).TakeValue();
+    ASSERT_TRUE(got.found);
+    EXPECT_EQ(got.series_id, oracle[0].index);
+    EXPECT_NEAR(got.distance_sq, oracle[0].distance_sq, 1e-9);
+  }
+}
+
+// The factory guards the sharding matrix: zero shards and sharded
+// streaming modes are rejected, and names carry the shard count.
+TEST(ShardedEdgeTest, FactoryValidationAndNaming) {
+  VariantSpec spec;
+  spec.sax = ShardSax();
+  spec.family = IndexFamily::kCTree;
+  spec.num_shards = 4;
+  EXPECT_EQ(VariantName(spec), "CTree-S4");
+  std::string why;
+  EXPECT_TRUE(SpecIsValid(spec, &why)) << why;
+
+  spec.num_shards = 0;
+  EXPECT_FALSE(SpecIsValid(spec, &why));
+
+  spec.num_shards = 2;
+  spec.mode = StreamMode::kPP;
+  EXPECT_FALSE(SpecIsValid(spec, &why));
+  spec.mode = StreamMode::kStatic;
+  spec.num_shards = 1;
+  EXPECT_EQ(VariantName(spec), "CTree");
+}
+
+}  // namespace
+}  // namespace palm
+}  // namespace coconut
