@@ -1,0 +1,126 @@
+// Streaming ingestion latency, synchronous vs background merges. The
+// tentpole claim of the async path is that Ingest never blocks on index
+// I/O: a synchronous BTP stalls every buffer_entries-th Ingest on a seal
+// (and occasionally a whole merge cascade), while the async index pays a
+// lock-protected append and defers the I/O to the background strand.
+// This bench reports what the p50/p99 per-Ingest latency distribution
+// looks like in both modes — CI uploads the JSON so the trajectory is
+// tracked over time (single-core runners show truncated tails rather
+// than full overlap, like the construction bench).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "palm/factory.h"
+
+namespace coconut {
+namespace bench {
+namespace {
+
+constexpr size_t kLength = 256;
+constexpr size_t kSeries = 6144;
+constexpr size_t kBufferEntries = 512;
+
+palm::VariantSpec StreamSpec(bool async, palm::StreamMode mode) {
+  palm::VariantSpec spec;
+  spec.sax = BenchSax(kLength);
+  spec.buffer_entries = kBufferEntries;
+  spec.btp_merge_k = 2;
+  spec.mode = mode;
+  spec.family = mode == palm::StreamMode::kTP ? palm::IndexFamily::kCTree
+                                              : palm::IndexFamily::kClsm;
+  spec.async_ingest = async;
+  return spec;
+}
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_in_place->size() - 1));
+  return (*sorted_in_place)[idx];
+}
+
+/// One full ingest run; per-Ingest latencies feed the percentile counters.
+void RunIngest(benchmark::State& state, palm::StreamMode mode, bool async) {
+  const auto& collection = AstroCollection(kSeries, kLength);
+  ThreadPool background(2);
+  double p50_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+  double drain_seconds = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Arena arena = Arena::Make("bench_stream", kLength);
+    arena.FillRaw(collection);
+    palm::VariantSpec spec = StreamSpec(async, mode);
+    spec.background_pool = &background;
+    auto index = palm::CreateStreamingIndex(spec, arena.storage.get(),
+                                            "stream", nullptr,
+                                            arena.raw.get())
+                     .TakeValue();
+    std::vector<double> latencies_us;
+    latencies_us.reserve(collection.size());
+    state.ResumeTiming();
+
+    for (size_t i = 0; i < collection.size(); ++i) {
+      WallTimer timer;
+      if (!index->Ingest(i, collection[i], static_cast<int64_t>(i)).ok()) {
+        std::abort();
+      }
+      latencies_us.push_back(timer.ElapsedSeconds() * 1e6);
+    }
+    WallTimer drain;
+    if (!index->FlushAll().ok()) std::abort();
+    drain_seconds = drain.ElapsedSeconds();
+
+    p50_us = Percentile(&latencies_us, 0.50);
+    p99_us = Percentile(&latencies_us, 0.99);
+    max_us = latencies_us.back();
+  }
+  state.counters["ingest_p50_us"] = p50_us;
+  state.counters["ingest_p99_us"] = p99_us;
+  state.counters["ingest_max_us"] = max_us;
+  state.counters["drain_seconds"] = drain_seconds;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(collection.size()));
+}
+
+void BM_IngestBtpSync(benchmark::State& state) {
+  RunIngest(state, palm::StreamMode::kBTP, /*async=*/false);
+}
+BENCHMARK(BM_IngestBtpSync)->Unit(benchmark::kMillisecond);
+
+void BM_IngestBtpAsync(benchmark::State& state) {
+  RunIngest(state, palm::StreamMode::kBTP, /*async=*/true);
+}
+BENCHMARK(BM_IngestBtpAsync)->Unit(benchmark::kMillisecond);
+
+void BM_IngestTpSync(benchmark::State& state) {
+  RunIngest(state, palm::StreamMode::kTP, /*async=*/false);
+}
+BENCHMARK(BM_IngestTpSync)->Unit(benchmark::kMillisecond);
+
+void BM_IngestTpAsync(benchmark::State& state) {
+  RunIngest(state, palm::StreamMode::kTP, /*async=*/true);
+}
+BENCHMARK(BM_IngestTpAsync)->Unit(benchmark::kMillisecond);
+
+void BM_IngestClsmPpSync(benchmark::State& state) {
+  RunIngest(state, palm::StreamMode::kPP, /*async=*/false);
+}
+BENCHMARK(BM_IngestClsmPpSync)->Unit(benchmark::kMillisecond);
+
+void BM_IngestClsmPpAsync(benchmark::State& state) {
+  RunIngest(state, palm::StreamMode::kPP, /*async=*/true);
+}
+BENCHMARK(BM_IngestClsmPpAsync)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace coconut
+
+BENCHMARK_MAIN();

@@ -75,6 +75,25 @@ class TableSource : public MergeSource {
 
 }  // namespace
 
+Clsm::Clsm(storage::StorageManager* storage, std::string prefix,
+           Options options, storage::BufferPool* pool,
+           core::RawSeriesStore* raw)
+    : storage_(storage),
+      prefix_(std::move(prefix)),
+      options_(options),
+      pool_(pool),
+      raw_(raw),
+      runs_(std::make_shared<RunSet>()) {
+  if (options_.background != nullptr) {
+    executor_ = std::make_unique<SerialExecutor>(options_.background);
+  }
+}
+
+Clsm::~Clsm() {
+  // Background tasks close over `this`; drain them before members die.
+  if (executor_ != nullptr) executor_->Drain();
+}
+
 Result<std::unique_ptr<Clsm>> Clsm::Create(storage::StorageManager* storage,
                                            const std::string& prefix,
                                            const Options& options,
@@ -110,70 +129,143 @@ std::string Clsm::RunName(size_t level) {
          std::to_string(version_++);
 }
 
+std::shared_ptr<Clsm::PendingFlush> Clsm::DetachMemtableLocked() {
+  if (memtable_.empty()) return nullptr;
+  auto pending = std::make_shared<PendingFlush>();
+  pending->entries = std::move(memtable_);
+  pending->payloads = std::move(memtable_payloads_);
+  memtable_.clear();
+  memtable_payloads_.clear();
+  pending_.push_back(pending);
+  return pending;
+}
+
+void Clsm::EnqueueFlushLocked(std::shared_ptr<const PendingFlush> pending) {
+  // Called with mu_ held so strand order always matches detach order even
+  // when Insert and FlushBuffer race. Safe: Submit only takes the
+  // executor's own queue lock, never mu_.
+  executor_->Submit([this, pending = std::move(pending)] {
+    const Status status = FlushTask(pending);
+    if (!status.ok()) RecordBackgroundError(status);
+  });
+}
+
+void Clsm::RecordBackgroundError(const Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (background_status_.ok()) background_status_ = status;
+}
+
+void Clsm::PublishRuns(std::shared_ptr<const RunSet> runs,
+                       const PendingFlush* retired_pending,
+                       uint64_t rewritten, uint64_t merges) {
+  std::lock_guard<std::mutex> lock(mu_);
+  runs_ = std::move(runs);
+  if (retired_pending != nullptr) {
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->get() == retired_pending) {
+        pending_.erase(it);
+        break;
+      }
+    }
+    ++flushes_completed_;
+  }
+  entries_rewritten_ += rewritten;
+  merges_performed_ += merges;
+}
+
 Status Clsm::Insert(uint64_t series_id, std::span<const float> znorm_values,
                     int64_t timestamp) {
   if (znorm_values.size() != static_cast<size_t>(options_.sax.series_length)) {
     return Status::InvalidArgument("series length mismatch");
   }
+  // Summarize outside the lock: admission needs no shared state.
   IndexEntry entry;
   entry.key = series::InterleaveSax(
       series::ComputeSax(znorm_values, options_.sax), options_.sax);
   entry.series_id = series_id;
   entry.timestamp = timestamp;
-  memtable_.push_back(entry);
-  if (options_.materialized) {
-    memtable_payloads_.insert(memtable_payloads_.end(), znorm_values.begin(),
-                              znorm_values.end());
+
+  std::shared_ptr<const PendingFlush> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!background_status_.ok()) return background_status_;
+    memtable_.push_back(entry);
+    if (options_.materialized) {
+      memtable_payloads_.insert(memtable_payloads_.end(),
+                                znorm_values.begin(), znorm_values.end());
+    }
+    if (memtable_.size() >= options_.buffer_entries) {
+      pending = DetachMemtableLocked();
+      if (pending != nullptr && async()) {
+        EnqueueFlushLocked(pending);
+        pending = nullptr;
+      }
+    }
   }
-  if (memtable_.size() >= options_.buffer_entries) {
-    COCONUT_RETURN_NOT_OK(FlushBuffer());
-  }
+  // Sync mode: flush inline, off the lock (FlushTask re-acquires mu_).
+  if (pending != nullptr) return FlushTask(std::move(pending));
   return Status::OK();
 }
 
 Status Clsm::FlushBuffer() {
-  if (memtable_.empty()) return Status::OK();
-  COCONUT_RETURN_NOT_OK(MergeIntoLevel(0, /*from_memtable=*/true));
-  return CascadeFrom(0);
+  std::shared_ptr<const PendingFlush> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending = DetachMemtableLocked();
+    if (pending != nullptr && async()) {
+      EnqueueFlushLocked(pending);
+      pending = nullptr;
+    }
+  }
+  if (pending != nullptr) {
+    COCONUT_RETURN_NOT_OK(FlushTask(std::move(pending)));
+  }
+  if (async()) executor_->Drain();
+  std::lock_guard<std::mutex> lock(mu_);
+  return background_status_;
 }
 
-Status Clsm::MergeIntoLevel(size_t level, bool from_memtable) {
+Status Clsm::MergeIntoLevel(RunSet* work, size_t level,
+                            std::span<const IndexEntry> mem_entries,
+                            std::span<const float> mem_payloads,
+                            bool from_memtable,
+                            std::vector<std::string>* retired,
+                            uint64_t* rewritten) {
   const size_t len = options_.sax.series_length;
 
   // Assemble the newer input.
   std::unique_ptr<MergeSource> newer;
   if (from_memtable) {
     // Sort the buffer: indices sorted by key, then payloads permuted.
-    std::vector<size_t> order(memtable_.size());
+    std::vector<size_t> order(mem_entries.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
-      return core::EntryKeyLess()(memtable_[a], memtable_[b]);
-    });
-    std::vector<IndexEntry> sorted_entries(memtable_.size());
+    std::sort(order.begin(), order.end(),
+              [&mem_entries](size_t a, size_t b) {
+                return core::EntryKeyLess()(mem_entries[a], mem_entries[b]);
+              });
+    std::vector<IndexEntry> sorted_entries(mem_entries.size());
     std::vector<float> sorted_payloads;
-    if (options_.materialized) sorted_payloads.resize(memtable_payloads_.size());
+    if (options_.materialized) sorted_payloads.resize(mem_payloads.size());
     for (size_t i = 0; i < order.size(); ++i) {
-      sorted_entries[i] = memtable_[order[i]];
+      sorted_entries[i] = mem_entries[order[i]];
       if (options_.materialized) {
-        std::copy(memtable_payloads_.begin() + order[i] * len,
-                  memtable_payloads_.begin() + (order[i] + 1) * len,
+        std::copy(mem_payloads.begin() + order[i] * len,
+                  mem_payloads.begin() + (order[i] + 1) * len,
                   sorted_payloads.begin() + i * len);
       }
     }
     newer = std::make_unique<MemtableSource>(std::move(sorted_entries),
                                              std::move(sorted_payloads), len);
-    memtable_.clear();
-    memtable_payloads_.clear();
   } else {
-    newer = std::make_unique<TableSource>(levels_[level - 1].get());
+    newer = std::make_unique<TableSource>((*work)[level - 1].get());
   }
 
-  if (levels_.size() <= level) levels_.resize(level + 1);
+  if (work->size() <= level) work->resize(level + 1);
 
   // Older input: the existing run at this level, if any.
   std::unique_ptr<MergeSource> older;
-  if (levels_[level] != nullptr) {
-    older = std::make_unique<TableSource>(levels_[level].get());
+  if ((*work)[level] != nullptr) {
+    older = std::make_unique<TableSource>((*work)[level].get());
   }
 
   const std::string new_name = RunName(level);
@@ -207,75 +299,134 @@ Status Clsm::MergeIntoLevel(size_t level, bool from_memtable) {
       COCONUT_ASSIGN_OR_RETURN(b_has, older->Next(&b_entry, &b_payload));
     }
   }
-  entries_rewritten_ += builder->entries_added();
-  ++merges_performed_;
+  *rewritten += builder->entries_added();
   COCONUT_RETURN_NOT_OK(builder->Finish());
 
-  // Swap in the merged run; drop inputs.
-  if (levels_[level] != nullptr) {
-    const std::string old_name = levels_[level]->name();
-    levels_[level].reset();
-    COCONUT_RETURN_NOT_OK(storage_->RemoveFile(old_name));
+  // Swap the merged run into the working copy; remember replaced names so
+  // their files are unlinked after publication.
+  if ((*work)[level] != nullptr) {
+    retired->push_back((*work)[level]->name());
   }
   if (!from_memtable) {
-    const std::string drained = levels_[level - 1]->name();
-    levels_[level - 1].reset();
-    COCONUT_RETURN_NOT_OK(storage_->RemoveFile(drained));
+    retired->push_back((*work)[level - 1]->name());
+    (*work)[level - 1] = nullptr;
   }
-  COCONUT_ASSIGN_OR_RETURN(levels_[level],
-                           SeqTable::Open(storage_, new_name, pool_));
+  COCONUT_ASSIGN_OR_RETURN(std::shared_ptr<SeqTable> opened,
+                           SeqTable::Open(storage_, new_name, ReadPool()));
+  (*work)[level] = std::move(opened);
   return Status::OK();
 }
 
-Status Clsm::CascadeFrom(size_t start) {
-  for (size_t level = start; level < levels_.size(); ++level) {
-    if (levels_[level] == nullptr) continue;
-    if (levels_[level]->num_entries() <= LevelCapacity(level)) break;
-    COCONUT_RETURN_NOT_OK(MergeIntoLevel(level + 1, /*from_memtable=*/false));
+Status Clsm::FlushTask(std::shared_ptr<const PendingFlush> pending) {
+  // Working copy of the current run set: this path is the only mutator and
+  // is serialized (strand in async mode, single caller in sync mode).
+  RunSet work;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    work = *runs_;
+  }
+
+  // Level-0 merge folds the detached memtable in; publish immediately so
+  // the pending data is retired the instant it is queryable on disk.
+  std::vector<std::string> retired;
+  uint64_t rewritten = 0;
+  COCONUT_RETURN_NOT_OK(MergeIntoLevel(&work, 0, pending->entries,
+                                       pending->payloads,
+                                       /*from_memtable=*/true, &retired,
+                                       &rewritten));
+  PublishRuns(std::make_shared<RunSet>(work), pending.get(), rewritten,
+              /*merges=*/1);
+  for (const std::string& name : retired) {
+    COCONUT_RETURN_NOT_OK(storage_->RemoveFile(name));
+  }
+
+  // Cascade: push overflowing runs down, publishing after every merge so
+  // queries always see a complete, consistent set.
+  for (size_t level = 0; level < work.size(); ++level) {
+    if (work[level] == nullptr) continue;
+    if (work[level]->num_entries() <= LevelCapacity(level)) break;
+    retired.clear();
+    rewritten = 0;
+    COCONUT_RETURN_NOT_OK(MergeIntoLevel(&work, level + 1, {}, {},
+                                         /*from_memtable=*/false, &retired,
+                                         &rewritten));
+    PublishRuns(std::make_shared<RunSet>(work), /*retired_pending=*/nullptr,
+                rewritten, /*merges=*/1);
+    for (const std::string& name : retired) {
+      COCONUT_RETURN_NOT_OK(storage_->RemoveFile(name));
+    }
   }
   return Status::OK();
+}
+
+Clsm::QuerySnapshot Clsm::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QuerySnapshot snap;
+  if (async()) {
+    // Inserts mutate the memtable concurrently: copy. (Spans into the
+    // owned vectors survive the return — moves keep heap storage.)
+    snap.memtable_copy = memtable_;
+    snap.payload_copy = memtable_payloads_;
+    snap.memtable = snap.memtable_copy;
+    snap.memtable_payloads = snap.payload_copy;
+  } else {
+    snap.memtable = memtable_;
+    snap.memtable_payloads = memtable_payloads_;
+  }
+  snap.pending = pending_;
+  snap.runs = runs_;
+  return snap;
 }
 
 Result<std::vector<SearchResult>> Clsm::KnnSearch(
     std::span<const float> query, size_t k, const SearchOptions& options,
     core::QueryCounters* counters) {
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  QuerySnapshot snap = TakeSnapshot();
   std::vector<float> paa_storage;
   seqtable::SearchContext ctx = seqtable::MakeSearchContext(
       options_.sax, query, &paa_storage, raw_, counters);
   seqtable::KnnCollector collector(k);
 
-  // Buffered entries first (cheap, tightens the bound).
+  // In-memory entries first (cheap, tightens the bound): the memtable and
+  // any flushes still in flight.
   const size_t len = options_.sax.series_length;
-  for (size_t i = 0; i < memtable_.size(); ++i) {
-    const IndexEntry& entry = memtable_[i];
-    if (!options.window.Contains(entry.timestamp)) continue;
-    const series::SaxWord word =
-        series::DeinterleaveKey(entry.key, options_.sax);
-    if (series::MinDistSquaredToSax(ctx.query_paa, word, options_.sax) >=
-        collector.bound()) {
-      continue;
+  auto offer_batch = [&](std::span<const IndexEntry> entries,
+                         std::span<const float> payloads) -> Status {
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const IndexEntry& entry = entries[i];
+      if (!options.window.Contains(entry.timestamp)) continue;
+      const series::SaxWord word =
+          series::DeinterleaveKey(entry.key, options_.sax);
+      if (series::MinDistSquaredToSax(ctx.query_paa, word, options_.sax) >=
+          collector.bound()) {
+        continue;
+      }
+      SearchResult candidate;
+      candidate.found = true;
+      candidate.series_id = entry.series_id;
+      candidate.timestamp = entry.timestamp;
+      if (options_.materialized) {
+        candidate.distance_sq = series::EuclideanSquaredEarlyAbandon(
+            query, std::span<const float>(payloads.data() + i * len, len),
+            collector.bound());
+      } else {
+        std::vector<float> fetched(len);
+        COCONUT_RETURN_NOT_OK(raw_->Get(entry.series_id, fetched));
+        if (counters != nullptr) ++counters->raw_fetches;
+        candidate.distance_sq = series::EuclideanSquaredEarlyAbandon(
+            query, fetched, collector.bound());
+      }
+      collector.Offer(candidate);
     }
-    SearchResult candidate;
-    candidate.found = true;
-    candidate.series_id = entry.series_id;
-    candidate.timestamp = entry.timestamp;
-    if (options_.materialized) {
-      candidate.distance_sq = series::EuclideanSquaredEarlyAbandon(
-          query,
-          std::span<const float>(memtable_payloads_.data() + i * len, len),
-          collector.bound());
-    } else {
-      std::vector<float> fetched(len);
-      COCONUT_RETURN_NOT_OK(raw_->Get(entry.series_id, fetched));
-      if (counters != nullptr) ++counters->raw_fetches;
-      candidate.distance_sq = series::EuclideanSquaredEarlyAbandon(
-          query, fetched, collector.bound());
-    }
-    collector.Offer(candidate);
+    return Status::OK();
+  };
+  COCONUT_RETURN_NOT_OK(offer_batch(snap.memtable, snap.memtable_payloads));
+  for (const auto& pending : snap.pending) {
+    COCONUT_RETURN_NOT_OK(offer_batch(pending->entries, pending->payloads));
   }
 
-  for (const auto& level : levels_) {
+  for (const auto& level : *snap.runs) {
     if (level == nullptr) continue;
     COCONUT_RETURN_NOT_OK(
         seqtable::ExactKnnScanTable(*level, ctx, options, &collector));
@@ -284,80 +435,143 @@ Result<std::vector<SearchResult>> Clsm::KnnSearch(
 }
 
 uint64_t Clsm::num_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = memtable_.size();
-  for (const auto& level : levels_) {
+  for (const auto& pending : pending_) total += pending->entries.size();
+  for (const auto& level : *runs_) {
     if (level != nullptr) total += level->num_entries();
   }
   return total;
 }
 
 size_t Clsm::num_active_levels() const {
+  std::shared_ptr<const RunSet> runs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    runs = runs_;
+  }
   size_t active = 0;
-  for (const auto& level : levels_) {
+  for (const auto& level : *runs) {
     if (level != nullptr) ++active;
   }
   return active;
 }
 
 uint64_t Clsm::level_entries(size_t level) const {
-  if (level >= levels_.size() || levels_[level] == nullptr) return 0;
-  return levels_[level]->num_entries();
+  std::shared_ptr<const RunSet> runs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    runs = runs_;
+  }
+  if (level >= runs->size() || (*runs)[level] == nullptr) return 0;
+  return (*runs)[level]->num_entries();
 }
 
 uint64_t Clsm::total_file_bytes() const {
+  std::shared_ptr<const RunSet> runs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    runs = runs_;
+  }
   uint64_t total = 0;
-  for (const auto& level : levels_) {
+  for (const auto& level : *runs) {
     if (level != nullptr) total += level->file_bytes();
   }
   return total;
 }
 
-Status Clsm::SearchMemtable(const std::span<const float>& query,
-                            const SearchOptions& options,
-                            core::QueryCounters* counters,
-                            int max_verifications, SearchResult* best) {
-  if (memtable_.empty()) return Status::OK();
+stream::StreamingStats Clsm::SnapshotStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  stream::StreamingStats stats;
+  stats.buffered = memtable_.size();
+  stats.entries = stats.buffered;
+  uint64_t runs = 0;
+  for (const auto& pending : pending_) stats.entries += pending->entries.size();
+  for (const auto& level : *runs_) {
+    if (level != nullptr) {
+      stats.entries += level->num_entries();
+      ++runs;
+    }
+  }
+  stats.sealed_partitions = runs;
+  stats.pending_tasks = pending_.size();
+  stats.seals_completed = flushes_completed_;
+  stats.merges_completed = merges_performed_;
+  return stats;
+}
+
+Status Clsm::SearchMemtableEntries(std::span<const IndexEntry> entries,
+                                   std::span<const float> payloads,
+                                   const std::span<const float>& query,
+                                   const SearchOptions& options,
+                                   core::QueryCounters* counters,
+                                   int max_verifications, SearchResult* best) {
+  if (entries.empty()) return Status::OK();
   std::vector<float> paa_storage;
   seqtable::SearchContext ctx = seqtable::MakeSearchContext(
       options_.sax, query, &paa_storage, raw_, counters);
-  return seqtable::EvaluateCandidates(ctx, options, memtable_,
-                                      memtable_payloads_,
+  return seqtable::EvaluateCandidates(ctx, options, entries, payloads,
                                       options_.materialized,
                                       max_verifications, best);
+}
+
+Status Clsm::ApproxPassOverSnapshot(const QuerySnapshot& snap,
+                                    std::span<const float> query,
+                                    const SearchOptions& options,
+                                    core::QueryCounters* counters,
+                                    SearchResult* best) {
+  COCONUT_RETURN_NOT_OK(SearchMemtableEntries(
+      snap.memtable, snap.memtable_payloads, query, options, counters,
+      options.approx_candidates, best));
+  for (const auto& pending : snap.pending) {
+    COCONUT_RETURN_NOT_OK(SearchMemtableEntries(
+        pending->entries, pending->payloads, query, options, counters,
+        options.approx_candidates, best));
+  }
+  std::vector<float> paa_storage;
+  seqtable::SearchContext ctx = seqtable::MakeSearchContext(
+      options_.sax, query, &paa_storage, raw_, counters);
+  for (const auto& level : *snap.runs) {
+    if (level == nullptr) continue;
+    COCONUT_ASSIGN_OR_RETURN(SearchResult r,
+                             seqtable::ApproxSearchTable(*level, ctx, options));
+    best->Improve(r);
+  }
+  return Status::OK();
 }
 
 Result<SearchResult> Clsm::ApproxSearch(std::span<const float> query,
                                         const SearchOptions& options,
                                         core::QueryCounters* counters) {
+  QuerySnapshot snap = TakeSnapshot();
   SearchResult best;
-  COCONUT_RETURN_NOT_OK(SearchMemtable(query, options, counters,
-                                       options.approx_candidates, &best));
-  std::vector<float> paa_storage;
-  seqtable::SearchContext ctx = seqtable::MakeSearchContext(
-      options_.sax, query, &paa_storage, raw_, counters);
-  for (const auto& level : levels_) {
-    if (level == nullptr) continue;
-    COCONUT_ASSIGN_OR_RETURN(SearchResult r,
-                             seqtable::ApproxSearchTable(*level, ctx, options));
-    best.Improve(r);
-  }
+  COCONUT_RETURN_NOT_OK(
+      ApproxPassOverSnapshot(snap, query, options, counters, &best));
   return best;
 }
 
 Result<SearchResult> Clsm::ExactSearch(std::span<const float> query,
                                        const SearchOptions& options,
                                        core::QueryCounters* counters) {
-  // Seed with the approximate answer, then prune-scan every run. The best
+  // One snapshot serves the approximate seed and the exact scans, so both
+  // passes see the same entries even while ingestion races ahead. The best
   // distance is shared across runs, so later runs prune harder.
-  COCONUT_ASSIGN_OR_RETURN(SearchResult best,
-                           ApproxSearch(query, options, counters));
+  QuerySnapshot snap = TakeSnapshot();
+  SearchResult best;
   COCONUT_RETURN_NOT_OK(
-      SearchMemtable(query, options, counters, /*max_verifications=*/-1,
-                     &best));
+      ApproxPassOverSnapshot(snap, query, options, counters, &best));
   std::vector<float> paa_storage;
   seqtable::SearchContext ctx = seqtable::MakeSearchContext(
       options_.sax, query, &paa_storage, raw_, counters);
-  for (const auto& level : levels_) {
+  COCONUT_RETURN_NOT_OK(SearchMemtableEntries(
+      snap.memtable, snap.memtable_payloads, query, options, counters,
+      /*max_verifications=*/-1, &best));
+  for (const auto& pending : snap.pending) {
+    COCONUT_RETURN_NOT_OK(SearchMemtableEntries(
+        pending->entries, pending->payloads, query, options, counters,
+        /*max_verifications=*/-1, &best));
+  }
+  for (const auto& level : *snap.runs) {
     if (level == nullptr) continue;
     COCONUT_RETURN_NOT_OK(
         seqtable::ExactScanTable(*level, ctx, options, &best));

@@ -2,15 +2,18 @@
 #define COCONUT_CLSM_CLSM_H_
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/entry.h"
 #include "core/raw_store.h"
 #include "core/types.h"
 #include "seqtable/seq_table.h"
+#include "stream/streaming_index.h"
 
 namespace coconut {
 namespace clsm {
@@ -26,6 +29,15 @@ namespace clsm {
 /// means fewer levels (faster reads, each query touches every run) but
 /// more rewriting per merge (slower ingestion) — the Section 2 read/write
 /// knob.
+///
+/// Concurrency: with Options.background set, Insert appends to the
+/// memtable under a light lock and returns; the flush and its compaction
+/// cascade run as one deferred task on a per-index strand (FIFO over the
+/// shared pool), so the run sequence is identical to the synchronous
+/// build. Queries snapshot the memtable, the in-flight flush payloads and
+/// the shared_ptr run set, so they never observe a half-swapped level;
+/// replaced run files are unlinked only after the new set is published.
+/// Without a background pool behaviour is the synchronous original.
 class Clsm {
  public:
   struct Options {
@@ -36,6 +48,9 @@ class Clsm {
     int growth_factor = 4;
     /// In-memory buffer capacity in entries (the paper's memory budget).
     size_t buffer_entries = 1024;
+    /// Background pool for flushes and merge cascades (not owned; must
+    /// outlive the index). nullptr = synchronous.
+    ThreadPool* background = nullptr;
   };
 
   /// Creates an empty LSM tree writing runs named `<prefix>.L<i>.<version>`.
@@ -46,12 +61,16 @@ class Clsm {
                                               storage::BufferPool* pool,
                                               core::RawSeriesStore* raw);
 
+  ~Clsm();
+
   /// Buffers one (z-normalized) series; triggers a flush/merge cascade when
-  /// the buffer fills.
+  /// the buffer fills (deferred to the background pool in async mode).
   Status Insert(uint64_t series_id, std::span<const float> znorm_values,
                 int64_t timestamp);
 
-  /// Forces the buffer to disk (e.g. before measuring read-only queries).
+  /// Forces the buffer to disk. In async mode this is the drain barrier:
+  /// it blocks until every deferred flush and cascade has completed and
+  /// returns the first background error, if any.
   Status FlushBuffer();
 
   Result<core::SearchResult> ApproxSearch(std::span<const float> query,
@@ -69,7 +88,16 @@ class Clsm {
       const core::SearchOptions& options, core::QueryCounters* counters);
 
   uint64_t num_entries() const;
-  size_t buffered_entries() const { return memtable_.size(); }
+  size_t buffered_entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return memtable_.size();
+  }
+
+  /// Flush tasks enqueued but not yet folded into a level.
+  size_t pending_flushes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+  }
 
   /// Number of disk levels currently holding a run.
   size_t num_active_levels() const;
@@ -82,30 +110,104 @@ class Clsm {
 
   /// Cumulative entries rewritten by flushes and compactions — the write
   /// amplification the growth factor trades against read cost.
-  uint64_t entries_rewritten() const { return entries_rewritten_; }
-  uint64_t merges_performed() const { return merges_performed_; }
+  uint64_t entries_rewritten() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_rewritten_;
+  }
+  uint64_t merges_performed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return merges_performed_;
+  }
+
+  /// Race-free progress snapshot for the streaming facade.
+  stream::StreamingStats SnapshotStats() const;
+
+  bool async() const { return executor_ != nullptr; }
 
   const Options& options() const { return options_; }
 
  private:
+  /// Levels as an immutable snapshot; index = level, nullptr = empty.
+  using RunSet = std::vector<std::shared_ptr<seqtable::SeqTable>>;
+
+  /// A memtable moved out of the insert path, waiting for (or undergoing)
+  /// its background flush. Immutable after construction so queries can
+  /// evaluate it without copying.
+  struct PendingFlush {
+    std::vector<core::IndexEntry> entries;
+    std::vector<float> payloads;
+  };
+
+  /// In async mode the memtable is copied (inserts keep mutating it); in
+  /// sync mode — single-caller contract — the spans alias the live
+  /// memtable and queries pay no copy, as before this layer went
+  /// concurrent.
+  struct QuerySnapshot {
+    std::vector<core::IndexEntry> memtable_copy;
+    std::vector<float> payload_copy;
+    std::span<const core::IndexEntry> memtable;
+    std::span<const float> memtable_payloads;
+    std::vector<std::shared_ptr<const PendingFlush>> pending;
+    std::shared_ptr<const RunSet> runs;
+  };
+
   Clsm(storage::StorageManager* storage, std::string prefix, Options options,
-       storage::BufferPool* pool, core::RawSeriesStore* raw)
-      : storage_(storage),
-        prefix_(std::move(prefix)),
-        options_(options),
-        pool_(pool),
-        raw_(raw) {}
+       storage::BufferPool* pool, core::RawSeriesStore* raw);
 
   uint64_t LevelCapacity(size_t level) const;
-  Status MergeIntoLevel(size_t level, bool from_memtable);
-  Status CascadeFrom(size_t level);
   std::string RunName(size_t level);
 
-  /// Evaluates the in-memory buffer against a query.
-  Status SearchMemtable(const std::span<const float>& query,
-                        const core::SearchOptions& options,
-                        core::QueryCounters* counters,
-                        int max_verifications, core::SearchResult* best);
+  storage::BufferPool* ReadPool() const { return async() ? nullptr : pool_; }
+
+  QuerySnapshot TakeSnapshot() const;
+
+  /// Detaches the full memtable into the pending list; caller holds mu_.
+  std::shared_ptr<PendingFlush> DetachMemtableLocked();
+
+  /// Enqueues the flush on the strand. Caller holds mu_, which guarantees
+  /// strand order equals detach order even when Insert and FlushBuffer
+  /// race.
+  void EnqueueFlushLocked(std::shared_ptr<const PendingFlush> pending);
+
+  /// Flush + cascade for one detached memtable; runs on the strand in
+  /// async mode, inline otherwise. The only run-set mutator.
+  Status FlushTask(std::shared_ptr<const PendingFlush> pending);
+
+  /// Merges `work[level-1]` (or the memtable batch, sorted here) into
+  /// `work[level]`, updating the working copy and returning the names of
+  /// replaced runs.
+  Status MergeIntoLevel(RunSet* work, size_t level,
+                        std::span<const core::IndexEntry> mem_entries,
+                        std::span<const float> mem_payloads,
+                        bool from_memtable,
+                        std::vector<std::string>* retired,
+                        uint64_t* rewritten);
+
+  /// Publishes `work` as the new run set; optionally retires the pending
+  /// flush whose data is now on disk, in the same critical section.
+  void PublishRuns(std::shared_ptr<const RunSet> runs,
+                   const PendingFlush* retired_pending, uint64_t rewritten,
+                   uint64_t merges);
+
+  void RecordBackgroundError(const Status& status);
+
+  /// The approximate pass (memtable, in-flight flushes, every run) over
+  /// one snapshot — ApproxSearch's whole body and ExactSearch's
+  /// bound-tightening seed, so the two cannot drift.
+  Status ApproxPassOverSnapshot(const QuerySnapshot& snap,
+                                std::span<const float> query,
+                                const core::SearchOptions& options,
+                                core::QueryCounters* counters,
+                                core::SearchResult* best);
+
+  /// Evaluates a batch of in-memory entries against a query.
+  Status SearchMemtableEntries(std::span<const core::IndexEntry> entries,
+                               std::span<const float> payloads,
+                               const std::span<const float>& query,
+                               const core::SearchOptions& options,
+                               core::QueryCounters* counters,
+                               int max_verifications,
+                               core::SearchResult* best);
 
   storage::StorageManager* storage_;
   std::string prefix_;
@@ -113,13 +215,22 @@ class Clsm {
   storage::BufferPool* pool_;
   core::RawSeriesStore* raw_;
 
+  /// The light insert/state lock; never held across flush/merge I/O.
+  mutable std::mutex mu_;
+
   std::vector<core::IndexEntry> memtable_;
   std::vector<float> memtable_payloads_;
-
-  std::vector<std::unique_ptr<seqtable::SeqTable>> levels_;
-  uint64_t version_ = 0;
+  std::vector<std::shared_ptr<const PendingFlush>> pending_;
+  std::shared_ptr<const RunSet> runs_;
   uint64_t entries_rewritten_ = 0;
   uint64_t merges_performed_ = 0;
+  uint64_t flushes_completed_ = 0;
+  Status background_status_;
+
+  /// Only touched by the (serialized) flush/cascade path.
+  uint64_t version_ = 0;
+
+  std::unique_ptr<SerialExecutor> executor_;
 };
 
 }  // namespace clsm

@@ -62,6 +62,7 @@ Result<uint64_t> RawSeriesStore::Append(std::span<const float> values) {
   if (values.size() != static_cast<size_t>(series_length_)) {
     return Status::InvalidArgument("series length mismatch on Append");
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   append_buffer_.insert(append_buffer_.end(), values.begin(), values.end());
   ++buffered_series_;
   const uint64_t id = count_++;
@@ -77,6 +78,7 @@ Result<uint64_t> RawSeriesStore::Append(std::span<const float> values) {
 }
 
 Status RawSeriesStore::Flush() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (buffered_series_ > 0) {
     COCONUT_RETURN_NOT_OK(file_->Append(
         append_buffer_.data(), append_buffer_.size() * sizeof(float)));
@@ -90,6 +92,9 @@ Status RawSeriesStore::Get(uint64_t id, std::span<float> out) const {
   if (out.size() != static_cast<size_t>(series_length_)) {
     return Status::InvalidArgument("output span length mismatch");
   }
+  // Shared: concurrent readers proceed together (preads are independent),
+  // while Append/Flush take the lock exclusively to move the buffer.
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (id >= count_) {
     return Status::NotFound("series id " + std::to_string(id) +
                             " out of range");

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <span>
 #include <string>
 
@@ -16,6 +17,12 @@ namespace core {
 /// buffered) and fetched by ordinal id (one random read each) — the
 /// "access the raw data file to fetch the original data series" cost that
 /// non-materialized indexes pay at query time (Section 2 of the paper).
+///
+/// Thread-safe: one writer may Append/Flush while any number of readers
+/// Get concurrently (readers share the lock; fetches of persisted series
+/// are plain preads). Concurrent streaming ingest+query needs exactly
+/// this — the ingester appends the series before handing it to the index,
+/// so any id a query discovers is already fetchable.
 class RawSeriesStore {
  public:
   /// Creates an empty store for series of `series_length` points.
@@ -37,9 +44,15 @@ class RawSeriesStore {
   /// Drains the append buffer and persists the header.
   Status Flush();
 
-  uint64_t count() const { return count_; }
+  uint64_t count() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return count_;
+  }
   int series_length() const { return series_length_; }
-  uint64_t file_bytes() const { return file_->size_bytes(); }
+  uint64_t file_bytes() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return file_->size_bytes();
+  }
 
  private:
   RawSeriesStore(std::unique_ptr<storage::File> file, int series_length,
@@ -48,8 +61,9 @@ class RawSeriesStore {
 
   Status WriteHeader();
 
+  mutable std::shared_mutex mu_;
   std::unique_ptr<storage::File> file_;
-  int series_length_;
+  const int series_length_;
   uint64_t count_;
   std::vector<float> append_buffer_;
   uint64_t buffered_series_ = 0;

@@ -62,6 +62,20 @@ struct QueryCounters {
   uint64_t partitions_skipped = 0;
 
   void Reset() { *this = QueryCounters{}; }
+
+  /// Accumulates counters gathered on another thread (scatter-gather
+  /// queries run each shard/partition with a private QueryCounters and
+  /// merge at the join point — counter objects are never shared across
+  /// running threads). One helper so every gather site picks up future
+  /// counters automatically.
+  void Add(const QueryCounters& other) {
+    leaves_visited += other.leaves_visited;
+    leaves_pruned += other.leaves_pruned;
+    entries_examined += other.entries_examined;
+    raw_fetches += other.raw_fetches;
+    partitions_visited += other.partitions_visited;
+    partitions_skipped += other.partitions_skipped;
+  }
 };
 
 }  // namespace core

@@ -35,7 +35,7 @@ size_t AdsBufferEntries(const VariantSpec& spec) {
 Result<std::unique_ptr<core::DataSeriesIndex>> MakeInner(
     const VariantSpec& spec, storage::StorageManager* storage,
     const std::string& name, storage::BufferPool* pool,
-    core::RawSeriesStore* raw) {
+    core::RawSeriesStore* raw, ThreadPool* clsm_background = nullptr) {
   switch (spec.family) {
     case IndexFamily::kAds: {
       ads::AdsIndex::Options opts;
@@ -66,6 +66,7 @@ Result<std::unique_ptr<core::DataSeriesIndex>> MakeInner(
       opts.materialized = spec.materialized;
       opts.growth_factor = spec.growth_factor;
       opts.buffer_entries = spec.buffer_entries;
+      opts.background = clsm_background;
       COCONUT_ASSIGN_OR_RETURN(
           std::unique_ptr<core::ClsmIndexAdapter> adapter,
           core::ClsmIndexAdapter::Create(storage, name, opts, pool, raw));
@@ -94,6 +95,9 @@ std::string VariantName(const VariantSpec& spec) {
   }
   if (spec.num_shards > 1) {
     name += "-S" + std::to_string(spec.num_shards);
+  }
+  if (spec.async_ingest) {
+    name += "-async";
   }
   return name;
 }
@@ -127,6 +131,29 @@ bool SpecIsValid(const VariantSpec& spec, std::string* why) {
              "partition temporally";
     }
     return false;
+  }
+  if (spec.async_ingest) {
+    if (spec.mode == StreamMode::kStatic) {
+      if (why != nullptr) {
+        *why = "async_ingest is a streaming knob; static builds already "
+               "parallelize construction";
+      }
+      return false;
+    }
+    if (spec.mode == StreamMode::kTP && spec.family == IndexFamily::kAds) {
+      if (why != nullptr) {
+        *why = "async ingestion requires sorted buffered partitions; a live "
+               "ADS+ tree cannot be sealed behind ingestion's back";
+      }
+      return false;
+    }
+    if (spec.mode == StreamMode::kPP && spec.family != IndexFamily::kClsm) {
+      if (why != nullptr) {
+        *why = "async PP needs a buffering inner index; ADS+/CTree-PP "
+               "insert straight into the structure (only CLSM-PP buffers)";
+      }
+      return false;
+    }
   }
   return true;
 }
@@ -171,6 +198,14 @@ Result<std::unique_ptr<stream::StreamingIndex>> CreateStreamingIndex(
     core::RawSeriesStore* raw) {
   std::string why;
   if (!SpecIsValid(spec, &why)) return Status::InvalidArgument(why);
+  // Deferred seals/flushes/merges ride the caller's pool or the
+  // process-wide shared one; each index serializes its own work on a
+  // strand, so many streams can share a bounded worker set.
+  ThreadPool* background =
+      spec.async_ingest ? (spec.background_pool != nullptr
+                               ? spec.background_pool
+                               : SharedBackgroundPool())
+                        : nullptr;
   switch (spec.mode) {
     case StreamMode::kStatic:
       return Status::InvalidArgument(
@@ -178,14 +213,23 @@ Result<std::unique_ptr<stream::StreamingIndex>> CreateStreamingIndex(
     case StreamMode::kPP: {
       COCONUT_ASSIGN_OR_RETURN(
           std::unique_ptr<core::DataSeriesIndex> inner,
-          MakeInner(spec, storage, name, pool, raw));
+          MakeInner(spec, storage, name, pool, raw, background));
       // PP over CTree inserts top-down into the B-tree: finalize the empty
       // bulk build up front so Ingest takes the insert path.
       if (spec.family == IndexFamily::kCTree) {
         COCONUT_RETURN_NOT_OK(inner->Finalize());
       }
-      return std::unique_ptr<stream::StreamingIndex>(
-          std::make_unique<stream::PostProcessingIndex>(std::move(inner)));
+      clsm::Clsm* lsm = nullptr;
+      if (auto* adapter = dynamic_cast<core::ClsmIndexAdapter*>(inner.get());
+          adapter != nullptr) {
+        lsm = adapter->lsm();
+      }
+      auto pp = std::make_unique<stream::PostProcessingIndex>(
+          std::move(inner), spec.timestamp_policy);
+      if (lsm != nullptr) {
+        pp->set_stats_provider([lsm] { return lsm->SnapshotStats(); });
+      }
+      return std::unique_ptr<stream::StreamingIndex>(std::move(pp));
     }
     case StreamMode::kTP: {
       stream::TemporalPartitioningIndex::Options opts;
@@ -196,6 +240,8 @@ Result<std::unique_ptr<stream::StreamingIndex>> CreateStreamingIndex(
                          : stream::PartitionBackend::kSeqTable;
       opts.buffer_entries = spec.buffer_entries;
       opts.ads_leaf_capacity = spec.ads_leaf_capacity;
+      opts.timestamp_policy = spec.timestamp_policy;
+      opts.background = background;
       COCONUT_ASSIGN_OR_RETURN(
           std::unique_ptr<stream::TemporalPartitioningIndex> tp,
           stream::TemporalPartitioningIndex::Create(storage, name, opts, pool,
@@ -208,6 +254,8 @@ Result<std::unique_ptr<stream::StreamingIndex>> CreateStreamingIndex(
       opts.materialized = spec.materialized;
       opts.buffer_entries = spec.buffer_entries;
       opts.merge_k = spec.btp_merge_k;
+      opts.timestamp_policy = spec.timestamp_policy;
+      opts.background = background;
       COCONUT_ASSIGN_OR_RETURN(
           std::unique_ptr<stream::BoundedTemporalPartitioningIndex> btp,
           stream::BoundedTemporalPartitioningIndex::Create(storage, name,

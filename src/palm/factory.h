@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "core/index.h"
 #include "series/isax.h"
 #include "core/raw_store.h"
@@ -56,6 +57,21 @@ struct VariantSpec {
   /// Worker threads fanning a query out across shards (0 = one per shard,
   /// capped at 8).
   size_t shard_query_threads = 0;
+
+  /// Streaming: what Ingest does with a timestamp below the largest one
+  /// accepted so far (see stream::TimestampPolicy).
+  stream::TimestampPolicy timestamp_policy =
+      stream::TimestampPolicy::kPermissive;
+  /// Streaming: defer seals, flushes and merge cascades to a background
+  /// pool so Ingest never blocks on index I/O and queries run against
+  /// snapshots. Valid for the buffering streaming variants — CTree-TP,
+  /// CLSM-BTP and CLSM-PP; after FlushAll() (a drain barrier) the index
+  /// answers identically to a synchronous build over the same input.
+  bool async_ingest = false;
+  /// Pool carrying the deferred work when async_ingest is set (not owned;
+  /// must outlive the index). nullptr = the process-wide
+  /// SharedBackgroundPool().
+  ThreadPool* background_pool = nullptr;
 };
 
 /// Variant display name, e.g. "CTreeFull-PP", "CLSM-BTP", "ADS+".

@@ -173,27 +173,67 @@ Result<std::string> Server::IngestBatch(const std::string& stream_name,
   IndexHandle* handle = it->second.get();
 
   WallTimer timer;
-  const storage::IoStats before = *handle->storage->io_stats();
+  // Snapshot reads: background seals/merges of an async stream may be
+  // doing I/O while this batch is admitted.
+  const storage::IoStats before = handle->storage->SnapshotIoStats();
   std::vector<float> buf;
   for (size_t i = 0; i < batch.size(); ++i) {
     buf.assign(batch[i].begin(), batch[i].end());
     series::ZNormalize(buf);
-    COCONUT_RETURN_NOT_OK(handle->raw->Append(buf).status());
-    COCONUT_RETURN_NOT_OK(handle->stream_index->Ingest(
-        handle->next_series_id++, buf, timestamps[i]));
+    // Series ids are raw-store ordinals (queries fetch by id), so take the
+    // id Append assigned. If the index then rejects the entry (e.g. a
+    // kStrict timestamp regression), the ordinal stays burned as an
+    // unindexed raw slot — ids of previously and subsequently admitted
+    // series keep lining up with the raw file either way.
+    COCONUT_ASSIGN_OR_RETURN(const uint64_t id, handle->raw->Append(buf));
+    handle->next_series_id = id + 1;
+    COCONUT_RETURN_NOT_OK(
+        handle->stream_index->Ingest(id, buf, timestamps[i]));
   }
   COCONUT_RETURN_NOT_OK(handle->raw->Flush());
 
+  const stream::StreamingStats stats =
+      handle->stream_index->SnapshotStats();
   JsonWriter w;
   w.BeginObject();
   w.Field("stream", stream_name);
   w.Field("ingested", static_cast<uint64_t>(batch.size()));
-  w.Field("total_entries", handle->stream_index->num_entries());
-  w.Field("partitions",
-          static_cast<uint64_t>(handle->stream_index->num_partitions()));
+  w.Field("total_entries", stats.entries);
+  w.Field("partitions", stats.sealed_partitions);
+  w.Field("buffered", stats.buffered);
+  w.Field("pending_tasks", stats.pending_tasks);
+  w.Field("seals_completed", stats.seals_completed);
+  w.Field("merges_completed", stats.merges_completed);
   w.Field("seconds", timer.ElapsedSeconds());
   w.Key("io");
-  WriteIoStats(handle->storage->io_stats()->Since(before), &w);
+  WriteIoStats(handle->storage->SnapshotIoStats().Since(before), &w);
+  w.EndObject();
+  return w.TakeString();
+}
+
+Result<std::string> Server::DrainStream(const std::string& stream_name) {
+  auto it = indexes_.find(stream_name);
+  if (it == indexes_.end() || it->second->stream_index == nullptr) {
+    return Status::NotFound("stream '" + stream_name + "' not found");
+  }
+  IndexHandle* handle = it->second.get();
+  WallTimer timer;
+  COCONUT_RETURN_NOT_OK(handle->stream_index->FlushAll());
+  const stream::StreamingStats stats =
+      handle->stream_index->SnapshotStats();
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("stream", stream_name);
+  w.Field("drained", true);
+  w.Field("drain_seconds", timer.ElapsedSeconds());
+  w.Field("total_entries", stats.entries);
+  w.Field("partitions", stats.sealed_partitions);
+  w.Field("buffered", stats.buffered);
+  w.Field("pending_tasks", stats.pending_tasks);
+  w.Field("seals_completed", stats.seals_completed);
+  w.Field("merges_completed", stats.merges_completed);
+  w.Field("index_bytes", handle->stream_index->index_bytes());
+  w.Field("total_bytes", handle->storage->TotalBytesOnDisk());
   w.EndObject();
   return w.TakeString();
 }
@@ -230,7 +270,8 @@ Result<std::string> Server::Query(const QueryRequest& request) {
   }
 
   WallTimer timer;
-  storage::IoStats before = *handle->storage->io_stats();
+  // Snapshot: async streams may be sealing/merging in the background.
+  storage::IoStats before = handle->storage->SnapshotIoStats();
   if (sharded != nullptr) before.Add(sharded->AggregateIoStats());
   Result<core::SearchResult> result =
       handle->static_index != nullptr
@@ -259,7 +300,7 @@ Result<std::string> Server::Query(const QueryRequest& request) {
   }
   w.Field("seconds", seconds);
   w.Key("io");
-  storage::IoStats after = *handle->storage->io_stats();
+  storage::IoStats after = handle->storage->SnapshotIoStats();
   if (sharded != nullptr) after.Add(sharded->AggregateIoStats());
   WriteIoStats(after.Since(before), &w);
   w.Key("counters");
@@ -272,10 +313,12 @@ Result<std::string> Server::Query(const QueryRequest& request) {
   w.Field("partitions_skipped", counters.partitions_skipped);
   w.EndObject();
   if (request.capture_heatmap) {
-    HeatMap map =
-        BuildHeatMap(tracker->events(), request.heatmap_time_bins,
-                     request.heatmap_location_bins);
-    w.Field("access_locality", AccessLocality(tracker->events()));
+    // Snapshot: an async stream's background seals may still be recording.
+    const std::vector<storage::AccessEvent> events =
+        tracker->SnapshotEvents();
+    HeatMap map = BuildHeatMap(events, request.heatmap_time_bins,
+                               request.heatmap_location_bins);
+    w.Field("access_locality", AccessLocality(events));
     w.Key("heatmap");
     HeatMapToJson(map, &w);
   }

@@ -64,10 +64,18 @@ class Server {
                                    const VariantSpec& spec);
 
   /// Feeds a batch into a streaming index. Series ids continue from the
-  /// stream's current count. Returns the ingest report JSON.
+  /// stream's current count. Returns the ingest report JSON; for async
+  /// streams it includes the background-progress snapshot (pending seal
+  /// tasks, completed seals/merges) without waiting for them.
   Result<std::string> IngestBatch(const std::string& stream_name,
                                   const series::SeriesCollection& batch,
                                   const std::vector<int64_t>& timestamps);
+
+  /// Drain barrier for a streaming index: blocks until every deferred
+  /// seal, flush and merge cascade has completed (FlushAll), then returns
+  /// a JSON stats report of the quiesced stream. After a drain the stream
+  /// answers identically to a synchronous build over the same input.
+  Result<std::string> DrainStream(const std::string& stream_name);
 
   /// Executes a query against a static or streaming index; returns the
   /// query report JSON (match, distance, latency, I/O, optional heat map).

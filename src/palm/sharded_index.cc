@@ -220,12 +220,7 @@ Result<core::SearchResult> ShardedIndex::ScatterSearch(
       }
     }
     if (counters != nullptr) {
-      counters->leaves_visited += shard_counters[i].leaves_visited;
-      counters->leaves_pruned += shard_counters[i].leaves_pruned;
-      counters->entries_examined += shard_counters[i].entries_examined;
-      counters->raw_fetches += shard_counters[i].raw_fetches;
-      counters->partitions_visited += shard_counters[i].partitions_visited;
-      counters->partitions_skipped += shard_counters[i].partitions_skipped;
+      counters->Add(shard_counters[i]);
     }
   }
   return best;

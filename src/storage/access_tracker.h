@@ -1,7 +1,9 @@
 #ifndef COCONUT_STORAGE_ACCESS_TRACKER_H_
 #define COCONUT_STORAGE_ACCESS_TRACKER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace coconut {
@@ -20,29 +22,45 @@ struct AccessEvent {
 /// Palm GUI's heat map (Figure 2): the renderer bins events by file offset
 /// and by time to visualize whether an index touches storage contiguously
 /// (CTree/CLSM) or scatters random I/Os (ADS+).
+///
+/// Thread-safe: the enabled flag is atomic (a query may toggle capture
+/// while background seals/merges are doing I/O) and the event log is
+/// mutex-protected. Readers wanting a consistent view while I/O continues
+/// use SnapshotEvents(); events() is for quiescent, single-threaded use.
 class AccessTracker {
  public:
   AccessTracker() = default;
 
-  void Enable() { enabled_ = true; }
-  void Disable() { enabled_ = false; }
-  bool enabled() const { return enabled_; }
+  void Enable() { enabled_.store(true, std::memory_order_release); }
+  void Disable() { enabled_.store(false, std::memory_order_release); }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
 
   void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
     events_.clear();
     next_sequence_ = 0;
   }
 
   /// Called by the storage layer on each page touched.
   void Record(uint32_t file_id, uint64_t page_no, bool is_write) {
-    if (!enabled_) return;
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock(mu_);
     events_.push_back(AccessEvent{file_id, page_no, is_write, next_sequence_++});
   }
 
+  /// Quiescent access (no concurrent Record/Clear).
   const std::vector<AccessEvent>& events() const { return events_; }
 
+  /// Consistent copy, safe while other threads keep recording — the same
+  /// snapshot-read discipline as StorageManager::SnapshotIoStats.
+  std::vector<AccessEvent> SnapshotEvents() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
  private:
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
   std::vector<AccessEvent> events_;
   uint64_t next_sequence_ = 0;
 };

@@ -32,14 +32,17 @@ BoundedTemporalPartitioningIndex::Create(storage::StorageManager* storage,
   topts.materialized = options.materialized;
   topts.backend = PartitionBackend::kSeqTable;
   topts.buffer_entries = options.buffer_entries;
+  topts.timestamp_policy = options.timestamp_policy;
+  topts.background = options.background;
   return std::unique_ptr<BoundedTemporalPartitioningIndex>(
       new BoundedTemporalPartitioningIndex(storage, prefix, topts, pool, raw,
                                            options.merge_k));
 }
 
 int BoundedTemporalPartitioningIndex::max_size_class() const {
+  std::shared_ptr<const PartitionSet> parts = CurrentPartitions();
   int max_class = 0;
-  for (const auto& p : partitions_) max_class = std::max(max_class, p.size_class);
+  for (const auto& p : *parts) max_class = std::max(max_class, p->size_class);
   return max_class;
 }
 
@@ -47,12 +50,15 @@ Status BoundedTemporalPartitioningIndex::AfterSeal() {
   // Repeatedly merge the oldest merge_k partitions that share a size class.
   // Partitions of one class are temporally adjacent (they were created in
   // stream order and merges preserve that order), so the merged partition's
-  // time range is contiguous.
+  // time range is contiguous. This loop is the only partition-set mutator
+  // besides SealTask and is serialized with it, so the read-copy-publish
+  // below never loses a concurrent update.
   while (true) {
+    std::shared_ptr<const PartitionSet> parts = CurrentPartitions();
     // Count partitions per class.
     std::map<int, std::vector<size_t>> by_class;
-    for (size_t i = 0; i < partitions_.size(); ++i) {
-      by_class[partitions_[i].size_class].push_back(i);
+    for (size_t i = 0; i < parts->size(); ++i) {
+      by_class[(*parts)[i]->size_class].push_back(i);
     }
     int merge_class = -1;
     for (const auto& [cls, indices] : by_class) {
@@ -70,9 +76,9 @@ Status BoundedTemporalPartitioningIndex::AfterSeal() {
     int64_t t_min = INT64_MAX;
     int64_t t_max = INT64_MIN;
     for (size_t idx : chosen) {
-      inputs.push_back(partitions_[idx].table.get());
-      t_min = std::min(t_min, partitions_[idx].t_min);
-      t_max = std::max(t_max, partitions_[idx].t_max);
+      inputs.push_back((*parts)[idx]->table.get());
+      t_min = std::min(t_min, (*parts)[idx]->t_min);
+      t_max = std::max(t_max, (*parts)[idx]->t_max);
     }
 
     seqtable::SeqTableOptions topts;
@@ -82,27 +88,33 @@ Status BoundedTemporalPartitioningIndex::AfterSeal() {
         prefix_ + ".m" + std::to_string(next_merge_id_++);
     COCONUT_ASSIGN_OR_RETURN(
         std::unique_ptr<seqtable::SeqTable> merged,
-        seqtable::MergeTables(storage_, out_name, topts, inputs, pool_));
-    ++merges_;
+        seqtable::MergeTables(storage_, out_name, topts, inputs, ReadPool()));
 
-    SealedPartition merged_partition;
-    merged_partition.table = std::move(merged);
-    merged_partition.t_min = t_min;
-    merged_partition.t_max = t_max;
-    merged_partition.entries = merged_partition.table->num_entries();
-    merged_partition.size_class = merge_class + 1;
-    merged_partition.name = out_name;
+    auto merged_partition = std::make_shared<SealedPartition>();
+    merged_partition->table = std::move(merged);
+    merged_partition->t_min = t_min;
+    merged_partition->t_max = t_max;
+    merged_partition->entries = merged_partition->table->num_entries();
+    merged_partition->size_class = merge_class + 1;
+    merged_partition->name = out_name;
 
-    // Remove the inputs (delete their files) and insert the merged
-    // partition where the oldest input sat, keeping partitions_ in time
-    // order.
+    // Build the replacement set: drop the inputs, insert the merged
+    // partition where the oldest input sat (keeping time order), publish,
+    // and only then unlink the input files — queries holding the previous
+    // snapshot keep reading through their open descriptors.
+    std::vector<std::string> retired_names;
+    auto next = std::make_shared<PartitionSet>(*parts);
     const size_t insert_at = chosen.front();
     for (auto it = chosen.rbegin(); it != chosen.rend(); ++it) {
-      COCONUT_RETURN_NOT_OK(storage_->RemoveFile(partitions_[*it].name));
-      partitions_.erase(partitions_.begin() + *it);
+      retired_names.push_back((*next)[*it]->name);
+      next->erase(next->begin() + *it);
     }
-    partitions_.insert(partitions_.begin() + insert_at,
-                       std::move(merged_partition));
+    next->insert(next->begin() + insert_at, std::move(merged_partition));
+    PublishPartitions(std::move(next), /*retired_pending=*/nullptr,
+                      /*count_seal=*/false, /*merges_delta=*/1);
+    for (const std::string& name : retired_names) {
+      COCONUT_RETURN_NOT_OK(storage_->RemoveFile(name));
+    }
   }
 }
 

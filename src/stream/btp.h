@@ -21,6 +21,14 @@ namespace stream {
 ///
 /// Only available over sorted partitions (the whole point); the paper's
 /// variant matrix accordingly lists BTP for CLSM/Coconut only.
+///
+/// With a background pool, the seal AND its merge cascade run as one
+/// deferred task on the index's strand, so the sealed partition sequence —
+/// and therefore every merge decision — is identical to the synchronous
+/// build regardless of pool size (the merge-determinism suite pins this).
+/// Queries keep reading the pre-merge snapshot until the swap publishes;
+/// input files are unlinked only after publication (open fds keep
+/// in-flight scans valid).
 class BoundedTemporalPartitioningIndex : public TemporalPartitioningIndex {
  public:
   struct BtpOptions {
@@ -29,6 +37,9 @@ class BoundedTemporalPartitioningIndex : public TemporalPartitioningIndex {
     size_t buffer_entries = 4096;
     /// Partitions of equal size class that trigger a merge (>= 2).
     int merge_k = 2;
+    /// See TemporalPartitioningIndex::Options.
+    TimestampPolicy timestamp_policy = TimestampPolicy::kPermissive;
+    ThreadPool* background = nullptr;
   };
 
   static Result<std::unique_ptr<BoundedTemporalPartitioningIndex>> Create(
@@ -36,17 +47,25 @@ class BoundedTemporalPartitioningIndex : public TemporalPartitioningIndex {
       const BtpOptions& options, storage::BufferPool* pool,
       core::RawSeriesStore* raw);
 
+  /// Drain here, not just in the base: a background seal calls the
+  /// virtual AfterSeal(), which must not race the vptr rewrite during
+  /// destruction (Drain is reusable; the base draining again is a no-op).
+  ~BoundedTemporalPartitioningIndex() override { DrainBackground(); }
+
   std::string describe() const override {
     return options_.materialized ? "CLSMFull-BTP" : "CLSM-BTP";
   }
 
-  uint64_t merges_performed() const { return merges_; }
+  uint64_t merges_performed() const {
+    return SnapshotStats().merges_completed;
+  }
 
   /// Largest size class currently present (0 when no partitions).
   int max_size_class() const;
 
  protected:
   /// Consolidates equal-sized partitions until no class has merge_k left.
+  /// Runs on the strand (async) or inline (sync); serialized with seals.
   Status AfterSeal() override;
 
  private:
@@ -59,7 +78,7 @@ class BoundedTemporalPartitioningIndex : public TemporalPartitioningIndex {
         merge_k_(merge_k) {}
 
   int merge_k_;
-  uint64_t merges_ = 0;
+  /// Only touched by the (serialized) seal/merge path.
   uint64_t next_merge_id_ = 0;
 };
 

@@ -1,7 +1,10 @@
 #ifndef COCONUT_STREAM_PP_H_
 #define COCONUT_STREAM_PP_H_
 
+#include <algorithm>
+#include <functional>
 #include <memory>
+#include <mutex>
 
 #include "core/index.h"
 #include "stream/streaming_index.h"
@@ -17,12 +20,31 @@ class PostProcessingIndex : public StreamingIndex {
  public:
   /// Wraps any static index (ADS+, CTree or CLSM, materialized or not).
   /// The inner index must already be Finalized if it requires it (CTree).
-  explicit PostProcessingIndex(std::unique_ptr<core::DataSeriesIndex> inner)
-      : inner_(std::move(inner)) {}
+  explicit PostProcessingIndex(
+      std::unique_ptr<core::DataSeriesIndex> inner,
+      TimestampPolicy policy = TimestampPolicy::kPermissive)
+      : inner_(std::move(inner)), policy_(policy) {}
 
   Status Ingest(uint64_t series_id, std::span<const float> znorm_values,
                 int64_t timestamp) override {
-    return inner_->Insert(series_id, znorm_values, timestamp);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (policy_ == TimestampPolicy::kStrict &&
+          timestamp < last_timestamp_) {
+        return Status::InvalidArgument(
+            "timestamp regression rejected by kStrict policy");
+      }
+      if (policy_ == TimestampPolicy::kClamp) {
+        timestamp = std::max(timestamp, last_timestamp_);
+      }
+    }
+    // Commit the watermark only after the entry is actually admitted — a
+    // rejected insert (length mismatch, surfaced background error) must
+    // not tighten what kStrict accepts next.
+    COCONUT_RETURN_NOT_OK(inner_->Insert(series_id, znorm_values, timestamp));
+    std::lock_guard<std::mutex> lock(mu_);
+    last_timestamp_ = std::max(last_timestamp_, timestamp);
+    return Status::OK();
   }
 
   Status FlushAll() override { return inner_->Finalize(); }
@@ -48,8 +70,28 @@ class PostProcessingIndex : public StreamingIndex {
 
   core::DataSeriesIndex* inner() { return inner_.get(); }
 
+  /// Hook for wrappers whose inner index has richer concurrent stats than
+  /// the default entries/partitions pair (the factory wires CLSM's
+  /// race-free snapshot through here).
+  using StatsProvider = std::function<StreamingStats()>;
+  void set_stats_provider(StatsProvider provider) {
+    stats_provider_ = std::move(provider);
+  }
+
+  StreamingStats SnapshotStats() const override {
+    if (stats_provider_) return stats_provider_();
+    return StreamingIndex::SnapshotStats();
+  }
+
  private:
   std::unique_ptr<core::DataSeriesIndex> inner_;
+  StatsProvider stats_provider_;
+  TimestampPolicy policy_;
+  /// Guards the policy state only; concurrency of the inner index itself
+  /// is the inner index's business (CLSM is concurrent, ADS+/CTree are
+  /// single-caller).
+  std::mutex mu_;
+  int64_t last_timestamp_ = INT64_MIN;
 };
 
 }  // namespace stream

@@ -11,21 +11,67 @@
 namespace coconut {
 namespace stream {
 
+/// What Ingest does when a timestamp arrives below the largest timestamp
+/// accepted so far (the documented stream-order contract).
+enum class TimestampPolicy {
+  /// Accept out-of-order timestamps as-is. Partition [t_min, t_max]
+  /// metadata tracks the true range, so answers stay exact; the cost is
+  /// temporally overlapping partitions that window pruning cannot skip.
+  /// This is how real sensor feeds behave and the default.
+  kPermissive,
+  /// Reject regressions: Ingest returns InvalidArgument and the series is
+  /// not admitted. Equal timestamps are fine (non-decreasing contract).
+  kStrict,
+  /// Clamp regressions up to the largest timestamp accepted so far; the
+  /// series is admitted under the clamped (non-decreasing) timestamp.
+  kClamp,
+};
+
+/// Consistent view of a streaming index's progress, safe to read while
+/// other threads ingest and background tasks seal/merge (taken under the
+/// index's state lock, like StorageManager::SnapshotIoStats).
+struct StreamingStats {
+  /// Entries acknowledged by Ingest (buffered + in-flight + sealed).
+  uint64_t entries = 0;
+  /// Entries still in the in-memory ingest buffer.
+  uint64_t buffered = 0;
+  /// Sealed partitions currently queryable.
+  uint64_t sealed_partitions = 0;
+  /// Background seals/flushes/merge-cascades enqueued but not finished.
+  uint64_t pending_tasks = 0;
+  /// Buffer seals / memtable flushes completed since creation.
+  uint64_t seals_completed = 0;
+  /// Partition/run merges completed since creation.
+  uint64_t merges_completed = 0;
+};
+
 /// Facade over the streaming schemes of Section 3 (PP, TP, BTP). Values in
 /// each temporal window are treated as time-ordered sequences: series
 /// arrive with timestamps, and queries carry a window of interest in
 /// SearchOptions.window.
+///
+/// Threading: implementations created with a background pool are
+/// concurrent — one thread may Ingest while any number of threads query;
+/// seals and merges run on the pool and queries execute against immutable
+/// snapshots of the sealed partition set. Without a background pool the
+/// index is single-caller, exactly as before.
 class StreamingIndex {
  public:
   virtual ~StreamingIndex() = default;
 
-  /// Ingests one z-normalized series stamped `timestamp`. Timestamps must
-  /// be non-decreasing across calls (stream order).
+  /// Ingests one z-normalized series stamped `timestamp`. Timestamps are
+  /// expected to be non-decreasing across calls (stream order); what
+  /// happens when they are not is governed by the index's TimestampPolicy
+  /// (see above — never silent misordering: permissive tracking, rejection,
+  /// or clamping, each documented and pinned by tests).
   virtual Status Ingest(uint64_t series_id,
                         std::span<const float> znorm_values,
                         int64_t timestamp) = 0;
 
-  /// Drains any in-memory buffer to storage.
+  /// Drain barrier: seals any in-memory buffer and blocks until every
+  /// deferred seal, flush and merge cascade has completed. Afterwards the
+  /// index answers queries identically to one built synchronously over the
+  /// same input, and the first error any background task hit is returned.
   virtual Status FlushAll() = 0;
 
   virtual Result<core::SearchResult> ApproxSearch(
@@ -44,6 +90,15 @@ class StreamingIndex {
   virtual uint64_t index_bytes() const = 0;
 
   virtual std::string describe() const = 0;
+
+  /// Race-free progress snapshot; the base implementation covers
+  /// single-threaded wrappers whose accessors are already consistent.
+  virtual StreamingStats SnapshotStats() const {
+    StreamingStats stats;
+    stats.entries = num_entries();
+    stats.sealed_partitions = num_partitions();
+    return stats;
+  }
 };
 
 }  // namespace stream

@@ -17,6 +17,26 @@ using core::TimeWindow;
 
 }  // namespace
 
+TemporalPartitioningIndex::TemporalPartitioningIndex(
+    storage::StorageManager* storage, std::string prefix,
+    const Options& options, storage::BufferPool* pool,
+    core::RawSeriesStore* raw)
+    : storage_(storage),
+      prefix_(std::move(prefix)),
+      options_(options),
+      pool_(pool),
+      raw_(raw),
+      partitions_(std::make_shared<PartitionSet>()) {
+  if (options_.background != nullptr) {
+    executor_ = std::make_unique<SerialExecutor>(options_.background);
+  }
+}
+
+TemporalPartitioningIndex::~TemporalPartitioningIndex() {
+  // Background tasks close over `this`; drain them before members die.
+  DrainBackground();
+}
+
 Result<std::unique_ptr<TemporalPartitioningIndex>>
 TemporalPartitioningIndex::Create(storage::StorageManager* storage,
                                   const std::string& prefix,
@@ -33,11 +53,17 @@ TemporalPartitioningIndex::Create(storage::StorageManager* storage,
     return Status::InvalidArgument(
         "non-materialized TP needs a raw store for verification");
   }
+  if (options.background != nullptr &&
+      options.backend == PartitionBackend::kAds) {
+    return Status::InvalidArgument(
+        "background ingestion requires the kSeqTable backend (a live ADS+ "
+        "tree cannot be sealed behind ingestion's back)");
+  }
   return std::unique_ptr<TemporalPartitioningIndex>(
       new TemporalPartitioningIndex(storage, prefix, options, pool, raw));
 }
 
-Status TemporalPartitioningIndex::EnsureCurrentAds() {
+Status TemporalPartitioningIndex::EnsureCurrentAdsLocked() {
   if (current_ads_ != nullptr) return Status::OK();
   ads::AdsIndex::Options aopts;
   aopts.sax = options_.sax;
@@ -45,14 +71,15 @@ Status TemporalPartitioningIndex::EnsureCurrentAds() {
   aopts.leaf_capacity = options_.ads_leaf_capacity;
   aopts.global_buffer_entries = options_.buffer_entries;
   COCONUT_ASSIGN_OR_RETURN(
-      current_ads_,
+      std::unique_ptr<ads::AdsIndex> ads,
       ads::AdsIndex::Create(
           storage_, prefix_ + ".p" + std::to_string(next_partition_id_),
           aopts, raw_));
+  current_ads_ = std::move(ads);
   return Status::OK();
 }
 
-size_t TemporalPartitioningIndex::UnsealedCount() const {
+size_t TemporalPartitioningIndex::UnsealedCountLocked() const {
   if (options_.backend == PartitionBackend::kAds) {
     return current_ads_ == nullptr
                ? 0
@@ -61,172 +88,369 @@ size_t TemporalPartitioningIndex::UnsealedCount() const {
   return buffer_.size();
 }
 
+std::shared_ptr<const TemporalPartitioningIndex::PartitionSet>
+TemporalPartitioningIndex::CurrentPartitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return partitions_;
+}
+
+void TemporalPartitioningIndex::PublishPartitions(
+    std::shared_ptr<const PartitionSet> set,
+    const PendingSeal* retired_pending, bool count_seal,
+    uint64_t merges_delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_ = std::move(set);
+  if (retired_pending != nullptr) {
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->get() == retired_pending) {
+        pending_.erase(it);
+        break;
+      }
+    }
+  }
+  if (count_seal) ++seals_completed_;
+  merges_completed_ += merges_delta;
+}
+
+void TemporalPartitioningIndex::RecordBackgroundError(const Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (background_status_.ok()) background_status_ = status;
+}
+
+Status TemporalPartitioningIndex::BackgroundStatus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return background_status_;
+}
+
+std::shared_ptr<TemporalPartitioningIndex::PendingSeal>
+TemporalPartitioningIndex::DetachBufferLocked() {
+  if (buffer_.empty()) return nullptr;
+  auto pending = std::make_shared<PendingSeal>();
+  pending->entries = std::move(buffer_);
+  pending->payloads = std::move(buffer_payloads_);
+  buffer_.clear();
+  buffer_payloads_.clear();
+  pending->t_min = unsealed_t_min_;
+  pending->t_max = unsealed_t_max_;
+  unsealed_t_min_ = INT64_MAX;
+  unsealed_t_max_ = INT64_MIN;
+  pending->name = prefix_ + ".p" + std::to_string(next_partition_id_++);
+  pending_.push_back(pending);
+  return pending;
+}
+
+void TemporalPartitioningIndex::EnqueueSealLocked(
+    std::shared_ptr<const PendingSeal> pending) {
+  // Called with mu_ held so strand order always matches detach order even
+  // when Ingest and FlushAll race. Safe: Submit only takes the executor's
+  // own queue lock, never mu_.
+  executor_->Submit([this, pending = std::move(pending)] {
+    const Status status = SealTask(pending);
+    if (!status.ok()) RecordBackgroundError(status);
+  });
+}
+
+Status TemporalPartitioningIndex::SealTask(
+    std::shared_ptr<const PendingSeal> pending) {
+  // Sort by key and lay the buffer out as one compact partition. All the
+  // I/O happens here, off the ingest lock.
+  const size_t len = options_.sax.series_length;
+  std::vector<size_t> order(pending->entries.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&pending](size_t a, size_t b) {
+    return core::EntryKeyLess()(pending->entries[a], pending->entries[b]);
+  });
+  seqtable::SeqTableOptions topts;
+  topts.sax = options_.sax;
+  topts.materialized = options_.materialized;
+  COCONUT_ASSIGN_OR_RETURN(
+      std::unique_ptr<seqtable::SeqTableBuilder> builder,
+      seqtable::SeqTableBuilder::Create(storage_, pending->name, topts));
+  for (size_t i : order) {
+    std::span<const float> payload;
+    if (options_.materialized) {
+      payload =
+          std::span<const float>(pending->payloads.data() + i * len, len);
+    }
+    COCONUT_RETURN_NOT_OK(builder->Add(pending->entries[i], payload));
+  }
+  auto partition = std::make_shared<SealedPartition>();
+  partition->entries = builder->entries_added();
+  COCONUT_RETURN_NOT_OK(builder->Finish());
+  COCONUT_ASSIGN_OR_RETURN(
+      std::unique_ptr<seqtable::SeqTable> table,
+      seqtable::SeqTable::Open(storage_, pending->name, ReadPool()));
+  partition->table = std::move(table);
+  partition->t_min = pending->t_min;
+  partition->t_max = pending->t_max;
+  partition->name = pending->name;
+
+  auto next = std::make_shared<PartitionSet>(*CurrentPartitions());
+  next->push_back(std::move(partition));
+  PublishPartitions(std::move(next), pending.get(), /*count_seal=*/true,
+                    /*merges_delta=*/0);
+  return AfterSeal();
+}
+
 Status TemporalPartitioningIndex::Ingest(uint64_t series_id,
                                          std::span<const float> znorm_values,
                                          int64_t timestamp) {
   if (znorm_values.size() != static_cast<size_t>(options_.sax.series_length)) {
     return Status::InvalidArgument("series length mismatch");
   }
+
   if (options_.backend == PartitionBackend::kAds) {
-    COCONUT_RETURN_NOT_OK(EnsureCurrentAds());
+    // Synchronous-only backend; everything under the lock for simplicity.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.timestamp_policy == TimestampPolicy::kStrict &&
+        timestamp < last_timestamp_) {
+      return Status::InvalidArgument(
+          "timestamp regression rejected by kStrict policy");
+    }
+    if (options_.timestamp_policy == TimestampPolicy::kClamp) {
+      timestamp = std::max(timestamp, last_timestamp_);
+    }
+    COCONUT_RETURN_NOT_OK(EnsureCurrentAdsLocked());
     COCONUT_RETURN_NOT_OK(
         current_ads_->Insert(series_id, znorm_values, timestamp));
-  } else {
-    IndexEntry entry;
-    entry.key = series::InterleaveSax(
-        series::ComputeSax(znorm_values, options_.sax), options_.sax);
-    entry.series_id = series_id;
+    // Watermark and range commit only once the entry is actually admitted.
+    last_timestamp_ = std::max(last_timestamp_, timestamp);
+    unsealed_t_min_ = std::min(unsealed_t_min_, timestamp);
+    unsealed_t_max_ = std::max(unsealed_t_max_, timestamp);
+    if (UnsealedCountLocked() >= options_.buffer_entries) {
+      COCONUT_RETURN_NOT_OK(current_ads_->FlushAll());
+      auto partition = std::make_shared<SealedPartition>();
+      partition->entries = current_ads_->num_entries();
+      partition->ads = std::move(current_ads_);
+      current_ads_ = nullptr;
+      partition->t_min = unsealed_t_min_;
+      partition->t_max = unsealed_t_max_;
+      partition->name =
+          prefix_ + ".p" + std::to_string(next_partition_id_++);
+      unsealed_t_min_ = INT64_MAX;
+      unsealed_t_max_ = INT64_MIN;
+      auto next = std::make_shared<PartitionSet>(*partitions_);
+      next->push_back(std::move(partition));
+      partitions_ = std::move(next);
+      ++seals_completed_;
+    }
+    return Status::OK();
+  }
+
+  // Summarize outside the lock: the SAX computation is the CPU-heavy part
+  // of admission and needs no shared state.
+  IndexEntry entry;
+  entry.key = series::InterleaveSax(
+      series::ComputeSax(znorm_values, options_.sax), options_.sax);
+  entry.series_id = series_id;
+
+  std::shared_ptr<const PendingSeal> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!background_status_.ok()) return background_status_;
+    if (options_.timestamp_policy == TimestampPolicy::kStrict &&
+        timestamp < last_timestamp_) {
+      return Status::InvalidArgument(
+          "timestamp regression rejected by kStrict policy");
+    }
+    if (options_.timestamp_policy == TimestampPolicy::kClamp) {
+      timestamp = std::max(timestamp, last_timestamp_);
+    }
+    last_timestamp_ = std::max(last_timestamp_, timestamp);
     entry.timestamp = timestamp;
     buffer_.push_back(entry);
     if (options_.materialized) {
       buffer_payloads_.insert(buffer_payloads_.end(), znorm_values.begin(),
                               znorm_values.end());
     }
-  }
-  unsealed_t_min_ = std::min(unsealed_t_min_, timestamp);
-  unsealed_t_max_ = std::max(unsealed_t_max_, timestamp);
-
-  if (UnsealedCount() >= options_.buffer_entries) {
-    COCONUT_RETURN_NOT_OK(SealPartition());
-    COCONUT_RETURN_NOT_OK(AfterSeal());
-  }
-  return Status::OK();
-}
-
-Status TemporalPartitioningIndex::SealPartition() {
-  if (UnsealedCount() == 0) return Status::OK();
-
-  SealedPartition partition;
-  partition.t_min = unsealed_t_min_;
-  partition.t_max = unsealed_t_max_;
-  partition.name = prefix_ + ".p" + std::to_string(next_partition_id_++);
-
-  if (options_.backend == PartitionBackend::kAds) {
-    COCONUT_RETURN_NOT_OK(current_ads_->FlushAll());
-    partition.entries = current_ads_->num_entries();
-    partition.ads = std::move(current_ads_);
-  } else {
-    // Sort the buffer by key and lay it out as one compact partition.
-    const size_t len = options_.sax.series_length;
-    std::vector<size_t> order(buffer_.size());
-    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
-      return core::EntryKeyLess()(buffer_[a], buffer_[b]);
-    });
-    seqtable::SeqTableOptions topts;
-    topts.sax = options_.sax;
-    topts.materialized = options_.materialized;
-    COCONUT_ASSIGN_OR_RETURN(
-        std::unique_ptr<seqtable::SeqTableBuilder> builder,
-        seqtable::SeqTableBuilder::Create(storage_, partition.name, topts));
-    for (size_t i : order) {
-      std::span<const float> payload;
-      if (options_.materialized) {
-        payload =
-            std::span<const float>(buffer_payloads_.data() + i * len, len);
+    unsealed_t_min_ = std::min(unsealed_t_min_, timestamp);
+    unsealed_t_max_ = std::max(unsealed_t_max_, timestamp);
+    if (buffer_.size() >= options_.buffer_entries) {
+      pending = DetachBufferLocked();
+      if (pending != nullptr && async()) {
+        EnqueueSealLocked(pending);
+        pending = nullptr;
       }
-      COCONUT_RETURN_NOT_OK(builder->Add(buffer_[i], payload));
     }
-    partition.entries = builder->entries_added();
-    COCONUT_RETURN_NOT_OK(builder->Finish());
-    COCONUT_ASSIGN_OR_RETURN(
-        partition.table,
-        seqtable::SeqTable::Open(storage_, partition.name, pool_));
-    buffer_.clear();
-    buffer_payloads_.clear();
   }
-
-  partitions_.push_back(std::move(partition));
-  unsealed_t_min_ = INT64_MAX;
-  unsealed_t_max_ = INT64_MIN;
+  // Sync mode: seal inline, off the lock (SealTask re-acquires mu_).
+  if (pending != nullptr) return SealTask(std::move(pending));
   return Status::OK();
 }
 
 Status TemporalPartitioningIndex::FlushAll() {
-  COCONUT_RETURN_NOT_OK(SealPartition());
-  return AfterSeal();
-}
-
-Status TemporalPartitioningIndex::SearchUnsealed(
-    std::span<const float> query, const SearchOptions& options,
-    core::QueryCounters* counters, bool exact, SearchResult* best) {
   if (options_.backend == PartitionBackend::kAds) {
-    if (current_ads_ == nullptr || current_ads_->num_entries() == 0) {
-      return Status::OK();
-    }
-    auto r = exact ? current_ads_->ExactSearch(query, options, counters)
-                   : current_ads_->ApproxSearch(query, options, counters);
-    if (!r.ok()) return r.status();
-    best->Improve(r.value());
+    std::lock_guard<std::mutex> lock(mu_);
+    if (UnsealedCountLocked() == 0) return Status::OK();
+    COCONUT_RETURN_NOT_OK(current_ads_->FlushAll());
+    auto partition = std::make_shared<SealedPartition>();
+    partition->entries = current_ads_->num_entries();
+    partition->ads = std::move(current_ads_);
+    current_ads_ = nullptr;
+    partition->t_min = unsealed_t_min_;
+    partition->t_max = unsealed_t_max_;
+    partition->name = prefix_ + ".p" + std::to_string(next_partition_id_++);
+    unsealed_t_min_ = INT64_MAX;
+    unsealed_t_max_ = INT64_MIN;
+    auto next = std::make_shared<PartitionSet>(*partitions_);
+    next->push_back(std::move(partition));
+    partitions_ = std::move(next);
+    ++seals_completed_;
     return Status::OK();
   }
-  if (buffer_.empty()) return Status::OK();
+
+  std::shared_ptr<const PendingSeal> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending = DetachBufferLocked();
+    if (pending != nullptr && async()) {
+      EnqueueSealLocked(pending);
+      pending = nullptr;
+    }
+  }
+  if (pending != nullptr) {
+    COCONUT_RETURN_NOT_OK(SealTask(std::move(pending)));
+  }
+  if (async()) executor_->Drain();
+  return BackgroundStatus();
+}
+
+TemporalPartitioningIndex::QuerySnapshot
+TemporalPartitioningIndex::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QuerySnapshot snap;
+  if (async()) {
+    // Ingestion mutates the buffer concurrently: copy. (Spans into the
+    // owned vectors survive the return — moves keep heap storage.)
+    snap.buffer_copy = buffer_;
+    snap.payload_copy = buffer_payloads_;
+    snap.buffer = snap.buffer_copy;
+    snap.buffer_payloads = snap.payload_copy;
+  } else {
+    snap.buffer = buffer_;
+    snap.buffer_payloads = buffer_payloads_;
+  }
+  snap.pending = pending_;
+  snap.partitions = partitions_;
+  snap.current_ads = current_ads_;
+  return snap;
+}
+
+Status TemporalPartitioningIndex::SearchUnsealedEntries(
+    std::span<const IndexEntry> entries, std::span<const float> payloads,
+    std::span<const float> query, const SearchOptions& options,
+    core::QueryCounters* counters, bool exact, SearchResult* best) const {
+  if (entries.empty()) return Status::OK();
   std::vector<float> paa_storage;
   seqtable::SearchContext ctx = seqtable::MakeSearchContext(
       options_.sax, query, &paa_storage, raw_, counters);
   return seqtable::EvaluateCandidates(
-      ctx, options, buffer_, buffer_payloads_, options_.materialized,
+      ctx, options, entries, payloads, options_.materialized,
       exact ? -1 : options.approx_candidates, best);
 }
 
-Result<SearchResult> TemporalPartitioningIndex::ApproxSearch(
-    std::span<const float> query, const SearchOptions& options,
-    core::QueryCounters* counters) {
-  SearchResult best;
-  // Newest data first: the unsealed tail, then partitions newest to oldest.
-  COCONUT_RETURN_NOT_OK(
-      SearchUnsealed(query, options, counters, /*exact=*/false, &best));
+Status TemporalPartitioningIndex::ApproxPassOverSnapshot(
+    const QuerySnapshot& snap, std::span<const float> query,
+    const SearchOptions& options, core::QueryCounters* counters,
+    SearchResult* best) {
+  // Newest data first: the unsealed tail, in-flight seals, then partitions
+  // newest to oldest.
+  if (snap.current_ads != nullptr && snap.current_ads->num_entries() > 0) {
+    COCONUT_ASSIGN_OR_RETURN(
+        SearchResult r, snap.current_ads->ApproxSearch(query, options,
+                                                       counters));
+    best->Improve(r);
+  }
+  COCONUT_RETURN_NOT_OK(SearchUnsealedEntries(
+      snap.buffer, snap.buffer_payloads, query, options, counters,
+      /*exact=*/false, best));
+  for (auto it = snap.pending.rbegin(); it != snap.pending.rend(); ++it) {
+    COCONUT_RETURN_NOT_OK(SearchUnsealedEntries(
+        (*it)->entries, (*it)->payloads, query, options, counters,
+        /*exact=*/false, best));
+  }
   std::vector<float> paa_storage;
   seqtable::SearchContext ctx = seqtable::MakeSearchContext(
       options_.sax, query, &paa_storage, raw_, counters);
-  for (auto it = partitions_.rbegin(); it != partitions_.rend(); ++it) {
-    if (!options.window.Intersects(it->t_min, it->t_max)) {
+  for (auto it = snap.partitions->rbegin(); it != snap.partitions->rend();
+       ++it) {
+    const SealedPartition& p = **it;
+    if (!options.window.Intersects(p.t_min, p.t_max)) {
       if (counters != nullptr) ++counters->partitions_skipped;
       continue;
     }
     if (counters != nullptr) ++counters->partitions_visited;
     // Fully covered partitions skip per-entry timestamp checks.
     SearchOptions inner = options;
-    if (options.window.Covers(it->t_min, it->t_max)) {
+    if (options.window.Covers(p.t_min, p.t_max)) {
       inner.window = TimeWindow::All();
     }
-    if (it->table != nullptr) {
+    if (p.table != nullptr) {
       COCONUT_ASSIGN_OR_RETURN(
-          SearchResult r, seqtable::ApproxSearchTable(*it->table, ctx, inner));
-      best.Improve(r);
+          SearchResult r, seqtable::ApproxSearchTable(*p.table, ctx, inner));
+      best->Improve(r);
     } else {
       COCONUT_ASSIGN_OR_RETURN(SearchResult r,
-                               it->ads->ApproxSearch(query, inner, counters));
-      best.Improve(r);
+                               p.ads->ApproxSearch(query, inner, counters));
+      best->Improve(r);
     }
   }
+  return Status::OK();
+}
+
+Result<SearchResult> TemporalPartitioningIndex::ApproxSearch(
+    std::span<const float> query, const SearchOptions& options,
+    core::QueryCounters* counters) {
+  QuerySnapshot snap = TakeSnapshot();
+  SearchResult best;
+  COCONUT_RETURN_NOT_OK(
+      ApproxPassOverSnapshot(snap, query, options, counters, &best));
   return best;
 }
 
 Result<SearchResult> TemporalPartitioningIndex::ExactSearch(
     std::span<const float> query, const SearchOptions& options,
     core::QueryCounters* counters) {
-  // Seed with the approximate pass (cheap, tightens the bound), then scan
-  // every intersecting partition with the shared best-so-far.
-  COCONUT_ASSIGN_OR_RETURN(SearchResult best,
-                           ApproxSearch(query, options, counters));
+  // One snapshot serves both passes, so the approximate seed and the exact
+  // scan see the same entries even while ingestion races ahead.
+  QuerySnapshot snap = TakeSnapshot();
+  SearchResult best;
+  // Approximate pass (cheap, tightens the bound) over the snapshot.
   COCONUT_RETURN_NOT_OK(
-      SearchUnsealed(query, options, counters, /*exact=*/true, &best));
+      ApproxPassOverSnapshot(snap, query, options, counters, &best));
   std::vector<float> paa_storage;
   seqtable::SearchContext ctx = seqtable::MakeSearchContext(
       options_.sax, query, &paa_storage, raw_, counters);
-  for (auto it = partitions_.rbegin(); it != partitions_.rend(); ++it) {
-    if (!options.window.Intersects(it->t_min, it->t_max)) continue;
+
+  // Exact pass: every intersecting source with the shared best-so-far.
+  if (snap.current_ads != nullptr && snap.current_ads->num_entries() > 0) {
+    COCONUT_ASSIGN_OR_RETURN(
+        SearchResult r, snap.current_ads->ExactSearch(query, options,
+                                                      counters));
+    best.Improve(r);
+  }
+  COCONUT_RETURN_NOT_OK(SearchUnsealedEntries(
+      snap.buffer, snap.buffer_payloads, query, options, counters,
+      /*exact=*/true, &best));
+  for (auto it = snap.pending.rbegin(); it != snap.pending.rend(); ++it) {
+    COCONUT_RETURN_NOT_OK(SearchUnsealedEntries(
+        (*it)->entries, (*it)->payloads, query, options, counters,
+        /*exact=*/true, &best));
+  }
+  for (auto it = snap.partitions->rbegin(); it != snap.partitions->rend();
+       ++it) {
+    const SealedPartition& p = **it;
+    if (!options.window.Intersects(p.t_min, p.t_max)) continue;
     SearchOptions inner = options;
-    if (options.window.Covers(it->t_min, it->t_max)) {
+    if (options.window.Covers(p.t_min, p.t_max)) {
       inner.window = TimeWindow::All();
     }
-    if (it->table != nullptr) {
+    if (p.table != nullptr) {
       COCONUT_RETURN_NOT_OK(
-          seqtable::ExactScanTable(*it->table, ctx, inner, &best));
+          seqtable::ExactScanTable(*p.table, ctx, inner, &best));
     } else {
       COCONUT_ASSIGN_OR_RETURN(SearchResult r,
-                               it->ads->ExactSearch(query, inner, counters));
+                               p.ads->ExactSearch(query, inner, counters));
       best.Improve(r);
     }
   }
@@ -234,19 +458,86 @@ Result<SearchResult> TemporalPartitioningIndex::ExactSearch(
 }
 
 uint64_t TemporalPartitioningIndex::num_entries() const {
-  uint64_t total = UnsealedCount();
-  for (const auto& p : partitions_) total += p.entries;
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = UnsealedCountLocked();
+  for (const auto& p : pending_) total += p->entries.size();
+  for (const auto& p : *partitions_) total += p->entries;
   return total;
 }
 
+size_t TemporalPartitioningIndex::num_partitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return partitions_->size();
+}
+
 uint64_t TemporalPartitioningIndex::index_bytes() const {
-  uint64_t total = 0;
-  for (const auto& p : partitions_) {
-    if (p.table != nullptr) total += p.table->file_bytes();
-    if (p.ads != nullptr) total += p.ads->total_file_bytes();
+  std::shared_ptr<const PartitionSet> parts;
+  std::shared_ptr<ads::AdsIndex> live_ads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    parts = partitions_;
+    live_ads = current_ads_;
   }
-  if (current_ads_ != nullptr) total += current_ads_->total_file_bytes();
+  uint64_t total = 0;
+  for (const auto& p : *parts) {
+    if (p->table != nullptr) total += p->table->file_bytes();
+    if (p->ads != nullptr) total += p->ads->total_file_bytes();
+  }
+  if (live_ads != nullptr) total += live_ads->total_file_bytes();
   return total;
+}
+
+StreamingStats TemporalPartitioningIndex::SnapshotStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StreamingStats stats;
+  stats.buffered = UnsealedCountLocked();
+  stats.entries = stats.buffered;
+  for (const auto& p : pending_) stats.entries += p->entries.size();
+  for (const auto& p : *partitions_) stats.entries += p->entries;
+  stats.sealed_partitions = partitions_->size();
+  stats.pending_tasks = pending_.size();
+  stats.seals_completed = seals_completed_;
+  stats.merges_completed = merges_completed_;
+  return stats;
+}
+
+std::vector<TemporalPartitioningIndex::PartitionInfo>
+TemporalPartitioningIndex::SnapshotPartitions() const {
+  std::shared_ptr<const PartitionSet> parts = CurrentPartitions();
+  std::vector<PartitionInfo> infos;
+  infos.reserve(parts->size());
+  for (const auto& p : *parts) {
+    PartitionInfo info;
+    info.name = p->name;
+    info.entries = p->entries;
+    info.size_class = p->size_class;
+    info.t_min = p->t_min;
+    info.t_max = p->t_max;
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+Result<std::vector<core::IndexEntry>>
+TemporalPartitioningIndex::DumpPartitionEntries(size_t idx) const {
+  std::shared_ptr<const PartitionSet> parts = CurrentPartitions();
+  if (idx >= parts->size()) {
+    return Status::OutOfRange("partition index out of range");
+  }
+  const SealedPartition& p = *(*parts)[idx];
+  if (p.table == nullptr) {
+    return Status::NotSupported("entry dumps require kSeqTable partitions");
+  }
+  std::vector<core::IndexEntry> entries;
+  entries.reserve(p.entries);
+  seqtable::SeqTable::Scanner scanner = p.table->NewScanner();
+  core::IndexEntry entry;
+  while (true) {
+    COCONUT_ASSIGN_OR_RETURN(bool has, scanner.Next(&entry, nullptr));
+    if (!has) break;
+    entries.push_back(entry);
+  }
+  return entries;
 }
 
 std::string TemporalPartitioningIndex::describe() const {

@@ -2,10 +2,12 @@
 #define COCONUT_STREAM_TP_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "ads/ads_index.h"
+#include "common/thread_pool.h"
 #include "core/entry.h"
 #include "core/raw_store.h"
 #include "seqtable/seq_table.h"
@@ -26,6 +28,16 @@ enum class PartitionBackend {
 /// partitions whose range intersects the window — small windows skip
 /// nearly everything — but partitions accumulate without bound, so large
 /// windows pay one probe per partition.
+///
+/// Concurrency: with Options.background set, Ingest appends to the buffer
+/// under a light lock and returns; sealing (sorting + the partition write)
+/// runs on the pool, serialized per index so the sealed-partition sequence
+/// is identical to the synchronous build. Queries take an immutable
+/// snapshot — buffer copy, in-flight seal payloads, and the shared_ptr
+/// partition set — so they never block on, and are never corrupted by,
+/// concurrent seals or merges. Every acknowledged entry is visible to the
+/// very next query: entries move buffer → pending → sealed under one lock.
+/// Without a background pool behaviour is the synchronous original.
 class TemporalPartitioningIndex : public StreamingIndex {
  public:
   struct Options {
@@ -36,6 +48,23 @@ class TemporalPartitioningIndex : public StreamingIndex {
     size_t buffer_entries = 4096;
     /// Leaf capacity for kAds partitions.
     size_t ads_leaf_capacity = 1024;
+    /// What Ingest does with a timestamp below the max accepted so far.
+    TimestampPolicy timestamp_policy = TimestampPolicy::kPermissive;
+    /// Background pool for seals and merge cascades (not owned; must
+    /// outlive the index). nullptr = synchronous, the classic behaviour.
+    /// Requires the kSeqTable backend (a live ADS+ tree cannot be sealed
+    /// behind ingestion's back).
+    ThreadPool* background = nullptr;
+  };
+
+  /// Externally visible shape of one sealed partition, for tests and the
+  /// server's stats endpoints. Taken from a consistent snapshot.
+  struct PartitionInfo {
+    std::string name;
+    uint64_t entries = 0;
+    int size_class = 0;
+    int64_t t_min = 0;
+    int64_t t_max = 0;
   };
 
   static Result<std::unique_ptr<TemporalPartitioningIndex>> Create(
@@ -43,7 +72,7 @@ class TemporalPartitioningIndex : public StreamingIndex {
       const Options& options, storage::BufferPool* pool,
       core::RawSeriesStore* raw);
 
-  ~TemporalPartitioningIndex() override = default;
+  ~TemporalPartitioningIndex() override;
 
   Status Ingest(uint64_t series_id, std::span<const float> znorm_values,
                 int64_t timestamp) override;
@@ -55,45 +84,127 @@ class TemporalPartitioningIndex : public StreamingIndex {
       std::span<const float> query, const core::SearchOptions& options,
       core::QueryCounters* counters) override;
   uint64_t num_entries() const override;
-  size_t num_partitions() const override { return partitions_.size(); }
+  size_t num_partitions() const override;
   uint64_t index_bytes() const override;
   std::string describe() const override;
+  StreamingStats SnapshotStats() const override;
+
+  bool async() const { return executor_ != nullptr; }
+
+  /// Metadata of every sealed partition, oldest first.
+  std::vector<PartitionInfo> SnapshotPartitions() const;
+
+  /// Entries of sealed partition `idx` in stored (key) order — the
+  /// merge-determinism suite compares these across thread counts.
+  /// kSeqTable partitions only.
+  Result<std::vector<core::IndexEntry>> DumpPartitionEntries(size_t idx) const;
 
  protected:
   struct SealedPartition {
-    std::unique_ptr<seqtable::SeqTable> table;  // kSeqTable backend.
-    std::unique_ptr<ads::AdsIndex> ads;         // kAds backend.
+    std::shared_ptr<seqtable::SeqTable> table;  // kSeqTable backend.
+    std::shared_ptr<ads::AdsIndex> ads;         // kAds backend.
     int64_t t_min = 0;
     int64_t t_max = 0;
     uint64_t entries = 0;
     int size_class = 0;  // Used by the BTP subclass.
     std::string name;
   };
+  /// Immutable once published; queries hold shared_ptr copies while merges
+  /// swap in replacement sets.
+  using PartitionSet = std::vector<std::shared_ptr<const SealedPartition>>;
+
+  /// A buffer moved out of the ingest path, waiting for (or undergoing) its
+  /// background seal. Immutable after construction so queries can evaluate
+  /// it without copying.
+  struct PendingSeal {
+    std::vector<core::IndexEntry> entries;
+    std::vector<float> payloads;
+    int64_t t_min = 0;
+    int64_t t_max = 0;
+    std::string name;
+  };
+
+  /// Everything one query evaluates, captured atomically under mu_. In
+  /// async mode the unsealed buffer is copied (ingestion keeps mutating
+  /// it); in sync mode — single-caller contract — the spans alias the live
+  /// buffer and queries pay no copy, as before this layer went concurrent.
+  struct QuerySnapshot {
+    std::vector<core::IndexEntry> buffer_copy;
+    std::vector<float> payload_copy;
+    std::span<const core::IndexEntry> buffer;
+    std::span<const float> buffer_payloads;
+    std::vector<std::shared_ptr<const PendingSeal>> pending;
+    std::shared_ptr<const PartitionSet> partitions;
+    std::shared_ptr<ads::AdsIndex> current_ads;
+  };
 
   TemporalPartitioningIndex(storage::StorageManager* storage,
                             std::string prefix, const Options& options,
                             storage::BufferPool* pool,
-                            core::RawSeriesStore* raw)
-      : storage_(storage),
-        prefix_(std::move(prefix)),
-        options_(options),
-        pool_(pool),
-        raw_(raw) {}
+                            core::RawSeriesStore* raw);
 
-  /// Seals the current buffer / in-progress ADS+ tree into a partition.
-  Status SealPartition();
+  /// Pool sealed partitions read through: the caller's pool when
+  /// synchronous, nullptr (direct preads) when concurrent queries must not
+  /// share cache frames.
+  storage::BufferPool* ReadPool() const { return async() ? nullptr : pool_; }
 
-  /// Hook for BTP: consolidation after a partition is appended.
+  /// Blocks until the strand is empty. Subclasses overriding AfterSeal
+  /// must call this from their own destructor so no background task can
+  /// make a virtual call during destruction.
+  void DrainBackground() {
+    if (executor_ != nullptr) executor_->Drain();
+  }
+
+  QuerySnapshot TakeSnapshot() const;
+  std::shared_ptr<const PartitionSet> CurrentPartitions() const;
+
+  /// Builds the partition for one pending seal (I/O, off-lock), publishes
+  /// it, then runs the subclass consolidation hook. Runs on the strand in
+  /// async mode, inline otherwise.
+  Status SealTask(std::shared_ptr<const PendingSeal> pending);
+
+  /// Publishes `set` as the new sealed-partition set. `retired_pending`
+  /// (may be null) is removed from the pending list in the same critical
+  /// section, so entries are never invisible or double-visible.
+  void PublishPartitions(std::shared_ptr<const PartitionSet> set,
+                         const PendingSeal* retired_pending,
+                         bool count_seal, uint64_t merges_delta);
+
+  void RecordBackgroundError(const Status& status);
+  Status BackgroundStatus() const;
+
+  /// Hook for BTP: consolidation after a partition is appended. Runs on
+  /// the strand (async) or inline (sync); it is the only partition-set
+  /// mutator besides SealTask, and the two are serialized.
   virtual Status AfterSeal() { return Status::OK(); }
 
-  /// Evaluates the unsealed tail (buffer or live ADS+ tree).
-  Status SearchUnsealed(std::span<const float> query,
-                        const core::SearchOptions& options,
-                        core::QueryCounters* counters, bool exact,
-                        core::SearchResult* best);
+  /// Moves the full buffer into the pending list and hands back the seal
+  /// descriptor; returns nullptr when the buffer is empty. Caller holds mu_.
+  std::shared_ptr<PendingSeal> DetachBufferLocked();
 
-  size_t UnsealedCount() const;
-  Status EnsureCurrentAds();
+  /// Enqueues the seal on the strand. Caller holds mu_, which guarantees
+  /// strand order equals detach order even when Ingest and FlushAll race.
+  void EnqueueSealLocked(std::shared_ptr<const PendingSeal> pending);
+
+  Status EnsureCurrentAdsLocked();
+  size_t UnsealedCountLocked() const;
+
+  /// Evaluates in-memory entries (buffer copy or a pending seal).
+  Status SearchUnsealedEntries(std::span<const core::IndexEntry> entries,
+                               std::span<const float> payloads,
+                               std::span<const float> query,
+                               const core::SearchOptions& options,
+                               core::QueryCounters* counters, bool exact,
+                               core::SearchResult* best) const;
+
+  /// The approximate pass (unsealed tail, in-flight seals, partitions
+  /// newest to oldest) over one snapshot — ApproxSearch's whole body and
+  /// ExactSearch's bound-tightening seed, so the two cannot drift.
+  Status ApproxPassOverSnapshot(const QuerySnapshot& snap,
+                                std::span<const float> query,
+                                const core::SearchOptions& options,
+                                core::QueryCounters* counters,
+                                core::SearchResult* best);
 
   storage::StorageManager* storage_;
   std::string prefix_;
@@ -101,17 +212,30 @@ class TemporalPartitioningIndex : public StreamingIndex {
   storage::BufferPool* pool_;
   core::RawSeriesStore* raw_;
 
+  /// The light ingest/state lock: guards the buffer, the pending list, the
+  /// partition-set pointer and the counters below. Never held across
+  /// seal/merge I/O.
+  mutable std::mutex mu_;
+
   // kSeqTable backend: buffered entries (+payloads when materialized).
   std::vector<core::IndexEntry> buffer_;
   std::vector<float> buffer_payloads_;
 
-  // kAds backend: the partition being built, live.
-  std::unique_ptr<ads::AdsIndex> current_ads_;
+  // kAds backend (synchronous only): the partition being built, live.
+  std::shared_ptr<ads::AdsIndex> current_ads_;
 
-  std::vector<SealedPartition> partitions_;
+  std::vector<std::shared_ptr<const PendingSeal>> pending_;
+  std::shared_ptr<const PartitionSet> partitions_;
   uint64_t next_partition_id_ = 0;
   int64_t unsealed_t_min_ = INT64_MAX;
   int64_t unsealed_t_max_ = INT64_MIN;
+  int64_t last_timestamp_ = INT64_MIN;
+  uint64_t seals_completed_ = 0;
+  uint64_t merges_completed_ = 0;
+  Status background_status_;
+
+  /// Per-index FIFO strand over Options.background; null when synchronous.
+  std::unique_ptr<SerialExecutor> executor_;
 };
 
 }  // namespace stream

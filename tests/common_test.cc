@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <vector>
 
 #include "common/json.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace coconut {
@@ -202,6 +205,50 @@ TEST(TimerTest, MeasuresNonNegativeAndMonotone) {
   double b = t.ElapsedSeconds();
   EXPECT_GE(a, 0.0);
   EXPECT_GE(b, a);
+}
+
+// --------------------------------------------------------- deferred tasks
+
+TEST(SerialExecutorTest, RunsTasksInSubmissionOrderAcrossPoolThreads) {
+  ThreadPool pool(4);
+  SerialExecutor strand(&pool);
+  std::vector<int> order;  // Unsynchronized on purpose: the strand is the
+                           // serialization, which TSan verifies in CI.
+  for (int i = 0; i < 200; ++i) {
+    strand.Submit([&order, i] { order.push_back(i); });
+  }
+  strand.Drain();
+  EXPECT_EQ(strand.pending(), 0u);
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SerialExecutorTest, DrainIsReusable) {
+  ThreadPool pool(2);
+  SerialExecutor strand(&pool);
+  int count = 0;
+  strand.Submit([&count] { ++count; });
+  strand.Drain();
+  EXPECT_EQ(count, 1);
+  strand.Submit([&count] { ++count; });
+  strand.Drain();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(WaitGroupTest, WaitBlocksUntilAllDone) {
+  ThreadPool pool(3);
+  WaitGroup wg;
+  std::atomic<int> done{0};
+  wg.Add(20);
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&wg, &done] {
+      done.fetch_add(1);
+      wg.Done();
+    });
+  }
+  wg.Wait();
+  EXPECT_EQ(done.load(), 20);
+  EXPECT_EQ(wg.pending(), 0u);
 }
 
 }  // namespace

@@ -495,6 +495,78 @@ TEST_F(ServerTest, QueryBatchEmptyAndDefaultThreads) {
   EXPECT_TRUE(results[0].ok());
 }
 
+TEST_F(ServerTest, AsyncStreamIngestsAndDrains) {
+  VariantSpec spec;
+  spec.sax = TestSax();
+  spec.family = IndexFamily::kClsm;
+  spec.mode = StreamMode::kBTP;
+  spec.buffer_entries = 64;
+  spec.async_ingest = true;  // Defaults to the shared background pool.
+  auto created = server_->CreateStream("alive", spec).TakeValue();
+  EXPECT_NE(created.find("\"variant\":\"CLSM-BTP-async\""),
+            std::string::npos);
+
+  workload::RandomWalkGenerator gen(64, 33);
+  auto batch = gen.Generate(300);
+  std::vector<int64_t> timestamps(300);
+  for (size_t i = 0; i < 300; ++i) timestamps[i] = static_cast<int64_t>(i);
+  auto report = server_->IngestBatch("alive", batch, timestamps).TakeValue();
+  EXPECT_NE(report.find("\"ingested\":300"), std::string::npos);
+  EXPECT_NE(report.find("\"pending_tasks\":"), std::string::npos);
+  EXPECT_NE(report.find("\"seals_completed\":"), std::string::npos);
+
+  // The drain barrier quiesces the stream: everything sealed, nothing
+  // pending, and the answer over the full batch is exact.
+  auto drained = server_->DrainStream("alive").TakeValue();
+  EXPECT_NE(drained.find("\"drained\":true"), std::string::npos);
+  EXPECT_NE(drained.find("\"total_entries\":300"), std::string::npos);
+  EXPECT_NE(drained.find("\"buffered\":0"), std::string::npos);
+  EXPECT_NE(drained.find("\"pending_tasks\":0"), std::string::npos);
+
+  QueryRequest req;
+  req.index = "alive";
+  req.query.assign(batch[123].begin(), batch[123].end());
+  auto response = server_->Query(req).TakeValue();
+  EXPECT_NE(response.find("\"found\":true"), std::string::npos);
+  EXPECT_NE(response.find("\"series_id\":123"), std::string::npos);
+
+  EXPECT_EQ(server_->DrainStream("nope").status().code(),
+            StatusCode::kNotFound);
+  // Draining a static index is equally a NotFound: it is not a stream.
+  ASSERT_TRUE(server_->BuildIndex("ct", CTreeSpec(), "walk").ok());
+  EXPECT_EQ(server_->DrainStream("ct").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FactoryAsyncSpecTest, AsyncValidationFollowsBufferingRule) {
+  VariantSpec spec;
+  spec.sax = series::SaxConfig{.series_length = 64, .num_segments = 8,
+                               .bits_per_segment = 8};
+  spec.async_ingest = true;
+  std::string why;
+  // Static builds don't take the async knob.
+  spec.mode = StreamMode::kStatic;
+  EXPECT_FALSE(SpecIsValid(spec, &why));
+  // A live ADS+ tree cannot be sealed behind ingestion's back.
+  spec.mode = StreamMode::kTP;
+  spec.family = IndexFamily::kAds;
+  EXPECT_FALSE(SpecIsValid(spec, &why));
+  // PP only buffers for CLSM.
+  spec.mode = StreamMode::kPP;
+  spec.family = IndexFamily::kCTree;
+  EXPECT_FALSE(SpecIsValid(spec, &why));
+  // The buffering cells are valid, and the name advertises the mode.
+  spec.family = IndexFamily::kClsm;
+  EXPECT_TRUE(SpecIsValid(spec, &why)) << why;
+  EXPECT_EQ(VariantName(spec), "CLSM-PP-async");
+  spec.mode = StreamMode::kBTP;
+  EXPECT_TRUE(SpecIsValid(spec, &why)) << why;
+  spec.mode = StreamMode::kTP;
+  spec.family = IndexFamily::kCTree;
+  EXPECT_TRUE(SpecIsValid(spec, &why)) << why;
+  EXPECT_EQ(VariantName(spec), "CTree-TP-async");
+}
+
 TEST_F(ServerTest, RecommendJsonCarriesRationale) {
   Scenario s;
   s.sax = TestSax();

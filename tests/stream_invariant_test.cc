@@ -188,6 +188,94 @@ TEST_F(StreamInvariantTest, PartitionRangesCoverEntryTimestamps) {
   }
 }
 
+// ---------------------------------------------------- timestamp policies
+// The documented Ingest contract says timestamps are non-decreasing.
+// kPermissive (the default, pinned by every test above) tracks disorder
+// exactly; kStrict and kClamp enforce the contract — rejection with a
+// Status, or clamping — instead of any silent misordering.
+
+TEST_F(StreamInvariantTest, StrictPolicyRejectsTimestampRegression) {
+  TemporalPartitioningIndex::Options opts;
+  opts.sax = TestSax();
+  opts.buffer_entries = 100;
+  opts.timestamp_policy = TimestampPolicy::kStrict;
+  auto tp = TemporalPartitioningIndex::Create(mgr_.get(), "strict", opts,
+                                              nullptr, raw_.get())
+                .TakeValue();
+  EXPECT_TRUE(tp->Ingest(0, collection_[0], 5).ok());
+  // Equal timestamps satisfy the non-decreasing contract.
+  EXPECT_TRUE(tp->Ingest(1, collection_[1], 5).ok());
+  // A regression is rejected with InvalidArgument and not admitted.
+  Status rejected = tp->Ingest(2, collection_[2], 4);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(tp->num_entries(), 2u);
+  // The stream recovers: later in-order arrivals are fine.
+  EXPECT_TRUE(tp->Ingest(3, collection_[3], 6).ok());
+  EXPECT_EQ(tp->num_entries(), 3u);
+}
+
+TEST_F(StreamInvariantTest, ClampPolicyAdmitsUnderClampedTimestamp) {
+  TemporalPartitioningIndex::Options opts;
+  opts.sax = TestSax();
+  opts.buffer_entries = 4;  // Force sealing so clamped metadata persists.
+  opts.timestamp_policy = TimestampPolicy::kClamp;
+  auto tp = TemporalPartitioningIndex::Create(mgr_.get(), "clamp", opts,
+                                              nullptr, raw_.get())
+                .TakeValue();
+  ASSERT_TRUE(tp->Ingest(0, collection_[0], 10).ok());
+  // Regressions are admitted, but clamped up to the last accepted stamp.
+  ASSERT_TRUE(tp->Ingest(1, collection_[1], 3).ok());
+  ASSERT_TRUE(tp->Ingest(2, collection_[2], 12).ok());
+  ASSERT_TRUE(tp->Ingest(3, collection_[3], 11).ok());
+  ASSERT_TRUE(tp->FlushAll().ok());
+  EXPECT_EQ(tp->num_entries(), 4u);
+
+  // Series 1 now lives at timestamp 10; a window below it finds nothing.
+  SearchOptions options;
+  options.window = TimeWindow{0, 9};
+  std::vector<float> query(collection_[1].begin(), collection_[1].end());
+  auto below = tp->ExactSearch(query, options, nullptr).TakeValue();
+  EXPECT_FALSE(below.found);
+  // At exactly 10, the clamped entry is visible at distance 0.
+  options.window = TimeWindow{10, 10};
+  auto at = tp->ExactSearch(query, options, nullptr).TakeValue();
+  ASSERT_TRUE(at.found);
+  EXPECT_NEAR(at.distance_sq, 0.0, 1e-6);
+  EXPECT_EQ(at.timestamp, 10);
+  // And series 3 was clamped 11 -> 12.
+  options.window = TimeWindow{12, 12};
+  std::vector<float> query3(collection_[3].begin(), collection_[3].end());
+  auto clamped = tp->ExactSearch(query3, options, nullptr).TakeValue();
+  ASSERT_TRUE(clamped.found);
+  EXPECT_NEAR(clamped.distance_sq, 0.0, 1e-6);
+}
+
+TEST_F(StreamInvariantTest, PoliciesApplyAcrossStreamingVariants) {
+  // The policy rides VariantSpec through the factory into every scheme:
+  // BTP (via the TP base) and PP (enforced by the wrapper itself).
+  for (palm::StreamMode mode : {palm::StreamMode::kBTP,
+                                palm::StreamMode::kPP}) {
+    palm::VariantSpec spec;
+    spec.sax = TestSax();
+    spec.family = palm::IndexFamily::kClsm;
+    spec.mode = mode;
+    spec.buffer_entries = 100;
+    spec.timestamp_policy = TimestampPolicy::kStrict;
+    auto stream =
+        palm::CreateStreamingIndex(
+            spec, mgr_.get(),
+            mode == palm::StreamMode::kBTP ? "pol_btp" : "pol_pp", nullptr,
+            raw_.get())
+            .TakeValue();
+    ASSERT_TRUE(stream->Ingest(0, collection_[0], 7).ok());
+    Status rejected = stream->Ingest(1, collection_[1], 6);
+    EXPECT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(stream->num_entries(), 1u);
+  }
+}
+
 }  // namespace
 }  // namespace stream
 }  // namespace coconut

@@ -1,0 +1,158 @@
+// Accounting under fire: while one thread ingests into an async streaming
+// index and two threads query it, more threads continuously read every
+// stats surface — StreamingStats snapshots, entry/partition/byte counts,
+// and the storage manager's SnapshotIoStats — and per-query
+// QueryCounters are merged across threads with QueryCounters::Add. Run
+// under TSan in CI, this pins the satellite requirement that streaming
+// stats reads are race-free mid-flight (no quiescing required).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "palm/factory.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace stream {
+namespace {
+
+series::SaxConfig TestSax() {
+  return series::SaxConfig{.series_length = 64, .num_segments = 8,
+                           .bits_per_segment = 8};
+}
+
+class StreamStatsStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = storage::MakeTempStorage("stream_stats_stress");
+    ASSERT_TRUE(r.ok());
+    mgr_ = r.TakeValue();
+    collection_ = testutil::RandomWalkCollection(900, 64, 123);
+    raw_ = core::RawSeriesStore::Create(mgr_.get(), "raw", 64).TakeValue();
+  }
+  void TearDown() override { ASSERT_TRUE(mgr_->Clear().ok()); }
+
+  void Hammer(palm::VariantSpec spec, const std::string& name) {
+    ThreadPool background(2);
+    spec.async_ingest = true;
+    spec.background_pool = &background;
+    auto stream = palm::CreateStreamingIndex(spec, mgr_.get(), name,
+                                             nullptr, raw_.get())
+                      .TakeValue();
+    ASSERT_NE(stream, nullptr);
+
+    std::atomic<bool> stop{false};
+    std::atomic<size_t> acknowledged{0};
+    core::QueryCounters merged;  // Aggregated at join time via Add.
+    std::mutex merged_mu;
+
+    auto querier = [&](uint64_t seed) {
+      Rng rng(seed);
+      core::QueryCounters local;
+      do {
+        auto query = testutil::NoisyCopy(
+            collection_, rng.NextBounded(collection_.size()), 0.5, seed);
+        core::SearchOptions options;
+        const size_t ack = acknowledged.load(std::memory_order_acquire);
+        if (ack > 10 && rng.NextBounded(2) == 0) {
+          options.window = core::TimeWindow{
+              static_cast<int64_t>(rng.NextBounded(ack)),
+              static_cast<int64_t>(ack)};
+        }
+        core::QueryCounters counters;
+        auto result = stream->ExactSearch(query, options, &counters);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        local.Add(counters);
+      } while (!stop.load(std::memory_order_acquire));
+      std::lock_guard<std::mutex> lock(merged_mu);
+      merged.Add(local);
+    };
+
+    auto stats_reader = [&] {
+      uint64_t last_entries = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const StreamingStats stats = stream->SnapshotStats();
+        // Entries acknowledged so far never shrink, and every component
+        // of the snapshot is internally consistent.
+        EXPECT_GE(stats.entries, last_entries);
+        last_entries = stats.entries;
+        EXPECT_GE(stats.entries, stats.buffered);
+        (void)stream->num_entries();
+        (void)stream->num_partitions();
+        (void)stream->index_bytes();
+        const storage::IoStats io = mgr_->SnapshotIoStats();
+        EXPECT_GE(io.bytes_written, 0u);
+        std::this_thread::yield();
+      }
+    };
+
+    std::thread q1(querier, 7001);
+    std::thread q2(querier, 7002);
+    std::thread s1(stats_reader);
+    std::thread s2(stats_reader);
+
+    for (size_t i = 0; i < collection_.size(); ++i) {
+      ASSERT_TRUE(raw_->Append(collection_[i]).ok());
+      ASSERT_TRUE(
+          stream->Ingest(i, collection_[i], static_cast<int64_t>(i)).ok());
+      acknowledged.store(i + 1, std::memory_order_release);
+    }
+    ASSERT_TRUE(stream->FlushAll().ok());
+    stop.store(true, std::memory_order_release);
+    q1.join();
+    q2.join();
+    s1.join();
+    s2.join();
+
+    // Quiesced: the snapshot agrees with the plain accessors, everything
+    // is sealed, and the queriers did real work.
+    const StreamingStats final_stats = stream->SnapshotStats();
+    EXPECT_EQ(final_stats.entries, collection_.size());
+    EXPECT_EQ(final_stats.buffered, 0u);
+    EXPECT_EQ(final_stats.pending_tasks, 0u);
+    EXPECT_EQ(stream->num_entries(), collection_.size());
+    EXPECT_GT(final_stats.seals_completed, 0u);
+    EXPECT_GT(merged.entries_examined, 0u);
+  }
+
+  std::unique_ptr<storage::StorageManager> mgr_;
+  std::unique_ptr<core::RawSeriesStore> raw_;
+  series::SeriesCollection collection_{64};
+};
+
+TEST_F(StreamStatsStressTest, BtpAccountingRaceFree) {
+  palm::VariantSpec spec;
+  spec.sax = TestSax();
+  spec.family = palm::IndexFamily::kClsm;
+  spec.mode = palm::StreamMode::kBTP;
+  spec.buffer_entries = 64;
+  spec.btp_merge_k = 2;
+  Hammer(spec, "btp_stress");
+}
+
+TEST_F(StreamStatsStressTest, TpAccountingRaceFree) {
+  palm::VariantSpec spec;
+  spec.sax = TestSax();
+  spec.family = palm::IndexFamily::kCTree;
+  spec.mode = palm::StreamMode::kTP;
+  spec.buffer_entries = 64;
+  Hammer(spec, "tp_stress");
+}
+
+TEST_F(StreamStatsStressTest, ClsmAccountingRaceFree) {
+  palm::VariantSpec spec;
+  spec.sax = TestSax();
+  spec.family = palm::IndexFamily::kClsm;
+  spec.mode = palm::StreamMode::kPP;
+  spec.buffer_entries = 64;
+  Hammer(spec, "clsm_stress");
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace coconut
