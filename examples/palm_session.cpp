@@ -71,7 +71,16 @@ int main() {
   req.index = "clsm";
   req.exact = false;
   req.capture_heatmap = false;
-  std::printf("<< %s\n", server->Query(req).TakeValue().c_str());
+  std::printf("<< %s\n\n", server->Query(req).TakeValue().c_str());
+
+  std::printf(">> POST /drop_index {index: clsm}\n");
+  std::printf("<< %s\n\n", server->DropIndex("clsm").TakeValue().c_str());
+
+  std::printf(">> POST /drop_dataset {dataset: walk}\n");
+  std::printf("<< %s\n\n", server->DropDataset("walk").TakeValue().c_str());
+
+  std::printf(">> GET /indexes\n");
+  std::printf("<< %s\n", server->ListIndexes().c_str());
 
   std::filesystem::remove_all(root);
   return 0;

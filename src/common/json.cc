@@ -1,8 +1,10 @@
 #include "common/json.h"
 
+#include <cerrno>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace coconut {
 
@@ -93,6 +95,496 @@ std::string JsonWriter::TakeString() {
   needs_comma_.assign(1, false);
   pending_key_ = false;
   return result;
+}
+
+// ----------------------------------------------------------- JsonValue
+
+JsonValue JsonValue::MakeBool(bool v) {
+  JsonValue j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::MakeInt(int64_t v) {
+  JsonValue j;
+  j.kind_ = Kind::kInt;
+  j.int_ = v;
+  return j;
+}
+
+JsonValue JsonValue::MakeUint(uint64_t v) {
+  JsonValue j;
+  j.kind_ = Kind::kUint;
+  j.uint_ = v;
+  return j;
+}
+
+JsonValue JsonValue::MakeDouble(double v) {
+  JsonValue j;
+  j.kind_ = Kind::kDouble;
+  j.double_ = v;
+  return j;
+}
+
+JsonValue JsonValue::MakeString(std::string v) {
+  JsonValue j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::MakeArray(Array v) {
+  JsonValue j;
+  j.kind_ = Kind::kArray;
+  j.array_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::MakeObject(Object v) {
+  JsonValue j;
+  j.kind_ = Kind::kObject;
+  j.object_ = std::move(v);
+  return j;
+}
+
+double JsonValue::AsDouble() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return static_cast<double>(int_);
+    case Kind::kUint:
+      return static_cast<double>(uint_);
+    case Kind::kDouble:
+      return double_;
+    default:
+      return 0.0;
+  }
+}
+
+Result<int64_t> JsonValue::AsInt64() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return int_;
+    case Kind::kUint:
+      if (uint_ > static_cast<uint64_t>(INT64_MAX)) {
+        return Status::InvalidArgument("number exceeds int64 range");
+      }
+      return static_cast<int64_t>(uint_);
+    case Kind::kDouble: {
+      const double d = double_;
+      const int64_t as_int = static_cast<int64_t>(d);
+      if (d < -9.2233720368547758e18 || d >= 9.2233720368547758e18 ||
+          static_cast<double>(as_int) != d) {
+        return Status::InvalidArgument("number is not an exact int64");
+      }
+      return as_int;
+    }
+    default:
+      return Status::InvalidArgument("value is not a number");
+  }
+}
+
+Result<uint64_t> JsonValue::AsUint64() const {
+  switch (kind_) {
+    case Kind::kInt:
+      if (int_ < 0) {
+        return Status::InvalidArgument("negative number where uint expected");
+      }
+      return static_cast<uint64_t>(int_);
+    case Kind::kUint:
+      return uint_;
+    case Kind::kDouble: {
+      const double d = double_;
+      if (d < 0.0 || d >= 1.8446744073709552e19) {
+        return Status::InvalidArgument("number exceeds uint64 range");
+      }
+      const uint64_t as_uint = static_cast<uint64_t>(d);
+      if (static_cast<double>(as_uint) != d) {
+        return Status::InvalidArgument("number is not an exact uint64");
+      }
+      return as_uint;
+    }
+    default:
+      return Status::InvalidArgument("value is not a number");
+  }
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const Member& m : object_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+void JsonValue::WriteTo(JsonWriter* writer) const {
+  switch (kind_) {
+    case Kind::kNull:
+      writer->Null();
+      break;
+    case Kind::kBool:
+      writer->Bool(bool_);
+      break;
+    case Kind::kInt:
+      writer->Int(int_);
+      break;
+    case Kind::kUint:
+      writer->Uint(uint_);
+      break;
+    case Kind::kDouble:
+      writer->Double(double_);
+      break;
+    case Kind::kString:
+      writer->String(string_);
+      break;
+    case Kind::kArray:
+      writer->BeginArray();
+      for (const JsonValue& v : array_) v.WriteTo(writer);
+      writer->EndArray();
+      break;
+    case Kind::kObject:
+      writer->BeginObject();
+      for (const Member& m : object_) {
+        writer->Key(m.first);
+        m.second.WriteTo(writer);
+      }
+      writer->EndObject();
+      break;
+  }
+}
+
+std::string JsonValue::Dump() const {
+  JsonWriter w;
+  WriteTo(&w);
+  return w.TakeString();
+}
+
+// -------------------------------------------------------------- parser
+
+namespace {
+
+constexpr int kMaxParseDepth = 128;
+
+/// Recursive-descent parser over the input span. Errors carry the byte
+/// offset of the failure so a malformed wire request is diagnosable.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue value;
+    COCONUT_RETURN_NOT_OK(ParseValue(0, &value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(int depth, JsonValue* out) {
+    if (depth > kMaxParseDepth) return Fail("document nested too deeply");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(depth, out);
+      case '[':
+        return ParseArray(depth, out);
+      case '"': {
+        std::string s;
+        COCONUT_RETURN_NOT_OK(ParseString(&s));
+        *out = JsonValue::MakeString(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        COCONUT_RETURN_NOT_OK(Literal("true"));
+        *out = JsonValue::MakeBool(true);
+        return Status::OK();
+      case 'f':
+        COCONUT_RETURN_NOT_OK(Literal("false"));
+        *out = JsonValue::MakeBool(false);
+        return Status::OK();
+      case 'n':
+        COCONUT_RETURN_NOT_OK(Literal("null"));
+        *out = JsonValue::MakeNull();
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Fail("invalid literal");
+    }
+    pos_ += word.size();
+    return Status::OK();
+  }
+
+  Status ParseObject(int depth, JsonValue* out) {
+    ++pos_;  // '{'
+    JsonValue::Object members;
+    SkipWhitespace();
+    if (Consume('}')) {
+      *out = JsonValue::MakeObject(std::move(members));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key string");
+      }
+      std::string key;
+      COCONUT_RETURN_NOT_OK(ParseString(&key));
+      for (const JsonValue::Member& m : members) {
+        if (m.first == key) return Fail("duplicate object key '" + key + "'");
+      }
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      SkipWhitespace();
+      JsonValue value;
+      COCONUT_RETURN_NOT_OK(ParseValue(depth + 1, &value));
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Fail("expected ',' or '}' in object");
+    }
+    *out = JsonValue::MakeObject(std::move(members));
+    return Status::OK();
+  }
+
+  Status ParseArray(int depth, JsonValue* out) {
+    ++pos_;  // '['
+    JsonValue::Array elements;
+    SkipWhitespace();
+    if (Consume(']')) {
+      *out = JsonValue::MakeArray(std::move(elements));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      JsonValue value;
+      COCONUT_RETURN_NOT_OK(ParseValue(depth + 1, &value));
+      elements.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Fail("expected ',' or ']' in array");
+    }
+    *out = JsonValue::MakeArray(std::move(elements));
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Fail("raw control character in string");
+      if (c != '\\') {
+        *out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'u': {
+          uint32_t code = 0;
+          COCONUT_RETURN_NOT_OK(ParseHex4(&code));
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Fail("unpaired UTF-16 high surrogate");
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            COCONUT_RETURN_NOT_OK(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Fail("invalid UTF-16 low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Fail("unpaired UTF-16 low surrogate");
+          }
+          AppendUtf8(out, code);
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("invalid hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t code) {
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xC0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      *out += static_cast<char>(0xE0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (code >> 18));
+      *out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+      // Sign consumed; digits must follow.
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Fail("invalid number");
+    }
+    // Leading zero must not be followed by another digit (JSON grammar).
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9') {
+      return Fail("leading zero in number");
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    bool integral = true;
+    if (Consume('.')) {
+      integral = false;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Fail("digits required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Fail("digits required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      if (token[0] == '-') {
+        char* end = nullptr;
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno != ERANGE && end == token.c_str() + token.size()) {
+          *out = JsonValue::MakeInt(static_cast<int64_t>(v));
+          return Status::OK();
+        }
+      } else {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (errno != ERANGE && end == token.c_str() + token.size()) {
+          *out = JsonValue::MakeUint(static_cast<uint64_t>(v));
+          return Status::OK();
+        }
+      }
+      // Fall through: integer literal wider than 64 bits -> double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Fail("invalid number");
+    if (!std::isfinite(d)) return Fail("number out of double range");
+    *out = JsonValue::MakeDouble(d);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonParse(std::string_view text) {
+  return JsonParser(text).Parse();
 }
 
 void JsonWriter::AppendEscaped(std::string* out, const std::string& s) {

@@ -3,7 +3,11 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
+
+#include "common/status.h"
 
 namespace coconut {
 
@@ -75,6 +79,92 @@ class JsonWriter {
   std::vector<bool> needs_comma_{false};
   bool pending_key_ = false;
 };
+
+/// A parsed JSON document — the read-side counterpart of JsonWriter. The
+/// Palm service layer parses every wire request into a JsonValue before
+/// converting it to a typed request struct, so malformed input is rejected
+/// in one place with one error shape.
+///
+/// Numbers remember how they were spelled: integer literals that fit are
+/// held as int64/uint64 (ids and byte counts round-trip exactly), anything
+/// else as double. AsDouble()/AsInt64()/AsUint64() convert across the three
+/// representations when the value is exactly representable.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray,
+                    kObject };
+
+  using Array = std::vector<JsonValue>;
+  /// Object members in document order (duplicate keys rejected at parse).
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  JsonValue() = default;
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeInt(int64_t v);
+  static JsonValue MakeUint(uint64_t v);
+  static JsonValue MakeDouble(double v);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray(Array v);
+  static JsonValue MakeObject(Object v);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint ||
+           kind_ == Kind::kDouble;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; calling one on the wrong kind is a programming error
+  /// (callers check kind()/is_*() first — the typed API layer does).
+  bool bool_value() const { return bool_; }
+  const std::string& string_value() const { return string_; }
+  const Array& array() const { return array_; }
+  const Object& object() const { return object_; }
+  Array& mutable_array() { return array_; }
+  Object& mutable_object() { return object_; }
+
+  /// Numeric conversions. AsDouble works for every numeric kind (with the
+  /// usual precision loss for 64-bit extremes); the integer accessors fail
+  /// with InvalidArgument when the value is not exactly representable
+  /// (fractional, out of range, or negative for AsUint64).
+  double AsDouble() const;
+  Result<int64_t> AsInt64() const;
+  Result<uint64_t> AsUint64() const;
+
+  /// Object member lookup; nullptr when absent or this is not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Serializes this value through `writer` (compact form, same escaping
+  /// as the rest of the server's output).
+  void WriteTo(JsonWriter* writer) const;
+
+  /// Compact serialization of this value.
+  std::string Dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one complete JSON document (trailing non-whitespace is an
+/// error). Accepts the full JSON grammar: nested arrays/objects, string
+/// escapes including \uXXXX (UTF-16 surrogate pairs are combined and
+/// re-encoded as UTF-8), and int/uint/double numeric literals. Duplicate
+/// object keys and documents nested deeper than 128 levels are rejected —
+/// a wire-facing parser fails loudly instead of guessing.
+Result<JsonValue> JsonParse(std::string_view text);
 
 }  // namespace coconut
 

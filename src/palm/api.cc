@@ -1,0 +1,2145 @@
+#include "palm/api.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "palm/sharded_index.h"
+#include "series/series.h"
+
+namespace coconut {
+namespace palm {
+namespace api {
+
+// --------------------------------------------------------------- errors
+
+const char* StatusCodeToApiCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kIoError:
+      return "io_error";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kNotSupported:
+      return "not_supported";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+int StatusCodeToHttpStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kAlreadyExists:
+      return 409;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kNotSupported:
+      return 501;
+    case StatusCode::kIoError:
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+namespace {
+
+int ApiCodeToHttpStatus(const std::string& code) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    const StatusCode sc = static_cast<StatusCode>(c);
+    if (code == StatusCodeToApiCode(sc)) return StatusCodeToHttpStatus(sc);
+  }
+  return 500;
+}
+
+// ------------------------------------------- field extraction helpers
+
+Status ExpectObject(const JsonValue& value, const char* what) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": expected a JSON object");
+  }
+  return Status::OK();
+}
+
+/// Strict wire contract: a request naming fields the server does not know
+/// is rejected, not silently half-honored.
+Status RejectUnknown(const JsonValue& obj, const char* what,
+                     std::initializer_list<std::string_view> allowed) {
+  for (const JsonValue::Member& m : obj.object()) {
+    if (std::find(allowed.begin(), allowed.end(), m.first) == allowed.end()) {
+      return Status::InvalidArgument(std::string(what) + ": unknown field '" +
+                                     m.first + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status FieldError(const char* what, const char* key, const char* need) {
+  return Status::InvalidArgument(std::string(what) + ": field '" + key +
+                                 "' " + need);
+}
+
+Status OptString(const JsonValue& obj, const char* key, const char* what,
+                 std::string* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return Status::OK();
+  if (!v->is_string()) return FieldError(what, key, "must be a string");
+  *out = v->string_value();
+  return Status::OK();
+}
+
+Result<std::string> ReqString(const JsonValue& obj, const char* key,
+                              const char* what) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return FieldError(what, key, "is required");
+  if (!v->is_string()) return FieldError(what, key, "must be a string");
+  return v->string_value();
+}
+
+Status OptBool(const JsonValue& obj, const char* key, const char* what,
+               bool* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return Status::OK();
+  if (!v->is_bool()) return FieldError(what, key, "must be a boolean");
+  *out = v->bool_value();
+  return Status::OK();
+}
+
+Status OptUint(const JsonValue& obj, const char* key, const char* what,
+               uint64_t* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return Status::OK();
+  if (!v->is_number()) return FieldError(what, key, "must be a number");
+  Result<uint64_t> r = v->AsUint64();
+  if (!r.ok()) {
+    return FieldError(what, key, "must be a non-negative integer");
+  }
+  *out = r.value();
+  return Status::OK();
+}
+
+Status OptInt(const JsonValue& obj, const char* key, const char* what,
+              int64_t* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return Status::OK();
+  if (!v->is_number()) return FieldError(what, key, "must be a number");
+  Result<int64_t> r = v->AsInt64();
+  if (!r.ok()) return FieldError(what, key, "must be an integer");
+  *out = r.value();
+  return Status::OK();
+}
+
+Status OptDouble(const JsonValue& obj, const char* key, const char* what,
+                 double* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return Status::OK();
+  if (!v->is_number()) return FieldError(what, key, "must be a number");
+  *out = v->AsDouble();
+  return Status::OK();
+}
+
+Result<uint64_t> ReqUint(const JsonValue& obj, const char* key,
+                         const char* what) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return FieldError(what, key, "is required");
+  if (!v->is_number()) return FieldError(what, key, "must be a number");
+  Result<uint64_t> r = v->AsUint64();
+  if (!r.ok()) {
+    return FieldError(what, key, "must be a non-negative integer");
+  }
+  return r.value();
+}
+
+Result<double> ReqDouble(const JsonValue& obj, const char* key,
+                         const char* what) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return FieldError(what, key, "is required");
+  if (!v->is_number()) return FieldError(what, key, "must be a number");
+  return v->AsDouble();
+}
+
+Result<bool> ReqBool(const JsonValue& obj, const char* key,
+                     const char* what) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return FieldError(what, key, "is required");
+  if (!v->is_bool()) return FieldError(what, key, "must be a boolean");
+  return v->bool_value();
+}
+
+/// Shared by register_dataset and ingest_batch: reads "series" (array of
+/// equal-length arrays of numbers) plus optional "series_length" into a
+/// SeriesCollection, rejecting ragged input.
+Result<series::SeriesCollection> ParseSeriesMatrix(const JsonValue& obj,
+                                                   const char* what) {
+  const JsonValue* arr = obj.Find("series");
+  if (arr == nullptr) return FieldError(what, "series", "is required");
+  if (!arr->is_array()) {
+    return FieldError(what, "series", "must be an array of series");
+  }
+  uint64_t length = 0;
+  bool have_length = false;
+  if (const JsonValue* l = obj.Find("series_length"); l != nullptr) {
+    if (!l->is_number() || !l->AsUint64().ok()) {
+      return FieldError(what, "series_length",
+                        "must be a non-negative integer");
+    }
+    length = l->AsUint64().value();
+    have_length = true;
+  }
+  if (!have_length) {
+    if (arr->array().empty()) {
+      return Status::InvalidArgument(
+          std::string(what) +
+          ": empty 'series' requires an explicit 'series_length'");
+    }
+    const JsonValue& first = arr->array().front();
+    if (!first.is_array()) {
+      return FieldError(what, "series", "must contain arrays of numbers");
+    }
+    length = first.array().size();
+  }
+  if (length == 0) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": series length must be positive");
+  }
+  series::SeriesCollection collection(static_cast<size_t>(length));
+  collection.Reserve(arr->array().size());
+  std::vector<float> buf;
+  buf.reserve(static_cast<size_t>(length));
+  for (size_t i = 0; i < arr->array().size(); ++i) {
+    const JsonValue& row = arr->array()[i];
+    if (!row.is_array() || row.array().size() != length) {
+      return Status::InvalidArgument(
+          std::string(what) + ": series " + std::to_string(i) +
+          " does not have the expected length " + std::to_string(length));
+    }
+    buf.clear();
+    for (const JsonValue& v : row.array()) {
+      if (!v.is_number()) {
+        return Status::InvalidArgument(std::string(what) + ": series " +
+                                       std::to_string(i) +
+                                       " contains a non-numeric value");
+      }
+      buf.push_back(static_cast<float>(v.AsDouble()));
+    }
+    collection.Append(buf);
+  }
+  return collection;
+}
+
+void WriteSeriesMatrix(const series::SeriesCollection& collection,
+                       JsonWriter* w) {
+  w->Field("series_length", static_cast<uint64_t>(collection.length()));
+  w->Key("series");
+  w->BeginArray();
+  for (size_t i = 0; i < collection.size(); ++i) {
+    w->BeginArray();
+    for (const float v : collection[i]) w->Double(v);
+    w->EndArray();
+  }
+  w->EndArray();
+}
+
+Result<std::vector<int64_t>> ParseTimestamps(const JsonValue& arr,
+                                             const char* what) {
+  if (!arr.is_array()) {
+    return FieldError(what, "timestamps", "must be an array of integers");
+  }
+  std::vector<int64_t> out;
+  out.reserve(arr.array().size());
+  for (const JsonValue& v : arr.array()) {
+    if (!v.is_number() || !v.AsInt64().ok()) {
+      return FieldError(what, "timestamps", "must contain only integers");
+    }
+    out.push_back(v.AsInt64().value());
+  }
+  return out;
+}
+
+void WriteTimestamps(const std::vector<int64_t>& timestamps, JsonWriter* w) {
+  w->Key("timestamps");
+  w->BeginArray();
+  for (const int64_t t : timestamps) w->Int(t);
+  w->EndArray();
+}
+
+// ----------------------------------------------- enum spellings on wire
+
+const char* FamilyToWire(IndexFamily family) {
+  switch (family) {
+    case IndexFamily::kAds:
+      return "ads";
+    case IndexFamily::kCTree:
+      return "ctree";
+    case IndexFamily::kClsm:
+      return "clsm";
+  }
+  return "ctree";
+}
+
+Result<IndexFamily> FamilyFromWire(const std::string& s, const char* what) {
+  if (s == "ads") return IndexFamily::kAds;
+  if (s == "ctree") return IndexFamily::kCTree;
+  if (s == "clsm") return IndexFamily::kClsm;
+  return Status::InvalidArgument(std::string(what) + ": unknown family '" +
+                                 s + "' (want ads|ctree|clsm)");
+}
+
+const char* ModeToWire(StreamMode mode) {
+  switch (mode) {
+    case StreamMode::kStatic:
+      return "static";
+    case StreamMode::kPP:
+      return "pp";
+    case StreamMode::kTP:
+      return "tp";
+    case StreamMode::kBTP:
+      return "btp";
+  }
+  return "static";
+}
+
+Result<StreamMode> ModeFromWire(const std::string& s, const char* what) {
+  if (s == "static") return StreamMode::kStatic;
+  if (s == "pp") return StreamMode::kPP;
+  if (s == "tp") return StreamMode::kTP;
+  if (s == "btp") return StreamMode::kBTP;
+  return Status::InvalidArgument(std::string(what) + ": unknown mode '" + s +
+                                 "' (want static|pp|tp|btp)");
+}
+
+const char* PolicyToWire(stream::TimestampPolicy policy) {
+  switch (policy) {
+    case stream::TimestampPolicy::kPermissive:
+      return "permissive";
+    case stream::TimestampPolicy::kStrict:
+      return "strict";
+    case stream::TimestampPolicy::kClamp:
+      return "clamp";
+  }
+  return "permissive";
+}
+
+Result<stream::TimestampPolicy> PolicyFromWire(const std::string& s,
+                                               const char* what) {
+  if (s == "permissive") return stream::TimestampPolicy::kPermissive;
+  if (s == "strict") return stream::TimestampPolicy::kStrict;
+  if (s == "clamp") return stream::TimestampPolicy::kClamp;
+  return Status::InvalidArgument(std::string(what) +
+                                 ": unknown timestamp_policy '" + s +
+                                 "' (want permissive|strict|clamp)");
+}
+
+Result<series::SaxConfig> SaxFromJson(const JsonValue& value,
+                                      const char* what) {
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, what));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(
+      value, what, {"series_length", "num_segments", "bits_per_segment"}));
+  series::SaxConfig sax;
+  int64_t v;
+  v = sax.series_length;
+  COCONUT_RETURN_NOT_OK(OptInt(value, "series_length", what, &v));
+  sax.series_length = static_cast<int>(v);
+  v = sax.num_segments;
+  COCONUT_RETURN_NOT_OK(OptInt(value, "num_segments", what, &v));
+  sax.num_segments = static_cast<int>(v);
+  v = sax.bits_per_segment;
+  COCONUT_RETURN_NOT_OK(OptInt(value, "bits_per_segment", what, &v));
+  sax.bits_per_segment = static_cast<int>(v);
+  return sax;
+}
+
+void SaxToJson(const series::SaxConfig& sax, JsonWriter* w) {
+  w->BeginObject();
+  w->Field("series_length", static_cast<int64_t>(sax.series_length));
+  w->Field("num_segments", static_cast<int64_t>(sax.num_segments));
+  w->Field("bits_per_segment", static_cast<int64_t>(sax.bits_per_segment));
+  w->EndObject();
+}
+
+}  // namespace
+
+// ----------------------------------------------------- ApiError members
+
+ApiError ApiError::FromStatus(const Status& status) {
+  ApiError error;
+  error.code = StatusCodeToApiCode(status.code());
+  error.message = status.message();
+  error.http_status = StatusCodeToHttpStatus(status.code());
+  return error;
+}
+
+void ApiError::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("error");
+  w->BeginObject();
+  w->Field("api_version", static_cast<int64_t>(kApiVersion));
+  w->Field("code", code);
+  w->Field("message", message);
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string ApiError::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<ApiError> ApiError::FromJson(const JsonValue& value) {
+  static constexpr const char* kWhat = "error";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  const JsonValue* inner = value.Find("error");
+  if (inner == nullptr) {
+    return Status::InvalidArgument("error: missing 'error' wrapper");
+  }
+  COCONUT_RETURN_NOT_OK(ExpectObject(*inner, kWhat));
+  COCONUT_RETURN_NOT_OK(
+      RejectUnknown(*inner, kWhat, {"api_version", "code", "message"}));
+  ApiError error;
+  COCONUT_ASSIGN_OR_RETURN(const uint64_t version,
+                           ReqUint(*inner, "api_version", kWhat));
+  if (version != static_cast<uint64_t>(kApiVersion)) {
+    return Status::InvalidArgument("error: unsupported api_version " +
+                                   std::to_string(version));
+  }
+  COCONUT_ASSIGN_OR_RETURN(error.code, ReqString(*inner, "code", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(error.message, ReqString(*inner, "message", kWhat));
+  error.http_status = ApiCodeToHttpStatus(error.code);
+  return error;
+}
+
+// ----------------------------------------------------- shared fragments
+
+Result<VariantSpec> VariantSpecFromJson(const JsonValue& value) {
+  static constexpr const char* kWhat = "spec";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(
+      value, kWhat,
+      {"family", "materialized", "mode", "sax", "fill_factor",
+       "growth_factor", "buffer_entries", "memory_budget_bytes",
+       "construction_threads", "ads_leaf_capacity", "btp_merge_k",
+       "num_shards", "shard_build_threads", "shard_query_threads",
+       "timestamp_policy", "async_ingest"}));
+  VariantSpec spec;
+  std::string s;
+  COCONUT_RETURN_NOT_OK(OptString(value, "family", kWhat, &s));
+  if (!s.empty()) {
+    COCONUT_ASSIGN_OR_RETURN(spec.family, FamilyFromWire(s, kWhat));
+  }
+  COCONUT_RETURN_NOT_OK(
+      OptBool(value, "materialized", kWhat, &spec.materialized));
+  s.clear();
+  COCONUT_RETURN_NOT_OK(OptString(value, "mode", kWhat, &s));
+  if (!s.empty()) {
+    COCONUT_ASSIGN_OR_RETURN(spec.mode, ModeFromWire(s, kWhat));
+  }
+  if (const JsonValue* sax = value.Find("sax"); sax != nullptr) {
+    COCONUT_ASSIGN_OR_RETURN(spec.sax, SaxFromJson(*sax, "spec.sax"));
+  }
+  COCONUT_RETURN_NOT_OK(
+      OptDouble(value, "fill_factor", kWhat, &spec.fill_factor));
+  int64_t i = spec.growth_factor;
+  COCONUT_RETURN_NOT_OK(OptInt(value, "growth_factor", kWhat, &i));
+  spec.growth_factor = static_cast<int>(i);
+  uint64_t u = spec.buffer_entries;
+  COCONUT_RETURN_NOT_OK(OptUint(value, "buffer_entries", kWhat, &u));
+  spec.buffer_entries = static_cast<size_t>(u);
+  u = spec.memory_budget_bytes;
+  COCONUT_RETURN_NOT_OK(OptUint(value, "memory_budget_bytes", kWhat, &u));
+  spec.memory_budget_bytes = static_cast<size_t>(u);
+  u = spec.construction_threads;
+  COCONUT_RETURN_NOT_OK(OptUint(value, "construction_threads", kWhat, &u));
+  spec.construction_threads = static_cast<size_t>(u);
+  u = spec.ads_leaf_capacity;
+  COCONUT_RETURN_NOT_OK(OptUint(value, "ads_leaf_capacity", kWhat, &u));
+  spec.ads_leaf_capacity = static_cast<size_t>(u);
+  i = spec.btp_merge_k;
+  COCONUT_RETURN_NOT_OK(OptInt(value, "btp_merge_k", kWhat, &i));
+  spec.btp_merge_k = static_cast<int>(i);
+  u = spec.num_shards;
+  COCONUT_RETURN_NOT_OK(OptUint(value, "num_shards", kWhat, &u));
+  spec.num_shards = static_cast<size_t>(u);
+  u = spec.shard_build_threads;
+  COCONUT_RETURN_NOT_OK(OptUint(value, "shard_build_threads", kWhat, &u));
+  spec.shard_build_threads = static_cast<size_t>(u);
+  u = spec.shard_query_threads;
+  COCONUT_RETURN_NOT_OK(OptUint(value, "shard_query_threads", kWhat, &u));
+  spec.shard_query_threads = static_cast<size_t>(u);
+  s.clear();
+  COCONUT_RETURN_NOT_OK(OptString(value, "timestamp_policy", kWhat, &s));
+  if (!s.empty()) {
+    COCONUT_ASSIGN_OR_RETURN(spec.timestamp_policy, PolicyFromWire(s, kWhat));
+  }
+  COCONUT_RETURN_NOT_OK(
+      OptBool(value, "async_ingest", kWhat, &spec.async_ingest));
+  return spec;
+}
+
+void VariantSpecToJson(const VariantSpec& spec, JsonWriter* w) {
+  w->BeginObject();
+  w->Field("family", std::string(FamilyToWire(spec.family)));
+  w->Field("materialized", spec.materialized);
+  w->Field("mode", std::string(ModeToWire(spec.mode)));
+  w->Key("sax");
+  SaxToJson(spec.sax, w);
+  w->Field("fill_factor", spec.fill_factor);
+  w->Field("growth_factor", static_cast<int64_t>(spec.growth_factor));
+  w->Field("buffer_entries", static_cast<uint64_t>(spec.buffer_entries));
+  w->Field("memory_budget_bytes",
+           static_cast<uint64_t>(spec.memory_budget_bytes));
+  w->Field("construction_threads",
+           static_cast<uint64_t>(spec.construction_threads));
+  w->Field("ads_leaf_capacity",
+           static_cast<uint64_t>(spec.ads_leaf_capacity));
+  w->Field("btp_merge_k", static_cast<int64_t>(spec.btp_merge_k));
+  w->Field("num_shards", static_cast<uint64_t>(spec.num_shards));
+  w->Field("shard_build_threads",
+           static_cast<uint64_t>(spec.shard_build_threads));
+  w->Field("shard_query_threads",
+           static_cast<uint64_t>(spec.shard_query_threads));
+  w->Field("timestamp_policy",
+           std::string(PolicyToWire(spec.timestamp_policy)));
+  w->Field("async_ingest", spec.async_ingest);
+  w->EndObject();
+}
+
+void IoStatsToJson(const storage::IoStats& io, JsonWriter* w) {
+  w->BeginObject();
+  w->Field("sequential_reads", io.sequential_reads);
+  w->Field("random_reads", io.random_reads);
+  w->Field("sequential_writes", io.sequential_writes);
+  w->Field("random_writes", io.random_writes);
+  w->Field("bytes_read", io.bytes_read);
+  w->Field("bytes_written", io.bytes_written);
+  w->EndObject();
+}
+
+Result<storage::IoStats> IoStatsFromJson(const JsonValue& value) {
+  static constexpr const char* kWhat = "io";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(
+      value, kWhat,
+      {"sequential_reads", "random_reads", "sequential_writes",
+       "random_writes", "bytes_read", "bytes_written"}));
+  storage::IoStats io;
+  COCONUT_ASSIGN_OR_RETURN(io.sequential_reads,
+                           ReqUint(value, "sequential_reads", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(io.random_reads,
+                           ReqUint(value, "random_reads", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(io.sequential_writes,
+                           ReqUint(value, "sequential_writes", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(io.random_writes,
+                           ReqUint(value, "random_writes", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(io.bytes_read, ReqUint(value, "bytes_read", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(io.bytes_written,
+                           ReqUint(value, "bytes_written", kWhat));
+  return io;
+}
+
+void QueryCountersToJson(const core::QueryCounters& counters, JsonWriter* w) {
+  w->BeginObject();
+  w->Field("leaves_visited", counters.leaves_visited);
+  w->Field("leaves_pruned", counters.leaves_pruned);
+  w->Field("entries_examined", counters.entries_examined);
+  w->Field("raw_fetches", counters.raw_fetches);
+  w->Field("partitions_visited", counters.partitions_visited);
+  w->Field("partitions_skipped", counters.partitions_skipped);
+  w->EndObject();
+}
+
+Result<core::QueryCounters> QueryCountersFromJson(const JsonValue& value) {
+  static constexpr const char* kWhat = "counters";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(
+      value, kWhat,
+      {"leaves_visited", "leaves_pruned", "entries_examined", "raw_fetches",
+       "partitions_visited", "partitions_skipped"}));
+  core::QueryCounters counters;
+  COCONUT_ASSIGN_OR_RETURN(counters.leaves_visited,
+                           ReqUint(value, "leaves_visited", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(counters.leaves_pruned,
+                           ReqUint(value, "leaves_pruned", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(counters.entries_examined,
+                           ReqUint(value, "entries_examined", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(counters.raw_fetches,
+                           ReqUint(value, "raw_fetches", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(counters.partitions_visited,
+                           ReqUint(value, "partitions_visited", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(counters.partitions_skipped,
+                           ReqUint(value, "partitions_skipped", kWhat));
+  return counters;
+}
+
+Result<HeatMap> HeatMapFromJson(const JsonValue& value) {
+  static constexpr const char* kWhat = "heatmap";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(
+      value, kWhat,
+      {"time_bins", "location_bins", "total_events", "distinct_pages",
+       "distinct_files", "max_count", "cells"}));
+  HeatMap map;
+  uint64_t u;
+  COCONUT_ASSIGN_OR_RETURN(u, ReqUint(value, "time_bins", kWhat));
+  map.time_bins = static_cast<size_t>(u);
+  COCONUT_ASSIGN_OR_RETURN(u, ReqUint(value, "location_bins", kWhat));
+  map.location_bins = static_cast<size_t>(u);
+  COCONUT_ASSIGN_OR_RETURN(map.total_events,
+                           ReqUint(value, "total_events", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(map.distinct_pages,
+                           ReqUint(value, "distinct_pages", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(map.distinct_files,
+                           ReqUint(value, "distinct_files", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(u, ReqUint(value, "max_count", kWhat));
+  map.max_count = static_cast<uint32_t>(u);
+  const JsonValue* cells = value.Find("cells");
+  if (cells == nullptr || !cells->is_array() ||
+      cells->array().size() != map.time_bins) {
+    return Status::InvalidArgument(
+        "heatmap: 'cells' must be an array of time_bins rows");
+  }
+  map.counts.reserve(map.time_bins * map.location_bins);
+  for (const JsonValue& row : cells->array()) {
+    if (!row.is_array() || row.array().size() != map.location_bins) {
+      return Status::InvalidArgument(
+          "heatmap: each cells row must have location_bins entries");
+    }
+    for (const JsonValue& cell : row.array()) {
+      if (!cell.is_number() || !cell.AsUint64().ok()) {
+        return Status::InvalidArgument("heatmap: cells must be counts");
+      }
+      map.counts.push_back(static_cast<uint32_t>(cell.AsUint64().value()));
+    }
+  }
+  return map;
+}
+
+// ------------------------------------------------------------- requests
+
+Result<RegisterDatasetRequest> RegisterDatasetRequest::FromJson(
+    const JsonValue& value) {
+  static constexpr const char* kWhat = "register_dataset";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(
+      value, kWhat, {"name", "series", "series_length", "timestamps"}));
+  RegisterDatasetRequest request;
+  COCONUT_ASSIGN_OR_RETURN(request.name, ReqString(value, "name", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(request.data, ParseSeriesMatrix(value, kWhat));
+  if (const JsonValue* ts = value.Find("timestamps"); ts != nullptr) {
+    COCONUT_ASSIGN_OR_RETURN(std::vector<int64_t> parsed,
+                             ParseTimestamps(*ts, kWhat));
+    request.timestamps = std::move(parsed);
+  }
+  return request;
+}
+
+void RegisterDatasetRequest::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("name", name);
+  WriteSeriesMatrix(data, w);
+  if (timestamps.has_value()) WriteTimestamps(*timestamps, w);
+  w->EndObject();
+}
+
+std::string RegisterDatasetRequest::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<RegisterDatasetResponse> RegisterDatasetResponse::FromJson(
+    const JsonValue& value) {
+  static constexpr const char* kWhat = "register_dataset response";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(
+      RejectUnknown(value, kWhat, {"dataset", "series", "series_length"}));
+  RegisterDatasetResponse response;
+  COCONUT_ASSIGN_OR_RETURN(response.dataset,
+                           ReqString(value, "dataset", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.series, ReqUint(value, "series", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.series_length,
+                           ReqUint(value, "series_length", kWhat));
+  return response;
+}
+
+void RegisterDatasetResponse::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("dataset", dataset);
+  w->Field("series", series);
+  w->Field("series_length", series_length);
+  w->EndObject();
+}
+
+std::string RegisterDatasetResponse::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<BuildIndexRequest> BuildIndexRequest::FromJson(const JsonValue& value) {
+  static constexpr const char* kWhat = "build_index";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(
+      RejectUnknown(value, kWhat, {"index", "dataset", "spec"}));
+  BuildIndexRequest request;
+  COCONUT_ASSIGN_OR_RETURN(request.index, ReqString(value, "index", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(request.dataset,
+                           ReqString(value, "dataset", kWhat));
+  const JsonValue* spec = value.Find("spec");
+  if (spec == nullptr) return FieldError(kWhat, "spec", "is required");
+  COCONUT_ASSIGN_OR_RETURN(request.spec, VariantSpecFromJson(*spec));
+  return request;
+}
+
+void BuildIndexRequest::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("index", index);
+  w->Field("dataset", dataset);
+  w->Key("spec");
+  VariantSpecToJson(spec, w);
+  w->EndObject();
+}
+
+std::string BuildIndexRequest::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<BuildIndexReport> BuildIndexReport::FromJson(const JsonValue& value) {
+  static constexpr const char* kWhat = "build report";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(
+      value, kWhat,
+      {"index", "variant", "dataset", "shards", "entries", "build_seconds",
+       "index_bytes", "total_bytes", "io"}));
+  BuildIndexReport report;
+  COCONUT_ASSIGN_OR_RETURN(report.index, ReqString(value, "index", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.variant, ReqString(value, "variant", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.dataset, ReqString(value, "dataset", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.shards, ReqUint(value, "shards", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.entries, ReqUint(value, "entries", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.build_seconds,
+                           ReqDouble(value, "build_seconds", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.index_bytes,
+                           ReqUint(value, "index_bytes", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.total_bytes,
+                           ReqUint(value, "total_bytes", kWhat));
+  const JsonValue* io = value.Find("io");
+  if (io == nullptr) return FieldError(kWhat, "io", "is required");
+  COCONUT_ASSIGN_OR_RETURN(report.io, IoStatsFromJson(*io));
+  return report;
+}
+
+void BuildIndexReport::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("index", index);
+  w->Field("variant", variant);
+  w->Field("dataset", dataset);
+  w->Field("shards", shards);
+  w->Field("entries", entries);
+  w->Field("build_seconds", build_seconds);
+  w->Field("index_bytes", index_bytes);
+  w->Field("total_bytes", total_bytes);
+  w->Key("io");
+  IoStatsToJson(io, w);
+  w->EndObject();
+}
+
+std::string BuildIndexReport::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<CreateStreamRequest> CreateStreamRequest::FromJson(
+    const JsonValue& value) {
+  static constexpr const char* kWhat = "create_stream";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(value, kWhat, {"stream", "spec"}));
+  CreateStreamRequest request;
+  COCONUT_ASSIGN_OR_RETURN(request.stream, ReqString(value, "stream", kWhat));
+  const JsonValue* spec = value.Find("spec");
+  if (spec == nullptr) return FieldError(kWhat, "spec", "is required");
+  COCONUT_ASSIGN_OR_RETURN(request.spec, VariantSpecFromJson(*spec));
+  return request;
+}
+
+void CreateStreamRequest::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("stream", stream);
+  w->Key("spec");
+  VariantSpecToJson(spec, w);
+  w->EndObject();
+}
+
+std::string CreateStreamRequest::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<CreateStreamResponse> CreateStreamResponse::FromJson(
+    const JsonValue& value) {
+  static constexpr const char* kWhat = "create_stream response";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(value, kWhat, {"stream", "variant"}));
+  CreateStreamResponse response;
+  COCONUT_ASSIGN_OR_RETURN(response.stream, ReqString(value, "stream", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.variant,
+                           ReqString(value, "variant", kWhat));
+  return response;
+}
+
+void CreateStreamResponse::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("stream", stream);
+  w->Field("variant", variant);
+  w->EndObject();
+}
+
+std::string CreateStreamResponse::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<IngestBatchRequest> IngestBatchRequest::FromJson(
+    const JsonValue& value) {
+  static constexpr const char* kWhat = "ingest_batch";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(
+      value, kWhat, {"stream", "series", "series_length", "timestamps"}));
+  IngestBatchRequest request;
+  COCONUT_ASSIGN_OR_RETURN(request.stream, ReqString(value, "stream", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(request.batch, ParseSeriesMatrix(value, kWhat));
+  const JsonValue* ts = value.Find("timestamps");
+  if (ts == nullptr) return FieldError(kWhat, "timestamps", "is required");
+  COCONUT_ASSIGN_OR_RETURN(request.timestamps, ParseTimestamps(*ts, kWhat));
+  return request;
+}
+
+void IngestBatchRequest::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("stream", stream);
+  WriteSeriesMatrix(batch, w);
+  WriteTimestamps(timestamps, w);
+  w->EndObject();
+}
+
+std::string IngestBatchRequest::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<IngestBatchReport> IngestBatchReport::FromJson(const JsonValue& value) {
+  static constexpr const char* kWhat = "ingest report";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(
+      value, kWhat,
+      {"stream", "ingested", "total_entries", "partitions", "buffered",
+       "pending_tasks", "seals_completed", "merges_completed", "seconds",
+       "io"}));
+  IngestBatchReport report;
+  COCONUT_ASSIGN_OR_RETURN(report.stream, ReqString(value, "stream", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.ingested,
+                           ReqUint(value, "ingested", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.total_entries,
+                           ReqUint(value, "total_entries", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.partitions,
+                           ReqUint(value, "partitions", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.buffered,
+                           ReqUint(value, "buffered", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.pending_tasks,
+                           ReqUint(value, "pending_tasks", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.seals_completed,
+                           ReqUint(value, "seals_completed", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.merges_completed,
+                           ReqUint(value, "merges_completed", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.seconds,
+                           ReqDouble(value, "seconds", kWhat));
+  const JsonValue* io = value.Find("io");
+  if (io == nullptr) return FieldError(kWhat, "io", "is required");
+  COCONUT_ASSIGN_OR_RETURN(report.io, IoStatsFromJson(*io));
+  return report;
+}
+
+void IngestBatchReport::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("stream", stream);
+  w->Field("ingested", ingested);
+  w->Field("total_entries", total_entries);
+  w->Field("partitions", partitions);
+  w->Field("buffered", buffered);
+  w->Field("pending_tasks", pending_tasks);
+  w->Field("seals_completed", seals_completed);
+  w->Field("merges_completed", merges_completed);
+  w->Field("seconds", seconds);
+  w->Key("io");
+  IoStatsToJson(io, w);
+  w->EndObject();
+}
+
+std::string IngestBatchReport::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<DrainStreamRequest> DrainStreamRequest::FromJson(
+    const JsonValue& value) {
+  static constexpr const char* kWhat = "drain_stream";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(value, kWhat, {"stream"}));
+  DrainStreamRequest request;
+  COCONUT_ASSIGN_OR_RETURN(request.stream, ReqString(value, "stream", kWhat));
+  return request;
+}
+
+void DrainStreamRequest::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("stream", stream);
+  w->EndObject();
+}
+
+std::string DrainStreamRequest::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<DrainStreamReport> DrainStreamReport::FromJson(const JsonValue& value) {
+  static constexpr const char* kWhat = "drain report";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(
+      value, kWhat,
+      {"stream", "drained", "drain_seconds", "total_entries", "partitions",
+       "buffered", "pending_tasks", "seals_completed", "merges_completed",
+       "index_bytes", "total_bytes"}));
+  DrainStreamReport report;
+  COCONUT_ASSIGN_OR_RETURN(report.stream, ReqString(value, "stream", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.drained, ReqBool(value, "drained", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.drain_seconds,
+                           ReqDouble(value, "drain_seconds", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.total_entries,
+                           ReqUint(value, "total_entries", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.partitions,
+                           ReqUint(value, "partitions", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.buffered,
+                           ReqUint(value, "buffered", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.pending_tasks,
+                           ReqUint(value, "pending_tasks", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.seals_completed,
+                           ReqUint(value, "seals_completed", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.merges_completed,
+                           ReqUint(value, "merges_completed", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.index_bytes,
+                           ReqUint(value, "index_bytes", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.total_bytes,
+                           ReqUint(value, "total_bytes", kWhat));
+  return report;
+}
+
+void DrainStreamReport::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("stream", stream);
+  w->Field("drained", drained);
+  w->Field("drain_seconds", drain_seconds);
+  w->Field("total_entries", total_entries);
+  w->Field("partitions", partitions);
+  w->Field("buffered", buffered);
+  w->Field("pending_tasks", pending_tasks);
+  w->Field("seals_completed", seals_completed);
+  w->Field("merges_completed", merges_completed);
+  w->Field("index_bytes", index_bytes);
+  w->Field("total_bytes", total_bytes);
+  w->EndObject();
+}
+
+std::string DrainStreamReport::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<QueryRequest> QueryRequest::FromJson(const JsonValue& value) {
+  static constexpr const char* kWhat = "query";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(
+      value, kWhat,
+      {"index", "query", "exact", "window", "approx_candidates",
+       "capture_heatmap", "heatmap_time_bins", "heatmap_location_bins"}));
+  QueryRequest request;
+  COCONUT_ASSIGN_OR_RETURN(request.index, ReqString(value, "index", kWhat));
+  const JsonValue* q = value.Find("query");
+  if (q == nullptr) return FieldError(kWhat, "query", "is required");
+  if (!q->is_array()) {
+    return FieldError(kWhat, "query", "must be an array of numbers");
+  }
+  request.query.reserve(q->array().size());
+  for (const JsonValue& v : q->array()) {
+    if (!v.is_number()) {
+      return FieldError(kWhat, "query", "must contain only numbers");
+    }
+    request.query.push_back(static_cast<float>(v.AsDouble()));
+  }
+  COCONUT_RETURN_NOT_OK(OptBool(value, "exact", kWhat, &request.exact));
+  if (const JsonValue* win = value.Find("window"); win != nullptr) {
+    COCONUT_RETURN_NOT_OK(ExpectObject(*win, "query.window"));
+    COCONUT_RETURN_NOT_OK(
+        RejectUnknown(*win, "query.window", {"begin", "end"}));
+    core::TimeWindow window;
+    COCONUT_RETURN_NOT_OK(
+        OptInt(*win, "begin", "query.window", &window.begin));
+    COCONUT_RETURN_NOT_OK(OptInt(*win, "end", "query.window", &window.end));
+    request.window = window;
+  }
+  int64_t candidates = request.approx_candidates;
+  COCONUT_RETURN_NOT_OK(
+      OptInt(value, "approx_candidates", kWhat, &candidates));
+  request.approx_candidates = static_cast<int>(candidates);
+  COCONUT_RETURN_NOT_OK(
+      OptBool(value, "capture_heatmap", kWhat, &request.capture_heatmap));
+  uint64_t bins = request.heatmap_time_bins;
+  COCONUT_RETURN_NOT_OK(OptUint(value, "heatmap_time_bins", kWhat, &bins));
+  request.heatmap_time_bins = static_cast<size_t>(bins);
+  bins = request.heatmap_location_bins;
+  COCONUT_RETURN_NOT_OK(
+      OptUint(value, "heatmap_location_bins", kWhat, &bins));
+  request.heatmap_location_bins = static_cast<size_t>(bins);
+  return request;
+}
+
+void QueryRequest::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("index", index);
+  w->Key("query");
+  w->BeginArray();
+  for (const float v : query) w->Double(v);
+  w->EndArray();
+  w->Field("exact", exact);
+  if (window.has_value()) {
+    w->Key("window");
+    w->BeginObject();
+    w->Field("begin", window->begin);
+    w->Field("end", window->end);
+    w->EndObject();
+  }
+  w->Field("approx_candidates", static_cast<int64_t>(approx_candidates));
+  w->Field("capture_heatmap", capture_heatmap);
+  w->Field("heatmap_time_bins", static_cast<uint64_t>(heatmap_time_bins));
+  w->Field("heatmap_location_bins",
+           static_cast<uint64_t>(heatmap_location_bins));
+  w->EndObject();
+}
+
+std::string QueryRequest::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<QueryReport> QueryReport::FromJson(const JsonValue& value) {
+  static constexpr const char* kWhat = "query report";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(
+      value, kWhat,
+      {"index", "exact", "found", "series_id", "distance", "timestamp",
+       "seconds", "io", "counters", "access_locality", "heatmap"}));
+  QueryReport report;
+  COCONUT_ASSIGN_OR_RETURN(report.index, ReqString(value, "index", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.exact, ReqBool(value, "exact", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.found, ReqBool(value, "found", kWhat));
+  if (report.found) {
+    COCONUT_ASSIGN_OR_RETURN(report.series_id,
+                             ReqUint(value, "series_id", kWhat));
+    COCONUT_ASSIGN_OR_RETURN(report.distance,
+                             ReqDouble(value, "distance", kWhat));
+    int64_t ts = 0;
+    COCONUT_RETURN_NOT_OK(OptInt(value, "timestamp", kWhat, &ts));
+    report.timestamp = ts;
+  }
+  COCONUT_ASSIGN_OR_RETURN(report.seconds, ReqDouble(value, "seconds", kWhat));
+  const JsonValue* io = value.Find("io");
+  if (io == nullptr) return FieldError(kWhat, "io", "is required");
+  COCONUT_ASSIGN_OR_RETURN(report.io, IoStatsFromJson(*io));
+  const JsonValue* counters = value.Find("counters");
+  if (counters == nullptr) return FieldError(kWhat, "counters", "is required");
+  COCONUT_ASSIGN_OR_RETURN(report.counters, QueryCountersFromJson(*counters));
+  if (const JsonValue* map = value.Find("heatmap"); map != nullptr) {
+    report.has_heatmap = true;
+    COCONUT_ASSIGN_OR_RETURN(report.access_locality,
+                             ReqDouble(value, "access_locality", kWhat));
+    COCONUT_ASSIGN_OR_RETURN(report.heatmap, HeatMapFromJson(*map));
+  }
+  return report;
+}
+
+void QueryReport::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("index", index);
+  w->Field("exact", exact);
+  w->Field("found", found);
+  if (found) {
+    w->Field("series_id", series_id);
+    w->Field("distance", distance);
+    w->Field("timestamp", timestamp);
+  }
+  w->Field("seconds", seconds);
+  w->Key("io");
+  IoStatsToJson(io, w);
+  w->Key("counters");
+  QueryCountersToJson(counters, w);
+  if (has_heatmap) {
+    w->Field("access_locality", access_locality);
+    w->Key("heatmap");
+    HeatMapToJson(heatmap, w);
+  }
+  w->EndObject();
+}
+
+std::string QueryReport::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<QueryBatchRequest> QueryBatchRequest::FromJson(const JsonValue& value) {
+  static constexpr const char* kWhat = "query_batch";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(value, kWhat, {"queries", "threads"}));
+  QueryBatchRequest request;
+  const JsonValue* queries = value.Find("queries");
+  if (queries == nullptr) return FieldError(kWhat, "queries", "is required");
+  if (!queries->is_array()) {
+    return FieldError(kWhat, "queries", "must be an array");
+  }
+  request.queries.reserve(queries->array().size());
+  for (const JsonValue& q : queries->array()) {
+    COCONUT_ASSIGN_OR_RETURN(QueryRequest parsed, QueryRequest::FromJson(q));
+    request.queries.push_back(std::move(parsed));
+  }
+  COCONUT_RETURN_NOT_OK(OptUint(value, "threads", kWhat, &request.threads));
+  return request;
+}
+
+void QueryBatchRequest::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("queries");
+  w->BeginArray();
+  for (const QueryRequest& q : queries) q.ToJson(w);
+  w->EndArray();
+  w->Field("threads", threads);
+  w->EndObject();
+}
+
+std::string QueryBatchRequest::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<QueryBatchResponse> QueryBatchResponse::FromJson(
+    const JsonValue& value) {
+  static constexpr const char* kWhat = "query_batch response";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(value, kWhat, {"results"}));
+  const JsonValue* results = value.Find("results");
+  if (results == nullptr) return FieldError(kWhat, "results", "is required");
+  if (!results->is_array()) {
+    return FieldError(kWhat, "results", "must be an array");
+  }
+  QueryBatchResponse response;
+  response.results.reserve(results->array().size());
+  for (const JsonValue& entry : results->array()) {
+    Entry parsed;
+    if (entry.is_object() && entry.Find("error") != nullptr) {
+      parsed.ok = false;
+      COCONUT_ASSIGN_OR_RETURN(parsed.error, ApiError::FromJson(entry));
+    } else {
+      parsed.ok = true;
+      COCONUT_ASSIGN_OR_RETURN(parsed.report, QueryReport::FromJson(entry));
+    }
+    response.results.push_back(std::move(parsed));
+  }
+  return response;
+}
+
+void QueryBatchResponse::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("results");
+  w->BeginArray();
+  for (const Entry& entry : results) {
+    if (entry.ok) {
+      entry.report.ToJson(w);
+    } else {
+      entry.error.ToJson(w);
+    }
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+std::string QueryBatchResponse::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<RecommendRequest> RecommendRequest::FromJson(const JsonValue& value) {
+  static constexpr const char* kWhat = "recommend";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(
+      value, kWhat,
+      {"streaming", "dataset_size", "sax", "expected_queries", "update_ratio",
+       "memory_budget_bytes", "window_queries", "typical_window_fraction",
+       "storage_constrained"}));
+  RecommendRequest request;
+  Scenario& s = request.scenario;
+  COCONUT_RETURN_NOT_OK(OptBool(value, "streaming", kWhat, &s.streaming));
+  COCONUT_RETURN_NOT_OK(
+      OptUint(value, "dataset_size", kWhat, &s.dataset_size));
+  if (const JsonValue* sax = value.Find("sax"); sax != nullptr) {
+    COCONUT_ASSIGN_OR_RETURN(s.sax, SaxFromJson(*sax, "recommend.sax"));
+  }
+  COCONUT_RETURN_NOT_OK(
+      OptUint(value, "expected_queries", kWhat, &s.expected_queries));
+  COCONUT_RETURN_NOT_OK(
+      OptDouble(value, "update_ratio", kWhat, &s.update_ratio));
+  COCONUT_RETURN_NOT_OK(
+      OptUint(value, "memory_budget_bytes", kWhat, &s.memory_budget_bytes));
+  COCONUT_RETURN_NOT_OK(
+      OptBool(value, "window_queries", kWhat, &s.window_queries));
+  COCONUT_RETURN_NOT_OK(OptDouble(value, "typical_window_fraction", kWhat,
+                                  &s.typical_window_fraction));
+  COCONUT_RETURN_NOT_OK(
+      OptBool(value, "storage_constrained", kWhat, &s.storage_constrained));
+  return request;
+}
+
+void RecommendRequest::ToJson(JsonWriter* w) const {
+  const Scenario& s = scenario;
+  w->BeginObject();
+  w->Field("streaming", s.streaming);
+  w->Field("dataset_size", s.dataset_size);
+  w->Key("sax");
+  SaxToJson(s.sax, w);
+  w->Field("expected_queries", s.expected_queries);
+  w->Field("update_ratio", s.update_ratio);
+  w->Field("memory_budget_bytes", s.memory_budget_bytes);
+  w->Field("window_queries", s.window_queries);
+  w->Field("typical_window_fraction", s.typical_window_fraction);
+  w->Field("storage_constrained", s.storage_constrained);
+  w->EndObject();
+}
+
+std::string RecommendRequest::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<RecommendResponse> RecommendResponse::FromJson(const JsonValue& value) {
+  static constexpr const char* kWhat = "recommend response";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(
+      RejectUnknown(value, kWhat, {"variant", "spec", "rationale"}));
+  RecommendResponse response;
+  COCONUT_ASSIGN_OR_RETURN(response.variant,
+                           ReqString(value, "variant", kWhat));
+  const JsonValue* spec = value.Find("spec");
+  if (spec == nullptr) return FieldError(kWhat, "spec", "is required");
+  COCONUT_RETURN_NOT_OK(ExpectObject(*spec, "recommend.spec"));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(
+      *spec, "recommend.spec",
+      {"materialized", "fill_factor", "growth_factor", "buffer_entries"}));
+  COCONUT_ASSIGN_OR_RETURN(
+      response.materialized,
+      ReqBool(*spec, "materialized", "recommend.spec"));
+  COCONUT_ASSIGN_OR_RETURN(
+      response.fill_factor,
+      ReqDouble(*spec, "fill_factor", "recommend.spec"));
+  COCONUT_RETURN_NOT_OK(
+      OptInt(*spec, "growth_factor", "recommend.spec",
+             &response.growth_factor));
+  COCONUT_RETURN_NOT_OK(
+      OptUint(*spec, "buffer_entries", "recommend.spec",
+              &response.buffer_entries));
+  const JsonValue* rationale = value.Find("rationale");
+  if (rationale == nullptr || !rationale->is_array()) {
+    return FieldError(kWhat, "rationale", "must be an array of strings");
+  }
+  for (const JsonValue& reason : rationale->array()) {
+    if (!reason.is_string()) {
+      return FieldError(kWhat, "rationale", "must contain only strings");
+    }
+    response.rationale.push_back(reason.string_value());
+  }
+  return response;
+}
+
+void RecommendResponse::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("variant", variant);
+  w->Key("spec");
+  w->BeginObject();
+  w->Field("materialized", materialized);
+  w->Field("fill_factor", fill_factor);
+  w->Field("growth_factor", growth_factor);
+  w->Field("buffer_entries", buffer_entries);
+  w->EndObject();
+  w->Key("rationale");
+  w->BeginArray();
+  for (const std::string& reason : rationale) w->String(reason);
+  w->EndArray();
+  w->EndObject();
+}
+
+std::string RecommendResponse::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<ListIndexesResponse> ListIndexesResponse::FromJson(
+    const JsonValue& value) {
+  static constexpr const char* kWhat = "list_indexes response";
+  if (!value.is_array()) {
+    return Status::InvalidArgument(std::string(kWhat) +
+                                   ": expected a JSON array");
+  }
+  ListIndexesResponse response;
+  response.indexes.reserve(value.array().size());
+  for (const JsonValue& entry : value.array()) {
+    COCONUT_RETURN_NOT_OK(ExpectObject(entry, kWhat));
+    COCONUT_RETURN_NOT_OK(RejectUnknown(
+        entry, kWhat,
+        {"name", "variant", "streaming", "shards", "entries",
+         "total_bytes"}));
+    IndexInfo info;
+    COCONUT_ASSIGN_OR_RETURN(info.name, ReqString(entry, "name", kWhat));
+    COCONUT_ASSIGN_OR_RETURN(info.variant,
+                             ReqString(entry, "variant", kWhat));
+    COCONUT_ASSIGN_OR_RETURN(info.streaming,
+                             ReqBool(entry, "streaming", kWhat));
+    COCONUT_ASSIGN_OR_RETURN(info.shards, ReqUint(entry, "shards", kWhat));
+    COCONUT_ASSIGN_OR_RETURN(info.entries, ReqUint(entry, "entries", kWhat));
+    COCONUT_ASSIGN_OR_RETURN(info.total_bytes,
+                             ReqUint(entry, "total_bytes", kWhat));
+    response.indexes.push_back(std::move(info));
+  }
+  return response;
+}
+
+void ListIndexesResponse::ToJson(JsonWriter* w) const {
+  w->BeginArray();
+  for (const IndexInfo& info : indexes) {
+    w->BeginObject();
+    w->Field("name", info.name);
+    w->Field("variant", info.variant);
+    w->Field("streaming", info.streaming);
+    w->Field("shards", info.shards);
+    w->Field("entries", info.entries);
+    w->Field("total_bytes", info.total_bytes);
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+std::string ListIndexesResponse::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<DropIndexRequest> DropIndexRequest::FromJson(const JsonValue& value) {
+  static constexpr const char* kWhat = "drop_index";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(value, kWhat, {"index"}));
+  DropIndexRequest request;
+  COCONUT_ASSIGN_OR_RETURN(request.index, ReqString(value, "index", kWhat));
+  return request;
+}
+
+void DropIndexRequest::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("index", index);
+  w->EndObject();
+}
+
+std::string DropIndexRequest::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<DropIndexResponse> DropIndexResponse::FromJson(const JsonValue& value) {
+  static constexpr const char* kWhat = "drop_index response";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(
+      value, kWhat,
+      {"index", "dropped", "streaming", "entries", "reclaimed_bytes"}));
+  DropIndexResponse response;
+  COCONUT_ASSIGN_OR_RETURN(response.index, ReqString(value, "index", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.dropped,
+                           ReqBool(value, "dropped", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.streaming,
+                           ReqBool(value, "streaming", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.entries, ReqUint(value, "entries", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.reclaimed_bytes,
+                           ReqUint(value, "reclaimed_bytes", kWhat));
+  return response;
+}
+
+void DropIndexResponse::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("index", index);
+  w->Field("dropped", dropped);
+  w->Field("streaming", streaming);
+  w->Field("entries", entries);
+  w->Field("reclaimed_bytes", reclaimed_bytes);
+  w->EndObject();
+}
+
+std::string DropIndexResponse::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<DropDatasetRequest> DropDatasetRequest::FromJson(
+    const JsonValue& value) {
+  static constexpr const char* kWhat = "drop_dataset";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(value, kWhat, {"dataset"}));
+  DropDatasetRequest request;
+  COCONUT_ASSIGN_OR_RETURN(request.dataset,
+                           ReqString(value, "dataset", kWhat));
+  return request;
+}
+
+void DropDatasetRequest::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("dataset", dataset);
+  w->EndObject();
+}
+
+std::string DropDatasetRequest::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+Result<DropDatasetResponse> DropDatasetResponse::FromJson(
+    const JsonValue& value) {
+  static constexpr const char* kWhat = "drop_dataset response";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(
+      RejectUnknown(value, kWhat, {"dataset", "dropped", "series"}));
+  DropDatasetResponse response;
+  COCONUT_ASSIGN_OR_RETURN(response.dataset,
+                           ReqString(value, "dataset", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.dropped,
+                           ReqBool(value, "dropped", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.series, ReqUint(value, "series", kWhat));
+  return response;
+}
+
+void DropDatasetResponse::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Field("dataset", dataset);
+  w->Field("dropped", dropped);
+  w->Field("series", series);
+  w->EndObject();
+}
+
+std::string DropDatasetResponse::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+// -------------------------------------------------------------- service
+
+Result<std::unique_ptr<Service>> Service::Create(const std::string& root_dir,
+                                                 size_t pool_bytes_per_index) {
+  // Validate the root by creating it.
+  COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<storage::StorageManager> probe,
+                           storage::StorageManager::Create(root_dir));
+  (void)probe;
+  return std::unique_ptr<Service>(
+      new Service(root_dir, pool_bytes_per_index));
+}
+
+Service::IndexHandle* Service::FindHandle(const std::string& name) const {
+  auto it = indexes_.find(name);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+Result<Service::IndexHandle*> Service::NewHandle(const std::string& index_name,
+                                                 const VariantSpec& spec) {
+  if (indexes_.count(index_name) != 0) {
+    return Status::AlreadyExists("index '" + index_name + "' already exists");
+  }
+  auto handle = std::make_unique<IndexHandle>();
+  handle->spec = spec;
+  COCONUT_ASSIGN_OR_RETURN(
+      handle->storage,
+      storage::StorageManager::Create(root_dir_ + "/idx_" + index_name));
+  COCONUT_RETURN_NOT_OK(handle->storage->Clear());
+  handle->pool = std::make_unique<storage::BufferPool>(pool_bytes_);
+  COCONUT_ASSIGN_OR_RETURN(
+      handle->raw, core::RawSeriesStore::Create(handle->storage.get(), "raw",
+                                                spec.sax.series_length));
+  IndexHandle* raw_ptr = handle.get();
+  indexes_[index_name] = std::move(handle);
+  return raw_ptr;
+}
+
+Result<RegisterDatasetResponse> Service::RegisterDataset(
+    const std::string& name, const series::SeriesCollection& data,
+    const std::vector<int64_t>* timestamps) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (datasets_.count(name) != 0) {
+    return Status::AlreadyExists("dataset '" + name + "' already registered");
+  }
+  if (data.length() == 0) {
+    return Status::InvalidArgument("dataset series length must be positive");
+  }
+  if (timestamps != nullptr && timestamps->size() != data.size()) {
+    return Status::InvalidArgument("one timestamp per series required");
+  }
+  Dataset ds;
+  ds.data = series::SeriesCollection(data.length());
+  ds.data.Reserve(data.size());
+  std::vector<float> buf;
+  for (size_t i = 0; i < data.size(); ++i) {
+    buf.assign(data[i].begin(), data[i].end());
+    series::ZNormalize(buf);
+    ds.data.Append(buf);
+  }
+  if (timestamps != nullptr) {
+    ds.timestamps = *timestamps;
+  } else {
+    ds.timestamps.resize(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+      ds.timestamps[i] = static_cast<int64_t>(i);
+    }
+  }
+  datasets_[name] = std::move(ds);
+  RegisterDatasetResponse response;
+  response.dataset = name;
+  response.series = data.size();
+  response.series_length = data.length();
+  return response;
+}
+
+Result<RegisterDatasetResponse> Service::RegisterDataset(
+    const RegisterDatasetRequest& request) {
+  return RegisterDataset(
+      request.name, request.data,
+      request.timestamps.has_value() ? &*request.timestamps : nullptr);
+}
+
+Result<BuildIndexReport> Service::BuildIndex(const std::string& index_name,
+                                             const VariantSpec& spec,
+                                             const std::string& dataset_name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto ds_it = datasets_.find(dataset_name);
+  if (ds_it == datasets_.end()) {
+    return Status::NotFound("dataset '" + dataset_name + "' not registered");
+  }
+  const Dataset& dataset = ds_it->second;
+  if (static_cast<int>(dataset.data.length()) != spec.sax.series_length) {
+    return Status::InvalidArgument("spec series_length != dataset length");
+  }
+  COCONUT_ASSIGN_OR_RETURN(IndexHandle * handle,
+                           NewHandle(index_name, spec));
+  Result<BuildIndexReport> report =
+      BuildIndexOnHandle(index_name, spec, dataset_name, dataset, handle);
+  if (!report.ok()) DiscardHandle(index_name);
+  return report;
+}
+
+Result<BuildIndexReport> Service::BuildIndexOnHandle(
+    const std::string& index_name, const VariantSpec& spec,
+    const std::string& dataset_name, const Dataset& dataset,
+    IndexHandle* handle) {
+  WallTimer timer;
+  const storage::IoStats before = *handle->storage->io_stats();
+
+  COCONUT_ASSIGN_OR_RETURN(
+      handle->static_index,
+      CreateStaticIndex(spec, handle->storage.get(), "index",
+                        handle->pool.get(), handle->raw.get()));
+  // Sharded indexes route every series into a shard-local raw store; the
+  // handle-level store would be a dead second copy of the dataset (doubled
+  // disk and build I/O), so only unsharded indexes populate it.
+  const bool shard_owned_raw = spec.num_shards > 1;
+  for (size_t i = 0; i < dataset.data.size(); ++i) {
+    if (!shard_owned_raw) {
+      COCONUT_RETURN_NOT_OK(handle->raw->Append(dataset.data[i]).status());
+    }
+    COCONUT_RETURN_NOT_OK(handle->static_index->Insert(
+        i, dataset.data[i], dataset.timestamps[i]));
+  }
+  COCONUT_RETURN_NOT_OK(handle->raw->Flush());
+  COCONUT_RETURN_NOT_OK(handle->static_index->Finalize());
+  handle->next_series_id = dataset.data.size();
+  handle->build_seconds = timer.ElapsedSeconds();
+  handle->build_io = handle->storage->io_stats()->Since(before);
+  // Sharded builds do their I/O through per-shard storage managers (fresh
+  // at this point, so totals == this build); fold them into the report.
+  if (auto* sharded =
+          dynamic_cast<ShardedIndex*>(handle->static_index.get());
+      sharded != nullptr) {
+    handle->build_io.Add(sharded->AggregateIoStats());
+  }
+
+  BuildIndexReport report;
+  report.index = index_name;
+  report.variant = VariantName(spec);
+  report.dataset = dataset_name;
+  report.shards = spec.num_shards;
+  report.entries = handle->static_index->num_entries();
+  report.build_seconds = handle->build_seconds;
+  report.index_bytes = handle->static_index->index_bytes();
+  report.total_bytes = handle->storage->TotalBytesOnDisk();
+  report.io = handle->build_io;
+  return report;
+}
+
+Result<BuildIndexReport> Service::BuildIndex(const BuildIndexRequest& request) {
+  return BuildIndex(request.index, request.spec, request.dataset);
+}
+
+Result<CreateStreamResponse> Service::CreateStream(
+    const std::string& stream_name, const VariantSpec& spec) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  COCONUT_ASSIGN_OR_RETURN(IndexHandle * handle,
+                           NewHandle(stream_name, spec));
+  Result<std::unique_ptr<stream::StreamingIndex>> created =
+      CreateStreamingIndex(spec, handle->storage.get(), "stream",
+                           handle->pool.get(), handle->raw.get());
+  if (!created.ok()) {
+    // An invalid spec must not leave a half-initialized handle behind:
+    // every registered handle carries a static or streaming index
+    // (ListIndexes/Query/DropIndex rely on it), and the name and its
+    // directory must stay reusable.
+    DiscardHandle(stream_name);
+    return created.status();
+  }
+  handle->stream_index = created.TakeValue();
+  CreateStreamResponse response;
+  response.stream = stream_name;
+  response.variant = VariantName(spec);
+  return response;
+}
+
+void Service::DiscardHandle(const std::string& name) {
+  auto it = indexes_.find(name);
+  if (it == indexes_.end()) return;
+  const std::string directory = it->second->storage->directory();
+  indexes_.erase(it);
+  std::error_code ec;
+  std::filesystem::remove_all(directory, ec);  // best effort
+}
+
+Result<CreateStreamResponse> Service::CreateStream(
+    const CreateStreamRequest& request) {
+  return CreateStream(request.stream, request.spec);
+}
+
+Result<IngestBatchReport> Service::IngestBatch(
+    const std::string& stream_name, const series::SeriesCollection& batch,
+    const std::vector<int64_t>& timestamps) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  IndexHandle* handle = FindHandle(stream_name);
+  if (handle == nullptr || handle->stream_index == nullptr) {
+    return Status::NotFound("stream '" + stream_name + "' not found");
+  }
+  if (timestamps.size() != batch.size()) {
+    return Status::InvalidArgument("one timestamp per series required");
+  }
+  if (batch.size() > 0 &&
+      static_cast<int>(batch.length()) != handle->spec.sax.series_length) {
+    return Status::InvalidArgument(
+        "batch series length " + std::to_string(batch.length()) +
+        " != stream series length " +
+        std::to_string(handle->spec.sax.series_length));
+  }
+  std::lock_guard<std::mutex> op_lock(handle->op_mutex);
+
+  WallTimer timer;
+  // Snapshot reads: background seals/merges of an async stream may be
+  // doing I/O while this batch is admitted.
+  const storage::IoStats before = handle->storage->SnapshotIoStats();
+  std::vector<float> buf;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    buf.assign(batch[i].begin(), batch[i].end());
+    series::ZNormalize(buf);
+    // Series ids are raw-store ordinals (queries fetch by id), so take the
+    // id Append assigned. If the index then rejects the entry (e.g. a
+    // kStrict timestamp regression), the ordinal stays burned as an
+    // unindexed raw slot — ids of previously and subsequently admitted
+    // series keep lining up with the raw file either way.
+    COCONUT_ASSIGN_OR_RETURN(const uint64_t id, handle->raw->Append(buf));
+    handle->next_series_id = id + 1;
+    COCONUT_RETURN_NOT_OK(
+        handle->stream_index->Ingest(id, buf, timestamps[i]));
+  }
+  COCONUT_RETURN_NOT_OK(handle->raw->Flush());
+
+  const stream::StreamingStats stats =
+      handle->stream_index->SnapshotStats();
+  IngestBatchReport report;
+  report.stream = stream_name;
+  report.ingested = batch.size();
+  report.total_entries = stats.entries;
+  report.partitions = stats.sealed_partitions;
+  report.buffered = stats.buffered;
+  report.pending_tasks = stats.pending_tasks;
+  report.seals_completed = stats.seals_completed;
+  report.merges_completed = stats.merges_completed;
+  report.seconds = timer.ElapsedSeconds();
+  report.io = handle->storage->SnapshotIoStats().Since(before);
+  return report;
+}
+
+Result<IngestBatchReport> Service::IngestBatch(
+    const IngestBatchRequest& request) {
+  return IngestBatch(request.stream, request.batch, request.timestamps);
+}
+
+Result<DrainStreamReport> Service::DrainStream(const std::string& stream_name) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  IndexHandle* handle = FindHandle(stream_name);
+  if (handle == nullptr || handle->stream_index == nullptr) {
+    return Status::NotFound("stream '" + stream_name + "' not found");
+  }
+  std::lock_guard<std::mutex> op_lock(handle->op_mutex);
+  WallTimer timer;
+  COCONUT_RETURN_NOT_OK(handle->stream_index->FlushAll());
+  const stream::StreamingStats stats =
+      handle->stream_index->SnapshotStats();
+  DrainStreamReport report;
+  report.stream = stream_name;
+  report.drained = true;
+  report.drain_seconds = timer.ElapsedSeconds();
+  report.total_entries = stats.entries;
+  report.partitions = stats.sealed_partitions;
+  report.buffered = stats.buffered;
+  report.pending_tasks = stats.pending_tasks;
+  report.seals_completed = stats.seals_completed;
+  report.merges_completed = stats.merges_completed;
+  report.index_bytes = handle->stream_index->index_bytes();
+  report.total_bytes = handle->storage->TotalBytesOnDisk();
+  return report;
+}
+
+Result<DrainStreamReport> Service::DrainStream(
+    const DrainStreamRequest& request) {
+  return DrainStream(request.stream);
+}
+
+Result<QueryReport> Service::Query(const QueryRequest& request) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  IndexHandle* handle = FindHandle(request.index);
+  if (handle == nullptr) {
+    return Status::NotFound("index '" + request.index + "' not found");
+  }
+  // Validate at the API boundary: a malformed query used to reach the
+  // index layers and misbehave there (empty spans, wrong-length distance
+  // computations, zero candidate heaps).
+  if (request.query.empty()) {
+    return Status::InvalidArgument("query vector must not be empty");
+  }
+  if (static_cast<int>(request.query.size()) !=
+      handle->spec.sax.series_length) {
+    return Status::InvalidArgument(
+        "query length " + std::to_string(request.query.size()) +
+        " != index series length " +
+        std::to_string(handle->spec.sax.series_length));
+  }
+  if (request.approx_candidates <= 0) {
+    return Status::InvalidArgument("approx_candidates must be positive");
+  }
+  if (request.capture_heatmap &&
+      (request.heatmap_time_bins == 0 || request.heatmap_location_bins == 0)) {
+    return Status::InvalidArgument("heatmap bins must be positive");
+  }
+  std::lock_guard<std::mutex> op_lock(handle->op_mutex);
+  return QueryLocked(request, handle);
+}
+
+Result<QueryReport> Service::QueryLocked(const QueryRequest& request,
+                                         IndexHandle* handle) {
+  std::vector<float> query = request.query;
+  series::ZNormalize(query);
+
+  core::SearchOptions options;
+  if (request.window.has_value()) options.window = *request.window;
+  options.approx_candidates = request.approx_candidates;
+
+  // A sharded index reads through per-shard storage managers; snapshot
+  // those too so the reported query I/O is real, not the handle's zeros.
+  auto* sharded = dynamic_cast<ShardedIndex*>(handle->static_index.get());
+
+  core::QueryCounters counters;
+  storage::AccessTracker* tracker = handle->storage->tracker();
+  if (request.capture_heatmap) {
+    if (sharded != nullptr) {
+      // Shard I/O never touches the handle-level tracker; a silent empty
+      // heat map would read as an all-cold result, so refuse instead.
+      return Status::NotSupported(
+          "heat maps are not captured for sharded indexes yet");
+    }
+    tracker->Clear();
+    tracker->Enable();
+  }
+
+  WallTimer timer;
+  // Snapshot: async streams may be sealing/merging in the background.
+  storage::IoStats before = handle->storage->SnapshotIoStats();
+  if (sharded != nullptr) before.Add(sharded->AggregateIoStats());
+  Result<core::SearchResult> result =
+      handle->static_index != nullptr
+          ? (request.exact
+                 ? handle->static_index->ExactSearch(query, options, &counters)
+                 : handle->static_index->ApproxSearch(query, options,
+                                                      &counters))
+          : (request.exact
+                 ? handle->stream_index->ExactSearch(query, options, &counters)
+                 : handle->stream_index->ApproxSearch(query, options,
+                                                      &counters));
+  const double seconds = timer.ElapsedSeconds();
+  if (request.capture_heatmap) tracker->Disable();
+  if (!result.ok()) return result.status();
+  const core::SearchResult& match = result.value();
+
+  QueryReport report;
+  report.index = request.index;
+  report.exact = request.exact;
+  report.found = match.found;
+  if (match.found) {
+    report.series_id = match.series_id;
+    report.distance = std::sqrt(match.distance_sq);
+    report.timestamp = match.timestamp;
+  }
+  report.seconds = seconds;
+  storage::IoStats after = handle->storage->SnapshotIoStats();
+  if (sharded != nullptr) after.Add(sharded->AggregateIoStats());
+  report.io = after.Since(before);
+  report.counters = counters;
+  if (request.capture_heatmap) {
+    // Snapshot: an async stream's background seals may still be recording.
+    const std::vector<storage::AccessEvent> events =
+        tracker->SnapshotEvents();
+    report.has_heatmap = true;
+    report.heatmap = BuildHeatMap(events, request.heatmap_time_bins,
+                                  request.heatmap_location_bins);
+    report.access_locality = AccessLocality(events);
+  }
+  return report;
+}
+
+std::vector<Result<QueryReport>> Service::QueryBatch(
+    const std::vector<QueryRequest>& requests, size_t threads) {
+  std::vector<Result<QueryReport>> results(
+      requests.size(),
+      Result<QueryReport>(Status::Internal("not executed")));
+  if (requests.empty()) return results;
+
+  // Group request ordinals by target index. One task per group keeps every
+  // index single-threaded (buffer pool pointers, tracker state and query
+  // counters are per-index), while distinct indexes proceed in parallel.
+  std::map<std::string, std::vector<size_t>> by_index;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    by_index[requests[i].index].push_back(i);
+  }
+
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = std::min<size_t>(8, hw == 0 ? 1 : hw);
+  }
+  threads = std::min(threads, by_index.size());
+
+  ThreadPool pool(threads);
+  for (auto& [index_name, ordinals] : by_index) {
+    (void)index_name;
+    const std::vector<size_t>* group = &ordinals;
+    pool.Submit([this, group, &requests, &results] {
+      for (size_t ordinal : *group) {
+        results[ordinal] = Query(requests[ordinal]);
+      }
+    });
+  }
+  pool.Wait();
+  return results;
+}
+
+QueryBatchResponse Service::QueryBatchResponseFor(
+    const std::vector<QueryRequest>& requests, size_t threads) {
+  std::vector<Result<QueryReport>> results = QueryBatch(requests, threads);
+  QueryBatchResponse response;
+  response.results.reserve(results.size());
+  for (Result<QueryReport>& result : results) {
+    QueryBatchResponse::Entry entry;
+    entry.ok = result.ok();
+    if (result.ok()) {
+      entry.report = result.TakeValue();
+    } else {
+      entry.error = ApiError::FromStatus(result.status());
+    }
+    response.results.push_back(std::move(entry));
+  }
+  return response;
+}
+
+RecommendResponse Service::Recommend(const Scenario& scenario) {
+  Recommendation rec = palm::Recommend(scenario);
+  RecommendResponse response;
+  response.variant = rec.variant_name();
+  response.materialized = rec.spec.materialized;
+  response.fill_factor = rec.spec.fill_factor;
+  response.growth_factor = rec.spec.growth_factor;
+  response.buffer_entries = rec.spec.buffer_entries;
+  response.rationale = rec.rationale;
+  return response;
+}
+
+ListIndexesResponse Service::ListIndexes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  ListIndexesResponse response;
+  response.indexes.reserve(indexes_.size());
+  for (const auto& [name, handle] : indexes_) {
+    // Serialize with per-index operations: sync streaming indexes update
+    // entry counts without internal synchronization.
+    std::lock_guard<std::mutex> op_lock(handle->op_mutex);
+    ListIndexesResponse::IndexInfo info;
+    info.name = name;
+    info.variant = VariantName(handle->spec);
+    info.streaming = handle->stream_index != nullptr;
+    info.shards = handle->spec.num_shards;
+    info.entries = handle->static_index != nullptr
+                       ? handle->static_index->num_entries()
+                       : handle->stream_index->num_entries();
+    info.total_bytes = handle->storage->TotalBytesOnDisk();
+    response.indexes.push_back(std::move(info));
+  }
+  return response;
+}
+
+Result<DropIndexResponse> Service::DropIndex(const std::string& index_name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = indexes_.find(index_name);
+  if (it == indexes_.end()) {
+    return Status::NotFound("index '" + index_name + "' not found");
+  }
+  IndexHandle* handle = it->second.get();
+  DropIndexResponse response;
+  response.index = index_name;
+  response.streaming = handle->stream_index != nullptr;
+  if (handle->stream_index != nullptr) {
+    // Quiesce background seals/merges before tearing the stack down. A
+    // drain error does not block the drop — the handle is going away
+    // either way and its destructor waits for stragglers.
+    (void)handle->stream_index->FlushAll();
+    response.entries = handle->stream_index->num_entries();
+  } else {
+    response.entries = handle->static_index->num_entries();
+  }
+  response.reclaimed_bytes = handle->storage->TotalBytesOnDisk();
+  const std::string directory = handle->storage->directory();
+  // Index structures flush through the raw store / pool / storage below
+  // them; member order in IndexHandle destroys top-down.
+  indexes_.erase(it);
+  std::error_code ec;
+  std::filesystem::remove_all(directory, ec);
+  if (ec) {
+    return Status::IoError("failed to remove '" + directory +
+                           "': " + ec.message());
+  }
+  response.dropped = true;
+  return response;
+}
+
+Result<DropIndexResponse> Service::DropIndex(const DropIndexRequest& request) {
+  return DropIndex(request.index);
+}
+
+Result<DropDatasetResponse> Service::DropDataset(
+    const std::string& dataset_name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = datasets_.find(dataset_name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset '" + dataset_name + "' not registered");
+  }
+  DropDatasetResponse response;
+  response.dataset = dataset_name;
+  response.series = it->second.data.size();
+  datasets_.erase(it);
+  response.dropped = true;
+  return response;
+}
+
+Result<DropDatasetResponse> Service::DropDataset(
+    const DropDatasetRequest& request) {
+  return DropDataset(request.dataset);
+}
+
+core::DataSeriesIndex* Service::static_index(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  IndexHandle* handle = FindHandle(name);
+  return handle == nullptr ? nullptr : handle->static_index.get();
+}
+
+stream::StreamingIndex* Service::stream_index(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  IndexHandle* handle = FindHandle(name);
+  return handle == nullptr ? nullptr : handle->stream_index.get();
+}
+
+storage::StorageManager* Service::index_storage(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  IndexHandle* handle = FindHandle(name);
+  return handle == nullptr ? nullptr : handle->storage.get();
+}
+
+// ------------------------------------------------------------- dispatch
+
+namespace {
+
+/// The common parse -> typed call -> serialize shape of a dispatched
+/// method.
+template <typename Request, typename Response>
+Result<std::string> RunTyped(const JsonValue& params,
+                             Result<Response> (Service::*method)(
+                                 const Request&),
+                             Service* service) {
+  COCONUT_ASSIGN_OR_RETURN(const Request request, Request::FromJson(params));
+  COCONUT_ASSIGN_OR_RETURN(const Response response,
+                           (service->*method)(request));
+  return response.ToJsonString();
+}
+
+struct MethodEntry {
+  const char* name;
+  Result<std::string> (*handler)(Service* service, const JsonValue& params);
+};
+
+/// The single method registry: Dispatch routes through it and Methods()
+/// projects its names, so the two cannot drift. Sorted by name.
+constexpr MethodEntry kMethodTable[] = {
+    {"build_index",
+     [](Service* s, const JsonValue& p) {
+       return RunTyped<BuildIndexRequest>(p, &Service::BuildIndex, s);
+     }},
+    {"create_stream",
+     [](Service* s, const JsonValue& p) {
+       return RunTyped<CreateStreamRequest>(p, &Service::CreateStream, s);
+     }},
+    {"drain_stream",
+     [](Service* s, const JsonValue& p) {
+       return RunTyped<DrainStreamRequest>(p, &Service::DrainStream, s);
+     }},
+    {"drop_dataset",
+     [](Service* s, const JsonValue& p) {
+       return RunTyped<DropDatasetRequest>(p, &Service::DropDataset, s);
+     }},
+    {"drop_index",
+     [](Service* s, const JsonValue& p) {
+       return RunTyped<DropIndexRequest>(p, &Service::DropIndex, s);
+     }},
+    {"ingest_batch",
+     [](Service* s, const JsonValue& p) {
+       return RunTyped<IngestBatchRequest>(p, &Service::IngestBatch, s);
+     }},
+    {"list_indexes",
+     [](Service* s, const JsonValue& p) -> Result<std::string> {
+       if (!p.is_object() || !p.object().empty()) {
+         return Status::InvalidArgument("list_indexes takes no parameters");
+       }
+       return s->ListIndexes().ToJsonString();
+     }},
+    {"query",
+     [](Service* s, const JsonValue& p) {
+       return RunTyped<QueryRequest>(p, &Service::Query, s);
+     }},
+    {"query_batch",
+     [](Service* s, const JsonValue& p) -> Result<std::string> {
+       COCONUT_ASSIGN_OR_RETURN(const QueryBatchRequest request,
+                                QueryBatchRequest::FromJson(p));
+       return s->QueryBatchResponseFor(request.queries,
+                                       static_cast<size_t>(request.threads))
+           .ToJsonString();
+     }},
+    {"recommend",
+     [](Service* s, const JsonValue& p) -> Result<std::string> {
+       COCONUT_ASSIGN_OR_RETURN(const RecommendRequest request,
+                                RecommendRequest::FromJson(p));
+       return s->Recommend(request.scenario).ToJsonString();
+     }},
+    {"register_dataset",
+     [](Service* s, const JsonValue& p) {
+       return RunTyped<RegisterDatasetRequest>(p, &Service::RegisterDataset,
+                                               s);
+     }},
+};
+
+}  // namespace
+
+const std::vector<std::string>& Service::Methods() {
+  static const std::vector<std::string> kMethods = [] {
+    std::vector<std::string> names;
+    for (const MethodEntry& entry : kMethodTable) {
+      names.emplace_back(entry.name);
+    }
+    return names;
+  }();
+  return kMethods;
+}
+
+Result<std::string> Service::Dispatch(const std::string& method,
+                                      const std::string& params_json) {
+  COCONUT_ASSIGN_OR_RETURN(
+      const JsonValue params,
+      JsonParse(params_json.empty() ? std::string_view("{}")
+                                    : std::string_view(params_json)));
+  for (const MethodEntry& entry : kMethodTable) {
+    if (method == entry.name) return entry.handler(this, params);
+  }
+  std::string known;
+  for (const std::string& m : Methods()) {
+    if (!known.empty()) known += ", ";
+    known += m;
+  }
+  return Status::NotFound("unknown method '" + method +
+                          "' (known methods: " + known + ")");
+}
+
+}  // namespace api
+}  // namespace palm
+}  // namespace coconut

@@ -1,0 +1,488 @@
+#ifndef COCONUT_PALM_API_H_
+#define COCONUT_PALM_API_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "core/index.h"
+#include "core/raw_store.h"
+#include "palm/factory.h"
+#include "palm/heatmap.h"
+#include "palm/recommender.h"
+#include "series/series.h"
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
+#include "storage/storage_manager.h"
+#include "stream/streaming_index.h"
+
+namespace coconut {
+namespace palm {
+namespace api {
+
+/// Wire protocol version, embedded in every error payload so clients can
+/// detect incompatible servers. Bumped on breaking changes to the request
+/// or response shapes.
+inline constexpr int kApiVersion = 1;
+
+// --------------------------------------------------------------- errors
+
+/// Stable snake_case error code for a StatusCode ("not_found", ...). These
+/// strings are part of the wire contract; StatusCodeToString stays the
+/// human-readable spelling.
+const char* StatusCodeToApiCode(StatusCode code);
+
+/// HTTP status the transport maps a failed operation to (400/404/409/...).
+int StatusCodeToHttpStatus(StatusCode code);
+
+/// The one error shape every operation can produce:
+///   {"error":{"api_version":1,"code":"not_found","message":"..."}}
+struct ApiError {
+  std::string code;
+  std::string message;
+  int http_status = 500;
+
+  static ApiError FromStatus(const Status& status);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+  static Result<ApiError> FromJson(const JsonValue& value);
+};
+
+// ------------------------------------------------- shared wire fragments
+
+/// VariantSpec <-> {"family":"ctree","mode":"tp","sax":{...},...}. Every
+/// knob of the spec is on the wire except background_pool (a process-local
+/// pointer; JSON-created async indexes use the shared background pool).
+/// Unknown fields are rejected.
+Result<VariantSpec> VariantSpecFromJson(const JsonValue& value);
+void VariantSpecToJson(const VariantSpec& spec, JsonWriter* writer);
+
+/// IoStats <-> {"sequential_reads":...,...} (the report fragment every
+/// legacy response embedded under "io").
+void IoStatsToJson(const storage::IoStats& io, JsonWriter* writer);
+Result<storage::IoStats> IoStatsFromJson(const JsonValue& value);
+
+/// QueryCounters <-> {"leaves_visited":...,...}.
+void QueryCountersToJson(const core::QueryCounters& counters,
+                         JsonWriter* writer);
+Result<core::QueryCounters> QueryCountersFromJson(const JsonValue& value);
+
+/// HeatMap <-> the HeatMapToJson shape (see heatmap.h).
+Result<HeatMap> HeatMapFromJson(const JsonValue& value);
+
+// ------------------------------------------------------------- requests
+
+/// POST /api/v1/register_dataset. Series arrive raw; the service
+/// z-normalizes on registration exactly like the in-process path.
+struct RegisterDatasetRequest {
+  std::string name;
+  series::SeriesCollection data{0};
+  std::optional<std::vector<int64_t>> timestamps;
+
+  static Result<RegisterDatasetRequest> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+struct RegisterDatasetResponse {
+  std::string dataset;
+  uint64_t series = 0;
+  uint64_t series_length = 0;
+
+  static Result<RegisterDatasetResponse> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+/// POST /api/v1/build_index.
+struct BuildIndexRequest {
+  std::string index;
+  std::string dataset;
+  VariantSpec spec;
+
+  static Result<BuildIndexRequest> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+/// Build report — serializes byte-identically to the pre-redesign
+/// Server::BuildIndex JSON (pinned in api_test.cc).
+struct BuildIndexReport {
+  std::string index;
+  std::string variant;
+  std::string dataset;
+  uint64_t shards = 1;
+  uint64_t entries = 0;
+  double build_seconds = 0.0;
+  uint64_t index_bytes = 0;
+  uint64_t total_bytes = 0;
+  storage::IoStats io;
+
+  static Result<BuildIndexReport> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+/// POST /api/v1/create_stream.
+struct CreateStreamRequest {
+  std::string stream;
+  VariantSpec spec;
+
+  static Result<CreateStreamRequest> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+struct CreateStreamResponse {
+  std::string stream;
+  std::string variant;
+
+  static Result<CreateStreamResponse> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+/// POST /api/v1/ingest_batch.
+struct IngestBatchRequest {
+  std::string stream;
+  series::SeriesCollection batch{0};
+  std::vector<int64_t> timestamps;
+
+  static Result<IngestBatchRequest> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+/// Ingest report — byte-identical to the pre-redesign IngestBatch JSON.
+struct IngestBatchReport {
+  std::string stream;
+  uint64_t ingested = 0;
+  uint64_t total_entries = 0;
+  uint64_t partitions = 0;
+  uint64_t buffered = 0;
+  uint64_t pending_tasks = 0;
+  uint64_t seals_completed = 0;
+  uint64_t merges_completed = 0;
+  double seconds = 0.0;
+  storage::IoStats io;
+
+  static Result<IngestBatchReport> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+/// POST /api/v1/drain_stream.
+struct DrainStreamRequest {
+  std::string stream;
+
+  static Result<DrainStreamRequest> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+/// Drain report — byte-identical to the pre-redesign DrainStream JSON.
+struct DrainStreamReport {
+  std::string stream;
+  bool drained = true;
+  double drain_seconds = 0.0;
+  uint64_t total_entries = 0;
+  uint64_t partitions = 0;
+  uint64_t buffered = 0;
+  uint64_t pending_tasks = 0;
+  uint64_t seals_completed = 0;
+  uint64_t merges_completed = 0;
+  uint64_t index_bytes = 0;
+  uint64_t total_bytes = 0;
+
+  static Result<DrainStreamReport> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+/// POST /api/v1/query — a similarity query as the GUI client would issue
+/// it (raw query series; the server z-normalizes).
+struct QueryRequest {
+  std::string index;
+  std::vector<float> query;
+  bool exact = true;
+  std::optional<core::TimeWindow> window;
+  int approx_candidates = 10;
+  /// Capture the page-access pattern and embed a heat map in the response.
+  bool capture_heatmap = false;
+  size_t heatmap_time_bins = 16;
+  size_t heatmap_location_bins = 64;
+
+  static Result<QueryRequest> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+/// Query report — byte-identical to the pre-redesign Query JSON.
+struct QueryReport {
+  std::string index;
+  bool exact = true;
+  bool found = false;
+  uint64_t series_id = 0;
+  /// Euclidean distance (not squared — the GUI plots this directly).
+  double distance = 0.0;
+  int64_t timestamp = 0;
+  double seconds = 0.0;
+  storage::IoStats io;
+  core::QueryCounters counters;
+  bool has_heatmap = false;
+  double access_locality = 0.0;
+  HeatMap heatmap;
+
+  static Result<QueryReport> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+/// POST /api/v1/query_batch.
+struct QueryBatchRequest {
+  std::vector<QueryRequest> queries;
+  /// Worker threads (0 = hardware concurrency capped at 8).
+  uint64_t threads = 0;
+
+  static Result<QueryBatchRequest> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+/// Positional results: {"results":[<query report> | {"error":{...}}, ...]}.
+struct QueryBatchResponse {
+  struct Entry {
+    bool ok = false;
+    QueryReport report;  // valid when ok
+    ApiError error;      // valid when !ok
+  };
+  std::vector<Entry> results;
+
+  static Result<QueryBatchResponse> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+/// POST /api/v1/recommend — the Scenario knobs the Palm GUI exposes.
+struct RecommendRequest {
+  Scenario scenario;
+
+  static Result<RecommendRequest> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+/// Recommendation — byte-identical to the pre-redesign RecommendJson
+/// shape: {"variant":...,"spec":{...4 knobs...},"rationale":[...]}.
+struct RecommendResponse {
+  std::string variant;
+  bool materialized = false;
+  double fill_factor = 1.0;
+  int64_t growth_factor = 4;
+  uint64_t buffer_entries = 4096;
+  std::vector<std::string> rationale;
+
+  static Result<RecommendResponse> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+/// POST /api/v1/list_indexes (empty params). Serializes as a top-level
+/// JSON array, the legacy ListIndexes shape.
+struct ListIndexesResponse {
+  struct IndexInfo {
+    std::string name;
+    std::string variant;
+    bool streaming = false;
+    uint64_t shards = 1;
+    uint64_t entries = 0;
+    uint64_t total_bytes = 0;
+  };
+  std::vector<IndexInfo> indexes;
+
+  static Result<ListIndexesResponse> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+/// POST /api/v1/drop_index — releases the index's storage directory,
+/// buffer pool and raw store. Streaming indexes are drained first.
+struct DropIndexRequest {
+  std::string index;
+
+  static Result<DropIndexRequest> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+struct DropIndexResponse {
+  std::string index;
+  bool dropped = false;
+  bool streaming = false;
+  uint64_t entries = 0;
+  /// Bytes the index held on disk at drop time.
+  uint64_t reclaimed_bytes = 0;
+
+  static Result<DropIndexResponse> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+/// POST /api/v1/drop_dataset — forgets a registered dataset. Indexes
+/// built from it are unaffected (they own their data).
+struct DropDatasetRequest {
+  std::string dataset;
+
+  static Result<DropDatasetRequest> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+struct DropDatasetResponse {
+  std::string dataset;
+  bool dropped = false;
+  uint64_t series = 0;
+
+  static Result<DropDatasetResponse> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+// -------------------------------------------------------------- service
+
+/// The transport-agnostic Palm service: every operation of the demo's
+/// algorithms backend as a typed method, plus a JSON-RPC style Dispatch
+/// that parses a wire request, validates it, runs the typed method and
+/// serializes the typed response. palm::Server is a thin adapter over
+/// this class; the HTTP transport (http_server.h) serves Dispatch
+/// directly. This is the seam future distributed shards plug into.
+///
+/// Thread safety: operations that mutate the registry (register, build,
+/// create, drop) take an exclusive lock; lookups (query, ingest, drain,
+/// list) share the registry lock and serialize per index on the handle's
+/// operation mutex, so concurrent clients proceed in parallel across
+/// distinct indexes and are safe on the same one.
+class Service {
+ public:
+  static Result<std::unique_ptr<Service>> Create(
+      const std::string& root_dir, size_t pool_bytes_per_index = 4ull << 20);
+
+  // ---- JSON-RPC entry point.
+
+  /// Runs `method` with `params_json` (empty = "{}") and returns the
+  /// response JSON. Unknown methods and malformed/invalid params fail with
+  /// a Status the transport maps through ApiError::FromStatus.
+  Result<std::string> Dispatch(const std::string& method,
+                               const std::string& params_json);
+
+  /// Every method name Dispatch understands, sorted.
+  static const std::vector<std::string>& Methods();
+
+  // ---- typed operations (wire-shaped requests).
+
+  Result<RegisterDatasetResponse> RegisterDataset(
+      const RegisterDatasetRequest& request);
+  Result<BuildIndexReport> BuildIndex(const BuildIndexRequest& request);
+  Result<CreateStreamResponse> CreateStream(const CreateStreamRequest& request);
+  Result<IngestBatchReport> IngestBatch(const IngestBatchRequest& request);
+  Result<DrainStreamReport> DrainStream(const DrainStreamRequest& request);
+  Result<QueryReport> Query(const QueryRequest& request);
+  /// One result per request, positionally; distinct indexes run in
+  /// parallel on a small pool, same-index requests serialize.
+  std::vector<Result<QueryReport>> QueryBatch(
+      const std::vector<QueryRequest>& requests, size_t threads = 0);
+  QueryBatchResponse QueryBatchResponseFor(
+      const std::vector<QueryRequest>& requests, size_t threads = 0);
+  RecommendResponse Recommend(const Scenario& scenario);
+  ListIndexesResponse ListIndexes() const;
+  Result<DropIndexResponse> DropIndex(const DropIndexRequest& request);
+  Result<DropDatasetResponse> DropDataset(const DropDatasetRequest& request);
+
+  // ---- in-process conveniences (no JSON, no copy of the series data).
+
+  Result<RegisterDatasetResponse> RegisterDataset(
+      const std::string& name, const series::SeriesCollection& data,
+      const std::vector<int64_t>* timestamps);
+  Result<BuildIndexReport> BuildIndex(const std::string& index_name,
+                                      const VariantSpec& spec,
+                                      const std::string& dataset_name);
+  Result<CreateStreamResponse> CreateStream(const std::string& stream_name,
+                                            const VariantSpec& spec);
+  Result<IngestBatchReport> IngestBatch(
+      const std::string& stream_name, const series::SeriesCollection& batch,
+      const std::vector<int64_t>& timestamps);
+  Result<DrainStreamReport> DrainStream(const std::string& stream_name);
+  Result<DropIndexResponse> DropIndex(const std::string& index_name);
+  Result<DropDatasetResponse> DropDataset(const std::string& dataset_name);
+
+  /// Direct access for examples/benches (nullptr when absent). The
+  /// returned pointers are invalidated by DropIndex.
+  core::DataSeriesIndex* static_index(const std::string& name);
+  stream::StreamingIndex* stream_index(const std::string& name);
+  storage::StorageManager* index_storage(const std::string& name);
+
+ private:
+  struct Dataset {
+    series::SeriesCollection data{0};
+    std::vector<int64_t> timestamps;
+  };
+
+  struct IndexHandle {
+    VariantSpec spec;
+    std::unique_ptr<storage::StorageManager> storage;
+    std::unique_ptr<storage::BufferPool> pool;
+    std::unique_ptr<core::RawSeriesStore> raw;
+    std::unique_ptr<core::DataSeriesIndex> static_index;
+    std::unique_ptr<stream::StreamingIndex> stream_index;
+    uint64_t next_series_id = 0;
+    double build_seconds = 0.0;
+    storage::IoStats build_io;
+    /// Serializes ingest/drain/query on this index (buffer pool, tracker
+    /// and counters are single-threaded per index, as in QueryBatch).
+    std::mutex op_mutex;
+  };
+
+  Service(std::string root_dir, size_t pool_bytes)
+      : root_dir_(std::move(root_dir)), pool_bytes_(pool_bytes) {}
+
+  /// Registry mutation; caller holds mu_ exclusively.
+  Result<IndexHandle*> NewHandle(const std::string& index_name,
+                                 const VariantSpec& spec);
+  /// Unregisters a handle and removes its directory — cleanup when
+  /// construction fails after NewHandle, so no half-initialized handle
+  /// (neither index set) is ever visible. Caller holds mu_ exclusively.
+  void DiscardHandle(const std::string& name);
+  /// The fallible tail of BuildIndex; on error the caller discards the
+  /// handle. Caller holds mu_ exclusively.
+  Result<BuildIndexReport> BuildIndexOnHandle(const std::string& index_name,
+                                              const VariantSpec& spec,
+                                              const std::string& dataset_name,
+                                              const Dataset& dataset,
+                                              IndexHandle* handle);
+  /// Registry lookup; caller holds mu_ (shared is enough).
+  IndexHandle* FindHandle(const std::string& name) const;
+
+  Result<QueryReport> QueryLocked(const QueryRequest& request,
+                                  IndexHandle* handle);
+
+  std::string root_dir_;
+  size_t pool_bytes_;
+  /// Guards the two registries. Exclusive: register/build/create/drop.
+  /// Shared: ingest/drain/query/list (per-index work then serializes on
+  /// the handle's op_mutex).
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Dataset> datasets_;
+  std::map<std::string, std::unique_ptr<IndexHandle>> indexes_;
+};
+
+}  // namespace api
+}  // namespace palm
+}  // namespace coconut
+
+#endif  // COCONUT_PALM_API_H_

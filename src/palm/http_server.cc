@@ -1,0 +1,433 @@
+#include "palm/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "common/timer.h"
+
+namespace coconut {
+namespace palm {
+
+namespace {
+
+constexpr size_t kMaxHeaderBytes = 64 * 1024;
+/// Workers poll the stop flag at this cadence while blocked in recv.
+constexpr int kRecvPollMs = 200;
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 411:
+      return "Length Required";
+    case 413:
+      return "Payload Too Large";
+    case 429:
+      return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 501:
+      return "Not Implemented";
+    case 505:
+      return "HTTP Version Not Supported";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+/// One parsed request.
+struct ParsedRequest {
+  bool ok = false;
+  std::string method;
+  std::string target;
+  bool keep_alive = true;
+  std::string body;
+};
+
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// recv() with EINTR handling. Returns >0 bytes, 0 on orderly close,
+/// -1 on timeout (EAGAIN), -2 on hard error.
+ssize_t RecvSome(int fd, char* buf, size_t len) {
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, len, 0);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return -2;
+  }
+}
+
+bool SendAll(int fd, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteResponse(int fd, int status, const std::string& body,
+                   bool keep_alive, const char* extra_header = nullptr,
+                   bool include_body = true) {
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     ReasonPhrase(status) + "\r\n";
+  head += "Content-Type: application/json\r\n";
+  head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  if (extra_header != nullptr) {
+    head += extra_header;
+    head += "\r\n";
+  }
+  head += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  head += "\r\n";
+  if (!SendAll(fd, head.data(), head.size())) return false;
+  // HEAD responses advertise the entity's Content-Length but carry no
+  // body; sending one would desync keep-alive clients.
+  if (!include_body) return true;
+  return SendAll(fd, body.data(), body.size());
+}
+
+std::string JsonError(const Status& status) {
+  return api::ApiError::FromStatus(status).ToJsonString();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HttpServer>> HttpServer::Start(
+    api::Service* service, const HttpServerOptions& options) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("HttpServer needs a service");
+  }
+  std::unique_ptr<HttpServer> server(new HttpServer(service, options));
+  COCONUT_RETURN_NOT_OK(server->Listen());
+  server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  const size_t threads = options.threads == 0 ? 1 : options.threads;
+  server->workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+  }
+  return server;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("invalid bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IoError("bind " + options_.bind_address + ":" +
+                           std::to_string(options_.port) + ": " +
+                           std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    return Status::IoError("listen: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    return Status::IoError("getsockname: " +
+                           std::string(std::strerror(errno)));
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  // Serialized so an explicit Stop and the destructor can't join the same
+  // threads twice; the second caller waits for the first to finish.
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  stopping_.store(true);
+  // Wake the acceptor blocked in accept(); the fd itself is closed only
+  // after the acceptor joined, so no thread ever reads a stale/reused fd.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Connections accepted but never claimed by a worker.
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  for (const int fd : pending_connections_) ::close(fd);
+  pending_connections_.clear();
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Closed listener (Stop) or a hard error: either way, stop serving.
+      break;
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      pending_connections_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load() || !pending_connections_.empty();
+      });
+      if (pending_connections_.empty()) return;  // stopping
+      fd = pending_connections_.front();
+      pending_connections_.pop_front();
+    }
+    HandleConnection(fd);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  timeval poll_interval{};
+  poll_interval.tv_sec = kRecvPollMs / 1000;
+  poll_interval.tv_usec = (kRecvPollMs % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &poll_interval,
+               sizeof(poll_interval));
+
+  std::string buffer;
+  bool alive = true;
+  while (alive && !stopping_.load()) {
+    // ---- read one request (headers, then Content-Length body bytes).
+    // The deadline is absolute per request, checked whether or not bytes
+    // arrived: a client dripping one byte per poll interval must not be
+    // able to hold a worker past the timeout (slow-loris).
+    size_t header_end = std::string::npos;
+    WallTimer deadline;
+    const double timeout_ms =
+        static_cast<double>(options_.keep_alive_timeout_ms);
+    while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+      if (buffer.size() > kMaxHeaderBytes) {
+        WriteResponse(fd, 431,
+                      JsonError(Status::InvalidArgument(
+                          "request headers exceed 64KiB")),
+                      false);
+        ::close(fd);
+        return;
+      }
+      if (stopping_.load() || deadline.ElapsedSeconds() * 1000.0 > timeout_ms) {
+        ::close(fd);
+        return;
+      }
+      char chunk[8192];
+      const ssize_t n = RecvSome(fd, chunk, sizeof(chunk));
+      if (n == 0 || n == -2) {
+        ::close(fd);  // peer closed (between requests this is normal)
+        return;
+      }
+      if (n == -1) continue;  // poll tick; deadline re-checked above
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+
+    ParsedRequest request;
+    {
+      const std::string head = buffer.substr(0, header_end);
+      size_t line_end = head.find("\r\n");
+      const std::string request_line =
+          line_end == std::string::npos ? head : head.substr(0, line_end);
+      const size_t sp1 = request_line.find(' ');
+      const size_t sp2 =
+          sp1 == std::string::npos ? std::string::npos
+                                   : request_line.find(' ', sp1 + 1);
+      if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        WriteResponse(
+            fd, 400,
+            JsonError(Status::InvalidArgument("malformed request line")),
+            false);
+        ::close(fd);
+        return;
+      }
+      request.method = request_line.substr(0, sp1);
+      request.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::string version = request_line.substr(sp2 + 1);
+      if (version.rfind("HTTP/1.", 0) != 0) {
+        WriteResponse(fd, 505,
+                      JsonError(Status::InvalidArgument(
+                          "only HTTP/1.x is supported")),
+                      false);
+        ::close(fd);
+        return;
+      }
+      request.keep_alive = version != "HTTP/1.0";
+
+      bool have_length = false;
+      size_t content_length = 0;
+      size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+      while (pos < head.size()) {
+        size_t next = head.find("\r\n", pos);
+        if (next == std::string::npos) next = head.size();
+        const std::string line = head.substr(pos, next - pos);
+        pos = next + 2;
+        const size_t colon = line.find(':');
+        if (colon == std::string::npos) continue;
+        const std::string name = ToLower(line.substr(0, colon));
+        std::string value = line.substr(colon + 1);
+        while (!value.empty() && (value.front() == ' ' ||
+                                  value.front() == '\t')) {
+          value.erase(value.begin());
+        }
+        while (!value.empty() && (value.back() == ' ' ||
+                                  value.back() == '\t' ||
+                                  value.back() == '\r')) {
+          value.pop_back();
+        }
+        if (name == "content-length") {
+          char* end = nullptr;
+          const unsigned long long parsed =
+              std::strtoull(value.c_str(), &end, 10);
+          if (value.empty() || end != value.c_str() + value.size()) {
+            WriteResponse(fd, 400,
+                          JsonError(Status::InvalidArgument(
+                              "invalid Content-Length")),
+                          false);
+            ::close(fd);
+            return;
+          }
+          content_length = static_cast<size_t>(parsed);
+          have_length = true;
+        } else if (name == "transfer-encoding") {
+          WriteResponse(fd, 501,
+                        JsonError(Status::NotSupported(
+                            "chunked transfer encoding is not supported; "
+                            "send Content-Length")),
+                        false);
+          ::close(fd);
+          return;
+        } else if (name == "connection") {
+          const std::string lowered = ToLower(value);
+          if (lowered == "close") request.keep_alive = false;
+          if (lowered == "keep-alive") request.keep_alive = true;
+        }
+      }
+      if (content_length > options_.max_body_bytes) {
+        WriteResponse(fd, 413,
+                      JsonError(Status::ResourceExhausted(
+                          "request body exceeds max_body_bytes")),
+                      false);
+        ::close(fd);
+        return;
+      }
+      buffer.erase(0, header_end + 4);
+      WallTimer body_timer;
+      while (buffer.size() < content_length) {
+        if (stopping_.load() ||
+            body_timer.ElapsedSeconds() * 1000.0 > timeout_ms) {
+          ::close(fd);
+          return;
+        }
+        char chunk[8192];
+        const ssize_t n = RecvSome(fd, chunk, sizeof(chunk));
+        if (n == 0 || n == -2) {
+          ::close(fd);
+          return;
+        }
+        if (n == -1) continue;  // poll tick; deadline re-checked above
+        buffer.append(chunk, static_cast<size_t>(n));
+      }
+      request.body = buffer.substr(0, content_length);
+      buffer.erase(0, content_length);
+      (void)have_length;  // absent Content-Length means an empty body
+      request.ok = true;
+    }
+
+    // A stopping server finishes this request but opts out of keep-alive.
+    if (stopping_.load()) request.keep_alive = false;
+
+    // ---- route.
+    std::string target = request.target;
+    if (const size_t q = target.find('?'); q != std::string::npos) {
+      target.resize(q);  // the API carries parameters in the body
+    }
+    if (target == "/healthz") {
+      if (request.method == "GET" || request.method == "HEAD") {
+        alive = WriteResponse(fd, 200, "{\"ok\":true}", request.keep_alive,
+                              nullptr,
+                              /*include_body=*/request.method != "HEAD");
+      } else {
+        alive = WriteResponse(
+            fd, 405, JsonError(Status::InvalidArgument("use GET /healthz")),
+            request.keep_alive, "Allow: GET, HEAD");
+      }
+    } else if (target.rfind("/api/v1/", 0) == 0) {
+      const std::string method_name = target.substr(8);
+      if (request.method != "POST") {
+        alive = WriteResponse(fd, 405,
+                              JsonError(Status::InvalidArgument(
+                                  "API methods are invoked with POST")),
+                              request.keep_alive, "Allow: POST");
+      } else {
+        Result<std::string> dispatched =
+            service_->Dispatch(method_name, request.body);
+        if (dispatched.ok()) {
+          alive = WriteResponse(fd, 200, dispatched.value(),
+                                request.keep_alive);
+        } else {
+          alive = WriteResponse(
+              fd, api::StatusCodeToHttpStatus(dispatched.status().code()),
+              JsonError(dispatched.status()), request.keep_alive);
+        }
+      }
+    } else {
+      alive = WriteResponse(
+          fd, 404,
+          JsonError(Status::NotFound("no route for '" + target +
+                                     "' (use POST /api/v1/<method>)")),
+          request.keep_alive);
+    }
+    alive = alive && request.keep_alive;
+  }
+  ::close(fd);
+}
+
+}  // namespace palm
+}  // namespace coconut

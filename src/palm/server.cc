@@ -1,418 +1,96 @@
 #include "palm/server.h"
 
-#include <algorithm>
-#include <cmath>
-#include <thread>
-
-#include "common/thread_pool.h"
-#include "common/timer.h"
-#include "palm/heatmap.h"
-#include "palm/sharded_index.h"
-#include "series/series.h"
-
 namespace coconut {
 namespace palm {
 
+namespace {
+
+/// Adapts a typed Result to the legacy string-returning contract.
+template <typename Report>
+Result<std::string> Serialized(Result<Report> result) {
+  if (!result.ok()) return result.status();
+  return result.value().ToJsonString();
+}
+
+}  // namespace
+
 Result<std::unique_ptr<Server>> Server::Create(const std::string& root_dir,
                                                size_t pool_bytes_per_index) {
-  // Validate the root by creating it.
-  COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<storage::StorageManager> probe,
-                           storage::StorageManager::Create(root_dir));
-  (void)probe;
-  return std::unique_ptr<Server>(new Server(root_dir, pool_bytes_per_index));
+  COCONUT_ASSIGN_OR_RETURN(
+      std::unique_ptr<api::Service> service,
+      api::Service::Create(root_dir, pool_bytes_per_index));
+  return std::unique_ptr<Server>(new Server(std::move(service)));
 }
 
 Status Server::RegisterDataset(const std::string& name,
                                const series::SeriesCollection& data,
                                const std::vector<int64_t>* timestamps) {
-  if (datasets_.count(name) != 0) {
-    return Status::AlreadyExists("dataset '" + name + "' already registered");
-  }
-  if (timestamps != nullptr && timestamps->size() != data.size()) {
-    return Status::InvalidArgument("one timestamp per series required");
-  }
-  Dataset ds;
-  ds.data = series::SeriesCollection(data.length());
-  ds.data.Reserve(data.size());
-  std::vector<float> buf;
-  for (size_t i = 0; i < data.size(); ++i) {
-    buf.assign(data[i].begin(), data[i].end());
-    series::ZNormalize(buf);
-    ds.data.Append(buf);
-  }
-  if (timestamps != nullptr) {
-    ds.timestamps = *timestamps;
-  } else {
-    ds.timestamps.resize(data.size());
-    for (size_t i = 0; i < data.size(); ++i) {
-      ds.timestamps[i] = static_cast<int64_t>(i);
-    }
-  }
-  datasets_[name] = std::move(ds);
-  return Status::OK();
-}
-
-Result<Server::IndexHandle*> Server::NewHandle(const std::string& index_name,
-                                               const VariantSpec& spec) {
-  if (indexes_.count(index_name) != 0) {
-    return Status::AlreadyExists("index '" + index_name + "' already exists");
-  }
-  auto handle = std::make_unique<IndexHandle>();
-  handle->spec = spec;
-  COCONUT_ASSIGN_OR_RETURN(
-      handle->storage,
-      storage::StorageManager::Create(root_dir_ + "/idx_" + index_name));
-  COCONUT_RETURN_NOT_OK(handle->storage->Clear());
-  handle->pool = std::make_unique<storage::BufferPool>(pool_bytes_);
-  COCONUT_ASSIGN_OR_RETURN(
-      handle->raw, core::RawSeriesStore::Create(handle->storage.get(), "raw",
-                                                spec.sax.series_length));
-  IndexHandle* raw_ptr = handle.get();
-  indexes_[index_name] = std::move(handle);
-  return raw_ptr;
-}
-
-void Server::WriteIoStats(const storage::IoStats& io, JsonWriter* w) {
-  w->BeginObject();
-  w->Field("sequential_reads", io.sequential_reads);
-  w->Field("random_reads", io.random_reads);
-  w->Field("sequential_writes", io.sequential_writes);
-  w->Field("random_writes", io.random_writes);
-  w->Field("bytes_read", io.bytes_read);
-  w->Field("bytes_written", io.bytes_written);
-  w->EndObject();
+  return service_->RegisterDataset(name, data, timestamps).status();
 }
 
 Result<std::string> Server::BuildIndex(const std::string& index_name,
                                        const VariantSpec& spec,
                                        const std::string& dataset_name) {
-  auto ds_it = datasets_.find(dataset_name);
-  if (ds_it == datasets_.end()) {
-    return Status::NotFound("dataset '" + dataset_name + "' not registered");
-  }
-  const Dataset& dataset = ds_it->second;
-  if (static_cast<int>(dataset.data.length()) != spec.sax.series_length) {
-    return Status::InvalidArgument("spec series_length != dataset length");
-  }
-  COCONUT_ASSIGN_OR_RETURN(IndexHandle * handle,
-                           NewHandle(index_name, spec));
-
-  WallTimer timer;
-  const storage::IoStats before = *handle->storage->io_stats();
-
-  COCONUT_ASSIGN_OR_RETURN(
-      handle->static_index,
-      CreateStaticIndex(spec, handle->storage.get(), "index", handle->pool.get(),
-                        handle->raw.get()));
-  // Sharded indexes route every series into a shard-local raw store; the
-  // handle-level store would be a dead second copy of the dataset (doubled
-  // disk and build I/O), so only unsharded indexes populate it.
-  const bool shard_owned_raw = spec.num_shards > 1;
-  for (size_t i = 0; i < dataset.data.size(); ++i) {
-    if (!shard_owned_raw) {
-      COCONUT_RETURN_NOT_OK(handle->raw->Append(dataset.data[i]).status());
-    }
-    COCONUT_RETURN_NOT_OK(handle->static_index->Insert(
-        i, dataset.data[i], dataset.timestamps[i]));
-  }
-  COCONUT_RETURN_NOT_OK(handle->raw->Flush());
-  COCONUT_RETURN_NOT_OK(handle->static_index->Finalize());
-  handle->next_series_id = dataset.data.size();
-  handle->build_seconds = timer.ElapsedSeconds();
-  handle->build_io = handle->storage->io_stats()->Since(before);
-  // Sharded builds do their I/O through per-shard storage managers (fresh
-  // at this point, so totals == this build); fold them into the report.
-  if (auto* sharded =
-          dynamic_cast<ShardedIndex*>(handle->static_index.get());
-      sharded != nullptr) {
-    handle->build_io.Add(sharded->AggregateIoStats());
-  }
-
-  JsonWriter w;
-  w.BeginObject();
-  w.Field("index", index_name);
-  w.Field("variant", VariantName(spec));
-  w.Field("dataset", dataset_name);
-  w.Field("shards", static_cast<uint64_t>(spec.num_shards));
-  w.Field("entries", handle->static_index->num_entries());
-  w.Field("build_seconds", handle->build_seconds);
-  w.Field("index_bytes", handle->static_index->index_bytes());
-  w.Field("total_bytes", handle->storage->TotalBytesOnDisk());
-  w.Key("io");
-  WriteIoStats(handle->build_io, &w);
-  w.EndObject();
-  return w.TakeString();
+  return Serialized(service_->BuildIndex(index_name, spec, dataset_name));
 }
 
 Result<std::string> Server::CreateStream(const std::string& stream_name,
                                          const VariantSpec& spec) {
-  COCONUT_ASSIGN_OR_RETURN(IndexHandle * handle,
-                           NewHandle(stream_name, spec));
-  COCONUT_ASSIGN_OR_RETURN(
-      handle->stream_index,
-      CreateStreamingIndex(spec, handle->storage.get(), "stream",
-                           handle->pool.get(), handle->raw.get()));
-  JsonWriter w;
-  w.BeginObject();
-  w.Field("stream", stream_name);
-  w.Field("variant", VariantName(spec));
-  w.EndObject();
-  return w.TakeString();
+  return Serialized(service_->CreateStream(stream_name, spec));
 }
 
-Result<std::string> Server::IngestBatch(const std::string& stream_name,
-                                        const series::SeriesCollection& batch,
-                                        const std::vector<int64_t>& timestamps) {
-  auto it = indexes_.find(stream_name);
-  if (it == indexes_.end() || it->second->stream_index == nullptr) {
-    return Status::NotFound("stream '" + stream_name + "' not found");
-  }
-  if (timestamps.size() != batch.size()) {
-    return Status::InvalidArgument("one timestamp per series required");
-  }
-  IndexHandle* handle = it->second.get();
-
-  WallTimer timer;
-  // Snapshot reads: background seals/merges of an async stream may be
-  // doing I/O while this batch is admitted.
-  const storage::IoStats before = handle->storage->SnapshotIoStats();
-  std::vector<float> buf;
-  for (size_t i = 0; i < batch.size(); ++i) {
-    buf.assign(batch[i].begin(), batch[i].end());
-    series::ZNormalize(buf);
-    // Series ids are raw-store ordinals (queries fetch by id), so take the
-    // id Append assigned. If the index then rejects the entry (e.g. a
-    // kStrict timestamp regression), the ordinal stays burned as an
-    // unindexed raw slot — ids of previously and subsequently admitted
-    // series keep lining up with the raw file either way.
-    COCONUT_ASSIGN_OR_RETURN(const uint64_t id, handle->raw->Append(buf));
-    handle->next_series_id = id + 1;
-    COCONUT_RETURN_NOT_OK(
-        handle->stream_index->Ingest(id, buf, timestamps[i]));
-  }
-  COCONUT_RETURN_NOT_OK(handle->raw->Flush());
-
-  const stream::StreamingStats stats =
-      handle->stream_index->SnapshotStats();
-  JsonWriter w;
-  w.BeginObject();
-  w.Field("stream", stream_name);
-  w.Field("ingested", static_cast<uint64_t>(batch.size()));
-  w.Field("total_entries", stats.entries);
-  w.Field("partitions", stats.sealed_partitions);
-  w.Field("buffered", stats.buffered);
-  w.Field("pending_tasks", stats.pending_tasks);
-  w.Field("seals_completed", stats.seals_completed);
-  w.Field("merges_completed", stats.merges_completed);
-  w.Field("seconds", timer.ElapsedSeconds());
-  w.Key("io");
-  WriteIoStats(handle->storage->SnapshotIoStats().Since(before), &w);
-  w.EndObject();
-  return w.TakeString();
+Result<std::string> Server::IngestBatch(
+    const std::string& stream_name, const series::SeriesCollection& batch,
+    const std::vector<int64_t>& timestamps) {
+  return Serialized(service_->IngestBatch(stream_name, batch, timestamps));
 }
 
 Result<std::string> Server::DrainStream(const std::string& stream_name) {
-  auto it = indexes_.find(stream_name);
-  if (it == indexes_.end() || it->second->stream_index == nullptr) {
-    return Status::NotFound("stream '" + stream_name + "' not found");
-  }
-  IndexHandle* handle = it->second.get();
-  WallTimer timer;
-  COCONUT_RETURN_NOT_OK(handle->stream_index->FlushAll());
-  const stream::StreamingStats stats =
-      handle->stream_index->SnapshotStats();
-  JsonWriter w;
-  w.BeginObject();
-  w.Field("stream", stream_name);
-  w.Field("drained", true);
-  w.Field("drain_seconds", timer.ElapsedSeconds());
-  w.Field("total_entries", stats.entries);
-  w.Field("partitions", stats.sealed_partitions);
-  w.Field("buffered", stats.buffered);
-  w.Field("pending_tasks", stats.pending_tasks);
-  w.Field("seals_completed", stats.seals_completed);
-  w.Field("merges_completed", stats.merges_completed);
-  w.Field("index_bytes", handle->stream_index->index_bytes());
-  w.Field("total_bytes", handle->storage->TotalBytesOnDisk());
-  w.EndObject();
-  return w.TakeString();
+  return Serialized(service_->DrainStream(stream_name));
 }
 
 Result<std::string> Server::Query(const QueryRequest& request) {
-  auto it = indexes_.find(request.index);
-  if (it == indexes_.end()) {
-    return Status::NotFound("index '" + request.index + "' not found");
-  }
-  IndexHandle* handle = it->second.get();
-
-  std::vector<float> query = request.query;
-  series::ZNormalize(query);
-
-  core::SearchOptions options;
-  if (request.window.has_value()) options.window = *request.window;
-  options.approx_candidates = request.approx_candidates;
-
-  // A sharded index reads through per-shard storage managers; snapshot
-  // those too so the reported query I/O is real, not the handle's zeros.
-  auto* sharded = dynamic_cast<ShardedIndex*>(handle->static_index.get());
-
-  core::QueryCounters counters;
-  storage::AccessTracker* tracker = handle->storage->tracker();
-  if (request.capture_heatmap) {
-    if (sharded != nullptr) {
-      // Shard I/O never touches the handle-level tracker; a silent empty
-      // heat map would read as an all-cold result, so refuse instead.
-      return Status::NotSupported(
-          "heat maps are not captured for sharded indexes yet");
-    }
-    tracker->Clear();
-    tracker->Enable();
-  }
-
-  WallTimer timer;
-  // Snapshot: async streams may be sealing/merging in the background.
-  storage::IoStats before = handle->storage->SnapshotIoStats();
-  if (sharded != nullptr) before.Add(sharded->AggregateIoStats());
-  Result<core::SearchResult> result =
-      handle->static_index != nullptr
-          ? (request.exact
-                 ? handle->static_index->ExactSearch(query, options, &counters)
-                 : handle->static_index->ApproxSearch(query, options,
-                                                      &counters))
-          : (request.exact
-                 ? handle->stream_index->ExactSearch(query, options, &counters)
-                 : handle->stream_index->ApproxSearch(query, options,
-                                                      &counters));
-  const double seconds = timer.ElapsedSeconds();
-  if (request.capture_heatmap) tracker->Disable();
-  if (!result.ok()) return result.status();
-  const core::SearchResult& match = result.value();
-
-  JsonWriter w;
-  w.BeginObject();
-  w.Field("index", request.index);
-  w.Field("exact", request.exact);
-  w.Field("found", match.found);
-  if (match.found) {
-    w.Field("series_id", match.series_id);
-    w.Field("distance", std::sqrt(match.distance_sq));
-    w.Field("timestamp", static_cast<int64_t>(match.timestamp));
-  }
-  w.Field("seconds", seconds);
-  w.Key("io");
-  storage::IoStats after = handle->storage->SnapshotIoStats();
-  if (sharded != nullptr) after.Add(sharded->AggregateIoStats());
-  WriteIoStats(after.Since(before), &w);
-  w.Key("counters");
-  w.BeginObject();
-  w.Field("leaves_visited", counters.leaves_visited);
-  w.Field("leaves_pruned", counters.leaves_pruned);
-  w.Field("entries_examined", counters.entries_examined);
-  w.Field("raw_fetches", counters.raw_fetches);
-  w.Field("partitions_visited", counters.partitions_visited);
-  w.Field("partitions_skipped", counters.partitions_skipped);
-  w.EndObject();
-  if (request.capture_heatmap) {
-    // Snapshot: an async stream's background seals may still be recording.
-    const std::vector<storage::AccessEvent> events =
-        tracker->SnapshotEvents();
-    HeatMap map = BuildHeatMap(events, request.heatmap_time_bins,
-                               request.heatmap_location_bins);
-    w.Field("access_locality", AccessLocality(events));
-    w.Key("heatmap");
-    HeatMapToJson(map, &w);
-  }
-  w.EndObject();
-  return w.TakeString();
+  return Serialized(service_->Query(request));
 }
 
 std::vector<Result<std::string>> Server::QueryBatch(
     const std::vector<QueryRequest>& requests, size_t threads) {
-  std::vector<Result<std::string>> results(
-      requests.size(), Result<std::string>(Status::Internal("not executed")));
-  if (requests.empty()) return results;
-
-  // Group request ordinals by target index. One task per group keeps every
-  // index single-threaded (buffer pool pointers, tracker state and query
-  // counters are per-index), while distinct indexes proceed in parallel.
-  std::map<std::string, std::vector<size_t>> by_index;
-  for (size_t i = 0; i < requests.size(); ++i) {
-    by_index[requests[i].index].push_back(i);
+  std::vector<Result<api::QueryReport>> reports =
+      service_->QueryBatch(requests, threads);
+  std::vector<Result<std::string>> results;
+  results.reserve(reports.size());
+  for (Result<api::QueryReport>& report : reports) {
+    results.push_back(Serialized(std::move(report)));
   }
-
-  if (threads == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = std::min<size_t>(8, hw == 0 ? 1 : hw);
-  }
-  threads = std::min(threads, by_index.size());
-
-  ThreadPool pool(threads);
-  for (auto& [index_name, ordinals] : by_index) {
-    (void)index_name;
-    const std::vector<size_t>* group = &ordinals;
-    pool.Submit([this, group, &requests, &results] {
-      for (size_t ordinal : *group) {
-        results[ordinal] = Query(requests[ordinal]);
-      }
-    });
-  }
-  pool.Wait();
   return results;
 }
 
 std::string Server::RecommendJson(const Scenario& scenario) {
-  Recommendation rec = Recommend(scenario);
-  JsonWriter w;
-  w.BeginObject();
-  w.Field("variant", rec.variant_name());
-  w.Key("spec");
-  w.BeginObject();
-  w.Field("materialized", rec.spec.materialized);
-  w.Field("fill_factor", rec.spec.fill_factor);
-  w.Field("growth_factor", static_cast<int64_t>(rec.spec.growth_factor));
-  w.Field("buffer_entries", static_cast<uint64_t>(rec.spec.buffer_entries));
-  w.EndObject();
-  w.Key("rationale");
-  w.BeginArray();
-  for (const auto& reason : rec.rationale) w.String(reason);
-  w.EndArray();
-  w.EndObject();
-  return w.TakeString();
+  return service_->Recommend(scenario).ToJsonString();
 }
 
 std::string Server::ListIndexes() const {
-  JsonWriter w;
-  w.BeginArray();
-  for (const auto& [name, handle] : indexes_) {
-    w.BeginObject();
-    w.Field("name", name);
-    w.Field("variant", VariantName(handle->spec));
-    w.Field("streaming", handle->stream_index != nullptr);
-    w.Field("shards", static_cast<uint64_t>(handle->spec.num_shards));
-    const uint64_t entries = handle->static_index != nullptr
-                                 ? handle->static_index->num_entries()
-                                 : handle->stream_index->num_entries();
-    w.Field("entries", entries);
-    w.Field("total_bytes", handle->storage->TotalBytesOnDisk());
-    w.EndObject();
-  }
-  w.EndArray();
-  return w.TakeString();
+  return service_->ListIndexes().ToJsonString();
+}
+
+Result<std::string> Server::DropIndex(const std::string& index_name) {
+  return Serialized(service_->DropIndex(index_name));
+}
+
+Result<std::string> Server::DropDataset(const std::string& dataset_name) {
+  return Serialized(service_->DropDataset(dataset_name));
 }
 
 core::DataSeriesIndex* Server::static_index(const std::string& name) {
-  auto it = indexes_.find(name);
-  return it == indexes_.end() ? nullptr : it->second->static_index.get();
+  return service_->static_index(name);
 }
 
 stream::StreamingIndex* Server::stream_index(const std::string& name) {
-  auto it = indexes_.find(name);
-  return it == indexes_.end() ? nullptr : it->second->stream_index.get();
+  return service_->stream_index(name);
 }
 
 storage::StorageManager* Server::index_storage(const std::string& name) {
-  auto it = indexes_.find(name);
-  return it == indexes_.end() ? nullptr : it->second->storage.get();
+  return service_->index_storage(name);
 }
 
 }  // namespace palm

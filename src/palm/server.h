@@ -1,44 +1,32 @@
 #ifndef COCONUT_PALM_SERVER_H_
 #define COCONUT_PALM_SERVER_H_
 
-#include <map>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "common/json.h"
 #include "core/index.h"
-#include "core/raw_store.h"
+#include "palm/api.h"
 #include "palm/factory.h"
 #include "palm/recommender.h"
-#include "storage/buffer_pool.h"
 #include "storage/storage_manager.h"
 #include "stream/streaming_index.h"
 
 namespace coconut {
 namespace palm {
 
-/// A similarity query as the GUI client would issue it.
-struct QueryRequest {
-  std::string index;
-  /// Raw query series (the server z-normalizes).
-  std::vector<float> query;
-  bool exact = true;
-  std::optional<core::TimeWindow> window;
-  int approx_candidates = 10;
-  /// Capture the page-access pattern and embed a heat map in the response.
-  bool capture_heatmap = false;
-  size_t heatmap_time_bins = 16;
-  size_t heatmap_location_bins = 64;
-};
+/// A similarity query as the GUI client would issue it. The canonical
+/// definition lives in the typed API layer; this alias preserves the
+/// historical palm::QueryRequest spelling.
+using QueryRequest = api::QueryRequest;
 
-/// The Coconut Palm algorithms server (Figure 1, right half) — in-process
-/// substitute for the demo's REST backend. The GUI's requests map to
-/// methods; every response is the JSON payload the PHP/JS client would
-/// plot. Each index gets its own working directory, IoStats and buffer
-/// pool so construction and query metrics are isolated per variant,
-/// exactly what the GUI's side-by-side comparison panels need.
+/// The Coconut Palm algorithms server (Figure 1, right half) — the
+/// legacy in-process facade over the typed service layer (palm/api.h).
+/// Every method is a thin adapter: it forwards to api::Service and
+/// serializes the typed response, so the JSON these methods return is
+/// byte-identical to what the wire transport (palm/http_server.h) sends
+/// for the same operation. New code should talk to api::Service directly;
+/// this class stays for the existing examples, benches and tests.
 class Server {
  public:
   /// Creates a server rooted at `root_dir` (created if absent).
@@ -83,14 +71,13 @@ class Server {
 
   /// Executes independent requests concurrently on a small thread pool and
   /// returns one result per request, positionally. Requests that target the
-  /// same index are serialized on one worker (per-index isolation: each
-  /// index's buffer pool, I/O counters and heat-map tracker stay
-  /// single-threaded); requests for distinct indexes run in parallel.
-  /// A sharded index (spec.num_shards > 1) additionally fans each query
-  /// out across its shards on its own pool — scatter-gather under the same
-  /// facade — so one request exploits shard parallelism even when the
-  /// batch serializes on its index. `threads` = 0 picks hardware
-  /// concurrency (capped at 8).
+  /// same index are serialized (per-index isolation: each index's buffer
+  /// pool, I/O counters and heat-map tracker stay single-threaded);
+  /// requests for distinct indexes run in parallel. A sharded index
+  /// (spec.num_shards > 1) additionally fans each query out across its
+  /// shards on its own pool — scatter-gather under the same facade — so
+  /// one request exploits shard parallelism even when the batch serializes
+  /// on its index. `threads` = 0 picks hardware concurrency (capped at 8).
   std::vector<Result<std::string>> QueryBatch(
       const std::vector<QueryRequest>& requests, size_t threads = 0);
 
@@ -100,41 +87,28 @@ class Server {
   /// JSON array describing every index and stream (the GUI's index list).
   std::string ListIndexes() const;
 
+  /// Drops an index or stream: drains background work, releases its
+  /// storage directory, buffer pool and raw store. Returns the drop
+  /// report JSON.
+  Result<std::string> DropIndex(const std::string& index_name);
+
+  /// Forgets a registered dataset (indexes built from it are unaffected).
+  Result<std::string> DropDataset(const std::string& dataset_name);
+
+  /// The typed service this facade adapts — the JSON-RPC Dispatch entry
+  /// point and the seam the HTTP transport plugs into.
+  api::Service* service() { return service_.get(); }
+
   /// Direct access for examples/benches (nullptr when absent).
   core::DataSeriesIndex* static_index(const std::string& name);
   stream::StreamingIndex* stream_index(const std::string& name);
   storage::StorageManager* index_storage(const std::string& name);
 
  private:
-  struct Dataset {
-    series::SeriesCollection data{0};
-    std::vector<int64_t> timestamps;
-  };
+  explicit Server(std::unique_ptr<api::Service> service)
+      : service_(std::move(service)) {}
 
-  struct IndexHandle {
-    VariantSpec spec;
-    std::unique_ptr<storage::StorageManager> storage;
-    std::unique_ptr<storage::BufferPool> pool;
-    std::unique_ptr<core::RawSeriesStore> raw;
-    std::unique_ptr<core::DataSeriesIndex> static_index;
-    std::unique_ptr<stream::StreamingIndex> stream_index;
-    uint64_t next_series_id = 0;
-    double build_seconds = 0.0;
-    storage::IoStats build_io;
-  };
-
-  Server(std::string root_dir, size_t pool_bytes)
-      : root_dir_(std::move(root_dir)), pool_bytes_(pool_bytes) {}
-
-  Result<IndexHandle*> NewHandle(const std::string& index_name,
-                                 const VariantSpec& spec);
-
-  static void WriteIoStats(const storage::IoStats& io, JsonWriter* w);
-
-  std::string root_dir_;
-  size_t pool_bytes_;
-  std::map<std::string, Dataset> datasets_;
-  std::map<std::string, std::unique_ptr<IndexHandle>> indexes_;
+  std::unique_ptr<api::Service> service_;
 };
 
 }  // namespace palm

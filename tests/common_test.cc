@@ -251,5 +251,101 @@ TEST(WaitGroupTest, WaitBlocksUntilAllDone) {
   EXPECT_EQ(wg.pending(), 0u);
 }
 
+// ------------------------------------------------- JsonValue / JsonParse
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonParse("null").TakeValue().is_null());
+  EXPECT_EQ(JsonParse("true").TakeValue().bool_value(), true);
+  EXPECT_EQ(JsonParse("false").TakeValue().bool_value(), false);
+  EXPECT_EQ(JsonParse("\"hi\"").TakeValue().string_value(), "hi");
+
+  JsonValue v = JsonParse("42").TakeValue();
+  EXPECT_EQ(v.kind(), JsonValue::Kind::kUint);
+  EXPECT_EQ(v.AsUint64().value(), 42u);
+  EXPECT_EQ(v.AsInt64().value(), 42);
+  EXPECT_EQ(v.AsDouble(), 42.0);
+
+  v = JsonParse("-17").TakeValue();
+  EXPECT_EQ(v.kind(), JsonValue::Kind::kInt);
+  EXPECT_EQ(v.AsInt64().value(), -17);
+  EXPECT_FALSE(v.AsUint64().ok());
+
+  v = JsonParse("3.5").TakeValue();
+  EXPECT_EQ(v.kind(), JsonValue::Kind::kDouble);
+  EXPECT_EQ(v.AsDouble(), 3.5);
+
+  v = JsonParse("1e3").TakeValue();
+  EXPECT_EQ(v.AsDouble(), 1000.0);
+  EXPECT_EQ(v.AsInt64().value(), 1000);
+
+  // 64-bit extremes round-trip exactly.
+  v = JsonParse("18446744073709551615").TakeValue();
+  EXPECT_EQ(v.AsUint64().value(), UINT64_MAX);
+  EXPECT_FALSE(v.AsInt64().ok());
+  v = JsonParse("-9223372036854775808").TakeValue();
+  EXPECT_EQ(v.AsInt64().value(), INT64_MIN);
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  JsonValue v =
+      JsonParse(" { \"a\" : [ 1 , {\"b\": [true, null]} ] , \"c\": {} } ")
+          .TakeValue();
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array().size(), 2u);
+  EXPECT_EQ(a->array()[0].AsUint64().value(), 1u);
+  const JsonValue* b = a->array()[1].Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->array()[0].bool_value());
+  EXPECT_TRUE(b->array()[1].is_null());
+  EXPECT_TRUE(v.Find("c")->is_object());
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(JsonParse("\"a\\\"b\\\\c\\/d\\n\\t\"").TakeValue().string_value(),
+            "a\"b\\c/d\n\t");
+  // BMP escape, and a surrogate pair for U+1F600.
+  EXPECT_EQ(JsonParse("\"\\u00e9\"").TakeValue().string_value(), "\xc3\xa9");
+  EXPECT_EQ(JsonParse("\"\\u20ac\"").TakeValue().string_value(),
+            "\xe2\x82\xac");
+  EXPECT_EQ(JsonParse("\"\\ud83d\\ude00\"").TakeValue().string_value(),
+            "\xf0\x9f\x98\x80");
+  // Unpaired surrogates are malformed.
+  EXPECT_FALSE(JsonParse("\"\\ud83d\"").ok());
+  EXPECT_FALSE(JsonParse("\"\\ude00\"").ok());
+  EXPECT_FALSE(JsonParse("\"\\ud83dx\"").ok());
+}
+
+TEST(JsonParseTest, MalformedDocuments) {
+  const char* bad[] = {
+      "",           "{",           "}",            "{\"a\":}",
+      "{\"a\" 1}",  "[1,]",        "[1 2]",        "tru",
+      "01",         "1.",          "1e",           "-",
+      "\"unterminated", "\"bad\\q\"", "{\"a\":1}extra", "nan",
+      "{\"a\":1,\"a\":2}",  // duplicate key
+  };
+  for (const char* doc : bad) {
+    EXPECT_FALSE(JsonParse(doc).ok()) << doc;
+  }
+  // Control characters must be escaped.
+  EXPECT_FALSE(JsonParse("\"a\nb\"").ok());
+  // Nesting past the depth cap is rejected rather than overflowing.
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(JsonParse(deep).ok());
+}
+
+TEST(JsonParseTest, DumpRoundTripsThroughWriter) {
+  const std::string doc =
+      "{\"s\":\"a\\\"b\",\"n\":-3,\"u\":42,\"d\":1.5,\"t\":true,"
+      "\"z\":null,\"arr\":[1,2,3],\"obj\":{\"k\":\"v\"}}";
+  Result<JsonValue> parsed = JsonParse(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Dump(), doc);
+}
+
 }  // namespace
 }  // namespace coconut

@@ -1,0 +1,478 @@
+// End-to-end tests for the embedded HTTP transport (palm/http_server.h):
+// boot the server on an ephemeral port and drive the full
+// register -> build -> query -> drain -> drop lifecycle over real POSIX
+// sockets, including keep-alive reuse, protocol errors, and concurrent
+// clients (this suite runs under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "palm/api.h"
+#include "palm/http_server.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace palm {
+namespace {
+
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+  std::string connection_header;
+};
+
+/// Blocking loopback client used by the tests; fails the test via the
+/// returned status when the server misbehaves at the socket level.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  Result<HttpResponse> Post(const std::string& target,
+                            const std::string& body,
+                            bool close_connection = false) {
+    return RoundTrip("POST", target, body, close_connection);
+  }
+
+  Result<HttpResponse> Get(const std::string& target) {
+    return RoundTrip("GET", target, "", false);
+  }
+
+  /// Sends a HEAD and reads exactly the header block, byte by byte — any
+  /// body bytes a buggy server sends would stay queued and desync the
+  /// next request on this connection.
+  Result<int> Head(const std::string& target) {
+    COCONUT_RETURN_NOT_OK(SendAll("HEAD " + target +
+                                  " HTTP/1.1\r\nHost: x\r\n"
+                                  "Content-Length: 0\r\n\r\n"));
+    std::string head;
+    while (head.find("\r\n\r\n") == std::string::npos) {
+      char c;
+      const ssize_t n = ::recv(fd_, &c, 1, 0);
+      if (n == 1) {
+        head += c;
+        continue;
+      }
+      if (n == 0) return Status::IoError("connection closed by server");
+      if (errno == EINTR) continue;
+      return Status::IoError("recv: " + std::string(std::strerror(errno)));
+    }
+    const size_t sp = head.find(' ');
+    if (sp == std::string::npos) return Status::IoError("bad status line");
+    return std::atoi(head.c_str() + sp + 1);
+  }
+
+  Result<HttpResponse> RoundTrip(const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body,
+                                 bool close_connection) {
+    std::string request = method + " " + target + " HTTP/1.1\r\n";
+    request += "Host: 127.0.0.1\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    if (close_connection) request += "Connection: close\r\n";
+    request += "\r\n";
+    request += body;
+    COCONUT_RETURN_NOT_OK(SendAll(request));
+    return ReadResponse();
+  }
+
+  /// Sends raw bytes (for malformed-request tests).
+  Status SendAll(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n =
+          ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError("send: " + std::string(std::strerror(errno)));
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Result<HttpResponse> ReadResponse() {
+    std::string buffer;
+    size_t header_end;
+    while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+      COCONUT_RETURN_NOT_OK(Recv(&buffer));
+    }
+    HttpResponse response;
+    const std::string head = buffer.substr(0, header_end);
+    // "HTTP/1.1 200 OK"
+    const size_t sp = head.find(' ');
+    if (sp == std::string::npos) return Status::IoError("bad status line");
+    response.status = std::atoi(head.c_str() + sp + 1);
+    size_t content_length = 0;
+    size_t pos = head.find("\r\n");
+    while (pos != std::string::npos && pos < head.size()) {
+      size_t next = head.find("\r\n", pos + 2);
+      const std::string line =
+          head.substr(pos + 2, (next == std::string::npos ? head.size()
+                                                          : next) -
+                                   pos - 2);
+      pos = next;
+      std::string lowered = line;
+      for (char& c : lowered) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      if (lowered.rfind("content-length:", 0) == 0) {
+        content_length = static_cast<size_t>(
+            std::atoll(line.c_str() + std::strlen("content-length:")));
+      } else if (lowered.rfind("connection:", 0) == 0) {
+        std::string value = lowered.substr(std::strlen("connection:"));
+        while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+        response.connection_header = value;
+      }
+    }
+    buffer.erase(0, header_end + 4);
+    while (buffer.size() < content_length) {
+      COCONUT_RETURN_NOT_OK(Recv(&buffer));
+    }
+    response.body = buffer.substr(0, content_length);
+    return response;
+  }
+
+ private:
+  Status Recv(std::string* buffer) {
+    char chunk[4096];
+    while (true) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buffer->append(chunk, static_cast<size_t>(n));
+        return Status::OK();
+      }
+      if (n == 0) return Status::IoError("connection closed by server");
+      if (errno == EINTR) continue;
+      return Status::IoError("recv: " + std::string(std::strerror(errno)));
+    }
+  }
+
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+series::SaxConfig TestSax() {
+  return series::SaxConfig{.series_length = 32, .num_segments = 8,
+                           .bits_per_segment = 8};
+}
+
+class HttpE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path().string() + "/http_e2e_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+    service_ = api::Service::Create(root_).TakeValue();
+    HttpServerOptions options;
+    options.port = 0;  // ephemeral
+    options.threads = 4;
+    auto started = HttpServer::Start(service_.get(), options);
+    ASSERT_TRUE(started.ok()) << started.status().ToString();
+    server_ = started.TakeValue();
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  void TearDown() override {
+    server_.reset();
+    service_.reset();
+    std::filesystem::remove_all(root_);
+  }
+
+  /// One-shot POST on a fresh connection; asserts transport success.
+  HttpResponse Post(const std::string& method, const std::string& body) {
+    TestClient client(server_->port());
+    EXPECT_TRUE(client.connected());
+    Result<HttpResponse> response = client.Post("/api/v1/" + method, body);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return response.ok() ? response.TakeValue() : HttpResponse{};
+  }
+
+  std::string root_;
+  std::unique_ptr<api::Service> service_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpE2eTest, FullLifecycleOverRealSockets) {
+  const series::SeriesCollection data =
+      testutil::RandomWalkCollection(100, 32, 77);
+
+  // register -> build.
+  api::RegisterDatasetRequest reg;
+  reg.name = "walk";
+  reg.data = data;
+  HttpResponse response = Post("register_dataset", reg.ToJsonString());
+  ASSERT_EQ(response.status, 200) << response.body;
+
+  api::BuildIndexRequest build;
+  build.index = "idx";
+  build.dataset = "walk";
+  build.spec.sax = TestSax();
+  response = Post("build_index", build.ToJsonString());
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto report = api::BuildIndexReport::FromJson(
+      JsonParse(response.body).TakeValue());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().entries, 100u);
+
+  // query (exact, against brute force over the normalized data).
+  api::QueryRequest query;
+  query.index = "idx";
+  query.query = testutil::NoisyCopy(data, 42, 0.25, 3);
+  response = Post("query", query.ToJsonString());
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto query_report =
+      api::QueryReport::FromJson(JsonParse(response.body).TakeValue());
+  ASSERT_TRUE(query_report.ok()) << query_report.status().ToString();
+  ASSERT_TRUE(query_report.value().found);
+  series::SeriesCollection normalized(data.length());
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::vector<float> buf(data[i].begin(), data[i].end());
+    series::ZNormalize(buf);
+    normalized.Append(buf);
+  }
+  std::vector<float> znorm = query.query;
+  series::ZNormalize(znorm);
+  const auto truth = testutil::BruteForceNearest(normalized, znorm);
+  EXPECT_NEAR(query_report.value().distance * query_report.value().distance,
+              truth.distance_sq, 1e-4);
+
+  // create_stream -> ingest -> drain.
+  api::CreateStreamRequest create;
+  create.stream = "tp";
+  create.spec.sax = TestSax();
+  create.spec.mode = StreamMode::kTP;
+  create.spec.buffer_entries = 32;
+  response = Post("create_stream", create.ToJsonString());
+  ASSERT_EQ(response.status, 200) << response.body;
+
+  api::IngestBatchRequest ingest;
+  ingest.stream = "tp";
+  ingest.batch = data;
+  ingest.timestamps.resize(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    ingest.timestamps[i] = static_cast<int64_t>(i);
+  }
+  response = Post("ingest_batch", ingest.ToJsonString());
+  ASSERT_EQ(response.status, 200) << response.body;
+
+  response = Post("drain_stream", "{\"stream\":\"tp\"}");
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto drain = api::DrainStreamReport::FromJson(
+      JsonParse(response.body).TakeValue());
+  ASSERT_TRUE(drain.ok());
+  EXPECT_TRUE(drain.value().drained);
+  EXPECT_EQ(drain.value().total_entries, 100u);
+  EXPECT_EQ(drain.value().pending_tasks, 0u);
+
+  // Windowed query against the stream over the wire.
+  query.index = "tp";
+  query.window = core::TimeWindow{0, 49};
+  response = Post("query", query.ToJsonString());
+  ASSERT_EQ(response.status, 200) << response.body;
+
+  // list -> drop -> list.
+  response = Post("list_indexes", "");
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto list = api::ListIndexesResponse::FromJson(
+      JsonParse(response.body).TakeValue());
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list.value().indexes.size(), 2u);
+
+  response = Post("drop_index", "{\"index\":\"tp\"}");
+  ASSERT_EQ(response.status, 200) << response.body;
+  response = Post("drop_index", "{\"index\":\"idx\"}");
+  ASSERT_EQ(response.status, 200) << response.body;
+  response = Post("drop_dataset", "{\"dataset\":\"walk\"}");
+  ASSERT_EQ(response.status, 200) << response.body;
+  response = Post("list_indexes", "");
+  EXPECT_EQ(response.body, "[]");
+}
+
+TEST_F(HttpE2eTest, KeepAliveServesManyRequestsPerConnection) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  for (int i = 0; i < 5; ++i) {
+    Result<HttpResponse> response = client.Post("/api/v1/list_indexes", "");
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response.value().status, 200);
+    EXPECT_EQ(response.value().connection_header, "keep-alive");
+    EXPECT_EQ(response.value().body, "[]");
+  }
+  // healthz on the same connection.
+  Result<HttpResponse> health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().status, 200);
+  EXPECT_EQ(health.value().body, "{\"ok\":true}");
+  // HEAD must answer headers-only; a body would desync the next request
+  // on this keep-alive connection (the follow-up GET catches it).
+  Result<int> head = client.Head("/healthz");
+  ASSERT_TRUE(head.ok()) << head.status().ToString();
+  EXPECT_EQ(head.value(), 200);
+  health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health.value().status, 200);
+  EXPECT_EQ(health.value().body, "{\"ok\":true}");
+  // Connection: close is honored.
+  Result<HttpResponse> last =
+      client.Post("/api/v1/list_indexes", "", /*close_connection=*/true);
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last.value().connection_header, "close");
+}
+
+TEST_F(HttpE2eTest, ProtocolAndDispatchErrors) {
+  // Unknown route.
+  TestClient c1(server_->port());
+  Result<HttpResponse> raw = c1.Post("/nope", "{}");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw.value().status, 404);
+
+  // Wrong verb on an API method.
+  TestClient c2(server_->port());
+  raw = c2.Get("/api/v1/list_indexes");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw.value().status, 405);
+
+  // Unknown method -> 404 with a structured error body.
+  HttpResponse response = Post("frobnicate", "{}");
+  EXPECT_EQ(response.status, 404);
+  auto error =
+      api::ApiError::FromJson(JsonParse(response.body).TakeValue());
+  ASSERT_TRUE(error.ok()) << response.body;
+  EXPECT_EQ(error.value().code, "not_found");
+
+  // Malformed JSON body -> 400.
+  response = Post("query", "{\"index\":");
+  EXPECT_EQ(response.status, 400);
+  error = api::ApiError::FromJson(JsonParse(response.body).TakeValue());
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error.value().code, "invalid_argument");
+
+  // Valid JSON, unknown index -> 404.
+  response = Post("query", "{\"index\":\"ghost\",\"query\":[1,2,3]}");
+  EXPECT_EQ(response.status, 404);
+
+  // Duplicate registration -> 409.
+  const series::SeriesCollection data =
+      testutil::RandomWalkCollection(4, 32, 5);
+  api::RegisterDatasetRequest reg;
+  reg.name = "dup";
+  reg.data = data;
+  EXPECT_EQ(Post("register_dataset", reg.ToJsonString()).status, 200);
+  EXPECT_EQ(Post("register_dataset", reg.ToJsonString()).status, 409);
+
+  // Chunked encoding is declined with 501.
+  TestClient c3(server_->port());
+  ASSERT_TRUE(c3.SendAll("POST /api/v1/list_indexes HTTP/1.1\r\n"
+                         "Transfer-Encoding: chunked\r\n\r\n")
+                  .ok());
+  raw = c3.ReadResponse();
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw.value().status, 501);
+
+  // Garbage request line.
+  TestClient c4(server_->port());
+  ASSERT_TRUE(c4.SendAll("WHAT\r\n\r\n").ok());
+  raw = c4.ReadResponse();
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw.value().status, 400);
+}
+
+TEST_F(HttpE2eTest, ConcurrentClients) {
+  const series::SeriesCollection data =
+      testutil::RandomWalkCollection(80, 32, 123);
+  api::RegisterDatasetRequest reg;
+  reg.name = "walk";
+  reg.data = data;
+  ASSERT_EQ(Post("register_dataset", reg.ToJsonString()).status, 200);
+
+  // Two indexes so the service-level parallelism across indexes is real.
+  for (const char* name : {"a", "b"}) {
+    api::BuildIndexRequest build;
+    build.index = name;
+    build.dataset = "walk";
+    build.spec.sax = TestSax();
+    build.spec.family =
+        name[0] == 'a' ? IndexFamily::kCTree : IndexFamily::kClsm;
+    ASSERT_EQ(Post("build_index", build.ToJsonString()).status, 200);
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 8;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, c, &data, &failures] {
+      TestClient client(server_->port());
+      if (!client.connected()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        api::QueryRequest query;
+        query.index = (c + i) % 2 == 0 ? "a" : "b";
+        query.query = testutil::NoisyCopy(
+            data, static_cast<size_t>((c * 31 + i * 7) % 80), 0.3,
+            static_cast<uint64_t>(c * 100 + i));
+        Result<HttpResponse> response =
+            client.Post("/api/v1/query", query.ToJsonString());
+        if (!response.ok() || response.value().status != 200) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto report = api::QueryReport::FromJson(
+            JsonParse(response.value().body).TakeValue());
+        if (!report.ok() || !report.value().found) failures.fetch_add(1);
+        // Interleave a list to cross the registry's shared lock.
+        if (i % 3 == 0) {
+          Result<HttpResponse> list =
+              client.Post("/api/v1/list_indexes", "");
+          if (!list.ok() || list.value().status != 200) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(HttpE2eTest, GracefulShutdown) {
+  // A connected idle client must not wedge Stop().
+  TestClient idle(server_->port());
+  ASSERT_TRUE(idle.connected());
+  EXPECT_EQ(Post("list_indexes", "").status, 200);
+  const uint16_t port = server_->port();
+  server_->Stop();
+  server_.reset();
+  // The port is released: a fresh connect must fail (or be refused on
+  // first use).
+  TestClient late(port);
+  if (late.connected()) {
+    Result<HttpResponse> response = late.Post("/api/v1/list_indexes", "");
+    EXPECT_FALSE(response.ok());
+  }
+}
+
+}  // namespace
+}  // namespace palm
+}  // namespace coconut
