@@ -13,7 +13,10 @@
 //   curl -s localhost:8765/healthz
 //   curl -s -X POST localhost:8765/api/v1/list_indexes
 //   curl -s -X POST localhost:8765/api/v1/recommend -d '{"streaming":true}'
+#include <stdlib.h>  // mkdtemp (POSIX)
+
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -47,8 +50,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::string root = std::filesystem::temp_directory_path().string() +
-                           "/coconut_palm_serve";
+  // A unique per-run directory: a fixed shared name would let two
+  // instances clobber each other's data and turn the remove_all on exit
+  // into deleting another process's (or a symlink target's) files.
+  std::string root = (std::filesystem::temp_directory_path() /
+                      "coconut_palm_serve.XXXXXX")
+                         .string();
+  if (::mkdtemp(root.data()) == nullptr) {
+    std::fprintf(stderr, "mkdtemp %s: %s\n", root.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
   auto service_result = palm::api::Service::Create(root);
   if (!service_result.ok()) {
     std::fprintf(stderr, "service: %s\n",

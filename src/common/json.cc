@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <unordered_set>
 
 namespace coconut {
 
@@ -346,6 +347,11 @@ class JsonParser {
   Status ParseObject(int depth, JsonValue* out) {
     ++pos_;  // '{'
     JsonValue::Object members;
+    // Duplicate detection must stay O(1) per key: a linear scan over the
+    // members would let one size-capped request with millions of keys pin
+    // a parser thread for minutes (quadratic CPU DoS). The set holds
+    // copies because vector growth moves the member strings.
+    std::unordered_set<std::string> seen;
     SkipWhitespace();
     if (Consume('}')) {
       *out = JsonValue::MakeObject(std::move(members));
@@ -358,8 +364,8 @@ class JsonParser {
       }
       std::string key;
       COCONUT_RETURN_NOT_OK(ParseString(&key));
-      for (const JsonValue::Member& m : members) {
-        if (m.first == key) return Fail("duplicate object key '" + key + "'");
+      if (!seen.insert(key).second) {
+        return Fail("duplicate object key '" + key + "'");
       }
       SkipWhitespace();
       if (!Consume(':')) return Fail("expected ':' after object key");

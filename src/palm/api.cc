@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <limits>
 #include <thread>
 
 #include "common/thread_pool.h"
@@ -62,7 +63,52 @@ int StatusCodeToHttpStatus(StatusCode code) {
   return 500;
 }
 
+Status ValidateName(const std::string& name, const char* what) {
+  constexpr size_t kMaxNameLength = 128;
+  if (name.empty()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " name must not be empty");
+  }
+  if (name.size() > kMaxNameLength) {
+    return Status::InvalidArgument(std::string(what) + " name exceeds " +
+                                   std::to_string(kMaxNameLength) +
+                                   " characters");
+  }
+  if (name == "." || name == "..") {
+    return Status::InvalidArgument(std::string(what) + " name '" + name +
+                                   "' is reserved");
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    if (!ok) {
+      return Status::InvalidArgument(
+          std::string(what) +
+          " name may only contain [A-Za-z0-9_.-] characters");
+    }
+  }
+  return Status::OK();
+}
+
 namespace {
+
+/// Hard caps on attacker-declared sizes: wire fields that drive
+/// allocations before any payload bytes constrain them (an empty "series"
+/// with a huge "series_length", heat map bin counts) are bounded here so
+/// a hostile request yields InvalidArgument, not std::bad_alloc.
+constexpr uint64_t kMaxSeriesLength = 1u << 20;
+constexpr uint64_t kMaxHeatMapBinsPerAxis = 4096;
+/// Caps for wire-supplied VariantSpec knobs that size buffers, spawn
+/// threads, or create per-shard storage stacks. Generous relative to any
+/// real configuration, but small enough that one request cannot exhaust
+/// the host before factory validation even runs.
+constexpr uint64_t kMaxWireThreads = 1024;
+constexpr uint64_t kMaxWireShards = 1024;
+constexpr uint64_t kMaxWireBufferEntries = 1u << 24;
+constexpr uint64_t kMaxWireMemoryBudgetBytes = 1ull << 36;  // 64 GiB
+constexpr uint64_t kMaxWireLeafCapacity = 1u << 24;
+constexpr int64_t kMaxWireSmallInt = 1024;  // growth_factor, btp_merge_k
 
 int ApiCodeToHttpStatus(const std::string& code) {
   for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
@@ -150,6 +196,32 @@ Status OptInt(const JsonValue& obj, const char* key, const char* what,
   return Status::OK();
 }
 
+/// Range-checked variants for wire fields that are narrowed to int/size_t
+/// or drive allocations and thread counts: out-of-range values are
+/// rejected instead of silently truncated or honored at host-exhausting
+/// magnitudes.
+Status OptUintInRange(const JsonValue& obj, const char* key,
+                      const char* what, uint64_t* out, uint64_t max) {
+  COCONUT_RETURN_NOT_OK(OptUint(obj, key, what, out));
+  if (*out > max) {
+    return Status::InvalidArgument(std::string(what) + ": field '" + key +
+                                   "' must be at most " +
+                                   std::to_string(max));
+  }
+  return Status::OK();
+}
+
+Status OptIntInRange(const JsonValue& obj, const char* key, const char* what,
+                     int64_t* out, int64_t min, int64_t max) {
+  COCONUT_RETURN_NOT_OK(OptInt(obj, key, what, out));
+  if (*out < min || *out > max) {
+    return Status::InvalidArgument(
+        std::string(what) + ": field '" + key + "' must be in [" +
+        std::to_string(min) + ", " + std::to_string(max) + "]");
+  }
+  return Status::OK();
+}
+
 Status OptDouble(const JsonValue& obj, const char* key, const char* what,
                  double* out) {
   const JsonValue* v = obj.Find(key);
@@ -222,6 +294,11 @@ Result<series::SeriesCollection> ParseSeriesMatrix(const JsonValue& obj,
   if (length == 0) {
     return Status::InvalidArgument(std::string(what) +
                                    ": series length must be positive");
+  }
+  if (length > kMaxSeriesLength) {
+    return Status::InvalidArgument(
+        std::string(what) + ": series length " + std::to_string(length) +
+        " exceeds the maximum of " + std::to_string(kMaxSeriesLength));
   }
   series::SeriesCollection collection(static_cast<size_t>(length));
   collection.Reserve(arr->array().size());
@@ -359,13 +436,17 @@ Result<series::SaxConfig> SaxFromJson(const JsonValue& value,
   series::SaxConfig sax;
   int64_t v;
   v = sax.series_length;
-  COCONUT_RETURN_NOT_OK(OptInt(value, "series_length", what, &v));
+  COCONUT_RETURN_NOT_OK(
+      OptIntInRange(value, "series_length", what, &v, 0,
+                    static_cast<int64_t>(kMaxSeriesLength)));
   sax.series_length = static_cast<int>(v);
   v = sax.num_segments;
-  COCONUT_RETURN_NOT_OK(OptInt(value, "num_segments", what, &v));
+  COCONUT_RETURN_NOT_OK(
+      OptIntInRange(value, "num_segments", what, &v, 0, 1 << 12));
   sax.num_segments = static_cast<int>(v);
   v = sax.bits_per_segment;
-  COCONUT_RETURN_NOT_OK(OptInt(value, "bits_per_segment", what, &v));
+  COCONUT_RETURN_NOT_OK(
+      OptIntInRange(value, "bits_per_segment", what, &v, 0, 32));
   sax.bits_per_segment = static_cast<int>(v);
   return sax;
 }
@@ -461,31 +542,40 @@ Result<VariantSpec> VariantSpecFromJson(const JsonValue& value) {
   COCONUT_RETURN_NOT_OK(
       OptDouble(value, "fill_factor", kWhat, &spec.fill_factor));
   int64_t i = spec.growth_factor;
-  COCONUT_RETURN_NOT_OK(OptInt(value, "growth_factor", kWhat, &i));
+  COCONUT_RETURN_NOT_OK(
+      OptIntInRange(value, "growth_factor", kWhat, &i, 0, kMaxWireSmallInt));
   spec.growth_factor = static_cast<int>(i);
   uint64_t u = spec.buffer_entries;
-  COCONUT_RETURN_NOT_OK(OptUint(value, "buffer_entries", kWhat, &u));
+  COCONUT_RETURN_NOT_OK(OptUintInRange(value, "buffer_entries", kWhat, &u,
+                                       kMaxWireBufferEntries));
   spec.buffer_entries = static_cast<size_t>(u);
   u = spec.memory_budget_bytes;
-  COCONUT_RETURN_NOT_OK(OptUint(value, "memory_budget_bytes", kWhat, &u));
+  COCONUT_RETURN_NOT_OK(OptUintInRange(value, "memory_budget_bytes", kWhat,
+                                       &u, kMaxWireMemoryBudgetBytes));
   spec.memory_budget_bytes = static_cast<size_t>(u);
   u = spec.construction_threads;
-  COCONUT_RETURN_NOT_OK(OptUint(value, "construction_threads", kWhat, &u));
+  COCONUT_RETURN_NOT_OK(OptUintInRange(value, "construction_threads", kWhat,
+                                       &u, kMaxWireThreads));
   spec.construction_threads = static_cast<size_t>(u);
   u = spec.ads_leaf_capacity;
-  COCONUT_RETURN_NOT_OK(OptUint(value, "ads_leaf_capacity", kWhat, &u));
+  COCONUT_RETURN_NOT_OK(OptUintInRange(value, "ads_leaf_capacity", kWhat, &u,
+                                       kMaxWireLeafCapacity));
   spec.ads_leaf_capacity = static_cast<size_t>(u);
   i = spec.btp_merge_k;
-  COCONUT_RETURN_NOT_OK(OptInt(value, "btp_merge_k", kWhat, &i));
+  COCONUT_RETURN_NOT_OK(
+      OptIntInRange(value, "btp_merge_k", kWhat, &i, 0, kMaxWireSmallInt));
   spec.btp_merge_k = static_cast<int>(i);
   u = spec.num_shards;
-  COCONUT_RETURN_NOT_OK(OptUint(value, "num_shards", kWhat, &u));
+  COCONUT_RETURN_NOT_OK(
+      OptUintInRange(value, "num_shards", kWhat, &u, kMaxWireShards));
   spec.num_shards = static_cast<size_t>(u);
   u = spec.shard_build_threads;
-  COCONUT_RETURN_NOT_OK(OptUint(value, "shard_build_threads", kWhat, &u));
+  COCONUT_RETURN_NOT_OK(OptUintInRange(value, "shard_build_threads", kWhat,
+                                       &u, kMaxWireThreads));
   spec.shard_build_threads = static_cast<size_t>(u);
   u = spec.shard_query_threads;
-  COCONUT_RETURN_NOT_OK(OptUint(value, "shard_query_threads", kWhat, &u));
+  COCONUT_RETURN_NOT_OK(OptUintInRange(value, "shard_query_threads", kWhat,
+                                       &u, kMaxWireThreads));
   spec.shard_query_threads = static_cast<size_t>(u);
   s.clear();
   COCONUT_RETURN_NOT_OK(OptString(value, "timestamp_policy", kWhat, &s));
@@ -605,6 +695,14 @@ Result<HeatMap> HeatMapFromJson(const JsonValue& value) {
   map.time_bins = static_cast<size_t>(u);
   COCONUT_ASSIGN_OR_RETURN(u, ReqUint(value, "location_bins", kWhat));
   map.location_bins = static_cast<size_t>(u);
+  // Both bin counts drive the counts reserve below before any cell row
+  // constrains them.
+  if (map.time_bins > kMaxHeatMapBinsPerAxis ||
+      map.location_bins > kMaxHeatMapBinsPerAxis) {
+    return Status::InvalidArgument(
+        "heatmap: bin counts exceed the maximum of " +
+        std::to_string(kMaxHeatMapBinsPerAxis) + " per axis");
+  }
   COCONUT_ASSIGN_OR_RETURN(map.total_events,
                            ReqUint(value, "total_events", kWhat));
   COCONUT_ASSIGN_OR_RETURN(map.distinct_pages,
@@ -612,6 +710,9 @@ Result<HeatMap> HeatMapFromJson(const JsonValue& value) {
   COCONUT_ASSIGN_OR_RETURN(map.distinct_files,
                            ReqUint(value, "distinct_files", kWhat));
   COCONUT_ASSIGN_OR_RETURN(u, ReqUint(value, "max_count", kWhat));
+  if (u > std::numeric_limits<uint32_t>::max()) {
+    return FieldError(kWhat, "max_count", "does not fit in 32 bits");
+  }
   map.max_count = static_cast<uint32_t>(u);
   const JsonValue* cells = value.Find("cells");
   if (cells == nullptr || !cells->is_array() ||
@@ -626,8 +727,10 @@ Result<HeatMap> HeatMapFromJson(const JsonValue& value) {
           "heatmap: each cells row must have location_bins entries");
     }
     for (const JsonValue& cell : row.array()) {
-      if (!cell.is_number() || !cell.AsUint64().ok()) {
-        return Status::InvalidArgument("heatmap: cells must be counts");
+      if (!cell.is_number() || !cell.AsUint64().ok() ||
+          cell.AsUint64().value() > std::numeric_limits<uint32_t>::max()) {
+        return Status::InvalidArgument(
+            "heatmap: cells must be 32-bit counts");
       }
       map.counts.push_back(static_cast<uint32_t>(cell.AsUint64().value()));
     }
@@ -1017,8 +1120,11 @@ Result<QueryRequest> QueryRequest::FromJson(const JsonValue& value) {
     request.window = window;
   }
   int64_t candidates = request.approx_candidates;
-  COCONUT_RETURN_NOT_OK(
-      OptInt(value, "approx_candidates", kWhat, &candidates));
+  // Bounded to the storage type so oversized wire values are rejected
+  // instead of silently truncated (2^32+1 used to behave as 1).
+  COCONUT_RETURN_NOT_OK(OptIntInRange(
+      value, "approx_candidates", kWhat, &candidates,
+      std::numeric_limits<int>::min(), std::numeric_limits<int>::max()));
   request.approx_candidates = static_cast<int>(candidates);
   COCONUT_RETURN_NOT_OK(
       OptBool(value, "capture_heatmap", kWhat, &request.capture_heatmap));
@@ -1141,7 +1247,8 @@ Result<QueryBatchRequest> QueryBatchRequest::FromJson(const JsonValue& value) {
     COCONUT_ASSIGN_OR_RETURN(QueryRequest parsed, QueryRequest::FromJson(q));
     request.queries.push_back(std::move(parsed));
   }
-  COCONUT_RETURN_NOT_OK(OptUint(value, "threads", kWhat, &request.threads));
+  COCONUT_RETURN_NOT_OK(OptUintInRange(value, "threads", kWhat,
+                                       &request.threads, kMaxWireThreads));
   return request;
 }
 
@@ -1495,42 +1602,53 @@ Result<std::unique_ptr<Service>> Service::Create(const std::string& root_dir,
 
 Service::IndexHandle* Service::FindHandle(const std::string& name) const {
   auto it = indexes_.find(name);
-  return it == indexes_.end() ? nullptr : it->second.get();
+  if (it == indexes_.end() || it->second->building) return nullptr;
+  return it->second.get();
 }
 
-Result<Service::IndexHandle*> Service::NewHandle(const std::string& index_name,
-                                                 const VariantSpec& spec) {
+Result<Service::IndexHandle*> Service::ReserveHandle(
+    const std::string& index_name, const VariantSpec& spec) {
   if (indexes_.count(index_name) != 0) {
     return Status::AlreadyExists("index '" + index_name + "' already exists");
   }
   auto handle = std::make_unique<IndexHandle>();
   handle->spec = spec;
-  COCONUT_ASSIGN_OR_RETURN(
-      handle->storage,
-      storage::StorageManager::Create(root_dir_ + "/idx_" + index_name));
-  COCONUT_RETURN_NOT_OK(handle->storage->Clear());
-  handle->pool = std::make_unique<storage::BufferPool>(pool_bytes_);
-  COCONUT_ASSIGN_OR_RETURN(
-      handle->raw, core::RawSeriesStore::Create(handle->storage.get(), "raw",
-                                                spec.sax.series_length));
+  handle->building = true;
   IndexHandle* raw_ptr = handle.get();
   indexes_[index_name] = std::move(handle);
   return raw_ptr;
 }
 
+Status Service::InitHandleStorage(const std::string& index_name,
+                                  IndexHandle* handle) {
+  COCONUT_ASSIGN_OR_RETURN(
+      handle->storage,
+      storage::StorageManager::Create(root_dir_ + "/idx_" + index_name));
+  // Clear() can remove_all a large leftover directory from a crashed
+  // prior run — one reason this runs outside the registry lock.
+  COCONUT_RETURN_NOT_OK(handle->storage->Clear());
+  handle->pool = std::make_unique<storage::BufferPool>(pool_bytes_);
+  COCONUT_ASSIGN_OR_RETURN(
+      handle->raw,
+      core::RawSeriesStore::Create(handle->storage.get(), "raw",
+                                   handle->spec.sax.series_length));
+  return Status::OK();
+}
+
 Result<RegisterDatasetResponse> Service::RegisterDataset(
     const std::string& name, const series::SeriesCollection& data,
     const std::vector<int64_t>* timestamps) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (datasets_.count(name) != 0) {
-    return Status::AlreadyExists("dataset '" + name + "' already registered");
-  }
+  COCONUT_RETURN_NOT_OK(ValidateName(name, "dataset"));
   if (data.length() == 0) {
     return Status::InvalidArgument("dataset series length must be positive");
   }
   if (timestamps != nullptr && timestamps->size() != data.size()) {
     return Status::InvalidArgument("one timestamp per series required");
   }
+  // The normalize-and-copy loop scales with the dataset (up to the wire
+  // body cap), so it runs before the lock; the exclusive section is just
+  // the duplicate check and the map insert. A racing duplicate wastes
+  // the copy but stays correct.
   Dataset ds;
   ds.data = series::SeriesCollection(data.length());
   ds.data.Reserve(data.size());
@@ -1548,7 +1666,11 @@ Result<RegisterDatasetResponse> Service::RegisterDataset(
       ds.timestamps[i] = static_cast<int64_t>(i);
     }
   }
-  datasets_[name] = std::move(ds);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (datasets_.count(name) != 0) {
+    return Status::AlreadyExists("dataset '" + name + "' already registered");
+  }
+  datasets_[name] = std::make_shared<const Dataset>(std::move(ds));
   RegisterDatasetResponse response;
   response.dataset = name;
   response.series = data.size();
@@ -1566,20 +1688,45 @@ Result<RegisterDatasetResponse> Service::RegisterDataset(
 Result<BuildIndexReport> Service::BuildIndex(const std::string& index_name,
                                              const VariantSpec& spec,
                                              const std::string& dataset_name) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  auto ds_it = datasets_.find(dataset_name);
-  if (ds_it == datasets_.end()) {
-    return Status::NotFound("dataset '" + dataset_name + "' not registered");
+  COCONUT_RETURN_NOT_OK(ValidateName(index_name, "index"));
+  // Builds can take seconds to minutes, so the registry lock is held
+  // exclusively only for the reserve and publish edges — and not at all
+  // for the build itself (even a shared hold would park every writer,
+  // and on writer-preferring shared_mutex implementations every reader,
+  // for the full duration). The dataset snapshot is pinned via its
+  // shared_ptr, so a concurrent DropDataset cannot free it, and the
+  // reserved handle is invisible (FindHandle/ListIndexes skip building
+  // handles) and undroppable (DropIndex refuses them), so the builder
+  // thread owns it alone.
+  IndexHandle* handle = nullptr;
+  std::shared_ptr<const Dataset> dataset;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto ds_it = datasets_.find(dataset_name);
+    if (ds_it == datasets_.end()) {
+      return Status::NotFound("dataset '" + dataset_name +
+                              "' not registered");
+    }
+    if (static_cast<int>(ds_it->second->data.length()) !=
+        spec.sax.series_length) {
+      return Status::InvalidArgument("spec series_length != dataset length");
+    }
+    dataset = ds_it->second;
+    COCONUT_ASSIGN_OR_RETURN(handle, ReserveHandle(index_name, spec));
   }
-  const Dataset& dataset = ds_it->second;
-  if (static_cast<int>(dataset.data.length()) != spec.sax.series_length) {
-    return Status::InvalidArgument("spec series_length != dataset length");
+  Result<BuildIndexReport> report = Status::Internal("build not started");
+  if (const Status init = InitHandleStorage(index_name, handle); !init.ok()) {
+    report = init;
+  } else {
+    report =
+        BuildIndexOnHandle(index_name, spec, dataset_name, *dataset, handle);
   }
-  COCONUT_ASSIGN_OR_RETURN(IndexHandle * handle,
-                           NewHandle(index_name, spec));
-  Result<BuildIndexReport> report =
-      BuildIndexOnHandle(index_name, spec, dataset_name, dataset, handle);
-  if (!report.ok()) DiscardHandle(index_name);
+  if (report.ok()) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    handle->building = false;
+  } else {
+    TeardownHandle(index_name, handle);
+  }
   return report;
 }
 
@@ -1637,9 +1784,20 @@ Result<BuildIndexReport> Service::BuildIndex(const BuildIndexRequest& request) {
 
 Result<CreateStreamResponse> Service::CreateStream(
     const std::string& stream_name, const VariantSpec& spec) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  COCONUT_ASSIGN_OR_RETURN(IndexHandle * handle,
-                           NewHandle(stream_name, spec));
+  COCONUT_RETURN_NOT_OK(ValidateName(stream_name, "stream"));
+  // Same reserve -> construct -> publish shape as BuildIndex: the handle
+  // stays invisible while its streaming index is created outside the
+  // exclusive lock (the builder thread is the only one touching it).
+  IndexHandle* handle = nullptr;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    COCONUT_ASSIGN_OR_RETURN(handle, ReserveHandle(stream_name, spec));
+  }
+  if (const Status init = InitHandleStorage(stream_name, handle);
+      !init.ok()) {
+    TeardownHandle(stream_name, handle);
+    return init;
+  }
   Result<std::unique_ptr<stream::StreamingIndex>> created =
       CreateStreamingIndex(spec, handle->storage.get(), "stream",
                            handle->pool.get(), handle->raw.get());
@@ -1648,23 +1806,43 @@ Result<CreateStreamResponse> Service::CreateStream(
     // every registered handle carries a static or streaming index
     // (ListIndexes/Query/DropIndex rely on it), and the name and its
     // directory must stay reusable.
-    DiscardHandle(stream_name);
+    TeardownHandle(stream_name, handle);
     return created.status();
   }
   handle->stream_index = created.TakeValue();
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    handle->building = false;
+  }
   CreateStreamResponse response;
   response.stream = stream_name;
   response.variant = VariantName(spec);
   return response;
 }
 
-void Service::DiscardHandle(const std::string& name) {
-  auto it = indexes_.find(name);
-  if (it == indexes_.end()) return;
-  const std::string directory = it->second->storage->directory();
-  indexes_.erase(it);
+std::error_code Service::TeardownHandle(const std::string& name,
+                                        IndexHandle* handle) {
+  // The handle is tombstoned (building == true): lookups skip it, drops
+  // refuse it, and the map entry keeps the name — and therefore the
+  // directory — reserved. So this thread owns the handle, and the slow
+  // parts (flushing destructors, deleting the directory tree) run
+  // without the registry lock. Reset order mirrors the member destructor
+  // order: index structures flush through the raw store / pool / storage
+  // below them. storage is null when InitHandleStorage itself failed;
+  // the directory path is deterministic either way.
+  const std::string directory = handle->storage != nullptr
+                                    ? handle->storage->directory()
+                                    : root_dir_ + "/idx_" + name;
+  handle->stream_index.reset();
+  handle->static_index.reset();
+  handle->raw.reset();
+  handle->pool.reset();
+  handle->storage.reset();
   std::error_code ec;
-  std::filesystem::remove_all(directory, ec);  // best effort
+  std::filesystem::remove_all(directory, ec);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  indexes_.erase(name);
+  return ec;
 }
 
 Result<CreateStreamResponse> Service::CreateStream(
@@ -1786,9 +1964,18 @@ Result<QueryReport> Service::Query(const QueryRequest& request) {
   if (request.approx_candidates <= 0) {
     return Status::InvalidArgument("approx_candidates must be positive");
   }
-  if (request.capture_heatmap &&
-      (request.heatmap_time_bins == 0 || request.heatmap_location_bins == 0)) {
-    return Status::InvalidArgument("heatmap bins must be positive");
+  if (request.capture_heatmap) {
+    if (request.heatmap_time_bins == 0 ||
+        request.heatmap_location_bins == 0) {
+      return Status::InvalidArgument("heatmap bins must be positive");
+    }
+    // BuildHeatMap allocates time_bins * location_bins cells up front.
+    if (request.heatmap_time_bins > kMaxHeatMapBinsPerAxis ||
+        request.heatmap_location_bins > kMaxHeatMapBinsPerAxis) {
+      return Status::InvalidArgument(
+          "heatmap bins exceed the maximum of " +
+          std::to_string(kMaxHeatMapBinsPerAxis) + " per axis");
+    }
   }
   std::lock_guard<std::mutex> op_lock(handle->op_mutex);
   return QueryLocked(request, handle);
@@ -1935,6 +2122,9 @@ ListIndexesResponse Service::ListIndexes() const {
   ListIndexesResponse response;
   response.indexes.reserve(indexes_.size());
   for (const auto& [name, handle] : indexes_) {
+    // A building handle has reserved its name but carries no index yet;
+    // its fields belong to the builder thread until published.
+    if (handle->building) continue;
     // Serialize with per-index operations: sync streaming indexes update
     // entry counts without internal synchronization.
     std::lock_guard<std::mutex> op_lock(handle->op_mutex);
@@ -1953,12 +2143,29 @@ ListIndexesResponse Service::ListIndexes() const {
 }
 
 Result<DropIndexResponse> Service::DropIndex(const std::string& index_name) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  auto it = indexes_.find(index_name);
-  if (it == indexes_.end()) {
-    return Status::NotFound("index '" + index_name + "' not found");
+  IndexHandle* handle = nullptr;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = indexes_.find(index_name);
+    if (it == indexes_.end()) {
+      return Status::NotFound("index '" + index_name + "' not found");
+    }
+    if (it->second->building) {
+      // The owning thread (a build, or another drop) holds the handle
+      // until it publishes or erases; erasing it here would free memory
+      // that thread is using. 409: the name exists but is contended.
+      return Status::AlreadyExists("index '" + index_name +
+                                   "' is busy (building or being "
+                                   "dropped); retry shortly");
+    }
+    handle = it->second.get();
+    // Tombstone the handle: once the exclusive lock is released no
+    // in-flight operation references it (ops hold mu_ shared for their
+    // whole duration) and no new one can find it, so the slow drain and
+    // directory removal below run without stalling the registry.
+    handle->building = true;
   }
-  IndexHandle* handle = it->second.get();
+  const std::string directory = handle->storage->directory();
   DropIndexResponse response;
   response.index = index_name;
   response.streaming = handle->stream_index != nullptr;
@@ -1972,12 +2179,7 @@ Result<DropIndexResponse> Service::DropIndex(const std::string& index_name) {
     response.entries = handle->static_index->num_entries();
   }
   response.reclaimed_bytes = handle->storage->TotalBytesOnDisk();
-  const std::string directory = handle->storage->directory();
-  // Index structures flush through the raw store / pool / storage below
-  // them; member order in IndexHandle destroys top-down.
-  indexes_.erase(it);
-  std::error_code ec;
-  std::filesystem::remove_all(directory, ec);
+  const std::error_code ec = TeardownHandle(index_name, handle);
   if (ec) {
     return Status::IoError("failed to remove '" + directory +
                            "': " + ec.message());
@@ -1999,7 +2201,7 @@ Result<DropDatasetResponse> Service::DropDataset(
   }
   DropDatasetResponse response;
   response.dataset = dataset_name;
-  response.series = it->second.data.size();
+  response.series = it->second->data.size();
   datasets_.erase(it);
   response.dropped = true;
   return response;

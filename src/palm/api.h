@@ -7,6 +7,7 @@
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "common/json.h"
@@ -53,6 +54,13 @@ struct ApiError {
   std::string ToJsonString() const;
   static Result<ApiError> FromJson(const JsonValue& value);
 };
+
+/// Wire-supplied index/stream/dataset names become filesystem path
+/// components under the service root, so the charset is restricted to
+/// [A-Za-z0-9_.-] (max 128 chars; "." and ".." rejected). Returns
+/// InvalidArgument naming `what` ("index", "stream", "dataset") on
+/// violation.
+Status ValidateName(const std::string& name, const char* what);
 
 // ------------------------------------------------- shared wire fragments
 
@@ -443,6 +451,13 @@ class Service {
     uint64_t next_series_id = 0;
     double build_seconds = 0.0;
     storage::IoStats build_io;
+    /// True while one thread populates (BuildIndex/CreateStream) or tears
+    /// down (DropIndex/TeardownHandle) the handle outside the registry
+    /// lock. A building handle only reserves its name: lookups
+    /// (FindHandle, ListIndexes) skip it and DropIndex refuses it, so its
+    /// fields are touched by the owning thread alone. Written under mu_
+    /// exclusive, read under mu_ shared.
+    bool building = false;
     /// Serializes ingest/drain/query on this index (buffer pool, tracker
     /// and counters are single-threaded per index, as in QueryBatch).
     std::mutex op_mutex;
@@ -451,15 +466,29 @@ class Service {
   Service(std::string root_dir, size_t pool_bytes)
       : root_dir_(std::move(root_dir)), pool_bytes_(pool_bytes) {}
 
-  /// Registry mutation; caller holds mu_ exclusively.
-  Result<IndexHandle*> NewHandle(const std::string& index_name,
-                                 const VariantSpec& spec);
-  /// Unregisters a handle and removes its directory — cleanup when
-  /// construction fails after NewHandle, so no half-initialized handle
-  /// (neither index set) is ever visible. Caller holds mu_ exclusively.
-  void DiscardHandle(const std::string& name);
+  /// Registry mutation; caller holds mu_ exclusively. Inserts a
+  /// tombstoned (building) handle that only reserves the name — no
+  /// filesystem work happens under the lock; the caller follows up with
+  /// InitHandleStorage outside it.
+  Result<IndexHandle*> ReserveHandle(const std::string& index_name,
+                                     const VariantSpec& spec);
+  /// Creates the reserved handle's storage manager, buffer pool and raw
+  /// store (mkdir + clearing any leftover directory — potentially slow
+  /// I/O). No lock held: the tombstoned handle belongs to this thread.
+  /// On failure the caller must TeardownHandle.
+  Status InitHandleStorage(const std::string& index_name,
+                           IndexHandle* handle);
+  /// Tears a tombstoned handle down (flushing destructors, directory
+  /// remove_all) outside the registry lock, then takes mu_ exclusively to
+  /// unregister the name. Caller must have set handle->building under the
+  /// exclusive lock (so this thread owns the handle and the name stays
+  /// reserved throughout) and must NOT hold mu_. Returns the remove_all
+  /// error, if any.
+  std::error_code TeardownHandle(const std::string& name,
+                                 IndexHandle* handle);
   /// The fallible tail of BuildIndex; on error the caller discards the
-  /// handle. Caller holds mu_ exclusively.
+  /// handle. Needs no lock: the caller pins the dataset snapshot via its
+  /// shared_ptr and the building handle is invisible to other threads.
   Result<BuildIndexReport> BuildIndexOnHandle(const std::string& index_name,
                                               const VariantSpec& spec,
                                               const std::string& dataset_name,
@@ -473,11 +502,16 @@ class Service {
 
   std::string root_dir_;
   size_t pool_bytes_;
-  /// Guards the two registries. Exclusive: register/build/create/drop.
-  /// Shared: ingest/drain/query/list (per-index work then serializes on
-  /// the handle's op_mutex).
+  /// Guards the two registries. Exclusive: register/drop and the brief
+  /// reserve/publish edges of build/create. Shared: ingest/drain/query/
+  /// list (per-index work then serializes on the handle's op_mutex). The
+  /// long middle of an index build holds no lock at all: its dataset is
+  /// pinned by shared_ptr and its handle is an invisible reservation.
   mutable std::shared_mutex mu_;
-  std::map<std::string, Dataset> datasets_;
+  /// Values are shared_ptr-to-const so an in-flight build can pin its
+  /// dataset snapshot and run without the registry lock; DropDataset
+  /// erases the entry but the data outlives it for the build.
+  std::map<std::string, std::shared_ptr<const Dataset>> datasets_;
   std::map<std::string, std::unique_ptr<IndexHandle>> indexes_;
 };
 

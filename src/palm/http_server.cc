@@ -7,7 +7,9 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/timer.h"
 
@@ -19,6 +21,19 @@ namespace {
 constexpr size_t kMaxHeaderBytes = 64 * 1024;
 /// Workers poll the stop flag at this cadence while blocked in recv.
 constexpr int kRecvPollMs = 200;
+/// Write-side slow-client defense. SO_SNDTIMEO only bounds a
+/// zero-progress stretch, so a client draining a few KB per timeout tick
+/// could otherwise hold a worker (and Stop() behind it) for hours. After
+/// a grace period the sender requires a minimum average throughput —
+/// responses are unbounded (a max-bin heat map serializes to ~100MB), so
+/// a fixed wall-clock deadline would cut off legitimate slow links.
+constexpr double kSendGraceSeconds = 30.0;
+constexpr double kMinSendBytesPerSecond = 64.0 * 1024;
+/// Per-send() stall timeout (SO_SNDTIMEO). Deliberately independent of
+/// keep_alive_timeout_ms: tuning the idle-read deadline down must not
+/// shrink the window a legitimate client has to drain a full socket
+/// buffer mid-response.
+constexpr int kSendStallTimeoutMs = 5000;
 
 const char* ReasonPhrase(int status) {
   switch (status) {
@@ -36,6 +51,8 @@ const char* ReasonPhrase(int status) {
       return "Length Required";
     case 413:
       return "Payload Too Large";
+    case 417:
+      return "Expectation Failed";
     case 429:
       return "Too Many Requests";
     case 431:
@@ -77,14 +94,26 @@ ssize_t RecvSome(int fd, char* buf, size_t len) {
 }
 
 bool SendAll(int fd, const char* data, size_t len) {
+  WallTimer timer;
   size_t sent = 0;
   while (sent < len) {
     const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
     if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (errno == EINTR) continue;
+      // EAGAIN here means the SO_SNDTIMEO send timeout expired: the peer
+      // stopped reading and the socket buffer is full. Retrying would
+      // block this worker forever (and Stop() behind it) on a client
+      // that never drains — give the connection up instead.
       return false;
     }
     sent += static_cast<size_t>(n);
+    if (sent < len) {
+      const double elapsed = timer.ElapsedSeconds();
+      if (elapsed > kSendGraceSeconds &&
+          static_cast<double>(sent) < elapsed * kMinSendBytesPerSecond) {
+        return false;  // drip-feeding reader: below the throughput floor
+      }
+    }
   }
   return true;
 }
@@ -172,7 +201,13 @@ void HttpServer::Stop() {
   // Serialized so an explicit Stop and the destructor can't join the same
   // threads twice; the second caller waits for the first to finish.
   std::lock_guard<std::mutex> stop_lock(stop_mutex_);
-  stopping_.store(true);
+  {
+    // The flag must flip under queue_mutex_: a worker that has evaluated
+    // the wait predicate but not yet parked would otherwise miss this
+    // notify forever (lost wakeup), hanging the join below.
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_.store(true);
+  }
   // Wake the acceptor blocked in accept(); the fd itself is closed only
   // after the acceptor joined, so no thread ever reads a stale/reused fd.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
@@ -196,7 +231,15 @@ void HttpServer::AcceptLoop() {
   while (!stopping_.load()) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      // A client resetting before accept() (ECONNABORTED) or transient
+      // resource exhaustion must not kill the acceptor for the life of
+      // the process; back off briefly and keep serving.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
       // Closed listener (Stop) or a hard error: either way, stop serving.
       break;
     }
@@ -234,6 +277,13 @@ void HttpServer::HandleConnection(int fd) {
   poll_interval.tv_usec = (kRecvPollMs % 1000) * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &poll_interval,
                sizeof(poll_interval));
+  // Bound writes too: without a send timeout a client that stops reading
+  // parks a worker in send() permanently once the socket buffer fills.
+  timeval send_timeout{};
+  send_timeout.tv_sec = kSendStallTimeoutMs / 1000;
+  send_timeout.tv_usec = (kSendStallTimeoutMs % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+               sizeof(send_timeout));
 
   std::string buffer;
   bool alive = true;
@@ -301,6 +351,7 @@ void HttpServer::HandleConnection(int fd) {
       request.keep_alive = version != "HTTP/1.0";
 
       bool have_length = false;
+      bool expect_continue = false;
       size_t content_length = 0;
       size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
       while (pos < head.size()) {
@@ -325,10 +376,15 @@ void HttpServer::HandleConnection(int fd) {
           char* end = nullptr;
           const unsigned long long parsed =
               std::strtoull(value.c_str(), &end, 10);
-          if (value.empty() || end != value.c_str() + value.size()) {
+          // Repeated Content-Length headers are the CL.CL
+          // request-smuggling setup (RFC 7230 §3.3.3): a proxy honoring
+          // the other copy would disagree on where the body ends.
+          if (value.empty() || end != value.c_str() + value.size() ||
+              have_length) {
             WriteResponse(fd, 400,
                           JsonError(Status::InvalidArgument(
-                              "invalid Content-Length")),
+                              have_length ? "duplicate Content-Length"
+                                          : "invalid Content-Length")),
                           false);
             ::close(fd);
             return;
@@ -347,6 +403,24 @@ void HttpServer::HandleConnection(int fd) {
           const std::string lowered = ToLower(value);
           if (lowered == "close") request.keep_alive = false;
           if (lowered == "keep-alive") request.keep_alive = true;
+        } else if (name == "expect") {
+          // curl adds "Expect: 100-continue" to POSTs over 1KB and waits
+          // for the interim response before sending the body; never
+          // answering it stalls every sizable request by curl's 1s grace
+          // period (and strict clients forever). Expect in an HTTP/1.0
+          // request is ignored — 1.0 clients have no concept of interim
+          // responses and would parse a 100 as the final one (RFC 7231
+          // §5.1.1).
+          if (version == "HTTP/1.0") continue;
+          if (ToLower(value) != "100-continue") {
+            WriteResponse(fd, 417,
+                          JsonError(Status::InvalidArgument(
+                              "unsupported Expect value")),
+                          false);
+            ::close(fd);
+            return;
+          }
+          expect_continue = true;
         }
       }
       if (content_length > options_.max_body_bytes) {
@@ -358,6 +432,16 @@ void HttpServer::HandleConnection(int fd) {
         return;
       }
       buffer.erase(0, header_end + 4);
+      if (expect_continue && buffer.size() < content_length) {
+        // Unblock clients waiting for the go-ahead before sending the
+        // body; any body bytes already buffered mean the client did not
+        // wait, and the interim response is harmless either way.
+        const char kContinue[] = "HTTP/1.1 100 Continue\r\n\r\n";
+        if (!SendAll(fd, kContinue, sizeof(kContinue) - 1)) {
+          ::close(fd);
+          return;
+        }
+      }
       WallTimer body_timer;
       while (buffer.size() < content_length) {
         if (stopping_.load() ||
@@ -388,15 +472,18 @@ void HttpServer::HandleConnection(int fd) {
     if (const size_t q = target.find('?'); q != std::string::npos) {
       target.resize(q);  // the API carries parameters in the body
     }
+    // Every HEAD response advertises the entity's Content-Length but
+    // carries no body, whatever route it hit — a body after the headers
+    // would desync keep-alive clients.
+    const bool include_body = request.method != "HEAD";
     if (target == "/healthz") {
       if (request.method == "GET" || request.method == "HEAD") {
         alive = WriteResponse(fd, 200, "{\"ok\":true}", request.keep_alive,
-                              nullptr,
-                              /*include_body=*/request.method != "HEAD");
+                              nullptr, include_body);
       } else {
         alive = WriteResponse(
             fd, 405, JsonError(Status::InvalidArgument("use GET /healthz")),
-            request.keep_alive, "Allow: GET, HEAD");
+            request.keep_alive, "Allow: GET, HEAD", include_body);
       }
     } else if (target.rfind("/api/v1/", 0) == 0) {
       const std::string method_name = target.substr(8);
@@ -404,10 +491,23 @@ void HttpServer::HandleConnection(int fd) {
         alive = WriteResponse(fd, 405,
                               JsonError(Status::InvalidArgument(
                                   "API methods are invoked with POST")),
-                              request.keep_alive, "Allow: POST");
+                              request.keep_alive, "Allow: POST",
+                              include_body);
       } else {
+        // The service reports failures through Status, but a hostile
+        // request can still provoke an exception below it (e.g. an
+        // allocation a validation cap missed); letting it escape this
+        // thread would std::terminate the whole server.
         Result<std::string> dispatched =
-            service_->Dispatch(method_name, request.body);
+            Status::Internal("dispatch did not run");
+        try {
+          dispatched = service_->Dispatch(method_name, request.body);
+        } catch (const std::exception& e) {
+          dispatched = Status::Internal(std::string("unhandled exception: ") +
+                                        e.what());
+        } catch (...) {
+          dispatched = Status::Internal("unhandled exception");
+        }
         if (dispatched.ok()) {
           alive = WriteResponse(fd, 200, dispatched.value(),
                                 request.keep_alive);
@@ -422,7 +522,7 @@ void HttpServer::HandleConnection(int fd) {
           fd, 404,
           JsonError(Status::NotFound("no route for '" + target +
                                      "' (use POST /api/v1/<method>)")),
-          request.keep_alive);
+          request.keep_alive, nullptr, include_body);
     }
     alive = alive && request.keep_alive;
   }

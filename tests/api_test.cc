@@ -818,6 +818,138 @@ TEST_F(ServiceTest, IngestValidationAtBoundary) {
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
 }
 
+TEST_F(ServiceTest, HostileNamesRejectedAtBoundary) {
+  Register("walk", 10);
+
+  // Wire-supplied names become path components under the service root
+  // ("<root>/idx_<name>"); anything that could escape it must be rejected
+  // before touching the filesystem.
+  // "a/../../escape_sentinel" is the real traversal shape: the "idx_"
+  // prefix fuses onto the first component, so "<root>/idx_a/../../x"
+  // resolves to a sibling of the root.
+  const std::vector<std::string> hostile = {
+      "",    ".",    "..",   "../escape",
+      "a/b", "a\\b", "/x",   "a b",
+      "a\nb", "a/../../escape_sentinel", std::string(129, 'a')};
+  for (const std::string& name : hostile) {
+    EXPECT_EQ(ValidateName(name, "index").code(),
+              StatusCode::kInvalidArgument)
+        << "'" << name << "'";
+    EXPECT_EQ(service_->BuildIndex(name, TestSpec(), "walk").status().code(),
+              StatusCode::kInvalidArgument)
+        << "'" << name << "'";
+    EXPECT_EQ(service_->CreateStream(name, TestSpec()).status().code(),
+              StatusCode::kInvalidArgument)
+        << "'" << name << "'";
+    EXPECT_EQ(service_
+                  ->RegisterDataset(name,
+                                    testutil::RandomWalkCollection(2, 32, 3),
+                                    nullptr)
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << "'" << name << "'";
+  }
+  // Nothing escaped the root (without validation the traversal name
+  // would have created this sibling of root_)...
+  EXPECT_FALSE(std::filesystem::exists(
+      std::filesystem::path(root_).parent_path() / "escape_sentinel"));
+  // ...and nothing was created inside it either.
+  for (const auto& entry : std::filesystem::directory_iterator(root_)) {
+    EXPECT_NE(entry.path().filename().string().rfind("idx_", 0), 0u)
+        << entry.path();
+  }
+  EXPECT_EQ(service_->ListIndexes().indexes.size(), 0u);
+
+  // The full allowed charset works end to end.
+  EXPECT_TRUE(ValidateName("ok-Name_1.v2", "index").ok());
+  EXPECT_TRUE(service_->BuildIndex("ok-Name_1.v2", TestSpec(), "walk").ok());
+}
+
+TEST_F(ServiceTest, OversizedDeclaredAllocationsRejected) {
+  // An empty series matrix with a huge declared length allocates nothing:
+  // the cap turns it into InvalidArgument instead of std::bad_alloc.
+  Status s = ParseError<RegisterDatasetRequest>(
+      "{\"name\":\"d\",\"series\":[],\"series_length\":1000000000000}");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("exceeds the maximum"), std::string::npos);
+  Result<std::string> out = service_->Dispatch(
+      "register_dataset",
+      "{\"name\":\"d\",\"series\":[],\"series_length\":1000000000000}");
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+
+  // Heat-map bin counts are capped per axis before the counts grid is
+  // allocated, both in query validation...
+  const series::SeriesCollection data = Register("walk", 20);
+  ASSERT_TRUE(service_->BuildIndex("idx", TestSpec(), "walk").ok());
+  QueryRequest query;
+  query.index = "idx";
+  query.query = testutil::NoisyCopy(data, 1, 0.2, 1);
+  query.capture_heatmap = true;
+  query.heatmap_time_bins = 1;
+  query.heatmap_location_bins = 1u << 20;
+  Result<QueryReport> r = service_->Query(query);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("per axis"), std::string::npos);
+
+  // VariantSpec knobs that size buffers or spawn threads are
+  // range-checked at parse rather than narrowed or honored blindly.
+  s = ParseError<BuildIndexRequest>(
+      "{\"index\":\"i\",\"dataset\":\"d\","
+      "\"spec\":{\"construction_threads\":1000000}}");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  s = ParseError<BuildIndexRequest>(
+      "{\"index\":\"i\",\"dataset\":\"d\","
+      "\"spec\":{\"buffer_entries\":4294967296}}");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // 2^32+1 used to silently truncate to approx_candidates == 1.
+  s = ParseError<QueryRequest>(
+      "{\"index\":\"a\",\"query\":[1.0],\"approx_candidates\":4294967297}");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+
+  // ...and when parsing a heat map off the wire (one declared row, a
+  // declared 1e12-cell width).
+  Result<JsonValue> heat = JsonParse(
+      "{\"time_bins\":1,\"location_bins\":1000000000000,"
+      "\"total_events\":0,\"distinct_pages\":0,\"distinct_files\":0,"
+      "\"max_count\":0,\"cells\":[[]]}");
+  ASSERT_TRUE(heat.ok());
+  EXPECT_EQ(HeatMapFromJson(heat.value()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServiceTest, ConcurrentBuildsDoNotBlockQueries) {
+  const series::SeriesCollection data = Register("walk", 120);
+  ASSERT_TRUE(service_->BuildIndex("base", TestSpec(), "walk").ok());
+
+  // Two builds run while queries and listings hammer the published index;
+  // builds hold the registry lock only at their reserve/publish edges, so
+  // everything must proceed and succeed (TSan checks the handoff).
+  std::thread b1([&] {
+    EXPECT_TRUE(service_->BuildIndex("one", TestSpec(), "walk").ok());
+  });
+  std::thread b2([&] {
+    VariantSpec tp = TestSpec();
+    tp.mode = StreamMode::kTP;
+    EXPECT_TRUE(service_->CreateStream("two", tp).ok());
+  });
+  for (int i = 0; i < 50; ++i) {
+    QueryRequest query;
+    query.index = "base";
+    query.query = testutil::NoisyCopy(data, i % 10, 0.3, i);
+    EXPECT_TRUE(service_->Query(query).ok());
+    // ListIndexes skips handles still building instead of touching them.
+    for (const auto& info : service_->ListIndexes().indexes) {
+      EXPECT_TRUE(info.name == "base" || info.name == "one" ||
+                  info.name == "two");
+    }
+  }
+  b1.join();
+  b2.join();
+  EXPECT_EQ(service_->ListIndexes().indexes.size(), 3u);
+  EXPECT_TRUE(service_->DropIndex("one").ok());
+}
+
 TEST_F(ServiceTest, FailedBuildOrCreateLeavesNoGhostHandle) {
   Register("walk", 40);
 

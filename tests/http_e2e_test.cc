@@ -398,6 +398,105 @@ TEST_F(HttpE2eTest, ProtocolAndDispatchErrors) {
   EXPECT_EQ(raw.value().status, 400);
 }
 
+TEST_F(HttpE2eTest, HeadResponsesCarryNoBodyOnAnyRoute) {
+  // Head() reads exactly the header block; any body bytes a route sent
+  // would desync the follow-up requests on this keep-alive connection.
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  Result<int> head = client.Head("/nope");
+  ASSERT_TRUE(head.ok()) << head.status().ToString();
+  EXPECT_EQ(head.value(), 404);
+  head = client.Head("/api/v1/list_indexes");
+  ASSERT_TRUE(head.ok()) << head.status().ToString();
+  EXPECT_EQ(head.value(), 405);
+  head = client.Head("/healthz");
+  ASSERT_TRUE(head.ok()) << head.status().ToString();
+  EXPECT_EQ(head.value(), 200);
+  // Still in sync: a normal exchange parses cleanly.
+  Result<HttpResponse> response = client.Post("/api/v1/list_indexes", "");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().status, 200);
+  EXPECT_EQ(response.value().body, "[]");
+}
+
+TEST_F(HttpE2eTest, ExpectContinueIsAnswered) {
+  // curl sends "Expect: 100-continue" for sizable POST bodies and waits
+  // for the interim response before transmitting them.
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client
+                  .SendAll("POST /api/v1/list_indexes HTTP/1.1\r\n"
+                           "Host: x\r\n"
+                           "Expect: 100-continue\r\n"
+                           "Content-Length: 2\r\n\r\n")
+                  .ok());
+  Result<HttpResponse> interim = client.ReadResponse();
+  ASSERT_TRUE(interim.ok()) << interim.status().ToString();
+  EXPECT_EQ(interim.value().status, 100);
+  ASSERT_TRUE(client.SendAll("{}").ok());
+  Result<HttpResponse> response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().status, 200);
+  EXPECT_EQ(response.value().body, "[]");
+
+  // An Expect value we cannot honor is refused up front.
+  TestClient c2(server_->port());
+  ASSERT_TRUE(c2.SendAll("POST /api/v1/list_indexes HTTP/1.1\r\n"
+                         "Expect: tea\r\nContent-Length: 0\r\n\r\n")
+                  .ok());
+  Result<HttpResponse> refused = c2.ReadResponse();
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused.value().status, 417);
+
+  // Expect from an HTTP/1.0 client is ignored: 1.0 has no interim
+  // responses, so the first (and only) response must be the final one.
+  TestClient c3(server_->port());
+  ASSERT_TRUE(
+      c3.SendAll("POST /api/v1/list_indexes HTTP/1.0\r\n"
+                 "Expect: 100-continue\r\nContent-Length: 2\r\n\r\n{}")
+          .ok());
+  Result<HttpResponse> old_proto = c3.ReadResponse();
+  ASSERT_TRUE(old_proto.ok());
+  EXPECT_EQ(old_proto.value().status, 200);
+  EXPECT_EQ(old_proto.value().body, "[]");
+}
+
+TEST_F(HttpE2eTest, HostileRequestsAreRejectedWithoutCrashing) {
+  // A path-traversal index name is refused at the API boundary.
+  api::BuildIndexRequest build;
+  build.index = "../../escape";
+  build.dataset = "nope";
+  build.spec.sax = TestSax();
+  HttpResponse response = Post("build_index", build.ToJsonString());
+  EXPECT_EQ(response.status, 400);
+  auto error = api::ApiError::FromJson(JsonParse(response.body).TakeValue());
+  ASSERT_TRUE(error.ok()) << response.body;
+  EXPECT_EQ(error.value().code, "invalid_argument");
+
+  // A huge declared series_length with no payload behind it must yield a
+  // structured error, not an allocation failure that kills the server.
+  response = Post(
+      "register_dataset",
+      "{\"name\":\"d\",\"series\":[],\"series_length\":1000000000000}");
+  EXPECT_EQ(response.status, 400);
+
+  // Conflicting Content-Length copies (the CL.CL smuggling shape) -> 400.
+  TestClient cl(server_->port());
+  ASSERT_TRUE(cl.SendAll("POST /api/v1/list_indexes HTTP/1.1\r\n"
+                         "Content-Length: 2\r\nContent-Length: 4\r\n\r\n{}")
+                  .ok());
+  Result<HttpResponse> smuggle = cl.ReadResponse();
+  ASSERT_TRUE(smuggle.ok());
+  EXPECT_EQ(smuggle.value().status, 400);
+
+  // The server survived all of it.
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  Result<HttpResponse> health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health.value().status, 200);
+}
+
 TEST_F(HttpE2eTest, ConcurrentClients) {
   const series::SeriesCollection data =
       testutil::RandomWalkCollection(80, 32, 123);
