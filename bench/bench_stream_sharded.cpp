@@ -1,0 +1,143 @@
+// Sharded streaming ingestion: per-Ingest latency (p50/p99/max), the
+// cross-shard drain cost, and backpressure stall time, sync vs async ×
+// shard counts. Sync streaming only exists unsharded (sharded streaming
+// requires per-shard strands), so the K = 1 synchronous build is the
+// baseline every async × K cell compares against. The bounded seal cap is
+// armed so the stall counters report real pacing, not zeros — on a
+// single-core runner the flusher shares the core with the producer and
+// stall time dominates the tail; on real hardware the shards' strands
+// spread across cores and both collapse. CI uploads the JSON per run so
+// the trajectory is tracked over time.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "palm/factory.h"
+#include "stream/streaming_index.h"
+
+namespace coconut {
+namespace bench {
+namespace {
+
+constexpr size_t kLength = 256;
+constexpr size_t kSeries = 6144;
+constexpr size_t kBufferEntries = 512;
+constexpr size_t kInflightCap = 4;
+
+palm::VariantSpec ShardedStreamSpec(bool async, size_t shards,
+                                    palm::StreamMode mode) {
+  palm::VariantSpec spec;
+  spec.sax = BenchSax(kLength);
+  spec.buffer_entries = kBufferEntries;
+  spec.btp_merge_k = 2;
+  spec.mode = mode;
+  spec.family = mode == palm::StreamMode::kTP ? palm::IndexFamily::kCTree
+                                              : palm::IndexFamily::kClsm;
+  spec.async_ingest = async;
+  spec.num_shards = shards;
+  spec.max_inflight_seals = async ? kInflightCap : 0;
+  return spec;
+}
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_in_place->size() - 1));
+  return (*sorted_in_place)[idx];
+}
+
+/// One full ingest + drain run; per-Ingest latencies feed the percentile
+/// counters and the final stats snapshot feeds the stall counters.
+void RunShardedIngest(benchmark::State& state, palm::StreamMode mode,
+                      bool async, size_t shards) {
+  const auto& collection = AstroCollection(kSeries, kLength);
+  ThreadPool background(2);
+  double p50_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+  double drain_seconds = 0;
+  double stall_ms_p99 = 0;
+  double stalls = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Arena arena = Arena::Make("bench_stream_sharded", kLength);
+    arena.FillRaw(collection);
+    palm::VariantSpec spec = ShardedStreamSpec(async, shards, mode);
+    spec.background_pool = &background;
+    auto index = palm::CreateStreamingIndex(spec, arena.storage.get(),
+                                            "stream", nullptr,
+                                            arena.raw.get())
+                     .TakeValue();
+    std::vector<double> latencies_us;
+    latencies_us.reserve(collection.size());
+    state.ResumeTiming();
+
+    for (size_t i = 0; i < collection.size(); ++i) {
+      WallTimer timer;
+      if (!index->Ingest(i, collection[i], static_cast<int64_t>(i)).ok()) {
+        std::abort();
+      }
+      latencies_us.push_back(timer.ElapsedSeconds() * 1e6);
+    }
+    WallTimer drain;
+    if (!index->FlushAll().ok()) std::abort();
+    drain_seconds = drain.ElapsedSeconds();
+
+    const stream::StreamingStats stats = index->SnapshotStats();
+    stall_ms_p99 = stats.stall_ms_p99;
+    stalls = static_cast<double>(stats.ingest_stalls);
+    p50_us = Percentile(&latencies_us, 0.50);
+    p99_us = Percentile(&latencies_us, 0.99);
+    max_us = latencies_us.back();
+  }
+  state.counters["ingest_p50_us"] = p50_us;
+  state.counters["ingest_p99_us"] = p99_us;
+  state.counters["ingest_max_us"] = max_us;
+  state.counters["drain_seconds"] = drain_seconds;
+  state.counters["stall_ms_p99"] = stall_ms_p99;
+  state.counters["ingest_stalls"] = stalls;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(collection.size()));
+}
+
+void BM_ShardedIngestTpSync(benchmark::State& state) {
+  RunShardedIngest(state, palm::StreamMode::kTP, /*async=*/false,
+                   /*shards=*/1);
+}
+BENCHMARK(BM_ShardedIngestTpSync)->Unit(benchmark::kMillisecond);
+
+void BM_ShardedIngestTpAsync(benchmark::State& state) {
+  RunShardedIngest(state, palm::StreamMode::kTP, /*async=*/true,
+                   static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_ShardedIngestTpAsync)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShardedIngestBtpSync(benchmark::State& state) {
+  RunShardedIngest(state, palm::StreamMode::kBTP, /*async=*/false,
+                   /*shards=*/1);
+}
+BENCHMARK(BM_ShardedIngestBtpSync)->Unit(benchmark::kMillisecond);
+
+void BM_ShardedIngestBtpAsync(benchmark::State& state) {
+  RunShardedIngest(state, palm::StreamMode::kBTP, /*async=*/true,
+                   static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_ShardedIngestBtpAsync)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace coconut
+
+BENCHMARK_MAIN();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/timer.h"
 #include "seqtable/table_search.h"
 #include "series/distance.h"
 #include "series/paa.h"
@@ -153,6 +154,9 @@ void Clsm::EnqueueFlushLocked(std::shared_ptr<const PendingFlush> pending) {
 void Clsm::RecordBackgroundError(const Status& status) {
   std::lock_guard<std::mutex> lock(mu_);
   if (background_status_.ok()) background_status_ = status;
+  // Wake inserts blocked on the flush cap: with the flusher dead the cap
+  // will never clear, and they must surface the error instead of hanging.
+  backpressure_.Notify();
 }
 
 void Clsm::PublishRuns(std::shared_ptr<const RunSet> runs,
@@ -168,9 +172,27 @@ void Clsm::PublishRuns(std::shared_ptr<const RunSet> runs,
       }
     }
     ++flushes_completed_;
+    // A pending flush retired: inserts blocked on the cap may proceed.
+    backpressure_.Notify();
   }
   entries_rewritten_ += rewritten;
   merges_performed_ += merges;
+}
+
+Status Clsm::ApplyBackpressureLocked(std::unique_lock<std::mutex>* lock) {
+  const size_t cap = options_.max_inflight_seals;
+  if (cap == 0 || !async()) return Status::OK();
+  if (memtable_.size() + 1 < options_.buffer_entries ||
+      pending_.size() < cap) {
+    return Status::OK();
+  }
+  if (options_.backpressure == stream::BackpressurePolicy::kReject) {
+    return backpressure_.Reject(pending_.size(), cap);
+  }
+  backpressure_.Block(lock, [this, cap] {
+    return pending_.size() < cap || !background_status_.ok();
+  });
+  return background_status_;
 }
 
 Status Clsm::Insert(uint64_t series_id, std::span<const float> znorm_values,
@@ -187,8 +209,11 @@ Status Clsm::Insert(uint64_t series_id, std::span<const float> znorm_values,
 
   std::shared_ptr<const PendingFlush> pending;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     if (!background_status_.ok()) return background_status_;
+    // Backpressure gates admission before any state commits: a refused or
+    // error-woken entry leaves the memtable untouched.
+    COCONUT_RETURN_NOT_OK(ApplyBackpressureLocked(&lock));
     memtable_.push_back(entry);
     if (options_.materialized) {
       memtable_payloads_.insert(memtable_payloads_.end(),
@@ -318,6 +343,11 @@ Status Clsm::MergeIntoLevel(RunSet* work, size_t level,
 }
 
 Status Clsm::FlushTask(std::shared_ptr<const PendingFlush> pending) {
+  // Test seam: fault-injection suites throttle flushes here (to pile up
+  // in-flight memtables against the cap) or fail them outright.
+  if (options_.seal_test_hook) {
+    COCONUT_RETURN_NOT_OK(options_.seal_test_hook());
+  }
   // Working copy of the current run set: this path is the only mutator and
   // is serialized (strand in async mode, single caller in sync mode).
   RunSet work;
@@ -497,6 +527,11 @@ stream::StreamingStats Clsm::SnapshotStats() const {
   stats.pending_tasks = pending_.size();
   stats.seals_completed = flushes_completed_;
   stats.merges_completed = merges_performed_;
+  stats.seals_inflight = pending_.size();
+  stats.ingest_stalls = backpressure_.stalls();
+  stats.ingest_rejects = backpressure_.rejects();
+  stats.stall_ms_p50 = backpressure_.StallPercentileMs(0.50);
+  stats.stall_ms_p99 = backpressure_.StallPercentileMs(0.99);
   return stats;
 }
 

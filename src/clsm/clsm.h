@@ -1,6 +1,8 @@
 #ifndef COCONUT_CLSM_CLSM_H_
 #define COCONUT_CLSM_CLSM_H_
 
+#include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -51,6 +53,19 @@ class Clsm {
     /// Background pool for flushes and merge cascades (not owned; must
     /// outlive the index). nullptr = synchronous.
     ThreadPool* background = nullptr;
+    /// Bounded backpressure: cap on detached-but-unflushed memtables (each
+    /// holds up to buffer_entries series in memory). 0 = unbounded. Only
+    /// meaningful in async mode; FlushBuffer ignores the cap (a drain
+    /// must always make progress).
+    size_t max_inflight_seals = 0;
+    /// What Insert does at the cap: block until a flush retires, or
+    /// refuse the entry with ResourceExhausted.
+    stream::BackpressurePolicy backpressure =
+        stream::BackpressurePolicy::kBlock;
+    /// Test seam: runs at the head of every flush task (on the strand in
+    /// async mode) — fault-injection tests throttle or fail it. Never set
+    /// in production.
+    std::function<Status()> seal_test_hook{};
   };
 
   /// Creates an empty LSM tree writing runs named `<prefix>.L<i>.<version>`.
@@ -164,6 +179,12 @@ class Clsm {
   /// Detaches the full memtable into the pending list; caller holds mu_.
   std::shared_ptr<PendingFlush> DetachMemtableLocked();
 
+  /// Blocks (kBlock) or refuses (kReject) when admitting one more entry
+  /// would detach a memtable past the flush cap. Caller holds `lock` on
+  /// mu_; kBlock waits on it until a flush retires or a background error
+  /// lands.
+  Status ApplyBackpressureLocked(std::unique_lock<std::mutex>* lock);
+
   /// Enqueues the flush on the strand. Caller holds mu_, which guarantees
   /// strand order equals detach order even when Insert and FlushBuffer
   /// race.
@@ -226,6 +247,10 @@ class Clsm {
   uint64_t merges_performed_ = 0;
   uint64_t flushes_completed_ = 0;
   Status background_status_;
+
+  /// Backpressure state (guarded by mu_): notified when a pending flush
+  /// retires or a background error lands, so blocked inserts always wake.
+  stream::BackpressureGate backpressure_;
 
   /// Only touched by the (serialized) flush/cascade path.
   uint64_t version_ = 0;

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "palm/sharded_index.h"
+#include "palm/sharded_streaming_index.h"
 #include "series/series.h"
 
 namespace coconut {
@@ -109,6 +110,9 @@ constexpr uint64_t kMaxWireBufferEntries = 1u << 24;
 constexpr uint64_t kMaxWireMemoryBudgetBytes = 1ull << 36;  // 64 GiB
 constexpr uint64_t kMaxWireLeafCapacity = 1u << 24;
 constexpr int64_t kMaxWireSmallInt = 1024;  // growth_factor, btp_merge_k
+/// Each in-flight seal pins up to buffer_entries series in memory; the cap
+/// on the cap keeps a hostile spec from authorizing unbounded pinning.
+constexpr uint64_t kMaxWireInflightSeals = 1u << 16;
 
 int ApiCodeToHttpStatus(const std::string& code) {
   for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
@@ -406,6 +410,25 @@ Result<StreamMode> ModeFromWire(const std::string& s, const char* what) {
                                  "' (want static|pp|tp|btp)");
 }
 
+const char* BackpressureToWire(stream::BackpressurePolicy policy) {
+  switch (policy) {
+    case stream::BackpressurePolicy::kBlock:
+      return "block";
+    case stream::BackpressurePolicy::kReject:
+      return "reject";
+  }
+  return "block";
+}
+
+Result<stream::BackpressurePolicy> BackpressureFromWire(const std::string& s,
+                                                        const char* what) {
+  if (s == "block") return stream::BackpressurePolicy::kBlock;
+  if (s == "reject") return stream::BackpressurePolicy::kReject;
+  return Status::InvalidArgument(std::string(what) +
+                                 ": unknown backpressure_policy '" + s +
+                                 "' (want block|reject)");
+}
+
 const char* PolicyToWire(stream::TimestampPolicy policy) {
   switch (policy) {
     case stream::TimestampPolicy::kPermissive:
@@ -522,7 +545,8 @@ Result<VariantSpec> VariantSpecFromJson(const JsonValue& value) {
        "growth_factor", "buffer_entries", "memory_budget_bytes",
        "construction_threads", "ads_leaf_capacity", "btp_merge_k",
        "num_shards", "shard_build_threads", "shard_query_threads",
-       "timestamp_policy", "async_ingest"}));
+       "timestamp_policy", "async_ingest", "max_inflight_seals",
+       "backpressure_policy"}));
   VariantSpec spec;
   std::string s;
   COCONUT_RETURN_NOT_OK(OptString(value, "family", kWhat, &s));
@@ -584,6 +608,16 @@ Result<VariantSpec> VariantSpecFromJson(const JsonValue& value) {
   }
   COCONUT_RETURN_NOT_OK(
       OptBool(value, "async_ingest", kWhat, &spec.async_ingest));
+  u = spec.max_inflight_seals;
+  COCONUT_RETURN_NOT_OK(OptUintInRange(value, "max_inflight_seals", kWhat,
+                                       &u, kMaxWireInflightSeals));
+  spec.max_inflight_seals = static_cast<size_t>(u);
+  s.clear();
+  COCONUT_RETURN_NOT_OK(OptString(value, "backpressure_policy", kWhat, &s));
+  if (!s.empty()) {
+    COCONUT_ASSIGN_OR_RETURN(spec.backpressure_policy,
+                             BackpressureFromWire(s, kWhat));
+  }
   return spec;
 }
 
@@ -612,6 +646,10 @@ void VariantSpecToJson(const VariantSpec& spec, JsonWriter* w) {
   w->Field("timestamp_policy",
            std::string(PolicyToWire(spec.timestamp_policy)));
   w->Field("async_ingest", spec.async_ingest);
+  w->Field("max_inflight_seals",
+           static_cast<uint64_t>(spec.max_inflight_seals));
+  w->Field("backpressure_policy",
+           std::string(BackpressureToWire(spec.backpressure_policy)));
   w->EndObject();
 }
 
@@ -963,8 +1001,9 @@ Result<IngestBatchReport> IngestBatchReport::FromJson(const JsonValue& value) {
   COCONUT_RETURN_NOT_OK(RejectUnknown(
       value, kWhat,
       {"stream", "ingested", "total_entries", "partitions", "buffered",
-       "pending_tasks", "seals_completed", "merges_completed", "seconds",
-       "io"}));
+       "pending_tasks", "seals_completed", "merges_completed",
+       "seals_inflight", "ingest_stalls", "ingest_rejects", "stall_ms_p50",
+       "stall_ms_p99", "seconds", "io"}));
   IngestBatchReport report;
   COCONUT_ASSIGN_OR_RETURN(report.stream, ReqString(value, "stream", kWhat));
   COCONUT_ASSIGN_OR_RETURN(report.ingested,
@@ -981,6 +1020,16 @@ Result<IngestBatchReport> IngestBatchReport::FromJson(const JsonValue& value) {
                            ReqUint(value, "seals_completed", kWhat));
   COCONUT_ASSIGN_OR_RETURN(report.merges_completed,
                            ReqUint(value, "merges_completed", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.seals_inflight,
+                           ReqUint(value, "seals_inflight", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.ingest_stalls,
+                           ReqUint(value, "ingest_stalls", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.ingest_rejects,
+                           ReqUint(value, "ingest_rejects", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.stall_ms_p50,
+                           ReqDouble(value, "stall_ms_p50", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.stall_ms_p99,
+                           ReqDouble(value, "stall_ms_p99", kWhat));
   COCONUT_ASSIGN_OR_RETURN(report.seconds,
                            ReqDouble(value, "seconds", kWhat));
   const JsonValue* io = value.Find("io");
@@ -999,6 +1048,11 @@ void IngestBatchReport::ToJson(JsonWriter* w) const {
   w->Field("pending_tasks", pending_tasks);
   w->Field("seals_completed", seals_completed);
   w->Field("merges_completed", merges_completed);
+  w->Field("seals_inflight", seals_inflight);
+  w->Field("ingest_stalls", ingest_stalls);
+  w->Field("ingest_rejects", ingest_rejects);
+  w->Field("stall_ms_p50", stall_ms_p50);
+  w->Field("stall_ms_p99", stall_ms_p99);
   w->Field("seconds", seconds);
   w->Key("io");
   IoStatsToJson(io, w);
@@ -1040,7 +1094,8 @@ Result<DrainStreamReport> DrainStreamReport::FromJson(const JsonValue& value) {
       value, kWhat,
       {"stream", "drained", "drain_seconds", "total_entries", "partitions",
        "buffered", "pending_tasks", "seals_completed", "merges_completed",
-       "index_bytes", "total_bytes"}));
+       "seals_inflight", "ingest_stalls", "ingest_rejects", "stall_ms_p50",
+       "stall_ms_p99", "index_bytes", "total_bytes"}));
   DrainStreamReport report;
   COCONUT_ASSIGN_OR_RETURN(report.stream, ReqString(value, "stream", kWhat));
   COCONUT_ASSIGN_OR_RETURN(report.drained, ReqBool(value, "drained", kWhat));
@@ -1058,6 +1113,16 @@ Result<DrainStreamReport> DrainStreamReport::FromJson(const JsonValue& value) {
                            ReqUint(value, "seals_completed", kWhat));
   COCONUT_ASSIGN_OR_RETURN(report.merges_completed,
                            ReqUint(value, "merges_completed", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.seals_inflight,
+                           ReqUint(value, "seals_inflight", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.ingest_stalls,
+                           ReqUint(value, "ingest_stalls", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.ingest_rejects,
+                           ReqUint(value, "ingest_rejects", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.stall_ms_p50,
+                           ReqDouble(value, "stall_ms_p50", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(report.stall_ms_p99,
+                           ReqDouble(value, "stall_ms_p99", kWhat));
   COCONUT_ASSIGN_OR_RETURN(report.index_bytes,
                            ReqUint(value, "index_bytes", kWhat));
   COCONUT_ASSIGN_OR_RETURN(report.total_bytes,
@@ -1076,6 +1141,11 @@ void DrainStreamReport::ToJson(JsonWriter* w) const {
   w->Field("pending_tasks", pending_tasks);
   w->Field("seals_completed", seals_completed);
   w->Field("merges_completed", merges_completed);
+  w->Field("seals_inflight", seals_inflight);
+  w->Field("ingest_stalls", ingest_stalls);
+  w->Field("ingest_rejects", ingest_rejects);
+  w->Field("stall_ms_p50", stall_ms_p50);
+  w->Field("stall_ms_p99", stall_ms_p99);
   w->Field("index_bytes", index_bytes);
   w->Field("total_bytes", total_bytes);
   w->EndObject();
@@ -1600,10 +1670,17 @@ Result<std::unique_ptr<Service>> Service::Create(const std::string& root_dir,
       new Service(root_dir, pool_bytes_per_index));
 }
 
-Service::IndexHandle* Service::FindHandle(const std::string& name) const {
+std::shared_ptr<Service::IndexHandle> Service::FindHandle(
+    const std::string& name) const {
   auto it = indexes_.find(name);
-  if (it == indexes_.end() || it->second->building) return nullptr;
-  return it->second.get();
+  if (it == indexes_.end() || it->second->building.load()) return nullptr;
+  return it->second;
+}
+
+std::shared_ptr<Service::IndexHandle> Service::PinHandle(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return FindHandle(name);
 }
 
 Result<Service::IndexHandle*> Service::ReserveHandle(
@@ -1611,9 +1688,9 @@ Result<Service::IndexHandle*> Service::ReserveHandle(
   if (indexes_.count(index_name) != 0) {
     return Status::AlreadyExists("index '" + index_name + "' already exists");
   }
-  auto handle = std::make_unique<IndexHandle>();
+  auto handle = std::make_shared<IndexHandle>();
   handle->spec = spec;
-  handle->building = true;
+  handle->building.store(true);
   IndexHandle* raw_ptr = handle.get();
   indexes_[index_name] = std::move(handle);
   return raw_ptr;
@@ -1723,7 +1800,7 @@ Result<BuildIndexReport> Service::BuildIndex(const std::string& index_name,
   }
   if (report.ok()) {
     std::unique_lock<std::shared_mutex> lock(mu_);
-    handle->building = false;
+    handle->building.store(false);
   } else {
     TeardownHandle(index_name, handle);
   }
@@ -1812,7 +1889,7 @@ Result<CreateStreamResponse> Service::CreateStream(
   handle->stream_index = created.TakeValue();
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
-    handle->building = false;
+    handle->building.store(false);
   }
   CreateStreamResponse response;
   response.stream = stream_name;
@@ -1853,9 +1930,12 @@ Result<CreateStreamResponse> Service::CreateStream(
 Result<IngestBatchReport> Service::IngestBatch(
     const std::string& stream_name, const series::SeriesCollection& batch,
     const std::vector<int64_t>& timestamps) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  IndexHandle* handle = FindHandle(stream_name);
-  if (handle == nullptr || handle->stream_index == nullptr) {
+  // Pin the handle with one brief shared hold; the batch itself — which
+  // kBlock backpressure can stall indefinitely — runs under the handle's
+  // op mutex with no registry lock held, so it never parks registry
+  // writers or unrelated indexes.
+  std::shared_ptr<IndexHandle> handle = PinHandle(stream_name);
+  if (handle == nullptr) {
     return Status::NotFound("stream '" + stream_name + "' not found");
   }
   if (timestamps.size() != batch.size()) {
@@ -1869,40 +1949,79 @@ Result<IngestBatchReport> Service::IngestBatch(
         std::to_string(handle->spec.sax.series_length));
   }
   std::lock_guard<std::mutex> op_lock(handle->op_mutex);
+  // A concurrent DropIndex tombstones, then waits on op_mutex: if it won
+  // that race the members below are torn down — bounce like a miss.
+  if (handle->building.load() || handle->stream_index == nullptr) {
+    return Status::NotFound("stream '" + stream_name + "' not found");
+  }
 
   WallTimer timer;
+  // A sharded stream routes every series into a shard-local raw store and
+  // does its I/O through per-shard storage managers; the handle-level
+  // store would be a dead second copy and the handle-level counters would
+  // read zero (same treatment as the static sharded build path).
+  auto* sharded =
+      dynamic_cast<ShardedStreamingIndex*>(handle->stream_index.get());
   // Snapshot reads: background seals/merges of an async stream may be
   // doing I/O while this batch is admitted.
-  const storage::IoStats before = handle->storage->SnapshotIoStats();
+  storage::IoStats before = handle->storage->SnapshotIoStats();
+  if (sharded != nullptr) before.Add(sharded->AggregateIoStats());
   std::vector<float> buf;
+  uint64_t admitted = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
     buf.assign(batch[i].begin(), batch[i].end());
     series::ZNormalize(buf);
     // Series ids are raw-store ordinals (queries fetch by id), so take the
-    // id Append assigned. If the index then rejects the entry (e.g. a
-    // kStrict timestamp regression), the ordinal stays burned as an
-    // unindexed raw slot — ids of previously and subsequently admitted
-    // series keep lining up with the raw file either way.
-    COCONUT_ASSIGN_OR_RETURN(const uint64_t id, handle->raw->Append(buf));
+    // id Append assigned — or, sharded, the next global ordinal (the
+    // wrapper appends to its shard's store and maps local ids back). If
+    // the index then rejects the entry (a kStrict timestamp regression, a
+    // backpressure reject), the ordinal stays burned as an unindexed raw
+    // slot — ids of previously and subsequently admitted series keep
+    // lining up either way.
+    uint64_t id;
+    if (sharded != nullptr) {
+      id = handle->next_series_id;
+    } else {
+      COCONUT_ASSIGN_OR_RETURN(id, handle->raw->Append(buf));
+    }
     handle->next_series_id = id + 1;
-    COCONUT_RETURN_NOT_OK(
-        handle->stream_index->Ingest(id, buf, timestamps[i]));
+    const Status st = handle->stream_index->Ingest(id, buf, timestamps[i]);
+    if (st.code() == StatusCode::kResourceExhausted && admitted > 0) {
+      // Reject-mode backpressure mid-batch: the admitted prefix cannot be
+      // un-ingested, so report it truthfully (ingested < batch size, the
+      // reject visible in ingest_rejects) instead of failing the whole
+      // batch — a client that retried the full batch on 429 would
+      // duplicate the prefix. A 429 therefore always means ZERO progress:
+      // retry the same batch after draining.
+      break;
+    }
+    COCONUT_RETURN_NOT_OK(st);
+    ++admitted;
   }
-  COCONUT_RETURN_NOT_OK(handle->raw->Flush());
+  if (sharded == nullptr) {
+    COCONUT_RETURN_NOT_OK(handle->raw->Flush());
+  }
 
   const stream::StreamingStats stats =
       handle->stream_index->SnapshotStats();
   IngestBatchReport report;
   report.stream = stream_name;
-  report.ingested = batch.size();
+  report.ingested = admitted;
   report.total_entries = stats.entries;
   report.partitions = stats.sealed_partitions;
   report.buffered = stats.buffered;
   report.pending_tasks = stats.pending_tasks;
   report.seals_completed = stats.seals_completed;
   report.merges_completed = stats.merges_completed;
+  report.seals_inflight = stats.seals_inflight;
+  report.ingest_stalls = stats.ingest_stalls;
+  report.ingest_rejects = stats.ingest_rejects;
+  report.stall_ms_p50 = stats.stall_ms_p50;
+  report.stall_ms_p99 = stats.stall_ms_p99;
   report.seconds = timer.ElapsedSeconds();
-  report.io = handle->storage->SnapshotIoStats().Since(before);
+  storage::IoStats after = handle->storage->SnapshotIoStats();
+  if (sharded != nullptr) after.Add(sharded->AggregateIoStats());
+  report.io = after.Since(before);
   return report;
 }
 
@@ -1912,12 +2031,16 @@ Result<IngestBatchReport> Service::IngestBatch(
 }
 
 Result<DrainStreamReport> Service::DrainStream(const std::string& stream_name) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  IndexHandle* handle = FindHandle(stream_name);
-  if (handle == nullptr || handle->stream_index == nullptr) {
+  // Like IngestBatch: pin, release the registry, drain under op_mutex
+  // only — a long drain barrier must not park registry writers.
+  std::shared_ptr<IndexHandle> handle = PinHandle(stream_name);
+  if (handle == nullptr) {
     return Status::NotFound("stream '" + stream_name + "' not found");
   }
   std::lock_guard<std::mutex> op_lock(handle->op_mutex);
+  if (handle->building.load() || handle->stream_index == nullptr) {
+    return Status::NotFound("stream '" + stream_name + "' not found");
+  }
   WallTimer timer;
   COCONUT_RETURN_NOT_OK(handle->stream_index->FlushAll());
   const stream::StreamingStats stats =
@@ -1932,6 +2055,11 @@ Result<DrainStreamReport> Service::DrainStream(const std::string& stream_name) {
   report.pending_tasks = stats.pending_tasks;
   report.seals_completed = stats.seals_completed;
   report.merges_completed = stats.merges_completed;
+  report.seals_inflight = stats.seals_inflight;
+  report.ingest_stalls = stats.ingest_stalls;
+  report.ingest_rejects = stats.ingest_rejects;
+  report.stall_ms_p50 = stats.stall_ms_p50;
+  report.stall_ms_p99 = stats.stall_ms_p99;
   report.index_bytes = handle->stream_index->index_bytes();
   report.total_bytes = handle->storage->TotalBytesOnDisk();
   return report;
@@ -1943,8 +2071,7 @@ Result<DrainStreamReport> Service::DrainStream(
 }
 
 Result<QueryReport> Service::Query(const QueryRequest& request) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  IndexHandle* handle = FindHandle(request.index);
+  std::shared_ptr<IndexHandle> handle = PinHandle(request.index);
   if (handle == nullptr) {
     return Status::NotFound("index '" + request.index + "' not found");
   }
@@ -1978,7 +2105,10 @@ Result<QueryReport> Service::Query(const QueryRequest& request) {
     }
   }
   std::lock_guard<std::mutex> op_lock(handle->op_mutex);
-  return QueryLocked(request, handle);
+  if (handle->building.load()) {
+    return Status::NotFound("index '" + request.index + "' not found");
+  }
+  return QueryLocked(request, handle.get());
 }
 
 Result<QueryReport> Service::QueryLocked(const QueryRequest& request,
@@ -1993,11 +2123,13 @@ Result<QueryReport> Service::QueryLocked(const QueryRequest& request,
   // A sharded index reads through per-shard storage managers; snapshot
   // those too so the reported query I/O is real, not the handle's zeros.
   auto* sharded = dynamic_cast<ShardedIndex*>(handle->static_index.get());
+  auto* sharded_stream =
+      dynamic_cast<ShardedStreamingIndex*>(handle->stream_index.get());
 
   core::QueryCounters counters;
   storage::AccessTracker* tracker = handle->storage->tracker();
   if (request.capture_heatmap) {
-    if (sharded != nullptr) {
+    if (sharded != nullptr || sharded_stream != nullptr) {
       // Shard I/O never touches the handle-level tracker; a silent empty
       // heat map would read as an all-cold result, so refuse instead.
       return Status::NotSupported(
@@ -2011,6 +2143,9 @@ Result<QueryReport> Service::QueryLocked(const QueryRequest& request,
   // Snapshot: async streams may be sealing/merging in the background.
   storage::IoStats before = handle->storage->SnapshotIoStats();
   if (sharded != nullptr) before.Add(sharded->AggregateIoStats());
+  if (sharded_stream != nullptr) {
+    before.Add(sharded_stream->AggregateIoStats());
+  }
   Result<core::SearchResult> result =
       handle->static_index != nullptr
           ? (request.exact
@@ -2038,6 +2173,9 @@ Result<QueryReport> Service::QueryLocked(const QueryRequest& request,
   report.seconds = seconds;
   storage::IoStats after = handle->storage->SnapshotIoStats();
   if (sharded != nullptr) after.Add(sharded->AggregateIoStats());
+  if (sharded_stream != nullptr) {
+    after.Add(sharded_stream->AggregateIoStats());
+  }
   report.io = after.Since(before);
   report.counters = counters;
   if (request.capture_heatmap) {
@@ -2118,16 +2256,29 @@ RecommendResponse Service::Recommend(const Scenario& scenario) {
 }
 
 ListIndexesResponse Service::ListIndexes() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  // Snapshot the pinned handles under one brief shared hold, then read
+  // each one under its op mutex with no registry lock — waiting out a
+  // backpressure-stalled ingest on one index must not park the registry
+  // for everyone else.
+  std::vector<std::pair<std::string, std::shared_ptr<IndexHandle>>> pinned;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    pinned.reserve(indexes_.size());
+    for (const auto& [name, handle] : indexes_) {
+      // A building handle has reserved its name but carries no index yet;
+      // its fields belong to the builder thread until published.
+      if (handle->building.load()) continue;
+      pinned.emplace_back(name, handle);
+    }
+  }
   ListIndexesResponse response;
-  response.indexes.reserve(indexes_.size());
-  for (const auto& [name, handle] : indexes_) {
-    // A building handle has reserved its name but carries no index yet;
-    // its fields belong to the builder thread until published.
-    if (handle->building) continue;
+  response.indexes.reserve(pinned.size());
+  for (const auto& [name, handle] : pinned) {
     // Serialize with per-index operations: sync streaming indexes update
     // entry counts without internal synchronization.
     std::lock_guard<std::mutex> op_lock(handle->op_mutex);
+    // Dropped between the snapshot and here: skip, like the lookup miss.
+    if (handle->building.load()) continue;
     ListIndexesResponse::IndexInfo info;
     info.name = name;
     info.variant = VariantName(handle->spec);
@@ -2143,14 +2294,14 @@ ListIndexesResponse Service::ListIndexes() const {
 }
 
 Result<DropIndexResponse> Service::DropIndex(const std::string& index_name) {
-  IndexHandle* handle = nullptr;
+  std::shared_ptr<IndexHandle> handle;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     auto it = indexes_.find(index_name);
     if (it == indexes_.end()) {
       return Status::NotFound("index '" + index_name + "' not found");
     }
-    if (it->second->building) {
+    if (it->second->building.load()) {
       // The owning thread (a build, or another drop) holds the handle
       // until it publishes or erases; erasing it here would free memory
       // that thread is using. 409: the name exists but is contended.
@@ -2158,28 +2309,36 @@ Result<DropIndexResponse> Service::DropIndex(const std::string& index_name) {
                                    "' is busy (building or being "
                                    "dropped); retry shortly");
     }
-    handle = it->second.get();
-    // Tombstone the handle: once the exclusive lock is released no
-    // in-flight operation references it (ops hold mu_ shared for their
-    // whole duration) and no new one can find it, so the slow drain and
-    // directory removal below run without stalling the registry.
-    handle->building = true;
+    handle = it->second;
+    // Tombstone the handle: no new op can find it, and ops already past
+    // the lookup hold the op_mutex this thread acquires next — so the
+    // quiesce below waits out any in-flight batch (even one stalled on
+    // backpressure) and the teardown after it runs exclusively, all
+    // without the registry lock.
+    handle->building.store(true);
   }
-  const std::string directory = handle->storage->directory();
   DropIndexResponse response;
   response.index = index_name;
-  response.streaming = handle->stream_index != nullptr;
-  if (handle->stream_index != nullptr) {
-    // Quiesce background seals/merges before tearing the stack down. A
-    // drain error does not block the drop — the handle is going away
-    // either way and its destructor waits for stragglers.
-    (void)handle->stream_index->FlushAll();
-    response.entries = handle->stream_index->num_entries();
-  } else {
-    response.entries = handle->static_index->num_entries();
+  std::string directory;
+  {
+    std::lock_guard<std::mutex> op_lock(handle->op_mutex);
+    directory = handle->storage->directory();
+    response.streaming = handle->stream_index != nullptr;
+    if (handle->stream_index != nullptr) {
+      // Quiesce background seals/merges before tearing the stack down. A
+      // drain error does not block the drop — the handle is going away
+      // either way and its destructor waits for stragglers.
+      (void)handle->stream_index->FlushAll();
+      response.entries = handle->stream_index->num_entries();
+    } else {
+      response.entries = handle->static_index->num_entries();
+    }
+    response.reclaimed_bytes = handle->storage->TotalBytesOnDisk();
   }
-  response.reclaimed_bytes = handle->storage->TotalBytesOnDisk();
-  const std::error_code ec = TeardownHandle(index_name, handle);
+  // op_mutex released before TeardownHandle takes mu_ exclusively (never
+  // hold both): late ops that pinned the handle pre-tombstone bounce off
+  // `building` under the op mutex instead of touching torn-down members.
+  const std::error_code ec = TeardownHandle(index_name, handle.get());
   if (ec) {
     return Status::IoError("failed to remove '" + directory +
                            "': " + ec.message());
@@ -2213,20 +2372,17 @@ Result<DropDatasetResponse> Service::DropDataset(
 }
 
 core::DataSeriesIndex* Service::static_index(const std::string& name) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  IndexHandle* handle = FindHandle(name);
+  std::shared_ptr<IndexHandle> handle = PinHandle(name);
   return handle == nullptr ? nullptr : handle->static_index.get();
 }
 
 stream::StreamingIndex* Service::stream_index(const std::string& name) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  IndexHandle* handle = FindHandle(name);
+  std::shared_ptr<IndexHandle> handle = PinHandle(name);
   return handle == nullptr ? nullptr : handle->stream_index.get();
 }
 
 storage::StorageManager* Service::index_storage(const std::string& name) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  IndexHandle* handle = FindHandle(name);
+  std::shared_ptr<IndexHandle> handle = PinHandle(name);
   return handle == nullptr ? nullptr : handle->storage.get();
 }
 

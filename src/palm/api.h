@@ -1,6 +1,7 @@
 #ifndef COCONUT_PALM_API_H_
 #define COCONUT_PALM_API_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -167,7 +168,9 @@ struct IngestBatchRequest {
   std::string ToJsonString() const;
 };
 
-/// Ingest report — byte-identical to the pre-redesign IngestBatch JSON.
+/// Ingest report. PR 5 appended the backpressure fields (seals_inflight
+/// through stall_ms_p99) to the pre-redesign shape — a wire-additive
+/// change mirrored in the legacy serializer replicas api_test pins.
 struct IngestBatchReport {
   std::string stream;
   uint64_t ingested = 0;
@@ -177,6 +180,13 @@ struct IngestBatchReport {
   uint64_t pending_tasks = 0;
   uint64_t seals_completed = 0;
   uint64_t merges_completed = 0;
+  /// Backpressure telemetry (summed across shards for sharded streams;
+  /// stall percentiles are the worst shard's).
+  uint64_t seals_inflight = 0;
+  uint64_t ingest_stalls = 0;
+  uint64_t ingest_rejects = 0;
+  double stall_ms_p50 = 0.0;
+  double stall_ms_p99 = 0.0;
   double seconds = 0.0;
   storage::IoStats io;
 
@@ -194,7 +204,8 @@ struct DrainStreamRequest {
   std::string ToJsonString() const;
 };
 
-/// Drain report — byte-identical to the pre-redesign DrainStream JSON.
+/// Drain report. PR 5 appended the backpressure fields (a wire-additive
+/// change, like the ingest report).
 struct DrainStreamReport {
   std::string stream;
   bool drained = true;
@@ -205,6 +216,13 @@ struct DrainStreamReport {
   uint64_t pending_tasks = 0;
   uint64_t seals_completed = 0;
   uint64_t merges_completed = 0;
+  /// Cumulative backpressure telemetry at drain time (seals_inflight is 0
+  /// after a successful drain by construction).
+  uint64_t seals_inflight = 0;
+  uint64_t ingest_stalls = 0;
+  uint64_t ingest_rejects = 0;
+  double stall_ms_p50 = 0.0;
+  double stall_ms_p99 = 0.0;
   uint64_t index_bytes = 0;
   uint64_t total_bytes = 0;
 
@@ -372,10 +390,15 @@ struct DropDatasetResponse {
 /// directly. This is the seam future distributed shards plug into.
 ///
 /// Thread safety: operations that mutate the registry (register, build,
-/// create, drop) take an exclusive lock; lookups (query, ingest, drain,
-/// list) share the registry lock and serialize per index on the handle's
-/// operation mutex, so concurrent clients proceed in parallel across
-/// distinct indexes and are safe on the same one.
+/// create, drop) take an exclusive lock for their brief edges; per-index
+/// operations (query, ingest, drain, list) hold the registry lock only
+/// long enough to pin the handle's shared_ptr, then serialize on the
+/// handle's operation mutex with NO registry lock held — so an ingest
+/// stalled on backpressure (unbounded, by design) or a long drain never
+/// parks registry writers or unrelated indexes. After acquiring the op
+/// mutex they re-check the handle's tombstone flag: a concurrent
+/// DropIndex marks the handle building, waits out the in-flight op on
+/// that same mutex, and tears down only after it drains.
 class Service {
  public:
   static Result<std::unique_ptr<Service>> Create(
@@ -430,7 +453,10 @@ class Service {
   Result<DropDatasetResponse> DropDataset(const std::string& dataset_name);
 
   /// Direct access for examples/benches (nullptr when absent). The
-  /// returned pointers are invalidated by DropIndex.
+  /// returned pointers are NOT drop-safe: they outlive the internal
+  /// handle pin, so the caller must guarantee no concurrent DropIndex on
+  /// that name for as long as the pointer is used — these are in-process
+  /// conveniences, not part of the concurrent service contract.
   core::DataSeriesIndex* static_index(const std::string& name);
   stream::StreamingIndex* stream_index(const std::string& name);
   storage::StorageManager* index_storage(const std::string& name);
@@ -455,9 +481,11 @@ class Service {
     /// down (DropIndex/TeardownHandle) the handle outside the registry
     /// lock. A building handle only reserves its name: lookups
     /// (FindHandle, ListIndexes) skip it and DropIndex refuses it, so its
-    /// fields are touched by the owning thread alone. Written under mu_
-    /// exclusive, read under mu_ shared.
-    bool building = false;
+    /// fields are touched by the owning thread alone. Atomic because ops
+    /// re-read it under op_mutex (no registry lock) after DropIndex may
+    /// have tombstoned it under mu_ exclusive; the mutex hand-offs order
+    /// the member teardown, the atomic just keeps the flag race-free.
+    std::atomic<bool> building{false};
     /// Serializes ingest/drain/query on this index (buffer pool, tracker
     /// and counters are single-threaded per index, as in QueryBatch).
     std::mutex op_mutex;
@@ -494,25 +522,34 @@ class Service {
                                               const std::string& dataset_name,
                                               const Dataset& dataset,
                                               IndexHandle* handle);
-  /// Registry lookup; caller holds mu_ (shared is enough).
-  IndexHandle* FindHandle(const std::string& name) const;
+  /// Registry lookup; caller holds mu_ (shared is enough). The returned
+  /// shared_ptr pins the handle so ops can release mu_ and still outlive
+  /// a concurrent DropIndex (which waits on op_mutex and leaves the
+  /// object alive until every pin drops).
+  std::shared_ptr<IndexHandle> FindHandle(const std::string& name) const;
+
+  /// Pin a live (non-building) handle: one brief shared hold of mu_.
+  std::shared_ptr<IndexHandle> PinHandle(const std::string& name) const;
 
   Result<QueryReport> QueryLocked(const QueryRequest& request,
                                   IndexHandle* handle);
 
   std::string root_dir_;
   size_t pool_bytes_;
-  /// Guards the two registries. Exclusive: register/drop and the brief
-  /// reserve/publish edges of build/create. Shared: ingest/drain/query/
-  /// list (per-index work then serializes on the handle's op_mutex). The
-  /// long middle of an index build holds no lock at all: its dataset is
-  /// pinned by shared_ptr and its handle is an invisible reservation.
+  /// Guards the two registries. Exclusive: register/drop edges and the
+  /// brief reserve/publish edges of build/create. Shared: only the
+  /// handle-pinning lookup of ingest/drain/query/list — the per-index
+  /// work itself runs under the handle's op_mutex with no registry lock
+  /// (handles are shared_ptr-pinned), so neither a long build, a long
+  /// drain, nor a backpressure-stalled ingest ever parks the registry.
   mutable std::shared_mutex mu_;
   /// Values are shared_ptr-to-const so an in-flight build can pin its
   /// dataset snapshot and run without the registry lock; DropDataset
   /// erases the entry but the data outlives it for the build.
   std::map<std::string, std::shared_ptr<const Dataset>> datasets_;
-  std::map<std::string, std::unique_ptr<IndexHandle>> indexes_;
+  /// shared_ptr so an op can pin a handle across its (registry-lock-free)
+  /// work while DropIndex concurrently erases the map entry.
+  std::map<std::string, std::shared_ptr<IndexHandle>> indexes_;
 };
 
 }  // namespace api

@@ -2,6 +2,7 @@
 
 #include "core/adapters.h"
 #include "palm/sharded_index.h"
+#include "palm/sharded_streaming_index.h"
 #include "stream/btp.h"
 #include "stream/pp.h"
 #include "stream/tp.h"
@@ -67,6 +68,9 @@ Result<std::unique_ptr<core::DataSeriesIndex>> MakeInner(
       opts.growth_factor = spec.growth_factor;
       opts.buffer_entries = spec.buffer_entries;
       opts.background = clsm_background;
+      opts.max_inflight_seals = spec.max_inflight_seals;
+      opts.backpressure = spec.backpressure_policy;
+      opts.seal_test_hook = spec.seal_test_hook;
       COCONUT_ASSIGN_OR_RETURN(
           std::unique_ptr<core::ClsmIndexAdapter> adapter,
           core::ClsmIndexAdapter::Create(storage, name, opts, pool, raw));
@@ -125,10 +129,13 @@ bool SpecIsValid(const VariantSpec& spec, std::string* why) {
     if (why != nullptr) *why = "num_shards must be >= 1";
     return false;
   }
-  if (spec.num_shards > 1 && spec.mode != StreamMode::kStatic) {
+  if (spec.num_shards > 1 && spec.mode != StreamMode::kStatic &&
+      !spec.async_ingest) {
     if (why != nullptr) {
-      *why = "sharding applies to static indexes; streaming modes already "
-             "partition temporally";
+      *why = "sharded streaming requires async_ingest: each shard's "
+             "seal/merge cascades run on their own strand, and a "
+             "synchronous per-shard seal inside Ingest would serialize "
+             "the shards again";
     }
     return false;
   }
@@ -198,6 +205,24 @@ Result<std::unique_ptr<stream::StreamingIndex>> CreateStreamingIndex(
     core::RawSeriesStore* raw) {
   std::string why;
   if (!SpecIsValid(spec, &why)) return Status::InvalidArgument(why);
+  if (spec.num_shards > 1) {
+    // Key-range sharding of the live stream: the wrapper owns a full
+    // stack per shard (storage, pool, raw store) under the given
+    // manager's directory, exactly like the static ShardedIndex.
+    ShardedStreamingIndex::Options opts;
+    opts.spec = spec;
+    opts.num_shards = spec.num_shards;
+    opts.query_threads = spec.shard_query_threads;
+    if (pool != nullptr) {
+      opts.pool_bytes_per_shard = std::max<size_t>(
+          storage::kPageSize,
+          pool->capacity_pages() * storage::kPageSize / spec.num_shards);
+    }
+    COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<ShardedStreamingIndex> sharded,
+                             ShardedStreamingIndex::Create(storage, name,
+                                                           opts));
+    return std::unique_ptr<stream::StreamingIndex>(std::move(sharded));
+  }
   // Deferred seals/flushes/merges ride the caller's pool or the
   // process-wide shared one; each index serializes its own work on a
   // strand, so many streams can share a bounded worker set.
@@ -242,6 +267,9 @@ Result<std::unique_ptr<stream::StreamingIndex>> CreateStreamingIndex(
       opts.ads_leaf_capacity = spec.ads_leaf_capacity;
       opts.timestamp_policy = spec.timestamp_policy;
       opts.background = background;
+      opts.max_inflight_seals = spec.max_inflight_seals;
+      opts.backpressure = spec.backpressure_policy;
+      opts.seal_test_hook = spec.seal_test_hook;
       COCONUT_ASSIGN_OR_RETURN(
           std::unique_ptr<stream::TemporalPartitioningIndex> tp,
           stream::TemporalPartitioningIndex::Create(storage, name, opts, pool,
@@ -256,6 +284,9 @@ Result<std::unique_ptr<stream::StreamingIndex>> CreateStreamingIndex(
       opts.merge_k = spec.btp_merge_k;
       opts.timestamp_policy = spec.timestamp_policy;
       opts.background = background;
+      opts.max_inflight_seals = spec.max_inflight_seals;
+      opts.backpressure = spec.backpressure_policy;
+      opts.seal_test_hook = spec.seal_test_hook;
       COCONUT_ASSIGN_OR_RETURN(
           std::unique_ptr<stream::BoundedTemporalPartitioningIndex> btp,
           stream::BoundedTemporalPartitioningIndex::Create(storage, name,

@@ -1,6 +1,7 @@
 #ifndef COCONUT_PALM_FACTORY_H_
 #define COCONUT_PALM_FACTORY_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -46,11 +47,13 @@ struct VariantSpec {
   /// BTP: equal-size partitions per consolidation.
   int btp_merge_k = 2;
 
-  /// Shards for static indexes: > 1 partitions the dataset by invSAX key
-  /// range across that many independent per-shard storage managers /
-  /// buffer pools, built concurrently and queried scatter-gather (exact
-  /// results are unchanged — see ShardedIndex). 1 = unsharded. Streaming
-  /// modes do not support sharding yet.
+  /// Shards: > 1 partitions the dataset by invSAX key range across that
+  /// many independent per-shard storage managers / buffer pools, queried
+  /// scatter-gather (exact results are unchanged). Static indexes build
+  /// shards concurrently (ShardedIndex); streaming variants require
+  /// async_ingest and route each live series to its key-range shard,
+  /// whose seal/merge cascades run on per-shard strands
+  /// (ShardedStreamingIndex). 1 = unsharded.
   size_t num_shards = 1;
   /// Worker threads finalizing shards concurrently (0 = one per shard).
   size_t shard_build_threads = 0;
@@ -72,6 +75,20 @@ struct VariantSpec {
   /// must outlive the index). nullptr = the process-wide
   /// SharedBackgroundPool().
   ThreadPool* background_pool = nullptr;
+
+  /// Bounded ingest backpressure (async streaming only): cap on
+  /// detached-but-unflushed buffers per index — per *shard* when sharded —
+  /// each holding up to buffer_entries series in memory. 0 = unbounded.
+  size_t max_inflight_seals = 0;
+  /// At the cap, Ingest either blocks until a seal retires or returns
+  /// ResourceExhausted (a structured resource_exhausted ApiError / HTTP
+  /// 429 on the wire).
+  stream::BackpressurePolicy backpressure_policy =
+      stream::BackpressurePolicy::kBlock;
+  /// Test seam, process-local like background_pool (never on the wire):
+  /// runs at the head of every background seal/flush so fault-injection
+  /// suites can throttle or fail the flusher.
+  std::function<Status()> seal_test_hook{};
 };
 
 /// Variant display name, e.g. "CTreeFull-PP", "CLSM-BTP", "ADS+".

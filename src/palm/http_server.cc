@@ -34,6 +34,17 @@ constexpr double kMinSendBytesPerSecond = 64.0 * 1024;
 /// shrink the window a legitimate client has to drain a full socket
 /// buffer mid-response.
 constexpr int kSendStallTimeoutMs = 5000;
+/// Read-side counterpart of the send throughput floor: an absolute
+/// per-request deadline made the 64 MiB body cap unreachable for
+/// slow-but-honest uploaders (64 MiB inside keep_alive_timeout_ms needs
+/// >100 Mbit/s at the default 5 s). Instead, a body read may take as
+/// long as it keeps progressing: any zero-progress stretch is still
+/// bounded by keep_alive_timeout_ms, and after a grace period the
+/// average transfer rate must clear a floor — a slow-loris client
+/// dripping one byte per tick dies at the floor, a slow link streaming
+/// steadily does not.
+constexpr double kRecvGraceSeconds = 30.0;
+constexpr double kMinRecvBytesPerSecond = 64.0 * 1024;
 
 const char* ReasonPhrase(int status) {
   switch (status) {
@@ -442,11 +453,24 @@ void HttpServer::HandleConnection(int fd) {
           return;
         }
       }
+      // Size-aware transfer timeout (mirrors SendAll): the idle deadline
+      // restarts on every received chunk, and total elapsed time is
+      // bounded only through the throughput floor — so a large body on a
+      // slow-but-honest link survives while both stall and drip attacks
+      // still die.
       WallTimer body_timer;
+      WallTimer progress_timer;
+      const size_t body_preread = buffer.size();
       while (buffer.size() < content_length) {
-        if (stopping_.load() ||
-            body_timer.ElapsedSeconds() * 1000.0 > timeout_ms) {
+        if (stopping_.load() || progress_timer.ElapsedMillis() > timeout_ms) {
           ::close(fd);
+          return;
+        }
+        const double elapsed = body_timer.ElapsedSeconds();
+        if (elapsed > kRecvGraceSeconds &&
+            static_cast<double>(buffer.size() - body_preread) <
+                elapsed * kMinRecvBytesPerSecond) {
+          ::close(fd);  // drip-feeding uploader: below the throughput floor
           return;
         }
         char chunk[8192];
@@ -455,8 +479,9 @@ void HttpServer::HandleConnection(int fd) {
           ::close(fd);
           return;
         }
-        if (n == -1) continue;  // poll tick; deadline re-checked above
+        if (n == -1) continue;  // poll tick; deadlines re-checked above
         buffer.append(chunk, static_cast<size_t>(n));
+        progress_timer.Reset();
       }
       request.body = buffer.substr(0, content_length);
       buffer.erase(0, content_length);

@@ -1,0 +1,39 @@
+#ifndef COCONUT_PALM_SHARD_ROUTE_H_
+#define COCONUT_PALM_SHARD_ROUTE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "series/isax.h"
+#include "series/sortable.h"
+
+namespace coconut {
+namespace palm {
+
+/// The one key-range split both sharding layers use. Static ShardedIndex
+/// and ShardedStreamingIndex MUST route identically — the cross-layer
+/// equivalence and determinism guarantees assume a series lands in the
+/// same key range whether it arrives in a bulk build or on a live stream
+/// — so the math lives here exactly once.
+
+/// Shard owning sortable-key word `w` under the contiguous monotone
+/// uniform split: shard i owns [i * 2^64 / K, (i+1) * 2^64 / K).
+inline size_t ShardOfKeyWord(uint64_t w, size_t num_shards) {
+  const auto k = static_cast<unsigned __int128>(num_shards);
+  return static_cast<size_t>((static_cast<unsigned __int128>(w) * k) >> 64);
+}
+
+/// Shard a (z-normalized) series routes to: its interleaved sortable key's
+/// leading word under the split above.
+inline size_t ShardOfSeries(std::span<const float> znorm_values,
+                            const series::SaxConfig& sax,
+                            size_t num_shards) {
+  const series::SaxWord word = series::ComputeSax(znorm_values, sax);
+  const series::SortableKey key = series::InterleaveSax(word, sax);
+  return ShardOfKeyWord(key.words[0], num_shards);
+}
+
+}  // namespace palm
+}  // namespace coconut
+
+#endif  // COCONUT_PALM_SHARD_ROUTE_H_

@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <condition_variable>
 
-#include "series/isax.h"
-#include "series/sortable.h"
+#include "palm/shard_route.h"
 
 namespace coconut {
 namespace palm {
@@ -94,19 +93,10 @@ Result<std::unique_ptr<ShardedIndex>> ShardedIndex::Create(
   return sharded;
 }
 
-size_t ShardedIndex::ShardOfKeyWord(uint64_t w) const {
-  // Monotone uniform split of the 64-bit leading key word: shard i owns the
-  // contiguous key range [i * 2^64 / K, (i+1) * 2^64 / K).
-  const auto k = static_cast<unsigned __int128>(shards_.size());
-  return static_cast<size_t>((static_cast<unsigned __int128>(w) * k) >> 64);
-}
-
 size_t ShardedIndex::ShardOf(std::span<const float> znorm_values) const {
-  const series::SaxWord word =
-      series::ComputeSax(znorm_values, options_.spec.sax);
-  const series::SortableKey key =
-      series::InterleaveSax(word, options_.spec.sax);
-  return ShardOfKeyWord(key.words[0]);
+  // Shared with ShardedStreamingIndex (shard_route.h): a series lands in
+  // the same key range whether bulk-built or streamed.
+  return ShardOfSeries(znorm_values, options_.spec.sax, shards_.size());
 }
 
 Status ShardedIndex::Insert(uint64_t series_id,

@@ -111,9 +111,6 @@ class ShardedIndex : public core::DataSeriesIndex {
 
   explicit ShardedIndex(Options options) : options_(std::move(options)) {}
 
-  /// Shard owning sortable-key word `w` under the contiguous uniform split.
-  size_t ShardOfKeyWord(uint64_t w) const;
-
   Result<core::SearchResult> ScatterSearch(std::span<const float> query,
                                            const core::SearchOptions& options,
                                            core::QueryCounters* counters,

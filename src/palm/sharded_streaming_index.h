@@ -1,0 +1,153 @@
+#ifndef COCONUT_PALM_SHARDED_STREAMING_INDEX_H_
+#define COCONUT_PALM_SHARDED_STREAMING_INDEX_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/raw_store.h"
+#include "palm/factory.h"
+#include "storage/buffer_pool.h"
+#include "storage/storage_manager.h"
+#include "stream/streaming_index.h"
+
+namespace coconut {
+namespace palm {
+
+/// One logical *live stream* split by invSAX key range across K shards —
+/// the fusion of the two scale axes: each shard is a full, independent
+/// async streaming stack (its own StorageManager subdirectory, BufferPool,
+/// RawSeriesStore and inner CTree-TP / CLSM-BTP / CLSM-PP index), and each
+/// shard's seal/flush/merge cascades run FIFO on that shard's own
+/// SerialExecutor strand over the shared background pool. Temporal
+/// partitioning happens *inside* every shard as before, so the layout is
+/// the ROADMAP's "temporal × key-range" grid.
+///
+/// Routing: a series' interleaved sortable key is computed once at ingest
+/// and mapped to a shard by the same contiguous monotone split the static
+/// ShardedIndex uses — which shard a series lands in depends only on its
+/// values, never on scheduling, so shard contents are deterministic (the
+/// determinism suite pins this).
+///
+/// Queries scatter-gather: each shard evaluates one atomic snapshot of its
+/// own buffer/pending/partition state (the PR 3 snapshot machinery) and
+/// the gather keeps the closest candidate, ties broken toward the smaller
+/// global id. Shards cover the stream disjointly and each per-shard search
+/// is exact over its shard, so the gathered minimum equals the unsharded
+/// exact answer.
+///
+/// Threading: Ingest is safe for concurrent callers (per-shard ingest
+/// locks serialize the raw append + inner ingest + id-map update; the
+/// global timestamp watermark has its own lock). Queries and stats reads
+/// run concurrently with ingestion — inner async indexes are
+/// snapshot-isolated by contract. FlushAll() is a cross-shard drain
+/// barrier.
+///
+/// Backpressure: VariantSpec::max_inflight_seals applies per shard (each
+/// shard's flusher is an independent strand); a blocked or rejected
+/// Ingest reports through the same path as unsharded, and SnapshotStats()
+/// aggregates the per-shard counters via StreamingStats::Add.
+class ShardedStreamingIndex : public stream::StreamingIndex {
+ public:
+  struct Options {
+    /// The per-shard variant. num_shards inside this spec is ignored (the
+    /// wrapper owns sharding); must be an async-capable streaming cell.
+    VariantSpec spec;
+    size_t num_shards = 2;
+    /// Threads fanning queries across shards (0 = one per shard, cap 8).
+    size_t query_threads = 0;
+    /// Per-shard buffer pool budget.
+    size_t pool_bytes_per_shard = 4ull << 20;
+  };
+
+  /// Creates K empty shards under `root->directory()/name_shardN`.
+  static Result<std::unique_ptr<ShardedStreamingIndex>> Create(
+      storage::StorageManager* root, const std::string& name,
+      const Options& options);
+
+  ~ShardedStreamingIndex() override;
+
+  // --- stream::StreamingIndex ---
+  Status Ingest(uint64_t series_id, std::span<const float> znorm_values,
+                int64_t timestamp) override;
+  Status FlushAll() override;
+  Result<core::SearchResult> ApproxSearch(
+      std::span<const float> query, const core::SearchOptions& options,
+      core::QueryCounters* counters) override;
+  Result<core::SearchResult> ExactSearch(
+      std::span<const float> query, const core::SearchOptions& options,
+      core::QueryCounters* counters) override;
+  uint64_t num_entries() const override;
+  size_t num_partitions() const override;
+  uint64_t index_bytes() const override;
+  std::string describe() const override;
+  stream::StreamingStats SnapshotStats() const override;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// The shard a series with these (z-normalized) values routes to —
+  /// exposed so tests can replay the routing and build per-range oracles.
+  size_t ShardOf(std::span<const float> znorm_values) const;
+
+  /// Shard i's inner streaming index (tests compare per-shard partition
+  /// sets bit-for-bit against unsharded references).
+  stream::StreamingIndex* shard(size_t i) { return shards_[i]->index.get(); }
+
+  /// Per-shard progress snapshot (shard-local counters, shard-local
+  /// percentiles).
+  stream::StreamingStats ShardStats(size_t i) const {
+    return shards_[i]->index->SnapshotStats();
+  }
+
+  /// Sum of every shard's I/O counters (per-shard counters are internally
+  /// thread-safe snapshot reads).
+  storage::IoStats AggregateIoStats() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<storage::StorageManager> storage;
+    std::unique_ptr<storage::BufferPool> pool;
+    std::unique_ptr<core::RawSeriesStore> raw;
+    std::unique_ptr<stream::StreamingIndex> index;
+    /// Shard-local raw-store ordinal -> global series id. Guarded by
+    /// map_mu: ingestion appends while gathers translate result ids.
+    std::vector<uint64_t> local_to_global;
+    mutable std::mutex map_mu;
+    /// Serializes this shard's admission path (raw append + inner Ingest +
+    /// id-map append must agree on the local ordinal).
+    std::mutex ingest_mu;
+  };
+
+  explicit ShardedStreamingIndex(Options options)
+      : options_(std::move(options)) {}
+
+  /// Routes one entry to its shard and admits it (raw append + id map +
+  /// inner Ingest under the shard's admission lock). Policy enforcement
+  /// happens in Ingest, above this.
+  Status AdmitToShard(uint64_t series_id,
+                      std::span<const float> znorm_values, int64_t timestamp);
+
+  Result<core::SearchResult> ScatterSearch(std::span<const float> query,
+                                           const core::SearchOptions& options,
+                                           core::QueryCounters* counters,
+                                           bool exact);
+
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> query_pool_;  // Null when fan-out is serial.
+
+  /// Global stream-order state: the timestamp policy must see one
+  /// watermark across shards, or a regression straddling two shards would
+  /// slip past kStrict/kClamp. Held across the whole admission for the
+  /// non-permissive policies (a global order is one serialization point);
+  /// kPermissive never touches it.
+  std::mutex watermark_mu_;
+  int64_t last_timestamp_ = INT64_MIN;
+};
+
+}  // namespace palm
+}  // namespace coconut
+
+#endif  // COCONUT_PALM_SHARDED_STREAMING_INDEX_H_

@@ -34,6 +34,9 @@ BoundedTemporalPartitioningIndex::Create(storage::StorageManager* storage,
   topts.buffer_entries = options.buffer_entries;
   topts.timestamp_policy = options.timestamp_policy;
   topts.background = options.background;
+  topts.max_inflight_seals = options.max_inflight_seals;
+  topts.backpressure = options.backpressure;
+  topts.seal_test_hook = options.seal_test_hook;
   return std::unique_ptr<BoundedTemporalPartitioningIndex>(
       new BoundedTemporalPartitioningIndex(storage, prefix, topts, pool, raw,
                                            options.merge_k));

@@ -40,6 +40,9 @@ class BoundedTemporalPartitioningIndex : public TemporalPartitioningIndex {
     /// See TemporalPartitioningIndex::Options.
     TimestampPolicy timestamp_policy = TimestampPolicy::kPermissive;
     ThreadPool* background = nullptr;
+    size_t max_inflight_seals = 0;
+    BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+    std::function<Status()> seal_test_hook{};
   };
 
   static Result<std::unique_ptr<BoundedTemporalPartitioningIndex>> Create(

@@ -1,11 +1,16 @@
 #ifndef COCONUT_STREAM_STREAMING_INDEX_H_
 #define COCONUT_STREAM_STREAMING_INDEX_H_
 
+#include <algorithm>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "common/timer.h"
 #include "core/types.h"
 
 namespace coconut {
@@ -27,6 +32,84 @@ enum class TimestampPolicy {
   kClamp,
 };
 
+/// What Ingest does when the index has hit its bounded-backpressure cap
+/// (VariantSpec::max_inflight_seals): every detached-but-unflushed buffer
+/// holds up to buffer_entries series in memory, so without a bound a
+/// producer outrunning the background flusher grows memory without limit.
+enum class BackpressurePolicy {
+  /// Ingest blocks until a background seal retires (the default): the
+  /// producer is paced to the flusher and no entry is ever refused.
+  kBlock,
+  /// Ingest returns ResourceExhausted without admitting the entry; the
+  /// caller retries (HTTP clients see a structured resource_exhausted
+  /// ApiError / 429). Subsequent ingests succeed once a seal retires.
+  kReject,
+};
+
+/// The stall/reject bookkeeping and blocking wait shared by every
+/// backpressured index — TP/BTP gate on their pending-seal list, CLSM on
+/// its pending-flush list, with identical semantics. The gate owns no
+/// lock: every method is called with the owner's state mutex held (Block
+/// waits on it), and the owner calls Notify() — still under that mutex —
+/// whenever a pending item retires or the background flusher records an
+/// error, so a blocked producer always wakes.
+class BackpressureGate {
+ public:
+  /// Counts and returns the structured refusal (one wire-stable message
+  /// shape across index families).
+  Status Reject(size_t pending, size_t cap) {
+    ++rejects_;
+    return Status::ResourceExhausted(
+        "ingest rejected: " + std::to_string(pending) +
+        " seals in flight >= max_inflight_seals (" + std::to_string(cap) +
+        "); retry after the stream drains");
+  }
+
+  /// Counts a stall, waits on the owner's mutex until `done` holds (the
+  /// owner's "pending below cap OR background error" predicate), and
+  /// records the stall duration into the bounded percentile window.
+  template <typename Pred>
+  void Block(std::unique_lock<std::mutex>* lock, Pred done) {
+    ++stalls_;
+    WallTimer stall;
+    cv_.wait(*lock, std::move(done));
+    if (samples_.size() < kSampleWindow) {
+      samples_.push_back(stall.ElapsedMillis());
+    } else {
+      samples_[next_] = stall.ElapsedMillis();
+    }
+    next_ = (next_ + 1) % kSampleWindow;
+  }
+
+  /// Wakes blocked producers; owner calls this under its state mutex.
+  void Notify() { cv_.notify_all(); }
+
+  uint64_t stalls() const { return stalls_; }
+  uint64_t rejects() const { return rejects_; }
+
+  /// Percentile over the recorded stall window (0 when nothing stalled).
+  double StallPercentileMs(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t idx =
+        static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+  }
+
+ private:
+  /// Stall samples kept for the p50/p99 estimate: large enough that one
+  /// burst does not wash the window out, small enough to sort under the
+  /// owner's state lock without a visible pause.
+  static constexpr size_t kSampleWindow = 256;
+
+  std::condition_variable cv_;
+  uint64_t stalls_ = 0;
+  uint64_t rejects_ = 0;
+  std::vector<double> samples_;
+  size_t next_ = 0;
+};
+
 /// Consistent view of a streaming index's progress, safe to read while
 /// other threads ingest and background tasks seal/merge (taken under the
 /// index's state lock, like StorageManager::SnapshotIoStats).
@@ -43,6 +126,39 @@ struct StreamingStats {
   uint64_t seals_completed = 0;
   /// Partition/run merges completed since creation.
   uint64_t merges_completed = 0;
+  /// Buffers detached from the ingest path but not yet flushed — the
+  /// quantity max_inflight_seals bounds. Today this equals pending_tasks
+  /// for every producer (both read the pending list), but it is named
+  /// separately on the wire because it is *defined* as the bounded
+  /// quantity: pending_tasks may later grow to count non-seal background
+  /// work (e.g. standalone compactions) that the cap does not cover.
+  uint64_t seals_inflight = 0;
+  /// Times Ingest blocked on the seal cap (BackpressurePolicy::kBlock).
+  uint64_t ingest_stalls = 0;
+  /// Times Ingest returned ResourceExhausted (BackpressurePolicy::kReject).
+  uint64_t ingest_rejects = 0;
+  /// Stall-duration percentiles over the most recent stalls, in
+  /// milliseconds (0 when nothing ever stalled).
+  double stall_ms_p50 = 0.0;
+  double stall_ms_p99 = 0.0;
+
+  /// Folds another snapshot in (the cross-shard gather): counts sum;
+  /// percentile fields keep the worst shard's value, a conservative
+  /// aggregate — per-shard exact percentiles stay available shard by
+  /// shard.
+  void Add(const StreamingStats& other) {
+    entries += other.entries;
+    buffered += other.buffered;
+    sealed_partitions += other.sealed_partitions;
+    pending_tasks += other.pending_tasks;
+    seals_completed += other.seals_completed;
+    merges_completed += other.merges_completed;
+    seals_inflight += other.seals_inflight;
+    ingest_stalls += other.ingest_stalls;
+    ingest_rejects += other.ingest_rejects;
+    if (other.stall_ms_p50 > stall_ms_p50) stall_ms_p50 = other.stall_ms_p50;
+    if (other.stall_ms_p99 > stall_ms_p99) stall_ms_p99 = other.stall_ms_p99;
+  }
 };
 
 /// Facade over the streaming schemes of Section 3 (PP, TP, BTP). Values in

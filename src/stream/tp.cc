@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/timer.h"
 #include "seqtable/table_search.h"
 #include "series/paa.h"
 
@@ -107,6 +108,8 @@ void TemporalPartitioningIndex::PublishPartitions(
         break;
       }
     }
+    // A pending seal retired: ingests blocked on the seal cap may proceed.
+    backpressure_.Notify();
   }
   if (count_seal) ++seals_completed_;
   merges_completed_ += merges_delta;
@@ -115,6 +118,27 @@ void TemporalPartitioningIndex::PublishPartitions(
 void TemporalPartitioningIndex::RecordBackgroundError(const Status& status) {
   std::lock_guard<std::mutex> lock(mu_);
   if (background_status_.ok()) background_status_ = status;
+  // Wake ingests blocked on the seal cap: with the flusher dead the cap
+  // will never clear, and they must surface the error instead of hanging.
+  backpressure_.Notify();
+}
+
+Status TemporalPartitioningIndex::ApplyBackpressureLocked(
+    std::unique_lock<std::mutex>* lock) {
+  const size_t cap = options_.max_inflight_seals;
+  if (cap == 0 || !async()) return Status::OK();
+  // Only the admission that would detach one more buffer is gated; the
+  // buffer itself is already bounded by buffer_entries.
+  if (buffer_.size() + 1 < options_.buffer_entries || pending_.size() < cap) {
+    return Status::OK();
+  }
+  if (options_.backpressure == BackpressurePolicy::kReject) {
+    return backpressure_.Reject(pending_.size(), cap);
+  }
+  backpressure_.Block(lock, [this, cap] {
+    return pending_.size() < cap || !background_status_.ok();
+  });
+  return background_status_;
 }
 
 Status TemporalPartitioningIndex::BackgroundStatus() const {
@@ -152,6 +176,11 @@ void TemporalPartitioningIndex::EnqueueSealLocked(
 
 Status TemporalPartitioningIndex::SealTask(
     std::shared_ptr<const PendingSeal> pending) {
+  // Test seam: fault-injection suites throttle seals here (to pile up
+  // in-flight buffers against the cap) or fail them outright.
+  if (options_.seal_test_hook) {
+    COCONUT_RETURN_NOT_OK(options_.seal_test_hook());
+  }
   // Sort by key and lay the buffer out as one compact partition. All the
   // I/O happens here, off the ingest lock.
   const size_t len = options_.sax.series_length;
@@ -246,8 +275,11 @@ Status TemporalPartitioningIndex::Ingest(uint64_t series_id,
 
   std::shared_ptr<const PendingSeal> pending;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     if (!background_status_.ok()) return background_status_;
+    // Backpressure gates admission before any state commits: a refused or
+    // error-woken entry leaves the watermark, ranges and buffer untouched.
+    COCONUT_RETURN_NOT_OK(ApplyBackpressureLocked(&lock));
     if (options_.timestamp_policy == TimestampPolicy::kStrict &&
         timestamp < last_timestamp_) {
       return Status::InvalidArgument(
@@ -498,6 +530,11 @@ StreamingStats TemporalPartitioningIndex::SnapshotStats() const {
   stats.pending_tasks = pending_.size();
   stats.seals_completed = seals_completed_;
   stats.merges_completed = merges_completed_;
+  stats.seals_inflight = pending_.size();
+  stats.ingest_stalls = backpressure_.stalls();
+  stats.ingest_rejects = backpressure_.rejects();
+  stats.stall_ms_p50 = backpressure_.StallPercentileMs(0.50);
+  stats.stall_ms_p99 = backpressure_.StallPercentileMs(0.99);
   return stats;
 }
 

@@ -1,6 +1,8 @@
 #ifndef COCONUT_STREAM_TP_H_
 #define COCONUT_STREAM_TP_H_
 
+#include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -55,6 +57,20 @@ class TemporalPartitioningIndex : public StreamingIndex {
     /// Requires the kSeqTable backend (a live ADS+ tree cannot be sealed
     /// behind ingestion's back).
     ThreadPool* background = nullptr;
+    /// Bounded backpressure: cap on detached-but-unflushed buffers (each
+    /// holds up to buffer_entries series in memory). 0 = unbounded, the
+    /// pre-cap behaviour. Only meaningful in async mode — a synchronous
+    /// index seals inline and never accumulates pending buffers. FlushAll
+    /// ignores the cap (a drain must always make progress).
+    size_t max_inflight_seals = 0;
+    /// What Ingest does at the cap: block until a seal retires, or refuse
+    /// the entry with ResourceExhausted.
+    BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+    /// Test seam: runs at the head of every seal task (on the strand in
+    /// async mode). Tests throttle it to keep seals in flight, or return
+    /// a non-OK status to inject a background flush failure. Never set in
+    /// production.
+    std::function<Status()> seal_test_hook{};
   };
 
   /// Externally visible shape of one sealed partition, for tests and the
@@ -189,6 +205,11 @@ class TemporalPartitioningIndex : public StreamingIndex {
   Status EnsureCurrentAdsLocked();
   size_t UnsealedCountLocked() const;
 
+  /// Blocks (kBlock) or refuses (kReject) when admitting one more entry
+  /// would detach a buffer past the seal cap. Caller holds `lock` on mu_;
+  /// kBlock waits on it until a seal retires or a background error lands.
+  Status ApplyBackpressureLocked(std::unique_lock<std::mutex>* lock);
+
   /// Evaluates in-memory entries (buffer copy or a pending seal).
   Status SearchUnsealedEntries(std::span<const core::IndexEntry> entries,
                                std::span<const float> payloads,
@@ -233,6 +254,11 @@ class TemporalPartitioningIndex : public StreamingIndex {
   uint64_t seals_completed_ = 0;
   uint64_t merges_completed_ = 0;
   Status background_status_;
+
+  /// Backpressure state (guarded by mu_): notified whenever a pending
+  /// seal retires or a background error lands, so a blocked Ingest always
+  /// wakes — including into a failed index it must not keep feeding.
+  BackpressureGate backpressure_;
 
   /// Per-index FIFO strand over Options.background; null when synchronous.
   std::unique_ptr<SerialExecutor> executor_;

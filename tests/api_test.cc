@@ -121,6 +121,8 @@ TEST(ApiRoundTrip, BuildIndexRequestEveryKnob) {
   request.spec.shard_query_threads = 3;
   request.spec.timestamp_policy = stream::TimestampPolicy::kClamp;
   request.spec.async_ingest = true;
+  request.spec.max_inflight_seals = 6;
+  request.spec.backpressure_policy = stream::BackpressurePolicy::kReject;
   ExpectRoundTrip(request);
 }
 
@@ -396,6 +398,40 @@ TEST(ApiParse, SpecEnumSpellings) {
   EXPECT_FALSE(VariantSpecFromJson(parsed.value()).ok());
 }
 
+TEST(ApiParse, BackpressureKnobs) {
+  // The two PR 5 wire knobs: policy spellings and the range check on the
+  // cap (each in-flight seal authorizes buffer_entries pinned series, so
+  // the cap itself is capped).
+  Result<JsonValue> parsed = JsonParse(
+      "{\"max_inflight_seals\":4,\"backpressure_policy\":\"reject\"}");
+  ASSERT_TRUE(parsed.ok());
+  Result<VariantSpec> spec = VariantSpecFromJson(parsed.value());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec.value().max_inflight_seals, 4u);
+  EXPECT_EQ(spec.value().backpressure_policy,
+            stream::BackpressurePolicy::kReject);
+
+  parsed = JsonParse("{\"backpressure_policy\":\"block\"}");
+  ASSERT_TRUE(parsed.ok());
+  spec = VariantSpecFromJson(parsed.value());
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().backpressure_policy,
+            stream::BackpressurePolicy::kBlock);
+  EXPECT_EQ(spec.value().max_inflight_seals, 0u);  // default: unbounded
+
+  parsed = JsonParse("{\"backpressure_policy\":\"dropit\"}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(VariantSpecFromJson(parsed.value()).ok());
+
+  // Over the wire cap (2^16): rejected at parse, not silently narrowed.
+  parsed = JsonParse("{\"max_inflight_seals\":65537}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(VariantSpecFromJson(parsed.value()).ok());
+  parsed = JsonParse("{\"max_inflight_seals\":-1}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(VariantSpecFromJson(parsed.value()).ok());
+}
+
 // ------------------------------------- legacy byte-identity (tentpole)
 
 // The exact pre-redesign serialization sequences, copied from the old
@@ -439,6 +475,10 @@ std::string LegacyBuildJson(const BuildIndexReport& r) {
   return w.TakeString();
 }
 
+// PR 5 appended the backpressure telemetry fields (seals_inflight through
+// stall_ms_p99) to the ingest/drain reports; the replicas carry them at
+// the same positions so the remainder of the legacy sequence stays
+// pinned byte-for-byte.
 std::string LegacyIngestJson(const IngestBatchReport& r) {
   JsonWriter w;
   w.BeginObject();
@@ -450,6 +490,11 @@ std::string LegacyIngestJson(const IngestBatchReport& r) {
   w.Field("pending_tasks", r.pending_tasks);
   w.Field("seals_completed", r.seals_completed);
   w.Field("merges_completed", r.merges_completed);
+  w.Field("seals_inflight", r.seals_inflight);
+  w.Field("ingest_stalls", r.ingest_stalls);
+  w.Field("ingest_rejects", r.ingest_rejects);
+  w.Field("stall_ms_p50", r.stall_ms_p50);
+  w.Field("stall_ms_p99", r.stall_ms_p99);
   w.Field("seconds", r.seconds);
   w.Key("io");
   w.BeginObject();
@@ -476,6 +521,11 @@ std::string LegacyDrainJson(const DrainStreamReport& r) {
   w.Field("pending_tasks", r.pending_tasks);
   w.Field("seals_completed", r.seals_completed);
   w.Field("merges_completed", r.merges_completed);
+  w.Field("seals_inflight", r.seals_inflight);
+  w.Field("ingest_stalls", r.ingest_stalls);
+  w.Field("ingest_rejects", r.ingest_rejects);
+  w.Field("stall_ms_p50", r.stall_ms_p50);
+  w.Field("stall_ms_p99", r.stall_ms_p99);
   w.Field("index_bytes", r.index_bytes);
   w.Field("total_bytes", r.total_bytes);
   w.EndObject();

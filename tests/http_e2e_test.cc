@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <thread>
@@ -553,6 +554,60 @@ TEST_F(HttpE2eTest, ConcurrentClients) {
   }
   for (std::thread& t : clients) t.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(HttpE2eTest, SlowButHonestBodyUploadSurvivesBeyondIdleTimeout) {
+  // The ROADMAP-flagged open item: an *absolute* body-read deadline made
+  // the 64 MiB body cap unreachable on slow-but-honest links. The
+  // replacement is size-aware — the idle deadline restarts on every
+  // received chunk and only a throughput-floor violation (or a genuine
+  // stall) kills the transfer. Drive it with a drip-feeding client whose
+  // total transfer takes several times the idle timeout while every
+  // inter-chunk gap stays inside it.
+  HttpServerOptions options;
+  options.port = 0;
+  options.threads = 2;
+  options.keep_alive_timeout_ms = 400;
+  auto slow_server = HttpServer::Start(service_.get(), options).TakeValue();
+
+  api::RegisterDatasetRequest reg;
+  reg.name = "drip";
+  reg.data = testutil::RandomWalkCollection(40, 32, 5);
+  const std::string body = reg.ToJsonString();
+  ASSERT_GT(body.size(), 2000u);
+
+  TestClient client(slow_server->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client
+                  .SendAll("POST /api/v1/register_dataset HTTP/1.1\r\n"
+                           "Host: x\r\nContent-Length: " +
+                           std::to_string(body.size()) + "\r\n\r\n")
+                  .ok());
+  // 8 slices, 150 ms apart: total ~1.05 s against a 400 ms idle deadline
+  // — the pre-fix server killed this transfer at 400 ms.
+  constexpr size_t kSlices = 8;
+  for (size_t i = 0; i < kSlices; ++i) {
+    const size_t begin = body.size() * i / kSlices;
+    const size_t end = body.size() * (i + 1) / kSlices;
+    ASSERT_TRUE(client.SendAll(body.substr(begin, end - begin)).ok());
+    if (i + 1 < kSlices) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
+  }
+  Result<HttpResponse> response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().status, 200) << response.value().body;
+
+  // A genuinely stalled upload (headers, then silence) still dies at the
+  // idle deadline — the fix relaxed progressing transfers, not stalls.
+  TestClient stalled(slow_server->port());
+  ASSERT_TRUE(stalled.connected());
+  ASSERT_TRUE(stalled
+                  .SendAll("POST /api/v1/list_indexes HTTP/1.1\r\n"
+                           "Host: x\r\nContent-Length: 2\r\n\r\n")
+                  .ok());
+  Result<HttpResponse> dead = stalled.ReadResponse();
+  EXPECT_FALSE(dead.ok());  // server closed without a response
 }
 
 TEST_F(HttpE2eTest, GracefulShutdown) {

@@ -1,0 +1,541 @@
+// The cross-shard stream oracle: ShardedStreamingIndex fuses PR 2's
+// key-range sharding with PR 3's async streaming, and this suite pins the
+// fusion three ways. (1) Concurrent ingest+query against K shards stays
+// well-formed mid-flight and, at every quiesce checkpoint (FlushAll, the
+// cross-shard drain barrier), exact results equal testutil::BruteForceKnn
+// over the acknowledged prefix. (2) For every supported async variant ×
+// K ∈ {1, 2, 4, 7}, a drained sharded-async stream is bit-for-bit
+// equivalent — per shard key range — to unsharded synchronous indexes
+// built over the routed subsequences: same partition sets, same entry
+// orders, same query bits. Routing, not scheduling, decides shard
+// contents. (3) All three timestamp policies hold against the *global*
+// watermark, including regressions that straddle shard boundaries.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "palm/factory.h"
+#include "palm/sharded_streaming_index.h"
+#include "series/distance.h"
+#include "stream/btp.h"
+#include "stream/pp.h"
+#include "stream/tp.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace palm {
+namespace {
+
+using core::SearchOptions;
+using core::TimeWindow;
+using stream::StreamingIndex;
+
+constexpr size_t kSeries = 480;
+constexpr size_t kLength = 64;
+
+series::SaxConfig TestSax() {
+  return series::SaxConfig{.series_length = 64, .num_segments = 8,
+                           .bits_per_segment = 8};
+}
+
+VariantSpec BaseSpec(IndexFamily family, StreamMode mode, bool materialized) {
+  VariantSpec spec;
+  spec.sax = TestSax();
+  spec.family = family;
+  spec.mode = mode;
+  spec.materialized = materialized;
+  spec.buffer_entries = 24;  // Many per-shard seals (and merges) over 480.
+  spec.btp_merge_k = 2;
+  return spec;
+}
+
+/// The streaming cells that support background ingestion (and therefore
+/// sharding).
+std::vector<VariantSpec> AsyncSpecs() {
+  return {
+      BaseSpec(IndexFamily::kCTree, StreamMode::kTP, false),
+      BaseSpec(IndexFamily::kCTree, StreamMode::kTP, true),
+      BaseSpec(IndexFamily::kClsm, StreamMode::kBTP, false),
+      BaseSpec(IndexFamily::kClsm, StreamMode::kBTP, true),
+      BaseSpec(IndexFamily::kClsm, StreamMode::kPP, false),
+  };
+}
+
+const size_t kShardCounts[] = {1, 2, 4, 7};
+
+class ShardedStreamOracleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = storage::MakeTempStorage("sharded_stream_oracle");
+    ASSERT_TRUE(r.ok());
+    mgr_ = r.TakeValue();
+    collection_ = testutil::RandomWalkCollection(kSeries, kLength, 41);
+  }
+  void TearDown() override { ASSERT_TRUE(mgr_->Clear().ok()); }
+
+  /// Creates a sharded async stream (the wrapper owns per-shard storage,
+  /// pools and raw stores under mgr_'s directory). Constructed directly so
+  /// K = 1 also goes through the wrapper — the factory routes K = 1 to the
+  /// plain unsharded index (FactoryDispatchesShardedStreaming pins the
+  /// dispatch itself).
+  std::unique_ptr<ShardedStreamingIndex> MakeSharded(
+      VariantSpec spec, size_t shards, ThreadPool* background,
+      const std::string& name) {
+    spec.async_ingest = true;
+    spec.background_pool = background;
+    ShardedStreamingIndex::Options opts;
+    opts.spec = spec;
+    opts.num_shards = shards;
+    auto r = ShardedStreamingIndex::Create(mgr_.get(), name, opts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.TakeValue() : nullptr;
+  }
+
+  std::unique_ptr<storage::StorageManager> mgr_;
+  series::SeriesCollection collection_{kLength};
+};
+
+// (1) Concurrent ingest+query race, quiesce checkpoints ≡ brute force.
+// Non-materialized variants carry the sweep (materialized twins share the
+// code paths and are pinned exhaustively by the equivalence test below).
+TEST_F(ShardedStreamOracleTest, ConcurrentIngestQueryQuiesceExactness) {
+  ThreadPool background(3);
+  const std::vector<VariantSpec> specs = {
+      BaseSpec(IndexFamily::kCTree, StreamMode::kTP, false),
+      BaseSpec(IndexFamily::kClsm, StreamMode::kBTP, false),
+      BaseSpec(IndexFamily::kClsm, StreamMode::kPP, false),
+  };
+  int ordinal = 0;
+  for (const VariantSpec& base : specs) {
+    for (size_t shards : kShardCounts) {
+      VariantSpec spec = base;
+      spec.num_shards = shards;
+      spec.async_ingest = true;
+      const std::string what = VariantName(spec);
+      SCOPED_TRACE(what);
+      {
+        auto stream = MakeSharded(base, shards, &background,
+                                  "cc" + std::to_string(ordinal++));
+        ASSERT_NE(stream, nullptr);
+
+        std::atomic<size_t> acknowledged{0};
+        std::atomic<bool> stop{false};
+
+        auto querier = [&](uint64_t seed) {
+          Rng rng(seed);
+          while (!stop.load(std::memory_order_acquire)) {
+            const size_t ack_before =
+                acknowledged.load(std::memory_order_acquire);
+            const size_t base_id = rng.NextBounded(collection_.size());
+            auto query =
+                testutil::NoisyCopy(collection_, base_id, 0.4, seed + base_id);
+            SearchOptions options;
+            const bool windowed = rng.NextBounded(2) == 0;
+            if (windowed && ack_before > 0) {
+              const int64_t lo =
+                  static_cast<int64_t>(rng.NextBounded(ack_before));
+              options.window = TimeWindow{lo, lo + 100};
+            }
+            auto result = stream->ExactSearch(query, options, nullptr);
+            ASSERT_TRUE(result.ok()) << result.status().ToString();
+            const core::SearchResult match = result.value();
+            if (!windowed && ack_before > 0) {
+              // Everything acknowledged before the query started is in
+              // the per-shard snapshots the scatter evaluates.
+              EXPECT_TRUE(match.found);
+            }
+            if (!match.found) continue;
+            // Whatever the race interleaving, an answer is a real series
+            // at its true distance, inside the window, with the *global*
+            // id (the gather translated the shard-local ordinal).
+            ASSERT_LT(match.series_id, collection_.size());
+            EXPECT_TRUE(options.window.Contains(match.timestamp));
+            EXPECT_EQ(match.timestamp,
+                      static_cast<int64_t>(match.series_id));
+            const double true_d = series::EuclideanSquared(
+                query, collection_[match.series_id]);
+            EXPECT_NEAR(match.distance_sq, true_d, 1e-3);
+          }
+        };
+        std::thread q1(querier, 5000 + ordinal);
+        std::thread q2(querier, 6000 + ordinal);
+
+        const std::vector<size_t> checkpoints = {120, 300, kSeries};
+        size_t next = 0;
+        for (size_t checkpoint : checkpoints) {
+          for (size_t i = next; i < checkpoint; ++i) {
+            ASSERT_TRUE(stream
+                            ->Ingest(i, collection_[i],
+                                     static_cast<int64_t>(i))
+                            .ok());
+            acknowledged.store(i + 1, std::memory_order_release);
+          }
+          next = checkpoint;
+          // Quiesce: drain every shard's strand, then demand brute-force
+          // exactness over the acknowledged prefix while the query
+          // threads keep hammering away.
+          ASSERT_TRUE(stream->FlushAll().ok());
+          EXPECT_EQ(stream->num_entries(), checkpoint);
+          const std::vector<TimeWindow> windows = {
+              TimeWindow::All(),
+              TimeWindow{0, static_cast<int64_t>(checkpoint / 2)},
+              TimeWindow{static_cast<int64_t>(checkpoint / 3),
+                         static_cast<int64_t>(checkpoint + 50)}};
+          for (size_t w = 0; w < windows.size(); ++w) {
+            for (int q = 0; q < 3; ++q) {
+              auto query = testutil::NoisyCopy(
+                  collection_, (q * 97 + 13) % checkpoint, 0.5, w * 10 + q);
+              TimeWindow prefix = windows[w];
+              prefix.end =
+                  std::min(prefix.end, static_cast<int64_t>(checkpoint - 1));
+              auto oracle =
+                  testutil::BruteForceKnn(collection_, query, 1, prefix);
+              SearchOptions options;
+              options.window = windows[w];
+              auto got = stream->ExactSearch(query, options, nullptr);
+              ASSERT_TRUE(got.ok());
+              ASSERT_EQ(got.value().found, !oracle.empty())
+                  << what << " checkpoint " << checkpoint << " window " << w;
+              if (!oracle.empty()) {
+                EXPECT_NEAR(got.value().distance_sq, oracle[0].distance_sq,
+                            1e-6)
+                    << what << " checkpoint " << checkpoint << " window "
+                    << w << " query " << q;
+              }
+            }
+          }
+        }
+        stop.store(true, std::memory_order_release);
+        q1.join();
+        q2.join();
+      }
+      TearDown();
+      SetUp();
+    }
+  }
+}
+
+// (2) The tentpole equivalence, for EVERY supported async variant ×
+// K ∈ {1, 2, 4, 7}: after the drain barrier the sharded-async stream is
+// bit-for-bit equivalent, per shard key range, to unsharded synchronous
+// indexes built over the routed subsequences — and globally exact
+// against brute force, boundary-straddling queries included.
+TEST_F(ShardedStreamOracleTest, DrainedShardedEquivalentToUnshardedSyncPerKeyRange) {
+  ThreadPool background(4);
+  int ordinal = 0;
+  for (const VariantSpec& base : AsyncSpecs()) {
+    for (size_t shards : kShardCounts) {
+      VariantSpec spec = base;
+      spec.num_shards = shards;
+      spec.async_ingest = true;
+      const std::string what = VariantName(spec);
+      SCOPED_TRACE(what);
+      {
+        auto stream = MakeSharded(base, shards, &background,
+                                  "eq" + std::to_string(ordinal));
+        ASSERT_NE(stream, nullptr);
+        ShardedStreamingIndex* sharded = stream.get();
+        ASSERT_EQ(sharded->num_shards(), shards);
+
+        for (size_t i = 0; i < collection_.size(); ++i) {
+          ASSERT_TRUE(stream
+                          ->Ingest(i, collection_[i],
+                                   static_cast<int64_t>(i))
+                          .ok());
+        }
+        ASSERT_TRUE(stream->FlushAll().ok());
+        EXPECT_EQ(stream->num_entries(), collection_.size());
+
+        // Replay the routing: which global ordinals landed in which shard
+        // depends only on values (ShardOf), never on scheduling.
+        std::vector<std::vector<size_t>> routed(shards);
+        for (size_t i = 0; i < collection_.size(); ++i) {
+          routed[sharded->ShardOf(collection_[i])].push_back(i);
+        }
+
+        // Per shard key range: an unsharded *synchronous* reference built
+        // over the routed subsequence (local ids = arrival ordinals, as
+        // the wrapper assigns them) must match bit-for-bit.
+        size_t nonempty = 0;
+        for (size_t s = 0; s < shards; ++s) {
+          SCOPED_TRACE("shard " + std::to_string(s));
+          if (!routed[s].empty()) ++nonempty;
+          VariantSpec ref_spec = base;  // sync, unsharded
+          auto ref_raw =
+              core::RawSeriesStore::Create(
+                  mgr_.get(), "refraw" + std::to_string(ordinal) + "_" +
+                                  std::to_string(s),
+                  kLength)
+                  .TakeValue();
+          for (size_t i : routed[s]) {
+            ASSERT_TRUE(ref_raw->Append(collection_[i]).ok());
+          }
+          ASSERT_TRUE(ref_raw->Flush().ok());
+          auto ref = CreateStreamingIndex(
+                         ref_spec, mgr_.get(),
+                         "ref" + std::to_string(ordinal) + "_" +
+                             std::to_string(s),
+                         nullptr, ref_raw.get())
+                         .TakeValue();
+          for (size_t local = 0; local < routed[s].size(); ++local) {
+            const size_t i = routed[s][local];
+            ASSERT_TRUE(ref->Ingest(local, collection_[i],
+                                    static_cast<int64_t>(i))
+                            .ok());
+          }
+          ASSERT_TRUE(ref->FlushAll().ok());
+
+          StreamingIndex* got = sharded->shard(s);
+          EXPECT_EQ(got->num_entries(), routed[s].size());
+          EXPECT_EQ(got->num_entries(), ref->num_entries());
+          EXPECT_EQ(got->num_partitions(), ref->num_partitions());
+
+          // TP/BTP shards: sealed partition sets — names (structural
+          // suffix), sizes, classes, time ranges and exact entry order —
+          // identical to the sync reference.
+          auto* got_tp =
+              dynamic_cast<stream::TemporalPartitioningIndex*>(got);
+          auto* ref_tp =
+              dynamic_cast<stream::TemporalPartitioningIndex*>(ref.get());
+          ASSERT_EQ(got_tp != nullptr, ref_tp != nullptr);
+          if (got_tp != nullptr) {
+            const auto got_parts = got_tp->SnapshotPartitions();
+            const auto ref_parts = ref_tp->SnapshotPartitions();
+            ASSERT_EQ(got_parts.size(), ref_parts.size());
+            for (size_t p = 0; p < ref_parts.size(); ++p) {
+              EXPECT_EQ(
+                  got_parts[p].name.substr(got_parts[p].name.find_last_of(
+                      '.')),
+                  ref_parts[p].name.substr(ref_parts[p].name.find_last_of(
+                      '.')))
+                  << what << " partition " << p;
+              EXPECT_EQ(got_parts[p].entries, ref_parts[p].entries);
+              EXPECT_EQ(got_parts[p].size_class, ref_parts[p].size_class);
+              EXPECT_EQ(got_parts[p].t_min, ref_parts[p].t_min);
+              EXPECT_EQ(got_parts[p].t_max, ref_parts[p].t_max);
+              auto got_dump = got_tp->DumpPartitionEntries(p);
+              auto ref_dump = ref_tp->DumpPartitionEntries(p);
+              ASSERT_TRUE(got_dump.ok());
+              ASSERT_TRUE(ref_dump.ok());
+              ASSERT_EQ(got_dump.value().size(), ref_dump.value().size());
+              for (size_t e = 0; e < ref_dump.value().size(); ++e) {
+                ASSERT_TRUE(got_dump.value()[e] == ref_dump.value()[e])
+                    << what << " partition " << p << " entry " << e;
+              }
+            }
+          } else {
+            // CLSM-PP shards: no partition dump; pin per-shard query
+            // equivalence instead — same local ids, same distance bits.
+            for (int q = 0; q < 4 && !routed[s].empty(); ++q) {
+              auto query = testutil::NoisyCopy(
+                  collection_, routed[s][q % routed[s].size()], 0.4,
+                  900 + q);
+              SearchOptions options;
+              if (q % 2 == 1) options.window = TimeWindow{0, 250};
+              auto from_got =
+                  got->ExactSearch(query, options, nullptr).TakeValue();
+              auto from_ref =
+                  ref->ExactSearch(query, options, nullptr).TakeValue();
+              EXPECT_EQ(from_got.found, from_ref.found);
+              if (from_ref.found) {
+                EXPECT_EQ(from_got.series_id, from_ref.series_id);
+                EXPECT_EQ(from_got.distance_sq, from_ref.distance_sq);
+                EXPECT_EQ(from_got.timestamp, from_ref.timestamp);
+              }
+            }
+          }
+        }
+        if (shards > 1) {
+          // The split must actually spread the key space for the
+          // per-range comparison to mean anything.
+          EXPECT_GT(nonempty, 1u) << what;
+        }
+
+        // Global exactness, straddling included: the gather must stitch
+        // the per-shard answers back into the unsharded result.
+        size_t cross_shard_answers = 0;
+        const std::vector<TimeWindow> windows = {
+            TimeWindow::All(), TimeWindow{100, 350}, TimeWindow{0, 50},
+            TimeWindow{440, 999}};
+        for (size_t w = 0; w < windows.size(); ++w) {
+          SearchOptions options;
+          options.window = windows[w];
+          for (int q = 0; q < 4; ++q) {
+            const size_t base_id = (q * 151 + 31) % kSeries;
+            auto query =
+                testutil::NoisyCopy(collection_, base_id, 0.5, w * 100 + q);
+            auto oracle =
+                testutil::BruteForceKnn(collection_, query, 2, windows[w]);
+            auto got = stream->ExactSearch(query, options, nullptr);
+            ASSERT_TRUE(got.ok());
+            ASSERT_EQ(got.value().found, !oracle.empty())
+                << what << " window " << w;
+            if (!oracle.empty()) {
+              // The id is pinned whenever the minimum is unique (the one
+              // permitted divergence is which of two *exactly* equidistant
+              // series wins — see ShardedIndex's gather contract).
+              if (oracle.size() < 2 ||
+                  oracle[0].distance_sq != oracle[1].distance_sq) {
+                EXPECT_EQ(got.value().series_id, oracle[0].index)
+                    << what << " window " << w << " query " << q;
+              }
+              EXPECT_NEAR(got.value().distance_sq, oracle[0].distance_sq,
+                          1e-6);
+              if (shards > 1 &&
+                  sharded->ShardOf(query) !=
+                      sharded->ShardOf(collection_[oracle[0].index])) {
+                ++cross_shard_answers;  // the query straddled a boundary
+              }
+            }
+          }
+        }
+        if (shards > 1) {
+          // With 16 noisy queries over 7-way-split random walks, some
+          // answers must come from a different shard than the query
+          // itself routes to — i.e. the straddling cases are exercised,
+          // not vacuously skipped.
+          EXPECT_GT(cross_shard_answers, 0u) << what;
+        }
+      }
+      ++ordinal;
+      TearDown();
+      SetUp();
+    }
+  }
+}
+
+// (3) Timestamp policies hold against the global watermark — a regression
+// landing on a *different shard* than the current maximum is still
+// rejected (kStrict) or clamped (kClamp), and kPermissive stays exact
+// under out-of-order arrivals.
+TEST_F(ShardedStreamOracleTest, TimestampPoliciesEnforcedAcrossShards) {
+  ThreadPool background(2);
+  VariantSpec base = BaseSpec(IndexFamily::kCTree, StreamMode::kTP, false);
+
+  // Find two series routing to different shards under K=4.
+  {
+    base.timestamp_policy = stream::TimestampPolicy::kStrict;
+    auto stream = MakeSharded(base, 4, &background, "strict");
+    ASSERT_NE(stream, nullptr);
+    ShardedStreamingIndex* sharded = stream.get();
+    size_t a = 0;
+    size_t b = 1;
+    while (b < collection_.size() &&
+           sharded->ShardOf(collection_[b]) ==
+               sharded->ShardOf(collection_[a])) {
+      ++b;
+    }
+    ASSERT_LT(b, collection_.size());
+    ASSERT_TRUE(stream->Ingest(0, collection_[a], 100).ok());
+    // Regression on another shard: the per-shard watermark alone would
+    // admit it (that shard has seen nothing), the global one must not.
+    const Status regressed = stream->Ingest(1, collection_[b], 50);
+    EXPECT_FALSE(regressed.ok());
+    EXPECT_EQ(regressed.code(), StatusCode::kInvalidArgument);
+    // Equal timestamps stay admissible (non-decreasing contract), and the
+    // refused entry must not have tightened the watermark.
+    EXPECT_TRUE(stream->Ingest(2, collection_[b], 100).ok());
+    ASSERT_TRUE(stream->FlushAll().ok());
+    EXPECT_EQ(stream->num_entries(), 2u);
+    TearDown();
+    SetUp();
+  }
+
+  {
+    base.timestamp_policy = stream::TimestampPolicy::kClamp;
+    auto stream = MakeSharded(base, 4, &background, "clamp");
+    ASSERT_NE(stream, nullptr);
+    ASSERT_TRUE(stream->Ingest(0, collection_[0], 100).ok());
+    ASSERT_TRUE(stream->Ingest(1, collection_[1], 40).ok());  // clamps to 100
+    ASSERT_TRUE(stream->FlushAll().ok());
+    SearchOptions early;
+    early.window = TimeWindow{0, 99};
+    auto before = stream->ExactSearch(collection_[1], early, nullptr);
+    ASSERT_TRUE(before.ok());
+    EXPECT_FALSE(before.value().found);  // nothing kept its pre-clamp time
+    SearchOptions at;
+    at.window = TimeWindow{100, 100};
+    auto after = stream->ExactSearch(collection_[1], at, nullptr);
+    ASSERT_TRUE(after.ok());
+    ASSERT_TRUE(after.value().found);
+    EXPECT_EQ(after.value().series_id, 1u);
+    TearDown();
+    SetUp();
+  }
+
+  {
+    base.timestamp_policy = stream::TimestampPolicy::kPermissive;
+    auto stream = MakeSharded(base, 4, &background, "permissive");
+    ASSERT_NE(stream, nullptr);
+    // Shuffled arrival times: permissive admits as-is and stays exact.
+    std::vector<int64_t> timestamps(collection_.size());
+    Rng rng(7);
+    for (size_t i = 0; i < collection_.size(); ++i) {
+      timestamps[i] = static_cast<int64_t>(rng.NextBounded(1000));
+    }
+    for (size_t i = 0; i < collection_.size(); ++i) {
+      ASSERT_TRUE(stream->Ingest(i, collection_[i], timestamps[i]).ok());
+    }
+    ASSERT_TRUE(stream->FlushAll().ok());
+    for (int q = 0; q < 5; ++q) {
+      auto query = testutil::NoisyCopy(collection_, q * 83 % kSeries, 0.5,
+                                       300 + q);
+      SearchOptions options;
+      options.window = TimeWindow{200, 700};
+      auto oracle = testutil::BruteForceKnn(collection_, query, 1,
+                                            options.window, &timestamps);
+      auto got = stream->ExactSearch(query, options, nullptr);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(got.value().found, !oracle.empty());
+      if (!oracle.empty()) {
+        EXPECT_EQ(got.value().series_id, oracle[0].index) << q;
+        EXPECT_NEAR(got.value().distance_sq, oracle[0].distance_sq, 1e-6);
+      }
+    }
+  }
+}
+
+// The factory seam: num_shards > 1 on an async streaming spec dispatches
+// to the wrapper (with the "-S<K>-async" name), requires async_ingest,
+// and keeps rejecting the combinations the variant matrix forbids.
+TEST_F(ShardedStreamOracleTest, FactoryDispatchesShardedStreaming) {
+  ThreadPool background(2);
+  VariantSpec spec = BaseSpec(IndexFamily::kClsm, StreamMode::kBTP, false);
+  spec.num_shards = 4;
+  spec.async_ingest = true;
+  spec.background_pool = &background;
+  EXPECT_EQ(VariantName(spec), "CLSM-BTP-S4-async");
+  std::string why;
+  EXPECT_TRUE(SpecIsValid(spec, &why)) << why;
+
+  auto created =
+      CreateStreamingIndex(spec, mgr_.get(), "disp", nullptr, nullptr);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto stream = created.TakeValue();
+  auto* sharded = dynamic_cast<ShardedStreamingIndex*>(stream.get());
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_EQ(sharded->num_shards(), 4u);
+  EXPECT_EQ(stream->describe(), "ShardedStream[4xCLSM-BTP]");
+
+  // A quick end-to-end pass through the factory-built wrapper.
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        stream->Ingest(i, collection_[i], static_cast<int64_t>(i)).ok());
+  }
+  ASSERT_TRUE(stream->FlushAll().ok());
+  EXPECT_EQ(stream->num_entries(), 100u);
+
+  // Sync sharded streaming stays off the matrix.
+  spec.async_ingest = false;
+  EXPECT_FALSE(SpecIsValid(spec, &why));
+  EXPECT_FALSE(
+      CreateStreamingIndex(spec, mgr_.get(), "bad", nullptr, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace palm
+}  // namespace coconut

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "palm/factory.h"
+#include "palm/sharded_streaming_index.h"
 #include "stream/btp.h"
 #include "tests/test_util.h"
 
@@ -126,6 +128,84 @@ TEST_F(StreamMergeDeterminismTest, CascadeIdenticalAcrossThreadCounts) {
       ExpectEqual(async_sig, baseline,
                   "merge_k=" + std::to_string(merge_k) +
                       " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+// Sharded: each shard's BTP cascade is identical across merge_k ×
+// background-thread counts × shard counts. Which series a shard holds is
+// decided by routing (values → key range) alone; the per-shard strand
+// then replays the exact synchronous cascade over that subsequence, so
+// pool size can change scheduling but never any shard's structure.
+TEST_F(StreamMergeDeterminismTest, ShardedCascadePerShardDeterministic) {
+  int build_id = 0;
+  auto build_sharded = [&](int merge_k, size_t threads, size_t shards,
+                           const std::string& name) {
+    ThreadPool pool(threads);
+    palm::VariantSpec spec;
+    spec.sax = TestSax();
+    spec.family = palm::IndexFamily::kClsm;
+    spec.mode = palm::StreamMode::kBTP;
+    spec.buffer_entries = 64;
+    spec.btp_merge_k = merge_k;
+    spec.async_ingest = true;
+    spec.background_pool = &pool;
+    palm::ShardedStreamingIndex::Options opts;
+    opts.spec = spec;
+    opts.num_shards = shards;
+    std::vector<Signature> sigs(shards);
+    auto sharded =
+        palm::ShardedStreamingIndex::Create(mgr_.get(), name, opts)
+            .TakeValue();
+    for (size_t i = 0; i < collection_.size(); ++i) {
+      EXPECT_TRUE(
+          sharded->Ingest(i, collection_[i], static_cast<int64_t>(i)).ok());
+    }
+    EXPECT_TRUE(sharded->FlushAll().ok());
+    for (size_t s = 0; s < shards; ++s) {
+      auto* btp = dynamic_cast<BoundedTemporalPartitioningIndex*>(
+          sharded->shard(s));
+      EXPECT_NE(btp, nullptr);
+      if (btp == nullptr) continue;
+      Signature& sig = sigs[s];
+      sig.partitions = btp->SnapshotPartitions();
+      for (auto& info : sig.partitions) {
+        // Strip the per-build shard prefix ("<name>/stream" differs per
+        // build); the ".p<i>"/".m<i>" structural suffix compares.
+        info.name = info.name.substr(info.name.find_last_of('.'));
+      }
+      for (size_t p = 0; p < sig.partitions.size(); ++p) {
+        auto dump = btp->DumpPartitionEntries(p);
+        EXPECT_TRUE(dump.ok());
+        sig.entries.push_back(dump.TakeValue());
+      }
+      sig.merges = btp->merges_performed();
+      sig.max_class = btp->max_size_class();
+    }
+    return sigs;
+  };
+
+  for (size_t shards : {2u, 3u}) {
+    for (int merge_k : {2, 3}) {
+      const std::vector<Signature> baseline = build_sharded(
+          merge_k, /*threads=*/1, shards,
+          "shbase" + std::to_string(build_id++));
+      // At least one shard's cascade must actually have fired.
+      uint64_t total_merges = 0;
+      for (const Signature& sig : baseline) total_merges += sig.merges;
+      EXPECT_GT(total_merges, 0u);
+      for (size_t threads : {2u, 4u}) {
+        const std::vector<Signature> got = build_sharded(
+            merge_k, threads, shards, "shasync" + std::to_string(build_id++));
+        ASSERT_EQ(got.size(), baseline.size());
+        for (size_t s = 0; s < shards; ++s) {
+          ExpectEqual(got[s], baseline[s],
+                      "shards=" + std::to_string(shards) +
+                          " merge_k=" + std::to_string(merge_k) +
+                          " threads=" + std::to_string(threads) +
+                          " shard=" + std::to_string(s));
+        }
+      }
     }
   }
 }

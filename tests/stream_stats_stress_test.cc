@@ -15,6 +15,7 @@
 
 #include "common/thread_pool.h"
 #include "palm/factory.h"
+#include "palm/sharded_streaming_index.h"
 #include "tests/test_util.h"
 
 namespace coconut {
@@ -151,6 +152,106 @@ TEST_F(StreamStatsStressTest, ClsmAccountingRaceFree) {
   spec.mode = palm::StreamMode::kPP;
   spec.buffer_entries = 64;
   Hammer(spec, "clsm_stress");
+}
+
+// The cross-shard satellite: SnapshotStats() on the sharded wrapper folds
+// K per-shard snapshots via StreamingStats::Add. Each addend is taken
+// under its shard's state lock and the shards are read in a fixed order,
+// so consecutive aggregate reads are torn-free (TSan pins the reads) and
+// entries never shrink. Backpressure is armed so the stall/inflight
+// counters are live, not zero, while being hammered.
+TEST_F(StreamStatsStressTest, ShardedAggregationRaceFree) {
+  ThreadPool background(2);
+  palm::VariantSpec spec;
+  spec.sax = TestSax();
+  spec.family = palm::IndexFamily::kCTree;
+  spec.mode = palm::StreamMode::kTP;
+  spec.buffer_entries = 48;
+  spec.async_ingest = true;
+  spec.background_pool = &background;
+  spec.max_inflight_seals = 2;  // kBlock: stall counters exercise too
+  palm::ShardedStreamingIndex::Options opts;
+  opts.spec = spec;
+  opts.num_shards = 3;
+  auto stream =
+      palm::ShardedStreamingIndex::Create(mgr_.get(), "sharded_stress",
+                                          opts)
+          .TakeValue();
+  ASSERT_NE(stream, nullptr);
+
+  std::atomic<bool> stop{false};
+  core::QueryCounters merged;
+  std::mutex merged_mu;
+
+  auto querier = [&](uint64_t seed) {
+    Rng rng(seed);
+    core::QueryCounters local;
+    do {
+      auto query = testutil::NoisyCopy(
+          collection_, rng.NextBounded(collection_.size()), 0.5, seed);
+      core::QueryCounters counters;
+      auto result = stream->ExactSearch(query, {}, &counters);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      local.Add(counters);
+    } while (!stop.load(std::memory_order_acquire));
+    std::lock_guard<std::mutex> lock(merged_mu);
+    merged.Add(local);
+  };
+
+  auto stats_reader = [&] {
+    uint64_t last_entries = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const StreamingStats stats = stream->SnapshotStats();
+      EXPECT_GE(stats.entries, last_entries);
+      last_entries = stats.entries;
+      EXPECT_GE(stats.entries, stats.buffered);
+      // Ingest admission respects the cap; the FlushAll drain barrier
+      // (racing these reads at the end of the stream) is allowed one
+      // unconditional detach past it, hence cap + 1 per shard.
+      EXPECT_LE(stats.seals_inflight, 3u * (2u + 1u));
+      for (size_t s = 0; s < stream->num_shards(); ++s) {
+        const StreamingStats shard = stream->ShardStats(s);
+        EXPECT_GE(shard.entries, shard.buffered);
+        EXPECT_LE(shard.seals_inflight, 2u + 1u);
+      }
+      const storage::IoStats io = stream->AggregateIoStats();
+      EXPECT_GE(io.bytes_written, 0u);
+      (void)stream->num_entries();
+      (void)stream->num_partitions();
+      (void)stream->index_bytes();
+      std::this_thread::yield();
+    }
+  };
+
+  std::thread q1(querier, 8001);
+  std::thread q2(querier, 8002);
+  std::thread s1(stats_reader);
+  std::thread s2(stats_reader);
+
+  for (size_t i = 0; i < collection_.size(); ++i) {
+    ASSERT_TRUE(
+        stream->Ingest(i, collection_[i], static_cast<int64_t>(i)).ok());
+  }
+  ASSERT_TRUE(stream->FlushAll().ok());
+  stop.store(true, std::memory_order_release);
+  q1.join();
+  q2.join();
+  s1.join();
+  s2.join();
+
+  const StreamingStats final_stats = stream->SnapshotStats();
+  EXPECT_EQ(final_stats.entries, collection_.size());
+  EXPECT_EQ(final_stats.buffered, 0u);
+  EXPECT_EQ(final_stats.pending_tasks, 0u);
+  EXPECT_EQ(final_stats.seals_inflight, 0u);
+  EXPECT_EQ(stream->num_entries(), collection_.size());
+  EXPECT_GT(final_stats.seals_completed, 0u);
+  uint64_t per_shard_sum = 0;
+  for (size_t s = 0; s < stream->num_shards(); ++s) {
+    per_shard_sum += stream->ShardStats(s).entries;
+  }
+  EXPECT_EQ(per_shard_sum, collection_.size());
+  EXPECT_GT(merged.entries_examined, 0u);
 }
 
 }  // namespace
