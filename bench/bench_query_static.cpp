@@ -17,6 +17,7 @@
 #include "bench/bench_util.h"
 #include "palm/heatmap.h"
 #include "palm/server.h"
+#include "series/kernels.h"
 
 namespace coconut {
 namespace bench {
@@ -84,6 +85,9 @@ void RunQuery(benchmark::State& state, palm::IndexFamily family,
       static_cast<double>(counters.leaves_pruned) * per_query;
   state.counters["access_locality"] =
       palm::AccessLocality(prepared->arena.storage->tracker()->events());
+  // Which series::kernels tier scored the distances (COCONUT_FORCE_KERNEL
+  // pins it), so runs under different dispatch modes stay comparable.
+  state.SetLabel(series::kernels::IsaName(series::kernels::ActiveIsa()));
 }
 
 #define QUERY_BENCH(name, family, mat, exact)          \

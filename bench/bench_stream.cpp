@@ -16,6 +16,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "palm/factory.h"
+#include "series/kernels.h"
 
 namespace coconut {
 namespace bench {
@@ -87,6 +88,8 @@ void RunIngest(benchmark::State& state, palm::StreamMode mode, bool async) {
   state.counters["drain_seconds"] = drain_seconds;
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(collection.size()));
+  // Kernel tier summarizing each ingested series (PAA + SAX dispatch).
+  state.SetLabel(series::kernels::IsaName(series::kernels::ActiveIsa()));
 }
 
 void BM_IngestBtpSync(benchmark::State& state) {

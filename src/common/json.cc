@@ -149,6 +149,69 @@ JsonValue JsonValue::MakeObject(Object v) {
   return j;
 }
 
+JsonValue JsonValue::MakeNumArray(std::vector<double> data,
+                                  std::vector<uint8_t> tags) {
+  JsonValue j;
+  j.kind_ = Kind::kNumArray;
+  j.num_data_ = std::move(data);
+  j.num_tags_ = std::move(tags);
+  return j;
+}
+
+JsonValue JsonValue::PackedElement(size_t i) const {
+  const double d = num_data_[i];
+  switch (static_cast<NumTag>(num_tags_[i])) {
+    case NumTag::kInt:
+      return MakeInt(static_cast<int64_t>(d));
+    case NumTag::kUint:
+      return MakeUint(static_cast<uint64_t>(d));
+    case NumTag::kDouble:
+      break;
+  }
+  return MakeDouble(d);
+}
+
+size_t JsonValue::array_size() const {
+  return kind_ == Kind::kNumArray ? num_data_.size() : array_.size();
+}
+
+bool JsonValue::element_is_number(size_t i) const {
+  return kind_ == Kind::kNumArray ? true : array_[i].is_number();
+}
+
+double JsonValue::NumberAt(size_t i) const {
+  return kind_ == Kind::kNumArray ? num_data_[i] : array_[i].AsDouble();
+}
+
+Result<int64_t> JsonValue::ElementAsInt64(size_t i) const {
+  return kind_ == Kind::kNumArray ? PackedElement(i).AsInt64()
+                                  : array_[i].AsInt64();
+}
+
+Result<uint64_t> JsonValue::ElementAsUint64(size_t i) const {
+  return kind_ == Kind::kNumArray ? PackedElement(i).AsUint64()
+                                  : array_[i].AsUint64();
+}
+
+size_t JsonValue::DeepMemoryBytes() const {
+  // libstdc++ keeps strings up to 15 chars inline; longer ones own a heap
+  // block of capacity+1 bytes. Close enough for the bound this provides.
+  auto string_heap = [](const std::string& s) -> size_t {
+    return s.capacity() > 15 ? s.capacity() + 1 : 0;
+  };
+  size_t bytes = string_heap(string_);
+  bytes += num_data_.capacity() * sizeof(double);
+  bytes += num_tags_.capacity();
+  bytes += array_.capacity() * sizeof(JsonValue);
+  for (const JsonValue& v : array_) bytes += v.DeepMemoryBytes();
+  bytes += object_.capacity() * sizeof(Member);
+  for (const Member& m : object_) {
+    bytes += string_heap(m.first);
+    bytes += m.second.DeepMemoryBytes();
+  }
+  return bytes;
+}
+
 double JsonValue::AsDouble() const {
   switch (kind_) {
     case Kind::kInt:
@@ -241,6 +304,25 @@ void JsonValue::WriteTo(JsonWriter* writer) const {
     case Kind::kArray:
       writer->BeginArray();
       for (const JsonValue& v : array_) v.WriteTo(writer);
+      writer->EndArray();
+      break;
+    case Kind::kNumArray:
+      // The spelling tags re-emit each element exactly as the node form
+      // would have, so packing never changes serialized output.
+      writer->BeginArray();
+      for (size_t i = 0; i < num_data_.size(); ++i) {
+        switch (static_cast<NumTag>(num_tags_[i])) {
+          case NumTag::kInt:
+            writer->Int(static_cast<int64_t>(num_data_[i]));
+            break;
+          case NumTag::kUint:
+            writer->Uint(static_cast<uint64_t>(num_data_[i]));
+            break;
+          case NumTag::kDouble:
+            writer->Double(num_data_[i]);
+            break;
+        }
+      }
       writer->EndArray();
       break;
     case Kind::kObject:
@@ -382,11 +464,48 @@ class JsonParser {
     return Status::OK();
   }
 
+  /// True when `v` can join a packed numeric array without changing any
+  /// observable behavior: doubles always; int/uint only when the value
+  /// survives the double round-trip (|v| <= 2^53), so the exact integer
+  /// accessors and Dump() spelling are preserved.
+  static bool PackableNumber(const JsonValue& v, double* data, uint8_t* tag) {
+    switch (v.kind()) {
+      case JsonValue::Kind::kDouble:
+        *data = v.AsDouble();
+        *tag = static_cast<uint8_t>(JsonValue::NumTag::kDouble);
+        return true;
+      case JsonValue::Kind::kInt: {
+        const int64_t x = v.AsInt64().value();
+        if (x < -(int64_t{1} << 53) || x > (int64_t{1} << 53)) return false;
+        *data = static_cast<double>(x);
+        *tag = static_cast<uint8_t>(JsonValue::NumTag::kInt);
+        return true;
+      }
+      case JsonValue::Kind::kUint: {
+        const uint64_t x = v.AsUint64().value();
+        if (x > (uint64_t{1} << 53)) return false;
+        *data = static_cast<double>(x);
+        *tag = static_cast<uint8_t>(JsonValue::NumTag::kUint);
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
   Status ParseArray(int depth, JsonValue* out) {
     ++pos_;  // '['
+    // Optimistically pack into the flat numeric representation — the
+    // dominant wire shape (series matrices, query vectors) would
+    // otherwise cost a full JsonValue node per number. The first element
+    // that doesn't fit demotes everything parsed so far to nodes.
+    std::vector<double> data;
+    std::vector<uint8_t> tags;
+    bool packed = true;
     JsonValue::Array elements;
     SkipWhitespace();
     if (Consume(']')) {
+      // Empty arrays stay node-backed (nothing to pack).
       *out = JsonValue::MakeArray(std::move(elements));
       return Status::OK();
     }
@@ -394,13 +513,42 @@ class JsonParser {
       SkipWhitespace();
       JsonValue value;
       COCONUT_RETURN_NOT_OK(ParseValue(depth + 1, &value));
-      elements.push_back(std::move(value));
+      double d = 0.0;
+      uint8_t tag = 0;
+      if (packed && PackableNumber(value, &d, &tag)) {
+        data.push_back(d);
+        tags.push_back(tag);
+      } else {
+        if (packed) {
+          packed = false;
+          elements.reserve(data.size() + 1);
+          for (size_t i = 0; i < data.size(); ++i) {
+            switch (static_cast<JsonValue::NumTag>(tags[i])) {
+              case JsonValue::NumTag::kInt:
+                elements.push_back(
+                    JsonValue::MakeInt(static_cast<int64_t>(data[i])));
+                break;
+              case JsonValue::NumTag::kUint:
+                elements.push_back(
+                    JsonValue::MakeUint(static_cast<uint64_t>(data[i])));
+                break;
+              case JsonValue::NumTag::kDouble:
+                elements.push_back(JsonValue::MakeDouble(data[i]));
+                break;
+            }
+          }
+          data.clear();
+          tags.clear();
+        }
+        elements.push_back(std::move(value));
+      }
       SkipWhitespace();
       if (Consume(',')) continue;
       if (Consume(']')) break;
       return Fail("expected ',' or ']' in array");
     }
-    *out = JsonValue::MakeArray(std::move(elements));
+    *out = packed ? JsonValue::MakeNumArray(std::move(data), std::move(tags))
+                  : JsonValue::MakeArray(std::move(elements));
     return Status::OK();
   }
 

@@ -2,6 +2,7 @@
 #define COCONUT_COMMON_JSON_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -89,10 +90,27 @@ class JsonWriter {
 /// held as int64/uint64 (ids and byte counts round-trip exactly), anything
 /// else as double. AsDouble()/AsInt64()/AsUint64() convert across the three
 /// representations when the value is exactly representable.
+///
+/// All-numeric arrays — the dominant shape on this wire (series matrices,
+/// query vectors, timestamp columns, heat-map rows) — are held in a packed
+/// representation (kNumArray): one double plus a one-byte spelling tag per
+/// element instead of a full JsonValue node (~160 bytes each), cutting the
+/// DOM for a parsed series matrix by more than an order of magnitude. An
+/// integer element participates only when its value survives the double
+/// round-trip (|v| <= 2^53); otherwise the whole array falls back to nodes
+/// so AsInt64/AsUint64 and Dump stay exact. The spelling tags make
+/// Dump() byte-identical to the node form. Packed arrays answer
+/// is_array(), array_size() and the element accessors like node arrays,
+/// but array() itself — a reference into node storage — returns an empty
+/// vector for them: iterate with array_size()/element accessors (or the
+/// packed_numbers() fast path) instead.
 class JsonValue {
  public:
   enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray,
-                    kObject };
+                    kObject, kNumArray };
+
+  /// How a packed numeric element was spelled (drives exact re-emission).
+  enum class NumTag : uint8_t { kInt = 0, kUint = 1, kDouble = 2 };
 
   using Array = std::vector<JsonValue>;
   /// Object members in document order (duplicate keys rejected at parse).
@@ -108,6 +126,10 @@ class JsonValue {
   static JsonValue MakeString(std::string v);
   static JsonValue MakeArray(Array v);
   static JsonValue MakeObject(Object v);
+  /// Packed numeric array; data/tags are parallel and every tagged integer
+  /// must be exactly representable as double (the parser guarantees this).
+  static JsonValue MakeNumArray(std::vector<double> data,
+                                std::vector<uint8_t> tags);
 
   Kind kind() const { return kind_; }
   bool is_null() const { return kind_ == Kind::kNull; }
@@ -117,8 +139,11 @@ class JsonValue {
            kind_ == Kind::kDouble;
   }
   bool is_string() const { return kind_ == Kind::kString; }
-  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_array() const {
+    return kind_ == Kind::kArray || kind_ == Kind::kNumArray;
+  }
   bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_packed_array() const { return kind_ == Kind::kNumArray; }
 
   /// Typed accessors; calling one on the wrong kind is a programming error
   /// (callers check kind()/is_*() first — the typed API layer does).
@@ -137,6 +162,26 @@ class JsonValue {
   Result<int64_t> AsInt64() const;
   Result<uint64_t> AsUint64() const;
 
+  /// Uniform array element access, valid for both representations (node
+  /// and packed). The element conversions follow the same rules as the
+  /// scalar As* accessors.
+  size_t array_size() const;
+  bool element_is_number(size_t i) const;
+  double NumberAt(size_t i) const;
+  Result<int64_t> ElementAsInt64(size_t i) const;
+  Result<uint64_t> ElementAsUint64(size_t i) const;
+  /// Packed payload; empty for node arrays — fast path for consumers that
+  /// only need the values as doubles (series matrices, query vectors).
+  std::span<const double> packed_numbers() const {
+    return kind_ == Kind::kNumArray ? std::span<const double>(num_data_)
+                                    : std::span<const double>();
+  }
+
+  /// Approximate heap bytes retained by this DOM (recursive vector/string
+  /// capacities; allocator headers and the root node itself excluded — a
+  /// lower bound). Pins the packed-array memory win in tests.
+  size_t DeepMemoryBytes() const;
+
   /// Object member lookup; nullptr when absent or this is not an object.
   const JsonValue* Find(std::string_view key) const;
 
@@ -148,6 +193,9 @@ class JsonValue {
   std::string Dump() const;
 
  private:
+  /// Element i of a packed array materialized as a scalar node.
+  JsonValue PackedElement(size_t i) const;
+
   Kind kind_ = Kind::kNull;
   bool bool_ = false;
   int64_t int_ = 0;
@@ -156,6 +204,9 @@ class JsonValue {
   std::string string_;
   Array array_;
   Object object_;
+  /// kNumArray payload: parallel value/spelling-tag columns.
+  std::vector<double> num_data_;
+  std::vector<uint8_t> num_tags_;
 };
 
 /// Parses one complete JSON document (trailing non-whitespace is an

@@ -52,6 +52,16 @@ Result<SearchResult> CTreeIndexAdapter::ExactSearch(
   return tree_->ExactSearch(query, options, counters);
 }
 
+Status CTreeIndexAdapter::ExactSearchBatch(
+    std::span<const std::span<const float>> queries,
+    const SearchOptions& options, std::span<SearchResult> results,
+    std::span<QueryCounters> counters) {
+  if (tree_ == nullptr) {
+    return Status::Internal("CTree queried before Finalize()");
+  }
+  return tree_->ExactSearchBatch(queries, options, results, counters);
+}
+
 uint64_t CTreeIndexAdapter::num_entries() const {
   return tree_ != nullptr ? tree_->num_entries() : pending_;
 }

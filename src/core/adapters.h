@@ -31,6 +31,12 @@ class CTreeIndexAdapter : public DataSeriesIndex {
   Result<SearchResult> ExactSearch(std::span<const float> query,
                                    const SearchOptions& options,
                                    QueryCounters* counters) override;
+  /// Shared-scan batch path (seqtable::ExactScanTableMulti + batched
+  /// distance kernels) instead of the base class's sequential loop.
+  Status ExactSearchBatch(std::span<const std::span<const float>> queries,
+                          const SearchOptions& options,
+                          std::span<SearchResult> results,
+                          std::span<QueryCounters> counters) override;
   uint64_t num_entries() const override;
   uint64_t index_bytes() const override;
   std::string describe() const override;

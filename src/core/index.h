@@ -41,6 +41,24 @@ class DataSeriesIndex {
                                            const SearchOptions& options,
                                            QueryCounters* counters) = 0;
 
+  /// Exact search for a batch of same-length queries under one set of
+  /// options. `results` must have queries.size() slots; `counters`, when
+  /// non-empty, must too (one per query). Families with a shared-scan
+  /// implementation override this so each candidate read is scored against
+  /// every query (the batched distance kernels); the default is a
+  /// sequential loop, so the batch form is always exact — per-query results
+  /// match ExactSearch up to tie-breaks among equidistant series.
+  virtual Status ExactSearchBatch(std::span<const std::span<const float>> queries,
+                                  const SearchOptions& options,
+                                  std::span<SearchResult> results,
+                                  std::span<QueryCounters> counters) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      QueryCounters* c = counters.empty() ? nullptr : &counters[i];
+      COCONUT_ASSIGN_OR_RETURN(results[i], ExactSearch(queries[i], options, c));
+    }
+    return Status::OK();
+  }
+
   virtual uint64_t num_entries() const = 0;
 
   /// Bytes of index structures on disk (excludes the raw data file).

@@ -154,6 +154,23 @@ Result<SearchResult> CTree::ExactSearch(std::span<const float> query,
   return best;
 }
 
+Status CTree::ExactSearchBatch(std::span<const std::span<const float>> queries,
+                               const SearchOptions& options,
+                               std::span<SearchResult> results,
+                               std::span<core::QueryCounters> counters) {
+  const size_t nq = queries.size();
+  std::vector<std::vector<float>> paa_storage(nq);
+  std::vector<seqtable::SearchContext> ctxs(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    core::QueryCounters* c = counters.empty() ? nullptr : &counters[q];
+    ctxs[q] = seqtable::MakeSearchContext(options_.sax, queries[q],
+                                          &paa_storage[q], raw_, c);
+    COCONUT_ASSIGN_OR_RETURN(
+        results[q], seqtable::ApproxSearchTable(*table_, ctxs[q], options));
+  }
+  return seqtable::ExactScanTableMulti(*table_, ctxs, options, results);
+}
+
 Result<std::vector<SearchResult>> CTree::KnnSearch(
     std::span<const float> query, size_t k, const SearchOptions& options,
     core::QueryCounters* counters) {

@@ -90,6 +90,16 @@ class CTree {
                                          const core::SearchOptions& options,
                                          core::QueryCounters* counters);
 
+  /// Batched exact search: per-query approximate seeds, then ONE
+  /// skip-sequential scan of the leaf level scoring every query via the
+  /// batched distance kernels (seqtable::ExactScanTableMulti). Exact for
+  /// each query; `results` must have queries.size() slots and `counters`,
+  /// when non-empty, one slot per query.
+  Status ExactSearchBatch(std::span<const std::span<const float>> queries,
+                          const core::SearchOptions& options,
+                          std::span<core::SearchResult> results,
+                          std::span<core::QueryCounters> counters);
+
   /// Exact k-nearest-neighbors (k >= 1): skip-sequential scan pruned by
   /// the running k-th-best distance. Results ascend by distance.
   Result<std::vector<core::SearchResult>> KnnSearch(

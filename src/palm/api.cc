@@ -284,16 +284,20 @@ Result<series::SeriesCollection> ParseSeriesMatrix(const JsonValue& obj,
     have_length = true;
   }
   if (!have_length) {
-    if (arr->array().empty()) {
+    if (arr->array_size() == 0) {
       return Status::InvalidArgument(
           std::string(what) +
           ": empty 'series' requires an explicit 'series_length'");
+    }
+    // A packed outer array means the elements are numbers, not rows.
+    if (arr->is_packed_array()) {
+      return FieldError(what, "series", "must contain arrays of numbers");
     }
     const JsonValue& first = arr->array().front();
     if (!first.is_array()) {
       return FieldError(what, "series", "must contain arrays of numbers");
     }
-    length = first.array().size();
+    length = first.array_size();
   }
   if (length == 0) {
     return Status::InvalidArgument(std::string(what) +
@@ -304,25 +308,39 @@ Result<series::SeriesCollection> ParseSeriesMatrix(const JsonValue& obj,
         std::string(what) + ": series length " + std::to_string(length) +
         " exceeds the maximum of " + std::to_string(kMaxSeriesLength));
   }
+  if (arr->is_packed_array() && arr->array_size() != 0) {
+    // Numbers where rows were expected (with an explicit series_length
+    // the first branch above didn't reject this shape).
+    return Status::InvalidArgument(
+        std::string(what) +
+        ": series 0 does not have the expected length " +
+        std::to_string(length));
+  }
   series::SeriesCollection collection(static_cast<size_t>(length));
-  collection.Reserve(arr->array().size());
+  collection.Reserve(arr->array_size());
   std::vector<float> buf;
   buf.reserve(static_cast<size_t>(length));
   for (size_t i = 0; i < arr->array().size(); ++i) {
     const JsonValue& row = arr->array()[i];
-    if (!row.is_array() || row.array().size() != length) {
+    if (!row.is_array() || row.array_size() != length) {
       return Status::InvalidArgument(
           std::string(what) + ": series " + std::to_string(i) +
           " does not have the expected length " + std::to_string(length));
     }
     buf.clear();
-    for (const JsonValue& v : row.array()) {
-      if (!v.is_number()) {
-        return Status::InvalidArgument(std::string(what) + ": series " +
-                                       std::to_string(i) +
-                                       " contains a non-numeric value");
+    if (row.is_packed_array()) {
+      for (const double v : row.packed_numbers()) {
+        buf.push_back(static_cast<float>(v));
       }
-      buf.push_back(static_cast<float>(v.AsDouble()));
+    } else {
+      for (const JsonValue& v : row.array()) {
+        if (!v.is_number()) {
+          return Status::InvalidArgument(std::string(what) + ": series " +
+                                         std::to_string(i) +
+                                         " contains a non-numeric value");
+        }
+        buf.push_back(static_cast<float>(v.AsDouble()));
+      }
     }
     collection.Append(buf);
   }
@@ -348,12 +366,17 @@ Result<std::vector<int64_t>> ParseTimestamps(const JsonValue& arr,
     return FieldError(what, "timestamps", "must be an array of integers");
   }
   std::vector<int64_t> out;
-  out.reserve(arr.array().size());
-  for (const JsonValue& v : arr.array()) {
-    if (!v.is_number() || !v.AsInt64().ok()) {
+  const size_t n = arr.array_size();
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!arr.element_is_number(i)) {
       return FieldError(what, "timestamps", "must contain only integers");
     }
-    out.push_back(v.AsInt64().value());
+    Result<int64_t> v = arr.ElementAsInt64(i);
+    if (!v.ok()) {
+      return FieldError(what, "timestamps", "must contain only integers");
+    }
+    out.push_back(v.value());
   }
   return out;
 }
@@ -754,23 +777,32 @@ Result<HeatMap> HeatMapFromJson(const JsonValue& value) {
   map.max_count = static_cast<uint32_t>(u);
   const JsonValue* cells = value.Find("cells");
   if (cells == nullptr || !cells->is_array() ||
-      cells->array().size() != map.time_bins) {
+      cells->array_size() != map.time_bins) {
     return Status::InvalidArgument(
         "heatmap: 'cells' must be an array of time_bins rows");
   }
+  if (cells->is_packed_array()) {
+    // Numbers where rows were expected.
+    return Status::InvalidArgument(
+        "heatmap: each cells row must have location_bins entries");
+  }
   map.counts.reserve(map.time_bins * map.location_bins);
   for (const JsonValue& row : cells->array()) {
-    if (!row.is_array() || row.array().size() != map.location_bins) {
+    if (!row.is_array() || row.array_size() != map.location_bins) {
       return Status::InvalidArgument(
           "heatmap: each cells row must have location_bins entries");
     }
-    for (const JsonValue& cell : row.array()) {
-      if (!cell.is_number() || !cell.AsUint64().ok() ||
-          cell.AsUint64().value() > std::numeric_limits<uint32_t>::max()) {
+    for (size_t j = 0; j < row.array_size(); ++j) {
+      Result<uint64_t> cell = row.element_is_number(j)
+                                  ? row.ElementAsUint64(j)
+                                  : Result<uint64_t>(Status::InvalidArgument(
+                                        "not a number"));
+      if (!cell.ok() ||
+          cell.value() > std::numeric_limits<uint32_t>::max()) {
         return Status::InvalidArgument(
             "heatmap: cells must be 32-bit counts");
       }
-      map.counts.push_back(static_cast<uint32_t>(cell.AsUint64().value()));
+      map.counts.push_back(static_cast<uint32_t>(cell.value()));
     }
   }
   return map;
@@ -1171,12 +1203,18 @@ Result<QueryRequest> QueryRequest::FromJson(const JsonValue& value) {
   if (!q->is_array()) {
     return FieldError(kWhat, "query", "must be an array of numbers");
   }
-  request.query.reserve(q->array().size());
-  for (const JsonValue& v : q->array()) {
-    if (!v.is_number()) {
-      return FieldError(kWhat, "query", "must contain only numbers");
+  request.query.reserve(q->array_size());
+  if (q->is_packed_array()) {
+    for (const double v : q->packed_numbers()) {
+      request.query.push_back(static_cast<float>(v));
     }
-    request.query.push_back(static_cast<float>(v.AsDouble()));
+  } else {
+    for (const JsonValue& v : q->array()) {
+      if (!v.is_number()) {
+        return FieldError(kWhat, "query", "must contain only numbers");
+      }
+      request.query.push_back(static_cast<float>(v.AsDouble()));
+    }
   }
   COCONUT_RETURN_NOT_OK(OptBool(value, "exact", kWhat, &request.exact));
   if (const JsonValue* win = value.Find("window"); win != nullptr) {
@@ -1243,7 +1281,8 @@ Result<QueryReport> QueryReport::FromJson(const JsonValue& value) {
   COCONUT_RETURN_NOT_OK(RejectUnknown(
       value, kWhat,
       {"index", "exact", "found", "series_id", "distance", "timestamp",
-       "seconds", "io", "counters", "access_locality", "heatmap"}));
+       "seconds", "io", "counters", "access_locality", "heatmap",
+       "batch_size"}));
   QueryReport report;
   COCONUT_ASSIGN_OR_RETURN(report.index, ReqString(value, "index", kWhat));
   COCONUT_ASSIGN_OR_RETURN(report.exact, ReqBool(value, "exact", kWhat));
@@ -1270,6 +1309,8 @@ Result<QueryReport> QueryReport::FromJson(const JsonValue& value) {
                              ReqDouble(value, "access_locality", kWhat));
     COCONUT_ASSIGN_OR_RETURN(report.heatmap, HeatMapFromJson(*map));
   }
+  COCONUT_RETURN_NOT_OK(OptUint(value, "batch_size", kWhat,
+                                &report.batch_size));
   return report;
 }
 
@@ -1293,6 +1334,9 @@ void QueryReport::ToJson(JsonWriter* w) const {
     w->Key("heatmap");
     HeatMapToJson(heatmap, w);
   }
+  // Only batched-scan reports carry the marker; single-query JSON stays
+  // byte-identical to the pre-batching shape.
+  if (batch_size > 1) w->Field("batch_size", batch_size);
   w->EndObject();
 }
 
@@ -1309,8 +1353,8 @@ Result<QueryBatchRequest> QueryBatchRequest::FromJson(const JsonValue& value) {
   QueryBatchRequest request;
   const JsonValue* queries = value.Find("queries");
   if (queries == nullptr) return FieldError(kWhat, "queries", "is required");
-  if (!queries->is_array()) {
-    return FieldError(kWhat, "queries", "must be an array");
+  if (!queries->is_array() || queries->is_packed_array()) {
+    return FieldError(kWhat, "queries", "must be an array of query objects");
   }
   request.queries.reserve(queries->array().size());
   for (const JsonValue& q : queries->array()) {
@@ -1345,8 +1389,8 @@ Result<QueryBatchResponse> QueryBatchResponse::FromJson(
   COCONUT_RETURN_NOT_OK(RejectUnknown(value, kWhat, {"results"}));
   const JsonValue* results = value.Find("results");
   if (results == nullptr) return FieldError(kWhat, "results", "is required");
-  if (!results->is_array()) {
-    return FieldError(kWhat, "results", "must be an array");
+  if (!results->is_array() || results->is_packed_array()) {
+    return FieldError(kWhat, "results", "must be an array of result objects");
   }
   QueryBatchResponse response;
   response.results.reserve(results->array().size());
@@ -1465,7 +1509,8 @@ Result<RecommendResponse> RecommendResponse::FromJson(const JsonValue& value) {
       OptUint(*spec, "buffer_entries", "recommend.spec",
               &response.buffer_entries));
   const JsonValue* rationale = value.Find("rationale");
-  if (rationale == nullptr || !rationale->is_array()) {
+  if (rationale == nullptr || !rationale->is_array() ||
+      rationale->is_packed_array()) {
     return FieldError(kWhat, "rationale", "must be an array of strings");
   }
   for (const JsonValue& reason : rationale->array()) {
@@ -1503,9 +1548,9 @@ std::string RecommendResponse::ToJsonString() const {
 Result<ListIndexesResponse> ListIndexesResponse::FromJson(
     const JsonValue& value) {
   static constexpr const char* kWhat = "list_indexes response";
-  if (!value.is_array()) {
+  if (!value.is_array() || value.is_packed_array()) {
     return Status::InvalidArgument(std::string(kWhat) +
-                                   ": expected a JSON array");
+                                   ": expected a JSON array of objects");
   }
   ListIndexesResponse response;
   response.indexes.reserve(value.array().size());
@@ -2190,6 +2235,131 @@ Result<QueryReport> Service::QueryLocked(const QueryRequest& request,
   return report;
 }
 
+void Service::QueryGroup(const std::vector<QueryRequest>& requests,
+                         const std::vector<size_t>& ordinals,
+                         std::vector<Result<QueryReport>>* results) {
+  if (ordinals.empty()) return;
+  // One pin for the whole group (every member names the same index).
+  std::shared_ptr<IndexHandle> handle =
+      PinHandle(requests[ordinals.front()].index);
+
+  // Bucket the requests that can share one exact scan: static index, exact,
+  // no heatmap, valid query shape, and identical search options (window +
+  // approx_candidates) — the batch path evaluates one SearchOptions for the
+  // whole bucket. Everything else keeps the per-request Query path, which
+  // also produces the precise per-request validation errors.
+  std::vector<size_t> fallback;
+  std::vector<std::pair<const QueryRequest*, std::vector<size_t>>> buckets;
+  if (handle != nullptr && handle->static_index != nullptr) {
+    for (size_t ordinal : ordinals) {
+      const QueryRequest& r = requests[ordinal];
+      const bool eligible =
+          r.exact && !r.capture_heatmap && !r.query.empty() &&
+          static_cast<int>(r.query.size()) == handle->spec.sax.series_length &&
+          r.approx_candidates > 0;
+      if (!eligible) {
+        fallback.push_back(ordinal);
+        continue;
+      }
+      bool placed = false;
+      for (auto& [rep, members] : buckets) {
+        const bool same_window =
+            rep->window.has_value() == r.window.has_value() &&
+            (!r.window.has_value() ||
+             (rep->window->begin == r.window->begin &&
+              rep->window->end == r.window->end));
+        if (same_window && rep->approx_candidates == r.approx_candidates) {
+          members.push_back(ordinal);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) buckets.emplace_back(&r, std::vector<size_t>{ordinal});
+    }
+  } else {
+    fallback = ordinals;
+  }
+
+  for (auto& [rep, members] : buckets) {
+    (void)rep;
+    if (members.size() >= 2) {
+      QueryBatched(requests, members, handle.get(), results);
+    } else {
+      fallback.push_back(members.front());
+    }
+  }
+  for (size_t ordinal : fallback) {
+    (*results)[ordinal] = Query(requests[ordinal]);
+  }
+}
+
+void Service::QueryBatched(const std::vector<QueryRequest>& requests,
+                           const std::vector<size_t>& ordinals,
+                           IndexHandle* handle,
+                           std::vector<Result<QueryReport>>* results) {
+  const size_t nq = ordinals.size();
+  // Z-normalized copies; the index layers take spans over them.
+  std::vector<std::vector<float>> queries(nq);
+  std::vector<std::span<const float>> spans(nq);
+  for (size_t i = 0; i < nq; ++i) {
+    queries[i] = requests[ordinals[i]].query;
+    series::ZNormalize(queries[i]);
+    spans[i] = queries[i];
+  }
+
+  const QueryRequest& first = requests[ordinals.front()];
+  core::SearchOptions options;
+  if (first.window.has_value()) options.window = *first.window;
+  options.approx_candidates = first.approx_candidates;
+
+  std::lock_guard<std::mutex> op_lock(handle->op_mutex);
+  if (handle->building.load()) {
+    for (size_t ordinal : ordinals) {
+      (*results)[ordinal] = Status::NotFound(
+          "index '" + requests[ordinal].index + "' not found");
+    }
+    return;
+  }
+
+  auto* sharded = dynamic_cast<ShardedIndex*>(handle->static_index.get());
+
+  std::vector<core::SearchResult> matches(nq);
+  std::vector<core::QueryCounters> counters(nq);
+  WallTimer timer;
+  storage::IoStats before = handle->storage->SnapshotIoStats();
+  if (sharded != nullptr) before.Add(sharded->AggregateIoStats());
+  Status st =
+      handle->static_index->ExactSearchBatch(spans, options, matches, counters);
+  const double seconds = timer.ElapsedSeconds();
+  if (!st.ok()) {
+    for (size_t ordinal : ordinals) (*results)[ordinal] = st;
+    return;
+  }
+  storage::IoStats after = handle->storage->SnapshotIoStats();
+  if (sharded != nullptr) after.Add(sharded->AggregateIoStats());
+  const storage::IoStats delta = after.Since(before);
+
+  for (size_t i = 0; i < nq; ++i) {
+    const size_t ordinal = ordinals[i];
+    QueryReport report;
+    report.index = requests[ordinal].index;
+    report.exact = true;
+    report.found = matches[i].found;
+    if (matches[i].found) {
+      report.series_id = matches[i].series_id;
+      report.distance = std::sqrt(matches[i].distance_sq);
+      report.timestamp = matches[i].timestamp;
+    }
+    // The scan is shared: wall time is amortized evenly and the I/O delta
+    // covers the whole bucket (per-query attribution is undefined there).
+    report.seconds = seconds / static_cast<double>(nq);
+    report.io = delta;
+    report.counters = counters[i];
+    report.batch_size = nq;
+    (*results)[ordinal] = std::move(report);
+  }
+}
+
 std::vector<Result<QueryReport>> Service::QueryBatch(
     const std::vector<QueryRequest>& requests, size_t threads) {
   std::vector<Result<QueryReport>> results(
@@ -2216,9 +2386,7 @@ std::vector<Result<QueryReport>> Service::QueryBatch(
     (void)index_name;
     const std::vector<size_t>* group = &ordinals;
     pool.Submit([this, group, &requests, &results] {
-      for (size_t ordinal : *group) {
-        results[ordinal] = Query(requests[ordinal]);
-      }
+      QueryGroup(requests, *group, &results);
     });
   }
   pool.Wait();

@@ -264,6 +264,11 @@ struct QueryReport {
   bool has_heatmap = false;
   double access_locality = 0.0;
   HeatMap heatmap;
+  /// >1 marks a report produced by a shared batched scan: `seconds` is the
+  /// bucket's wall time amortized per query and `io` is the whole bucket's
+  /// delta (the scan is shared, so per-query attribution is undefined).
+  /// Serialized only when >1 so legacy outputs stay byte-identical.
+  uint64_t batch_size = 1;
 
   static Result<QueryReport> FromJson(const JsonValue& value);
   void ToJson(JsonWriter* writer) const;
@@ -533,6 +538,21 @@ class Service {
 
   Result<QueryReport> QueryLocked(const QueryRequest& request,
                                   IndexHandle* handle);
+
+  /// Runs one QueryBatch group (all requests target the same index name).
+  /// Exact static-index requests with matching search options are bucketed
+  /// and answered through DataSeriesIndex::ExactSearchBatch — one shared
+  /// scan through the batched distance kernels; everything else falls back
+  /// to the per-request Query path. Writes results[ordinal] for every
+  /// ordinal in the group.
+  void QueryGroup(const std::vector<QueryRequest>& requests,
+                  const std::vector<size_t>& ordinals,
+                  std::vector<Result<QueryReport>>* results);
+  /// One shared-scan bucket (>= 2 requests, identical window and
+  /// approx_candidates, validated, exact, non-heatmap, static index).
+  void QueryBatched(const std::vector<QueryRequest>& requests,
+                    const std::vector<size_t>& ordinals, IndexHandle* handle,
+                    std::vector<Result<QueryReport>>* results);
 
   std::string root_dir_;
   size_t pool_bytes_;

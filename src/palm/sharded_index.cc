@@ -222,6 +222,67 @@ Result<core::SearchResult> ShardedIndex::ExactSearch(
   return ScatterSearch(query, options, counters, /*exact=*/true);
 }
 
+Status ShardedIndex::ExactSearchBatch(
+    std::span<const std::span<const float>> queries,
+    const core::SearchOptions& options,
+    std::span<core::SearchResult> results,
+    std::span<core::QueryCounters> counters) {
+  const size_t nq = queries.size();
+  const size_t k = shards_.size();
+  if (nq == 0) return Status::OK();
+  for (size_t q = 0; q < nq; ++q) results[q] = core::SearchResult{};
+
+  // Scatter: every shard scores the whole batch over its partition in one
+  // shared pass. Per-shard result/counter slabs keep the workers disjoint.
+  std::vector<Status> statuses(k);
+  std::vector<std::vector<core::SearchResult>> shard_results(
+      k, std::vector<core::SearchResult>(nq));
+  std::vector<std::vector<core::QueryCounters>> shard_counters(
+      k, std::vector<core::QueryCounters>(nq));
+
+  auto search_shard = [&](size_t i) {
+    Shard& shard = *shards_[i];
+    // Same serialization contract as ScatterSearch: inner query state is
+    // single-threaded, distinct shards proceed in parallel.
+    std::lock_guard<std::mutex> lock(shard.query_mu);
+    statuses[i] = shard.index->ExactSearchBatch(
+        queries, options, shard_results[i], shard_counters[i]);
+  };
+
+  if (query_pool_ == nullptr || k == 1) {
+    for (size_t i = 0; i < k; ++i) search_shard(i);
+  } else {
+    GatherLatch latch(k);
+    for (size_t i = 0; i < k; ++i) {
+      query_pool_->Submit([i, &latch, &search_shard] {
+        search_shard(i);
+        latch.Done();
+      });
+    }
+    latch.Await();
+  }
+
+  // Gather per query: smallest distance wins; exact ties break toward the
+  // smaller global id, exactly like the single-query gather.
+  for (size_t i = 0; i < k; ++i) {
+    COCONUT_RETURN_NOT_OK(statuses[i]);
+    for (size_t q = 0; q < nq; ++q) {
+      core::SearchResult r = shard_results[i][q];
+      if (r.found) {
+        r.series_id = shards_[i]->local_to_global[r.series_id];
+        core::SearchResult& best = results[q];
+        if (!best.found || r.distance_sq < best.distance_sq ||
+            (r.distance_sq == best.distance_sq &&
+             r.series_id < best.series_id)) {
+          best = r;
+        }
+      }
+      if (!counters.empty()) counters[q].Add(shard_counters[i][q]);
+    }
+  }
+  return Status::OK();
+}
+
 Result<core::SearchResult> ShardedIndex::ApproxSearch(
     std::span<const float> query, const core::SearchOptions& options,
     core::QueryCounters* counters) {

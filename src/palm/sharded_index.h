@@ -76,6 +76,16 @@ class ShardedIndex : public core::DataSeriesIndex {
                                          const core::SearchOptions& options,
                                          core::QueryCounters* counters)
       override;
+  /// Batched scatter-gather: each shard answers the whole batch in one
+  /// pass (its inner index's ExactSearchBatch — a shared leaf-level scan
+  /// through the batched distance kernels for CTree shards), then the
+  /// per-query gather keeps the closest candidate with the usual
+  /// smaller-global-id tie-break. Exactness argument is per query, as for
+  /// ExactSearch.
+  Status ExactSearchBatch(std::span<const std::span<const float>> queries,
+                          const core::SearchOptions& options,
+                          std::span<core::SearchResult> results,
+                          std::span<core::QueryCounters> counters) override;
   uint64_t num_entries() const override;
   uint64_t index_bytes() const override;
   std::string describe() const override;

@@ -236,6 +236,104 @@ Status ExactKnnScanTable(const SeqTable& table, const SearchContext& ctx,
   return Status::OK();
 }
 
+Status ExactScanTableMulti(const SeqTable& table,
+                           std::span<const SearchContext> ctxs,
+                           const core::SearchOptions& options,
+                           std::span<core::SearchResult> bests) {
+  const size_t nq = ctxs.size();
+  if (nq == 0) return Status::OK();
+  if (nq == 1) return ExactScanTable(table, ctxs[0], options, &bests[0]);
+  const series::SaxConfig& sax = ctxs[0].sax;
+  const size_t len = sax.series_length;
+
+  std::vector<char> leaf_live(nq, 0);
+  std::vector<size_t> verify;  // ordinals scoring the current entry
+  std::vector<const float*> qptrs;
+  std::vector<double> thresholds;
+  std::vector<double> dists(nq);
+  std::vector<float> fetched(len);
+  verify.reserve(nq);
+  qptrs.reserve(nq);
+  thresholds.reserve(nq);
+
+  for (size_t leaf = 0; leaf < table.num_leaves(); ++leaf) {
+    const series::SaxRegion region = table.LeafRegion(leaf);
+    bool any_live = false;
+    for (size_t q = 0; q < nq; ++q) {
+      const bool live =
+          series::MinDistSquared(ctxs[q].query_paa, region, sax) <
+          bests[q].distance_sq;
+      leaf_live[q] = live;
+      if (live) {
+        any_live = true;
+      } else if (ctxs[q].counters != nullptr) {
+        ++ctxs[q].counters->leaves_pruned;
+      }
+    }
+    if (!any_live) continue;
+    LeafView view;
+    COCONUT_RETURN_NOT_OK(table.ReadLeaf(leaf, &view));
+    for (size_t q = 0; q < nq; ++q) {
+      if (leaf_live[q] && ctxs[q].counters != nullptr) {
+        ++ctxs[q].counters->leaves_visited;
+      }
+    }
+    for (size_t i = 0; i < view.entries.size(); ++i) {
+      const IndexEntry& entry = view.entries[i];
+      if (!options.window.Contains(entry.timestamp)) continue;
+      // One deinterleave + region build serves the whole batch.
+      const series::SaxWord word = series::DeinterleaveKey(entry.key, sax);
+      const series::SaxRegion entry_region = series::RegionFromSax(word, sax);
+      verify.clear();
+      qptrs.clear();
+      thresholds.clear();
+      for (size_t q = 0; q < nq; ++q) {
+        if (!leaf_live[q]) continue;
+        if (ctxs[q].counters != nullptr) ++ctxs[q].counters->entries_examined;
+        if (series::MinDistSquared(ctxs[q].query_paa, entry_region, sax) >=
+            bests[q].distance_sq) {
+          continue;
+        }
+        verify.push_back(q);
+        qptrs.push_back(ctxs[q].query.data());
+        thresholds.push_back(bests[q].distance_sq);
+      }
+      if (verify.empty()) continue;
+      std::span<const float> values;
+      if (table.materialized()) {
+        values =
+            std::span<const float>(view.payloads.data() + i * len, len);
+      } else {
+        if (ctxs[0].raw == nullptr) {
+          return Status::Internal(
+              "batched verification requires a raw store");
+        }
+        COCONUT_RETURN_NOT_OK(ctxs[0].raw->Get(entry.series_id, fetched));
+        values = fetched;
+        // One physical fetch serves every query of the batch; charge it to
+        // the first verifying query so raw_fetches still counts real I/O.
+        if (ctxs[verify[0]].counters != nullptr) {
+          ++ctxs[verify[0]].counters->raw_fetches;
+        }
+      }
+      series::EuclideanSquaredEarlyAbandonBatch(
+          values,
+          std::span<const float* const>(qptrs.data(), qptrs.size()),
+          std::span<const double>(thresholds.data(), thresholds.size()),
+          std::span<double>(dists.data(), verify.size()));
+      for (size_t v = 0; v < verify.size(); ++v) {
+        SearchResult candidate;
+        candidate.found = true;
+        candidate.series_id = entry.series_id;
+        candidate.timestamp = entry.timestamp;
+        candidate.distance_sq = dists[v];
+        bests[verify[v]].Improve(candidate);
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status ExactScanTable(const SeqTable& table, const SearchContext& ctx,
                       const SearchOptions& options, SearchResult* best) {
   for (size_t leaf = 0; leaf < table.num_leaves(); ++leaf) {

@@ -104,6 +104,20 @@ Status ExactKnnScanTable(const SeqTable& table, const SearchContext& ctx,
                          const core::SearchOptions& options,
                          KnnCollector* collector);
 
+/// Multi-query exact-search continuation: ONE skip-sequential scan of the
+/// leaf level scores every query, so each leaf read, key deinterleave and
+/// region build is shared across the batch and candidate verification goes
+/// through the batched early-abandon distance kernel. All contexts must
+/// share the table's SaxConfig (their counters may differ; a raw fetch
+/// shared by several queries is attributed to the first verifying one).
+/// Improves bests[q] in place, exactly like per-query ExactScanTable calls
+/// would — entries are verified in entry order rather than mindist-sorted
+/// order, which can only differ on exact distance ties.
+Status ExactScanTableMulti(const SeqTable& table,
+                           std::span<const SearchContext> ctxs,
+                           const core::SearchOptions& options,
+                           std::span<core::SearchResult> bests);
+
 }  // namespace seqtable
 }  // namespace coconut
 

@@ -20,6 +20,45 @@ std::vector<double> BuildTable(int bits) {
   return table;
 }
 
+// Conservative double->float narrowing for region bounds: rounding to
+// nearest could move a lower edge *up* (or an upper edge *down*), which
+// would let MINDIST exceed a true distance and prune a real neighbor.
+// Rounding outward keeps the bound sound at the cost of an infinitesimally
+// looser region.
+float FloorToFloat(double x) {
+  if (x <= -HUGE_VAL) return -HUGE_VALF;
+  float f = static_cast<float>(x);
+  if (static_cast<double>(f) > x) f = std::nextafterf(f, -HUGE_VALF);
+  return f;
+}
+
+float CeilToFloat(double x) {
+  if (x >= HUGE_VAL) return HUGE_VALF;
+  float f = static_cast<float>(x);
+  if (static_cast<double>(f) < x) f = std::nextafterf(f, HUGE_VALF);
+  return f;
+}
+
+std::vector<float> BuildRegionLowerF(int bits) {
+  const int cardinality = 1 << bits;
+  std::vector<float> table(cardinality);
+  for (int s = 0; s < cardinality; ++s) {
+    table[s] = FloorToFloat(
+        Breakpoints::RegionLower(static_cast<uint8_t>(s), bits));
+  }
+  return table;
+}
+
+std::vector<float> BuildRegionUpperF(int bits) {
+  const int cardinality = 1 << bits;
+  std::vector<float> table(cardinality);
+  for (int s = 0; s < cardinality; ++s) {
+    table[s] = CeilToFloat(
+        Breakpoints::RegionUpper(static_cast<uint8_t>(s), bits));
+  }
+  return table;
+}
+
 }  // namespace
 
 double Breakpoints::InverseNormalCdf(double p) {
@@ -88,6 +127,24 @@ double Breakpoints::RegionUpper(uint8_t s, int bits) {
   const auto& table = ForBits(bits);
   if (s >= table.size()) return HUGE_VAL;
   return table[s];
+}
+
+const std::vector<float>& Breakpoints::RegionLowerF(int bits) {
+  static const std::array<std::vector<float>, 9> tables = [] {
+    std::array<std::vector<float>, 9> t;
+    for (int b = 1; b <= 8; ++b) t[b] = BuildRegionLowerF(b);
+    return t;
+  }();
+  return tables[bits];
+}
+
+const std::vector<float>& Breakpoints::RegionUpperF(int bits) {
+  static const std::array<std::vector<float>, 9> tables = [] {
+    std::array<std::vector<float>, 9> t;
+    for (int b = 1; b <= 8; ++b) t[b] = BuildRegionUpperF(b);
+    return t;
+  }();
+  return tables[bits];
 }
 
 }  // namespace series

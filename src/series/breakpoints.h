@@ -26,6 +26,14 @@ class Breakpoints {
   /// Upper edge of symbol `s` at cardinality 2^bits (+HUGE_VAL for the top).
   static double RegionUpper(uint8_t s, int bits);
 
+  /// Per-symbol region edges pre-narrowed to float with conservative
+  /// outward rounding (lower edges floored, upper edges ceiled) so MINDIST
+  /// stays a sound lower bound. Indexed by symbol; size 2^bits, with
+  /// lower[0] = -inf and upper[2^bits - 1] = +inf. Cached per `bits` so
+  /// region construction on the query path is a plain table lookup.
+  static const std::vector<float>& RegionLowerF(int bits);
+  static const std::vector<float>& RegionUpperF(int bits);
+
   /// Inverse CDF of the standard normal (Acklam's rational approximation,
   /// |relative error| < 1.15e-9). Exposed for tests.
   static double InverseNormalCdf(double p);

@@ -1,72 +1,61 @@
 #include "series/distance.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "series/breakpoints.h"
+#include "series/kernels.h"
 
 namespace coconut {
 namespace series {
 
 namespace {
 
-// Conservative double->float narrowing for region bounds: rounding to
-// nearest could move a lower edge *up* (or an upper edge *down*), which
-// would let MINDIST exceed a true distance and prune a real neighbor.
-// Rounding outward keeps the bound sound at the cost of an infinitesimally
-// looser region.
-inline float FloorToFloat(double x) {
-  if (x <= -HUGE_VAL) return -HUGE_VALF;
-  float f = static_cast<float>(x);
-  if (static_cast<double>(f) > x) f = std::nextafterf(f, -HUGE_VALF);
-  return f;
-}
-
-inline float CeilToFloat(double x) {
-  if (x >= HUGE_VAL) return HUGE_VALF;
-  float f = static_cast<float>(x);
-  if (static_cast<double>(f) < x) f = std::nextafterf(f, HUGE_VALF);
-  return f;
+// A shorter operand used to be read out of bounds when lengths disagreed;
+// comparing the common prefix is the defined behavior now (equal lengths
+// remain the contract for meaningful distances).
+inline size_t CommonLength(std::span<const Value> a, std::span<const Value> b) {
+  return std::min(a.size(), b.size());
 }
 
 }  // namespace
 
 double EuclideanSquared(std::span<const Value> a, std::span<const Value> b) {
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    acc += d * d;
-  }
-  return acc;
+  const size_t n = CommonLength(a, b);
+  if (n == 0) return 0.0;
+  return kernels::Active().euclidean_sq(a.data(), b.data(), n);
 }
 
 double EuclideanSquaredEarlyAbandon(std::span<const Value> a,
                                     std::span<const Value> b,
                                     double threshold) {
-  double acc = 0.0;
-  const size_t n = a.size();
-  size_t i = 0;
-  // Check the abandon condition every 16 points to keep the loop tight.
-  while (i + 16 <= n) {
-    for (size_t j = 0; j < 16; ++j, ++i) {
-      const double d = static_cast<double>(a[i]) - b[i];
-      acc += d * d;
-    }
-    if (acc > threshold) return acc;
+  const size_t n = CommonLength(a, b);
+  if (n == 0) return 0.0;
+  return kernels::Active().euclidean_sq_ea(a.data(), b.data(), n, threshold);
+}
+
+void EuclideanSquaredEarlyAbandonBatch(std::span<const Value> candidate,
+                                       std::span<const float* const> queries,
+                                       std::span<const double> thresholds,
+                                       std::span<double> out) {
+  const size_t nq = queries.size();
+  if (nq == 0) return;
+  if (candidate.empty()) {
+    std::fill_n(out.begin(), nq, 0.0);
+    return;
   }
-  for (; i < n; ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    acc += d * d;
-  }
-  return acc;
+  kernels::Active().euclidean_sq_ea_batch(candidate.data(), candidate.size(),
+                                          queries.data(), nq,
+                                          thresholds.data(), out.data());
 }
 
 SaxRegion RegionFromSax(const SaxWord& word, const SaxConfig& config) {
+  const auto& lower = Breakpoints::RegionLowerF(config.bits_per_segment);
+  const auto& upper = Breakpoints::RegionUpperF(config.bits_per_segment);
   SaxRegion region;
   for (int s = 0; s < config.num_segments; ++s) {
-    region.lower[s] = FloorToFloat(
-        Breakpoints::RegionLower(word[s], config.bits_per_segment));
-    region.upper[s] = CeilToFloat(
-        Breakpoints::RegionUpper(word[s], config.bits_per_segment));
+    region.lower[s] = lower[word[s]];
+    region.upper[s] = upper[word[s]];
   }
   return region;
 }
@@ -74,12 +63,12 @@ SaxRegion RegionFromSax(const SaxWord& word, const SaxConfig& config) {
 SaxRegion RegionFromSymbolRange(const SaxWord& min_symbol,
                                 const SaxWord& max_symbol,
                                 const SaxConfig& config) {
+  const auto& lower = Breakpoints::RegionLowerF(config.bits_per_segment);
+  const auto& upper = Breakpoints::RegionUpperF(config.bits_per_segment);
   SaxRegion region;
   for (int s = 0; s < config.num_segments; ++s) {
-    region.lower[s] = FloorToFloat(
-        Breakpoints::RegionLower(min_symbol[s], config.bits_per_segment));
-    region.upper[s] = CeilToFloat(
-        Breakpoints::RegionUpper(max_symbol[s], config.bits_per_segment));
+    region.lower[s] = lower[min_symbol[s]];
+    region.upper[s] = upper[max_symbol[s]];
   }
   return region;
 }
@@ -87,8 +76,10 @@ SaxRegion RegionFromSymbolRange(const SaxWord& min_symbol,
 SaxRegion RegionFromPrefix(const SaxWord& prefix,
                            std::span<const uint8_t> prefix_bits,
                            const SaxConfig& config) {
-  SaxRegion region;
   const int full_bits = config.bits_per_segment;
+  const auto& lower = Breakpoints::RegionLowerF(full_bits);
+  const auto& upper = Breakpoints::RegionUpperF(full_bits);
+  SaxRegion region;
   for (int s = 0; s < config.num_segments; ++s) {
     const int pb = prefix_bits[s];
     if (pb == 0) {
@@ -102,24 +93,17 @@ SaxRegion RegionFromPrefix(const SaxWord& prefix,
     const uint8_t lo_sym = static_cast<uint8_t>(prefix[s] << shift);
     const uint8_t hi_sym =
         static_cast<uint8_t>(((prefix[s] + 1u) << shift) - 1u);
-    region.lower[s] = FloorToFloat(Breakpoints::RegionLower(lo_sym, full_bits));
-    region.upper[s] = CeilToFloat(Breakpoints::RegionUpper(hi_sym, full_bits));
+    region.lower[s] = lower[lo_sym];
+    region.upper[s] = upper[hi_sym];
   }
   return region;
 }
 
 double MinDistSquared(std::span<const float> query_paa,
                       const SaxRegion& region, const SaxConfig& config) {
-  double acc = 0.0;
-  for (int s = 0; s < config.num_segments; ++s) {
-    double d = 0.0;
-    if (query_paa[s] < region.lower[s]) {
-      d = region.lower[s] - query_paa[s];
-    } else if (query_paa[s] > region.upper[s]) {
-      d = query_paa[s] - region.upper[s];
-    }
-    acc += d * d;
-  }
+  const double acc = kernels::Active().mindist_acc(
+      query_paa.data(), region.lower.data(), region.upper.data(),
+      config.num_segments);
   const double scale = static_cast<double>(config.series_length) /
                        config.num_segments;
   return scale * acc;

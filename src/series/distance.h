@@ -10,15 +10,34 @@
 namespace coconut {
 namespace series {
 
-/// Squared Euclidean distance between two equal-length series.
+/// Squared Euclidean distance between two equal-length series. Mismatched
+/// lengths are handled at the kernel boundary by comparing only the common
+/// prefix (a shorter operand used to be read out of bounds). Dispatches to
+/// the active series::kernels tier; SIMD tiers agree with scalar within
+/// summation-reassociation error (each term is computed in double).
 double EuclideanSquared(std::span<const Value> a, std::span<const Value> b);
 
 /// Squared Euclidean distance that stops accumulating once it exceeds
 /// `threshold` (returns a value > threshold in that case). Exact search uses
-/// this to abandon raw-series comparisons early.
+/// this to abandon raw-series comparisons early. Same length-mismatch and
+/// dispatch semantics as EuclideanSquared; with threshold = +inf the result
+/// is bit-identical to EuclideanSquared under the same kernel tier.
 double EuclideanSquaredEarlyAbandon(std::span<const Value> a,
                                     std::span<const Value> b,
                                     double threshold);
+
+/// Batched early abandon: scores ONE candidate series against many queries,
+/// each with its own abandon threshold, writing one squared distance per
+/// query into `out`. Every pointer in `queries` must reference
+/// candidate.size() floats, and `thresholds` / `out` must have
+/// queries.size() entries. out[q] equals
+/// EuclideanSquaredEarlyAbandon(query_q, candidate, thresholds[q])
+/// bit-for-bit under the same kernel tier; the batch form lets SIMD tiers
+/// widen the candidate once per block and reuse it across queries.
+void EuclideanSquaredEarlyAbandonBatch(std::span<const Value> candidate,
+                                       std::span<const float* const> queries,
+                                       std::span<const double> thresholds,
+                                       std::span<double> out);
 
 /// A hyper-rectangle in PAA space: per-segment value bounds. Regions come
 /// from a single iSAX word (the cell the word quantizes to) or from a range

@@ -1,6 +1,6 @@
 #include "series/isax.h"
 
-#include "series/breakpoints.h"
+#include "series/kernels.h"
 #include "series/paa.h"
 
 namespace coconut {
@@ -9,9 +9,8 @@ namespace series {
 SaxWord ComputeSaxFromPaa(std::span<const float> paa,
                           const SaxConfig& config) {
   SaxWord word{};
-  for (int s = 0; s < config.num_segments; ++s) {
-    word[s] = Breakpoints::Quantize(paa[s], config.bits_per_segment);
-  }
+  kernels::Active().sax_from_paa(paa.data(), config.num_segments,
+                                 config.bits_per_segment, word.data());
   return word;
 }
 

@@ -1,0 +1,228 @@
+#include "series/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "series/breakpoints.h"
+#include "series/kernels_internal.h"
+
+namespace coconut {
+namespace series {
+namespace kernels {
+
+namespace internal {
+
+void ComputePaaScalar(const float* values, size_t n, int num_segments,
+                      float* out) {
+  const double seg_len = static_cast<double>(n) / num_segments;
+  for (int s = 0; s < num_segments; ++s) {
+    const double begin = s * seg_len;
+    const double end = (s + 1) * seg_len;
+    double acc = 0.0;
+    // Whole points fully inside [begin, end), fractional ends weighted.
+    size_t first = static_cast<size_t>(begin);
+    size_t last =
+        static_cast<size_t>(end) + (end > static_cast<size_t>(end) ? 1 : 0);
+    if (last > n) last = n;
+    for (size_t i = first; i < last; ++i) {
+      double w = 1.0;
+      if (static_cast<double>(i) < begin) w -= begin - i;
+      if (static_cast<double>(i + 1) > end) w -= (i + 1) - end;
+      acc += w * values[i];
+    }
+    out[s] = static_cast<float>(acc / seg_len);
+  }
+}
+
+void SaxFromPaaScalar(const float* paa, int num_segments, int bits,
+                      uint8_t* out) {
+  for (int s = 0; s < num_segments; ++s) {
+    out[s] = Breakpoints::Quantize(paa[s], bits);
+  }
+}
+
+double EuclideanSqScalar(const float* a, const float* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double EuclideanSqEaScalar(const float* a, const float* b, size_t n,
+                           double threshold) {
+  double acc = 0.0;
+  size_t i = 0;
+  // Check the abandon condition every 16 points to keep the loop tight.
+  while (i + 16 <= n) {
+    for (size_t j = 0; j < 16; ++j, ++i) {
+      const double d = static_cast<double>(a[i]) - b[i];
+      acc += d * d;
+    }
+    if (acc > threshold) return acc;
+  }
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double MinDistAccScalar(const float* query_paa, const float* lower,
+                        const float* upper, int num_segments) {
+  double acc = 0.0;
+  for (int s = 0; s < num_segments; ++s) {
+    double d = 0.0;
+    if (query_paa[s] < lower[s]) {
+      d = lower[s] - query_paa[s];
+    } else if (query_paa[s] > upper[s]) {
+      d = query_paa[s] - upper[s];
+    }
+    acc += d * d;
+  }
+  return acc;
+}
+
+void EuclideanSqEaBatchScalar(const float* candidate, size_t n,
+                              const float* const* queries, size_t num_queries,
+                              const double* thresholds, double* out) {
+  for (size_t q = 0; q < num_queries; ++q) {
+    out[q] = EuclideanSqEaScalar(queries[q], candidate, n, thresholds[q]);
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+constexpr KernelTable kScalarTable = {
+    Isa::kScalar,
+    "scalar",
+    &internal::ComputePaaScalar,
+    &internal::SaxFromPaaScalar,
+    &internal::EuclideanSqScalar,
+    &internal::EuclideanSqEaScalar,
+    &internal::MinDistAccScalar,
+    &internal::EuclideanSqEaBatchScalar,
+};
+
+const KernelTable* TableFor(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &kScalarTable;
+    case Isa::kAvx2:
+      return internal::Avx2Table();
+    case Isa::kAvx512:
+      return internal::Avx512Table();
+  }
+  return nullptr;
+}
+
+bool CpuSupports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case Isa::kAvx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512vl");
+#else
+    default:
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelTable* DetectDefault() {
+  const char* env = std::getenv("COCONUT_FORCE_KERNEL");
+  if (env != nullptr && env[0] != '\0') {
+    bool known = true;
+    Isa forced = Isa::kScalar;
+    if (std::strcmp(env, "scalar") == 0) {
+      forced = Isa::kScalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      forced = Isa::kAvx2;
+    } else if (std::strcmp(env, "avx512") == 0) {
+      forced = Isa::kAvx512;
+    } else {
+      known = false;
+    }
+    if (known && IsaSupported(forced)) return TableFor(forced);
+    std::fprintf(stderr,
+                 "[coconut] COCONUT_FORCE_KERNEL=%s %s; using scalar kernels\n",
+                 env,
+                 known ? "is not supported by this build/CPU"
+                       : "is not a recognized kernel tier");
+    return &kScalarTable;
+  }
+  if (IsaSupported(Isa::kAvx512)) return TableFor(Isa::kAvx512);
+  if (IsaSupported(Isa::kAvx2)) return TableFor(Isa::kAvx2);
+  return &kScalarTable;
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+const KernelTable* ActiveSlow() {
+  const KernelTable* detected = DetectDefault();
+  const KernelTable* expected = nullptr;
+  // First caller wins; a concurrent racer detects the same table anyway.
+  g_active.compare_exchange_strong(expected, detected,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire);
+  return g_active.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+const KernelTable& Active() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) t = ActiveSlow();
+  return *t;
+}
+
+Isa ActiveIsa() { return Active().isa; }
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool IsaSupported(Isa isa) {
+  return CpuSupports(isa) && TableFor(isa) != nullptr;
+}
+
+std::vector<Isa> SupportedIsas() {
+  std::vector<Isa> out;
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+    if (IsaSupported(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+bool ForceIsa(Isa isa) {
+  if (!IsaSupported(isa)) return false;
+  g_active.store(TableFor(isa), std::memory_order_release);
+  return true;
+}
+
+void ResetForcedIsa() {
+  g_active.store(DetectDefault(), std::memory_order_release);
+}
+
+}  // namespace kernels
+}  // namespace series
+}  // namespace coconut

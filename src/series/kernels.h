@@ -1,0 +1,105 @@
+#ifndef COCONUT_SERIES_KERNELS_H_
+#define COCONUT_SERIES_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace coconut {
+namespace series {
+namespace kernels {
+
+/// Instruction sets the hot kernels are specialized for, in ascending
+/// capability order. kScalar is the reference implementation and is always
+/// available; the SIMD tiers exist only when both the compiler that built
+/// this binary and the CPU it runs on support them.
+enum class Isa : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// One implementation tier of the four hot kernels (plus the batched
+/// distance variant). All functions tolerate unaligned pointers and
+/// arbitrary lengths (remainders are handled with scalar tails).
+///
+/// Numerical contract, relied on by the oracle suites:
+///  - compute_paa, sax_from_paa and mindist_acc are BIT-IDENTICAL across
+///    ISAs (the SIMD variants keep scalar summation/comparison order, and
+///    fall back to scalar where they cannot).
+///  - euclidean_sq / euclidean_sq_ea reassociate the summation: SIMD
+///    results differ from scalar by at most the reassociation error of an
+///    n-term double sum (each term is computed bit-exactly in double, so
+///    the relative error is bounded by ~n * 2^-52 — far below the 1e-6
+///    tolerances the oracles use). Within one table, euclidean_sq_ea with
+///    threshold = +inf is bit-identical to euclidean_sq, and the batch
+///    kernel is bit-identical to per-query euclidean_sq_ea calls.
+struct KernelTable {
+  Isa isa;
+  const char* name;
+
+  /// PAA over `n` values into `num_segments` segment means. Requires
+  /// n >= 1 and num_segments >= 1; `out` has room for num_segments floats.
+  void (*compute_paa)(const float* values, size_t n, int num_segments,
+                      float* out);
+
+  /// Quantizes `num_segments` PAA means to iSAX symbols at cardinality
+  /// 2^bits. NaN quantizes to the top symbol and values exactly on a
+  /// breakpoint round up, matching std::upper_bound on the breakpoint
+  /// table.
+  void (*sax_from_paa)(const float* paa, int num_segments, int bits,
+                       uint8_t* out);
+
+  /// Sum over n points of (a[i] - b[i])^2, accumulated in double.
+  double (*euclidean_sq)(const float* a, const float* b, size_t n);
+
+  /// Early-abandoning variant: returns a partial sum > threshold as soon
+  /// as one is observed (checked every 16 points, like the scalar code).
+  double (*euclidean_sq_ea)(const float* a, const float* b, size_t n,
+                            double threshold);
+
+  /// Unscaled MINDIST accumulator: sum over segments of gap^2 where gap
+  /// is the distance from query_paa[s] to the interval
+  /// [lower[s], upper[s]] (zero inside). Callers apply the n/w scale.
+  double (*mindist_acc)(const float* query_paa, const float* lower,
+                        const float* upper, int num_segments);
+
+  /// Batched early abandon: scores ONE candidate against `num_queries`
+  /// queries (each of length n) with per-query thresholds, writing one
+  /// result per query. out[q] equals
+  /// euclidean_sq_ea(queries[q], candidate, n, thresholds[q]) of the same
+  /// table bit-for-bit; the batch amortizes loading/widening the candidate
+  /// across queries.
+  void (*euclidean_sq_ea_batch)(const float* candidate, size_t n,
+                                const float* const* queries,
+                                size_t num_queries, const double* thresholds,
+                                double* out);
+};
+
+/// The active table. Selected on first use: the COCONUT_FORCE_KERNEL
+/// environment variable ("scalar" | "avx2" | "avx512") wins when set — an
+/// unknown or unsupported value falls back to scalar with a warning on
+/// stderr — otherwise the highest CPUID-supported tier is picked.
+/// Thread-safe; the returned reference is valid for the process lifetime.
+const KernelTable& Active();
+
+/// Isa of the active table.
+Isa ActiveIsa();
+
+/// Stable lowercase name ("scalar", "avx2", "avx512").
+const char* IsaName(Isa isa);
+
+/// True when this build AND this CPU can run `isa` (kScalar always can).
+bool IsaSupported(Isa isa);
+
+/// All supported ISAs in ascending order; always starts with kScalar.
+std::vector<Isa> SupportedIsas();
+
+/// Test hook: pins dispatch to `isa`. Returns false (dispatch unchanged)
+/// when unsupported. Do not call concurrently with running queries.
+bool ForceIsa(Isa isa);
+
+/// Undoes ForceIsa: re-evaluates COCONUT_FORCE_KERNEL and CPUID.
+void ResetForcedIsa();
+
+}  // namespace kernels
+}  // namespace series
+}  // namespace coconut
+
+#endif  // COCONUT_SERIES_KERNELS_H_

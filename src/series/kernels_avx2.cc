@@ -1,0 +1,266 @@
+// AVX2+FMA tier of the hot kernels. Compiled with -mavx2 -mfma via
+// per-source CMake flags; self-guarded so a toolchain without those flags
+// still produces a (table-less) object file.
+#include "series/kernels_internal.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "series/breakpoints.h"
+
+namespace coconut {
+namespace series {
+namespace kernels {
+namespace internal {
+namespace {
+
+inline __m256d Widen4(const float* p) {
+  return _mm256_cvtps_pd(_mm_loadu_ps(p));
+}
+
+inline double HsumPair(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d s = _mm_add_pd(lo, hi);  // [v0+v2, v1+v3]
+  const __m128d sh = _mm_unpackhi_pd(s, s);
+  return _mm_cvtsd_f64(_mm_add_sd(s, sh));
+}
+
+// Fixed reduction order shared by euclidean_sq, euclidean_sq_ea and the
+// batch kernel so all three agree bit-for-bit within this table.
+inline double Hsum4(const __m256d acc[4]) {
+  return (HsumPair(acc[0]) + HsumPair(acc[1])) +
+         (HsumPair(acc[2]) + HsumPair(acc[3]));
+}
+
+// One 16-point block: widen both sides to double, subtract in double
+// (bit-exact vs the scalar kernel's per-term arithmetic) and FMA into the
+// four lane accumulators.
+inline void EuclidBlock(const float* a, const float* b, __m256d acc[4]) {
+  for (int k = 0; k < 4; ++k) {
+    const __m256d d = _mm256_sub_pd(Widen4(a + 4 * k), Widen4(b + 4 * k));
+    acc[k] = _mm256_fmadd_pd(d, d, acc[k]);
+  }
+}
+
+double EuclideanSqAvx2(const float* a, const float* b, size_t n) {
+  __m256d acc[4] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                    _mm256_setzero_pd(), _mm256_setzero_pd()};
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) EuclidBlock(a + i, b + i, acc);
+  double total = Hsum4(acc);
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+double EuclideanSqEaAvx2(const float* a, const float* b, size_t n,
+                         double threshold) {
+  __m256d acc[4] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                    _mm256_setzero_pd(), _mm256_setzero_pd()};
+  size_t i = 0;
+  while (i + 16 <= n) {
+    EuclidBlock(a + i, b + i, acc);
+    i += 16;
+    const double partial = Hsum4(acc);
+    if (partial > threshold) return partial;
+  }
+  double total = Hsum4(acc);
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+// Queries are scored in chunks so the per-query accumulator state stays in
+// registers / L1. Within a chunk the candidate block is widened once and
+// reused by every still-active query.
+constexpr size_t kBatchChunk = 4;
+
+void EuclideanSqEaBatchAvx2(const float* candidate, size_t n,
+                            const float* const* queries, size_t num_queries,
+                            const double* thresholds, double* out) {
+  for (size_t q0 = 0; q0 < num_queries; q0 += kBatchChunk) {
+    const size_t m =
+        (num_queries - q0 < kBatchChunk) ? num_queries - q0 : kBatchChunk;
+    __m256d acc[kBatchChunk][4];
+    bool done[kBatchChunk] = {};
+    for (size_t q = 0; q < m; ++q) {
+      for (int k = 0; k < 4; ++k) acc[q][k] = _mm256_setzero_pd();
+    }
+    size_t active = m;
+    size_t i = 0;
+    while (i + 16 <= n && active > 0) {
+      __m256d cand[4];
+      for (int k = 0; k < 4; ++k) cand[k] = Widen4(candidate + i + 4 * k);
+      for (size_t q = 0; q < m; ++q) {
+        if (done[q]) continue;
+        const float* p = queries[q0 + q] + i;
+        for (int k = 0; k < 4; ++k) {
+          const __m256d d = _mm256_sub_pd(Widen4(p + 4 * k), cand[k]);
+          acc[q][k] = _mm256_fmadd_pd(d, d, acc[q][k]);
+        }
+        const double partial = Hsum4(acc[q]);
+        if (partial > thresholds[q0 + q]) {
+          out[q0 + q] = partial;
+          done[q] = true;
+          --active;
+        }
+      }
+      i += 16;
+    }
+    for (size_t q = 0; q < m; ++q) {
+      if (done[q]) continue;
+      double total = Hsum4(acc[q]);
+      const float* p = queries[q0 + q];
+      for (size_t j = i; j < n; ++j) {
+        const double d = static_cast<double>(p[j]) - candidate[j];
+        total += d * d;
+      }
+      out[q0 + q] = total;
+    }
+  }
+}
+
+// Segments-in-lanes PAA for the even-division case: lane s sums
+// values[s*L + j] for ascending j, in double — the exact order and
+// precision of the scalar kernel, so results are bit-identical. The
+// fractional case delegates to scalar.
+void ComputePaaAvx2(const float* values, size_t n, int num_segments,
+                    float* out) {
+  const size_t ns = static_cast<size_t>(num_segments);
+  // Fractional segment bounds take the scalar path (bit-identical anyway);
+  // so do lengths beyond the int32 gather-index range.
+  if (n % ns != 0 || n > (1u << 30)) {
+    ComputePaaScalar(values, n, num_segments, out);
+    return;
+  }
+  const size_t seg_len = n / ns;
+  const double seg_len_d = static_cast<double>(seg_len);
+  int s = 0;
+  for (; s + 4 <= num_segments; s += 4) {
+    __m128i idx = _mm_setr_epi32(
+        static_cast<int>(s * seg_len), static_cast<int>((s + 1) * seg_len),
+        static_cast<int>((s + 2) * seg_len), static_cast<int>((s + 3) * seg_len));
+    const __m128i ones = _mm_set1_epi32(1);
+    __m256d acc = _mm256_setzero_pd();
+    for (size_t j = 0; j < seg_len; ++j) {
+      const __m128 v = _mm_i32gather_ps(values, idx, 4);
+      acc = _mm256_add_pd(acc, _mm256_cvtps_pd(v));
+      idx = _mm_add_epi32(idx, ones);
+    }
+    const __m256d mean = _mm256_div_pd(acc, _mm256_set1_pd(seg_len_d));
+    _mm_storeu_ps(out + s, _mm256_cvtpd_ps(mean));
+  }
+  for (; s < num_segments; ++s) {
+    double acc = 0.0;
+    const float* p = values + static_cast<size_t>(s) * seg_len;
+    for (size_t j = 0; j < seg_len; ++j) acc += p[j];
+    out[s] = static_cast<float>(acc / seg_len_d);
+  }
+}
+
+// Branchless 4-lane binary search over the breakpoint table. The advance
+// predicate !(v < table[mid]) (i.e. NLT, unordered-true) reproduces
+// std::upper_bound semantics including NaN -> top symbol.
+void SaxFromPaaAvx2(const float* paa, int num_segments, int bits,
+                    uint8_t* out) {
+  const double* tab = Breakpoints::ForBits(bits).data();
+  int s = 0;
+  for (; s + 4 <= num_segments; s += 4) {
+    const __m256d v = Widen4(paa + s);
+    __m256i sym = _mm256_setzero_si256();  // 4 x int64 symbols
+    for (int b = bits - 1; b >= 0; --b) {
+      const long long step = 1ll << b;
+      const __m256i mid = _mm256_add_epi64(sym, _mm256_set1_epi64x(step - 1));
+      const __m256d t = _mm256_i64gather_pd(tab, mid, 8);
+      const __m256d ge = _mm256_cmp_pd(v, t, _CMP_NLT_UQ);
+      sym = _mm256_add_epi64(
+          sym, _mm256_and_si256(_mm256_castpd_si256(ge),
+                                _mm256_set1_epi64x(step)));
+    }
+    alignas(32) long long lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), sym);
+    for (int k = 0; k < 4; ++k) out[s + k] = static_cast<uint8_t>(lanes[k]);
+  }
+  if (s < num_segments) SaxFromPaaScalar(paa + s, num_segments - s, bits, out + s);
+}
+
+// Per-segment gaps vectorized in float — max(max(lo-q, q-up), 0) matches
+// the scalar branches including NaN/inf edge cases (maxps returns its
+// second operand on unordered compares) — then squared and summed in
+// scalar order in double, so the result is bit-identical to scalar.
+double MinDistAccAvx2(const float* query_paa, const float* lower,
+                      const float* upper, int num_segments) {
+  if (num_segments > 16) {
+    return MinDistAccScalar(query_paa, lower, upper, num_segments);
+  }
+  float gap[16];
+  int s = 0;
+  for (; s + 8 <= num_segments; s += 8) {
+    const __m256 q = _mm256_loadu_ps(query_paa + s);
+    const __m256 lo = _mm256_loadu_ps(lower + s);
+    const __m256 up = _mm256_loadu_ps(upper + s);
+    const __m256 g = _mm256_max_ps(
+        _mm256_max_ps(_mm256_sub_ps(lo, q), _mm256_sub_ps(q, up)),
+        _mm256_setzero_ps());
+    _mm256_storeu_ps(gap + s, g);
+  }
+  for (; s < num_segments; ++s) {
+    float g = 0.0f;
+    if (query_paa[s] < lower[s]) {
+      g = lower[s] - query_paa[s];
+    } else if (query_paa[s] > upper[s]) {
+      g = query_paa[s] - upper[s];
+    }
+    gap[s] = g;
+  }
+  double acc = 0.0;
+  for (int k = 0; k < num_segments; ++k) {
+    const double d = gap[k];
+    acc += d * d;
+  }
+  return acc;
+}
+
+constexpr KernelTable kAvx2Table = {
+    Isa::kAvx2,
+    "avx2",
+    &ComputePaaAvx2,
+    &SaxFromPaaAvx2,
+    &EuclideanSqAvx2,
+    &EuclideanSqEaAvx2,
+    &MinDistAccAvx2,
+    &EuclideanSqEaBatchAvx2,
+};
+
+}  // namespace
+
+const KernelTable* Avx2Table() { return &kAvx2Table; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace series
+}  // namespace coconut
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace coconut {
+namespace series {
+namespace kernels {
+namespace internal {
+
+const KernelTable* Avx2Table() { return nullptr; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace series
+}  // namespace coconut
+
+#endif

@@ -1,0 +1,264 @@
+// AVX-512 (F+DQ+VL) tier of the hot kernels. Compiled with
+// -mavx512f -mavx512dq -mavx512vl -mfma via per-source CMake flags;
+// self-guarded so a toolchain without them still produces an object file.
+//
+// Same numerical contract as the AVX2 tier: PAA / SAX / MINDIST are
+// bit-identical to scalar; Euclidean sums reassociate (here into two
+// 8-lane double accumulators per 16-point block) with euclidean_sq,
+// euclidean_sq_ea and the batch kernel sharing one reduction order.
+#include "series/kernels_internal.h"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__) && defined(__AVX512VL__) && \
+    defined(__FMA__)
+
+#include <immintrin.h>
+
+#include "series/breakpoints.h"
+
+namespace coconut {
+namespace series {
+namespace kernels {
+namespace internal {
+namespace {
+
+inline __m512d Widen8(const float* p) {
+  return _mm512_cvtps_pd(_mm256_loadu_ps(p));
+}
+
+inline double HsumPair256(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  const __m128d sh = _mm_unpackhi_pd(s, s);
+  return _mm_cvtsd_f64(_mm_add_sd(s, sh));
+}
+
+inline double Hsum512(__m512d v) {
+  const __m256d lo = _mm512_castpd512_pd256(v);
+  const __m256d hi = _mm512_extractf64x4_pd(v, 1);
+  return HsumPair256(_mm256_add_pd(lo, hi));
+}
+
+// Fixed reduction order shared by all three Euclidean kernels of this tier.
+inline double Hsum2(const __m512d acc[2]) {
+  return Hsum512(acc[0]) + Hsum512(acc[1]);
+}
+
+inline void EuclidBlock(const float* a, const float* b, __m512d acc[2]) {
+  for (int k = 0; k < 2; ++k) {
+    const __m512d d = _mm512_sub_pd(Widen8(a + 8 * k), Widen8(b + 8 * k));
+    acc[k] = _mm512_fmadd_pd(d, d, acc[k]);
+  }
+}
+
+double EuclideanSqAvx512(const float* a, const float* b, size_t n) {
+  __m512d acc[2] = {_mm512_setzero_pd(), _mm512_setzero_pd()};
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) EuclidBlock(a + i, b + i, acc);
+  double total = Hsum2(acc);
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+double EuclideanSqEaAvx512(const float* a, const float* b, size_t n,
+                           double threshold) {
+  __m512d acc[2] = {_mm512_setzero_pd(), _mm512_setzero_pd()};
+  size_t i = 0;
+  while (i + 16 <= n) {
+    EuclidBlock(a + i, b + i, acc);
+    i += 16;
+    const double partial = Hsum2(acc);
+    if (partial > threshold) return partial;
+  }
+  double total = Hsum2(acc);
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+constexpr size_t kBatchChunk = 8;
+
+void EuclideanSqEaBatchAvx512(const float* candidate, size_t n,
+                              const float* const* queries, size_t num_queries,
+                              const double* thresholds, double* out) {
+  for (size_t q0 = 0; q0 < num_queries; q0 += kBatchChunk) {
+    const size_t m =
+        (num_queries - q0 < kBatchChunk) ? num_queries - q0 : kBatchChunk;
+    __m512d acc[kBatchChunk][2];
+    bool done[kBatchChunk] = {};
+    for (size_t q = 0; q < m; ++q) {
+      acc[q][0] = _mm512_setzero_pd();
+      acc[q][1] = _mm512_setzero_pd();
+    }
+    size_t active = m;
+    size_t i = 0;
+    while (i + 16 <= n && active > 0) {
+      __m512d cand[2];
+      cand[0] = Widen8(candidate + i);
+      cand[1] = Widen8(candidate + i + 8);
+      for (size_t q = 0; q < m; ++q) {
+        if (done[q]) continue;
+        const float* p = queries[q0 + q] + i;
+        for (int k = 0; k < 2; ++k) {
+          const __m512d d = _mm512_sub_pd(Widen8(p + 8 * k), cand[k]);
+          acc[q][k] = _mm512_fmadd_pd(d, d, acc[q][k]);
+        }
+        const double partial = Hsum2(acc[q]);
+        if (partial > thresholds[q0 + q]) {
+          out[q0 + q] = partial;
+          done[q] = true;
+          --active;
+        }
+      }
+      i += 16;
+    }
+    for (size_t q = 0; q < m; ++q) {
+      if (done[q]) continue;
+      double total = Hsum2(acc[q]);
+      const float* p = queries[q0 + q];
+      for (size_t j = i; j < n; ++j) {
+        const double d = static_cast<double>(p[j]) - candidate[j];
+        total += d * d;
+      }
+      out[q0 + q] = total;
+    }
+  }
+}
+
+// Segments-in-lanes PAA (see the AVX2 tier): 8 segments per __m512d, each
+// lane summing its segment in scalar order in double — bit-identical to
+// scalar. Fractional division and oversized inputs delegate to scalar.
+void ComputePaaAvx512(const float* values, size_t n, int num_segments,
+                      float* out) {
+  const size_t ns = static_cast<size_t>(num_segments);
+  if (n % ns != 0 || n > (1u << 30)) {
+    ComputePaaScalar(values, n, num_segments, out);
+    return;
+  }
+  const size_t seg_len = n / ns;
+  const double seg_len_d = static_cast<double>(seg_len);
+  int s = 0;
+  for (; s + 8 <= num_segments; s += 8) {
+    alignas(32) int idx0[8];
+    for (int k = 0; k < 8; ++k) {
+      idx0[k] = static_cast<int>((s + k) * seg_len);
+    }
+    __m256i idx = _mm256_load_si256(reinterpret_cast<const __m256i*>(idx0));
+    const __m256i ones = _mm256_set1_epi32(1);
+    __m512d acc = _mm512_setzero_pd();
+    for (size_t j = 0; j < seg_len; ++j) {
+      const __m256 v = _mm256_i32gather_ps(values, idx, 4);
+      acc = _mm512_add_pd(acc, _mm512_cvtps_pd(v));
+      idx = _mm256_add_epi32(idx, ones);
+    }
+    const __m512d mean = _mm512_div_pd(acc, _mm512_set1_pd(seg_len_d));
+    _mm256_storeu_ps(out + s, _mm512_cvtpd_ps(mean));
+  }
+  for (; s < num_segments; ++s) {
+    double acc = 0.0;
+    const float* p = values + static_cast<size_t>(s) * seg_len;
+    for (size_t j = 0; j < seg_len; ++j) acc += p[j];
+    out[s] = static_cast<float>(acc / seg_len_d);
+  }
+}
+
+// Branchless 8-lane binary search; mask-add on !(v < t) (NLT, unordered
+// true) matches std::upper_bound semantics including NaN -> top symbol.
+void SaxFromPaaAvx512(const float* paa, int num_segments, int bits,
+                      uint8_t* out) {
+  const double* tab = Breakpoints::ForBits(bits).data();
+  int s = 0;
+  for (; s + 8 <= num_segments; s += 8) {
+    const __m512d v = Widen8(paa + s);
+    __m512i sym = _mm512_setzero_si512();  // 8 x int64 symbols
+    for (int b = bits - 1; b >= 0; --b) {
+      const long long step = 1ll << b;
+      const __m512i mid = _mm512_add_epi64(sym, _mm512_set1_epi64(step - 1));
+      const __m512d t = _mm512_i64gather_pd(mid, tab, 8);
+      const __mmask8 ge = _mm512_cmp_pd_mask(v, t, _CMP_NLT_UQ);
+      sym = _mm512_mask_add_epi64(sym, ge, sym, _mm512_set1_epi64(step));
+    }
+    alignas(64) long long lanes[8];
+    _mm512_store_si512(reinterpret_cast<__m512i*>(lanes), sym);
+    for (int k = 0; k < 8; ++k) out[s + k] = static_cast<uint8_t>(lanes[k]);
+  }
+  if (s < num_segments) {
+    SaxFromPaaScalar(paa + s, num_segments - s, bits, out + s);
+  }
+}
+
+// Same gap formulation as the AVX2 tier (bit-identical to scalar); with at
+// most 16 segments a 256-bit sweep is already full-width.
+double MinDistAccAvx512(const float* query_paa, const float* lower,
+                        const float* upper, int num_segments) {
+  if (num_segments > 16) {
+    return MinDistAccScalar(query_paa, lower, upper, num_segments);
+  }
+  float gap[16];
+  int s = 0;
+  for (; s + 8 <= num_segments; s += 8) {
+    const __m256 q = _mm256_loadu_ps(query_paa + s);
+    const __m256 lo = _mm256_loadu_ps(lower + s);
+    const __m256 up = _mm256_loadu_ps(upper + s);
+    const __m256 g = _mm256_max_ps(
+        _mm256_max_ps(_mm256_sub_ps(lo, q), _mm256_sub_ps(q, up)),
+        _mm256_setzero_ps());
+    _mm256_storeu_ps(gap + s, g);
+  }
+  for (; s < num_segments; ++s) {
+    float g = 0.0f;
+    if (query_paa[s] < lower[s]) {
+      g = lower[s] - query_paa[s];
+    } else if (query_paa[s] > upper[s]) {
+      g = query_paa[s] - upper[s];
+    }
+    gap[s] = g;
+  }
+  double acc = 0.0;
+  for (int k = 0; k < num_segments; ++k) {
+    const double d = gap[k];
+    acc += d * d;
+  }
+  return acc;
+}
+
+constexpr KernelTable kAvx512Table = {
+    Isa::kAvx512,
+    "avx512",
+    &ComputePaaAvx512,
+    &SaxFromPaaAvx512,
+    &EuclideanSqAvx512,
+    &EuclideanSqEaAvx512,
+    &MinDistAccAvx512,
+    &EuclideanSqEaBatchAvx512,
+};
+
+}  // namespace
+
+const KernelTable* Avx512Table() { return &kAvx512Table; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace series
+}  // namespace coconut
+
+#else  // !(__AVX512F__ && __AVX512DQ__ && __AVX512VL__ && __FMA__)
+
+namespace coconut {
+namespace series {
+namespace kernels {
+namespace internal {
+
+const KernelTable* Avx512Table() { return nullptr; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace series
+}  // namespace coconut
+
+#endif

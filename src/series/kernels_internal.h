@@ -1,0 +1,42 @@
+#ifndef COCONUT_SERIES_KERNELS_INTERNAL_H_
+#define COCONUT_SERIES_KERNELS_INTERNAL_H_
+
+#include "series/kernels.h"
+
+// Shared between the dispatch TU (kernels.cc) and the per-ISA TUs
+// (kernels_avx2.cc / kernels_avx512.cc). Not part of the public API.
+
+namespace coconut {
+namespace series {
+namespace kernels {
+namespace internal {
+
+/// Table accessors for the ISA-specific translation units. Each returns
+/// nullptr when the TU was compiled without its instruction set (the TUs
+/// self-guard on __AVX2__ / __AVX512F__ so a toolchain without the flags
+/// still links).
+const KernelTable* Avx2Table();
+const KernelTable* Avx512Table();
+
+/// Scalar reference kernels. The SIMD TUs call these for fallbacks
+/// (fractional PAA segment bounds) and the dispatch TU builds the scalar
+/// table from them. Preconditions as documented on KernelTable.
+void ComputePaaScalar(const float* values, size_t n, int num_segments,
+                      float* out);
+void SaxFromPaaScalar(const float* paa, int num_segments, int bits,
+                      uint8_t* out);
+double EuclideanSqScalar(const float* a, const float* b, size_t n);
+double EuclideanSqEaScalar(const float* a, const float* b, size_t n,
+                           double threshold);
+double MinDistAccScalar(const float* query_paa, const float* lower,
+                        const float* upper, int num_segments);
+void EuclideanSqEaBatchScalar(const float* candidate, size_t n,
+                              const float* const* queries, size_t num_queries,
+                              const double* thresholds, double* out);
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace series
+}  // namespace coconut
+
+#endif  // COCONUT_SERIES_KERNELS_INTERNAL_H_

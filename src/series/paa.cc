@@ -1,33 +1,29 @@
 #include "series/paa.h"
 
+#include <algorithm>
+
+#include "series/kernels.h"
+
 namespace coconut {
 namespace series {
 
 void ComputePaa(std::span<const Value> values, int num_segments,
                 std::span<float> out) {
-  const size_t n = values.size();
-  const double seg_len = static_cast<double>(n) / num_segments;
-  for (int s = 0; s < num_segments; ++s) {
-    const double begin = s * seg_len;
-    const double end = (s + 1) * seg_len;
-    double acc = 0.0;
-    // Whole points fully inside [begin, end), fractional ends weighted.
-    size_t first = static_cast<size_t>(begin);
-    size_t last = static_cast<size_t>(end) + (end > static_cast<size_t>(end) ? 1 : 0);
-    if (last > n) last = n;
-    for (size_t i = first; i < last; ++i) {
-      double w = 1.0;
-      if (static_cast<double>(i) < begin) w -= begin - i;
-      if (static_cast<double>(i + 1) > end) w -= (i + 1) - end;
-      acc += w * values[i];
-    }
-    out[s] = static_cast<float>(acc / seg_len);
+  if (num_segments <= 0) return;
+  if (values.empty()) {
+    // An empty series used to divide 0/0 and emit NaN segments that poison
+    // SAX words downstream; the mean of nothing is defined as 0 (the
+    // z-normalized global mean) instead.
+    std::fill_n(out.begin(), num_segments, 0.0f);
+    return;
   }
+  kernels::Active().compute_paa(values.data(), values.size(), num_segments,
+                                out.data());
 }
 
 std::vector<float> ComputePaa(std::span<const Value> values,
                               int num_segments) {
-  std::vector<float> out(num_segments);
+  std::vector<float> out(num_segments > 0 ? num_segments : 0);
   ComputePaa(values, num_segments, out);
   return out;
 }

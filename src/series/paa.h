@@ -12,10 +12,14 @@ namespace series {
 /// Piecewise Aggregate Approximation: the mean of each of `num_segments`
 /// equal-length chunks. The series length need not divide evenly; boundary
 /// points contribute fractionally so the approximation stays a valid basis
-/// for the lower-bounding distance.
+/// for the lower-bounding distance. Degenerate inputs have defined
+/// semantics: an empty series yields all-zero segments (never NaN), series
+/// shorter than num_segments use fractional-width segments, and
+/// num_segments <= 0 writes nothing. Dispatches to the active
+/// series::kernels tier; all tiers produce bit-identical PAA.
 std::vector<float> ComputePaa(std::span<const Value> values, int num_segments);
 
-/// In-place variant writing into `out` (size must be num_segments).
+/// In-place variant writing into `out` (size must be >= num_segments).
 void ComputePaa(std::span<const Value> values, int num_segments,
                 std::span<float> out);
 

@@ -347,5 +347,77 @@ TEST(JsonParseTest, DumpRoundTripsThroughWriter) {
   EXPECT_EQ(parsed.value().Dump(), doc);
 }
 
+// --------------------------------------------- packed numeric arrays
+
+TEST(JsonPackedArrayTest, AllNumericArraysPack) {
+  JsonValue v = JsonParse("[1,-2,3.5,0,4294967296]").TakeValue();
+  EXPECT_TRUE(v.is_packed_array());
+  EXPECT_TRUE(v.is_array());
+  ASSERT_EQ(v.array_size(), 5u);
+  // array() is node storage and intentionally empty for the packed form.
+  EXPECT_TRUE(v.array().empty());
+  EXPECT_EQ(v.packed_numbers().size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_TRUE(v.element_is_number(i));
+  EXPECT_EQ(v.NumberAt(2), 3.5);
+  EXPECT_EQ(v.ElementAsInt64(1).value(), -2);
+  EXPECT_EQ(v.ElementAsUint64(4).value(), 4294967296u);
+  EXPECT_FALSE(v.ElementAsUint64(1).ok());  // negative
+  EXPECT_FALSE(v.ElementAsInt64(2).ok());   // fractional
+
+  // Empty and mixed arrays stay node-backed; uniform accessors agree.
+  EXPECT_FALSE(JsonParse("[]").TakeValue().is_packed_array());
+  JsonValue mixed = JsonParse("[1,\"x\",2]").TakeValue();
+  EXPECT_FALSE(mixed.is_packed_array());
+  EXPECT_EQ(mixed.array_size(), 3u);
+  EXPECT_TRUE(mixed.element_is_number(0));
+  EXPECT_FALSE(mixed.element_is_number(1));
+  EXPECT_EQ(mixed.ElementAsInt64(2).value(), 2);
+}
+
+TEST(JsonPackedArrayTest, SpellingTagsKeepDumpByteIdentical) {
+  // Int, uint and double spellings re-emit exactly as written even though
+  // the packed store holds every value as a double (a raw %.12g re-emission
+  // of a 13+-digit integer would corrupt it).
+  const std::string doc = "[0,-7,2.25,1e3,9007199254740992,-9007199254740992]";
+  JsonValue v = JsonParse(doc).TakeValue();
+  ASSERT_TRUE(v.is_packed_array());
+  EXPECT_EQ(v.Dump(), "[0,-7,2.25,1000,9007199254740992,-9007199254740992]");
+
+  // Integers beyond 2^53 do not survive the double round-trip: the array
+  // demotes to nodes and stays exact.
+  JsonValue big = JsonParse("[1,18446744073709551615]").TakeValue();
+  EXPECT_FALSE(big.is_packed_array());
+  EXPECT_EQ(big.ElementAsUint64(1).value(), UINT64_MAX);
+  EXPECT_EQ(big.Dump(), "[1,18446744073709551615]");
+  JsonValue negbig = JsonParse("[-9223372036854775808]").TakeValue();
+  EXPECT_FALSE(negbig.is_packed_array());
+  EXPECT_EQ(negbig.ElementAsInt64(0).value(), INT64_MIN);
+}
+
+TEST(JsonPackedArrayTest, PackedMatrixShrinksDomByOrderOfMagnitude) {
+  // The satellite bug: a parsed series matrix used to retain one full
+  // JsonValue node (~160 bytes) per float. Build a 64x128 matrix and pin
+  // the packed DOM under a per-element budget no node DOM can meet.
+  std::string doc = "[";
+  for (int row = 0; row < 64; ++row) {
+    doc += row ? ",[" : "[";
+    for (int col = 0; col < 128; ++col) {
+      doc += col ? ",0.125" : "0.125";
+    }
+    doc += "]";
+  }
+  doc += "]";
+  JsonValue v = JsonParse(doc).TakeValue();
+  ASSERT_EQ(v.array_size(), 64u);
+  ASSERT_TRUE(v.array()[0].is_packed_array());
+  const size_t elements = 64 * 128;
+  const size_t bytes = v.DeepMemoryBytes();
+  // Packed cost is 9 bytes/element (double + tag) plus vector slack; a
+  // node-backed DOM costs sizeof(JsonValue) >= 100 bytes/element. Assert
+  // the packed bound with generous headroom.
+  EXPECT_LT(bytes, elements * 32) << bytes;
+  EXPECT_GE(bytes, elements * 9);  // sanity: the data itself is counted
+}
+
 }  // namespace
 }  // namespace coconut

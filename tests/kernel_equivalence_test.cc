@@ -1,0 +1,392 @@
+// The SIMD-vs-scalar oracle for the series::kernels dispatch layer. Every
+// supported ISA tier is pinned via ForceIsa and compared against the scalar
+// reference on randomized and adversarial inputs (NaN/Inf, unaligned
+// pointers, remainder lengths, breakpoint-exact values):
+//  - ComputePaa, SAX symbolization and the MINDIST accumulator must be
+//    BIT-identical across tiers (the table contract the oracles build on);
+//  - EuclideanSquared may reassociate the summation, so tiers agree within
+//    an n-term reassociation bound; within one tier, early abandon at
+//    threshold = +inf and the batch kernel are bit-identical to it.
+// The whole binary also reruns with COCONUT_FORCE_KERNEL=scalar via the
+// <name>_forced_scalar ctest entry, pinning the env-knob path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "series/breakpoints.h"
+#include "series/distance.h"
+#include "series/isax.h"
+#include "series/kernels.h"
+#include "series/paa.h"
+
+namespace coconut {
+namespace series {
+namespace {
+
+namespace k = kernels;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr float kNanF = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInfF = std::numeric_limits<float>::infinity();
+
+/// Bitwise float equality: NaN payloads and signed zeros must match too,
+/// that is what "bit-identical across tiers" means.
+bool SameBits(float a, float b) {
+  uint32_t ua;
+  uint32_t ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+bool SameBits(double a, double b) {
+  uint64_t ua;
+  uint64_t ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+std::vector<float> RandomValues(Rng* rng, size_t n) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng->NextGaussian());
+  return v;
+}
+
+/// Sprinkles non-finite values into a copy of `v` (every 7th position).
+std::vector<float> WithSpecials(std::vector<float> v) {
+  static const float specials[] = {kNanF, kInfF, -kInfF, 0.0f, -0.0f};
+  for (size_t i = 0; i < v.size(); i += 7) {
+    v[i] = specials[(i / 7) % 5];
+  }
+  return v;
+}
+
+/// Runs in a scalar-pinned scope so tests can build references while the
+/// fixture keeps the parameterized tier active.
+template <typename Fn>
+auto UnderIsa(k::Isa isa, Fn&& fn) {
+  EXPECT_TRUE(k::ForceIsa(isa));
+  auto result = fn();
+  return result;
+}
+
+class KernelEquivalenceTest : public ::testing::TestWithParam<k::Isa> {
+ protected:
+  void TearDown() override { k::ResetForcedIsa(); }
+
+  /// Pins the tier under test (call after building scalar references).
+  void UseParam() { ASSERT_TRUE(k::ForceIsa(GetParam())); }
+};
+
+std::string IsaParamName(const ::testing::TestParamInfo<k::Isa>& info) {
+  return k::IsaName(info.param);
+}
+
+// ------------------------------------------------------------------ PAA
+
+TEST_P(KernelEquivalenceTest, PaaBitIdentical) {
+  Rng rng(11);
+  const size_t lengths[] = {1, 2, 3, 5, 7, 8, 15, 16, 17,
+                            33, 63, 64, 96, 100, 128, 256, 1000, 1024};
+  for (const size_t n : lengths) {
+    for (int segments = 1; segments <= 16; ++segments) {
+      const auto values = RandomValues(&rng, n);
+      const auto adversarial = WithSpecials(values);
+      for (const auto& input : {values, adversarial}) {
+        const auto reference = UnderIsa(k::Isa::kScalar, [&] {
+          return ComputePaa(input, segments);
+        });
+        UseParam();
+        const auto got = ComputePaa(input, segments);
+        ASSERT_EQ(got.size(), reference.size());
+        for (size_t s = 0; s < got.size(); ++s) {
+          EXPECT_TRUE(SameBits(got[s], reference[s]))
+              << "n=" << n << " segments=" << segments << " s=" << s
+              << " got=" << got[s] << " want=" << reference[s];
+        }
+      }
+    }
+  }
+}
+
+TEST_P(KernelEquivalenceTest, PaaUnalignedOutput) {
+  Rng rng(12);
+  const auto values = RandomValues(&rng, 128);
+  const auto reference = UnderIsa(k::Isa::kScalar, [&] {
+    return ComputePaa(values, 8);
+  });
+  UseParam();
+  // Misalign both input and output by every sub-vector offset.
+  std::vector<float> in_buf(values.size() + 16);
+  std::vector<float> out_buf(8 + 16);
+  for (size_t off = 0; off < 9; ++off) {
+    std::copy(values.begin(), values.end(), in_buf.begin() + off);
+    std::span<const float> in(in_buf.data() + off, values.size());
+    std::span<float> out(out_buf.data() + off, 8);
+    ComputePaa(in, 8, out);
+    for (size_t s = 0; s < 8; ++s) {
+      EXPECT_TRUE(SameBits(out[s], reference[s])) << "offset " << off;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ SAX
+
+TEST_P(KernelEquivalenceTest, SaxBitIdenticalAndMatchesQuantize) {
+  Rng rng(13);
+  SaxConfig config;
+  for (int bits = 1; bits <= 8; ++bits) {
+    for (int segments = 1; segments <= 16; ++segments) {
+      config.num_segments = segments;
+      config.bits_per_segment = bits;
+      config.series_length = std::max(segments, 64);
+      auto paa = RandomValues(&rng, segments);
+      // Adversarial PAA: specials plus values exactly on breakpoints
+      // (rounding direction there must match std::upper_bound).
+      auto adversarial = WithSpecials(paa);
+      const auto& table = Breakpoints::ForBits(bits);
+      for (size_t s = 0; s + 1 < adversarial.size() && s < table.size();
+           s += 2) {
+        adversarial[s + 1] = static_cast<float>(table[s % table.size()]);
+      }
+      for (const auto& input : {paa, adversarial}) {
+        const SaxWord reference = UnderIsa(k::Isa::kScalar, [&] {
+          return ComputeSaxFromPaa(input, config);
+        });
+        // The scalar tier itself must agree with the Breakpoints oracle.
+        for (int s = 0; s < segments; ++s) {
+          EXPECT_EQ(reference[s],
+                    Breakpoints::Quantize(input[s], bits))
+              << "bits=" << bits << " s=" << s << " v=" << input[s];
+        }
+        UseParam();
+        const SaxWord got = ComputeSaxFromPaa(input, config);
+        EXPECT_EQ(got, reference) << "bits=" << bits
+                                  << " segments=" << segments;
+      }
+    }
+  }
+}
+
+TEST_P(KernelEquivalenceTest, SaxNanQuantizesToTopSymbol) {
+  UseParam();
+  SaxConfig config;
+  config.num_segments = 4;
+  config.bits_per_segment = 8;
+  const float paa[4] = {kNanF, kInfF, -kInfF, 0.0f};
+  const SaxWord word = ComputeSaxFromPaa(std::span<const float>(paa, 4),
+                                         config);
+  EXPECT_EQ(word[0], 255);  // NaN compares "not less" everywhere.
+  EXPECT_EQ(word[1], 255);
+  EXPECT_EQ(word[2], 0);
+}
+
+// -------------------------------------------------------------- MINDIST
+
+TEST_P(KernelEquivalenceTest, MindistBitIdentical) {
+  Rng rng(14);
+  SaxConfig config;
+  for (int bits : {1, 4, 8}) {
+    for (int segments = 1; segments <= 16; ++segments) {
+      config.num_segments = segments;
+      config.bits_per_segment = bits;
+      config.series_length = std::max(segments * 4, 64);
+      for (int round = 0; round < 8; ++round) {
+        SaxWord word{};
+        for (int s = 0; s < segments; ++s) {
+          word[s] = static_cast<uint8_t>(rng.NextUint64() &
+                                         ((1u << bits) - 1));
+        }
+        const SaxRegion region = RegionFromSax(word, config);
+        auto paa = RandomValues(&rng, segments);
+        if (round % 2 == 1) paa = WithSpecials(paa);
+        const double reference = UnderIsa(k::Isa::kScalar, [&] {
+          return MinDistSquared(paa, region, config);
+        });
+        UseParam();
+        const double got = MinDistSquared(paa, region, config);
+        EXPECT_TRUE(SameBits(got, reference))
+            << "bits=" << bits << " segments=" << segments << " got=" << got
+            << " want=" << reference;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ Euclidean
+
+TEST_P(KernelEquivalenceTest, EuclideanWithinReassociationBound) {
+  Rng rng(15);
+  const size_t lengths[] = {1, 2, 3, 15, 16, 17, 31, 32, 33, 63, 64,
+                            65, 100, 255, 256, 257, 1000};
+  for (const size_t n : lengths) {
+    const auto a = RandomValues(&rng, n);
+    const auto b = RandomValues(&rng, n);
+    const double reference = UnderIsa(k::Isa::kScalar, [&] {
+      return EuclideanSquared(a, b);
+    });
+    UseParam();
+    const double got = EuclideanSquared(a, b);
+    // Each (a-b)^2 term is computed bit-exactly in double on every tier;
+    // only the summation order differs. For m non-negative terms the
+    // reassociation error is < m * eps * sum, with headroom doubled.
+    const double tol =
+        reference * static_cast<double>(n) * 2.0 *
+        std::numeric_limits<double>::epsilon();
+    EXPECT_NEAR(got, reference, tol) << "n=" << n;
+    if (GetParam() == k::Isa::kScalar) {
+      EXPECT_TRUE(SameBits(got, reference));
+    }
+  }
+}
+
+TEST_P(KernelEquivalenceTest, EuclideanNonFinitePropagates) {
+  Rng rng(16);
+  UseParam();
+  for (const size_t n : {7u, 16u, 33u, 64u}) {
+    auto a = WithSpecials(RandomValues(&rng, n));
+    const auto b = RandomValues(&rng, n);
+    const double got = EuclideanSquared(a, b);
+    // A NaN term (every 7th slot starts with one) must surface as NaN, on
+    // every tier — max/blend tricks must not mask it.
+    EXPECT_TRUE(std::isnan(got)) << "n=" << n;
+  }
+}
+
+TEST_P(KernelEquivalenceTest, EuclideanUnalignedPointers) {
+  Rng rng(17);
+  const size_t n = 100;
+  const auto a = RandomValues(&rng, n);
+  const auto b = RandomValues(&rng, n);
+  UseParam();
+  const double want = EuclideanSquared(a, b);
+  std::vector<float> a_buf(n + 16);
+  std::vector<float> b_buf(n + 16);
+  for (size_t off_a = 0; off_a < 5; ++off_a) {
+    for (size_t off_b = 0; off_b < 5; ++off_b) {
+      std::copy(a.begin(), a.end(), a_buf.begin() + off_a);
+      std::copy(b.begin(), b.end(), b_buf.begin() + off_b);
+      const double got = EuclideanSquared(
+          std::span<const float>(a_buf.data() + off_a, n),
+          std::span<const float>(b_buf.data() + off_b, n));
+      // Same tier, same summation structure: alignment must not matter.
+      EXPECT_TRUE(SameBits(got, want))
+          << "off_a=" << off_a << " off_b=" << off_b;
+    }
+  }
+}
+
+TEST_P(KernelEquivalenceTest, EarlyAbandonInfinityIsBitIdentical) {
+  Rng rng(18);
+  UseParam();
+  for (const size_t n : {1u, 15u, 16u, 17u, 64u, 100u, 257u}) {
+    const auto a = RandomValues(&rng, n);
+    const auto b = RandomValues(&rng, n);
+    const double full = EuclideanSquared(a, b);
+    const double ea = EuclideanSquaredEarlyAbandon(a, b, kInf);
+    EXPECT_TRUE(SameBits(ea, full)) << "n=" << n;
+  }
+}
+
+TEST_P(KernelEquivalenceTest, EarlyAbandonNeverUnderestimates) {
+  Rng rng(19);
+  UseParam();
+  for (int round = 0; round < 50; ++round) {
+    const size_t n = 16 + static_cast<size_t>(rng.NextUint64() % 200);
+    const auto a = RandomValues(&rng, n);
+    const auto b = RandomValues(&rng, n);
+    const double full = EuclideanSquared(a, b);
+    const double threshold = full * (0.1 + 0.8 * rng.NextDouble());
+    const double ea = EuclideanSquaredEarlyAbandon(a, b, threshold);
+    if (ea <= threshold) {
+      // Not abandoned: must be the exact full distance.
+      EXPECT_TRUE(SameBits(ea, full)) << "n=" << n;
+    } else {
+      // Abandoned: the partial sum is a lower bound of the full distance
+      // (per-lane accumulators only grow), so the verdict is sound.
+      EXPECT_GE(full, ea) << "n=" << n;
+      EXPECT_GT(full, threshold) << "n=" << n;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- batch
+
+TEST_P(KernelEquivalenceTest, BatchMatchesPerQueryEarlyAbandon) {
+  Rng rng(20);
+  UseParam();
+  for (const size_t n : {3u, 16u, 33u, 64u, 100u}) {
+    for (const size_t nq : {1u, 2u, 3u, 4u, 5u, 8u, 9u, 16u, 17u}) {
+      const auto candidate = RandomValues(&rng, n);
+      std::vector<std::vector<float>> queries(nq);
+      std::vector<const float*> qptrs(nq);
+      std::vector<double> thresholds(nq);
+      for (size_t q = 0; q < nq; ++q) {
+        queries[q] = RandomValues(&rng, n);
+        qptrs[q] = queries[q].data();
+        // Mix live, already-abandoned and unbounded queries.
+        switch (q % 3) {
+          case 0:
+            thresholds[q] = kInf;
+            break;
+          case 1:
+            thresholds[q] = 0.0;
+            break;
+          default:
+            thresholds[q] = 1.0 + rng.NextDouble() * n;
+        }
+      }
+      std::vector<double> out(nq, -1.0);
+      EuclideanSquaredEarlyAbandonBatch(candidate, qptrs, thresholds, out);
+      for (size_t q = 0; q < nq; ++q) {
+        const double want = EuclideanSquaredEarlyAbandon(
+            queries[q], candidate, thresholds[q]);
+        EXPECT_TRUE(SameBits(out[q], want))
+            << "n=" << n << " nq=" << nq << " q=" << q << " got=" << out[q]
+            << " want=" << want;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- dispatch plumbing
+
+TEST_P(KernelEquivalenceTest, ForceIsaActivatesRequestedTier) {
+  UseParam();
+  EXPECT_EQ(k::ActiveIsa(), GetParam());
+  EXPECT_STREQ(k::Active().name, k::IsaName(GetParam()));
+}
+
+TEST(KernelDispatchTest, SupportedIsasStartsWithScalar) {
+  const auto isas = k::SupportedIsas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), k::Isa::kScalar);
+  for (const k::Isa isa : isas) EXPECT_TRUE(k::IsaSupported(isa));
+  EXPECT_TRUE(k::IsaSupported(k::Isa::kScalar));
+}
+
+TEST(KernelDispatchTest, ForceIsaRejectsUnsupportedTier) {
+  // Forcing a tier the build/CPU cannot run must leave dispatch unchanged.
+  const k::Isa before = k::ActiveIsa();
+  for (const k::Isa isa : {k::Isa::kAvx2, k::Isa::kAvx512}) {
+    if (!k::IsaSupported(isa)) {
+      EXPECT_FALSE(k::ForceIsa(isa));
+      EXPECT_EQ(k::ActiveIsa(), before);
+    }
+  }
+  k::ResetForcedIsa();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTiers, KernelEquivalenceTest,
+                         ::testing::ValuesIn(k::SupportedIsas()),
+                         IsaParamName);
+
+}  // namespace
+}  // namespace series
+}  // namespace coconut

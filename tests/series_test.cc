@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
+#include <span>
 
 #include "common/rng.h"
 #include "series/breakpoints.h"
@@ -93,6 +95,44 @@ TEST(PaaTest, PreservesGlobalMean) {
   double series_mean = std::accumulate(v.begin(), v.end(), 0.0) / v.size();
   double paa_mean = std::accumulate(paa.begin(), paa.end(), 0.0) / paa.size();
   EXPECT_NEAR(series_mean, paa_mean, 1e-4);
+}
+
+// Regression: an empty input used to divide by a zero segment width and
+// fill the output with NaN, which then poisoned every downstream
+// comparison (NaN SAX symbols, NaN MINDIST). The contract is all-zero
+// segments, the PAA of nothing.
+TEST(PaaTest, EmptyInputYieldsZerosNotNan) {
+  auto paa = ComputePaa(std::span<const Value>(), 8);
+  ASSERT_EQ(paa.size(), 8u);
+  for (float v : paa) EXPECT_EQ(v, 0.0f);
+
+  std::vector<float> out(8, -1.0f);
+  ComputePaa(std::span<const Value>(), 8, out);
+  for (float v : out) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(PaaTest, FewerPointsThanSegmentsUsesFractionalWidths) {
+  // 2 points into 4 segments: each segment covers half a point; the means
+  // are finite and the global mean is preserved.
+  std::vector<Value> v{2, 6};
+  auto paa = ComputePaa(v, 4);
+  ASSERT_EQ(paa.size(), 4u);
+  EXPECT_FLOAT_EQ(paa[0], 2.0f);
+  EXPECT_FLOAT_EQ(paa[3], 6.0f);
+  double mean = 0.0;
+  for (float x : paa) {
+    EXPECT_TRUE(std::isfinite(x));
+    mean += x;
+  }
+  EXPECT_NEAR(mean / 4, 4.0, 1e-5);
+}
+
+TEST(PaaTest, NonPositiveSegmentCountWritesNothing) {
+  EXPECT_TRUE(ComputePaa(std::vector<Value>{1, 2, 3}, 0).empty());
+  EXPECT_TRUE(ComputePaa(std::vector<Value>{1, 2, 3}, -3).empty());
+  std::vector<float> out(4, 7.0f);
+  ComputePaa(std::vector<Value>{1, 2, 3}, 0, out);
+  for (float v : out) EXPECT_EQ(v, 7.0f);  // untouched
 }
 
 // ---------------------------------------------------------------- Breakpoints
@@ -290,6 +330,26 @@ TEST(DistanceTest, EarlyAbandonMatchesWhenUnderThreshold) {
   EXPECT_DOUBLE_EQ(EuclideanSquaredEarlyAbandon(a, b, full + 1.0), full);
   // Abandoned result must still exceed the threshold.
   EXPECT_GT(EuclideanSquaredEarlyAbandon(a, b, full / 4), full / 4);
+}
+
+// Regression: mismatched span lengths used to read past the end of the
+// shorter operand (the loop trusted a.size()). The kernel boundary now
+// clamps to the common prefix; two spans sharing a prefix but differing in
+// tail length must agree with the explicit prefix comparison, and an empty
+// operand contributes distance zero.
+TEST(DistanceTest, MismatchedLengthsCompareCommonPrefix) {
+  Rng rng(11);
+  auto a = RandomWalk(&rng, 100);
+  auto b = RandomWalk(&rng, 64);
+  const std::span<const Value> a64(a.data(), 64);
+  EXPECT_DOUBLE_EQ(EuclideanSquared(a, b), EuclideanSquared(a64, b));
+  EXPECT_DOUBLE_EQ(EuclideanSquared(b, a), EuclideanSquared(b, a64));
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(EuclideanSquaredEarlyAbandon(a, b, inf),
+                   EuclideanSquared(a64, b));
+  EXPECT_DOUBLE_EQ(EuclideanSquared(a, std::span<const Value>()), 0.0);
+  EXPECT_DOUBLE_EQ(
+      EuclideanSquaredEarlyAbandon(std::span<const Value>(), b, inf), 0.0);
 }
 
 class MinDistLowerBound : public ::testing::TestWithParam<int> {};
