@@ -1,0 +1,346 @@
+// Open-loop HTTP load harness for the front-door serving layer. Unlike
+// the closed-loop google-benchmark drivers, arrivals here are scheduled
+// on a fixed clock (arrival i fires at t0 + i/rate) regardless of how
+// fast the server answers — so queueing delay shows up in the measured
+// latency instead of silently throttling the offered load (the
+// coordinated-omission trap). Each worker thread owns one keep-alive
+// connection and reports per-request latency measured from the request's
+// *scheduled* start, not its actual send.
+//
+//   bench_loadgen --rates=200,500 --seconds=3 --threads=8 \
+//                 --mix=0.2 --cache=on --out=BENCH_loadgen.json
+//
+// The workload is a query/ingest mix against an in-process Service +
+// HttpServer: queries draw from a small pool of repeated vectors (so the
+// answer cache, when enabled, sees realistic re-asks), ingests append
+// random-walk batches to a live BTP stream (so cache invalidation runs
+// under load too). CI runs this at two arrival rates and uploads the
+// JSON.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/json.h"
+#include "palm/api.h"
+#include "palm/http_client.h"
+#include "palm/http_server.h"
+#include "palm/query_cache.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace {
+
+constexpr size_t kSeriesLength = 128;
+constexpr size_t kDatasetSeries = 2048;
+constexpr size_t kQueryPool = 64;
+constexpr size_t kIngestPool = 32;
+constexpr size_t kIngestBatch = 8;
+
+struct Options {
+  std::vector<double> rates = {200.0, 500.0};
+  double seconds = 3.0;
+  size_t threads = 8;
+  double ingest_mix = 0.2;
+  bool cache = true;
+  std::string out = "BENCH_loadgen.json";
+};
+
+std::vector<double> ParseRates(const std::string& list) {
+  std::vector<double> rates;
+  size_t pos = 0;
+  while (pos < list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    rates.push_back(std::atof(list.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return rates;
+}
+
+Options ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + std::strlen(prefix)
+                                       : nullptr;
+    };
+    if (const char* v = value("--rates=")) {
+      options.rates = ParseRates(v);
+    } else if (const char* v = value("--seconds=")) {
+      options.seconds = std::atof(v);
+    } else if (const char* v = value("--threads=")) {
+      options.threads = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--mix=")) {
+      options.ingest_mix = std::atof(v);
+    } else if (const char* v = value("--cache=")) {
+      options.cache = std::string(v) != "off";
+    } else if (const char* v = value("--out=")) {
+      options.out = v;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: bench_loadgen [--rates=R1,R2] "
+                   "[--seconds=S] [--threads=N] [--mix=F] [--cache=on|off] "
+                   "[--out=FILE]\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+struct RunResult {
+  double target_rps = 0.0;
+  double achieved_rps = 0.0;
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t throttled = 0;
+  uint64_t errors = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// One open-loop run at `rate` arrivals/second.
+RunResult RunRate(uint16_t port, const Options& options, double rate,
+                  const std::vector<std::string>& query_bodies,
+                  const std::vector<std::string>& ingest_bodies) {
+  const size_t total =
+      static_cast<size_t>(rate * options.seconds);
+  const size_t mix_cut = static_cast<size_t>(
+      options.ingest_mix * 1000.0);  // per-mille ingest share
+  std::atomic<size_t> next{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> throttled{0};
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::vector<double>> latencies(options.threads);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(options.threads);
+  for (size_t w = 0; w < options.threads; ++w) {
+    workers.emplace_back([&, w] {
+      palm::BlockingHttpClient client("127.0.0.1", port);
+      std::vector<double>& mine = latencies[w];
+      while (true) {
+        const size_t i = next.fetch_add(1);
+        if (i >= total) break;
+        const auto scheduled =
+            t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(static_cast<double>(i) /
+                                                   rate));
+        std::this_thread::sleep_until(scheduled);
+        // Cheap deterministic hash spreads the ingest share across the
+        // arrival sequence instead of front-loading it.
+        const bool ingest = (i * 2654435761u) % 1000 < mix_cut;
+        const std::string& body =
+            ingest ? ingest_bodies[i % ingest_bodies.size()]
+                   : query_bodies[i % query_bodies.size()];
+        const char* target = ingest ? "/api/v1/ingest_batch" : "/api/v1/query";
+        auto response = client.Post(target, body);
+        const double latency_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - scheduled)
+                .count();
+        if (!response.ok()) {
+          ++errors;
+        } else if (response.value().status == 200) {
+          ++ok;
+          mine.push_back(latency_ms);
+        } else if (response.value().status == 429) {
+          ++throttled;
+        } else {
+          ++errors;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::vector<double> all;
+  for (const auto& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  RunResult result;
+  result.target_rps = rate;
+  result.sent = total;
+  result.ok = ok.load();
+  result.throttled = throttled.load();
+  result.errors = errors.load();
+  result.achieved_rps =
+      elapsed > 0.0 ? static_cast<double>(result.ok) / elapsed : 0.0;
+  result.p50_ms = PercentileOfSorted(all, 0.50);
+  result.p99_ms = PercentileOfSorted(all, 0.99);
+  result.p999_ms = PercentileOfSorted(all, 0.999);
+  result.max_ms = all.empty() ? 0.0 : all.back();
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  const Options options = ParseArgs(argc, argv);
+
+  const std::string root =
+      std::filesystem::temp_directory_path().string() + "/bench_loadgen_" +
+      std::to_string(static_cast<unsigned>(::getpid()));
+  std::filesystem::remove_all(root);
+  auto service = palm::api::Service::Create(root).TakeValue();
+  if (options.cache) {
+    service->EnableQueryCache(palm::api::QueryCacheOptions{});
+  }
+
+  // ---- fixtures: one static index for queries, one live stream for the
+  // ingest share of the mix.
+  const series::SeriesCollection data =
+      testutil::RandomWalkCollection(kDatasetSeries, kSeriesLength, 7);
+  {
+    palm::api::RegisterDatasetRequest reg;
+    reg.name = "walk";
+    reg.data = data;
+    if (auto r = service->RegisterDataset(reg); !r.ok()) {
+      std::fprintf(stderr, "register: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    palm::api::BuildIndexRequest build;
+    build.index = "static";
+    build.dataset = "walk";
+    build.spec.sax = series::SaxConfig{.series_length = kSeriesLength,
+                                       .num_segments = 16,
+                                       .bits_per_segment = 8};
+    if (auto r = service->BuildIndex(build); !r.ok()) {
+      std::fprintf(stderr, "build: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    palm::api::CreateStreamRequest stream;
+    stream.stream = "live";
+    stream.spec.sax = build.spec.sax;
+    stream.spec.family = palm::IndexFamily::kClsm;
+    stream.spec.mode = palm::StreamMode::kBTP;
+    stream.spec.async_ingest = true;
+    stream.spec.buffer_entries = 512;
+    if (auto r = service->CreateStream(stream); !r.ok()) {
+      std::fprintf(stderr, "stream: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // ---- prebuilt request bodies so worker threads measure the wire, not
+  // JSON serialization.
+  std::vector<std::string> query_bodies;
+  query_bodies.reserve(kQueryPool);
+  for (size_t i = 0; i < kQueryPool; ++i) {
+    palm::api::QueryRequest query;
+    query.index = "static";
+    query.query = testutil::NoisyCopy(data, i * 17 % kDatasetSeries, 0.25,
+                                      1000 + i);
+    query_bodies.push_back(query.ToJsonString());
+  }
+  std::vector<std::string> ingest_bodies;
+  ingest_bodies.reserve(kIngestPool);
+  for (size_t i = 0; i < kIngestPool; ++i) {
+    palm::api::IngestBatchRequest ingest;
+    ingest.stream = "live";
+    ingest.batch = testutil::RandomWalkCollection(kIngestBatch, kSeriesLength,
+                                                  5000 + i);
+    for (size_t j = 0; j < kIngestBatch; ++j) {
+      ingest.timestamps.push_back(
+          static_cast<int64_t>(i * kIngestBatch + j));
+    }
+    ingest_bodies.push_back(ingest.ToJsonString());
+  }
+
+  palm::HttpServerOptions server_options;
+  server_options.port = 0;
+  server_options.threads = options.threads;
+  auto server = palm::HttpServer::Start(service.get(), server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  const uint16_t port = server.value()->port();
+
+  std::vector<RunResult> results;
+  for (const double rate : options.rates) {
+    std::fprintf(stderr, "loadgen: rate=%.0f req/s for %.1fs...\n", rate,
+                 options.seconds);
+    results.push_back(
+        RunRate(port, options, rate, query_bodies, ingest_bodies));
+  }
+
+  const palm::api::ServerStatsResponse stats = service->ServerStats();
+  server.value()->Stop();
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("bench", std::string("loadgen"));
+  w.Field("series", static_cast<uint64_t>(kDatasetSeries));
+  w.Field("series_length", static_cast<uint64_t>(kSeriesLength));
+  w.Field("threads", static_cast<uint64_t>(options.threads));
+  w.Field("seconds_per_rate", options.seconds);
+  w.Field("ingest_mix", options.ingest_mix);
+  w.Field("cache_enabled", options.cache);
+  w.Field("cache_hits", stats.cache_hits);
+  w.Field("cache_misses", stats.cache_misses);
+  w.Field("cache_invalidations", stats.cache_invalidations);
+  w.Key("runs");
+  w.BeginArray();
+  for (const RunResult& r : results) {
+    w.BeginObject();
+    w.Field("target_rps", r.target_rps);
+    w.Field("achieved_rps", r.achieved_rps);
+    w.Field("sent", r.sent);
+    w.Field("ok", r.ok);
+    w.Field("throttled", r.throttled);
+    w.Field("errors", r.errors);
+    w.Field("p50_ms", r.p50_ms);
+    w.Field("p99_ms", r.p99_ms);
+    w.Field("p999_ms", r.p999_ms);
+    w.Field("max_ms", r.max_ms);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  const std::string json = w.TakeString();
+
+  std::FILE* out = std::fopen(options.out.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", options.out.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+  std::fprintf(stderr, "loadgen: wrote %s\n", options.out.c_str());
+  std::printf("%s\n", json.c_str());
+
+  service.reset();
+  std::filesystem::remove_all(root);
+  return 0;
+}
+
+}  // namespace
+}  // namespace coconut
+
+int main(int argc, char** argv) { return coconut::Main(argc, argv); }

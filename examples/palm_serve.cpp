@@ -3,16 +3,21 @@
 // dataset with a built CTree index, and serves POST /api/v1/<method>
 // until SIGINT/SIGTERM.
 //
-//   ./palm_serve [port] [--demo]
+//   ./palm_serve [port] [--demo] [--cache] [--quota TOKEN=RPS[:BURST]]...
 //
-//   port    TCP port on 127.0.0.1 (default 8765; 0 = ephemeral)
-//   --demo  pre-register dataset 'walk' (2000 x 128) and build index
-//           'ctree' over it, so queries work immediately
+//   port     TCP port on 127.0.0.1 (default 8765; 0 = ephemeral)
+//   --demo   pre-register dataset 'walk' (2000 x 128) and build index
+//            'ctree' over it, so queries work immediately
+//   --cache  enable the exact snapshot-versioned query answer cache
+//   --quota  require 'Authorization: Bearer TOKEN' and rate-limit that
+//            client to RPS requests/second (burst BURST, default 2*RPS;
+//            RPS of 0 = unlimited); repeatable, one per client
 //
 // Try it:
 //   curl -s localhost:8765/healthz
 //   curl -s -X POST localhost:8765/api/v1/list_indexes
 //   curl -s -X POST localhost:8765/api/v1/recommend -d '{"streaming":true}'
+//   curl -s -X POST localhost:8765/api/v1/server_stats
 #include <stdlib.h>  // mkdtemp (POSIX)
 
 #include <atomic>
@@ -27,6 +32,8 @@
 
 #include "palm/api.h"
 #include "palm/http_server.h"
+#include "palm/query_cache.h"
+#include "palm/quota.h"
 #include "workload/generator.h"
 
 using namespace coconut;
@@ -42,9 +49,32 @@ void HandleSignal(int) { g_stop.store(true); }
 int main(int argc, char** argv) {
   uint16_t port = 8765;
   bool demo = false;
+  bool cache = false;
+  palm::api::QuotaOptions quota_options;
+  bool quota = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      cache = true;
+    } else if (std::strncmp(argv[i], "--quota", 7) == 0) {
+      // --quota TOKEN=RPS[:BURST] (also accepts --quota=TOKEN=...).
+      const char* arg = argv[i][7] == '=' ? argv[i] + 8
+                        : (i + 1 < argc ? argv[++i] : "");
+      const char* eq = std::strchr(arg, '=');
+      if (eq == nullptr || eq == arg) {
+        std::fprintf(stderr, "bad --quota spec '%s' (want TOKEN=RPS[:BURST])\n",
+                     arg);
+        return 1;
+      }
+      palm::api::ClientQuota client;
+      char* end = nullptr;
+      client.requests_per_second = std::strtod(eq + 1, &end);
+      client.burst = (end != nullptr && *end == ':')
+                         ? std::strtod(end + 1, nullptr)
+                         : 2.0 * client.requests_per_second;
+      quota_options.clients[std::string(arg, eq)] = client;
+      quota = true;
     } else {
       port = static_cast<uint16_t>(std::atoi(argv[i]));
     }
@@ -68,6 +98,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   auto service = service_result.TakeValue();
+  if (cache) {
+    service->EnableQueryCache(palm::api::QueryCacheOptions{});
+    std::printf("query answer cache enabled\n");
+  }
+  if (quota) {
+    service->ConfigureQuotas(quota_options);
+    std::printf("quotas enabled for %zu client token(s)\n",
+                quota_options.clients.size());
+  }
 
   if (demo) {
     series::SaxConfig sax{.series_length = 128, .num_segments = 16,

@@ -164,6 +164,8 @@ void Clsm::PublishRuns(std::shared_ptr<const RunSet> runs,
                        uint64_t rewritten, uint64_t merges) {
   std::lock_guard<std::mutex> lock(mu_);
   runs_ = std::move(runs);
+  // Run-set publication (flush or cascade) changes the queryable snapshot.
+  snapshot_version_.fetch_add(1, std::memory_order_acq_rel);
   if (retired_pending != nullptr) {
     for (auto it = pending_.begin(); it != pending_.end(); ++it) {
       if (it->get() == retired_pending) {
@@ -219,6 +221,8 @@ Status Clsm::Insert(uint64_t series_id, std::span<const float> znorm_values,
       memtable_payloads_.insert(memtable_payloads_.end(),
                                 znorm_values.begin(), znorm_values.end());
     }
+    // Admitted: visible to memtable-snapshot queries from here.
+    snapshot_version_.fetch_add(1, std::memory_order_acq_rel);
     if (memtable_.size() >= options_.buffer_entries) {
       pending = DetachMemtableLocked();
       if (pending != nullptr && async()) {
@@ -532,6 +536,7 @@ stream::StreamingStats Clsm::SnapshotStats() const {
   stats.ingest_rejects = backpressure_.rejects();
   stats.stall_ms_p50 = backpressure_.StallPercentileMs(0.50);
   stats.stall_ms_p99 = backpressure_.StallPercentileMs(0.99);
+  stats.stall_samples = backpressure_.SnapshotSamples();
   return stats;
 }
 

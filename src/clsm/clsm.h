@@ -1,6 +1,7 @@
 #ifndef COCONUT_CLSM_CLSM_H_
 #define COCONUT_CLSM_CLSM_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -137,6 +138,14 @@ class Clsm {
   /// Race-free progress snapshot for the streaming facade.
   stream::StreamingStats SnapshotStats() const;
 
+  /// Monotonic snapshot-version stamp: bumped on every Insert admission and
+  /// every run-set publication (flush or merge cascade). The adapters
+  /// forward this as DataSeriesIndex::snapshot_version() so the service
+  /// answer cache stays exact while the cascade runs in the background.
+  uint64_t snapshot_version() const {
+    return snapshot_version_.load(std::memory_order_acquire);
+  }
+
   bool async() const { return executor_ != nullptr; }
 
   const Options& options() const { return options_; }
@@ -254,6 +263,9 @@ class Clsm {
 
   /// Only touched by the (serialized) flush/cascade path.
   uint64_t version_ = 0;
+
+  /// See snapshot_version(); distinct from version_ (run-file naming).
+  std::atomic<uint64_t> snapshot_version_{0};
 
   std::unique_ptr<SerialExecutor> executor_;
 };

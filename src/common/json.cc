@@ -1,13 +1,51 @@
 #include "common/json.h"
 
 #include <cerrno>
+#include <charconv>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <locale.h>  // NOLINT: newlocale/strtod_l need the POSIX header.
 #include <unordered_set>
 
 namespace coconut {
+
+namespace {
+
+/// Parses a double from a pre-validated JSON number token, independent of
+/// the process locale. strtod honors LC_NUMERIC, so a host locale with a
+/// ',' decimal separator would silently mis-parse every wire double (stop
+/// at the '.'); std::from_chars is locale-free by definition. The
+/// locale-pinned strtod_l fallback covers toolchains without
+/// floating-point from_chars and the out-of-range edge (where it
+/// reproduces classic strtod results: ±HUGE_VAL on overflow, ±0 on
+/// underflow — the caller's isfinite check rejects the former).
+bool ParseDoubleToken(const char* begin, const char* end, double* out) {
+#if defined(__cpp_lib_to_chars)
+  {
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec == std::errc() && ptr == end) {
+      *out = value;
+      return true;
+    }
+  }
+#endif
+  static const locale_t c_locale =
+      newlocale(LC_ALL_MASK, "C", static_cast<locale_t>(nullptr));
+  char* stop = nullptr;
+  errno = 0;
+  const double value =
+      c_locale != static_cast<locale_t>(nullptr)
+          ? strtod_l(begin, &stop, c_locale)
+          : std::strtod(begin, &stop);
+  if (stop != end) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
 
 void JsonWriter::MaybeComma() {
   if (pending_key_) {
@@ -76,7 +114,23 @@ void JsonWriter::Double(double value) {
     return;
   }
   char buf[64];
+#if defined(__cpp_lib_to_chars)
+  // Specified as printf %.12g in the "C" locale, so the wire bytes match
+  // the historical snprintf output without being at LC_NUMERIC's mercy.
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof(buf), value,
+                    std::chars_format::general, 12);
+  if (ec == std::errc()) {
+    out_.append(buf, ptr);
+    return;
+  }
+#endif
   std::snprintf(buf, sizeof(buf), "%.12g", value);
+  // Locale-pinned fallback: undo a ',' decimal separator if LC_NUMERIC
+  // slipped one in.
+  for (char* p = buf; *p != '\0'; ++p) {
+    if (*p == ',') *p = '.';
+  }
   out_ += buf;
 }
 
@@ -722,10 +776,10 @@ class JsonParser {
       }
       // Fall through: integer literal wider than 64 bits -> double.
     }
-    errno = 0;
-    char* end = nullptr;
-    const double d = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) return Fail("invalid number");
+    double d = 0.0;
+    if (!ParseDoubleToken(token.c_str(), token.c_str() + token.size(), &d)) {
+      return Fail("invalid number");
+    }
     if (!std::isfinite(d)) return Fail("number out of double range");
     *out = JsonValue::MakeDouble(d);
     return Status::OK();

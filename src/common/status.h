@@ -18,6 +18,7 @@ enum class StatusCode {
   kResourceExhausted,
   kNotSupported,
   kInternal,
+  kUnauthenticated,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -57,6 +58,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unauthenticated(std::string msg) {
+    return Status(StatusCode::kUnauthenticated, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -20,17 +20,26 @@ Result<std::unique_ptr<CTreeIndexAdapter>> CTreeIndexAdapter::Create(
 Status CTreeIndexAdapter::Insert(uint64_t series_id,
                                  std::span<const float> znorm_values,
                                  int64_t timestamp) {
+  Status status;
   if (tree_ != nullptr) {
-    return tree_->Insert(series_id, znorm_values, timestamp);
+    status = tree_->Insert(series_id, znorm_values, timestamp);
+  } else {
+    ++pending_;
+    status = builder_->Add(series_id, znorm_values, timestamp);
   }
-  ++pending_;
-  return builder_->Add(series_id, znorm_values, timestamp);
+  if (status.ok()) BumpSnapshotVersion();
+  return status;
 }
 
 Status CTreeIndexAdapter::Finalize() {
-  if (tree_ != nullptr) return tree_->Flush();
+  if (tree_ != nullptr) {
+    COCONUT_RETURN_NOT_OK(tree_->Flush());
+    BumpSnapshotVersion();
+    return Status::OK();
+  }
   COCONUT_ASSIGN_OR_RETURN(tree_, builder_->Finish(pool_, raw_));
   builder_.reset();
+  BumpSnapshotVersion();
   return Status::OK();
 }
 

@@ -91,6 +91,12 @@ class ClsmIndexAdapter : public DataSeriesIndex {
   uint64_t index_bytes() const override { return lsm_->total_file_bytes(); }
   std::string describe() const override;
 
+  /// CLSM mutates itself through background flush/merge cascades the
+  /// adapter never sees, so the version lives inside the structure.
+  uint64_t snapshot_version() const override {
+    return lsm_->snapshot_version();
+  }
+
   clsm::Clsm* lsm() { return lsm_.get(); }
 
  private:
@@ -109,9 +115,15 @@ class AdsIndexAdapter : public DataSeriesIndex {
 
   Status Insert(uint64_t series_id, std::span<const float> znorm_values,
                 int64_t timestamp) override {
-    return ads_->Insert(series_id, znorm_values, timestamp);
+    Status status = ads_->Insert(series_id, znorm_values, timestamp);
+    if (status.ok()) BumpSnapshotVersion();
+    return status;
   }
-  Status Finalize() override { return ads_->FlushAll(); }
+  Status Finalize() override {
+    COCONUT_RETURN_NOT_OK(ads_->FlushAll());
+    BumpSnapshotVersion();
+    return Status::OK();
+  }
   Result<SearchResult> ApproxSearch(std::span<const float> query,
                                     const SearchOptions& options,
                                     QueryCounters* counters) override {

@@ -1,6 +1,8 @@
 #ifndef COCONUT_CORE_INDEX_H_
 #define COCONUT_CORE_INDEX_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -66,6 +68,29 @@ class DataSeriesIndex {
 
   /// Human-readable variant name, e.g. "CTreeFull".
   virtual std::string describe() const = 0;
+
+  /// Monotonic snapshot-version stamp: bumped on every mutation that can
+  /// change any query answer (Insert admission, Finalize, background
+  /// publication of sealed runs/partitions). Two equal reads bracketing a
+  /// query prove the query saw a single stable snapshot, which is what the
+  /// service-layer answer cache keys its validity on. Never decreases.
+  ///
+  /// Adapters over composite structures (CLSM, sharded fan-outs) override
+  /// this to expose the inner structure's counter (or a monotone sum of
+  /// per-shard counters — sound because every component only increases).
+  virtual uint64_t snapshot_version() const {
+    return snapshot_version_.load(std::memory_order_acquire);
+  }
+
+ protected:
+  /// Marks a mutation; implementations call this at every admission /
+  /// publication site. Thread-safe.
+  void BumpSnapshotVersion() {
+    snapshot_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<uint64_t> snapshot_version_{0};
 };
 
 }  // namespace core

@@ -8,6 +8,8 @@
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "palm/query_cache.h"
+#include "palm/quota.h"
 #include "palm/sharded_index.h"
 #include "palm/sharded_streaming_index.h"
 #include "series/series.h"
@@ -38,6 +40,8 @@ const char* StatusCodeToApiCode(StatusCode code) {
       return "not_supported";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kUnauthenticated:
+      return "unauthenticated";
   }
   return "internal";
 }
@@ -57,6 +61,8 @@ int StatusCodeToHttpStatus(StatusCode code) {
       return 429;
     case StatusCode::kNotSupported:
       return 501;
+    case StatusCode::kUnauthenticated:
+      return 401;
     case StatusCode::kIoError:
     case StatusCode::kInternal:
       return 500;
@@ -115,7 +121,7 @@ constexpr int64_t kMaxWireSmallInt = 1024;  // growth_factor, btp_merge_k
 constexpr uint64_t kMaxWireInflightSeals = 1u << 16;
 
 int ApiCodeToHttpStatus(const std::string& code) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnauthenticated); ++c) {
     const StatusCode sc = static_cast<StatusCode>(c);
     if (code == StatusCodeToApiCode(sc)) return StatusCodeToHttpStatus(sc);
   }
@@ -1225,6 +1231,15 @@ Result<QueryRequest> QueryRequest::FromJson(const JsonValue& value) {
     COCONUT_RETURN_NOT_OK(
         OptInt(*win, "begin", "query.window", &window.begin));
     COCONUT_RETURN_NOT_OK(OptInt(*win, "end", "query.window", &window.end));
+    // An inverted window used to sail through and silently scan nothing;
+    // reject it at the boundary (Service::Query re-checks for the typed
+    // in-process path).
+    if (window.begin > window.end) {
+      return Status::InvalidArgument(
+          "query: field 'window' begin must be <= end (got begin=" +
+          std::to_string(window.begin) +
+          ", end=" + std::to_string(window.end) + ")");
+    }
     request.window = window;
   }
   int64_t candidates = request.approx_candidates;
@@ -1703,6 +1718,88 @@ std::string DropDatasetResponse::ToJsonString() const {
   return w.TakeString();
 }
 
+Result<ServerStatsResponse> ServerStatsResponse::FromJson(
+    const JsonValue& value) {
+  static constexpr const char* kWhat = "server_stats response";
+  COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(value, kWhat, {"cache", "quota"}));
+  ServerStatsResponse response;
+  const JsonValue* cache = value.Find("cache");
+  if (cache == nullptr) {
+    return FieldError(kWhat, "cache", "is required");
+  }
+  COCONUT_RETURN_NOT_OK(ExpectObject(*cache, "server_stats cache"));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(
+      *cache, "server_stats cache",
+      {"enabled", "entries", "bytes", "hits", "misses", "inserts",
+       "evictions", "stale_drops", "invalidations"}));
+  COCONUT_ASSIGN_OR_RETURN(response.cache_enabled,
+                           ReqBool(*cache, "enabled", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.cache_entries,
+                           ReqUint(*cache, "entries", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.cache_bytes,
+                           ReqUint(*cache, "bytes", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.cache_hits,
+                           ReqUint(*cache, "hits", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.cache_misses,
+                           ReqUint(*cache, "misses", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.cache_inserts,
+                           ReqUint(*cache, "inserts", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.cache_evictions,
+                           ReqUint(*cache, "evictions", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.cache_stale_drops,
+                           ReqUint(*cache, "stale_drops", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.cache_invalidations,
+                           ReqUint(*cache, "invalidations", kWhat));
+  const JsonValue* quota = value.Find("quota");
+  if (quota == nullptr) {
+    return FieldError(kWhat, "quota", "is required");
+  }
+  COCONUT_RETURN_NOT_OK(ExpectObject(*quota, "server_stats quota"));
+  COCONUT_RETURN_NOT_OK(RejectUnknown(
+      *quota, "server_stats quota",
+      {"enabled", "admitted", "throttled", "unauthenticated"}));
+  COCONUT_ASSIGN_OR_RETURN(response.quota_enabled,
+                           ReqBool(*quota, "enabled", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.quota_admitted,
+                           ReqUint(*quota, "admitted", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.quota_throttled,
+                           ReqUint(*quota, "throttled", kWhat));
+  COCONUT_ASSIGN_OR_RETURN(response.quota_unauthenticated,
+                           ReqUint(*quota, "unauthenticated", kWhat));
+  return response;
+}
+
+void ServerStatsResponse::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("cache");
+  w->BeginObject();
+  w->Field("enabled", cache_enabled);
+  w->Field("entries", cache_entries);
+  w->Field("bytes", cache_bytes);
+  w->Field("hits", cache_hits);
+  w->Field("misses", cache_misses);
+  w->Field("inserts", cache_inserts);
+  w->Field("evictions", cache_evictions);
+  w->Field("stale_drops", cache_stale_drops);
+  w->Field("invalidations", cache_invalidations);
+  w->EndObject();
+  w->Key("quota");
+  w->BeginObject();
+  w->Field("enabled", quota_enabled);
+  w->Field("admitted", quota_admitted);
+  w->Field("throttled", quota_throttled);
+  w->Field("unauthenticated", quota_unauthenticated);
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string ServerStatsResponse::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
 // -------------------------------------------------------------- service
 
 Result<std::unique_ptr<Service>> Service::Create(const std::string& root_dir,
@@ -1713,6 +1810,43 @@ Result<std::unique_ptr<Service>> Service::Create(const std::string& root_dir,
   (void)probe;
   return std::unique_ptr<Service>(
       new Service(root_dir, pool_bytes_per_index));
+}
+
+Service::Service(std::string root_dir, size_t pool_bytes)
+    : root_dir_(std::move(root_dir)), pool_bytes_(pool_bytes) {}
+
+Service::~Service() = default;
+
+void Service::EnableQueryCache(const QueryCacheOptions& options) {
+  query_cache_ = std::make_unique<QueryCache>(options);
+}
+
+void Service::ConfigureQuotas(const QuotaOptions& options) {
+  quota_ = std::make_unique<QuotaEnforcer>(options);
+}
+
+ServerStatsResponse Service::ServerStats() const {
+  ServerStatsResponse response;
+  if (query_cache_ != nullptr) {
+    const QueryCacheStats cache = query_cache_->Snapshot();
+    response.cache_enabled = true;
+    response.cache_entries = cache.entries;
+    response.cache_bytes = cache.bytes;
+    response.cache_hits = cache.hits;
+    response.cache_misses = cache.misses;
+    response.cache_inserts = cache.inserts;
+    response.cache_evictions = cache.evictions;
+    response.cache_stale_drops = cache.stale_drops;
+    response.cache_invalidations = cache.invalidations;
+  }
+  if (quota_ != nullptr) {
+    const QuotaStats quota = quota_->Snapshot();
+    response.quota_enabled = true;
+    response.quota_admitted = quota.admitted;
+    response.quota_throttled = quota.throttled;
+    response.quota_unauthenticated = quota.unauthenticated;
+  }
+  return response;
 }
 
 std::shared_ptr<Service::IndexHandle> Service::FindHandle(
@@ -1844,6 +1978,10 @@ Result<BuildIndexReport> Service::BuildIndex(const std::string& index_name,
         BuildIndexOnHandle(index_name, spec, dataset_name, *dataset, handle);
   }
   if (report.ok()) {
+    // A republished name restarts its snapshot-version counter, so any
+    // cached answers from a previous life of this name must go before the
+    // handle becomes visible.
+    if (query_cache_ != nullptr) query_cache_->InvalidateIndex(index_name);
     std::unique_lock<std::shared_mutex> lock(mu_);
     handle->building.store(false);
   } else {
@@ -1932,6 +2070,8 @@ Result<CreateStreamResponse> Service::CreateStream(
     return created.status();
   }
   handle->stream_index = created.TakeValue();
+  // See BuildIndex: a recreated name restarts its version counter.
+  if (query_cache_ != nullptr) query_cache_->InvalidateIndex(stream_name);
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     handle->building.store(false);
@@ -2136,6 +2276,16 @@ Result<QueryReport> Service::Query(const QueryRequest& request) {
   if (request.approx_candidates <= 0) {
     return Status::InvalidArgument("approx_candidates must be positive");
   }
+  if (request.window.has_value() &&
+      request.window->begin > request.window->end) {
+    // The wire parser rejects this too; re-checked here so the typed
+    // in-process path cannot slip an inverted window into a silent empty
+    // scan.
+    return Status::InvalidArgument(
+        "query window begin must be <= end (got begin=" +
+        std::to_string(request.window->begin) +
+        ", end=" + std::to_string(request.window->end) + ")");
+  }
   if (request.capture_heatmap) {
     if (request.heatmap_time_bins == 0 ||
         request.heatmap_location_bins == 0) {
@@ -2149,11 +2299,44 @@ Result<QueryReport> Service::Query(const QueryRequest& request) {
           std::to_string(kMaxHeatMapBinsPerAxis) + " per axis");
     }
   }
+  // Cache probe, off the op mutex: serving a hit touches no index state.
+  // A hit requires the entry's snapshot version to equal the index's
+  // current one, so a concurrent admission that lands just after this read
+  // merely orders the (cached) query before the ingest — the answer is
+  // still the exact answer at its version.
+  QueryCache* cache = query_cache_.get();
+  const bool cacheable = cache != nullptr && QueryCache::Cacheable(request);
+  std::string cache_key;
+  if (cacheable) {
+    cache_key = QueryCache::KeyFor(request);
+    if (std::optional<QueryReport> hit =
+            cache->Lookup(cache_key, IndexVersion(*handle))) {
+      return *std::move(hit);
+    }
+  }
   std::lock_guard<std::mutex> op_lock(handle->op_mutex);
   if (handle->building.load()) {
     return Status::NotFound("index '" + request.index + "' not found");
   }
-  return QueryLocked(request, handle.get());
+  // Fill guard: only a scan bracketed by two equal version reads observed
+  // one stable snapshot (background seals/merges publish without the op
+  // mutex, and direct-library ingest does not go through the service).
+  const uint64_t version_before = cacheable ? IndexVersion(*handle) : 0;
+  Result<QueryReport> report = QueryLocked(request, handle.get());
+  if (cacheable && report.ok() && IndexVersion(*handle) == version_before) {
+    cache->Insert(cache_key, request.index, version_before, report.value());
+  }
+  return report;
+}
+
+uint64_t Service::IndexVersion(const IndexHandle& handle) {
+  if (handle.static_index != nullptr) {
+    return handle.static_index->snapshot_version();
+  }
+  if (handle.stream_index != nullptr) {
+    return handle.stream_index->snapshot_version();
+  }
+  return 0;
 }
 
 Result<QueryReport> Service::QueryLocked(const QueryRequest& request,
@@ -2243,20 +2426,46 @@ void Service::QueryGroup(const std::vector<QueryRequest>& requests,
   std::shared_ptr<IndexHandle> handle =
       PinHandle(requests[ordinals.front()].index);
 
+  // Cache probe per ordinal before any bucketing: a hit is served verbatim
+  // (it was filled by the single-query path, so batch_size stays 1) and
+  // the miss set proceeds. Batched (shared-scan) results are never
+  // inserted — their seconds/io fields are bucket-amortized, so caching
+  // them would replay a different wire shape than a fresh single query.
+  std::vector<size_t> pending;
+  pending.reserve(ordinals.size());
+  QueryCache* cache = query_cache_.get();
+  if (cache != nullptr && handle != nullptr) {
+    for (size_t ordinal : ordinals) {
+      const QueryRequest& r = requests[ordinal];
+      if (QueryCache::Cacheable(r)) {
+        if (std::optional<QueryReport> hit =
+                cache->Lookup(QueryCache::KeyFor(r), IndexVersion(*handle))) {
+          (*results)[ordinal] = *std::move(hit);
+          continue;
+        }
+      }
+      pending.push_back(ordinal);
+    }
+  } else {
+    pending = ordinals;
+  }
+
   // Bucket the requests that can share one exact scan: static index, exact,
-  // no heatmap, valid query shape, and identical search options (window +
-  // approx_candidates) — the batch path evaluates one SearchOptions for the
-  // whole bucket. Everything else keeps the per-request Query path, which
-  // also produces the precise per-request validation errors.
+  // no heatmap, valid query shape, valid window, and identical search
+  // options (window + approx_candidates) — the batch path evaluates one
+  // SearchOptions for the whole bucket. Everything else keeps the
+  // per-request Query path, which also produces the precise per-request
+  // validation errors.
   std::vector<size_t> fallback;
   std::vector<std::pair<const QueryRequest*, std::vector<size_t>>> buckets;
   if (handle != nullptr && handle->static_index != nullptr) {
-    for (size_t ordinal : ordinals) {
+    for (size_t ordinal : pending) {
       const QueryRequest& r = requests[ordinal];
       const bool eligible =
           r.exact && !r.capture_heatmap && !r.query.empty() &&
           static_cast<int>(r.query.size()) == handle->spec.sax.series_length &&
-          r.approx_candidates > 0;
+          r.approx_candidates > 0 &&
+          (!r.window.has_value() || r.window->begin <= r.window->end);
       if (!eligible) {
         fallback.push_back(ordinal);
         continue;
@@ -2277,7 +2486,7 @@ void Service::QueryGroup(const std::vector<QueryRequest>& requests,
       if (!placed) buckets.emplace_back(&r, std::vector<size_t>{ordinal});
     }
   } else {
-    fallback = ordinals;
+    fallback = pending;
   }
 
   for (auto& [rep, members] : buckets) {
@@ -2503,6 +2712,10 @@ Result<DropIndexResponse> Service::DropIndex(const std::string& index_name) {
     }
     response.reclaimed_bytes = handle->storage->TotalBytesOnDisk();
   }
+  // The name is about to disappear; purge its cached answers so a future
+  // index reusing the name (whose version counter restarts at 0) can
+  // never collide with this one's entries.
+  if (query_cache_ != nullptr) query_cache_->InvalidateIndex(index_name);
   // op_mutex released before TeardownHandle takes mu_ exclusively (never
   // hold both): late ops that pinned the handle pre-tombstone bounce off
   // `building` under the op mutex instead of touching torn-down members.
@@ -2633,6 +2846,13 @@ constexpr MethodEntry kMethodTable[] = {
        return RunTyped<RegisterDatasetRequest>(p, &Service::RegisterDataset,
                                                s);
      }},
+    {"server_stats",
+     [](Service* s, const JsonValue& p) -> Result<std::string> {
+       if (!p.is_object() || !p.object().empty()) {
+         return Status::InvalidArgument("server_stats takes no parameters");
+       }
+       return s->ServerStats().ToJsonString();
+     }},
 };
 
 }  // namespace
@@ -2650,6 +2870,17 @@ const std::vector<std::string>& Service::Methods() {
 
 Result<std::string> Service::Dispatch(const std::string& method,
                                       const std::string& params_json) {
+  return Dispatch(method, params_json, std::string());
+}
+
+Result<std::string> Service::Dispatch(const std::string& method,
+                                      const std::string& params_json,
+                                      const std::string& client_token) {
+  // Admission first: a throttled client pays for nothing past the token
+  // bucket — not even the params parse.
+  if (quota_ != nullptr) {
+    COCONUT_RETURN_NOT_OK(quota_->Admit(client_token));
+  }
   COCONUT_ASSIGN_OR_RETURN(
       const JsonValue params,
       JsonParse(params_json.empty() ? std::string_view("{}")

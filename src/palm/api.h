@@ -181,7 +181,8 @@ struct IngestBatchReport {
   uint64_t seals_completed = 0;
   uint64_t merges_completed = 0;
   /// Backpressure telemetry (summed across shards for sharded streams;
-  /// stall percentiles are the worst shard's).
+  /// stall percentiles are computed over the pooled per-shard sample
+  /// windows).
   uint64_t seals_inflight = 0;
   uint64_t ingest_stalls = 0;
   uint64_t ingest_rejects = 0;
@@ -385,7 +386,37 @@ struct DropDatasetResponse {
   std::string ToJsonString() const;
 };
 
+/// POST /api/v1/server_stats (empty params) — the front-door counters on
+/// the wire: answer-cache hit/miss/evict occupancy and quota
+/// admit/throttle/401 tallies. Serialized as
+/// {"cache":{...},"quota":{...}} with `enabled` flags so clients can tell
+/// "disabled" from "idle".
+struct ServerStatsResponse {
+  bool cache_enabled = false;
+  uint64_t cache_entries = 0;
+  uint64_t cache_bytes = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_inserts = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_stale_drops = 0;
+  uint64_t cache_invalidations = 0;
+  bool quota_enabled = false;
+  uint64_t quota_admitted = 0;
+  uint64_t quota_throttled = 0;
+  uint64_t quota_unauthenticated = 0;
+
+  static Result<ServerStatsResponse> FromJson(const JsonValue& value);
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
 // -------------------------------------------------------------- service
+
+class QueryCache;          // palm/query_cache.h
+struct QueryCacheOptions;  // palm/query_cache.h
+class QuotaEnforcer;       // palm/quota.h
+struct QuotaOptions;       // palm/quota.h
 
 /// The transport-agnostic Palm service: every operation of the demo's
 /// algorithms backend as a typed method, plus a JSON-RPC style Dispatch
@@ -409,16 +440,40 @@ class Service {
   static Result<std::unique_ptr<Service>> Create(
       const std::string& root_dir, size_t pool_bytes_per_index = 4ull << 20);
 
+  ~Service();  // Out of line: QueryCache/QuotaEnforcer are incomplete here.
+
   // ---- JSON-RPC entry point.
 
   /// Runs `method` with `params_json` (empty = "{}") and returns the
   /// response JSON. Unknown methods and malformed/invalid params fail with
   /// a Status the transport maps through ApiError::FromStatus.
+  /// `client_token` is the credential the transport extracted (HTTP:
+  /// Authorization: Bearer); when quotas are configured the request is
+  /// admitted through the token bucket first (kUnauthenticated -> 401,
+  /// kResourceExhausted -> 429) — with no quotas configured the token is
+  /// ignored, today's open-door behavior.
+  Result<std::string> Dispatch(const std::string& method,
+                               const std::string& params_json,
+                               const std::string& client_token);
+  /// Anonymous-client convenience (token = "").
   Result<std::string> Dispatch(const std::string& method,
                                const std::string& params_json);
 
   /// Every method name Dispatch understands, sorted.
   static const std::vector<std::string>& Methods();
+
+  // ---- front-door policy (set at startup, before serving traffic).
+
+  /// Turns the exact LRU answer cache on (off by default — opt in). Call
+  /// before the service takes concurrent traffic.
+  void EnableQueryCache(const QueryCacheOptions& options);
+
+  /// Installs per-client token quotas enforced at the Dispatch boundary.
+  /// Call before the service takes concurrent traffic.
+  void ConfigureQuotas(const QuotaOptions& options);
+
+  /// Cache and quota counters (zeros with `enabled` false when off).
+  ServerStatsResponse ServerStats() const;
 
   // ---- typed operations (wire-shaped requests).
 
@@ -496,8 +551,9 @@ class Service {
     std::mutex op_mutex;
   };
 
-  Service(std::string root_dir, size_t pool_bytes)
-      : root_dir_(std::move(root_dir)), pool_bytes_(pool_bytes) {}
+  // Out of line (like ~Service): an inline body would instantiate the
+  // unique_ptr deleters of the still-incomplete front-door types.
+  Service(std::string root_dir, size_t pool_bytes);
 
   /// Registry mutation; caller holds mu_ exclusively. Inserts a
   /// tombstoned (building) handle that only reserves the name — no
@@ -539,6 +595,9 @@ class Service {
   Result<QueryReport> QueryLocked(const QueryRequest& request,
                                   IndexHandle* handle);
 
+  /// The handle's current snapshot-version stamp (static or streaming).
+  static uint64_t IndexVersion(const IndexHandle& handle);
+
   /// Runs one QueryBatch group (all requests target the same index name).
   /// Exact static-index requests with matching search options are bucketed
   /// and answered through DataSeriesIndex::ExactSearchBatch — one shared
@@ -570,6 +629,12 @@ class Service {
   /// shared_ptr so an op can pin a handle across its (registry-lock-free)
   /// work while DropIndex concurrently erases the map entry.
   std::map<std::string, std::shared_ptr<IndexHandle>> indexes_;
+
+  /// Front-door policy objects; null = feature off. Installed once at
+  /// startup (EnableQueryCache/ConfigureQuotas), internally thread-safe
+  /// afterwards, so ops read the pointers without the registry lock.
+  std::unique_ptr<QueryCache> query_cache_;
+  std::unique_ptr<QuotaEnforcer> quota_;
 };
 
 }  // namespace api

@@ -1,0 +1,174 @@
+#include "palm/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace coconut {
+namespace palm {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+}  // namespace
+
+BlockingHttpClient::BlockingHttpClient(std::string host, uint16_t port)
+    : host_(std::move(host)), port_(port) {}
+
+BlockingHttpClient::~BlockingHttpClient() { Close(); }
+
+void BlockingHttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status BlockingHttpClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  // Latency measurements, not bulk transfer: flush each request eagerly.
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("not an IPv4 address: " + host_);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string message = std::strerror(errno);
+    Close();
+    return Status::IoError("connect " + host_ + ":" +
+                           std::to_string(port_) + ": " + message);
+  }
+  return Status::OK();
+}
+
+Status BlockingHttpClient::SendAll(const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("send: " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<HttpClientResponse> BlockingHttpClient::ReadResponse() {
+  size_t header_end;
+  while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    char chunk[8192];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IoError(n == 0 ? "connection closed mid-response"
+                                  : "recv: " +
+                                        std::string(std::strerror(errno)));
+  }
+
+  HttpClientResponse response;
+  const std::string head = buffer_.substr(0, header_end);
+  const size_t sp = head.find(' ');
+  if (sp == std::string::npos) {
+    return Status::IoError("malformed status line: " +
+                           head.substr(0, head.find("\r\n")));
+  }
+  response.status = std::atoi(head.c_str() + sp + 1);
+
+  size_t content_length = 0;
+  size_t pos = head.find("\r\n");
+  pos = pos == std::string::npos ? head.size() : pos + 2;
+  while (pos < head.size()) {
+    size_t next = head.find("\r\n", pos);
+    if (next == std::string::npos) next = head.size();
+    const std::string line = head.substr(pos, next - pos);
+    pos = next + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string name = ToLower(line.substr(0, colon));
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.erase(value.begin());
+    if (name == "content-length") {
+      content_length = static_cast<size_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+    } else if (name == "connection" && ToLower(value) == "close") {
+      response.connection_close = true;
+    }
+  }
+  buffer_.erase(0, header_end + 4);
+
+  while (buffer_.size() < content_length) {
+    char chunk[8192];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IoError(n == 0 ? "connection closed mid-body"
+                                  : "recv: " +
+                                        std::string(std::strerror(errno)));
+  }
+  response.body = buffer_.substr(0, content_length);
+  buffer_.erase(0, content_length);
+  if (response.connection_close) Close();
+  return response;
+}
+
+Result<HttpClientResponse> BlockingHttpClient::Post(
+    const std::string& target, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  const bool was_connected = fd_ >= 0;
+  COCONUT_RETURN_NOT_OK(EnsureConnected());
+  std::string request = "POST " + target + " HTTP/1.1\r\n";
+  request += "Host: " + host_ + "\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  for (const auto& [name, value] : headers) {
+    request += name + ": " + value + "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+
+  Status sent = SendAll(request);
+  Result<HttpClientResponse> response =
+      sent.ok() ? ReadResponse() : Result<HttpClientResponse>(sent);
+  if (!response.ok() && was_connected) {
+    // The keep-alive connection likely idled out between requests; one
+    // reconnect-and-retry is safe because the request never started
+    // processing on a dead socket.
+    Close();
+    COCONUT_RETURN_NOT_OK(EnsureConnected());
+    COCONUT_RETURN_NOT_OK(SendAll(request));
+    return ReadResponse();
+  }
+  return response;
+}
+
+}  // namespace palm
+}  // namespace coconut

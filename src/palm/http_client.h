@@ -1,0 +1,62 @@
+#ifndef COCONUT_PALM_HTTP_CLIENT_H_
+#define COCONUT_PALM_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace coconut {
+namespace palm {
+
+/// One parsed HTTP response.
+struct HttpClientResponse {
+  int status = 0;
+  std::string body;
+  /// True when the server asked for (or the protocol implies) connection
+  /// close; the client tears the socket down and reconnects lazily.
+  bool connection_close = false;
+};
+
+/// Minimal blocking HTTP/1.1 client over one keep-alive connection —
+/// just enough wire for talking to palm::HttpServer from the load
+/// generator and the front-door tests. Not thread-safe: one instance per
+/// thread. Reconnects transparently when the server closes the
+/// connection between requests (keep-alive churn), but a failure
+/// mid-response surfaces as an error.
+class BlockingHttpClient {
+ public:
+  BlockingHttpClient(std::string host, uint16_t port);
+  ~BlockingHttpClient();
+
+  BlockingHttpClient(const BlockingHttpClient&) = delete;
+  BlockingHttpClient& operator=(const BlockingHttpClient&) = delete;
+
+  /// POST `body` to `target` with optional extra headers (e.g.
+  /// {"Authorization", "Bearer alice"}). Non-2xx statuses are returned,
+  /// not errors — only transport failures produce a bad Status.
+  Result<HttpClientResponse> Post(
+      const std::string& target, const std::string& body,
+      const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+  void Close();
+
+ private:
+  Status EnsureConnected();
+  Status SendAll(const std::string& data);
+  Result<HttpClientResponse> ReadResponse();
+
+  std::string host_;
+  uint16_t port_;
+  int fd_ = -1;
+  /// Bytes received past the previous response (keep-alive pipelining
+  /// slack) — consumed before touching the socket again.
+  std::string buffer_;
+};
+
+}  // namespace palm
+}  // namespace coconut
+
+#endif  // COCONUT_PALM_HTTP_CLIENT_H_

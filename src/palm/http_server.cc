@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -52,6 +53,8 @@ const char* ReasonPhrase(int status) {
       return "OK";
     case 400:
       return "Bad Request";
+    case 401:
+      return "Unauthorized";
     case 404:
       return "Not Found";
     case 405:
@@ -84,6 +87,9 @@ struct ParsedRequest {
   std::string target;
   bool keep_alive = true;
   std::string body;
+  /// Credential from the Authorization header ("Bearer <x>" -> "<x>";
+  /// other schemes pass through whole). Empty = anonymous.
+  std::string client_token;
 };
 
 std::string ToLower(std::string s) {
@@ -258,6 +264,11 @@ void HttpServer::AcceptLoop() {
       ::close(fd);
       break;
     }
+    // Responses go out as two sends (head, then body); without NODELAY
+    // Nagle holds the second until the first is ACKed, adding ~40 ms of
+    // delayed-ACK latency to every keep-alive request on loopback.
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       pending_connections_.push_back(fd);
@@ -410,6 +421,18 @@ void HttpServer::HandleConnection(int fd) {
                         false);
           ::close(fd);
           return;
+        } else if (name == "authorization") {
+          const std::string lowered = ToLower(value);
+          if (lowered.rfind("bearer ", 0) == 0) {
+            request.client_token = value.substr(7);
+            // RFC 6750 allows whitespace padding after the scheme.
+            while (!request.client_token.empty() &&
+                   request.client_token.front() == ' ') {
+              request.client_token.erase(request.client_token.begin());
+            }
+          } else {
+            request.client_token = value;
+          }
         } else if (name == "connection") {
           const std::string lowered = ToLower(value);
           if (lowered == "close") request.keep_alive = false;
@@ -526,7 +549,8 @@ void HttpServer::HandleConnection(int fd) {
         Result<std::string> dispatched =
             Status::Internal("dispatch did not run");
         try {
-          dispatched = service_->Dispatch(method_name, request.body);
+          dispatched = service_->Dispatch(method_name, request.body,
+                                          request.client_token);
         } catch (const std::exception& e) {
           dispatched = Status::Internal(std::string("unhandled exception: ") +
                                         e.what());
@@ -537,9 +561,12 @@ void HttpServer::HandleConnection(int fd) {
           alive = WriteResponse(fd, 200, dispatched.value(),
                                 request.keep_alive);
         } else {
+          const int http_status =
+              api::StatusCodeToHttpStatus(dispatched.status().code());
           alive = WriteResponse(
-              fd, api::StatusCodeToHttpStatus(dispatched.status().code()),
-              JsonError(dispatched.status()), request.keep_alive);
+              fd, http_status, JsonError(dispatched.status()),
+              request.keep_alive,
+              http_status == 401 ? "WWW-Authenticate: Bearer" : nullptr);
         }
       }
     } else {

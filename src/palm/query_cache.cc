@@ -1,0 +1,131 @@
+#include "palm/query_cache.h"
+
+#include <cstring>
+
+namespace coconut {
+namespace palm {
+namespace api {
+
+namespace {
+
+void AppendRaw(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  AppendRaw(out, &value, sizeof(value));
+}
+
+}  // namespace
+
+QueryCache::QueryCache(const QueryCacheOptions& options) : options_(options) {}
+
+bool QueryCache::Cacheable(const QueryRequest& request) {
+  // Heatmap responses embed the page-access pattern of the specific run
+  // that produced them; replaying one would misreport I/O behaviour.
+  return !request.capture_heatmap;
+}
+
+std::string QueryCache::KeyFor(const QueryRequest& request) {
+  std::string key;
+  key.reserve(request.index.size() + 32 + request.query.size() * sizeof(float));
+  // Length-prefix the name so "ab"+flags can never collide with "a"+"b...".
+  AppendPod(&key, static_cast<uint64_t>(request.index.size()));
+  key += request.index;
+  AppendPod(&key, static_cast<uint8_t>(request.exact ? 1 : 0));
+  AppendPod(&key, static_cast<int64_t>(request.approx_candidates));
+  AppendPod(&key, static_cast<uint8_t>(request.window.has_value() ? 1 : 0));
+  if (request.window.has_value()) {
+    AppendPod(&key, request.window->begin);
+    AppendPod(&key, request.window->end);
+  }
+  // Raw bit patterns: exactness means byte equality, not float equality.
+  if (!request.query.empty()) {
+    AppendRaw(&key, request.query.data(),
+              request.query.size() * sizeof(float));
+  }
+  return key;
+}
+
+size_t QueryCache::ChargeOf(const Entry& entry) const {
+  // Dominant terms only; the fixed part covers the report struct and the
+  // list/map bookkeeping. Heatmap reports are excluded by Cacheable, so
+  // the report's variable-size members are empty.
+  return entry.key.size() + entry.index.size() + sizeof(Entry) + 128;
+}
+
+void QueryCache::EraseLocked(std::list<Entry>::iterator it) {
+  bytes_ -= it->charge;
+  map_.erase(it->key);
+  lru_.erase(it);
+}
+
+std::optional<QueryReport> QueryCache::Lookup(const std::string& key,
+                                              uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second->version != version) {
+    // Superseded: the index moved on. Drop it so the slot is reusable.
+    ++stats_.stale_drops;
+    ++stats_.misses;
+    EraseLocked(it->second);
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->report;
+}
+
+void QueryCache::Insert(const std::string& key, const std::string& index,
+                        uint64_t version, const QueryReport& report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) EraseLocked(it->second);
+
+  Entry entry;
+  entry.key = key;
+  entry.index = index;
+  entry.version = version;
+  entry.report = report;
+  entry.charge = ChargeOf(entry);
+  if (entry.charge > options_.max_bytes || options_.max_entries == 0) return;
+
+  lru_.push_front(std::move(entry));
+  map_.emplace(lru_.front().key, lru_.begin());
+  bytes_ += lru_.front().charge;
+  ++stats_.inserts;
+
+  while (lru_.size() > options_.max_entries || bytes_ > options_.max_bytes) {
+    ++stats_.evictions;
+    EraseLocked(std::prev(lru_.end()));
+  }
+}
+
+void QueryCache::InvalidateIndex(const std::string& index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    auto next = std::next(it);
+    if (it->index == index) {
+      ++stats_.invalidations;
+      EraseLocked(it);
+    }
+    it = next;
+  }
+}
+
+QueryCacheStats QueryCache::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryCacheStats stats = stats_;
+  stats.entries = lru_.size();
+  stats.bytes = bytes_;
+  return stats;
+}
+
+}  // namespace api
+}  // namespace palm
+}  // namespace coconut

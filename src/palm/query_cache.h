@@ -1,0 +1,106 @@
+#ifndef COCONUT_PALM_QUERY_CACHE_H_
+#define COCONUT_PALM_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "palm/api.h"
+
+namespace coconut {
+namespace palm {
+namespace api {
+
+/// Capacity knobs for the service-level answer cache. Both limits apply;
+/// eviction is strict LRU.
+struct QueryCacheOptions {
+  size_t max_entries = 4096;
+  size_t max_bytes = 64ull << 20;
+};
+
+/// Counter snapshot (monotonic since cache creation, except entries/bytes
+/// which are the current occupancy).
+struct QueryCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  /// Lookups that found the key but at a superseded snapshot version; the
+  /// entry is dropped and the lookup counts as a miss too.
+  uint64_t stale_drops = 0;
+  /// Entries removed because their index was dropped or republished.
+  uint64_t invalidations = 0;
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+};
+
+/// Exact LRU answer cache for Query: the key encodes the index name, the
+/// exact/approx mode, approx_candidates, the optional time window and the
+/// raw float *bit patterns* of the query vector (memcmp semantics — two
+/// queries hit the same entry iff they are byte-identical, so -0.0f vs
+/// 0.0f and NaN payloads never alias). The stored QueryReport is re-served
+/// verbatim, which keeps a hit byte-identical on the wire to the response
+/// that filled it.
+///
+/// Exactness under ingest comes from the snapshot-version stamp
+/// (DataSeriesIndex/StreamingIndex::snapshot_version): entries remember
+/// the version they were computed at and Lookup only returns them while
+/// the index still reports that version. The service fills an entry only
+/// when the version read before the scan equals the version read after it
+/// (the scan observed one stable snapshot). Because a dropped-and-
+/// recreated index restarts its counter, the service additionally calls
+/// InvalidateIndex on every drop/republish of a name.
+///
+/// Thread safety: a single internal mutex; every operation is O(1) except
+/// InvalidateIndex (O(entries), drop-rate rare).
+class QueryCache {
+ public:
+  explicit QueryCache(const QueryCacheOptions& options);
+
+  /// Canonical key for a request. Heatmap captures are never cached (the
+  /// report embeds a per-run access pattern); callers gate on Cacheable.
+  static std::string KeyFor(const QueryRequest& request);
+  static bool Cacheable(const QueryRequest& request);
+
+  /// Returns the stored report iff present at exactly `version`.
+  std::optional<QueryReport> Lookup(const std::string& key, uint64_t version);
+
+  /// Stores (replacing any entry under the key), then evicts LRU-first
+  /// down to both capacity limits.
+  void Insert(const std::string& key, const std::string& index,
+              uint64_t version, const QueryReport& report);
+
+  /// Removes every entry belonging to `index` (drop/republish edge).
+  void InvalidateIndex(const std::string& index);
+
+  QueryCacheStats Snapshot() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string index;
+    uint64_t version = 0;
+    QueryReport report;
+    size_t charge = 0;
+  };
+
+  size_t ChargeOf(const Entry& entry) const;
+  void EraseLocked(std::list<Entry>::iterator it);
+
+  const QueryCacheOptions options_;
+  mutable std::mutex mu_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  uint64_t bytes_ = 0;
+  QueryCacheStats stats_;
+};
+
+}  // namespace api
+}  // namespace palm
+}  // namespace coconut
+
+#endif  // COCONUT_PALM_QUERY_CACHE_H_

@@ -1,0 +1,95 @@
+#include "palm/quota.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace coconut {
+namespace palm {
+namespace api {
+
+namespace {
+
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+QuotaEnforcer::QuotaEnforcer(QuotaOptions options)
+    : options_(std::move(options)) {
+  if (!options_.clock_seconds) options_.clock_seconds = &SteadySeconds;
+  for (const auto& [token, quota] : options_.clients) {
+    Bucket bucket;
+    bucket.quota = quota;
+    buckets_.emplace(token, bucket);
+  }
+  if (options_.anonymous_quota.has_value()) {
+    anonymous_bucket_.quota = *options_.anonymous_quota;
+  } else {
+    anonymous_bucket_.quota.requests_per_second = 0.0;  // Unlimited.
+  }
+}
+
+Status QuotaEnforcer::AdmitBucket(Bucket* bucket, double now_s) {
+  const double rate = bucket->quota.requests_per_second;
+  if (rate <= 0.0) return Status::OK();  // Unlimited client.
+  const double burst = std::max(bucket->quota.burst, 1.0);
+  if (!bucket->primed) {
+    // First sighting: a full bucket, so a client's initial burst up to
+    // `burst` goes through before pacing kicks in.
+    bucket->tokens = burst;
+    bucket->primed = true;
+  } else {
+    const double elapsed = std::max(0.0, now_s - bucket->last_refill_s);
+    bucket->tokens = std::min(burst, bucket->tokens + elapsed * rate);
+  }
+  bucket->last_refill_s = now_s;
+  if (bucket->tokens >= 1.0) {
+    bucket->tokens -= 1.0;
+    return Status::OK();
+  }
+  const double deficit_s = (1.0 - bucket->tokens) / rate;
+  const int64_t retry_ms =
+      static_cast<int64_t>(std::ceil(deficit_s * 1000.0));
+  return Status::ResourceExhausted(
+      "client over rate quota (" + std::to_string(rate) +
+      " req/s, burst " + std::to_string(burst) + "); retry in ~" +
+      std::to_string(retry_ms) + " ms");
+}
+
+Status QuotaEnforcer::Admit(const std::string& token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double now_s = options_.clock_seconds();
+  Bucket* bucket = nullptr;
+  auto it = buckets_.find(token);
+  if (it != buckets_.end()) {
+    bucket = &it->second;
+  } else if (options_.allow_anonymous) {
+    bucket = &anonymous_bucket_;
+  } else {
+    ++stats_.unauthenticated;
+    return Status::Unauthenticated(
+        token.empty() ? "missing client token: present Authorization: "
+                        "Bearer <token>"
+                      : "unknown client token");
+  }
+  Status status = AdmitBucket(bucket, now_s);
+  if (status.ok()) {
+    ++stats_.admitted;
+  } else {
+    ++stats_.throttled;
+  }
+  return status;
+}
+
+QuotaStats QuotaEnforcer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace api
+}  // namespace palm
+}  // namespace coconut

@@ -121,6 +121,7 @@ Status ShardedIndex::Insert(uint64_t series_id,
     shard.local_to_global.resize(local_id + 1);
   }
   shard.local_to_global[local_id] = series_id;
+  BumpSnapshotVersion();
   return Status::OK();
 }
 
@@ -141,6 +142,7 @@ Status ShardedIndex::Finalize() {
       COCONUT_RETURN_NOT_OK(finalize_shard(shard.get()));
     }
     finalized_ = true;  // Only a fully successful build seals the index.
+    BumpSnapshotVersion();
     return Status::OK();
   }
 
@@ -158,6 +160,7 @@ Status ShardedIndex::Finalize() {
   pool.Wait();
   for (const Status& st : statuses) COCONUT_RETURN_NOT_OK(st);
   finalized_ = true;  // Only a fully successful build seals the index.
+  BumpSnapshotVersion();
   return Status::OK();
 }
 
@@ -298,6 +301,14 @@ uint64_t ShardedIndex::num_entries() const {
 uint64_t ShardedIndex::index_bytes() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) total += shard->index->index_bytes();
+  return total;
+}
+
+uint64_t ShardedIndex::snapshot_version() const {
+  uint64_t total = core::DataSeriesIndex::snapshot_version();
+  for (const auto& shard : shards_) {
+    total += shard->index->snapshot_version();
+  }
   return total;
 }
 

@@ -90,6 +90,11 @@ class ShardedIndex : public core::DataSeriesIndex {
   uint64_t index_bytes() const override;
   std::string describe() const override;
 
+  /// Wrapper-level mutations plus the sum of per-shard inner stamps — a
+  /// monotone sum (every term only grows), so equal reads bracketing a
+  /// query still prove no shard changed in between.
+  uint64_t snapshot_version() const override;
+
   size_t num_shards() const { return shards_.size(); }
 
   /// The shard a series with these (z-normalized) values routes to —

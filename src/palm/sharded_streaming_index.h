@@ -85,6 +85,19 @@ class ShardedStreamingIndex : public stream::StreamingIndex {
   std::string describe() const override;
   stream::StreamingStats SnapshotStats() const override;
 
+  /// Sum of per-shard inner stamps — monotone (every shard's counter only
+  /// grows), so equal reads bracketing a query prove no shard admitted or
+  /// published anything in between. All mutation goes through the inner
+  /// indexes (AdmitToShard → inner Ingest; cascades bump inside), so the
+  /// wrapper needs no counter of its own.
+  uint64_t snapshot_version() const override {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->index->snapshot_version();
+    }
+    return total;
+  }
+
   size_t num_shards() const { return shards_.size(); }
 
   /// The shard a series with these (z-normalized) values routes to —

@@ -22,7 +22,12 @@ enum class Isa : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
 /// Numerical contract, relied on by the oracle suites:
 ///  - compute_paa, sax_from_paa and mindist_acc are BIT-IDENTICAL across
 ///    ISAs (the SIMD variants keep scalar summation/comparison order, and
-///    fall back to scalar where they cannot).
+///    fall back to scalar where they cannot) — except that a NaN result
+///    only promises NaN-ness, not its sign/payload bits: IEEE 754 leaves
+///    NaN propagation unspecified and compilers exploit that per build
+///    mode (the same scalar source folds inf + -inf to a different NaN at
+///    -O2 than at -O0/under TSan), so no tier can pin it. Downstream is
+///    indifferent: sax_from_paa sends every NaN to the top symbol.
 ///  - euclidean_sq / euclidean_sq_ea reassociate the summation: SIMD
 ///    results differ from scalar by at most the reassociation error of an
 ///    n-term double sum (each term is computed bit-exactly in double, so

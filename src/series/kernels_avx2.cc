@@ -166,31 +166,12 @@ void ComputePaaAvx2(const float* values, size_t n, int num_segments,
   }
 }
 
-// Branchless 4-lane binary search over the breakpoint table. The advance
-// predicate !(v < table[mid]) (i.e. NLT, unordered-true) reproduces
-// std::upper_bound semantics including NaN -> top symbol.
-void SaxFromPaaAvx2(const float* paa, int num_segments, int bits,
-                    uint8_t* out) {
-  const double* tab = Breakpoints::ForBits(bits).data();
-  int s = 0;
-  for (; s + 4 <= num_segments; s += 4) {
-    const __m256d v = Widen4(paa + s);
-    __m256i sym = _mm256_setzero_si256();  // 4 x int64 symbols
-    for (int b = bits - 1; b >= 0; --b) {
-      const long long step = 1ll << b;
-      const __m256i mid = _mm256_add_epi64(sym, _mm256_set1_epi64x(step - 1));
-      const __m256d t = _mm256_i64gather_pd(tab, mid, 8);
-      const __m256d ge = _mm256_cmp_pd(v, t, _CMP_NLT_UQ);
-      sym = _mm256_add_epi64(
-          sym, _mm256_and_si256(_mm256_castpd_si256(ge),
-                                _mm256_set1_epi64x(step)));
-    }
-    alignas(32) long long lanes[4];
-    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), sym);
-    for (int k = 0; k < 4; ++k) out[s + k] = static_cast<uint8_t>(lanes[k]);
-  }
-  if (s < num_segments) SaxFromPaaScalar(paa + s, num_segments - s, bits, out + s);
-}
+// sax_from_paa deliberately stays scalar on this tier: the 4-lane
+// gather-based binary search (see git history) measurably loses to the
+// scalar upper_bound on gather-slow parts — BENCH_kernels.json has tracked
+// the regression since the dispatch layer landed. The AVX-512 tier keeps
+// its 8-lane form, where the gather amortizes over twice the lanes. Bit-
+// identity is trivial here: the table entry *is* the scalar kernel.
 
 // Per-segment gaps vectorized in float — max(max(lo-q, q-up), 0) matches
 // the scalar branches including NaN/inf edge cases (maxps returns its
@@ -233,7 +214,7 @@ constexpr KernelTable kAvx2Table = {
     Isa::kAvx2,
     "avx2",
     &ComputePaaAvx2,
-    &SaxFromPaaAvx2,
+    &SaxFromPaaScalar,  // Demoted: scalar beats the gather binary search.
     &EuclideanSqAvx2,
     &EuclideanSqEaAvx2,
     &MinDistAccAvx2,

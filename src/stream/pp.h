@@ -83,6 +83,12 @@ class PostProcessingIndex : public StreamingIndex {
     return StreamingIndex::SnapshotStats();
   }
 
+  /// All mutation flows through the inner index (including CLSM's
+  /// background cascades), so its stamp is the authoritative one.
+  uint64_t snapshot_version() const override {
+    return inner_->snapshot_version();
+  }
+
  private:
   std::unique_ptr<core::DataSeriesIndex> inner_;
   StatsProvider stats_provider_;

@@ -2,6 +2,7 @@
 #define COCONUT_STREAM_STREAMING_INDEX_H_
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -87,6 +88,11 @@ class BackpressureGate {
   uint64_t stalls() const { return stalls_; }
   uint64_t rejects() const { return rejects_; }
 
+  /// Copy of the bounded stall-sample window (owner's mutex held, like
+  /// StallPercentileMs). Feeds StreamingStats::stall_samples so cross-shard
+  /// aggregation can merge sample multisets instead of percentile scalars.
+  std::vector<double> SnapshotSamples() const { return samples_; }
+
   /// Percentile over the recorded stall window (0 when nothing stalled).
   double StallPercentileMs(double p) const {
     if (samples_.empty()) return 0.0;
@@ -141,11 +147,29 @@ struct StreamingStats {
   /// milliseconds (0 when nothing ever stalled).
   double stall_ms_p50 = 0.0;
   double stall_ms_p99 = 0.0;
+  /// The bounded stall-sample window the percentiles were computed from
+  /// (up to BackpressureGate's window per index). Carried so Add() can
+  /// merge the underlying multisets: a max of per-shard p50s is not the
+  /// p50 of anything, but a percentile over the pooled samples is the
+  /// exact percentile of the pooled window.
+  std::vector<double> stall_samples;
+
+  /// Percentile over an unsorted sample vector using the same nearest-rank
+  /// convention as BackpressureGate::StallPercentileMs (index p*(n-1) of
+  /// the sorted samples); 0 when empty.
+  static double PercentileMs(std::vector<double> samples, double p) {
+    if (samples.empty()) return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const size_t idx =
+        static_cast<size_t>(p * static_cast<double>(samples.size() - 1));
+    return samples[idx];
+  }
 
   /// Folds another snapshot in (the cross-shard gather): counts sum;
-  /// percentile fields keep the worst shard's value, a conservative
-  /// aggregate — per-shard exact percentiles stay available shard by
-  /// shard.
+  /// stall-sample windows concatenate and the percentile fields are
+  /// recomputed over the pooled multiset, so the aggregate p50/p99 is the
+  /// true percentile of the merged window — per-shard exact percentiles
+  /// stay available shard by shard.
   void Add(const StreamingStats& other) {
     entries += other.entries;
     buffered += other.buffered;
@@ -156,8 +180,10 @@ struct StreamingStats {
     seals_inflight += other.seals_inflight;
     ingest_stalls += other.ingest_stalls;
     ingest_rejects += other.ingest_rejects;
-    if (other.stall_ms_p50 > stall_ms_p50) stall_ms_p50 = other.stall_ms_p50;
-    if (other.stall_ms_p99 > stall_ms_p99) stall_ms_p99 = other.stall_ms_p99;
+    stall_samples.insert(stall_samples.end(), other.stall_samples.begin(),
+                         other.stall_samples.end());
+    stall_ms_p50 = PercentileMs(stall_samples, 0.50);
+    stall_ms_p99 = PercentileMs(stall_samples, 0.99);
   }
 };
 
@@ -215,6 +241,27 @@ class StreamingIndex {
     stats.sealed_partitions = num_partitions();
     return stats;
   }
+
+  /// Monotonic snapshot-version stamp, mirroring
+  /// core::DataSeriesIndex::snapshot_version(): bumped on every Ingest
+  /// admission and every background publication (seal, flush, merge
+  /// cascade) that changes the queryable partition set. Equal reads
+  /// bracketing a query prove it ran against one stable snapshot; the
+  /// service-layer answer cache keys validity on this. Wrappers that
+  /// delegate all mutation to an inner structure override this to forward
+  /// (or sum, for sharded fan-outs — sound because components only grow).
+  virtual uint64_t snapshot_version() const {
+    return snapshot_version_.load(std::memory_order_acquire);
+  }
+
+ protected:
+  /// Marks a mutation; thread-safe, called at admission/publication sites.
+  void BumpSnapshotVersion() {
+    snapshot_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<uint64_t> snapshot_version_{0};
 };
 
 }  // namespace stream

@@ -101,6 +101,9 @@ void TemporalPartitioningIndex::PublishPartitions(
     uint64_t merges_delta) {
   std::lock_guard<std::mutex> lock(mu_);
   partitions_ = std::move(set);
+  // Publication changes the queryable partition set (a seal or a merge can
+  // change approx-search pruning order even when contents are identical).
+  BumpSnapshotVersion();
   if (retired_pending != nullptr) {
     for (auto it = pending_.begin(); it != pending_.end(); ++it) {
       if (it->get() == retired_pending) {
@@ -263,6 +266,8 @@ Status TemporalPartitioningIndex::Ingest(uint64_t series_id,
       partitions_ = std::move(next);
       ++seals_completed_;
     }
+    // Admission (and the occasional inline seal) changed the answer set.
+    BumpSnapshotVersion();
     return Status::OK();
   }
 
@@ -297,6 +302,8 @@ Status TemporalPartitioningIndex::Ingest(uint64_t series_id,
     }
     unsealed_t_min_ = std::min(unsealed_t_min_, timestamp);
     unsealed_t_max_ = std::max(unsealed_t_max_, timestamp);
+    // The entry is admitted (visible to buffer-snapshot queries) from here.
+    BumpSnapshotVersion();
     if (buffer_.size() >= options_.buffer_entries) {
       pending = DetachBufferLocked();
       if (pending != nullptr && async()) {
@@ -535,6 +542,7 @@ StreamingStats TemporalPartitioningIndex::SnapshotStats() const {
   stats.ingest_rejects = backpressure_.rejects();
   stats.stall_ms_p50 = backpressure_.StallPercentileMs(0.50);
   stats.stall_ms_p99 = backpressure_.StallPercentileMs(0.99);
+  stats.stall_samples = backpressure_.SnapshotSamples();
   return stats;
 }
 

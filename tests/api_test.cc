@@ -11,6 +11,7 @@
 #include <filesystem>
 
 #include "palm/api.h"
+#include "palm/query_cache.h"
 #include "palm/server.h"
 #include "tests/test_util.h"
 
@@ -832,8 +833,31 @@ TEST_F(ServiceTest, QueryValidationAtBoundary) {
   EXPECT_EQ(service_->Query(query).status().code(),
             StatusCode::kInvalidArgument);
 
-  // Zero heat-map bins.
+  // Inverted time window (begin > end). Used to be accepted and silently
+  // scan nothing; now a structured invalid_argument at both boundaries.
   query.approx_candidates = 10;
+  query.window = core::TimeWindow{50, 10};
+  r = service_->Query(query);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("begin must be <= end"),
+            std::string::npos);
+  {
+    QueryRequest wire;
+    wire.index = "idx";
+    wire.query.assign(32, 0.5f);
+    wire.window = core::TimeWindow{50, 10};
+    auto parsed =
+        QueryRequest::FromJson(JsonParse(wire.ToJsonString()).TakeValue());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(parsed.status().message().find("begin must be <= end"),
+              std::string::npos);
+  }
+  // A degenerate single-instant window (begin == end) stays legal.
+  query.window = core::TimeWindow{10, 10};
+  EXPECT_TRUE(service_->Query(query).ok());
+  query.window.reset();
+
+  // Zero heat-map bins.
   query.capture_heatmap = true;
   query.heatmap_time_bins = 0;
   EXPECT_EQ(service_->Query(query).status().code(),
@@ -1042,6 +1066,43 @@ TEST_F(ServiceTest, DispatchTableCoversEveryAdvertisedMethod) {
   }
 }
 
+TEST_F(ServiceTest, ServerStatsOnTheWire) {
+  // Fresh service: both front-door features off, counters zero.
+  Result<std::string> out = service_->Dispatch("server_stats", "{}");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  auto stats =
+      ServerStatsResponse::FromJson(JsonParse(out.value()).TakeValue());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_FALSE(stats.value().cache_enabled);
+  EXPECT_FALSE(stats.value().quota_enabled);
+  EXPECT_EQ(stats.value().cache_hits, 0u);
+
+  // Takes no parameters, like list_indexes.
+  EXPECT_EQ(service_->Dispatch("server_stats", "{\"x\":1}").status().code(),
+            StatusCode::kInvalidArgument);
+
+  // With the cache on, a repeated query shows up as one miss + one hit.
+  service_->EnableQueryCache(QueryCacheOptions{});
+  const series::SeriesCollection data = Register("walk", 64);
+  ASSERT_TRUE(service_->BuildIndex("idx", TestSpec(), "walk").ok());
+  QueryRequest query;
+  query.index = "idx";
+  query.query = testutil::NoisyCopy(data, 3, 0.2, 9);
+  ASSERT_TRUE(service_->Query(query).ok());
+  ASSERT_TRUE(service_->Query(query).ok());
+  out = service_->Dispatch("server_stats", "");
+  ASSERT_TRUE(out.ok());
+  stats = ServerStatsResponse::FromJson(JsonParse(out.value()).TakeValue());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats.value().cache_enabled);
+  EXPECT_EQ(stats.value().cache_hits, 1u);
+  EXPECT_EQ(stats.value().cache_misses, 1u);
+  EXPECT_EQ(stats.value().cache_entries, 1u);
+
+  // Round trip through the typed struct stays byte-identical.
+  EXPECT_EQ(stats.value().ToJsonString(), out.value());
+}
+
 // ------------------------------------------------------- drop lifecycle
 
 TEST_F(ServiceTest, DropIndexReleasesStorage) {
@@ -1124,6 +1185,9 @@ TEST(ApiErrorTest, StatusMapping) {
   EXPECT_EQ(StatusCodeToHttpStatus(StatusCode::kNotSupported), 501);
   EXPECT_EQ(StatusCodeToHttpStatus(StatusCode::kResourceExhausted), 429);
   EXPECT_EQ(StatusCodeToHttpStatus(StatusCode::kInternal), 500);
+  EXPECT_STREQ(StatusCodeToApiCode(StatusCode::kUnauthenticated),
+               "unauthenticated");
+  EXPECT_EQ(StatusCodeToHttpStatus(StatusCode::kUnauthenticated), 401);
 
   const ApiError error =
       ApiError::FromStatus(Status::NotFound("index 'x' not found"));

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <clocale>
+#include <cstdio>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "common/json.h"
@@ -42,6 +45,8 @@ TEST(StatusTest, AllCodesHaveNames) {
                "ResourceExhausted");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kNotSupported), "NotSupported");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnauthenticated),
+               "Unauthenticated");
 }
 
 TEST(StatusTest, Equality) {
@@ -284,6 +289,50 @@ TEST(JsonParseTest, Scalars) {
   EXPECT_FALSE(v.AsInt64().ok());
   v = JsonParse("-9223372036854775808").TakeValue();
   EXPECT_EQ(v.AsInt64().value(), INT64_MIN);
+}
+
+// Regression: number parsing used to route through locale-sensitive
+// strtod, so a process whose C locale uses a decimal *comma* (any
+// embedder can flip it — GUI toolkits routinely do) rejected every
+// fractional JSON number on the wire. Parsing now goes through
+// std::from_chars (locale-pinned strtod_l fallback), and the writer
+// through std::to_chars, so both directions are locale-independent.
+TEST(JsonParseTest, NumbersAreLocaleIndependent) {
+  const char* previous = std::setlocale(LC_ALL, nullptr);
+  const std::string restore = previous != nullptr ? previous : "C";
+  const char* flipped = nullptr;
+  for (const char* candidate :
+       {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8", "fr_FR.utf8",
+        "fr_FR"}) {
+    flipped = std::setlocale(LC_ALL, candidate);
+    if (flipped != nullptr) break;
+  }
+  if (flipped == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  // The locale must actually use a comma, or the flip proves nothing.
+  char probe[32];
+  std::snprintf(probe, sizeof(probe), "%.1f", 1.5);
+  if (std::string(probe) != "1,5") {
+    std::setlocale(LC_ALL, restore.c_str());
+    GTEST_SKIP() << "locale does not use a decimal comma";
+  }
+
+  JsonValue v = JsonParse("3.5").TakeValue();
+  EXPECT_EQ(v.kind(), JsonValue::Kind::kDouble);
+  EXPECT_EQ(v.AsDouble(), 3.5);
+  EXPECT_EQ(JsonParse("1e3").TakeValue().AsDouble(), 1000.0);
+  EXPECT_EQ(JsonParse("-0.25").TakeValue().AsDouble(), -0.25);
+  // A comma is still not valid JSON, whatever the locale says.
+  EXPECT_FALSE(JsonParse("3,5").ok());
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("x", 1.5);
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(), "{\"x\":1.5}");
+
+  std::setlocale(LC_ALL, restore.c_str());
 }
 
 TEST(JsonParseTest, NestedStructures) {

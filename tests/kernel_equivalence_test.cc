@@ -3,7 +3,8 @@
 // reference on randomized and adversarial inputs (NaN/Inf, unaligned
 // pointers, remainder lengths, breakpoint-exact values):
 //  - ComputePaa, SAX symbolization and the MINDIST accumulator must be
-//    BIT-identical across tiers (the table contract the oracles build on);
+//    BIT-identical across tiers (the table contract the oracles build on;
+//    NaN outputs match in NaN-ness only — see SameBitsOrBothNan);
 //  - EuclideanSquared may reassociate the summation, so tiers agree within
 //    an n-term reassociation bound; within one tier, early abandon at
 //    threshold = +inf and the batch kernel are bit-identical to it.
@@ -50,6 +51,17 @@ bool SameBits(double a, double b) {
   std::memcpy(&ua, &a, sizeof(ua));
   std::memcpy(&ub, &b, sizeof(ub));
   return ua == ub;
+}
+
+/// PAA outputs: bit-identical, except that a NaN only has to match in
+/// NaN-ness. IEEE 754 leaves NaN sign/payload propagation unspecified and
+/// GCC exploits that per build mode — the SAME scalar source yields
+/// inf + -inf -> -nan at -O2 but the propagated input +nan at -O0 or under
+/// TSan instrumentation — so NaN bits cannot be part of the cross-tier
+/// contract (and nothing downstream reads them: SAX quantizes every NaN
+/// to the top symbol, comparisons treat all NaNs alike).
+bool SameBitsOrBothNan(float a, float b) {
+  return SameBits(a, b) || (std::isnan(a) && std::isnan(b));
 }
 
 std::vector<float> RandomValues(Rng* rng, size_t n) {
@@ -106,7 +118,7 @@ TEST_P(KernelEquivalenceTest, PaaBitIdentical) {
         const auto got = ComputePaa(input, segments);
         ASSERT_EQ(got.size(), reference.size());
         for (size_t s = 0; s < got.size(); ++s) {
-          EXPECT_TRUE(SameBits(got[s], reference[s]))
+          EXPECT_TRUE(SameBitsOrBothNan(got[s], reference[s]))
               << "n=" << n << " segments=" << segments << " s=" << s
               << " got=" << got[s] << " want=" << reference[s];
         }

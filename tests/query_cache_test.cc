@@ -1,0 +1,473 @@
+// The front-door answer cache, pinned three ways. (1) Unit: the LRU /
+// stale-drop / invalidation mechanics of QueryCache itself. (2) Service:
+// a cache hit re-serves the exact bytes of the original report, and every
+// mutation edge — ingest, drop, rebuild under a reused name — makes the
+// next lookup miss instead of serving a stale answer. (3) Oracle: a
+// cached service and an uncached reference service walk the same
+// ingest/query schedule in lockstep and must agree on every answer's
+// semantic fields at every step; then a free-running concurrent run
+// checks the growth invariant (an exact nearest-neighbor distance for a
+// fixed query never increases as the index grows — a stale cached answer
+// served after a closer series arrived would violate it). Runs under
+// TSan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "palm/api.h"
+#include "palm/query_cache.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace palm {
+namespace api {
+namespace {
+
+constexpr size_t kLength = 32;
+
+VariantSpec TestSpec() {
+  VariantSpec spec;
+  spec.sax = series::SaxConfig{.series_length = kLength, .num_segments = 8,
+                               .bits_per_segment = 8};
+  return spec;
+}
+
+QueryRequest MakeRequest(const std::string& index,
+                         const std::vector<float>& query) {
+  QueryRequest request;
+  request.index = index;
+  request.query = query;
+  return request;
+}
+
+QueryReport MakeReport(uint64_t series_id, double distance) {
+  QueryReport report;
+  report.found = true;
+  report.series_id = series_id;
+  report.distance = distance;
+  return report;
+}
+
+// ------------------------------------------------------------ unit layer
+
+TEST(QueryCacheUnit, KeyDiscriminatesEveryRequestDimension) {
+  const std::vector<float> q(kLength, 0.5f);
+  QueryRequest base = MakeRequest("idx", q);
+  const std::string key = QueryCache::KeyFor(base);
+
+  QueryRequest other = base;
+  other.index = "idx2";
+  EXPECT_NE(QueryCache::KeyFor(other), key);
+
+  other = base;
+  other.exact = false;
+  EXPECT_NE(QueryCache::KeyFor(other), key);
+
+  other = base;
+  other.approx_candidates = 11;
+  EXPECT_NE(QueryCache::KeyFor(other), key);
+
+  other = base;
+  other.window = core::TimeWindow{0, 100};
+  EXPECT_NE(QueryCache::KeyFor(other), key);
+  QueryRequest shifted = other;
+  shifted.window = core::TimeWindow{0, 101};
+  EXPECT_NE(QueryCache::KeyFor(shifted), QueryCache::KeyFor(other));
+
+  other = base;
+  other.query[7] += 1e-7f;
+  EXPECT_NE(QueryCache::KeyFor(other), key);
+
+  // Bit-exactness: +0.0f and -0.0f compare equal as floats but are
+  // different queries to an exact byte-keyed cache.
+  QueryRequest pos = base, neg = base;
+  pos.query[0] = 0.0f;
+  neg.query[0] = -0.0f;
+  EXPECT_NE(QueryCache::KeyFor(pos), QueryCache::KeyFor(neg));
+
+  // Same content, fresh vector: identical key.
+  QueryRequest copy = MakeRequest("idx", std::vector<float>(kLength, 0.5f));
+  EXPECT_EQ(QueryCache::KeyFor(copy), key);
+
+  // Heatmap requests are not cacheable; plain ones are.
+  EXPECT_TRUE(QueryCache::Cacheable(base));
+  QueryRequest heat = base;
+  heat.capture_heatmap = true;
+  EXPECT_FALSE(QueryCache::Cacheable(heat));
+}
+
+TEST(QueryCacheUnit, HitMissAndVersionStaleness) {
+  QueryCache cache({});
+  const std::string key =
+      QueryCache::KeyFor(MakeRequest("idx", std::vector<float>(kLength, 1.f)));
+
+  EXPECT_FALSE(cache.Lookup(key, 5).has_value());
+  cache.Insert(key, "idx", 5, MakeReport(42, 1.25));
+
+  // Same version: hit with the stored payload.
+  auto hit = cache.Lookup(key, 5);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->series_id, 42u);
+  EXPECT_EQ(hit->distance, 1.25);
+
+  // Any other version: stale — dropped, not served.
+  EXPECT_FALSE(cache.Lookup(key, 6).has_value());
+  EXPECT_FALSE(cache.Lookup(key, 5).has_value());  // entry is gone
+
+  const QueryCacheStats stats = cache.Snapshot();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.stale_drops, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(QueryCacheUnit, LruEvictsOldestFirst) {
+  QueryCacheOptions options;
+  options.max_entries = 3;
+  QueryCache cache(options);
+  auto key_of = [](int i) {
+    return QueryCache::KeyFor(
+        MakeRequest("idx", std::vector<float>(kLength, static_cast<float>(i))));
+  };
+  for (int i = 0; i < 3; ++i) {
+    cache.Insert(key_of(i), "idx", 1, MakeReport(i, 0.0));
+  }
+  // Touch 0 so 1 becomes the LRU victim.
+  ASSERT_TRUE(cache.Lookup(key_of(0), 1).has_value());
+  cache.Insert(key_of(3), "idx", 1, MakeReport(3, 0.0));
+
+  EXPECT_TRUE(cache.Lookup(key_of(0), 1).has_value());
+  EXPECT_FALSE(cache.Lookup(key_of(1), 1).has_value());
+  EXPECT_TRUE(cache.Lookup(key_of(2), 1).has_value());
+  EXPECT_TRUE(cache.Lookup(key_of(3), 1).has_value());
+  EXPECT_EQ(cache.Snapshot().evictions, 1u);
+  EXPECT_EQ(cache.Snapshot().entries, 3u);
+}
+
+TEST(QueryCacheUnit, ByteBudgetBoundsOccupancy) {
+  QueryCacheOptions options;
+  options.max_bytes = 1500;  // a few entries' worth of fixed charge
+  QueryCache cache(options);
+  for (int i = 0; i < 64; ++i) {
+    cache.Insert(QueryCache::KeyFor(MakeRequest(
+                     "idx", std::vector<float>(kLength, static_cast<float>(i)))),
+                 "idx", 1, MakeReport(i, 0.0));
+    EXPECT_LE(cache.Snapshot().bytes, options.max_bytes);
+  }
+  EXPECT_GT(cache.Snapshot().evictions, 0u);
+  EXPECT_GT(cache.Snapshot().entries, 0u);
+}
+
+TEST(QueryCacheUnit, InvalidateIndexIsSelective) {
+  QueryCache cache({});
+  const std::string a =
+      QueryCache::KeyFor(MakeRequest("a", std::vector<float>(kLength, 1.f)));
+  const std::string b =
+      QueryCache::KeyFor(MakeRequest("b", std::vector<float>(kLength, 1.f)));
+  cache.Insert(a, "a", 1, MakeReport(1, 0.0));
+  cache.Insert(b, "b", 1, MakeReport(2, 0.0));
+
+  cache.InvalidateIndex("a");
+  EXPECT_FALSE(cache.Lookup(a, 1).has_value());
+  EXPECT_TRUE(cache.Lookup(b, 1).has_value());
+  EXPECT_EQ(cache.Snapshot().invalidations, 1u);
+}
+
+// --------------------------------------------------------- service layer
+
+class QueryCacheServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path().string() +
+            "/query_cache_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+    service_ = Service::Create(root_).TakeValue();
+    service_->EnableQueryCache(QueryCacheOptions{});
+  }
+
+  void TearDown() override {
+    service_.reset();
+    std::filesystem::remove_all(root_);
+  }
+
+  /// The streaming mode the cache tests run against: synchronous TP, so
+  /// every IngestBatch admits (and version-bumps) before returning.
+  static StreamMode stream_mode() { return StreamMode::kTP; }
+
+  /// Ingests `batch` into the "live" stream with timestamps t0, t0+1, ...
+  bool Ingest(const series::SeriesCollection& batch, int64_t t0) {
+    IngestBatchRequest ingest;
+    ingest.stream = "live";
+    ingest.batch = batch;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ingest.timestamps.push_back(t0 + static_cast<int64_t>(i));
+    }
+    Result<IngestBatchReport> report = service_->IngestBatch(ingest);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report.ok();
+  }
+
+  static series::SeriesCollection Slice(const series::SeriesCollection& data,
+                                        size_t begin, size_t count) {
+    series::SeriesCollection out(data.length());
+    for (size_t i = begin; i < begin + count; ++i) {
+      std::vector<float> buf(data[i].begin(), data[i].end());
+      out.Append(buf);
+    }
+    return out;
+  }
+
+  std::string root_;
+  std::unique_ptr<Service> service_;
+};
+
+TEST_F(QueryCacheServiceTest, HitReplaysExactReportBytes) {
+  const series::SeriesCollection data =
+      testutil::RandomWalkCollection(128, kLength, 3);
+  RegisterDatasetRequest reg;
+  reg.name = "walk";
+  reg.data = data;
+  ASSERT_TRUE(service_->RegisterDataset(reg).ok());
+  BuildIndexRequest build;
+  build.index = "idx";
+  build.dataset = "walk";
+  build.spec = TestSpec();
+  ASSERT_TRUE(service_->BuildIndex(build).ok());
+
+  const QueryRequest request =
+      MakeRequest("idx", testutil::NoisyCopy(data, 5, 0.2, 17));
+  Result<QueryReport> first = service_->Query(request);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  Result<QueryReport> second = service_->Query(request);
+  ASSERT_TRUE(second.ok());
+
+  // A hit re-serves the stored report verbatim — including the measured
+  // seconds/io of the original execution — so the wire bytes match.
+  EXPECT_EQ(second.value().ToJsonString(), first.value().ToJsonString());
+  const ServerStatsResponse stats = service_->ServerStats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+}
+
+TEST_F(QueryCacheServiceTest, IngestInvalidatesBySnapshotVersion) {
+  CreateStreamRequest create;
+  create.stream = "live";
+  create.spec = TestSpec();
+  create.spec.mode = stream_mode();
+  ASSERT_TRUE(service_->CreateStream(create).ok());
+
+  const series::SeriesCollection seed =
+      testutil::RandomWalkCollection(64, kLength, 11);
+  ASSERT_TRUE(Ingest(seed, 0));
+
+  const std::vector<float> target = testutil::NoisyCopy(seed, 9, 0.0, 1);
+  const QueryRequest request = MakeRequest("live", target);
+  Result<QueryReport> before = service_->Query(request);
+  ASSERT_TRUE(before.ok());
+  const double d_before = before.value().distance;
+
+  // Ingest the query vector itself: the exact answer must now be ~0.
+  series::SeriesCollection exact(kLength);
+  exact.Append(target);
+  ASSERT_TRUE(Ingest(exact, 1000));
+
+  Result<QueryReport> after = service_->Query(request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(after.value().distance, 1e-4);
+  EXPECT_LE(after.value().distance, d_before);
+  EXPECT_GT(service_->ServerStats().cache_stale_drops +
+                service_->ServerStats().cache_invalidations,
+            0u);
+
+  // With no further mutation, the refreshed answer is served from cache.
+  Result<QueryReport> again = service_->Query(request);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().ToJsonString(), after.value().ToJsonString());
+}
+
+TEST_F(QueryCacheServiceTest, DropAndRebuildUnderReusedNameNeverStale) {
+  const series::SeriesCollection a =
+      testutil::RandomWalkCollection(64, kLength, 21);
+  const series::SeriesCollection b =
+      testutil::RandomWalkCollection(64, kLength, 22);
+  {
+    RegisterDatasetRequest reg;
+    reg.name = "da";
+    reg.data = a;
+    ASSERT_TRUE(service_->RegisterDataset(reg).ok());
+    reg.name = "db";
+    reg.data = b;
+    ASSERT_TRUE(service_->RegisterDataset(reg).ok());
+  }
+  BuildIndexRequest build;
+  build.index = "idx";
+  build.dataset = "da";
+  build.spec = TestSpec();
+  ASSERT_TRUE(service_->BuildIndex(build).ok());
+
+  const QueryRequest request =
+      MakeRequest("idx", testutil::NoisyCopy(a, 3, 0.2, 5));
+  Result<QueryReport> on_a = service_->Query(request);
+  ASSERT_TRUE(on_a.ok());
+  ASSERT_TRUE(service_->Query(request).ok());  // now cached
+
+  // Drop and rebuild the same name over a different dataset. The new
+  // index's version counter restarts at zero — without explicit
+  // invalidation the stale entry could match.
+  DropIndexRequest drop;
+  drop.index = "idx";
+  ASSERT_TRUE(service_->DropIndex(drop).ok());
+  build.dataset = "db";
+  ASSERT_TRUE(service_->BuildIndex(build).ok());
+
+  Result<QueryReport> on_b = service_->Query(request);
+  ASSERT_TRUE(on_b.ok());
+  // The answer must come from dataset b: brute-force the truth.
+  series::SeriesCollection norm_b(kLength);
+  for (size_t i = 0; i < b.size(); ++i) {
+    std::vector<float> buf(b[i].begin(), b[i].end());
+    series::ZNormalize(buf);
+    norm_b.Append(buf);
+  }
+  std::vector<float> z = request.query;
+  series::ZNormalize(z);
+  const auto truth = testutil::BruteForceNearest(norm_b, z);
+  EXPECT_EQ(on_b.value().series_id, truth.index);
+  EXPECT_NEAR(on_b.value().distance * on_b.value().distance,
+              truth.distance_sq, 1e-3);
+}
+
+// ---------------------------------------------------------- oracle layer
+
+/// Semantic answer fields — everything except the execution artifacts
+/// (seconds, io, counters) that legitimately differ between a cached
+/// replay and a fresh scan.
+std::string SemanticKey(const QueryReport& report) {
+  std::string key = report.index + "|" + (report.found ? "1" : "0");
+  if (report.found) {
+    key += "|" + std::to_string(report.series_id) + "|" +
+           std::to_string(report.distance) + "|" +
+           std::to_string(report.timestamp);
+  }
+  return key;
+}
+
+TEST_F(QueryCacheServiceTest, LockstepOracleAgainstUncachedReference) {
+  // Reference service: same schedule, cache off.
+  const std::string ref_root = root_ + "_ref";
+  std::filesystem::remove_all(ref_root);
+  std::unique_ptr<Service> reference = Service::Create(ref_root).TakeValue();
+
+  for (Service* s : {service_.get(), reference.get()}) {
+    CreateStreamRequest create;
+    create.stream = "live";
+    create.spec = TestSpec();
+    create.spec.mode = stream_mode();
+    ASSERT_TRUE(s->CreateStream(create).ok());
+  }
+
+  const series::SeriesCollection data =
+      testutil::RandomWalkCollection(480, kLength, 31);
+  std::vector<std::vector<float>> pool;
+  for (size_t i = 0; i < 12; ++i) {
+    pool.push_back(testutil::NoisyCopy(data, i * 7, 0.3, 100 + i));
+  }
+
+  constexpr size_t kRounds = 8;
+  const size_t per_round = data.size() / kRounds;
+  for (size_t round = 0; round < kRounds; ++round) {
+    series::SeriesCollection batch(kLength);
+    std::vector<int64_t> timestamps;
+    for (size_t i = round * per_round; i < (round + 1) * per_round; ++i) {
+      std::vector<float> buf(data[i].begin(), data[i].end());
+      batch.Append(buf);
+      timestamps.push_back(static_cast<int64_t>(i));
+    }
+    for (Service* s : {service_.get(), reference.get()}) {
+      IngestBatchRequest ingest;
+      ingest.stream = "live";
+      ingest.batch = batch;
+      ingest.timestamps = timestamps;
+      ASSERT_TRUE(s->IngestBatch(ingest).ok());
+    }
+    // Every pool query — twice on the cached side, so round N+1 re-asks
+    // entries cached in round N (which MUST be detected as stale).
+    for (const auto& q : pool) {
+      const QueryRequest request = MakeRequest("live", q);
+      Result<QueryReport> cached1 = service_->Query(request);
+      Result<QueryReport> cached2 = service_->Query(request);
+      Result<QueryReport> fresh = reference->Query(request);
+      ASSERT_TRUE(cached1.ok()) << cached1.status().ToString();
+      ASSERT_TRUE(cached2.ok());
+      ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+      EXPECT_EQ(SemanticKey(cached1.value()), SemanticKey(fresh.value()))
+          << "round " << round;
+      EXPECT_EQ(SemanticKey(cached2.value()), SemanticKey(fresh.value()));
+    }
+  }
+  // The cache must have actually served hits, or this proved nothing.
+  const ServerStatsResponse stats = service_->ServerStats();
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.cache_stale_drops, 0u);
+  reference.reset();
+  std::filesystem::remove_all(ref_root);
+}
+
+TEST_F(QueryCacheServiceTest, ConcurrentIngestNeverServesStaleAnswers) {
+  CreateStreamRequest create;
+  create.stream = "live";
+  create.spec = TestSpec();
+  create.spec.mode = stream_mode();
+  ASSERT_TRUE(service_->CreateStream(create).ok());
+
+  const series::SeriesCollection data =
+      testutil::RandomWalkCollection(600, kLength, 41);
+  ASSERT_TRUE(Ingest(Slice(data, 0, 50), 0));
+
+  std::vector<std::vector<float>> pool;
+  for (size_t i = 0; i < 6; ++i) {
+    pool.push_back(testutil::NoisyCopy(data, 400 + i * 20, 0.2, 300 + i));
+  }
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (size_t i = 50; i + 10 <= data.size(); i += 10) {
+      ASSERT_TRUE(Ingest(Slice(data, i, 10), static_cast<int64_t>(i)));
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  // Readers: for a fixed query, the exact nearest distance over a
+  // grow-only index is non-increasing in time. A stale cached answer
+  // served after a closer series was admitted breaks the invariant.
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      std::vector<double> best(pool.size(),
+                               std::numeric_limits<double>::infinity());
+      do {
+        for (size_t q = 0; q < pool.size(); ++q) {
+          Result<QueryReport> r = service_->Query(MakeRequest("live", pool[q]));
+          ASSERT_TRUE(r.ok()) << r.status().ToString();
+          if (!r.value().found) continue;
+          EXPECT_LE(r.value().distance, best[q] + 1e-6);
+          best[q] = std::min(best[q], r.value().distance);
+        }
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_GT(service_->ServerStats().cache_misses, 0u);
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace palm
+}  // namespace coconut

@@ -254,6 +254,49 @@ TEST_F(StreamStatsStressTest, ShardedAggregationRaceFree) {
   EXPECT_GT(merged.entries_examined, 0u);
 }
 
+// Regression: StreamingStats::Add used to merge cross-shard stall
+// percentiles as max(per-shard p50) / max(per-shard p99). A max of
+// percentiles is not the percentile of anything — one shard with a single
+// slow stall dragged the aggregate p50 to that outlier even when the
+// other shard had hundreds of fast stalls. Add now concatenates the
+// underlying sample windows and recomputes, so the aggregate is the exact
+// percentile of the pooled multiset.
+TEST(StreamingStatsMergeTest, PercentilesPoolSamplesAcrossShards) {
+  StreamingStats busy;  // 100 fast stalls: 1..100 ms.
+  for (int i = 1; i <= 100; ++i) {
+    busy.stall_samples.push_back(static_cast<double>(i));
+  }
+  busy.stall_ms_p50 = StreamingStats::PercentileMs(busy.stall_samples, 0.50);
+  busy.stall_ms_p99 = StreamingStats::PercentileMs(busy.stall_samples, 0.99);
+
+  StreamingStats outlier;  // One pathological 1000 ms stall.
+  outlier.stall_samples.push_back(1000.0);
+  outlier.stall_ms_p50 = 1000.0;
+  outlier.stall_ms_p99 = 1000.0;
+
+  StreamingStats total;
+  total.Add(busy);
+  total.Add(outlier);
+
+  // Pooled window: {1..100, 1000}, n=101. Nearest-rank index p*(n-1).
+  EXPECT_DOUBLE_EQ(total.stall_ms_p50, 51.0);   // old code: max = 1000
+  EXPECT_DOUBLE_EQ(total.stall_ms_p99, 100.0);  // old code: max = 1000
+  ASSERT_EQ(total.stall_samples.size(), 101u);
+
+  // Merge order must not matter for the percentile values.
+  StreamingStats reversed;
+  reversed.Add(outlier);
+  reversed.Add(busy);
+  EXPECT_DOUBLE_EQ(reversed.stall_ms_p50, total.stall_ms_p50);
+  EXPECT_DOUBLE_EQ(reversed.stall_ms_p99, total.stall_ms_p99);
+
+  // Folding an idle shard (no stalls) leaves the percentiles unchanged.
+  StreamingStats idle;
+  total.Add(idle);
+  EXPECT_DOUBLE_EQ(total.stall_ms_p50, 51.0);
+  EXPECT_DOUBLE_EQ(total.stall_ms_p99, 100.0);
+}
+
 }  // namespace
 }  // namespace stream
 }  // namespace coconut
