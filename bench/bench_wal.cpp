@@ -1,0 +1,218 @@
+// Durability tax of the per-stream write-ahead log: the same batched
+// ingest through the service front door with durability off vs on. The
+// durable path pays one group-commit (buffered frame writes + a single
+// fdatasync) per acknowledged batch, so the interesting numbers are the
+// per-IngestBatch p50/p99/max — the sync sits in every batch, not just
+// the tail — plus the drain cost (checkpoint + log truncation) and the
+// bytes the log occupies before truncation. A second benchmark measures
+// cold recovery: reopening the stream and replaying the full log back
+// into the index. CI uploads the JSON (BENCH_wal.json) so the durability
+// tax and replay throughput are tracked over time.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "palm/api.h"
+#include "palm/factory.h"
+
+namespace coconut {
+namespace bench {
+namespace {
+
+constexpr size_t kLength = 256;
+constexpr size_t kSeries = 4096;
+constexpr size_t kIngestBatch = 64;
+
+palm::VariantSpec WalSpec(palm::IndexFamily family, palm::StreamMode mode,
+                          bool durable, ThreadPool* pool) {
+  palm::VariantSpec spec;
+  spec.sax = BenchSax(kLength);
+  spec.family = family;
+  spec.mode = mode;
+  spec.buffer_entries = 512;
+  spec.btp_merge_k = 2;
+  spec.async_ingest = true;
+  spec.durable = durable;
+  spec.background_pool = pool;
+  return spec;
+}
+
+/// A fresh service root per run; removed on destruction.
+struct ServiceRoot {
+  std::string path;
+
+  explicit ServiceRoot(const std::string& tag) {
+    static std::atomic<uint64_t> counter{0};
+    path = (std::filesystem::temp_directory_path() /
+            (tag + "_" + std::to_string(counter.fetch_add(1))))
+               .string();
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ServiceRoot() { std::filesystem::remove_all(path); }
+};
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_in_place->size() - 1));
+  return (*sorted_in_place)[idx];
+}
+
+/// Pre-sliced ingest batches so the timed region holds only IngestBatch.
+struct Batches {
+  std::vector<series::SeriesCollection> rows;
+  std::vector<std::vector<int64_t>> timestamps;
+};
+
+Batches SliceBatches(const series::SeriesCollection& collection) {
+  Batches batches;
+  for (size_t from = 0; from < collection.size(); from += kIngestBatch) {
+    series::SeriesCollection batch(kLength);
+    std::vector<int64_t> ts;
+    const size_t to = std::min(from + kIngestBatch, collection.size());
+    for (size_t i = from; i < to; ++i) {
+      batch.Append(collection[i]);
+      ts.push_back(static_cast<int64_t>(i));
+    }
+    batches.rows.push_back(std::move(batch));
+    batches.timestamps.push_back(std::move(ts));
+  }
+  return batches;
+}
+
+void RunDurableIngest(benchmark::State& state, palm::IndexFamily family,
+                      palm::StreamMode mode, bool durable) {
+  const Batches batches = SliceBatches(AstroCollection(kSeries, kLength));
+  ThreadPool background(2);
+  double p50_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+  double drain_seconds = 0;
+  double log_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ServiceRoot root("bench_wal_ingest");
+    auto service = palm::api::Service::Create(root.path).TakeValue();
+    const palm::VariantSpec spec = WalSpec(family, mode, durable, &background);
+    if (!service->CreateStream("s", spec).ok()) std::abort();
+    std::vector<double> latencies_us;
+    latencies_us.reserve(batches.rows.size());
+    state.ResumeTiming();
+
+    for (size_t b = 0; b < batches.rows.size(); ++b) {
+      WallTimer timer;
+      if (!service->IngestBatch("s", batches.rows[b], batches.timestamps[b])
+               .ok()) {
+        std::abort();
+      }
+      latencies_us.push_back(timer.ElapsedSeconds() * 1e6);
+    }
+    // The log's footprint right before drain truncates it away.
+    auto* storage = service->index_storage("s");
+    log_bytes =
+        storage != nullptr ? static_cast<double>(storage->TotalBytesOnDisk())
+                           : 0;
+    WallTimer drain;
+    if (!service->DrainStream("s").ok()) std::abort();
+    drain_seconds = drain.ElapsedSeconds();
+
+    p50_us = Percentile(&latencies_us, 0.50);
+    p99_us = Percentile(&latencies_us, 0.99);
+    max_us = latencies_us.back();
+  }
+  state.counters["batch_p50_us"] = p50_us;
+  state.counters["batch_p99_us"] = p99_us;
+  state.counters["batch_max_us"] = max_us;
+  state.counters["drain_seconds"] = drain_seconds;
+  state.counters["pre_drain_bytes"] = log_bytes;
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kSeries));
+}
+
+void BM_IngestCTreeTpWalOff(benchmark::State& state) {
+  RunDurableIngest(state, palm::IndexFamily::kCTree, palm::StreamMode::kTP,
+                   /*durable=*/false);
+}
+BENCHMARK(BM_IngestCTreeTpWalOff)->Unit(benchmark::kMillisecond);
+
+void BM_IngestCTreeTpWalOn(benchmark::State& state) {
+  RunDurableIngest(state, palm::IndexFamily::kCTree, palm::StreamMode::kTP,
+                   /*durable=*/true);
+}
+BENCHMARK(BM_IngestCTreeTpWalOn)->Unit(benchmark::kMillisecond);
+
+void BM_IngestClsmBtpWalOff(benchmark::State& state) {
+  RunDurableIngest(state, palm::IndexFamily::kClsm, palm::StreamMode::kBTP,
+                   /*durable=*/false);
+}
+BENCHMARK(BM_IngestClsmBtpWalOff)->Unit(benchmark::kMillisecond);
+
+void BM_IngestClsmBtpWalOn(benchmark::State& state) {
+  RunDurableIngest(state, palm::IndexFamily::kClsm, palm::StreamMode::kBTP,
+                   /*durable=*/true);
+}
+BENCHMARK(BM_IngestClsmBtpWalOn)->Unit(benchmark::kMillisecond);
+
+/// Cold recovery: replay a full (never-drained) log back into a fresh
+/// index. The template root is built once; each iteration recovers from a
+/// pristine copy, since recovery itself rewrites the raw store's header.
+void BM_WalRecover(benchmark::State& state) {
+  const Batches batches = SliceBatches(AstroCollection(kSeries, kLength));
+  ThreadPool background(2);
+  ServiceRoot template_root("bench_wal_recover_template");
+  {
+    auto service = palm::api::Service::Create(template_root.path).TakeValue();
+    const palm::VariantSpec spec =
+        WalSpec(palm::IndexFamily::kCTree, palm::StreamMode::kTP,
+                /*durable=*/true, &background);
+    if (!service->CreateStream("s", spec).ok()) std::abort();
+    for (size_t b = 0; b < batches.rows.size(); ++b) {
+      if (!service->IngestBatch("s", batches.rows[b], batches.timestamps[b])
+               .ok()) {
+        std::abort();
+      }
+    }
+    // Closed without DrainStream: every entry lives only in raw + log.
+  }
+
+  uint64_t recovered = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ServiceRoot root("bench_wal_recover");
+    std::filesystem::remove_all(root.path);
+    std::filesystem::copy(template_root.path, root.path,
+                          std::filesystem::copy_options::recursive);
+    auto service = palm::api::Service::Create(root.path).TakeValue();
+    const palm::VariantSpec spec =
+        WalSpec(palm::IndexFamily::kCTree, palm::StreamMode::kTP,
+                /*durable=*/true, &background);
+    state.ResumeTiming();
+
+    if (!service->CreateStream("s", spec).ok()) std::abort();
+    auto* index = service->stream_index("s");
+    if (index == nullptr) std::abort();
+    recovered = index->num_entries();
+    if (recovered != kSeries) std::abort();
+
+    state.PauseTiming();
+    service.reset();
+    state.ResumeTiming();
+  }
+  state.counters["recovered_entries"] = static_cast<double>(recovered);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kSeries));
+}
+BENCHMARK(BM_WalRecover)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace coconut
+
+BENCHMARK_MAIN();

@@ -3,15 +3,19 @@
 // dataset with a built CTree index, and serves POST /api/v1/<method>
 // until SIGINT/SIGTERM.
 //
-//   ./palm_serve [port] [--demo] [--cache] [--quota TOKEN=RPS[:BURST]]...
+//   ./palm_serve [port] [--demo] [--durable] [--cache]
+//                [--quota TOKEN=RPS[:BURST]]...
 //
-//   port     TCP port on 127.0.0.1 (default 8765; 0 = ephemeral)
-//   --demo   pre-register dataset 'walk' (2000 x 128) and build index
-//            'ctree' over it, so queries work immediately
-//   --cache  enable the exact snapshot-versioned query answer cache
-//   --quota  require 'Authorization: Bearer TOKEN' and rate-limit that
-//            client to RPS requests/second (burst BURST, default 2*RPS;
-//            RPS of 0 = unlimited); repeatable, one per client
+//   port      TCP port on 127.0.0.1 (default 8765; 0 = ephemeral)
+//   --demo    pre-register dataset 'walk' (2000 x 128) and build index
+//             'ctree' over it, so queries work immediately
+//   --durable pre-create streaming index 'live' (128-point series) with
+//             the write-ahead log on: every acknowledged ingest_batch
+//             survives a crash of this process
+//   --cache   enable the exact snapshot-versioned query answer cache
+//   --quota   require 'Authorization: Bearer TOKEN' and rate-limit that
+//             client to RPS requests/second (burst BURST, default 2*RPS;
+//             RPS of 0 = unlimited); repeatable, one per client
 //
 // Try it:
 //   curl -s localhost:8765/healthz
@@ -49,12 +53,15 @@ void HandleSignal(int) { g_stop.store(true); }
 int main(int argc, char** argv) {
   uint16_t port = 8765;
   bool demo = false;
+  bool durable = false;
   bool cache = false;
   palm::api::QuotaOptions quota_options;
   bool quota = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
+    } else if (std::strcmp(argv[i], "--durable") == 0) {
+      durable = true;
     } else if (std::strcmp(argv[i], "--cache") == 0) {
       cache = true;
     } else if (std::strncmp(argv[i], "--quota", 7) == 0) {
@@ -126,6 +133,23 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("demo data ready: dataset 'walk' (2000x128), index 'ctree'\n");
+  }
+
+  if (durable) {
+    palm::VariantSpec spec;
+    spec.sax = series::SaxConfig{.series_length = 128, .num_segments = 16,
+                                 .bits_per_segment = 8};
+    spec.family = palm::IndexFamily::kCTree;
+    spec.mode = palm::StreamMode::kTP;
+    spec.buffer_entries = 256;
+    spec.durable = true;
+    if (auto r = service->CreateStream("live", spec); !r.ok()) {
+      std::fprintf(stderr, "stream: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "durable stream 'live' ready: acknowledged ingest_batch calls are "
+        "write-ahead logged and survive a crash\n");
   }
 
   palm::HttpServerOptions options;

@@ -6,6 +6,7 @@
 #include "seqtable/table_search.h"
 #include "series/distance.h"
 #include "series/paa.h"
+#include "stream/wal.h"
 
 namespace coconut {
 namespace clsm {
@@ -221,6 +222,12 @@ Status Clsm::Insert(uint64_t series_id, std::span<const float> znorm_values,
       memtable_payloads_.insert(memtable_payloads_.end(),
                                 znorm_values.begin(), znorm_values.end());
     }
+    // The admission commit point, still under mu_: log record order is
+    // exactly the admission order. The PP facade clamps timestamps before
+    // Insert, so what is logged replays idempotently through this path.
+    if (options_.wal != nullptr) {
+      options_.wal->AppendAdmit(series_id, timestamp, znorm_values);
+    }
     // Admitted: visible to memtable-snapshot queries from here.
     snapshot_version_.fetch_add(1, std::memory_order_acq_rel);
     if (memtable_.size() >= options_.buffer_entries) {
@@ -371,7 +378,7 @@ Status Clsm::FlushTask(std::shared_ptr<const PendingFlush> pending) {
   PublishRuns(std::make_shared<RunSet>(work), pending.get(), rewritten,
               /*merges=*/1);
   for (const std::string& name : retired) {
-    COCONUT_RETURN_NOT_OK(storage_->RemoveFile(name));
+    COCONUT_RETURN_NOT_OK(RetireFile(name));
   }
 
   // Cascade: push overflowing runs down, publishing after every merge so
@@ -387,10 +394,125 @@ Status Clsm::FlushTask(std::shared_ptr<const PendingFlush> pending) {
     PublishRuns(std::make_shared<RunSet>(work), /*retired_pending=*/nullptr,
                 rewritten, /*merges=*/1);
     for (const std::string& name : retired) {
-      COCONUT_RETURN_NOT_OK(storage_->RemoveFile(name));
+      COCONUT_RETURN_NOT_OK(RetireFile(name));
     }
   }
+  // The cascade is complete and its outputs are synced; record the new
+  // run set durably so recovery replays only the suffix.
+  return CheckpointDurable();
+}
+
+void Clsm::EncodeManifest(std::vector<uint8_t>* manifest,
+                          uint64_t* durable_entries) const {
+  std::shared_ptr<const RunSet> runs;
+  uint64_t version = 0;
+  uint64_t rewritten = 0;
+  uint64_t merges = 0;
+  uint64_t flushes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    runs = runs_;
+    version = version_;
+    rewritten = entries_rewritten_;
+    merges = merges_performed_;
+    flushes = flushes_completed_;
+  }
+  manifest->clear();
+  *durable_entries = 0;
+  stream::WalPutU32(manifest, static_cast<uint32_t>(runs->size()));
+  for (const auto& level : *runs) {
+    stream::WalPutU32(manifest, level != nullptr ? 1 : 0);
+    if (level == nullptr) continue;
+    stream::WalPutString(manifest, level->name());
+    stream::WalPutU64(manifest, level->num_entries());
+    *durable_entries += level->num_entries();
+  }
+  stream::WalPutU64(manifest, version);
+  stream::WalPutU64(manifest, rewritten);
+  stream::WalPutU64(manifest, merges);
+  stream::WalPutU64(manifest, flushes);
+}
+
+Status Clsm::RestoreFromManifest(std::span<const uint8_t> manifest) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!memtable_.empty() || !pending_.empty() || !runs_->empty()) {
+      return Status::InvalidArgument(
+          "manifest restore requires an empty tree");
+    }
+  }
+  stream::WalReader reader(manifest);
+  uint32_t level_count = 0;
+  if (!reader.GetU32(&level_count)) {
+    return Status::DataLoss("checkpoint manifest truncated");
+  }
+  auto runs = std::make_shared<RunSet>();
+  runs->resize(level_count);
+  for (uint32_t i = 0; i < level_count; ++i) {
+    uint32_t present = 0;
+    if (!reader.GetU32(&present)) {
+      return Status::DataLoss("checkpoint manifest truncated");
+    }
+    if (present == 0) continue;
+    std::string name;
+    uint64_t entries = 0;
+    if (!reader.GetString(&name) || !reader.GetU64(&entries)) {
+      return Status::DataLoss("checkpoint manifest truncated");
+    }
+    COCONUT_ASSIGN_OR_RETURN(std::shared_ptr<SeqTable> table,
+                             SeqTable::Open(storage_, name, ReadPool()));
+    if (table->num_entries() != entries) {
+      return Status::DataLoss(
+          "run " + name + " holds " + std::to_string(table->num_entries()) +
+          " entries, checkpoint manifest recorded " + std::to_string(entries));
+    }
+    (*runs)[i] = std::move(table);
+  }
+  uint64_t version = 0;
+  uint64_t rewritten = 0;
+  uint64_t merges = 0;
+  uint64_t flushes = 0;
+  if (!reader.GetU64(&version) || !reader.GetU64(&rewritten) ||
+      !reader.GetU64(&merges) || !reader.GetU64(&flushes) ||
+      !reader.AtEnd()) {
+    return Status::DataLoss("checkpoint manifest truncated");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  runs_ = std::move(runs);
+  version_ = version;
+  entries_rewritten_ = rewritten;
+  merges_performed_ = merges;
+  flushes_completed_ = flushes;
+  snapshot_version_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
+}
+
+Status Clsm::CommitDurable() {
+  if (options_.wal == nullptr) return Status::OK();
+  return options_.wal->Commit();
+}
+
+Status Clsm::CheckpointDurable() {
+  if (options_.wal == nullptr) return Status::OK();
+  std::vector<uint8_t> manifest;
+  uint64_t durable = 0;
+  EncodeManifest(&manifest, &durable);
+  COCONUT_RETURN_NOT_OK(options_.wal->AppendCheckpoint(durable, manifest));
+  // Only now is it safe to drop files the previous checkpoint referenced.
+  std::vector<std::string> unlinks;
+  unlinks.swap(pending_unlinks_);
+  for (const std::string& name : unlinks) {
+    COCONUT_RETURN_NOT_OK(storage_->RemoveFile(name));
+  }
+  return Status::OK();
+}
+
+Status Clsm::RetireFile(const std::string& name) {
+  if (options_.wal != nullptr) {
+    pending_unlinks_.push_back(name);
+    return Status::OK();
+  }
+  return storage_->RemoveFile(name);
 }
 
 Clsm::QuerySnapshot Clsm::TakeSnapshot() const {

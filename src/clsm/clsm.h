@@ -19,6 +19,9 @@
 #include "stream/streaming_index.h"
 
 namespace coconut {
+namespace stream {
+class Wal;
+}  // namespace stream
 namespace clsm {
 
 /// CoconutLSM: the write-optimized index of the paper. Incoming series
@@ -67,6 +70,11 @@ class Clsm {
     /// async mode) — fault-injection tests throttle or fail it. Never set
     /// in production.
     std::function<Status()> seal_test_hook{};
+    /// Write-ahead log (not owned; must outlive the index). When set,
+    /// Insert records every admission into it (inside the admission
+    /// critical section, so log order == admission order) and every
+    /// completed flush cascade appends a checkpoint frame.
+    stream::Wal* wal = nullptr;
   };
 
   /// Creates an empty LSM tree writing runs named `<prefix>.L<i>.<version>`.
@@ -150,6 +158,15 @@ class Clsm {
 
   const Options& options() const { return options_; }
 
+  /// Rebuilds the run set a WAL checkpoint manifest describes (run files
+  /// on disk plus the naming/progress counters). Called once, on an empty
+  /// tree, before WAL replay. The PP facade forwards
+  /// StreamingIndex::RestoreFromManifest here.
+  Status RestoreFromManifest(std::span<const uint8_t> manifest);
+
+  /// Group-commits the attached WAL (OK without one) — the ack gate.
+  Status CommitDurable();
+
  private:
   /// Levels as an immutable snapshot; index = level, nullptr = empty.
   using RunSet = std::vector<std::shared_ptr<seqtable::SeqTable>>;
@@ -219,6 +236,21 @@ class Clsm {
                    const PendingFlush* retired_pending, uint64_t rewritten,
                    uint64_t merges);
 
+  /// Serializes the run set (names, entries, naming/progress counters)
+  /// and the admit count it covers. Takes mu_ briefly.
+  void EncodeManifest(std::vector<uint8_t>* manifest,
+                      uint64_t* durable_entries) const;
+
+  /// WAL checkpoint after a completed flush cascade, then the deferred
+  /// unlinks that had to wait for it. Runs on the strand; no-op without
+  /// a WAL.
+  Status CheckpointDurable();
+
+  /// Removes a replaced run file — immediately without a WAL; deferred to
+  /// the next durable checkpoint with one (the last checkpoint on disk
+  /// may still reference it). Strand-serialized.
+  Status RetireFile(const std::string& name);
+
   void RecordBackgroundError(const Status& status);
 
   /// The approximate pass (memtable, in-flight flushes, every run) over
@@ -263,6 +295,11 @@ class Clsm {
 
   /// Only touched by the (serialized) flush/cascade path.
   uint64_t version_ = 0;
+
+  /// Replaced run files awaiting the next durable checkpoint (see
+  /// RetireFile). Only touched on the strand (or the single caller, in
+  /// sync mode), so it needs no lock.
+  std::vector<std::string> pending_unlinks_;
 
   /// See snapshot_version(); distinct from version_ (run-file naming).
   std::atomic<uint64_t> snapshot_version_{0};

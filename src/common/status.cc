@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kUnauthenticated:
       return "Unauthenticated";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -19,6 +19,10 @@ enum class StatusCode {
   kNotSupported,
   kInternal,
   kUnauthenticated,
+  /// Durable state exists but cannot be recovered faithfully (corrupt
+  /// write-ahead log body, unrestorable checkpoint manifest). Distinct
+  /// from kIoError: the device answered, the bytes are wrong.
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -61,6 +65,9 @@ class Status {
   }
   static Status Unauthenticated(std::string msg) {
     return Status(StatusCode::kUnauthenticated, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

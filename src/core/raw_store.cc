@@ -50,6 +50,31 @@ Result<std::unique_ptr<RawSeriesStore>> RawSeriesStore::Open(
       new RawSeriesStore(std::move(file), length, count));
 }
 
+Result<std::unique_ptr<RawSeriesStore>> RawSeriesStore::OpenTruncated(
+    storage::StorageManager* storage, const std::string& name,
+    int series_length, uint64_t count) {
+  if (series_length <= 0) {
+    return Status::InvalidArgument("series_length must be positive");
+  }
+  std::unique_ptr<storage::File> file;
+  if (storage->Exists(name)) {
+    COCONUT_ASSIGN_OR_RETURN(file, storage->OpenFile(name));
+  } else {
+    COCONUT_ASSIGN_OR_RETURN(file, storage->CreateFile(name));
+  }
+  // Cut the data region to exactly `count` series: a longer file holds
+  // unacknowledged appends that must not resurrect; a shorter one (lost
+  // buffered tail, or a file that vanished entirely) is extended with
+  // zeros and overwritten by replay.
+  const uint64_t data_bytes =
+      count * static_cast<uint64_t>(series_length) * sizeof(float);
+  COCONUT_RETURN_NOT_OK(file->Truncate(kPageSize + data_bytes));
+  auto store = std::unique_ptr<RawSeriesStore>(
+      new RawSeriesStore(std::move(file), series_length, count));
+  COCONUT_RETURN_NOT_OK(store->WriteHeader());
+  return store;
+}
+
 Status RawSeriesStore::WriteHeader() {
   Page header;
   header.Write<uint64_t>(0, kMagic);
@@ -86,6 +111,12 @@ Status RawSeriesStore::Flush() {
     buffered_series_ = 0;
   }
   return WriteHeader();
+}
+
+Status RawSeriesStore::Sync() {
+  COCONUT_RETURN_NOT_OK(Flush());
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return file_->Sync();
 }
 
 Status RawSeriesStore::Get(uint64_t id, std::span<float> out) const {

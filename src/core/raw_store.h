@@ -34,6 +34,16 @@ class RawSeriesStore {
   static Result<std::unique_ptr<RawSeriesStore>> Open(
       storage::StorageManager* storage, const std::string& name);
 
+  /// Crash-recovery open: opens `name` if it exists (creating it fresh
+  /// otherwise) and truncates it to exactly `count` series — the count the
+  /// write-ahead log proved durable. A crashed process may have left fewer
+  /// series (buffered tail lost) or more (appended but never acknowledged);
+  /// replay re-appends from the log either way, so the file is cut back to
+  /// the durable prefix and the header rewritten.
+  static Result<std::unique_ptr<RawSeriesStore>> OpenTruncated(
+      storage::StorageManager* storage, const std::string& name,
+      int series_length, uint64_t count);
+
   /// Appends one series (values.size() must equal series_length); returns
   /// its id. Writes are buffered; call Flush() before reading new ids.
   Result<uint64_t> Append(std::span<const float> values);
@@ -43,6 +53,11 @@ class RawSeriesStore {
 
   /// Drains the append buffer and persists the header.
   Status Flush();
+
+  /// Flush + fsync: after this returns, every appended series survives a
+  /// crash. The write-ahead log syncs the raw file before truncating its
+  /// own tail (the log is the only other copy of those payloads).
+  Status Sync();
 
   uint64_t count() const {
     std::shared_lock<std::shared_mutex> lock(mu_);

@@ -42,6 +42,8 @@ const char* StatusCodeToApiCode(StatusCode code) {
       return "internal";
     case StatusCode::kUnauthenticated:
       return "unauthenticated";
+    case StatusCode::kDataLoss:
+      return "data_loss";
   }
   return "internal";
 }
@@ -65,6 +67,7 @@ int StatusCodeToHttpStatus(StatusCode code) {
       return 401;
     case StatusCode::kIoError:
     case StatusCode::kInternal:
+    case StatusCode::kDataLoss:
       return 500;
   }
   return 500;
@@ -121,7 +124,7 @@ constexpr int64_t kMaxWireSmallInt = 1024;  // growth_factor, btp_merge_k
 constexpr uint64_t kMaxWireInflightSeals = 1u << 16;
 
 int ApiCodeToHttpStatus(const std::string& code) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kUnauthenticated); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kDataLoss); ++c) {
     const StatusCode sc = static_cast<StatusCode>(c);
     if (code == StatusCodeToApiCode(sc)) return StatusCodeToHttpStatus(sc);
   }
@@ -575,7 +578,7 @@ Result<VariantSpec> VariantSpecFromJson(const JsonValue& value) {
        "construction_threads", "ads_leaf_capacity", "btp_merge_k",
        "num_shards", "shard_build_threads", "shard_query_threads",
        "timestamp_policy", "async_ingest", "max_inflight_seals",
-       "backpressure_policy"}));
+       "backpressure_policy", "durability"}));
   VariantSpec spec;
   std::string s;
   COCONUT_RETURN_NOT_OK(OptString(value, "family", kWhat, &s));
@@ -647,6 +650,19 @@ Result<VariantSpec> VariantSpecFromJson(const JsonValue& value) {
     COCONUT_ASSIGN_OR_RETURN(spec.backpressure_policy,
                              BackpressureFromWire(s, kWhat));
   }
+  s.clear();
+  COCONUT_RETURN_NOT_OK(OptString(value, "durability", kWhat, &s));
+  if (!s.empty()) {
+    if (s == "on") {
+      spec.durable = true;
+    } else if (s == "off") {
+      spec.durable = false;
+    } else {
+      return Status::InvalidArgument(std::string(kWhat) +
+                                     ": unknown durability '" + s +
+                                     "' (want on|off)");
+    }
+  }
   return spec;
 }
 
@@ -679,6 +695,7 @@ void VariantSpecToJson(const VariantSpec& spec, JsonWriter* w) {
            static_cast<uint64_t>(spec.max_inflight_seals));
   w->Field("backpressure_policy",
            std::string(BackpressureToWire(spec.backpressure_policy)));
+  w->Field("durability", std::string(spec.durable ? "on" : "off"));
   w->EndObject();
 }
 
@@ -1880,10 +1897,49 @@ Status Service::InitHandleStorage(const std::string& index_name,
   COCONUT_ASSIGN_OR_RETURN(
       handle->storage,
       storage::StorageManager::Create(root_dir_ + "/idx_" + index_name));
-  // Clear() can remove_all a large leftover directory from a crashed
-  // prior run — one reason this runs outside the registry lock.
-  COCONUT_RETURN_NOT_OK(handle->storage->Clear());
+  // A leftover directory is normally stale garbage from a crashed prior
+  // run — but for a durable stream it is the durable state itself, and
+  // create_stream means "open existing" when a log survives. The sharded
+  // wrapper keeps its logs inside the per-shard subdirectories; the
+  // unsharded log lives at the handle root.
+  const bool durable_stream = handle->spec.durable &&
+                              handle->spec.mode != StreamMode::kStatic;
+  if (durable_stream) {
+    handle->recovered =
+        handle->spec.num_shards > 1
+            ? ShardedStreamingIndex::HasDurableState(handle->storage.get(),
+                                                     "stream")
+            : handle->storage->Exists("wal");
+  }
+  if (!handle->recovered) {
+    // Clear() can remove_all a large leftover directory from a crashed
+    // prior run — one reason this runs outside the registry lock.
+    COCONUT_RETURN_NOT_OK(handle->storage->Clear());
+  }
   handle->pool = std::make_unique<storage::BufferPool>(pool_bytes_);
+  if (durable_stream && handle->spec.num_shards == 1) {
+    // Open (or create) the log first: its base frame says how many
+    // raw-store ordinals the last truncation folded away, which is where
+    // the recovered raw store must resume. The unacknowledged raw tail
+    // past the durable prefix is cut; Recover() re-appends every logged
+    // payload on top.
+    stream::Wal::Options wal_options;
+    wal_options.test_hook = handle->spec.wal_test_hook;
+    COCONUT_ASSIGN_OR_RETURN(
+        handle->wal,
+        stream::Wal::Open(handle->storage.get(), "wal",
+                          static_cast<uint32_t>(
+                              handle->spec.sax.series_length),
+                          std::move(wal_options)));
+    if (handle->recovered) {
+      COCONUT_ASSIGN_OR_RETURN(
+          handle->raw,
+          core::RawSeriesStore::OpenTruncated(handle->storage.get(), "raw",
+                                              handle->spec.sax.series_length,
+                                              handle->wal->base_ordinals()));
+      return Status::OK();
+    }
+  }
   COCONUT_ASSIGN_OR_RETURN(
       handle->raw,
       core::RawSeriesStore::Create(handle->storage.get(), "raw",
@@ -2053,23 +2109,68 @@ Result<CreateStreamResponse> Service::CreateStream(
     std::unique_lock<std::shared_mutex> lock(mu_);
     COCONUT_ASSIGN_OR_RETURN(handle, ReserveHandle(stream_name, spec));
   }
+  // Failed creations normally tear the directory down so the name stays
+  // reusable — but when the directory held durable state to recover, a
+  // failed recovery (a corrupt log, a missing partition) must unregister
+  // the name WITHOUT deleting the only copy of the log it failed to
+  // read; the operator decides what to salvage.
+  const auto discard = [this, &stream_name](IndexHandle* h) {
+    if (!h->recovered) {
+      TeardownHandle(stream_name, h);
+      return;
+    }
+    h->stream_index.reset();
+    h->static_index.reset();
+    h->wal.reset();
+    h->raw.reset();
+    h->pool.reset();
+    h->storage.reset();
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    indexes_.erase(stream_name);
+  };
   if (const Status init = InitHandleStorage(stream_name, handle);
       !init.ok()) {
-    TeardownHandle(stream_name, handle);
+    discard(handle);
     return init;
   }
+  // The spec the factory sees carries the process-local log pointer (the
+  // registered handle->spec keeps wire fields only). Sharded durable
+  // streams ignore it and open per-shard logs; the factory recovers them
+  // from disk by itself.
+  VariantSpec wired = spec;
+  wired.wal = handle->wal.get();
   Result<std::unique_ptr<stream::StreamingIndex>> created =
-      CreateStreamingIndex(spec, handle->storage.get(), "stream",
+      CreateStreamingIndex(wired, handle->storage.get(), "stream",
                            handle->pool.get(), handle->raw.get());
   if (!created.ok()) {
     // An invalid spec must not leave a half-initialized handle behind:
     // every registered handle carries a static or streaming index
     // (ListIndexes/Query/DropIndex rely on it), and the name and its
     // directory must stay reusable.
-    TeardownHandle(stream_name, handle);
+    discard(handle);
     return created.status();
   }
   handle->stream_index = created.TakeValue();
+  if (auto* sharded_recovered = dynamic_cast<ShardedStreamingIndex*>(
+          handle->stream_index.get());
+      sharded_recovered != nullptr) {
+    // 0 for a fresh sharded stream; max recovered global id + 1 after a
+    // sharded recovery (the factory replayed the per-shard logs inside
+    // Recover()).
+    handle->next_series_id = sharded_recovered->recovered_next_series_id();
+  } else if (handle->recovered) {
+    // Unsharded recovery: the index above was created empty with the log
+    // already wired in; restore the newest durable checkpoint and replay
+    // the acknowledged suffix through the normal ingest path.
+    stream::WalRecoverOutcome outcome;
+    if (const Status st = handle->wal->Recover(handle->stream_index.get(),
+                                               handle->raw.get(), &outcome);
+        !st.ok()) {
+      discard(handle);
+      return st;
+    }
+    handle->next_series_id = outcome.ordinals;
+  }
   // See BuildIndex: a recreated name restarts its version counter.
   if (query_cache_ != nullptr) query_cache_->InvalidateIndex(stream_name);
   {
@@ -2097,6 +2198,7 @@ std::error_code Service::TeardownHandle(const std::string& name,
                                     : root_dir_ + "/idx_" + name;
   handle->stream_index.reset();
   handle->static_index.reset();
+  handle->wal.reset();
   handle->raw.reset();
   handle->pool.reset();
   handle->storage.reset();
@@ -2171,6 +2273,13 @@ Result<IngestBatchReport> Service::IngestBatch(
     }
     handle->next_series_id = id + 1;
     const Status st = handle->stream_index->Ingest(id, buf, timestamps[i]);
+    if (!st.ok() && handle->wal != nullptr) {
+      // The ordinal above is burned whether or not the index admitted the
+      // entry, so the log must burn it too — otherwise a replay would
+      // assign later admits shifted ordinals. (Sharded streams journal
+      // their own holes inside the wrapper; handle->wal is null there.)
+      handle->wal->AppendHole();
+    }
     if (st.code() == StatusCode::kResourceExhausted && admitted > 0) {
       // Reject-mode backpressure mid-batch: the admitted prefix cannot be
       // un-ingested, so report it truthfully (ingested < batch size, the
@@ -2186,6 +2295,11 @@ Result<IngestBatchReport> Service::IngestBatch(
   if (sharded == nullptr) {
     COCONUT_RETURN_NOT_OK(handle->raw->Flush());
   }
+  // The durability ack gate: the report below tells the client the
+  // admitted prefix is ingested, so its group commit must be on disk
+  // first (one fdatasync per batch, fanned across shards when sharded).
+  // No-op for non-durable streams.
+  COCONUT_RETURN_NOT_OK(handle->stream_index->CommitDurable());
 
   const stream::StreamingStats stats =
       handle->stream_index->SnapshotStats();
@@ -2228,6 +2342,16 @@ Result<DrainStreamReport> Service::DrainStream(const std::string& stream_name) {
   }
   WallTimer timer;
   COCONUT_RETURN_NOT_OK(handle->stream_index->FlushAll());
+  // A drained stream is fully sealed and checkpointed, so the logs can
+  // shrink to their base frame: recovering a drained stream replays
+  // nothing.
+  if (auto* sharded_drained = dynamic_cast<ShardedStreamingIndex*>(
+          handle->stream_index.get());
+      sharded_drained != nullptr) {
+    COCONUT_RETURN_NOT_OK(sharded_drained->TruncateDurableLogs());
+  } else if (handle->wal != nullptr) {
+    COCONUT_RETURN_NOT_OK(handle->wal->TruncateBefore(handle->raw.get()));
+  }
   const stream::StreamingStats stats =
       handle->stream_index->SnapshotStats();
   DrainStreamReport report;

@@ -23,6 +23,7 @@
 #include "storage/io_stats.h"
 #include "storage/storage_manager.h"
 #include "stream/streaming_index.h"
+#include "stream/wal.h"
 
 namespace coconut {
 namespace palm {
@@ -532,9 +533,19 @@ class Service {
     std::unique_ptr<storage::StorageManager> storage;
     std::unique_ptr<storage::BufferPool> pool;
     std::unique_ptr<core::RawSeriesStore> raw;
+    /// Write-ahead log of an unsharded durable stream (sharded streams
+    /// keep one inside each shard instead). Declared before the indexes,
+    /// which hold a raw pointer to it: their destructors (draining
+    /// background seals that append checkpoints) must run first.
+    std::unique_ptr<stream::Wal> wal;
     std::unique_ptr<core::DataSeriesIndex> static_index;
     std::unique_ptr<stream::StreamingIndex> stream_index;
     uint64_t next_series_id = 0;
+    /// True when InitHandleStorage found durable on-disk state to recover
+    /// instead of clearing the directory. Failure paths preserve the
+    /// directory in that case — a failed recovery must never destroy the
+    /// only copy of the log it failed to read.
+    bool recovered = false;
     double build_seconds = 0.0;
     storage::IoStats build_io;
     /// True while one thread populates (BuildIndex/CreateStream) or tears

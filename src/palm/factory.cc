@@ -71,6 +71,7 @@ Result<std::unique_ptr<core::DataSeriesIndex>> MakeInner(
       opts.max_inflight_seals = spec.max_inflight_seals;
       opts.backpressure = spec.backpressure_policy;
       opts.seal_test_hook = spec.seal_test_hook;
+      opts.wal = spec.wal;
       COCONUT_ASSIGN_OR_RETURN(
           std::unique_ptr<core::ClsmIndexAdapter> adapter,
           core::ClsmIndexAdapter::Create(storage, name, opts, pool, raw));
@@ -102,6 +103,9 @@ std::string VariantName(const VariantSpec& spec) {
   }
   if (spec.async_ingest) {
     name += "-async";
+  }
+  if (spec.durable) {
+    name += "-wal";
   }
   return name;
 }
@@ -162,6 +166,30 @@ bool SpecIsValid(const VariantSpec& spec, std::string* why) {
       return false;
     }
   }
+  if (spec.durable) {
+    if (spec.mode == StreamMode::kStatic) {
+      if (why != nullptr) {
+        *why = "durability is a streaming knob; a static build has no "
+               "stream of acknowledgements to protect";
+      }
+      return false;
+    }
+    if (spec.family == IndexFamily::kAds) {
+      if (why != nullptr) {
+        *why = "durability requires checkpointable sorted partitions; an "
+               "ADS+ tree has no manifest to restore (use CTree-TP, "
+               "CLSM-BTP or CLSM-PP)";
+      }
+      return false;
+    }
+    if (spec.mode == StreamMode::kPP && spec.family != IndexFamily::kClsm) {
+      if (why != nullptr) {
+        *why = "durable PP needs a buffering inner index with a "
+               "checkpointable run set (only CLSM-PP qualifies)";
+      }
+      return false;
+    }
+  }
   return true;
 }
 
@@ -218,9 +246,16 @@ Result<std::unique_ptr<stream::StreamingIndex>> CreateStreamingIndex(
           storage::kPageSize,
           pool->capacity_pages() * storage::kPageSize / spec.num_shards);
     }
-    COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<ShardedStreamingIndex> sharded,
-                             ShardedStreamingIndex::Create(storage, name,
-                                                           opts));
+    // A durable sharded stream whose per-shard logs survive on disk is
+    // recovered, not re-created (create would clear the shard
+    // directories). The api layer preserves the handle directory for
+    // exactly this case.
+    const bool recover =
+        spec.durable && ShardedStreamingIndex::HasDurableState(storage, name);
+    COCONUT_ASSIGN_OR_RETURN(
+        std::unique_ptr<ShardedStreamingIndex> sharded,
+        recover ? ShardedStreamingIndex::Recover(storage, name, opts)
+                : ShardedStreamingIndex::Create(storage, name, opts));
     return std::unique_ptr<stream::StreamingIndex>(std::move(sharded));
   }
   // Deferred seals/flushes/merges ride the caller's pool or the
@@ -253,7 +288,13 @@ Result<std::unique_ptr<stream::StreamingIndex>> CreateStreamingIndex(
           std::move(inner), spec.timestamp_policy);
       if (lsm != nullptr) {
         pp->set_stats_provider([lsm] { return lsm->SnapshotStats(); });
+        // Durability plumbing: the checkpoint manifest is CLSM's run set,
+        // so the facade's restore forwards straight to the tree.
+        pp->set_manifest_restorer([lsm](std::span<const uint8_t> manifest) {
+          return lsm->RestoreFromManifest(manifest);
+        });
       }
+      pp->set_wal(spec.wal);
       return std::unique_ptr<stream::StreamingIndex>(std::move(pp));
     }
     case StreamMode::kTP: {
@@ -270,6 +311,7 @@ Result<std::unique_ptr<stream::StreamingIndex>> CreateStreamingIndex(
       opts.max_inflight_seals = spec.max_inflight_seals;
       opts.backpressure = spec.backpressure_policy;
       opts.seal_test_hook = spec.seal_test_hook;
+      opts.wal = spec.wal;
       COCONUT_ASSIGN_OR_RETURN(
           std::unique_ptr<stream::TemporalPartitioningIndex> tp,
           stream::TemporalPartitioningIndex::Create(storage, name, opts, pool,
@@ -287,6 +329,7 @@ Result<std::unique_ptr<stream::StreamingIndex>> CreateStreamingIndex(
       opts.max_inflight_seals = spec.max_inflight_seals;
       opts.backpressure = spec.backpressure_policy;
       opts.seal_test_hook = spec.seal_test_hook;
+      opts.wal = spec.wal;
       COCONUT_ASSIGN_OR_RETURN(
           std::unique_ptr<stream::BoundedTemporalPartitioningIndex> btp,
           stream::BoundedTemporalPartitioningIndex::Create(storage, name,

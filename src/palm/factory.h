@@ -14,6 +14,9 @@
 #include "stream/streaming_index.h"
 
 namespace coconut {
+namespace stream {
+class Wal;
+}  // namespace stream
 namespace palm {
 
 /// The three index families of the demo.
@@ -89,6 +92,25 @@ struct VariantSpec {
   /// runs at the head of every background seal/flush so fault-injection
   /// suites can throttle or fail the flusher.
   std::function<Status()> seal_test_hook{};
+
+  /// Durability ("durability": "on"|"off" on the wire): attach a
+  /// write-ahead log — per shard, when sharded — so every acknowledged
+  /// ingest survives a crash and create_stream recovers an existing
+  /// stream instead of clearing it. Valid for the buffering streaming
+  /// variants only (CTree-TP, CLSM-BTP, CLSM-PP): ADS+ partitions have
+  /// no checkpointable manifest and a static build has no stream to
+  /// re-ack.
+  bool durable = false;
+  /// Process-local (never on the wire): the open WAL the created index
+  /// appends to (not owned; must outlive the index). The api layer opens
+  /// it per stream; the sharded wrapper opens its own per-shard logs and
+  /// ignores this field.
+  stream::Wal* wal = nullptr;
+  /// Test seam, process-local like seal_test_hook: forwarded as the
+  /// Wal::Options::test_hook of every log this spec opens (the unsharded
+  /// stream log, or all per-shard logs), so the kill-test harness can
+  /// crash the process at named durability edges.
+  std::function<void(const char*)> wal_test_hook{};
 };
 
 /// Variant display name, e.g. "CTreeFull-PP", "CLSM-BTP", "ADS+".

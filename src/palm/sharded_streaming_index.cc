@@ -12,6 +12,23 @@ ShardedStreamingIndex::~ShardedStreamingIndex() = default;
 Result<std::unique_ptr<ShardedStreamingIndex>> ShardedStreamingIndex::Create(
     storage::StorageManager* root, const std::string& name,
     const Options& options) {
+  return Build(root, name, options, /*recover=*/false);
+}
+
+Result<std::unique_ptr<ShardedStreamingIndex>> ShardedStreamingIndex::Recover(
+    storage::StorageManager* root, const std::string& name,
+    const Options& options) {
+  if (!options.spec.durable) {
+    return Status::InvalidArgument(
+        "Recover requires a durable spec (a non-durable stream leaves no "
+        "logs to recover from)");
+  }
+  return Build(root, name, options, /*recover=*/true);
+}
+
+Result<std::unique_ptr<ShardedStreamingIndex>> ShardedStreamingIndex::Build(
+    storage::StorageManager* root, const std::string& name,
+    const Options& options, bool recover) {
   if (root == nullptr) {
     return Status::InvalidArgument("root storage manager is required");
   }
@@ -43,17 +60,62 @@ Result<std::unique_ptr<ShardedStreamingIndex>> ShardedStreamingIndex::Create(
         shard->storage,
         storage::StorageManager::Create(root->directory() + "/" + name +
                                         "_shard" + std::to_string(i)));
-    COCONUT_RETURN_NOT_OK(shard->storage->Clear());
+    if (!recover) {
+      COCONUT_RETURN_NOT_OK(shard->storage->Clear());
+    }
     shard->pool =
         std::make_unique<storage::BufferPool>(options.pool_bytes_per_shard);
-    COCONUT_ASSIGN_OR_RETURN(
-        shard->raw,
-        core::RawSeriesStore::Create(shard->storage.get(), "raw",
-                                     options.spec.sax.series_length));
+    if (options.spec.durable) {
+      // The shard's own log: scanned here (recovery) or created fresh.
+      stream::Wal::Options wal_options;
+      wal_options.test_hook = options.spec.wal_test_hook;
+      COCONUT_ASSIGN_OR_RETURN(
+          shard->wal,
+          stream::Wal::Open(
+              shard->storage.get(), "wal",
+              static_cast<uint32_t>(options.spec.sax.series_length),
+              std::move(wal_options)));
+      shard_spec.wal = shard->wal.get();
+    }
+    if (recover) {
+      // The log proved `base_ordinals` series durable before its retained
+      // suffix; cut the raw file back to them — replay re-appends the rest.
+      COCONUT_ASSIGN_OR_RETURN(
+          shard->raw, core::RawSeriesStore::OpenTruncated(
+                          shard->storage.get(), "raw",
+                          options.spec.sax.series_length,
+                          shard->wal->base_ordinals()));
+    } else {
+      COCONUT_ASSIGN_OR_RETURN(
+          shard->raw,
+          core::RawSeriesStore::Create(shard->storage.get(), "raw",
+                                       options.spec.sax.series_length));
+    }
     COCONUT_ASSIGN_OR_RETURN(
         shard->index,
         CreateStreamingIndex(shard_spec, shard->storage.get(), "stream",
                              shard->pool.get(), shard->raw.get()));
+    if (recover) {
+      stream::WalRecoverOutcome outcome;
+      COCONUT_RETURN_NOT_OK(shard->wal->Recover(shard->index.get(),
+                                                shard->raw.get(), &outcome));
+      if (outcome.local_to_global.size() < outcome.ordinals) {
+        return Status::DataLoss(
+            "shard " + std::to_string(i) + " recovered " +
+            std::to_string(outcome.ordinals) + " ordinals but only " +
+            std::to_string(outcome.local_to_global.size()) + " id mappings");
+      }
+      // A trailing map whose admit never committed maps an ordinal the
+      // crash un-consumed; the next admission reuses both.
+      outcome.local_to_global.resize(outcome.ordinals);
+      shard->local_to_global = std::move(outcome.local_to_global);
+      for (const uint64_t global_id : shard->local_to_global) {
+        sharded->recovered_next_id_ =
+            std::max(sharded->recovered_next_id_, global_id + 1);
+      }
+      sharded->last_timestamp_ =
+          std::max(sharded->last_timestamp_, outcome.watermark);
+    }
     sharded->shards_.push_back(std::move(shard));
   }
 
@@ -138,7 +200,43 @@ Status ShardedStreamingIndex::AdmitToShard(uint64_t series_id,
     }
     shard.local_to_global[local_id] = series_id;
   }
-  return shard.index->Ingest(local_id, znorm_values, timestamp);
+  // Durable streams journal the mapping immediately before the record
+  // that consumes the ordinal: the inner Ingest logs the admit inside its
+  // own critical section, and a refusal burns the ordinal with a hole, so
+  // replay keeps ids lined up with the raw file either way. Everything
+  // here is under ingest_mu, so map and admit/hole always share a commit.
+  if (shard.wal != nullptr) {
+    shard.wal->AppendMap(series_id);
+  }
+  const Status admitted =
+      shard.index->Ingest(local_id, znorm_values, timestamp);
+  if (!admitted.ok() && shard.wal != nullptr) {
+    shard.wal->AppendHole();
+  }
+  return admitted;
+}
+
+Status ShardedStreamingIndex::CommitDurable() {
+  // Fan the ack gate out: every shard's pending records become durable
+  // before the batch is acknowledged. Drain all shards even on error so
+  // one failed log does not leave another's batch uncommitted forever.
+  Status first;
+  for (auto& shard : shards_) {
+    if (shard->wal == nullptr) continue;
+    const Status committed = shard->wal->Commit();
+    if (first.ok() && !committed.ok()) first = committed;
+  }
+  return first;
+}
+
+Status ShardedStreamingIndex::TruncateDurableLogs() {
+  Status first;
+  for (auto& shard : shards_) {
+    if (shard->wal == nullptr) continue;
+    const Status truncated = shard->wal->TruncateBefore(shard->raw.get());
+    if (first.ok() && !truncated.ok()) first = truncated;
+  }
+  return first;
 }
 
 Status ShardedStreamingIndex::FlushAll() {

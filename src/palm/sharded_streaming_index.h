@@ -12,6 +12,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/storage_manager.h"
 #include "stream/streaming_index.h"
+#include "stream/wal.h"
 
 namespace coconut {
 namespace palm {
@@ -62,10 +63,27 @@ class ShardedStreamingIndex : public stream::StreamingIndex {
     size_t pool_bytes_per_shard = 4ull << 20;
   };
 
-  /// Creates K empty shards under `root->directory()/name_shardN`.
+  /// Creates K empty shards under `root->directory()/name_shardN`. With
+  /// spec.durable set, each shard also gets its own fresh write-ahead log.
   static Result<std::unique_ptr<ShardedStreamingIndex>> Create(
       storage::StorageManager* root, const std::string& name,
       const Options& options);
+
+  /// Recovers K durable shards left behind by a previous process: each
+  /// shard's log is scanned, its raw store cut back to the durable prefix,
+  /// its checkpointed partition state restored and the acknowledged log
+  /// suffix replayed through the normal ingest path. The global timestamp
+  /// watermark and the per-shard id maps are rebuilt from the logs.
+  static Result<std::unique_ptr<ShardedStreamingIndex>> Recover(
+      storage::StorageManager* root, const std::string& name,
+      const Options& options);
+
+  /// Whether Recover() has durable per-shard state to work from (spec
+  /// durable streams leave `<name>_shard0/wal` behind).
+  static bool HasDurableState(const storage::StorageManager* root,
+                              const std::string& name) {
+    return root->Exists(name + "_shard0/wal");
+  }
 
   ~ShardedStreamingIndex() override;
 
@@ -84,6 +102,18 @@ class ShardedStreamingIndex : public stream::StreamingIndex {
   uint64_t index_bytes() const override;
   std::string describe() const override;
   stream::StreamingStats SnapshotStats() const override;
+
+  /// Group-commits every shard's write-ahead log — the sharded ack gate.
+  /// OK when the stream is not durable.
+  Status CommitDurable() override;
+
+  /// Reclaims every shard's log prefix behind its newest durable
+  /// checkpoint (call after FlushAll, when checkpoints cover everything).
+  Status TruncateDurableLogs();
+
+  /// The smallest unused global series id after Recover() (max mapped
+  /// global id + 1; 0 for an empty stream).
+  uint64_t recovered_next_series_id() const { return recovered_next_id_; }
 
   /// Sum of per-shard inner stamps — monotone (every shard's counter only
   /// grows), so equal reads bracketing a query prove no shard admitted or
@@ -123,6 +153,10 @@ class ShardedStreamingIndex : public stream::StreamingIndex {
     std::unique_ptr<storage::StorageManager> storage;
     std::unique_ptr<storage::BufferPool> pool;
     std::unique_ptr<core::RawSeriesStore> raw;
+    /// Per-shard write-ahead log (durable streams only). Declared before
+    /// the index, which holds a raw pointer to it, so it outlives the
+    /// index's destructor.
+    std::unique_ptr<stream::Wal> wal;
     std::unique_ptr<stream::StreamingIndex> index;
     /// Shard-local raw-store ordinal -> global series id. Guarded by
     /// map_mu: ingestion appends while gathers translate result ids.
@@ -135,6 +169,12 @@ class ShardedStreamingIndex : public stream::StreamingIndex {
 
   explicit ShardedStreamingIndex(Options options)
       : options_(std::move(options)) {}
+
+  /// Shared body of Create/Recover: builds the K shard stacks, opening
+  /// (and, when `recover` is set, replaying) the per-shard logs.
+  static Result<std::unique_ptr<ShardedStreamingIndex>> Build(
+      storage::StorageManager* root, const std::string& name,
+      const Options& options, bool recover);
 
   /// Routes one entry to its shard and admits it (raw append + id map +
   /// inner Ingest under the shard's admission lock). Policy enforcement
@@ -158,6 +198,9 @@ class ShardedStreamingIndex : public stream::StreamingIndex {
   /// kPermissive never touches it.
   std::mutex watermark_mu_;
   int64_t last_timestamp_ = INT64_MIN;
+
+  /// See recovered_next_series_id().
+  uint64_t recovered_next_id_ = 0;
 };
 
 }  // namespace palm

@@ -145,5 +145,37 @@ Status File::Sync() {
   return Status::OK();
 }
 
+Status File::DataSync() {
+#if defined(__linux__)
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError(Errno("fdatasync", path_));
+  }
+  return Status::OK();
+#else
+  return Sync();
+#endif
+}
+
+Status File::Truncate(uint64_t new_size) {
+  if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+    return Status::IoError(Errno("ftruncate", path_));
+  }
+  size_bytes_ = new_size;
+  return Status::OK();
+}
+
+Status FsyncDir(const std::string& dir_path) {
+  int fd = ::open(dir_path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::IoError(Errno("open(dir)", dir_path));
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved_errno;
+    return Status::IoError(Errno("fsync(dir)", dir_path));
+  }
+  return Status::OK();
+}
+
 }  // namespace storage
 }  // namespace coconut

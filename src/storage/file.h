@@ -58,6 +58,15 @@ class File {
   /// Flushes file contents to stable storage.
   Status Sync();
 
+  /// Like Sync but skips flushing metadata (mtime) when the platform
+  /// offers fdatasync; the write-ahead log's commit path calls this once
+  /// per acknowledged batch, so the cheaper barrier matters.
+  Status DataSync();
+
+  /// Truncates (or extends with zeros) the file to exactly `new_size`
+  /// bytes. Recovery uses this to drop a torn frame tail from a log.
+  Status Truncate(uint64_t new_size);
+
   /// Current file length in bytes.
   uint64_t size_bytes() const { return size_bytes_; }
 
@@ -89,6 +98,13 @@ class File {
   AccessTracker* tracker_;  // Not owned; may be nullptr.
   std::mutex* io_mutex_;    // Not owned; may be nullptr (single-threaded).
 };
+
+/// Fsyncs the directory at `dir_path` so entries created (or renamed)
+/// inside it survive a crash. POSIX only promises a created file's *data*
+/// is durable after fsync(fd); the *name* lives in the parent directory
+/// and needs its own fsync — without it a created-then-crashed log file
+/// can vanish on real filesystems.
+Status FsyncDir(const std::string& dir_path);
 
 }  // namespace storage
 }  // namespace coconut

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 
@@ -32,8 +33,14 @@ std::string StorageManager::PathFor(const std::string& name) const {
 
 Result<std::unique_ptr<File>> StorageManager::CreateFile(
     const std::string& name) {
-  return File::Create(PathFor(name), next_file_id_.fetch_add(1), &stats_,
-                      &tracker_, &io_mutex_);
+  auto file = File::Create(PathFor(name), next_file_id_.fetch_add(1), &stats_,
+                           &tracker_, &io_mutex_);
+  if (!file.ok()) return file;
+  // The new *name* lives in the directory inode; without this a
+  // created-then-crashed file (e.g. a fresh write-ahead log) can vanish
+  // even though its own fsync succeeded.
+  COCONUT_RETURN_NOT_OK(FsyncDir(directory_));
+  return file;
 }
 
 Result<std::unique_ptr<File>> StorageManager::OpenFile(
@@ -48,6 +55,15 @@ Status StorageManager::RemoveFile(const std::string& name) {
                            "'): " + std::strerror(errno));
   }
   return Status::OK();
+}
+
+Status StorageManager::RenameFile(const std::string& from,
+                                  const std::string& to) {
+  if (::rename(PathFor(from).c_str(), PathFor(to).c_str()) != 0) {
+    return Status::IoError("rename('" + PathFor(from) + "' -> '" +
+                           PathFor(to) + "'): " + std::strerror(errno));
+  }
+  return FsyncDir(directory_);
 }
 
 bool StorageManager::Exists(const std::string& name) const {

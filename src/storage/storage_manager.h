@@ -41,6 +41,15 @@ class StorageManager {
   /// Deletes the named file from disk.
   Status RemoveFile(const std::string& name);
 
+  /// Atomically renames `from` to `to` inside the directory (replacing
+  /// `to` if present), then fsyncs the directory so the swap is durable.
+  /// The write-ahead log's truncation rests on this being all-or-nothing.
+  Status RenameFile(const std::string& from, const std::string& to);
+
+  /// Fsyncs the working directory itself — makes recently created or
+  /// renamed *names* durable (see storage::FsyncDir).
+  Status SyncDir() const { return FsyncDir(directory_); }
+
   /// Whether `name` exists inside the directory.
   bool Exists(const std::string& name) const;
 

@@ -37,6 +37,7 @@ BoundedTemporalPartitioningIndex::Create(storage::StorageManager* storage,
   topts.max_inflight_seals = options.max_inflight_seals;
   topts.backpressure = options.backpressure;
   topts.seal_test_hook = options.seal_test_hook;
+  topts.wal = options.wal;
   return std::unique_ptr<BoundedTemporalPartitioningIndex>(
       new BoundedTemporalPartitioningIndex(storage, prefix, topts, pool, raw,
                                            options.merge_k));
@@ -116,7 +117,9 @@ Status BoundedTemporalPartitioningIndex::AfterSeal() {
     PublishPartitions(std::move(next), /*retired_pending=*/nullptr,
                       /*count_seal=*/false, /*merges_delta=*/1);
     for (const std::string& name : retired_names) {
-      COCONUT_RETURN_NOT_OK(storage_->RemoveFile(name));
+      // Deferred to the next durable checkpoint when a WAL is attached:
+      // the last checkpoint on disk may still reference these inputs.
+      COCONUT_RETURN_NOT_OK(RetireFile(name));
     }
   }
 }

@@ -43,6 +43,8 @@ class BoundedTemporalPartitioningIndex : public TemporalPartitioningIndex {
     size_t max_inflight_seals = 0;
     BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
     std::function<Status()> seal_test_hook{};
+    /// See TemporalPartitioningIndex::Options::wal.
+    Wal* wal = nullptr;
   };
 
   static Result<std::unique_ptr<BoundedTemporalPartitioningIndex>> Create(
@@ -70,6 +72,13 @@ class BoundedTemporalPartitioningIndex : public TemporalPartitioningIndex {
   /// Consolidates equal-sized partitions until no class has merge_k left.
   /// Runs on the strand (async) or inline (sync); serialized with seals.
   Status AfterSeal() override;
+
+  /// The merge-output name sequence rides along in checkpoint manifests so
+  /// a recovered index never reuses a name an orphaned file may hold.
+  uint64_t ManifestAuxCounter() const override { return next_merge_id_; }
+  void RestoreManifestAuxCounter(uint64_t value) override {
+    next_merge_id_ = value;
+  }
 
  private:
   BoundedTemporalPartitioningIndex(storage::StorageManager* storage,

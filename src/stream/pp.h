@@ -8,6 +8,7 @@
 
 #include "core/index.h"
 #include "stream/streaming_index.h"
+#include "stream/wal.h"
 
 namespace coconut {
 namespace stream {
@@ -89,9 +90,38 @@ class PostProcessingIndex : public StreamingIndex {
     return inner_->snapshot_version();
   }
 
+  /// Hook for durable wrappers: the factory wires the inner structure's
+  /// own manifest restore (CLSM's run-set rebuild) through here; the
+  /// facade adds nothing of its own to a checkpoint.
+  using ManifestRestorer = std::function<Status(std::span<const uint8_t>)>;
+  void set_manifest_restorer(ManifestRestorer restorer) {
+    manifest_restorer_ = std::move(restorer);
+  }
+
+  /// The WAL the inner structure appends to (not owned); the facade only
+  /// needs it for the CommitDurable ack gate.
+  void set_wal(Wal* wal) { wal_ = wal; }
+
+  Status RestoreFromManifest(std::span<const uint8_t> manifest) override {
+    if (manifest_restorer_) return manifest_restorer_(manifest);
+    return StreamingIndex::RestoreFromManifest(manifest);
+  }
+
+  void RestoreWatermark(int64_t timestamp) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_timestamp_ = std::max(last_timestamp_, timestamp);
+  }
+
+  Status CommitDurable() override {
+    if (wal_ == nullptr) return Status::OK();
+    return wal_->Commit();
+  }
+
  private:
   std::unique_ptr<core::DataSeriesIndex> inner_;
   StatsProvider stats_provider_;
+  ManifestRestorer manifest_restorer_;
+  Wal* wal_ = nullptr;
   TimestampPolicy policy_;
   /// Guards the policy state only; concurrency of the inner index itself
   /// is the inner index's business (CLSM is concurrent, ADS+/CTree are

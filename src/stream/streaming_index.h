@@ -242,6 +242,29 @@ class StreamingIndex {
     return stats;
   }
 
+  // ---- durability hooks (write-ahead logging; see stream/wal.h). The
+  // defaults keep non-durable indexes and wrappers untouched.
+
+  /// Rebuilds the sealed-partition state a checkpoint manifest describes
+  /// (partition/run files on disk, counters, deterministic name
+  /// sequences). Called once, on an empty index, before WAL replay.
+  virtual Status RestoreFromManifest(std::span<const uint8_t> manifest) {
+    (void)manifest;
+    return Status::NotSupported(describe() +
+                                " does not support manifest restore");
+  }
+
+  /// Seeds the timestamp-policy watermark with the max timestamp among
+  /// entries recovery did NOT replay through Ingest (manifest-restored and
+  /// truncated-away admits), so strict/clamp semantics survive a restart.
+  virtual void RestoreWatermark(int64_t timestamp) { (void)timestamp; }
+
+  /// Makes every record buffered in the index's write-ahead log(s)
+  /// durable — the acknowledgement gate for a durable stream. The sharded
+  /// wrapper fans this out to its per-shard logs; an index without a WAL
+  /// returns OK. Runs on the admission thread, after the batch.
+  virtual Status CommitDurable() { return Status::OK(); }
+
   /// Monotonic snapshot-version stamp, mirroring
   /// core::DataSeriesIndex::snapshot_version(): bumped on every Ingest
   /// admission and every background publication (seal, flush, merge

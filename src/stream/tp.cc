@@ -5,6 +5,7 @@
 #include "common/timer.h"
 #include "seqtable/table_search.h"
 #include "series/paa.h"
+#include "stream/wal.h"
 
 namespace coconut {
 namespace stream {
@@ -59,6 +60,11 @@ TemporalPartitioningIndex::Create(storage::StorageManager* storage,
     return Status::InvalidArgument(
         "background ingestion requires the kSeqTable backend (a live ADS+ "
         "tree cannot be sealed behind ingestion's back)");
+  }
+  if (options.wal != nullptr && options.backend == PartitionBackend::kAds) {
+    return Status::InvalidArgument(
+        "durability requires the kSeqTable backend (an ADS+ partition has "
+        "no checkpointable manifest)");
   }
   return std::unique_ptr<TemporalPartitioningIndex>(
       new TemporalPartitioningIndex(storage, prefix, options, pool, raw));
@@ -221,7 +227,8 @@ Status TemporalPartitioningIndex::SealTask(
   next->push_back(std::move(partition));
   PublishPartitions(std::move(next), pending.get(), /*count_seal=*/true,
                     /*merges_delta=*/0);
-  return AfterSeal();
+  COCONUT_RETURN_NOT_OK(AfterSeal());
+  return CheckpointDurable();
 }
 
 Status TemporalPartitioningIndex::Ingest(uint64_t series_id,
@@ -299,6 +306,13 @@ Status TemporalPartitioningIndex::Ingest(uint64_t series_id,
     if (options_.materialized) {
       buffer_payloads_.insert(buffer_payloads_.end(), znorm_values.begin(),
                               znorm_values.end());
+    }
+    // This is the admission commit point, still under mu_: the log record
+    // order is exactly the admission order (a checkpoint from the strand
+    // cannot slip between the push and the record). The clamped timestamp
+    // is logged so replay through this same path is idempotent.
+    if (options_.wal != nullptr) {
+      options_.wal->AppendAdmit(series_id, timestamp, znorm_values);
     }
     unsealed_t_min_ = std::min(unsealed_t_min_, timestamp);
     unsealed_t_max_ = std::max(unsealed_t_max_, timestamp);
@@ -583,6 +597,133 @@ TemporalPartitioningIndex::DumpPartitionEntries(size_t idx) const {
     entries.push_back(entry);
   }
   return entries;
+}
+
+void TemporalPartitioningIndex::EncodeManifest(std::vector<uint8_t>* manifest,
+                                               uint64_t* durable_entries) const {
+  std::shared_ptr<const PartitionSet> parts;
+  uint64_t next_id = 0;
+  uint64_t seals = 0;
+  uint64_t merges = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    parts = partitions_;
+    next_id = next_partition_id_;
+    seals = seals_completed_;
+    merges = merges_completed_;
+  }
+  manifest->clear();
+  *durable_entries = 0;
+  WalPutU32(manifest, static_cast<uint32_t>(parts->size()));
+  for (const auto& p : *parts) {
+    WalPutString(manifest, p->name);
+    WalPutU64(manifest, p->entries);
+    WalPutI64(manifest, p->t_min);
+    WalPutI64(manifest, p->t_max);
+    WalPutU32(manifest, static_cast<uint32_t>(p->size_class));
+    *durable_entries += p->entries;
+  }
+  WalPutU64(manifest, next_id);
+  WalPutU64(manifest, seals);
+  WalPutU64(manifest, merges);
+  // The subclass's own deterministic-name counter (BTP's merge outputs);
+  // read on the strand, where every mutation of it happens.
+  WalPutU64(manifest, ManifestAuxCounter());
+}
+
+Status TemporalPartitioningIndex::RestoreFromManifest(
+    std::span<const uint8_t> manifest) {
+  if (options_.backend != PartitionBackend::kSeqTable) {
+    return Status::NotSupported(
+        "manifest restore requires the kSeqTable backend");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!buffer_.empty() || !pending_.empty() || !partitions_->empty()) {
+      return Status::InvalidArgument(
+          "manifest restore requires an empty index");
+    }
+  }
+  WalReader reader(manifest);
+  uint32_t count = 0;
+  if (!reader.GetU32(&count)) {
+    return Status::DataLoss("checkpoint manifest truncated");
+  }
+  auto set = std::make_shared<PartitionSet>();
+  set->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    auto partition = std::make_shared<SealedPartition>();
+    uint32_t size_class = 0;
+    if (!reader.GetString(&partition->name) ||
+        !reader.GetU64(&partition->entries) ||
+        !reader.GetI64(&partition->t_min) ||
+        !reader.GetI64(&partition->t_max) || !reader.GetU32(&size_class)) {
+      return Status::DataLoss("checkpoint manifest truncated");
+    }
+    partition->size_class = static_cast<int>(size_class);
+    COCONUT_ASSIGN_OR_RETURN(
+        std::unique_ptr<seqtable::SeqTable> table,
+        seqtable::SeqTable::Open(storage_, partition->name, ReadPool()));
+    if (table->num_entries() != partition->entries) {
+      return Status::DataLoss(
+          "partition " + partition->name + " holds " +
+          std::to_string(table->num_entries()) + " entries, checkpoint "
+          "manifest recorded " + std::to_string(partition->entries));
+    }
+    partition->table = std::move(table);
+    set->push_back(std::move(partition));
+  }
+  uint64_t next_id = 0;
+  uint64_t seals = 0;
+  uint64_t merges = 0;
+  uint64_t aux = 0;
+  if (!reader.GetU64(&next_id) || !reader.GetU64(&seals) ||
+      !reader.GetU64(&merges) || !reader.GetU64(&aux) || !reader.AtEnd()) {
+    return Status::DataLoss("checkpoint manifest truncated");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    partitions_ = std::move(set);
+    next_partition_id_ = next_id;
+    seals_completed_ = seals;
+    merges_completed_ = merges;
+    BumpSnapshotVersion();
+  }
+  RestoreManifestAuxCounter(aux);
+  return Status::OK();
+}
+
+void TemporalPartitioningIndex::RestoreWatermark(int64_t timestamp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_timestamp_ = std::max(last_timestamp_, timestamp);
+}
+
+Status TemporalPartitioningIndex::CommitDurable() {
+  if (options_.wal == nullptr) return Status::OK();
+  return options_.wal->Commit();
+}
+
+Status TemporalPartitioningIndex::CheckpointDurable() {
+  if (options_.wal == nullptr) return Status::OK();
+  std::vector<uint8_t> manifest;
+  uint64_t durable = 0;
+  EncodeManifest(&manifest, &durable);
+  COCONUT_RETURN_NOT_OK(options_.wal->AppendCheckpoint(durable, manifest));
+  // Only now is it safe to drop files the previous checkpoint referenced.
+  std::vector<std::string> unlinks;
+  unlinks.swap(pending_unlinks_);
+  for (const std::string& name : unlinks) {
+    COCONUT_RETURN_NOT_OK(storage_->RemoveFile(name));
+  }
+  return Status::OK();
+}
+
+Status TemporalPartitioningIndex::RetireFile(const std::string& name) {
+  if (options_.wal != nullptr) {
+    pending_unlinks_.push_back(name);
+    return Status::OK();
+  }
+  return storage_->RemoveFile(name);
 }
 
 std::string TemporalPartitioningIndex::describe() const {

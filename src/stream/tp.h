@@ -18,6 +18,8 @@
 namespace coconut {
 namespace stream {
 
+class Wal;
+
 /// Which structure backs each sealed temporal partition.
 enum class PartitionBackend {
   kSeqTable,  ///< Sorted compact partitions ("CTreeTP").
@@ -71,6 +73,11 @@ class TemporalPartitioningIndex : public StreamingIndex {
     /// a non-OK status to inject a background flush failure. Never set in
     /// production.
     std::function<Status()> seal_test_hook{};
+    /// Write-ahead log (not owned; must outlive the index). When set,
+    /// Ingest records every admission into it (inside the admission
+    /// critical section, so log order == admission order) and every
+    /// completed seal appends a checkpoint. kSeqTable backend only.
+    Wal* wal = nullptr;
   };
 
   /// Externally visible shape of one sealed partition, for tests and the
@@ -104,6 +111,9 @@ class TemporalPartitioningIndex : public StreamingIndex {
   uint64_t index_bytes() const override;
   std::string describe() const override;
   StreamingStats SnapshotStats() const override;
+  Status RestoreFromManifest(std::span<const uint8_t> manifest) override;
+  void RestoreWatermark(int64_t timestamp) override;
+  Status CommitDurable() override;
 
   bool async() const { return executor_ != nullptr; }
 
@@ -194,6 +204,29 @@ class TemporalPartitioningIndex : public StreamingIndex {
   /// mutator besides SealTask, and the two are serialized.
   virtual Status AfterSeal() { return Status::OK(); }
 
+  /// One extra manifest counter for the subclass (BTP's merge-output name
+  /// sequence); TP itself has none.
+  virtual uint64_t ManifestAuxCounter() const { return 0; }
+  virtual void RestoreManifestAuxCounter(uint64_t value) { (void)value; }
+
+  /// Serializes the sealed-partition state (names, entries, time ranges,
+  /// size classes, deterministic-name counters) and the admit count it
+  /// covers. Takes mu_ briefly for a consistent snapshot.
+  void EncodeManifest(std::vector<uint8_t>* manifest,
+                      uint64_t* durable_entries) const;
+
+  /// WAL checkpoint after a completed seal/merge, then the deferred
+  /// unlinks that had to wait for it (see RetireFile). Runs on the
+  /// strand; no-op without a WAL.
+  Status CheckpointDurable();
+
+  /// Removes a replaced partition file — immediately without a WAL;
+  /// deferred to the next durable checkpoint with one, because the last
+  /// durable checkpoint may still reference it (a crash between the
+  /// unlink and the next checkpoint would otherwise be unrecoverable
+  /// once the log is truncated). Strand-serialized.
+  Status RetireFile(const std::string& name);
+
   /// Moves the full buffer into the pending list and hands back the seal
   /// descriptor; returns nullptr when the buffer is empty. Caller holds mu_.
   std::shared_ptr<PendingSeal> DetachBufferLocked();
@@ -259,6 +292,11 @@ class TemporalPartitioningIndex : public StreamingIndex {
   /// seal retires or a background error lands, so a blocked Ingest always
   /// wakes — including into a failed index it must not keep feeding.
   BackpressureGate backpressure_;
+
+  /// Replaced partition files awaiting the next durable checkpoint (see
+  /// RetireFile). Only touched on the strand (or the single caller, in
+  /// sync mode), so it needs no lock.
+  std::vector<std::string> pending_unlinks_;
 
   /// Per-index FIFO strand over Options.background; null when synchronous.
   std::unique_ptr<SerialExecutor> executor_;

@@ -1,0 +1,699 @@
+#include "stream/wal.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "stream/streaming_index.h"
+
+namespace coconut {
+namespace stream {
+
+bool WalReader::GetFloats(std::vector<float>* out, size_t count) {
+  if (count > remaining() / sizeof(float)) return false;
+  out->resize(count);
+  std::memcpy(out->data(), bytes_.data() + pos_, count * sizeof(float));
+  pos_ += count * sizeof(float);
+  return true;
+}
+
+bool WalReader::GetBytes(std::vector<uint8_t>* out, size_t count) {
+  if (count > remaining()) return false;
+  out->assign(bytes_.begin() + static_cast<ptrdiff_t>(pos_),
+              bytes_.begin() + static_cast<ptrdiff_t>(pos_ + count));
+  pos_ += count;
+  return true;
+}
+
+bool WalReader::GetString(std::string* out) {
+  uint32_t len = 0;
+  if (!GetU32(&len) || len > remaining()) return false;
+  out->assign(bytes_.begin() + static_cast<ptrdiff_t>(pos_),
+              bytes_.begin() + static_cast<ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return true;
+}
+
+namespace {
+
+using Reader = WalReader;
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) { WalPutU32(out, v); }
+void PutU64(std::vector<uint8_t>* out, uint64_t v) { WalPutU64(out, v); }
+void PutI64(std::vector<uint8_t>* out, int64_t v) { WalPutI64(out, v); }
+
+/// Sanity cap on a frame's declared payload length: far above any real
+/// frame (a batch is bounded by buffer_entries x series bytes), far below
+/// anything a flipped length byte could use to balloon an allocation.
+constexpr uint32_t kMaxFramePayload = 1u << 30;
+
+}  // namespace
+
+// --------------------------------------------------------------- frames
+
+std::vector<uint8_t> Wal::EncodeFrame(WalFrameType type,
+                                      std::span<const uint8_t> payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(kWalFrameHeaderBytes + payload.size());
+  PutU32(&frame, kWalMagic);
+  frame.push_back(kWalVersionMajor);
+  frame.push_back(kWalVersionMinor);
+  frame.push_back(static_cast<uint8_t>(type));
+  frame.push_back(0);  // reserved
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  uint32_t crc = Crc32c(frame.data() + 4, 8);
+  crc = Crc32cExtend(crc, payload.data(), payload.size());
+  PutU32(&frame, crc);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+size_t Wal::DecodeFrames(std::span<const uint8_t> bytes,
+                         std::vector<WalFrame>* frames,
+                         bool* major_too_new) {
+  if (major_too_new != nullptr) *major_too_new = false;
+  size_t pos = 0;
+  while (bytes.size() - pos >= kWalFrameHeaderBytes) {
+    const uint8_t* h = bytes.data() + pos;
+    Reader header(std::span<const uint8_t>(h, kWalFrameHeaderBytes));
+    uint32_t magic = 0;
+    uint8_t major = 0;
+    uint8_t minor = 0;
+    uint8_t type = 0;
+    uint8_t reserved = 0;
+    uint32_t payload_len = 0;
+    uint32_t stored_crc = 0;
+    header.GetU32(&magic);
+    header.GetU8(&major);
+    header.GetU8(&minor);
+    header.GetU8(&type);
+    header.GetU8(&reserved);
+    header.GetU32(&payload_len);
+    header.GetU32(&stored_crc);
+    if (magic != kWalMagic) break;
+    if (payload_len > kMaxFramePayload) break;
+    if (bytes.size() - pos - kWalFrameHeaderBytes < payload_len) break;
+    uint32_t crc = Crc32c(h + 4, 8);
+    crc = Crc32cExtend(crc, h + kWalFrameHeaderBytes, payload_len);
+    if (crc != stored_crc) break;
+    if (major > kWalVersionMajor) {
+      // A valid frame from a future format generation: stop before it and
+      // let the caller surface the structured error.
+      if (major_too_new != nullptr) *major_too_new = true;
+      break;
+    }
+    // A frame type this minor version does not know is skipped, not
+    // fatal: its CRC proved it intact, and minor bumps only add types.
+    if (type >= 1 && type <= 4) {
+      WalFrame frame;
+      frame.type = static_cast<WalFrameType>(type);
+      frame.payload.assign(h + kWalFrameHeaderBytes,
+                           h + kWalFrameHeaderBytes + payload_len);
+      frames->push_back(std::move(frame));
+    }
+    pos += kWalFrameHeaderBytes + payload_len;
+  }
+  return pos;
+}
+
+// ----------------------------------------------------------------- open
+
+Result<std::unique_ptr<Wal>> Wal::Open(storage::StorageManager* storage,
+                                       const std::string& name,
+                                       uint32_t series_length,
+                                       Options options) {
+  auto wal = std::unique_ptr<Wal>(
+      new Wal(storage, name, series_length, std::move(options)));
+  std::vector<uint8_t> bytes;
+  const bool existed = storage->Exists(name);
+  if (existed) {
+    COCONUT_ASSIGN_OR_RETURN(wal->file_, storage->OpenFile(name));
+    bytes.resize(wal->file_->size_bytes());
+    if (!bytes.empty()) {
+      COCONUT_RETURN_NOT_OK(wal->file_->ReadAt(0, bytes.data(), bytes.size()));
+    }
+  } else {
+    COCONUT_ASSIGN_OR_RETURN(wal->file_, storage->CreateFile(name));
+  }
+
+  if (bytes.empty()) {
+    // Fresh (or empty) log: write the stream-header frame and make both
+    // the bytes and the name durable before anything is acknowledged.
+    std::vector<uint8_t> payload;
+    PutU32(&payload, series_length);
+    const std::vector<uint8_t> frame =
+        EncodeFrame(WalFrameType::kStreamHeader, payload);
+    COCONUT_RETURN_NOT_OK(wal->file_->Append(frame.data(), frame.size()));
+    COCONUT_RETURN_NOT_OK(wal->file_->DataSync());
+    return wal;
+  }
+
+  bool major_too_new = false;
+  std::vector<WalFrame> frames;
+  const size_t valid_bytes = DecodeFrames(bytes, &frames, &major_too_new);
+  if (frames.empty()) {
+    if (major_too_new) {
+      return Status::NotSupported(
+          "wal '" + name + "' was written by a newer major format version");
+    }
+    // Non-empty file whose first frame doesn't parse: the header frame
+    // was synced at creation, so this is corruption, not a torn tail —
+    // refuse rather than silently wipe the stream.
+    return Status::DataLoss("wal '" + name +
+                            "' is corrupt at its stream header");
+  }
+  if (major_too_new) {
+    // Valid frames from a newer major generation follow the readable
+    // prefix. They are committed data, not a torn tail — truncating them
+    // away would destroy a newer writer's acknowledged records.
+    return Status::NotSupported(
+        "wal '" + name + "' contains frames from a newer major format version");
+  }
+  if (frames[0].type != WalFrameType::kStreamHeader) {
+    return Status::DataLoss("wal '" + name +
+                            "' does not start with a stream header");
+  }
+  Reader header(frames[0].payload);
+  uint32_t logged_length = 0;
+  if (!header.GetU32(&logged_length)) {
+    return Status::DataLoss("wal '" + name + "' has a short stream header");
+  }
+  if (logged_length != series_length) {
+    return Status::InvalidArgument(
+        "wal '" + name + "' holds series of length " +
+        std::to_string(logged_length) + ", expected " +
+        std::to_string(series_length));
+  }
+  // Drop the torn tail (a mid-write crash) so future appends extend a
+  // valid log. Bytes past valid_bytes were never acknowledged: an ack
+  // requires Commit's fdatasync to have returned, after the full frame.
+  if (valid_bytes < bytes.size()) {
+    COCONUT_RETURN_NOT_OK(
+        wal->file_->Truncate(static_cast<uint64_t>(valid_bytes)));
+    COCONUT_RETURN_NOT_OK(wal->file_->DataSync());
+  }
+  COCONUT_RETURN_NOT_OK(wal->AdoptScan(std::move(frames), valid_bytes));
+  return wal;
+}
+
+Status Wal::AdoptScan(std::vector<WalFrame> frames, uint64_t valid_bytes) {
+  (void)valid_bytes;
+  for (size_t i = 1; i < frames.size(); ++i) {
+    WalFrame& frame = frames[i];
+    switch (frame.type) {
+      case WalFrameType::kStreamHeader:
+        return Status::DataLoss("wal '" + name_ +
+                                "' has a duplicate stream header");
+      case WalFrameType::kBase: {
+        if (i != 1) {
+          return Status::DataLoss("wal '" + name_ +
+                                  "' has a misplaced base frame");
+        }
+        Reader r(frame.payload);
+        uint64_t ckpt_entries = 0;
+        uint32_t manifest_len = 0;
+        uint64_t map_count = 0;
+        if (!r.GetU64(&base_ordinals_) || !r.GetU64(&base_admitted_) ||
+            !r.GetI64(&base_watermark_) || !r.GetU64(&ckpt_entries) ||
+            !r.GetU32(&manifest_len) || manifest_len > r.remaining()) {
+          return Status::DataLoss("wal '" + name_ + "' has a bad base frame");
+        }
+        std::vector<uint8_t> manifest;
+        if (!r.GetBytes(&manifest, manifest_len) || !r.GetU64(&map_count) ||
+            map_count > r.remaining() / 8) {
+          return Status::DataLoss("wal '" + name_ + "' has a bad base frame");
+        }
+        if (!manifest.empty() || ckpt_entries > 0) {
+          base_checkpoint_ = Checkpoint{ckpt_entries, std::move(manifest)};
+        }
+        base_map_.resize(map_count);
+        for (uint64_t m = 0; m < map_count; ++m) {
+          if (!r.GetU64(&base_map_[m])) {
+            return Status::DataLoss("wal '" + name_ +
+                                    "' has a bad base frame");
+          }
+        }
+        break;
+      }
+      case WalFrameType::kBatch: {
+        // Count the admits now (checkpoint validity needs the total);
+        // full record decoding happens during Recover.
+        Reader r(frame.payload);
+        uint32_t count = 0;
+        if (!r.GetU32(&count)) {
+          return Status::DataLoss("wal '" + name_ + "' has a bad batch frame");
+        }
+        for (uint32_t k = 0; k < count; ++k) {
+          uint8_t kind = 0;
+          if (!r.GetU8(&kind)) {
+            return Status::DataLoss("wal '" + name_ +
+                                    "' has a bad batch frame");
+          }
+          if (kind == static_cast<uint8_t>(WalRecordKind::kAdmit)) {
+            uint64_t id = 0;
+            int64_t ts = 0;
+            std::vector<float> values;
+            if (!r.GetU64(&id) || !r.GetI64(&ts) ||
+                !r.GetFloats(&values, series_length_)) {
+              return Status::DataLoss("wal '" + name_ +
+                                      "' has a bad batch frame");
+            }
+            ++scanned_admits_;
+          } else if (kind == static_cast<uint8_t>(WalRecordKind::kMap)) {
+            uint64_t global = 0;
+            if (!r.GetU64(&global)) {
+              return Status::DataLoss("wal '" + name_ +
+                                      "' has a bad batch frame");
+            }
+          } else if (kind != static_cast<uint8_t>(WalRecordKind::kHole)) {
+            return Status::DataLoss("wal '" + name_ +
+                                    "' has an unknown record kind");
+          }
+        }
+        scanned_batches_.push_back(std::move(frame.payload));
+        break;
+      }
+      case WalFrameType::kCheckpoint: {
+        Reader r(frame.payload);
+        Checkpoint ckpt;
+        uint32_t manifest_len = 0;
+        if (!r.GetU64(&ckpt.durable_entries) || !r.GetU32(&manifest_len) ||
+            !r.GetBytes(&ckpt.manifest, manifest_len)) {
+          return Status::DataLoss("wal '" + name_ +
+                                  "' has a bad checkpoint frame");
+        }
+        scanned_checkpoints_.push_back(std::move(ckpt));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------------- append
+
+void Wal::AppendAdmit(uint64_t id, int64_t timestamp,
+                      std::span<const float> values) {
+  if (replaying()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(static_cast<uint8_t>(WalRecordKind::kAdmit));
+  PutU64(&pending_, id);
+  PutI64(&pending_, timestamp);
+  const size_t at = pending_.size();
+  pending_.resize(at + values.size() * sizeof(float));
+  std::memcpy(pending_.data() + at, values.data(),
+              values.size() * sizeof(float));
+  ++pending_count_;
+}
+
+void Wal::AppendHole() {
+  if (replaying()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(static_cast<uint8_t>(WalRecordKind::kHole));
+  ++pending_count_;
+}
+
+void Wal::AppendMap(uint64_t global_id) {
+  if (replaying()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(static_cast<uint8_t>(WalRecordKind::kMap));
+  PutU64(&pending_, global_id);
+  ++pending_count_;
+}
+
+Status Wal::WriteFrameLocked(std::span<const uint8_t> frame,
+                             const char* mid_point, const char* post_point) {
+  if (options_.test_hook) {
+    // Two pwrites so the armed mid-frame point leaves a genuinely torn
+    // frame on disk (a single pwrite would be all-or-nothing here —
+    // SIGKILL does not shred the page cache).
+    const size_t half = frame.size() / 2;
+    COCONUT_RETURN_NOT_OK(file_->Append(frame.data(), half));
+    Hook(mid_point);
+    COCONUT_RETURN_NOT_OK(
+        file_->Append(frame.data() + half, frame.size() - half));
+  } else {
+    COCONUT_RETURN_NOT_OK(file_->Append(frame.data(), frame.size()));
+  }
+  COCONUT_RETURN_NOT_OK(file_->DataSync());
+  Hook(post_point);
+  return Status::OK();
+}
+
+Status Wal::CommitLocked() {
+  if (pending_count_ == 0) return Status::OK();
+  std::vector<uint8_t> payload;
+  payload.reserve(4 + pending_.size());
+  PutU32(&payload, pending_count_);
+  payload.insert(payload.end(), pending_.begin(), pending_.end());
+  const std::vector<uint8_t> frame =
+      EncodeFrame(WalFrameType::kBatch, payload);
+  if (options_.test_hook) {
+    const size_t half = frame.size() / 2;
+    COCONUT_RETURN_NOT_OK(file_->Append(frame.data(), half));
+    Hook("commit.mid_frame");
+    COCONUT_RETURN_NOT_OK(
+        file_->Append(frame.data() + half, frame.size() - half));
+  } else {
+    COCONUT_RETURN_NOT_OK(file_->Append(frame.data(), frame.size()));
+  }
+  Hook("commit.pre_sync");
+  COCONUT_RETURN_NOT_OK(file_->DataSync());
+  Hook("commit.post_sync");
+  pending_.clear();
+  pending_count_ = 0;
+  return Status::OK();
+}
+
+Status Wal::Commit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CommitLocked();
+}
+
+Status Wal::AppendCheckpoint(uint64_t durable_entries,
+                             std::span<const uint8_t> manifest) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Hook("checkpoint.pre_write");
+  std::vector<uint8_t> payload;
+  PutU64(&payload, durable_entries);
+  PutU32(&payload, static_cast<uint32_t>(manifest.size()));
+  payload.insert(payload.end(), manifest.begin(), manifest.end());
+  const std::vector<uint8_t> frame =
+      EncodeFrame(WalFrameType::kCheckpoint, payload);
+  return WriteFrameLocked(frame, "checkpoint.mid_frame",
+                          "checkpoint.post_sync");
+}
+
+uint64_t Wal::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_->size_bytes();
+}
+
+// ------------------------------------------------------------- truncate
+
+Status Wal::TruncateBefore(core::RawSeriesStore* raw) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Pending records must reach the log before the scan (they are not yet
+  // framed) — and the raw file must be durable before any frame whose
+  // payload it now carries is dropped: the log is the only other copy.
+  COCONUT_RETURN_NOT_OK(CommitLocked());
+  COCONUT_RETURN_NOT_OK(raw->Sync());
+
+  std::vector<uint8_t> bytes(file_->size_bytes());
+  if (!bytes.empty()) {
+    COCONUT_RETURN_NOT_OK(file_->ReadAt(0, bytes.data(), bytes.size()));
+  }
+  std::vector<WalFrame> frames;
+  DecodeFrames(bytes, &frames);
+  if (frames.empty() || frames[0].type != WalFrameType::kStreamHeader) {
+    return Status::DataLoss("wal '" + name_ + "' unreadable at truncation");
+  }
+
+  // Base state carried forward (the in-memory copy mirrors any kBase
+  // frame at position 1; this rewrite replaces it).
+  uint64_t new_ordinals = base_ordinals_;
+  uint64_t new_admitted = base_admitted_;
+  int64_t new_watermark = base_watermark_;
+  std::vector<uint64_t> new_map = base_map_;
+
+  // Newest count-valid checkpoint decides how much is reclaimable.
+  uint64_t total_admits = base_admitted_;
+  for (size_t i = 1; i < frames.size(); ++i) {
+    if (frames[i].type != WalFrameType::kBatch) continue;
+    Reader r(frames[i].payload);
+    uint32_t count = 0;
+    r.GetU32(&count);
+    for (uint32_t k = 0; k < count; ++k) {
+      uint8_t kind = 0;
+      if (!r.GetU8(&kind)) break;
+      if (kind == static_cast<uint8_t>(WalRecordKind::kAdmit)) {
+        uint64_t id = 0;
+        int64_t ts = 0;
+        std::vector<float> values;
+        r.GetU64(&id);
+        r.GetI64(&ts);
+        r.GetFloats(&values, series_length_);
+        ++total_admits;
+      } else if (kind == static_cast<uint8_t>(WalRecordKind::kMap)) {
+        uint64_t global = 0;
+        r.GetU64(&global);
+      }
+    }
+  }
+  Checkpoint chosen;  // durable_entries 0, empty manifest = none
+  if (base_checkpoint_.has_value()) chosen = *base_checkpoint_;
+  for (size_t i = 1; i < frames.size(); ++i) {
+    if (frames[i].type != WalFrameType::kCheckpoint) continue;
+    Reader r(frames[i].payload);
+    Checkpoint ckpt;
+    uint32_t manifest_len = 0;
+    if (r.GetU64(&ckpt.durable_entries) && r.GetU32(&manifest_len) &&
+        r.GetBytes(&ckpt.manifest, manifest_len) &&
+        ckpt.durable_entries <= total_admits &&
+        ckpt.durable_entries >= chosen.durable_entries) {
+      chosen = std::move(ckpt);
+    }
+  }
+
+  // Drop the maximal frame prefix fully covered by the chosen
+  // checkpoint: checkpoint frames always drop (the chosen one rides in
+  // the new base), batch frames drop while every admit inside has an
+  // admission index below durable_entries. Admission indexes are
+  // monotone in log order, so this is a clean prefix cut.
+  size_t keep_from = 1;  // frame index of the first kept frame
+  uint64_t admit_index = base_admitted_;
+  for (size_t i = 1; i < frames.size(); ++i) {
+    const WalFrame& frame = frames[i];
+    if (frame.type == WalFrameType::kCheckpoint ||
+        frame.type == WalFrameType::kBase) {
+      keep_from = i + 1;
+      continue;
+    }
+    if (frame.type != WalFrameType::kBatch) break;
+    Reader r(frame.payload);
+    uint32_t count = 0;
+    r.GetU32(&count);
+    uint64_t frame_ordinals = 0;
+    uint64_t frame_admits = 0;
+    int64_t frame_watermark = std::numeric_limits<int64_t>::min();
+    std::vector<uint64_t> frame_maps;
+    bool droppable = true;
+    for (uint32_t k = 0; k < count; ++k) {
+      uint8_t kind = 0;
+      if (!r.GetU8(&kind)) break;
+      if (kind == static_cast<uint8_t>(WalRecordKind::kAdmit)) {
+        uint64_t id = 0;
+        int64_t ts = 0;
+        std::vector<float> values;
+        r.GetU64(&id);
+        r.GetI64(&ts);
+        r.GetFloats(&values, series_length_);
+        if (admit_index + frame_admits >= chosen.durable_entries) {
+          droppable = false;
+          break;
+        }
+        ++frame_admits;
+        ++frame_ordinals;
+        frame_watermark = std::max(frame_watermark, ts);
+      } else if (kind == static_cast<uint8_t>(WalRecordKind::kHole)) {
+        ++frame_ordinals;
+      } else {
+        uint64_t global = 0;
+        r.GetU64(&global);
+        frame_maps.push_back(global);
+      }
+    }
+    if (!droppable) break;
+    admit_index += frame_admits;
+    new_ordinals += frame_ordinals;
+    new_admitted += frame_admits;
+    new_watermark = std::max(new_watermark, frame_watermark);
+    new_map.insert(new_map.end(), frame_maps.begin(), frame_maps.end());
+    keep_from = i + 1;
+  }
+
+  // Rewrite: header, base, kept frames — into a temp file, fsync, atomic
+  // rename. A crash at any point leaves either the old complete log or
+  // the new complete log; never a mix.
+  std::vector<uint8_t> base_payload;
+  PutU64(&base_payload, new_ordinals);
+  PutU64(&base_payload, new_admitted);
+  PutI64(&base_payload, new_watermark);
+  PutU64(&base_payload, chosen.durable_entries);
+  PutU32(&base_payload, static_cast<uint32_t>(chosen.manifest.size()));
+  base_payload.insert(base_payload.end(), chosen.manifest.begin(),
+                      chosen.manifest.end());
+  PutU64(&base_payload, new_map.size());
+  for (const uint64_t global : new_map) PutU64(&base_payload, global);
+
+  const std::string tmp_name = name_ + ".tmp";
+  {
+    std::unique_ptr<storage::File> tmp;
+    COCONUT_ASSIGN_OR_RETURN(tmp, storage_->CreateFile(tmp_name));
+    std::vector<uint8_t> header_payload;
+    PutU32(&header_payload, series_length_);
+    const std::vector<uint8_t> header_frame =
+        EncodeFrame(WalFrameType::kStreamHeader, header_payload);
+    COCONUT_RETURN_NOT_OK(tmp->Append(header_frame.data(),
+                                      header_frame.size()));
+    const std::vector<uint8_t> base_frame =
+        EncodeFrame(WalFrameType::kBase, base_payload);
+    COCONUT_RETURN_NOT_OK(tmp->Append(base_frame.data(), base_frame.size()));
+    for (size_t i = keep_from; i < frames.size(); ++i) {
+      const std::vector<uint8_t> kept =
+          EncodeFrame(frames[i].type, frames[i].payload);
+      COCONUT_RETURN_NOT_OK(tmp->Append(kept.data(), kept.size()));
+    }
+    COCONUT_RETURN_NOT_OK(tmp->Sync());
+  }
+  Hook("truncate.pre_rename");
+  COCONUT_RETURN_NOT_OK(storage_->RenameFile(tmp_name, name_));
+  Hook("truncate.post_rename");
+  COCONUT_ASSIGN_OR_RETURN(file_, storage_->OpenFile(name_));
+
+  base_ordinals_ = new_ordinals;
+  base_admitted_ = new_admitted;
+  base_watermark_ = new_watermark;
+  base_map_ = std::move(new_map);
+  if (!chosen.manifest.empty() || chosen.durable_entries > 0) {
+    base_checkpoint_ = std::move(chosen);
+  }
+  return Status::OK();
+}
+
+// -------------------------------------------------------------- recover
+
+Status Wal::Recover(StreamingIndex* index, core::RawSeriesStore* raw,
+                    WalRecoverOutcome* outcome) {
+  // Newest count-valid checkpoint wins. A checkpoint written after
+  // records that were still pending at the crash can claim entries the
+  // log has no admits for — those entries were never acknowledged, so
+  // such a checkpoint must not be restored; an older covered one (or a
+  // full replay) reproduces exactly the acknowledged state.
+  const uint64_t total_admits = base_admitted_ + scanned_admits_;
+  const Checkpoint* chosen = nullptr;
+  for (auto it = scanned_checkpoints_.rbegin();
+       it != scanned_checkpoints_.rend(); ++it) {
+    if (it->durable_entries <= total_admits) {
+      chosen = &*it;
+      break;
+    }
+  }
+  if (chosen == nullptr && base_checkpoint_.has_value() &&
+      base_checkpoint_->durable_entries <= total_admits) {
+    chosen = &*base_checkpoint_;
+  }
+
+  uint64_t skip_admits = 0;  // absolute admission index to replay from
+  if (chosen != nullptr) {
+    const Status restored = index->RestoreFromManifest(chosen->manifest);
+    if (restored.ok()) {
+      skip_admits = chosen->durable_entries;
+    } else if (base_ordinals_ == 0) {
+      // Nothing was truncated away: every admit is still in the log, so
+      // a full replay rebuilds the same state without the manifest.
+      skip_admits = 0;
+    } else {
+      return Status::DataLoss("wal '" + name_ +
+                              "' checkpoint manifest unrestorable after "
+                              "truncation: " +
+                              restored.message());
+    }
+  } else if (base_admitted_ > 0) {
+    return Status::DataLoss(
+        "wal '" + name_ +
+        "' was truncated but no covered checkpoint survives");
+  }
+  if (skip_admits < base_admitted_) {
+    return Status::DataLoss("wal '" + name_ +
+                            "' base admits exceed the restored checkpoint");
+  }
+
+  replaying_.store(true, std::memory_order_relaxed);
+  const Status replayed = ReplayInto(index, raw, skip_admits, outcome);
+  replaying_.store(false, std::memory_order_relaxed);
+  COCONUT_RETURN_NOT_OK(replayed);
+
+  // Free the scanned payload copies (the log itself stays on disk).
+  scanned_batches_.clear();
+  scanned_batches_.shrink_to_fit();
+  scanned_checkpoints_.clear();
+  return Status::OK();
+}
+
+Status Wal::ReplayInto(StreamingIndex* index, core::RawSeriesStore* raw,
+                       uint64_t skip_admits, WalRecoverOutcome* outcome) {
+  uint64_t ordinal = base_ordinals_;
+  uint64_t admits_seen = base_admitted_;
+  int64_t watermark = base_watermark_;
+  bool watermark_restored = false;
+  outcome->local_to_global = base_map_;
+  const std::vector<float> zeros(series_length_, 0.0f);
+  std::vector<float> values;
+
+  auto ensure_watermark = [&]() {
+    if (watermark_restored) return;
+    if (watermark > std::numeric_limits<int64_t>::min()) {
+      index->RestoreWatermark(watermark);
+    }
+    watermark_restored = true;
+  };
+
+  for (const std::vector<uint8_t>& payload : scanned_batches_) {
+    Reader r(payload);
+    uint32_t count = 0;
+    r.GetU32(&count);  // validated by AdoptScan
+    for (uint32_t k = 0; k < count; ++k) {
+      uint8_t kind = 0;
+      r.GetU8(&kind);
+      if (kind == static_cast<uint8_t>(WalRecordKind::kAdmit)) {
+        uint64_t id = 0;
+        int64_t ts = 0;
+        r.GetU64(&id);
+        r.GetI64(&ts);
+        r.GetFloats(&values, series_length_);
+        if (id != ordinal) {
+          return Status::DataLoss(
+              "wal '" + name_ + "' admit id " + std::to_string(id) +
+              " does not match raw ordinal " + std::to_string(ordinal));
+        }
+        COCONUT_RETURN_NOT_OK(raw->Append(values).status());
+        ++ordinal;
+        if (admits_seen < skip_admits) {
+          watermark = std::max(watermark, ts);
+        } else {
+          ensure_watermark();
+          Status st = index->Ingest(id, values, ts);
+          if (st.code() == StatusCode::kResourceExhausted) {
+            // Reject-mode backpressure can fire mid-replay exactly as it
+            // would live; drain once and retry — replay is not a client
+            // that can be asked to back off.
+            COCONUT_RETURN_NOT_OK(index->FlushAll());
+            st = index->Ingest(id, values, ts);
+          }
+          COCONUT_RETURN_NOT_OK(st);
+          watermark = std::max(watermark, ts);
+        }
+        ++admits_seen;
+      } else if (kind == static_cast<uint8_t>(WalRecordKind::kHole)) {
+        // The ordinal was burned by a rejected entry; its raw payload is
+        // unreachable (nothing in the index refers to it), so zero-fill.
+        COCONUT_RETURN_NOT_OK(raw->Append(zeros).status());
+        ++ordinal;
+      } else {
+        uint64_t global = 0;
+        r.GetU64(&global);
+        outcome->local_to_global.push_back(global);
+      }
+    }
+  }
+  ensure_watermark();
+  COCONUT_RETURN_NOT_OK(raw->Flush());
+
+  outcome->ordinals = ordinal;
+  outcome->admitted = admits_seen;
+  outcome->watermark = watermark;
+  return Status::OK();
+}
+
+}  // namespace stream
+}  // namespace coconut

@@ -1,0 +1,666 @@
+// Crash-recovery oracle for durable streams: fork a child that serves a
+// real durable stream through the api::Service front door, SIGKILL it at
+// an injected crash point on the WAL's commit / checkpoint / truncate
+// path (the wal_test_hook seam), then recover in the parent by simply
+// re-creating the stream over the same root — and assert the recovered
+// stream is exactly the acknowledged prefix:
+//
+//   - no lost acks: every entry whose ingest_batch reply the client saw
+//     is present and answers queries with the right values;
+//   - no resurrected garbage: at most the one in-flight batch beyond the
+//     acked prefix survives, and at torn-frame / truncation kill points
+//     the recovered count equals the acked count exactly;
+//   - the recovered stream keeps serving: further ingests, drains and
+//     queries behave identically to an uninterrupted stream.
+//
+// Ground truth is the same brute-force scan oracle the rest of the suite
+// uses. Fork-based cases are skipped under TSan (fork + sanitizer
+// runtimes don't mix); the TSan matrix instead runs the in-process
+// ingest-while-checkpoint + reopen cases at the bottom of this file.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "palm/api.h"
+#include "series/series.h"
+#include "tests/test_util.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define COCONUT_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define COCONUT_TSAN_BUILD 1
+#endif
+#endif
+
+namespace coconut {
+namespace palm {
+namespace {
+
+constexpr size_t kSeriesLength = 32;
+constexpr size_t kBatch = 8;
+constexpr int kChildBatches = 12;  // 96 entries before the first drain
+
+VariantSpec DurableSpec(IndexFamily family, StreamMode mode,
+                        size_t shards) {
+  VariantSpec spec;
+  spec.sax = series::SaxConfig{.series_length = kSeriesLength,
+                               .num_segments = 8, .bits_per_segment = 8};
+  spec.family = family;
+  spec.mode = mode;
+  spec.buffer_entries = 16;  // a seal every 2 batches: checkpoints flow
+  spec.async_ingest = true;
+  spec.num_shards = shards;
+  spec.durable = true;
+  return spec;
+}
+
+/// The workload both the doomed child and every oracle sees. Rows are
+/// z-normalized once here and again by the service on ingest, so the
+/// oracle below re-normalizes to match the stored bytes.
+series::SeriesCollection Workload() {
+  return testutil::RandomWalkCollection(kChildBatches * kBatch + 3 * kBatch,
+                                        kSeriesLength, /*seed=*/20260807);
+}
+
+std::vector<float> DoubleNormalized(std::span<const float> row) {
+  std::vector<float> v(row.begin(), row.end());
+  series::ZNormalize(v);
+  return v;
+}
+
+struct KillPlan {
+  /// wal_test_hook point to SIGKILL at (nullptr = use seal hook instead).
+  const char* wal_point = nullptr;
+  /// Fire on the Nth occurrence of the point.
+  int countdown = 1;
+  /// SIGKILL at the head of the Nth background seal (post-ack, pre-seal).
+  bool kill_on_seal = false;
+};
+
+/// Forks; the child serves the stream until the planned SIGKILL, acking
+/// progress through a pipe. Returns the last acknowledged entry count the
+/// parent observed, or nullopt (with a test failure recorded) when the
+/// child did not die by the planned kill.
+std::optional<uint64_t> RunChildUntilKill(
+    const std::string& root, const VariantSpec& spec_template,
+    const series::SeriesCollection& collection, const KillPlan& plan) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    ADD_FAILURE() << "pipe() failed";
+    return std::nullopt;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ADD_FAILURE() << "fork() failed";
+    return std::nullopt;
+  }
+
+  if (pid == 0) {
+    // ---- child. No gtest from here on; every path ends in _exit or the
+    // planned SIGKILL. The background pool is created post-fork (threads
+    // do not survive fork), and all hooks live on this stack — the child
+    // never unwinds it.
+    ::close(fds[0]);
+    ThreadPool pool(2);
+    std::atomic<int> remaining(plan.countdown);
+    VariantSpec spec = spec_template;
+    spec.background_pool = &pool;
+    if (plan.wal_point != nullptr) {
+      const char* point = plan.wal_point;
+      spec.wal_test_hook = [&remaining, point](const char* at) {
+        if (std::strcmp(at, point) == 0 &&
+            remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          ::kill(::getpid(), SIGKILL);
+        }
+      };
+    }
+    if (plan.kill_on_seal) {
+      spec.seal_test_hook = [&remaining]() {
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          ::kill(::getpid(), SIGKILL);
+        }
+        return Status::OK();
+      };
+    }
+    auto service = api::Service::Create(root);
+    if (!service.ok()) _exit(43);
+    if (!service.value()->CreateStream("s", spec).ok()) _exit(43);
+    uint64_t sent = 0;
+    for (int round = 0; round < 2; ++round) {
+      const int batches = round == 0 ? kChildBatches : 2;
+      for (int b = 0; b < batches; ++b) {
+        series::SeriesCollection batch(collection.length());
+        std::vector<int64_t> timestamps;
+        for (size_t i = 0; i < kBatch; ++i) {
+          batch.Append(collection[sent + i]);
+          timestamps.push_back(static_cast<int64_t>(sent + i));
+        }
+        if (!service.value()->IngestBatch("s", batch, timestamps).ok()) {
+          _exit(43);
+        }
+        sent += kBatch;
+        if (::write(fds[1], &sent, sizeof(sent)) !=
+            static_cast<ssize_t>(sizeof(sent))) {
+          _exit(43);
+        }
+      }
+      // Drain: background seals complete (checkpoint points fire) and the
+      // durable logs are truncated (truncate points fire).
+      if (!service.value()->DrainStream("s").ok()) _exit(43);
+    }
+    _exit(42);  // the planned kill never fired: the test will fail
+  }
+
+  // ---- parent.
+  ::close(fds[1]);
+  uint64_t acked = 0;
+  uint64_t update = 0;
+  while (::read(fds[0], &update, sizeof(update)) ==
+         static_cast<ssize_t>(sizeof(update))) {
+    acked = update;
+  }
+  ::close(fds[0]);
+  int wstatus = 0;
+  if (::waitpid(pid, &wstatus, 0) != pid) {
+    ADD_FAILURE() << "waitpid() failed";
+    return std::nullopt;
+  }
+  if (!WIFSIGNALED(wstatus) || WTERMSIG(wstatus) != SIGKILL) {
+    ADD_FAILURE() << "child was not SIGKILLed as planned (exit status "
+                  << (WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1)
+                  << "; 42 = planned crash point never fired, 43 = child "
+                     "setup or ingest error)";
+    return std::nullopt;
+  }
+  return acked;
+}
+
+/// One service-front-door exact query against the recovered stream.
+api::QueryReport MustQuery(api::Service* service, std::span<const float> q,
+                           const core::TimeWindow& window =
+                               core::TimeWindow::All()) {
+  api::QueryRequest request;
+  request.index = "s";
+  request.query.assign(q.begin(), q.end());
+  request.exact = true;
+  request.window = window;
+  auto report = service->Query(request);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? report.value() : api::QueryReport{};
+}
+
+/// Recovers the killed stream in this process and asserts the full
+/// acked-prefix contract, then proves the stream still serves.
+void VerifyRecovered(const std::string& root, const VariantSpec& spec,
+                     const series::SeriesCollection& collection,
+                     uint64_t acked, bool exact_prefix) {
+  auto created = api::Service::Create(root);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<api::Service> service = created.TakeValue();
+  auto response = service->CreateStream("s", spec);
+  ASSERT_TRUE(response.ok())
+      << "recovery failed: " << response.status().ToString();
+  stream::StreamingIndex* index = service->stream_index("s");
+  ASSERT_NE(index, nullptr);
+
+  const uint64_t recovered = index->num_entries();
+  if (exact_prefix) {
+    EXPECT_EQ(recovered, acked)
+        << "a torn or truncated log must recover exactly the acked prefix";
+  } else {
+    EXPECT_GE(recovered, acked) << "an acknowledged write was lost";
+    EXPECT_LE(recovered, acked + kBatch)
+        << "more than the one in-flight batch was resurrected";
+  }
+  ASSERT_GT(recovered, 0u);
+  ASSERT_LE(recovered, collection.size() - 2 * kBatch);
+
+  // Unsharded recovery is an exact ordinal prefix [0, recovered). Sharded
+  // recovery is [0, acked) plus an arbitrary SUBSET of the in-flight
+  // batch: each shard's log commits its own slice of the batch, so a kill
+  // mid-fan-out keeps some slices and drops others (with global-id gaps —
+  // next_series_id resumes past the largest survivor).
+  const bool sequential_ids = spec.num_shards == 1;
+
+  // The oracle sees exactly the bytes the service stored: its rows
+  // z-normalized a second time on ingest.
+  series::SeriesCollection oracle(kSeriesLength);
+  for (uint64_t i = 0; i < acked; ++i) {
+    oracle.Append(DoubleNormalized(collection[i]));
+  }
+
+  // No lost acks: every acknowledged entry answers its own query at
+  // (numerically) zero distance under its own id.
+  for (uint64_t id : {uint64_t{0}, acked / 2, acked - 1}) {
+    const api::QueryReport report = MustQuery(service.get(), oracle[id]);
+    EXPECT_TRUE(report.found);
+    EXPECT_EQ(report.series_id, id) << "self-query missed its own series";
+    EXPECT_LT(report.distance, 1e-3);
+  }
+
+  if (sequential_ids) {
+    for (uint64_t i = acked; i < recovered; ++i) {
+      oracle.Append(DoubleNormalized(collection[i]));
+    }
+    if (recovered > acked) {
+      const api::QueryReport report =
+          MustQuery(service.get(), oracle[recovered - 1]);
+      EXPECT_TRUE(report.found);
+      EXPECT_EQ(report.series_id, recovered - 1);
+      EXPECT_LT(report.distance, 1e-3);
+    }
+
+    // Nothing beyond the prefix was resurrected: the first unrecovered
+    // series must not be present (its true nearest neighbor is some
+    // genuinely different series, far away).
+    if (recovered < static_cast<uint64_t>(kChildBatches) * kBatch) {
+      const api::QueryReport report =
+          MustQuery(service.get(), DoubleNormalized(collection[recovered]));
+      if (report.found) {
+        EXPECT_GT(report.distance, 1e-2)
+            << "an unacknowledged, unrecovered write was resurrected";
+      }
+    }
+
+    // Nearest-neighbor answers match the brute-force oracle on the prefix.
+    for (int q = 0; q < 2; ++q) {
+      const size_t base = (static_cast<size_t>(recovered) * (q + 1)) / 3;
+      const std::vector<float> query =
+          testutil::NoisyCopy(oracle, base, 0.25, /*seed=*/900 + q);
+      const auto truth = testutil::BruteForceKnn(oracle, query, 1);
+      ASSERT_EQ(truth.size(), 1u);
+      const api::QueryReport report = MustQuery(service.get(), query);
+      EXPECT_TRUE(report.found);
+      EXPECT_EQ(report.series_id, truth[0].index);
+      EXPECT_NEAR(report.distance, std::sqrt(truth[0].distance_sq), 5e-3);
+    }
+  } else {
+    // Sharded: the in-flight subset has unknowable membership, but its
+    // timestamps (== ordinals) all sit past the acked prefix, so windowed
+    // queries over the prefix must answer as if it did not exist.
+    const core::TimeWindow prefix_window{
+        std::numeric_limits<int64_t>::min(),
+        static_cast<int64_t>(acked) - 1};
+    for (int q = 0; q < 2; ++q) {
+      const size_t base = (static_cast<size_t>(acked) * (q + 1)) / 3;
+      const std::vector<float> query =
+          testutil::NoisyCopy(oracle, base, 0.25, /*seed=*/900 + q);
+      const auto truth =
+          testutil::BruteForceKnn(oracle, query, 1, prefix_window);
+      ASSERT_EQ(truth.size(), 1u);
+      const api::QueryReport report =
+          MustQuery(service.get(), query, prefix_window);
+      EXPECT_TRUE(report.found);
+      EXPECT_EQ(report.series_id, truth[0].index);
+      EXPECT_NEAR(report.distance, std::sqrt(truth[0].distance_sq), 5e-3);
+    }
+  }
+
+  // The recovered stream is live, not a read-only artifact: ingest two
+  // more batches of fresh rows (past anything the child may have gotten
+  // in flight), drain (exercising checkpoint + truncation on the
+  // recovered log), and query the new entries.
+  const uint64_t fresh_row = acked + kBatch;
+  series::SeriesCollection continuation(kSeriesLength);
+  std::vector<int64_t> continuation_ts;
+  for (int b = 0; b < 2; ++b) {
+    series::SeriesCollection batch(kSeriesLength);
+    std::vector<int64_t> timestamps;
+    for (size_t i = 0; i < kBatch; ++i) {
+      const uint64_t row = fresh_row + b * kBatch + i;
+      batch.Append(collection[row]);
+      timestamps.push_back(static_cast<int64_t>(row));
+      continuation.Append(DoubleNormalized(collection[row]));
+      continuation_ts.push_back(static_cast<int64_t>(row));
+    }
+    auto ingested = service->IngestBatch("s", batch, timestamps);
+    ASSERT_TRUE(ingested.ok()) << ingested.status().ToString();
+  }
+  auto drained = service->DrainStream("s");
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  EXPECT_EQ(index->num_entries(), recovered + 2 * kBatch);
+
+  const api::QueryReport self = MustQuery(service.get(), continuation[3]);
+  EXPECT_TRUE(self.found);
+  EXPECT_LT(self.distance, 1e-3);
+  if (sequential_ids) {
+    EXPECT_EQ(self.series_id, recovered + 3);
+  }
+  const core::TimeWindow cont_window{
+      static_cast<int64_t>(fresh_row),
+      static_cast<int64_t>(fresh_row + 2 * kBatch) - 1};
+  const std::vector<float> query =
+      testutil::NoisyCopy(continuation, 2 * kBatch - 2, 0.25, /*seed=*/77);
+  const auto truth = testutil::BruteForceKnn(continuation, query, 1,
+                                             cont_window, &continuation_ts);
+  ASSERT_EQ(truth.size(), 1u);
+  const api::QueryReport report =
+      MustQuery(service.get(), query, cont_window);
+  EXPECT_TRUE(report.found);
+  EXPECT_NEAR(report.distance, std::sqrt(truth[0].distance_sq), 5e-3);
+  if (sequential_ids) {
+    EXPECT_EQ(report.series_id, recovered + truth[0].index);
+  }
+}
+
+struct MatrixPoint {
+  KillPlan plan;
+  /// Whether recovery must equal the acked count exactly (torn frames
+  /// are dropped whole; truncation runs with everything acked). Partial
+  /// per-shard commit fan-out makes mid-frame non-exact when sharded.
+  bool exact_prefix;
+};
+
+std::vector<MatrixPoint> KillMatrix(size_t shards) {
+  return {
+      {{.wal_point = "commit.mid_frame", .countdown = 5}, shards == 1},
+      {{.wal_point = "commit.pre_sync", .countdown = 5}, false},
+      {{.wal_point = "commit.post_sync", .countdown = 5}, false},
+      {{.wal_point = "checkpoint.pre_write", .countdown = 2}, false},
+      {{.wal_point = "checkpoint.mid_frame", .countdown = 2}, false},
+      {{.wal_point = "checkpoint.post_sync", .countdown = 2}, false},
+      {{.wal_point = "truncate.pre_rename", .countdown = 1}, true},
+      {{.wal_point = "truncate.post_rename", .countdown = 1}, true},
+  };
+}
+
+void RunKillMatrix(const std::string& tag, IndexFamily family,
+                   StreamMode mode, size_t shards,
+                   const std::vector<MatrixPoint>& matrix) {
+#ifdef COCONUT_TSAN_BUILD
+  GTEST_SKIP() << "fork-based kill tests are incompatible with TSan; the "
+                  "TSan matrix runs the in-process recovery cases instead";
+#else
+  const series::SeriesCollection collection = Workload();
+  const VariantSpec spec = DurableSpec(family, mode, shards);
+  for (const MatrixPoint& point : matrix) {
+    SCOPED_TRACE(std::string(point.plan.wal_point) + " x" +
+                 std::to_string(point.plan.countdown));
+    const std::string root = std::filesystem::temp_directory_path().string() +
+                             "/crash_recovery_" + tag + "_" +
+                             point.plan.wal_point;
+    std::filesystem::remove_all(root);
+    const std::optional<uint64_t> acked =
+        RunChildUntilKill(root, spec, collection, point.plan);
+    if (acked.has_value()) {
+      VerifyRecovered(root, spec, collection, *acked, point.exact_prefix);
+    }
+    std::filesystem::remove_all(root);
+  }
+#endif
+}
+
+TEST(CrashRecovery, KillMatrixCTreeTP) {
+  RunKillMatrix("ctree_tp", IndexFamily::kCTree, StreamMode::kTP, 1,
+                KillMatrix(1));
+}
+
+TEST(CrashRecovery, KillMatrixClsmBTP) {
+  RunKillMatrix("clsm_btp", IndexFamily::kClsm, StreamMode::kBTP, 1,
+                KillMatrix(1));
+}
+
+TEST(CrashRecovery, KillMatrixClsmPP) {
+  RunKillMatrix("clsm_pp", IndexFamily::kClsm, StreamMode::kPP, 1,
+                KillMatrix(1));
+}
+
+// Sharded streams run a reduced point set (one per durability edge): the
+// full matrix above already sweeps every point, and per-shard logs make
+// the remaining points differ only in fan-out, which these four cover.
+std::vector<MatrixPoint> ShardedKillMatrix() {
+  return {
+      {{.wal_point = "commit.mid_frame", .countdown = 5}, false},
+      {{.wal_point = "commit.post_sync", .countdown = 5}, false},
+      {{.wal_point = "checkpoint.post_sync", .countdown = 2}, false},
+      {{.wal_point = "truncate.post_rename", .countdown = 1}, true},
+  };
+}
+
+TEST(CrashRecovery, KillMatrixShardedCTreeTP) {
+  RunKillMatrix("sh_ctree_tp", IndexFamily::kCTree, StreamMode::kTP,
+                2, ShardedKillMatrix());
+}
+
+TEST(CrashRecovery, KillMatrixShardedClsmBTP) {
+  RunKillMatrix("sh_clsm_btp", IndexFamily::kClsm, StreamMode::kBTP,
+                2, ShardedKillMatrix());
+}
+
+TEST(CrashRecovery, KillBetweenAckAndSeal) {
+#ifdef COCONUT_TSAN_BUILD
+  GTEST_SKIP() << "fork-based kill tests are incompatible with TSan";
+#else
+  // The classic WAL-justifying window: entries acknowledged but still in
+  // the in-memory buffer when the background seal (and the process) dies.
+  // Only the log holds them; recovery must replay them.
+  const series::SeriesCollection collection = Workload();
+  const VariantSpec spec =
+      DurableSpec(IndexFamily::kCTree, StreamMode::kTP, 1);
+  const std::string root = std::filesystem::temp_directory_path().string() +
+                           "/crash_recovery_seal_kill";
+  std::filesystem::remove_all(root);
+  KillPlan plan;
+  plan.kill_on_seal = true;
+  plan.countdown = 2;
+  const std::optional<uint64_t> acked =
+      RunChildUntilKill(root, spec, collection, plan);
+  if (acked.has_value()) {
+    EXPECT_GE(*acked, 2 * spec.buffer_entries - kBatch)
+        << "the second seal fired before its buffer could have filled";
+    VerifyRecovered(root, spec, collection, *acked, /*exact_prefix=*/false);
+  }
+  std::filesystem::remove_all(root);
+#endif
+}
+
+// ---------------------------------------------------------------------
+// In-process durability cases (no fork — these also run under TSan,
+// where they pin concurrent ingest-while-checkpoint against recovery).
+
+class DurableStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path().string() +
+            "/durable_stream_test_" + ::testing::UnitTest::GetInstance()
+                                          ->current_test_info()
+                                          ->name();
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  /// Ingests collection rows [from, to) in batches of kBatch (timestamps
+  /// = ordinals) through the service front door.
+  static void Ingest(api::Service* service,
+                     const series::SeriesCollection& collection, size_t from,
+                     size_t to) {
+    for (size_t at = from; at < to; at += kBatch) {
+      series::SeriesCollection batch(collection.length());
+      std::vector<int64_t> timestamps;
+      for (size_t i = at; i < at + kBatch && i < to; ++i) {
+        batch.Append(collection[i]);
+        timestamps.push_back(static_cast<int64_t>(i));
+      }
+      auto report = service->IngestBatch("s", batch, timestamps);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+    }
+  }
+
+  std::string root_;
+};
+
+TEST_F(DurableStreamTest, DrainedRecoveredMatchesSyncReference) {
+  const series::SeriesCollection collection = Workload();
+  constexpr size_t kRows = 48;
+  const struct {
+    IndexFamily family;
+    StreamMode mode;
+    const char* tag;
+  } variants[] = {
+      {IndexFamily::kCTree, StreamMode::kTP, "ctree_tp"},
+      {IndexFamily::kClsm, StreamMode::kBTP, "clsm_btp"},
+      {IndexFamily::kClsm, StreamMode::kPP, "clsm_pp"},
+  };
+  for (const auto& variant : variants) {
+    SCOPED_TRACE(variant.tag);
+    const std::string durable_root = root_ + "/" + variant.tag + "_durable";
+    const std::string sync_root = root_ + "/" + variant.tag + "_sync";
+    const VariantSpec spec = DurableSpec(variant.family, variant.mode, 1);
+
+    // Phase 1: serve durably, drain, remember the drained shape, close.
+    uint64_t drained_partitions = 0;
+    {
+      auto service = api::Service::Create(durable_root);
+      ASSERT_TRUE(service.ok());
+      ASSERT_TRUE(service.value()->CreateStream("s", spec).ok());
+      Ingest(service.value().get(), collection, 0, kRows);
+      ASSERT_TRUE(service.value()->DrainStream("s").ok());
+      drained_partitions = service.value()->stream_index("s")->num_partitions();
+    }
+
+    // Phase 2: recover from the truncated log (checkpoint manifest
+    // restore, no replay tail).
+    auto recovered = api::Service::Create(durable_root);
+    ASSERT_TRUE(recovered.ok());
+    ASSERT_TRUE(recovered.value()->CreateStream("s", spec).ok());
+    stream::StreamingIndex* index = recovered.value()->stream_index("s");
+    ASSERT_NE(index, nullptr);
+    EXPECT_EQ(index->num_entries(), kRows);
+    EXPECT_EQ(index->num_partitions(), drained_partitions)
+        << "manifest restore changed the drained partition shape";
+
+    // Reference: the same data through a non-durable stream of the same
+    // spec, drained — the acceptance bar: drained-recovered == sync.
+    auto reference = api::Service::Create(sync_root);
+    ASSERT_TRUE(reference.ok());
+    VariantSpec sync_spec = spec;
+    sync_spec.durable = false;
+    ASSERT_TRUE(reference.value()->CreateStream("s", sync_spec).ok());
+    Ingest(reference.value().get(), collection, 0, kRows);
+    ASSERT_TRUE(reference.value()->DrainStream("s").ok());
+
+    series::SeriesCollection oracle(kSeriesLength);
+    for (size_t i = 0; i < kRows; ++i) {
+      oracle.Append(DoubleNormalized(collection[i]));
+    }
+    for (int q = 0; q < 4; ++q) {
+      const std::vector<float> query = testutil::NoisyCopy(
+          oracle, (q * kRows) / 4, 0.25, /*seed=*/500 + q);
+      const api::QueryReport a = MustQuery(recovered.value().get(), query);
+      const api::QueryReport b = MustQuery(reference.value().get(), query);
+      EXPECT_EQ(a.found, b.found);
+      EXPECT_EQ(a.series_id, b.series_id);
+      EXPECT_NEAR(a.distance, b.distance, 1e-6);
+    }
+  }
+}
+
+TEST_F(DurableStreamTest, CleanShutdownReopenRecoversEverything) {
+  // Close WITHOUT draining: acked entries still in in-memory buffers are
+  // only in the log; reopening must bring all of them back.
+  const series::SeriesCollection collection = Workload();
+  constexpr size_t kRows = 40;
+  const VariantSpec spec =
+      DurableSpec(IndexFamily::kClsm, StreamMode::kBTP, 1);
+  {
+    auto service = api::Service::Create(root_ + "/svc");
+    ASSERT_TRUE(service.ok());
+    ASSERT_TRUE(service.value()->CreateStream("s", spec).ok());
+    Ingest(service.value().get(), collection, 0, kRows);
+  }
+  auto service = api::Service::Create(root_ + "/svc");
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE(service.value()->CreateStream("s", spec).ok());
+  stream::StreamingIndex* index = service.value()->stream_index("s");
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->num_entries(), kRows);
+
+  series::SeriesCollection oracle(kSeriesLength);
+  for (size_t i = 0; i < kRows; ++i) {
+    oracle.Append(DoubleNormalized(collection[i]));
+  }
+  const api::QueryReport self = MustQuery(service.value().get(), oracle[17]);
+  EXPECT_TRUE(self.found);
+  EXPECT_EQ(self.series_id, 17u);
+  EXPECT_LT(self.distance, 1e-3);
+}
+
+TEST_F(DurableStreamTest, DurabilityOffClearsLeftoverState) {
+  // A non-durable create over a directory holding durable leftovers is a
+  // fresh start (today's clear-on-create semantics are only bypassed when
+  // durability is ON), and a durability=off stream leaves no log behind.
+  const series::SeriesCollection collection = Workload();
+  const VariantSpec durable =
+      DurableSpec(IndexFamily::kCTree, StreamMode::kTP, 1);
+  {
+    auto service = api::Service::Create(root_ + "/svc");
+    ASSERT_TRUE(service.ok());
+    ASSERT_TRUE(service.value()->CreateStream("s", durable).ok());
+    Ingest(service.value().get(), collection, 0, 2 * kBatch);
+    EXPECT_TRUE(service.value()->index_storage("s")->Exists("wal"));
+  }
+  auto service = api::Service::Create(root_ + "/svc");
+  ASSERT_TRUE(service.ok());
+  VariantSpec off = durable;
+  off.durable = false;
+  ASSERT_TRUE(service.value()->CreateStream("s", off).ok());
+  stream::StreamingIndex* index = service.value()->stream_index("s");
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->num_entries(), 0u)
+      << "durability=off must not recover leftover state";
+  EXPECT_FALSE(service.value()->index_storage("s")->Exists("wal"));
+  Ingest(service.value().get(), collection, 0, kBatch);
+  EXPECT_EQ(index->num_entries(), kBatch);
+}
+
+TEST_F(DurableStreamTest, IngestWhileCheckpointingThenReopen) {
+  // Concurrent ingest on this thread while background seals append
+  // checkpoint frames to the same log — the TSan matrix runs this exact
+  // case to pin the Wal's internal locking — then drain, close, recover.
+  const series::SeriesCollection collection = Workload();
+  constexpr size_t kRows = 80;
+  const VariantSpec spec =
+      DurableSpec(IndexFamily::kCTree, StreamMode::kTP, 1);
+  {
+    auto service = api::Service::Create(root_ + "/svc");
+    ASSERT_TRUE(service.ok());
+    ASSERT_TRUE(service.value()->CreateStream("s", spec).ok());
+    Ingest(service.value().get(), collection, 0, kRows);
+    ASSERT_TRUE(service.value()->DrainStream("s").ok());
+  }
+  auto service = api::Service::Create(root_ + "/svc");
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE(service.value()->CreateStream("s", spec).ok());
+  stream::StreamingIndex* index = service.value()->stream_index("s");
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->num_entries(), kRows);
+
+  series::SeriesCollection oracle(kSeriesLength);
+  for (size_t i = 0; i < kRows; ++i) {
+    oracle.Append(DoubleNormalized(collection[i]));
+  }
+  const std::vector<float> query =
+      testutil::NoisyCopy(oracle, kRows / 2, 0.25, /*seed=*/31);
+  const auto truth = testutil::BruteForceKnn(oracle, query, 1);
+  const api::QueryReport report = MustQuery(service.value().get(), query);
+  EXPECT_TRUE(report.found);
+  EXPECT_EQ(report.series_id, truth[0].index);
+  EXPECT_NEAR(report.distance, std::sqrt(truth[0].distance_sq), 5e-3);
+}
+
+}  // namespace
+}  // namespace palm
+}  // namespace coconut

@@ -99,6 +99,109 @@ TEST_F(RawStoreTest, SteadyStateIngestionIsSequential) {
   EXPECT_LE(mgr_->io_stats()->random_writes, 1u);
 }
 
+TEST_F(RawStoreTest, SyncPersistsWithoutExplicitFlush) {
+  auto collection = testutil::RandomWalkCollection(10, 8, 4);
+  {
+    auto store = RawSeriesStore::Create(mgr_.get(), "raw", 8).TakeValue();
+    for (size_t i = 0; i < collection.size(); ++i) {
+      ASSERT_TRUE(store->Append(collection[i]).ok());
+    }
+    // Sync alone must imply a flush: buffered series + header hit disk.
+    ASSERT_TRUE(store->Sync().ok());
+  }
+  auto reopened = RawSeriesStore::Open(mgr_.get(), "raw").TakeValue();
+  ASSERT_EQ(reopened->count(), 10u);
+  std::vector<float> out(8);
+  ASSERT_TRUE(reopened->Get(9, out).ok());
+  for (size_t j = 0; j < 8; ++j) EXPECT_EQ(out[j], collection[9][j]);
+}
+
+// OpenTruncated is the WAL's recovery entry point: whatever a crashed
+// process left behind, the file must come back holding exactly the
+// durable count the log proved, ready for replay to re-append the rest.
+
+TEST_F(RawStoreTest, OpenTruncatedCutsLongerFile) {
+  auto collection = testutil::RandomWalkCollection(20, 8, 5);
+  {
+    auto store = RawSeriesStore::Create(mgr_.get(), "raw", 8).TakeValue();
+    ASSERT_TRUE(testutil::FillRawStore(store.get(), collection).ok());
+  }
+  auto cut =
+      RawSeriesStore::OpenTruncated(mgr_.get(), "raw", 8, 12).TakeValue();
+  EXPECT_EQ(cut->count(), 12u);
+  std::vector<float> out(8);
+  for (size_t i = 0; i < 12; ++i) {
+    ASSERT_TRUE(cut->Get(i, out).ok());
+    for (size_t j = 0; j < 8; ++j) EXPECT_EQ(out[j], collection[i][j]);
+  }
+  EXPECT_EQ(cut->Get(12, out).code(), StatusCode::kNotFound)
+      << "series past the durable count must be gone";
+
+  // Replay re-appends: ids continue from the durable count.
+  EXPECT_EQ(cut->Append(collection[12]).TakeValue(), 12u);
+}
+
+TEST_F(RawStoreTest, OpenTruncatedSurvivesStaleHeader) {
+  // A crash can leave the header behind the appended tail (count written
+  // before the dying flush) — the truncated reopen must trust the
+  // requested count, not the stale header.
+  auto collection = testutil::RandomWalkCollection(6, 8, 6);
+  {
+    auto store = RawSeriesStore::Create(mgr_.get(), "raw", 8).TakeValue();
+    for (size_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(store->Append(collection[i]).ok());
+    }
+    ASSERT_TRUE(store->Sync().ok());  // Header says 4.
+    for (size_t i = 4; i < 6; ++i) {
+      ASSERT_TRUE(store->Append(collection[i]).ok());
+    }
+    ASSERT_TRUE(store->Flush().ok());  // 6 series on disk.
+  }
+  auto cut =
+      RawSeriesStore::OpenTruncated(mgr_.get(), "raw", 8, 5).TakeValue();
+  EXPECT_EQ(cut->count(), 5u);
+  std::vector<float> out(8);
+  ASSERT_TRUE(cut->Get(4, out).ok());
+  for (size_t j = 0; j < 8; ++j) EXPECT_EQ(out[j], collection[4][j]);
+
+  // The cut is durable in the header too: a plain reopen agrees.
+  ASSERT_TRUE(cut->Sync().ok());
+  cut.reset();
+  auto reopened = RawSeriesStore::Open(mgr_.get(), "raw").TakeValue();
+  EXPECT_EQ(reopened->count(), 5u);
+}
+
+TEST_F(RawStoreTest, OpenTruncatedCreatesMissingFileEmpty) {
+  ASSERT_FALSE(mgr_->Exists("raw"));
+  auto store =
+      RawSeriesStore::OpenTruncated(mgr_.get(), "raw", 8, 0).TakeValue();
+  EXPECT_EQ(store->count(), 0u);
+  EXPECT_EQ(store->series_length(), 8);
+  EXPECT_TRUE(mgr_->Exists("raw"));
+  std::vector<float> out(8);
+  EXPECT_EQ(store->Get(0, out).code(), StatusCode::kNotFound);
+}
+
+TEST_F(RawStoreTest, OpenTruncatedZeroExtendsShorterFile) {
+  // A crash can also lose the buffered tail the log proved durable: the
+  // file comes back *shorter* than `count`. The store is extended with
+  // zeros — replay overwrites the range from the log — and existing
+  // series stay intact.
+  auto collection = testutil::RandomWalkCollection(3, 8, 7);
+  {
+    auto store = RawSeriesStore::Create(mgr_.get(), "raw", 8).TakeValue();
+    ASSERT_TRUE(testutil::FillRawStore(store.get(), collection).ok());
+  }
+  auto store =
+      RawSeriesStore::OpenTruncated(mgr_.get(), "raw", 8, 6).TakeValue();
+  EXPECT_EQ(store->count(), 6u);
+  std::vector<float> out(8);
+  ASSERT_TRUE(store->Get(0, out).ok());
+  for (size_t j = 0; j < 8; ++j) EXPECT_EQ(out[j], collection[0][j]);
+  ASSERT_TRUE(store->Get(5, out).ok());
+  for (size_t j = 0; j < 8; ++j) EXPECT_EQ(out[j], 0.0f);
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace coconut

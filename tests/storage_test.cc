@@ -146,6 +146,98 @@ TEST_F(StorageTest, AccessTrackerRecordsOnlyWhenEnabled) {
   EXPECT_LT(ev[0].sequence, ev[1].sequence);
 }
 
+// ----------------------------------------------------- durability primitives
+// The write-ahead log is built on exactly three promises from this layer:
+// Truncate is exact (cut or zero-extend), RenameFile atomically replaces
+// the target and syncs the directory, and FsyncDir makes created names
+// durable. Pin each one.
+
+TEST_F(StorageTest, TruncateCutsExactlyAndZeroExtends) {
+  auto file = mgr_->CreateFile("t").TakeValue();
+  ASSERT_TRUE(file->Append("0123456789", 10).ok());
+
+  ASSERT_TRUE(file->Truncate(4).ok());
+  EXPECT_EQ(file->size_bytes(), 4u);
+  char buf[4];
+  ASSERT_TRUE(file->ReadAt(0, buf, 4).ok());
+  EXPECT_EQ(std::memcmp(buf, "0123", 4), 0);
+  EXPECT_EQ(file->ReadAt(2, buf, 4).code(), StatusCode::kOutOfRange)
+      << "bytes past the truncation point must be unreadable";
+
+  // Extending re-adds the range as zeros, not stale bytes.
+  ASSERT_TRUE(file->Truncate(8).ok());
+  char ext[8];
+  ASSERT_TRUE(file->ReadAt(0, ext, 8).ok());
+  EXPECT_EQ(std::memcmp(ext, "0123\0\0\0\0", 8), 0);
+
+  // Appends resume at the truncated size, not the old EOF.
+  ASSERT_TRUE(file->Append("ab", 2).ok());
+  EXPECT_EQ(file->size_bytes(), 10u);
+  char tail[2];
+  ASSERT_TRUE(file->ReadAt(8, tail, 2).ok());
+  EXPECT_EQ(std::memcmp(tail, "ab", 2), 0);
+}
+
+TEST_F(StorageTest, TruncateToZeroThenReopen) {
+  {
+    auto file = mgr_->CreateFile("t").TakeValue();
+    ASSERT_TRUE(file->Append("payload", 7).ok());
+    ASSERT_TRUE(file->Truncate(0).ok());
+    EXPECT_EQ(file->size_bytes(), 0u);
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  auto reopened = mgr_->OpenFile("t").TakeValue();
+  EXPECT_EQ(reopened->size_bytes(), 0u);
+}
+
+TEST_F(StorageTest, RenameFileReplacesTargetAtomically) {
+  {
+    auto next = mgr_->CreateFile("wal.next").TakeValue();
+    ASSERT_TRUE(next->Append("new", 3).ok());
+    ASSERT_TRUE(next->Sync().ok());
+    auto old = mgr_->CreateFile("wal").TakeValue();
+    ASSERT_TRUE(old->Append("old-old", 7).ok());
+    ASSERT_TRUE(old->Sync().ok());
+  }
+
+  ASSERT_TRUE(mgr_->RenameFile("wal.next", "wal").ok());
+  EXPECT_FALSE(mgr_->Exists("wal.next"));
+  ASSERT_TRUE(mgr_->Exists("wal"));
+  auto swapped = mgr_->OpenFile("wal").TakeValue();
+  EXPECT_EQ(swapped->size_bytes(), 3u);
+  char buf[3];
+  ASSERT_TRUE(swapped->ReadAt(0, buf, 3).ok());
+  EXPECT_EQ(std::memcmp(buf, "new", 3), 0);
+}
+
+TEST_F(StorageTest, RenameFileMissingSourceFails) {
+  EXPECT_EQ(mgr_->RenameFile("nope", "wal").code(), StatusCode::kIoError);
+  EXPECT_FALSE(mgr_->Exists("wal"));
+}
+
+TEST_F(StorageTest, FsyncDirAndSyncDir) {
+  { auto f = mgr_->CreateFile("a").TakeValue(); }
+  EXPECT_TRUE(FsyncDir(mgr_->directory()).ok());
+  EXPECT_TRUE(mgr_->SyncDir().ok());
+  EXPECT_EQ(FsyncDir(mgr_->directory() + "/definitely-missing").code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(StorageTest, SyncAndDataSyncPersistAppends) {
+  {
+    auto file = mgr_->CreateFile("d").TakeValue();
+    ASSERT_TRUE(file->Append("abc", 3).ok());
+    ASSERT_TRUE(file->DataSync().ok());
+    ASSERT_TRUE(file->Append("def", 3).ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  auto reopened = mgr_->OpenFile("d").TakeValue();
+  EXPECT_EQ(reopened->size_bytes(), 6u);
+  char buf[6];
+  ASSERT_TRUE(reopened->ReadAt(0, buf, 6).ok());
+  EXPECT_EQ(std::memcmp(buf, "abcdef", 6), 0);
+}
+
 // ---------------------------------------------------------------- BufferPool
 
 TEST_F(StorageTest, BufferPoolCachesPages) {
