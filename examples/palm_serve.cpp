@@ -3,19 +3,40 @@
 // dataset with a built CTree index, and serves POST /api/v1/<method>
 // until SIGINT/SIGTERM.
 //
-//   ./palm_serve [port] [--demo] [--durable] [--cache]
-//                [--quota TOKEN=RPS[:BURST]]...
+//   ./palm_serve [port] [--demo] [--durable] [--cache] [--cache-negative]
+//                [--quota TOKEN=RPS[:BURST]]... [--quota-file PATH]
+//                [--port-file PATH]
+//                [--topology HOST:PORT,HOST:PORT,...]
+//                [--topology-file PATH] [--degraded-reads] [--json-ingest]
 //
-//   port      TCP port on 127.0.0.1 (default 8765; 0 = ephemeral)
-//   --demo    pre-register dataset 'walk' (2000 x 128) and build index
-//             'ctree' over it, so queries work immediately
-//   --durable pre-create streaming index 'live' (128-point series) with
-//             the write-ahead log on: every acknowledged ingest_batch
-//             survives a crash of this process
-//   --cache   enable the exact snapshot-versioned query answer cache
-//   --quota   require 'Authorization: Bearer TOKEN' and rate-limit that
-//             client to RPS requests/second (burst BURST, default 2*RPS;
-//             RPS of 0 = unlimited); repeatable, one per client
+//   port        TCP port on 127.0.0.1 (default 8765; 0 = ephemeral — the
+//               chosen port is printed, and written to --port-file if set)
+//   --demo      pre-register dataset 'walk' (2000 x 128) and build index
+//               'ctree' over it, so queries work immediately
+//   --durable   pre-create streaming index 'live' (128-point series) with
+//               the write-ahead log on: every acknowledged ingest_batch
+//               survives a crash of this process
+//   --cache     enable the exact snapshot-versioned query answer cache
+//   --cache-negative  also cache found=false answers (implies --cache)
+//   --quota     require 'Authorization: Bearer TOKEN' and rate-limit that
+//               client to RPS requests/second (burst BURST, default 2*RPS;
+//               RPS of 0 = unlimited); repeatable, one per client
+//   --quota-file  load quotas from a config file, one TOKEN=RPS[:BURST]
+//               per line ('#' comments and blank lines allowed; '*' is
+//               the shared anonymous bucket); combines with --quota
+//   --port-file write the bound port (one line) to PATH after the bind
+//
+// Coordinator mode — serve a palm::dist cluster instead of a local
+// service (see palm_shardd for the shard half):
+//
+//   --topology  comma-separated shard endpoints in KEY-RANGE ORDER; the
+//               i-th entry owns invSAX key range i of every index
+//   --topology-file  same, one HOST:PORT per line ('#' comments allowed)
+//   --degraded-reads when a shard is down, serve queries from the
+//               surviving shards (answers carry "degraded": true) instead
+//               of failing with 503
+//   --json-ingest    ship ingest sub-batches as JSON instead of the
+//               CRC-checked binary framing (bench comparison knob)
 //
 // Try it:
 //   curl -s localhost:8765/healthz
@@ -34,6 +55,8 @@
 #include <filesystem>
 #include <thread>
 
+#include "dist/coordinator.h"
+#include "dist/topology.h"
 #include "palm/api.h"
 #include "palm/http_server.h"
 #include "palm/query_cache.h"
@@ -48,6 +71,18 @@ std::atomic<bool> g_stop{false};
 
 void HandleSignal(int) { g_stop.store(true); }
 
+bool WritePortFile(const std::string& path, uint16_t port) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "port file %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  std::fprintf(f, "%u\n", port);
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,8 +90,14 @@ int main(int argc, char** argv) {
   bool demo = false;
   bool durable = false;
   bool cache = false;
+  bool cache_negative = false;
   palm::api::QuotaOptions quota_options;
   bool quota = false;
+  std::string port_file;
+  std::string topology_text;
+  std::string topology_file;
+  bool degraded_reads = false;
+  bool json_ingest = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
@@ -64,6 +105,24 @@ int main(int argc, char** argv) {
       durable = true;
     } else if (std::strcmp(argv[i], "--cache") == 0) {
       cache = true;
+    } else if (std::strcmp(argv[i], "--cache-negative") == 0) {
+      cache = true;
+      cache_negative = true;
+    } else if (std::strcmp(argv[i], "--quota-file") == 0 && i + 1 < argc) {
+      auto loaded = palm::api::LoadQuotaFile(argv[++i]);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "quota file: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      for (const auto& [token, client] : loaded.value().clients) {
+        quota_options.clients[token] = client;
+      }
+      if (loaded.value().allow_anonymous) {
+        quota_options.allow_anonymous = true;
+        quota_options.anonymous_quota = loaded.value().anonymous_quota;
+      }
+      quota = true;
     } else if (std::strncmp(argv[i], "--quota", 7) == 0) {
       // --quota TOKEN=RPS[:BURST] (also accepts --quota=TOKEN=...).
       const char* arg = argv[i][7] == '=' ? argv[i] + 8
@@ -82,11 +141,89 @@ int main(int argc, char** argv) {
                          : 2.0 * client.requests_per_second;
       quota_options.clients[std::string(arg, eq)] = client;
       quota = true;
+    } else if (std::strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) {
+      port_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--topology") == 0 && i + 1 < argc) {
+      topology_text = argv[++i];
+    } else if (std::strcmp(argv[i], "--topology-file") == 0 && i + 1 < argc) {
+      topology_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--degraded-reads") == 0) {
+      degraded_reads = true;
+    } else if (std::strcmp(argv[i], "--json-ingest") == 0) {
+      json_ingest = true;
     } else {
       port = static_cast<uint16_t>(std::atoi(argv[i]));
     }
   }
 
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  // ---- coordinator mode: fan out to palm_shardd processes.
+  if (!topology_text.empty() || !topology_file.empty()) {
+    auto endpoints =
+        topology_file.empty()
+            ? palm::dist::ParseTopology(topology_text)
+            : palm::dist::LoadTopologyFile(topology_file);
+    if (!endpoints.ok()) {
+      std::fprintf(stderr, "topology: %s\n",
+                   endpoints.status().ToString().c_str());
+      return 1;
+    }
+    palm::dist::CoordinatorOptions coordinator_options;
+    coordinator_options.shards = endpoints.TakeValue();
+    coordinator_options.degraded_reads = degraded_reads;
+    coordinator_options.binary_ingest = !json_ingest;
+    auto coordinator_result =
+        palm::dist::Coordinator::Create(std::move(coordinator_options));
+    if (!coordinator_result.ok()) {
+      std::fprintf(stderr, "coordinator: %s\n",
+                   coordinator_result.status().ToString().c_str());
+      return 1;
+    }
+    auto coordinator = coordinator_result.TakeValue();
+    if (cache) {
+      palm::api::QueryCacheOptions cache_options;
+      cache_options.cache_negative_results = cache_negative;
+      coordinator->EnableQueryCache(cache_options);
+      std::printf("query answer cache enabled%s\n",
+                  cache_negative ? " (negative results cached)" : "");
+    }
+    if (quota) {
+      coordinator->ConfigureQuotas(quota_options);
+      std::printf("quotas enabled for %zu client token(s)\n",
+                  quota_options.clients.size());
+    }
+
+    palm::HttpServerOptions options;
+    options.port = port;
+    auto server_result =
+        palm::HttpServer::Start(coordinator.get(), options);
+    if (!server_result.ok()) {
+      std::fprintf(stderr, "http: %s\n",
+                   server_result.status().ToString().c_str());
+      return 1;
+    }
+    auto server = server_result.TakeValue();
+    if (!port_file.empty() && !WritePortFile(port_file, server->port())) {
+      return 1;
+    }
+    std::printf(
+        "palm_serve (coordinator, %zu shard%s%s) listening on "
+        "http://%s:%u\n",
+        coordinator->num_shards(), coordinator->num_shards() == 1 ? "" : "s",
+        degraded_reads ? ", degraded reads on" : "",
+        server->address().c_str(), server->port());
+    std::fflush(stdout);
+    while (!g_stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::printf("shutting down...\n");
+    server->Stop();
+    return 0;
+  }
+
+  // ---- single-process mode.
   // A unique per-run directory: a fixed shared name would let two
   // instances clobber each other's data and turn the remove_all on exit
   // into deleting another process's (or a symlink target's) files.
@@ -106,8 +243,11 @@ int main(int argc, char** argv) {
   }
   auto service = service_result.TakeValue();
   if (cache) {
-    service->EnableQueryCache(palm::api::QueryCacheOptions{});
-    std::printf("query answer cache enabled\n");
+    palm::api::QueryCacheOptions cache_options;
+    cache_options.cache_negative_results = cache_negative;
+    service->EnableQueryCache(cache_options);
+    std::printf("query answer cache enabled%s\n",
+                cache_negative ? " (negative results cached)" : "");
   }
   if (quota) {
     service->ConfigureQuotas(quota_options);
@@ -161,9 +301,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   auto server = server_result.TakeValue();
-
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
+  if (!port_file.empty() && !WritePortFile(port_file, server->port())) {
+    return 1;
+  }
 
   std::printf("palm_serve listening on http://%s:%u\n",
               server->address().c_str(), server->port());
@@ -175,6 +315,7 @@ int main(int argc, char** argv) {
   std::printf("  curl -s -X POST http://127.0.0.1:%u/api/v1/list_indexes\n",
               server->port());
   std::printf("Ctrl-C to stop.\n");
+  std::fflush(stdout);
 
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));

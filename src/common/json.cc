@@ -115,17 +115,18 @@ void JsonWriter::Double(double value) {
   }
   char buf[64];
 #if defined(__cpp_lib_to_chars)
-  // Specified as printf %.12g in the "C" locale, so the wire bytes match
-  // the historical snprintf output without being at LC_NUMERIC's mercy.
-  const auto [ptr, ec] =
-      std::to_chars(buf, buf + sizeof(buf), value,
-                    std::chars_format::general, 12);
+  // Shortest round-trip form: parsing the emitted bytes recovers the
+  // exact double. The distributed coordinator folds query distances and
+  // stats read back off this wire, so lossy formatting here would break
+  // the bit-for-bit equivalence with a single-process deployment (and it
+  // is locale-proof, unlike snprintf).
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
   if (ec == std::errc()) {
     out_.append(buf, ptr);
     return;
   }
 #endif
-  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
   // Locale-pinned fallback: undo a ',' decimal separator if LC_NUMERIC
   // slipped one in.
   for (char* p = buf; *p != '\0'; ++p) {

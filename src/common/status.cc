@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unauthenticated";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

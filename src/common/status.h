@@ -23,6 +23,10 @@ enum class StatusCode {
   /// write-ahead log body, unrestorable checkpoint manifest). Distinct
   /// from kIoError: the device answered, the bytes are wrong.
   kDataLoss,
+  /// A required remote peer cannot be reached (connect/request timeout,
+  /// connection refused, shard process dead). Retrying later may
+  /// succeed; the local state is intact. Maps to HTTP 503.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -68,6 +72,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,165 @@
+#include "dist/binary_codec.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace coconut {
+namespace palm {
+namespace dist {
+
+namespace {
+
+// Explicit little-endian accessors: the frame is a wire format, so its
+// byte order cannot depend on the host (memcpy alone would).
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint16_t GetU16(const char* p) {
+  const auto* b = reinterpret_cast<const uint8_t*>(p);
+  return static_cast<uint16_t>(b[0] | (b[1] << 8));
+}
+
+uint32_t GetU32(const char* p) {
+  const auto* b = reinterpret_cast<const uint8_t*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  const auto* b = reinterpret_cast<const uint8_t*>(p);
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | b[i];
+  }
+  return v;
+}
+
+Status FrameError(const std::string& why) {
+  return Status::InvalidArgument("binary ingest frame: " + why);
+}
+
+// Fixed header bytes before the name, and after it, plus the trailer.
+constexpr size_t kPreNameBytes = 12;       // magic + version + reserved + N
+constexpr size_t kPostNameBytes = 8;       // series_length + count
+constexpr size_t kTrailerBytes = 4;        // CRC-32C
+
+}  // namespace
+
+std::string EncodeIngestFrame(const api::IngestBatchRequest& request) {
+  const uint32_t count = static_cast<uint32_t>(request.batch.size());
+  const uint32_t length = static_cast<uint32_t>(request.batch.length());
+  std::string frame;
+  frame.reserve(kPreNameBytes + request.stream.size() + kPostNameBytes +
+                size_t{8} * count +
+                size_t{4} * length * count + kTrailerBytes);
+  PutU32(&frame, kBinaryIngestMagic);
+  PutU16(&frame, kBinaryIngestVersion);
+  PutU16(&frame, 0);
+  PutU32(&frame, static_cast<uint32_t>(request.stream.size()));
+  frame += request.stream;
+  PutU32(&frame, length);
+  PutU32(&frame, count);
+  for (const int64_t timestamp : request.timestamps) {
+    PutU64(&frame, static_cast<uint64_t>(timestamp));
+  }
+  for (const float value : request.batch.data()) {
+    uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    PutU32(&frame, bits);
+  }
+  PutU32(&frame, Crc32c(frame.data(), frame.size()));
+  return frame;
+}
+
+Result<api::IngestBatchRequest> DecodeIngestFrame(std::string_view frame) {
+  if (frame.size() < kPreNameBytes + kPostNameBytes + kTrailerBytes) {
+    return FrameError("truncated (got " + std::to_string(frame.size()) +
+                      " bytes, smaller than the fixed header)");
+  }
+  const char* p = frame.data();
+  if (GetU32(p) != kBinaryIngestMagic) {
+    return FrameError("bad magic (expected \"CPBI\")");
+  }
+  const uint16_t version = GetU16(p + 4);
+  if (version != kBinaryIngestVersion) {
+    return FrameError("unsupported version " + std::to_string(version));
+  }
+  const uint32_t name_len = GetU32(p + 8);
+  if (name_len > kBinaryIngestMaxNameBytes) {
+    return FrameError("stream name length " + std::to_string(name_len) +
+                      " exceeds the limit of " +
+                      std::to_string(kBinaryIngestMaxNameBytes));
+  }
+  if (frame.size() <
+      kPreNameBytes + name_len + kPostNameBytes + kTrailerBytes) {
+    return FrameError("truncated inside the header");
+  }
+  const char* after_name = p + kPreNameBytes + name_len;
+  const uint32_t series_length = GetU32(after_name);
+  const uint32_t count = GetU32(after_name + 4);
+  if (series_length > kBinaryIngestMaxSeriesLength) {
+    return FrameError("series_length " + std::to_string(series_length) +
+                      " exceeds the limit of " +
+                      std::to_string(kBinaryIngestMaxSeriesLength));
+  }
+  if (count > kBinaryIngestMaxCount) {
+    return FrameError("series count " + std::to_string(count) +
+                      " exceeds the limit of " +
+                      std::to_string(kBinaryIngestMaxCount));
+  }
+  // All factors are <= 2^24 / 2^20, so the uint64 arithmetic cannot wrap.
+  const uint64_t expected = uint64_t{kPreNameBytes} + name_len +
+                            kPostNameBytes + uint64_t{8} * count +
+                            uint64_t{4} * series_length * count +
+                            kTrailerBytes;
+  if (frame.size() != expected) {
+    return FrameError("torn or truncated (declared " +
+                      std::to_string(expected) + " bytes, got " +
+                      std::to_string(frame.size()) + ")");
+  }
+  const uint32_t stored_crc = GetU32(p + frame.size() - kTrailerBytes);
+  const uint32_t computed_crc =
+      Crc32c(frame.data(), frame.size() - kTrailerBytes);
+  if (stored_crc != computed_crc) {
+    return FrameError("torn or corrupt (CRC mismatch)");
+  }
+
+  api::IngestBatchRequest request;
+  request.stream.assign(p + kPreNameBytes, name_len);
+  request.batch = series::SeriesCollection(series_length);
+  request.timestamps.reserve(count);
+  const char* cursor = after_name + kPostNameBytes;
+  for (uint32_t i = 0; i < count; ++i) {
+    request.timestamps.push_back(static_cast<int64_t>(GetU64(cursor)));
+    cursor += 8;
+  }
+  std::vector<float>& values = request.batch.mutable_data();
+  values.resize(size_t{series_length} * count);
+  for (size_t i = 0; i < values.size(); ++i) {
+    const uint32_t bits = GetU32(cursor);
+    std::memcpy(&values[i], &bits, sizeof(float));
+    cursor += 4;
+  }
+  return request;
+}
+
+}  // namespace dist
+}  // namespace palm
+}  // namespace coconut

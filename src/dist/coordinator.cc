@@ -1,0 +1,1148 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/json.h"
+#include "common/timer.h"
+#include "dist/binary_codec.h"
+#include "palm/shard_route.h"
+
+namespace coconut {
+namespace palm {
+namespace dist {
+
+namespace {
+
+/// Mirrors the api.cc cap so a coordinator rejects oversized heat-map
+/// requests with the same message a single-process service would.
+constexpr uint64_t kMaxHeatMapBinsPerAxis = 4096;
+
+/// Methods the coordinator front door understands, sorted. ingest_batch_bin
+/// is listed even though it is selected by Content-Type, so curl users can
+/// discover it from the unknown-method error.
+const char* const kCoordinatorMethods[] = {
+    "build_index",  "create_stream", "drain_stream",     "drop_dataset",
+    "drop_index",   "ingest_batch",  "ingest_batch_bin", "list_indexes",
+    "query",        "query_batch",   "recommend",        "register_dataset",
+    "server_stats",
+};
+
+template <typename T>
+Result<T> ParseShardBody(const ShardEndpoint& endpoint,
+                         const Result<std::string>& raw) {
+  if (!raw.ok()) return raw.status();
+  Result<JsonValue> parsed = JsonParse(raw.value());
+  if (!parsed.ok()) {
+    return Status::Internal("shard " + endpoint.ToString() +
+                            " returned malformed JSON: " +
+                            parsed.status().message());
+  }
+  Result<T> typed = T::FromJson(parsed.value());
+  if (!typed.ok()) {
+    return Status::Internal("shard " + endpoint.ToString() +
+                            " response did not parse: " +
+                            typed.status().message());
+  }
+  return typed;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(CoordinatorOptions options)
+    : options_(std::move(options)) {
+  shards_.reserve(options_.shards.size());
+  for (const ShardEndpoint& endpoint : options_.shards) {
+    shards_.push_back(
+        std::make_unique<ShardClient>(endpoint, options_.client));
+  }
+}
+
+Coordinator::~Coordinator() = default;
+
+Result<std::unique_ptr<Coordinator>> Coordinator::Create(
+    CoordinatorOptions options) {
+  if (options.shards.empty()) {
+    return Status::InvalidArgument(
+        "coordinator requires at least one shard endpoint");
+  }
+  // Connections are lazy (first call), so a coordinator can come up
+  // before its shards do.
+  return std::unique_ptr<Coordinator>(new Coordinator(std::move(options)));
+}
+
+void Coordinator::EnableQueryCache(const api::QueryCacheOptions& options) {
+  query_cache_ = std::make_unique<api::QueryCache>(options);
+}
+
+void Coordinator::ConfigureQuotas(const api::QuotaOptions& options) {
+  quota_ = std::make_unique<api::QuotaEnforcer>(options);
+}
+
+api::ServerStatsResponse Coordinator::ServerStats() const {
+  api::ServerStatsResponse response;
+  if (query_cache_ != nullptr) {
+    const api::QueryCacheStats cache = query_cache_->Snapshot();
+    response.cache_enabled = true;
+    response.cache_entries = cache.entries;
+    response.cache_bytes = cache.bytes;
+    response.cache_hits = cache.hits;
+    response.cache_misses = cache.misses;
+    response.cache_inserts = cache.inserts;
+    response.cache_evictions = cache.evictions;
+    response.cache_stale_drops = cache.stale_drops;
+    response.cache_invalidations = cache.invalidations;
+    response.cache_negative_enabled = query_cache_->negative_caching_enabled();
+    response.cache_negative_hits = cache.negative_hits;
+    response.cache_negative_inserts = cache.negative_inserts;
+  }
+  if (quota_ != nullptr) {
+    const api::QuotaStats quota = quota_->Snapshot();
+    response.quota_enabled = true;
+    response.quota_admitted = quota.admitted;
+    response.quota_throttled = quota.throttled;
+    response.quota_unauthenticated = quota.unauthenticated;
+  }
+  response.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const ShardClient::Health health = shard->health();
+    api::ServerStatsResponse::ShardHealth entry;
+    entry.endpoint = shard->endpoint().ToString();
+    entry.healthy = health.healthy;
+    entry.requests = health.requests;
+    entry.failures = health.failures;
+    entry.consecutive_failures = health.consecutive_failures;
+    response.shards.push_back(std::move(entry));
+  }
+  return response;
+}
+
+std::shared_ptr<Coordinator::DistHandle> Coordinator::PinHandle(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = handles_.find(name);
+  if (it == handles_.end() || it->second->building) return nullptr;
+  return it->second;
+}
+
+Status Coordinator::CheckTopologySpec(const VariantSpec& spec) const {
+  if (spec.num_shards != 1 && spec.num_shards != shards_.size()) {
+    return Status::InvalidArgument(
+        "spec num_shards " + std::to_string(spec.num_shards) +
+        " conflicts with the coordinator topology of " +
+        std::to_string(shards_.size()) +
+        " shard servers (the topology defines the key-range split; use 1 "
+        "or match it)");
+  }
+  return Status::OK();
+}
+
+std::vector<Result<std::string>> Coordinator::Scatter(
+    const std::string& method,
+    const std::vector<std::optional<std::string>>& params, bool idempotent,
+    bool binary) {
+  const size_t num_shards = shards_.size();
+  std::vector<Result<std::string>> results;
+  results.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    results.emplace_back(Status::Internal("shard not contacted"));
+  }
+  auto call_one = [&](size_t s) {
+    if (!params[s].has_value()) return;
+    results[s] = binary ? shards_[s]->CallBinaryIngest(*params[s])
+                        : shards_[s]->Call(method, *params[s], idempotent);
+  };
+  if (num_shards == 1) {
+    call_one(0);
+    return results;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) threads.emplace_back(call_one, s);
+  for (std::thread& thread : threads) thread.join();
+  return results;
+}
+
+std::vector<Result<std::string>> Coordinator::ScatterSame(
+    const std::string& method, const std::string& params, bool idempotent) {
+  std::vector<std::optional<std::string>> per_shard(shards_.size(), params);
+  return Scatter(method, per_shard, idempotent);
+}
+
+void Coordinator::ScatterCleanup(
+    const std::string& method,
+    const std::vector<std::optional<std::string>>& params) {
+  // Unwind path: the primary error is already decided; a shard that also
+  // fails to clean up will surface on its next use instead.
+  (void)Scatter(method, params, /*idempotent=*/false);
+}
+
+// ------------------------------------------------------------- datasets
+
+Result<api::RegisterDatasetResponse> Coordinator::RegisterDataset(
+    const api::RegisterDatasetRequest& request) {
+  COCONUT_RETURN_NOT_OK(api::ValidateName(request.name, "dataset"));
+  if (request.data.length() == 0) {
+    return Status::InvalidArgument("dataset series length must be positive");
+  }
+  if (request.timestamps.has_value() &&
+      request.timestamps->size() != request.data.size()) {
+    return Status::InvalidArgument("one timestamp per series required");
+  }
+  // Staged RAW (un-normalized): shards z-normalize their slices on their
+  // own register_dataset with the same function, so the stored bits match
+  // the single-process path. The coordinator z-normalizes a private copy
+  // per series only to route, at build time.
+  Dataset dataset;
+  dataset.data = request.data;
+  if (request.timestamps.has_value()) {
+    dataset.timestamps = *request.timestamps;
+  } else {
+    dataset.timestamps.resize(request.data.size());
+    for (size_t i = 0; i < request.data.size(); ++i) {
+      dataset.timestamps[i] = static_cast<int64_t>(i);
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (datasets_.count(request.name) != 0) {
+    return Status::AlreadyExists("dataset '" + request.name +
+                                 "' already registered");
+  }
+  datasets_[request.name] =
+      std::make_shared<const Dataset>(std::move(dataset));
+  api::RegisterDatasetResponse response;
+  response.dataset = request.name;
+  response.series = request.data.size();
+  response.series_length = request.data.length();
+  return response;
+}
+
+Result<api::DropDatasetResponse> Coordinator::DropDataset(
+    const api::DropDatasetRequest& request) {
+  // Datasets are staged at the coordinator only (shard-side copies are
+  // dropped right after each build), so this is a local unregister.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = datasets_.find(request.dataset);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset '" + request.dataset +
+                            "' not registered");
+  }
+  api::DropDatasetResponse response;
+  response.dataset = request.dataset;
+  response.dropped = true;
+  response.series = it->second->data.size();
+  datasets_.erase(it);
+  return response;
+}
+
+// ---------------------------------------------------------- build_index
+
+Result<api::BuildIndexReport> Coordinator::BuildIndex(
+    const api::BuildIndexRequest& request) {
+  COCONUT_RETURN_NOT_OK(api::ValidateName(request.index, "index"));
+  COCONUT_RETURN_NOT_OK(CheckTopologySpec(request.spec));
+  const size_t num_shards = shards_.size();
+  std::shared_ptr<const Dataset> dataset;
+  std::shared_ptr<DistHandle> handle;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = datasets_.find(request.dataset);
+    if (it == datasets_.end()) {
+      return Status::NotFound("dataset '" + request.dataset +
+                              "' not registered");
+    }
+    if (static_cast<int>(it->second->data.length()) !=
+        request.spec.sax.series_length) {
+      return Status::InvalidArgument("spec series_length != dataset length");
+    }
+    dataset = it->second;
+    if (handles_.count(request.index) != 0) {
+      return Status::AlreadyExists("index '" + request.index +
+                                   "' already exists");
+    }
+    handle = std::make_shared<DistHandle>();
+    handle->spec = request.spec;
+    handle->streaming = false;
+    handles_[request.index] = handle;  // reserved: building=true
+  }
+  auto unregister = [&] {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    handles_.erase(request.index);
+  };
+
+  WallTimer timer;
+  // Route every series by the invSAX key range of its z-normalized form —
+  // the same split ShardedIndex uses, so shard s receives exactly the
+  // rows the single-process wrapper's inner shard s would, in the same
+  // order. Timestamps are sliced explicitly: the shard-side default would
+  // number them by LOCAL ordinal, but the global dataset ordinal (or the
+  // user's explicit stamps) is the contract.
+  std::vector<api::RegisterDatasetRequest> slices;
+  slices.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    api::RegisterDatasetRequest slice;
+    slice.name = request.dataset;
+    slice.data = series::SeriesCollection(dataset->data.length());
+    slice.timestamps.emplace();
+    slices.push_back(std::move(slice));
+  }
+  handle->local_to_global.assign(num_shards, {});
+  std::vector<float> buf;
+  for (size_t i = 0; i < dataset->data.size(); ++i) {
+    buf.assign(dataset->data[i].begin(), dataset->data[i].end());
+    series::ZNormalize(buf);
+    const size_t s = ShardOfSeries(buf, request.spec.sax, num_shards);
+    slices[s].data.Append(dataset->data[i]);
+    slices[s].timestamps->push_back(dataset->timestamps[i]);
+    handle->local_to_global[s].push_back(i);
+  }
+  handle->has_index.assign(num_shards, false);
+
+  std::vector<std::optional<std::string>> register_params(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    // An empty slice cannot be registered remotely (and an empty inner
+    // shard answers every query with not-found anyway): skip the shard.
+    if (slices[s].data.size() == 0) continue;
+    register_params[s] = slices[s].ToJsonString();
+    handle->has_index[s] = true;
+  }
+  std::vector<Result<std::string>> registered =
+      Scatter("register_dataset", register_params, /*idempotent=*/false);
+  std::vector<std::optional<std::string>> cleanup_dataset(num_shards);
+  const std::string drop_dataset_params =
+      [&] {
+        api::DropDatasetRequest drop;
+        drop.dataset = request.dataset;
+        return drop.ToJsonString();
+      }();
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (register_params[s].has_value() && registered[s].ok()) {
+      cleanup_dataset[s] = drop_dataset_params;
+    }
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (register_params[s].has_value() && !registered[s].ok()) {
+      ScatterCleanup("drop_dataset", cleanup_dataset);
+      unregister();
+      return registered[s].status();
+    }
+  }
+
+  VariantSpec shard_spec = request.spec;
+  shard_spec.num_shards = 1;
+  api::BuildIndexRequest shard_build;
+  shard_build.index = request.index;
+  shard_build.dataset = request.dataset;
+  shard_build.spec = shard_spec;
+  std::vector<std::optional<std::string>> build_params(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (handle->has_index[s]) build_params[s] = shard_build.ToJsonString();
+  }
+  std::vector<Result<std::string>> built =
+      Scatter("build_index", build_params, /*idempotent=*/false);
+
+  api::BuildIndexReport report;
+  report.index = request.index;
+  report.variant = VariantName(request.spec);
+  report.dataset = request.dataset;
+  report.shards = num_shards;
+  Status failure = Status::OK();
+  std::vector<std::optional<std::string>> cleanup_index(num_shards);
+  const std::string drop_index_params = [&] {
+    api::DropIndexRequest drop;
+    drop.index = request.index;
+    return drop.ToJsonString();
+  }();
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!build_params[s].has_value()) continue;
+    Result<api::BuildIndexReport> parsed =
+        ParseShardBody<api::BuildIndexReport>(shards_[s]->endpoint(),
+                                              built[s]);
+    if (!parsed.ok()) {
+      if (failure.ok()) failure = parsed.status();
+      continue;
+    }
+    cleanup_index[s] = drop_index_params;
+    const api::BuildIndexReport& shard_report = parsed.value();
+    report.entries += shard_report.entries;
+    report.index_bytes += shard_report.index_bytes;
+    report.total_bytes += shard_report.total_bytes;
+    report.io.Add(shard_report.io);
+  }
+  // The staged copies served their purpose either way: each shard's index
+  // owns its data now (or the build is being unwound).
+  ScatterCleanup("drop_dataset", cleanup_dataset);
+  if (!failure.ok()) {
+    ScatterCleanup("drop_index", cleanup_index);
+    unregister();
+    return failure;
+  }
+  report.build_seconds = timer.ElapsedSeconds();
+
+  if (query_cache_ != nullptr) query_cache_->InvalidateIndex(request.index);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    handle->building = false;
+  }
+  return report;
+}
+
+// -------------------------------------------------------------- streams
+
+Result<api::CreateStreamResponse> Coordinator::CreateStream(
+    const api::CreateStreamRequest& request) {
+  COCONUT_RETURN_NOT_OK(api::ValidateName(request.stream, "stream"));
+  COCONUT_RETURN_NOT_OK(CheckTopologySpec(request.spec));
+  const size_t num_shards = shards_.size();
+  std::shared_ptr<DistHandle> handle;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (handles_.count(request.stream) != 0) {
+      return Status::AlreadyExists("index '" + request.stream +
+                                   "' already exists");
+    }
+    handle = std::make_shared<DistHandle>();
+    handle->spec = request.spec;
+    handle->streaming = true;
+    handles_[request.stream] = handle;
+  }
+
+  // Each shard runs a complete unsharded streaming stack of the wrapped
+  // variant (its own WAL when durable) — the process-boundary twin of
+  // ShardedStreamingIndex's per-shard inner indexes. The timestamp policy
+  // is forwarded as-is: the coordinator enforces it against the GLOBAL
+  // watermark first, and a per-shard subsequence of a globally
+  // nondecreasing sequence is nondecreasing, so the shard-local check
+  // never fires spuriously (same layering as the single-process wrapper).
+  VariantSpec shard_spec = request.spec;
+  shard_spec.num_shards = 1;
+  api::CreateStreamRequest shard_create;
+  shard_create.stream = request.stream;
+  shard_create.spec = shard_spec;
+  std::vector<Result<std::string>> created =
+      ScatterSame("create_stream", shard_create.ToJsonString(),
+                  /*idempotent=*/false);
+
+  api::CreateStreamResponse response;
+  response.stream = request.stream;
+  Status failure = Status::OK();
+  std::vector<std::optional<std::string>> cleanup(num_shards);
+  const std::string drop_params = [&] {
+    api::DropIndexRequest drop;
+    drop.index = request.stream;
+    return drop.ToJsonString();
+  }();
+  for (size_t s = 0; s < num_shards; ++s) {
+    Result<api::CreateStreamResponse> parsed =
+        ParseShardBody<api::CreateStreamResponse>(shards_[s]->endpoint(),
+                                                  created[s]);
+    if (!parsed.ok()) {
+      if (failure.ok()) failure = parsed.status();
+      continue;
+    }
+    cleanup[s] = drop_params;
+    response.variant = parsed.value().variant;
+  }
+  if (!failure.ok()) {
+    ScatterCleanup("drop_index", cleanup);
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    handles_.erase(request.stream);
+    return failure;
+  }
+
+  handle->local_to_global.assign(num_shards, {});
+  handle->has_index.assign(num_shards, true);
+  if (query_cache_ != nullptr) query_cache_->InvalidateIndex(request.stream);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    handle->building = false;
+  }
+  return response;
+}
+
+Result<api::IngestBatchReport> Coordinator::IngestBatch(
+    const api::IngestBatchRequest& request) {
+  std::shared_ptr<DistHandle> handle = PinHandle(request.stream);
+  if (handle == nullptr || !handle->streaming) {
+    return Status::NotFound("stream '" + request.stream + "' not found");
+  }
+  if (request.timestamps.size() != request.batch.size()) {
+    return Status::InvalidArgument("one timestamp per series required");
+  }
+  if (request.batch.size() > 0 &&
+      static_cast<int>(request.batch.length()) !=
+          handle->spec.sax.series_length) {
+    return Status::InvalidArgument(
+        "batch series length " + std::to_string(request.batch.length()) +
+        " != stream series length " +
+        std::to_string(handle->spec.sax.series_length));
+  }
+  std::lock_guard<std::mutex> op_lock(handle->op_mutex);
+  WallTimer timer;
+  const size_t num_shards = shards_.size();
+
+  // Pass 1 — route, in batch order, against the provisional global
+  // watermark and id counter. This replicates the single-process sharded
+  // semantics exactly: a kStrict regression burns its global id and
+  // rejects with the wrapper's message (the already-routed prefix is
+  // still shipped, as the single-process path keeps its admitted prefix);
+  // kClamp forwards the clamped timestamp.
+  std::vector<api::IngestBatchRequest> sub;
+  sub.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    api::IngestBatchRequest one;
+    one.stream = request.stream;
+    one.batch = series::SeriesCollection(handle->spec.sax.series_length);
+    sub.push_back(std::move(one));
+  }
+  std::vector<std::vector<uint64_t>> pending(num_shards);
+  uint64_t next_id = handle->next_series_id;
+  int64_t watermark = handle->last_timestamp;
+  const stream::TimestampPolicy policy = handle->spec.timestamp_policy;
+  Status strict_reject = Status::OK();
+  std::vector<float> buf;
+  for (size_t i = 0; i < request.batch.size(); ++i) {
+    int64_t timestamp = request.timestamps[i];
+    if (policy == stream::TimestampPolicy::kStrict &&
+        timestamp < watermark) {
+      ++next_id;  // the rejected series burns its id, like the wrapper
+      strict_reject = Status::InvalidArgument(
+          "timestamp regression rejected by kStrict policy");
+      break;
+    }
+    if (policy == stream::TimestampPolicy::kClamp) {
+      timestamp = std::max(timestamp, watermark);
+    }
+    buf.assign(request.batch[i].begin(), request.batch[i].end());
+    series::ZNormalize(buf);
+    const size_t s = ShardOfSeries(buf, handle->spec.sax, num_shards);
+    sub[s].batch.Append(request.batch[i]);  // RAW — the shard normalizes
+    sub[s].timestamps.push_back(timestamp);
+    pending[s].push_back(next_id++);
+    if (policy != stream::TimestampPolicy::kPermissive) {
+      watermark = std::max(watermark, timestamp);
+    }
+  }
+
+  // Pass 2 — scatter. Every shard is contacted, even with an empty
+  // sub-batch: the folded report's occupancy fields (total_entries,
+  // partitions, ...) are sums of CURRENT per-shard stats, not deltas.
+  std::vector<std::optional<std::string>> params(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    params[s] = options_.binary_ingest ? EncodeIngestFrame(sub[s])
+                                       : sub[s].ToJsonString();
+  }
+  std::vector<Result<std::string>> raw =
+      Scatter("ingest_batch", params, /*idempotent=*/false,
+              options_.binary_ingest);
+
+  // Pass 3 — gather. Mappings commit per shard for whatever prefix that
+  // shard admitted, so queries keep translating every series that IS
+  // ingested; global ids and the watermark commit regardless (burned ids
+  // and a conservative watermark are the sharded contract).
+  api::IngestBatchReport report;
+  report.stream = request.stream;
+  Status failure = Status::OK();
+  Status partial = Status::OK();
+  uint64_t admitted_total = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    Result<api::IngestBatchReport> parsed =
+        ParseShardBody<api::IngestBatchReport>(shards_[s]->endpoint(),
+                                               raw[s]);
+    if (!parsed.ok()) {
+      if (failure.ok()) failure = parsed.status();
+      continue;
+    }
+    const api::IngestBatchReport& shard_report = parsed.value();
+    const uint64_t sent = pending[s].size();
+    const uint64_t admitted = std::min<uint64_t>(shard_report.ingested, sent);
+    for (uint64_t j = 0; j < admitted; ++j) {
+      handle->local_to_global[s].push_back(pending[s][j]);
+    }
+    admitted_total += admitted;
+    if (admitted < sent && partial.ok()) {
+      // The shard hit reject-mode backpressure mid-sub-batch and reported
+      // its admitted prefix truthfully. The coordinator cannot splice a
+      // cross-shard "prefix", so it surfaces a structured 429 naming the
+      // shard; the rest of the batch IS applied (never un-ingested).
+      partial = Status::ResourceExhausted(
+          "shard " + shards_[s]->endpoint().ToString() + " admitted " +
+          std::to_string(admitted) + " of " + std::to_string(sent) +
+          " routed series (backpressure); other shards are fully "
+          "applied — drain the stream and re-send the unadmitted series");
+    }
+    report.total_entries += shard_report.total_entries;
+    report.partitions += shard_report.partitions;
+    report.buffered += shard_report.buffered;
+    report.pending_tasks += shard_report.pending_tasks;
+    report.seals_completed += shard_report.seals_completed;
+    report.merges_completed += shard_report.merges_completed;
+    report.seals_inflight += shard_report.seals_inflight;
+    report.ingest_stalls += shard_report.ingest_stalls;
+    report.ingest_rejects += shard_report.ingest_rejects;
+    report.stall_ms_p50 =
+        std::max(report.stall_ms_p50, shard_report.stall_ms_p50);
+    report.stall_ms_p99 =
+        std::max(report.stall_ms_p99, shard_report.stall_ms_p99);
+    report.io.Add(shard_report.io);
+  }
+  handle->next_series_id = next_id;
+  handle->last_timestamp = watermark;
+  ++handle->version;
+
+  if (!failure.ok()) {
+    if (failure.code() == StatusCode::kUnavailable) {
+      return Status::Unavailable(
+          failure.message() +
+          "; the batch may be partially applied on surviving shards");
+    }
+    return failure;
+  }
+  if (!partial.ok()) return partial;
+  if (!strict_reject.ok()) return strict_reject;
+  report.ingested = admitted_total;
+  report.seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+Result<api::DrainStreamReport> Coordinator::DrainStream(
+    const api::DrainStreamRequest& request) {
+  std::shared_ptr<DistHandle> handle = PinHandle(request.stream);
+  if (handle == nullptr || !handle->streaming) {
+    return Status::NotFound("stream '" + request.stream + "' not found");
+  }
+  std::lock_guard<std::mutex> op_lock(handle->op_mutex);
+  WallTimer timer;
+  api::DrainStreamRequest shard_drain;
+  shard_drain.stream = request.stream;
+  std::vector<Result<std::string>> raw = ScatterSame(
+      "drain_stream", shard_drain.ToJsonString(), /*idempotent=*/true);
+
+  api::DrainStreamReport report;
+  report.stream = request.stream;
+  report.drained = true;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Result<api::DrainStreamReport> parsed =
+        ParseShardBody<api::DrainStreamReport>(shards_[s]->endpoint(),
+                                               raw[s]);
+    if (!parsed.ok()) {
+      ++handle->version;
+      if (parsed.status().code() == StatusCode::kUnavailable) {
+        return Status::Unavailable(
+            parsed.status().message() +
+            "; surviving shards may already be drained");
+      }
+      return parsed.status();
+    }
+    const api::DrainStreamReport& shard_report = parsed.value();
+    report.drained = report.drained && shard_report.drained;
+    report.total_entries += shard_report.total_entries;
+    report.partitions += shard_report.partitions;
+    report.buffered += shard_report.buffered;
+    report.pending_tasks += shard_report.pending_tasks;
+    report.seals_completed += shard_report.seals_completed;
+    report.merges_completed += shard_report.merges_completed;
+    report.seals_inflight += shard_report.seals_inflight;
+    report.ingest_stalls += shard_report.ingest_stalls;
+    report.ingest_rejects += shard_report.ingest_rejects;
+    report.stall_ms_p50 =
+        std::max(report.stall_ms_p50, shard_report.stall_ms_p50);
+    report.stall_ms_p99 =
+        std::max(report.stall_ms_p99, shard_report.stall_ms_p99);
+    report.index_bytes += shard_report.index_bytes;
+    report.total_bytes += shard_report.total_bytes;
+  }
+  report.drain_seconds = timer.ElapsedSeconds();
+  // Draining seals buffers and publishes partitions: the shard-side
+  // snapshot versions moved, so cached answers stamped before the drain
+  // must not be served after it.
+  ++handle->version;
+  return report;
+}
+
+// -------------------------------------------------------------- queries
+
+Result<api::QueryReport> Coordinator::FoldShardReports(
+    const api::QueryRequest& request, DistHandle* handle,
+    const std::vector<std::pair<size_t, api::QueryReport>>& answers,
+    bool degraded) const {
+  api::QueryReport report;
+  report.index = request.index;
+  report.exact = request.exact;
+  report.degraded = degraded;
+  bool found = false;
+  double best_distance = 0.0;
+  uint64_t best_id = 0;
+  int64_t best_timestamp = 0;
+  for (const auto& [s, shard_report] : answers) {
+    report.counters.Add(shard_report.counters);
+    report.io.Add(shard_report.io);
+    if (!shard_report.found) continue;
+    if (shard_report.series_id >= handle->local_to_global[s].size()) {
+      // A shard holds series this coordinator never mapped (e.g. a
+      // recovered durable stream from a previous coordinator life):
+      // refuse rather than answer with a mistranslated id.
+      return Status::Internal(
+          "shard " + shards_[s]->endpoint().ToString() +
+          " returned local series id " +
+          std::to_string(shard_report.series_id) +
+          " outside the coordinator's id map (" +
+          std::to_string(handle->local_to_global[s].size()) +
+          " entries) — was the stream ingested through another "
+          "coordinator?");
+    }
+    const uint64_t global_id =
+        handle->local_to_global[s][shard_report.series_id];
+    // Same tie-break as the single-process scatter-gather: nearest
+    // distance, then the smaller global id.
+    if (!found || shard_report.distance < best_distance ||
+        (shard_report.distance == best_distance && global_id < best_id)) {
+      found = true;
+      best_distance = shard_report.distance;
+      best_id = global_id;
+      best_timestamp = shard_report.timestamp;
+    }
+  }
+  report.found = found;
+  if (found) {
+    report.series_id = best_id;
+    report.distance = best_distance;
+    report.timestamp = best_timestamp;
+  }
+  return report;
+}
+
+Result<api::QueryReport> Coordinator::Query(const api::QueryRequest& request) {
+  std::shared_ptr<DistHandle> handle = PinHandle(request.index);
+  if (handle == nullptr) {
+    return Status::NotFound("index '" + request.index + "' not found");
+  }
+  // Same boundary validation (and messages) as api::Service::Query.
+  if (request.query.empty()) {
+    return Status::InvalidArgument("query vector must not be empty");
+  }
+  if (static_cast<int>(request.query.size()) !=
+      handle->spec.sax.series_length) {
+    return Status::InvalidArgument(
+        "query length " + std::to_string(request.query.size()) +
+        " != index series length " +
+        std::to_string(handle->spec.sax.series_length));
+  }
+  if (request.approx_candidates <= 0) {
+    return Status::InvalidArgument("approx_candidates must be positive");
+  }
+  if (request.window.has_value() &&
+      request.window->begin > request.window->end) {
+    return Status::InvalidArgument(
+        "query window begin must be <= end (got begin=" +
+        std::to_string(request.window->begin) +
+        ", end=" + std::to_string(request.window->end) + ")");
+  }
+  if (request.capture_heatmap) {
+    if (request.heatmap_time_bins == 0 ||
+        request.heatmap_location_bins == 0) {
+      return Status::InvalidArgument("heatmap bins must be positive");
+    }
+    if (request.heatmap_time_bins > kMaxHeatMapBinsPerAxis ||
+        request.heatmap_location_bins > kMaxHeatMapBinsPerAxis) {
+      return Status::InvalidArgument(
+          "heatmap bins exceed the maximum of " +
+          std::to_string(kMaxHeatMapBinsPerAxis) + " per axis");
+    }
+    return Status::NotSupported(
+        "heat maps are not captured for sharded indexes yet");
+  }
+
+  api::QueryCache* cache = query_cache_.get();
+  const bool cacheable =
+      cache != nullptr && api::QueryCache::Cacheable(request);
+  std::string cache_key;
+  if (cacheable) {
+    cache_key = api::QueryCache::KeyFor(request);
+    if (std::optional<api::QueryReport> hit =
+            cache->Lookup(cache_key, handle->version)) {
+      return *std::move(hit);
+    }
+  }
+
+  std::lock_guard<std::mutex> op_lock(handle->op_mutex);
+  const uint64_t version_before = handle->version;
+  WallTimer timer;
+  const std::string params = request.ToJsonString();
+  std::vector<std::optional<std::string>> per_shard(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (handle->has_index[s]) per_shard[s] = params;
+  }
+  std::vector<Result<std::string>> raw =
+      Scatter("query", per_shard, /*idempotent=*/true);
+
+  std::vector<std::pair<size_t, api::QueryReport>> answers;
+  bool degraded = false;
+  Status unavailable = Status::OK();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!per_shard[s].has_value()) continue;
+    Result<api::QueryReport> parsed =
+        ParseShardBody<api::QueryReport>(shards_[s]->endpoint(), raw[s]);
+    if (!parsed.ok()) {
+      if (parsed.status().code() == StatusCode::kUnavailable &&
+          options_.degraded_reads) {
+        degraded = true;
+        if (unavailable.ok()) unavailable = parsed.status();
+        continue;
+      }
+      return parsed.status();
+    }
+    answers.emplace_back(s, std::move(parsed.value()));
+  }
+  if (degraded && answers.empty()) {
+    // Degraded reads serve the SURVIVING ranges; with none left there is
+    // nothing to serve.
+    return unavailable;
+  }
+  COCONUT_ASSIGN_OR_RETURN(
+      api::QueryReport report,
+      FoldShardReports(request, handle.get(), answers, degraded));
+  report.seconds = timer.ElapsedSeconds();
+  // Never cache a degraded answer: it covers a subset of the key space,
+  // and the version stamp does not move when the dead shard comes back.
+  if (cacheable && !report.degraded && handle->version == version_before) {
+    cache->Insert(cache_key, request.index, version_before, report);
+  }
+  return report;
+}
+
+api::QueryBatchResponse Coordinator::QueryBatch(
+    const api::QueryBatchRequest& request) {
+  const size_t num_queries = request.queries.size();
+  api::QueryBatchResponse response;
+  response.results.resize(num_queries);
+  if (num_queries == 0) return response;
+  const size_t num_shards = shards_.size();
+
+  // One scatter of the WHOLE batch per shard (not one RPC per query):
+  // each shard runs its positions through its own batched scan path and
+  // answers positionally. Heatmap captures are stripped before
+  // forwarding — an unsharded shard would happily capture one, but the
+  // distributed answer is NotSupported, decided below.
+  api::QueryBatchRequest forwarded = request;
+  for (api::QueryRequest& query : forwarded.queries) {
+    query.capture_heatmap = false;
+  }
+  std::vector<Result<std::string>> raw = ScatterSame(
+      "query_batch", forwarded.ToJsonString(), /*idempotent=*/true);
+
+  std::vector<std::optional<api::QueryBatchResponse>> shard_responses(
+      num_shards);
+  std::vector<Status> shard_status(num_shards, Status::OK());
+  for (size_t s = 0; s < num_shards; ++s) {
+    Result<api::QueryBatchResponse> parsed =
+        ParseShardBody<api::QueryBatchResponse>(shards_[s]->endpoint(),
+                                                raw[s]);
+    if (!parsed.ok()) {
+      shard_status[s] = parsed.status();
+      continue;
+    }
+    if (parsed.value().results.size() != num_queries) {
+      shard_status[s] = Status::Internal(
+          "shard " + shards_[s]->endpoint().ToString() + " answered " +
+          std::to_string(parsed.value().results.size()) + " of " +
+          std::to_string(num_queries) + " batched queries");
+      continue;
+    }
+    shard_responses[s] = std::move(parsed.value());
+  }
+
+  for (size_t i = 0; i < num_queries; ++i) {
+    const api::QueryRequest& query = request.queries[i];
+    api::QueryBatchResponse::Entry& entry = response.results[i];
+    auto fail = [&entry](const Status& status) {
+      entry.ok = false;
+      entry.error = api::ApiError::FromStatus(status);
+    };
+    std::shared_ptr<DistHandle> handle = PinHandle(query.index);
+    if (handle == nullptr) {
+      fail(Status::NotFound("index '" + query.index + "' not found"));
+      continue;
+    }
+    if (query.capture_heatmap) {
+      fail(Status::NotSupported(
+          "heat maps are not captured for sharded indexes yet"));
+      continue;
+    }
+    std::vector<std::pair<size_t, api::QueryReport>> answers;
+    bool degraded = false;
+    Status unavailable = Status::OK();
+    Status failure = Status::OK();
+    std::lock_guard<std::mutex> op_lock(handle->op_mutex);
+    for (size_t s = 0; s < num_shards && failure.ok(); ++s) {
+      if (!handle->has_index[s]) continue;
+      if (!shard_status[s].ok()) {
+        if (shard_status[s].code() == StatusCode::kUnavailable &&
+            options_.degraded_reads) {
+          degraded = true;
+          if (unavailable.ok()) unavailable = shard_status[s];
+          continue;
+        }
+        failure = shard_status[s];
+        break;
+      }
+      const api::QueryBatchResponse::Entry& shard_entry =
+          shard_responses[s]->results[i];
+      if (!shard_entry.ok) {
+        // App-level refusal (validation, not-found): identical requests
+        // fail identically on every shard, so the first one stands in
+        // for all.
+        failure = StatusFromApiError(shard_entry.error);
+        break;
+      }
+      answers.emplace_back(s, shard_entry.report);
+    }
+    if (!failure.ok()) {
+      fail(failure);
+      continue;
+    }
+    if (degraded && answers.empty()) {
+      fail(unavailable);
+      continue;
+    }
+    Result<api::QueryReport> folded =
+        FoldShardReports(query, handle.get(), answers, degraded);
+    if (!folded.ok()) {
+      fail(folded.status());
+      continue;
+    }
+    entry.ok = true;
+    entry.report = std::move(folded.value());
+  }
+  return response;
+}
+
+// ------------------------------------------------------- misc front door
+
+api::RecommendResponse Coordinator::Recommend(const Scenario& scenario) {
+  // Pure function of the scenario — served locally, no shard round trip.
+  Recommendation rec = palm::Recommend(scenario);
+  api::RecommendResponse response;
+  response.variant = rec.variant_name();
+  response.materialized = rec.spec.materialized;
+  response.fill_factor = rec.spec.fill_factor;
+  response.growth_factor = rec.spec.growth_factor;
+  response.buffer_entries = rec.spec.buffer_entries;
+  response.rationale = rec.rationale;
+  return response;
+}
+
+Result<api::ListIndexesResponse> Coordinator::ListIndexes() {
+  std::vector<std::pair<std::string, std::shared_ptr<DistHandle>>> pinned;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    pinned.reserve(handles_.size());
+    for (const auto& [name, handle] : handles_) {
+      if (handle->building) continue;
+      pinned.emplace_back(name, handle);
+    }
+  }
+  std::vector<Result<std::string>> raw =
+      ScatterSame("list_indexes", "{}", /*idempotent=*/true);
+  // name -> (entries, total_bytes) summed across shards.
+  std::map<std::string, std::pair<uint64_t, uint64_t>> occupancy;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Result<api::ListIndexesResponse> parsed =
+        ParseShardBody<api::ListIndexesResponse>(shards_[s]->endpoint(),
+                                                 raw[s]);
+    if (!parsed.ok()) return parsed.status();
+    for (const auto& info : parsed.value().indexes) {
+      occupancy[info.name].first += info.entries;
+      occupancy[info.name].second += info.total_bytes;
+    }
+  }
+  api::ListIndexesResponse response;
+  response.indexes.reserve(pinned.size());
+  for (const auto& [name, handle] : pinned) {
+    api::ListIndexesResponse::IndexInfo info;
+    info.name = name;
+    info.variant = VariantName(handle->spec);
+    info.streaming = handle->streaming;
+    info.shards = shards_.size();
+    const auto it = occupancy.find(name);
+    if (it != occupancy.end()) {
+      info.entries = it->second.first;
+      info.total_bytes = it->second.second;
+    }
+    response.indexes.push_back(std::move(info));
+  }
+  return response;
+}
+
+Result<api::DropIndexResponse> Coordinator::DropIndex(
+    const api::DropIndexRequest& request) {
+  std::shared_ptr<DistHandle> handle;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = handles_.find(request.index);
+    if (it == handles_.end()) {
+      return Status::NotFound("index '" + request.index + "' not found");
+    }
+    if (it->second->building) {
+      return Status::InvalidArgument("index '" + request.index +
+                                     "' is still being created");
+    }
+    handle = it->second;
+    handles_.erase(it);
+  }
+  // Wait out in-flight operations on the handle before tearing the
+  // shard-side state down under them.
+  std::lock_guard<std::mutex> op_lock(handle->op_mutex);
+  api::DropIndexRequest shard_drop;
+  shard_drop.index = request.index;
+  std::vector<std::optional<std::string>> params(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (handle->has_index[s]) params[s] = shard_drop.ToJsonString();
+  }
+  std::vector<Result<std::string>> raw =
+      Scatter("drop_index", params, /*idempotent=*/false);
+
+  api::DropIndexResponse response;
+  response.index = request.index;
+  response.dropped = true;
+  response.streaming = handle->streaming;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!params[s].has_value()) continue;
+    Result<api::DropIndexResponse> parsed =
+        ParseShardBody<api::DropIndexResponse>(shards_[s]->endpoint(),
+                                               raw[s]);
+    if (!parsed.ok()) {
+      // The name is already unregistered here; a shard that missed the
+      // drop frees its replica when it next restarts from a clean root
+      // or when the operator re-issues the drop directly.
+      if (parsed.status().code() == StatusCode::kUnavailable) {
+        return Status::Unavailable(parsed.status().message() +
+                                   "; the index was dropped on the "
+                                   "surviving shards");
+      }
+      return parsed.status();
+    }
+    response.entries += parsed.value().entries;
+    response.reclaimed_bytes += parsed.value().reclaimed_bytes;
+  }
+  if (query_cache_ != nullptr) query_cache_->InvalidateIndex(request.index);
+  return response;
+}
+
+// ------------------------------------------------------------- dispatch
+
+Result<std::string> Coordinator::Dispatch(const HttpRequestInfo& request) {
+  // Admission first, exactly like api::Service::Dispatch: a throttled
+  // client pays for nothing past the token bucket.
+  if (quota_ != nullptr) {
+    COCONUT_RETURN_NOT_OK(quota_->Admit(request.client_token));
+  }
+  const std::string& method = request.method;
+  if (method == "ingest_batch_bin") {
+    if (request.content_type != kBinaryIngestContentType) {
+      return Status::InvalidArgument(
+          "ingest_batch_bin requires Content-Type " +
+          std::string(kBinaryIngestContentType) + " (got '" +
+          request.content_type + "')");
+    }
+    COCONUT_ASSIGN_OR_RETURN(const api::IngestBatchRequest decoded,
+                             DecodeIngestFrame(request.body));
+    COCONUT_ASSIGN_OR_RETURN(const api::IngestBatchReport report,
+                             IngestBatch(decoded));
+    return report.ToJsonString();
+  }
+  COCONUT_ASSIGN_OR_RETURN(
+      const JsonValue params,
+      JsonParse(request.body.empty() ? std::string_view("{}")
+                                     : std::string_view(request.body)));
+  if (method == "register_dataset") {
+    COCONUT_ASSIGN_OR_RETURN(const api::RegisterDatasetRequest typed,
+                             api::RegisterDatasetRequest::FromJson(params));
+    COCONUT_ASSIGN_OR_RETURN(const api::RegisterDatasetResponse out,
+                             RegisterDataset(typed));
+    return out.ToJsonString();
+  }
+  if (method == "build_index") {
+    COCONUT_ASSIGN_OR_RETURN(const api::BuildIndexRequest typed,
+                             api::BuildIndexRequest::FromJson(params));
+    COCONUT_ASSIGN_OR_RETURN(const api::BuildIndexReport out,
+                             BuildIndex(typed));
+    return out.ToJsonString();
+  }
+  if (method == "create_stream") {
+    COCONUT_ASSIGN_OR_RETURN(const api::CreateStreamRequest typed,
+                             api::CreateStreamRequest::FromJson(params));
+    COCONUT_ASSIGN_OR_RETURN(const api::CreateStreamResponse out,
+                             CreateStream(typed));
+    return out.ToJsonString();
+  }
+  if (method == "ingest_batch") {
+    COCONUT_ASSIGN_OR_RETURN(const api::IngestBatchRequest typed,
+                             api::IngestBatchRequest::FromJson(params));
+    COCONUT_ASSIGN_OR_RETURN(const api::IngestBatchReport out,
+                             IngestBatch(typed));
+    return out.ToJsonString();
+  }
+  if (method == "drain_stream") {
+    COCONUT_ASSIGN_OR_RETURN(const api::DrainStreamRequest typed,
+                             api::DrainStreamRequest::FromJson(params));
+    COCONUT_ASSIGN_OR_RETURN(const api::DrainStreamReport out,
+                             DrainStream(typed));
+    return out.ToJsonString();
+  }
+  if (method == "query") {
+    COCONUT_ASSIGN_OR_RETURN(const api::QueryRequest typed,
+                             api::QueryRequest::FromJson(params));
+    COCONUT_ASSIGN_OR_RETURN(const api::QueryReport out, Query(typed));
+    return out.ToJsonString();
+  }
+  if (method == "query_batch") {
+    COCONUT_ASSIGN_OR_RETURN(const api::QueryBatchRequest typed,
+                             api::QueryBatchRequest::FromJson(params));
+    return QueryBatch(typed).ToJsonString();
+  }
+  if (method == "recommend") {
+    COCONUT_ASSIGN_OR_RETURN(const api::RecommendRequest typed,
+                             api::RecommendRequest::FromJson(params));
+    return Recommend(typed.scenario).ToJsonString();
+  }
+  if (method == "list_indexes") {
+    if (!params.is_object() || !params.object().empty()) {
+      return Status::InvalidArgument("list_indexes takes no parameters");
+    }
+    COCONUT_ASSIGN_OR_RETURN(const api::ListIndexesResponse out,
+                             ListIndexes());
+    return out.ToJsonString();
+  }
+  if (method == "drop_index") {
+    COCONUT_ASSIGN_OR_RETURN(const api::DropIndexRequest typed,
+                             api::DropIndexRequest::FromJson(params));
+    COCONUT_ASSIGN_OR_RETURN(const api::DropIndexResponse out,
+                             DropIndex(typed));
+    return out.ToJsonString();
+  }
+  if (method == "drop_dataset") {
+    COCONUT_ASSIGN_OR_RETURN(const api::DropDatasetRequest typed,
+                             api::DropDatasetRequest::FromJson(params));
+    COCONUT_ASSIGN_OR_RETURN(const api::DropDatasetResponse out,
+                             DropDataset(typed));
+    return out.ToJsonString();
+  }
+  if (method == "server_stats") {
+    if (!params.is_object() || !params.object().empty()) {
+      return Status::InvalidArgument("server_stats takes no parameters");
+    }
+    return ServerStats().ToJsonString();
+  }
+  std::string known;
+  for (const char* name : kCoordinatorMethods) {
+    if (!known.empty()) known += ", ";
+    known += name;
+  }
+  return Status::NotFound("unknown method '" + method +
+                          "' (known methods: " + known + ")");
+}
+
+}  // namespace dist
+}  // namespace palm
+}  // namespace coconut

@@ -1,0 +1,29 @@
+#include "dist/service_endpoint.h"
+
+#include "dist/binary_codec.h"
+
+namespace coconut {
+namespace palm {
+namespace dist {
+
+Result<std::string> ServiceEndpoint::Dispatch(const HttpRequestInfo& request) {
+  if (request.method == "ingest_batch_bin") {
+    if (request.content_type != kBinaryIngestContentType) {
+      return Status::InvalidArgument(
+          "ingest_batch_bin requires Content-Type " +
+          std::string(kBinaryIngestContentType) + " (got '" +
+          request.content_type + "')");
+    }
+    COCONUT_ASSIGN_OR_RETURN(const api::IngestBatchRequest decoded,
+                             DecodeIngestFrame(request.body));
+    COCONUT_ASSIGN_OR_RETURN(const api::IngestBatchReport report,
+                             service_->IngestBatch(decoded));
+    return report.ToJsonString();
+  }
+  return service_->Dispatch(request.method, request.body,
+                            request.client_token);
+}
+
+}  // namespace dist
+}  // namespace palm
+}  // namespace coconut

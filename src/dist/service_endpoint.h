@@ -1,0 +1,37 @@
+#ifndef COCONUT_DIST_SERVICE_ENDPOINT_H_
+#define COCONUT_DIST_SERVICE_ENDPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "palm/api.h"
+#include "palm/http_server.h"
+
+namespace coconut {
+namespace palm {
+namespace dist {
+
+/// The shard-server dispatcher: every JSON method of api::Service plus
+/// the binary bulk-ingest endpoint (POST /api/v1/ingest_batch_bin,
+/// negotiated by Content-Type — see binary_codec.h). This is what
+/// palm_shardd serves; a shard is a complete single-process Palm service
+/// that happens to hold one key range of a distributed deployment.
+///
+/// The binary path bypasses the service's quota enforcer (it goes through
+/// the typed IngestBatch, not Dispatch): shard servers sit behind the
+/// coordinator, which enforces quotas at the front door.
+class ServiceEndpoint : public HttpDispatcher {
+ public:
+  explicit ServiceEndpoint(api::Service* service) : service_(service) {}
+
+  Result<std::string> Dispatch(const HttpRequestInfo& request) override;
+
+ private:
+  api::Service* service_;
+};
+
+}  // namespace dist
+}  // namespace palm
+}  // namespace coconut
+
+#endif  // COCONUT_DIST_SERVICE_ENDPOINT_H_

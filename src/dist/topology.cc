@@ -1,0 +1,99 @@
+#include "dist/topology.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace coconut {
+namespace palm {
+namespace dist {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+Status EntryError(const std::string& entry, const char* why) {
+  return Status::InvalidArgument("topology entry '" + entry + "': " + why);
+}
+
+}  // namespace
+
+std::string ShardEndpoint::ToString() const {
+  return host + ":" + std::to_string(port);
+}
+
+Result<std::vector<ShardEndpoint>> ParseTopology(const std::string& text) {
+  std::vector<ShardEndpoint> shards;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t sep = text.find_first_of(",\n", pos);
+    if (sep == std::string::npos) sep = text.size();
+    std::string entry = text.substr(pos, sep - pos);
+    pos = sep + 1;
+    if (const size_t hash = entry.find('#'); hash != std::string::npos) {
+      entry.resize(hash);
+    }
+    entry = Trim(entry);
+    if (entry.empty()) continue;
+    const size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == entry.size()) {
+      return EntryError(entry, "expected HOST:PORT");
+    }
+    ShardEndpoint endpoint;
+    endpoint.host = Trim(entry.substr(0, colon));
+    const std::string port_text = Trim(entry.substr(colon + 1));
+    char* end = nullptr;
+    errno = 0;
+    const long port = std::strtol(port_text.c_str(), &end, 10);
+    if (errno != 0 || end != port_text.c_str() + port_text.size() ||
+        port < 1 || port > 65535) {
+      return EntryError(entry, "port must be an integer in [1, 65535]");
+    }
+    endpoint.port = static_cast<uint16_t>(port);
+    shards.push_back(std::move(endpoint));
+  }
+  if (shards.empty()) {
+    return Status::InvalidArgument(
+        "topology lists no shards (expected HOST:PORT entries separated by "
+        "commas or newlines)");
+  }
+  return shards;
+}
+
+Result<std::vector<ShardEndpoint>> LoadTopologyFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("open topology file " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string text;
+  char chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    text.append(chunk, n);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Status::IoError("read topology file " + path);
+  }
+  return ParseTopology(text);
+}
+
+}  // namespace dist
+}  // namespace palm
+}  // namespace coconut

@@ -1,0 +1,41 @@
+#ifndef COCONUT_DIST_TOPOLOGY_H_
+#define COCONUT_DIST_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace coconut {
+namespace palm {
+namespace dist {
+
+/// One shard server's address.
+struct ShardEndpoint {
+  std::string host;
+  uint16_t port = 0;
+
+  std::string ToString() const;
+
+  bool operator==(const ShardEndpoint& other) const {
+    return host == other.host && port == other.port;
+  }
+};
+
+/// Parses a shard topology: "host:port" entries separated by commas and/or
+/// newlines. '#' starts a comment that runs to end of line; blank entries
+/// are ignored. Entry i of the list owns key range i of the invSAX split
+/// (shard_route.h), so the order IS the topology — it must stay stable
+/// across coordinator restarts for the same shard data. Malformed entries
+/// fail with InvalidArgument naming the entry.
+Result<std::vector<ShardEndpoint>> ParseTopology(const std::string& text);
+
+/// Reads `path` and parses it with ParseTopology.
+Result<std::vector<ShardEndpoint>> LoadTopologyFile(const std::string& path);
+
+}  // namespace dist
+}  // namespace palm
+}  // namespace coconut
+
+#endif  // COCONUT_DIST_TOPOLOGY_H_

@@ -44,6 +44,8 @@ const char* StatusCodeToApiCode(StatusCode code) {
       return "unauthenticated";
     case StatusCode::kDataLoss:
       return "data_loss";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "internal";
 }
@@ -65,6 +67,8 @@ int StatusCodeToHttpStatus(StatusCode code) {
       return 501;
     case StatusCode::kUnauthenticated:
       return 401;
+    case StatusCode::kUnavailable:
+      return 503;
     case StatusCode::kIoError:
     case StatusCode::kInternal:
     case StatusCode::kDataLoss:
@@ -124,7 +128,7 @@ constexpr int64_t kMaxWireSmallInt = 1024;  // growth_factor, btp_merge_k
 constexpr uint64_t kMaxWireInflightSeals = 1u << 16;
 
 int ApiCodeToHttpStatus(const std::string& code) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kDataLoss); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
     const StatusCode sc = static_cast<StatusCode>(c);
     if (code == StatusCodeToApiCode(sc)) return StatusCodeToHttpStatus(sc);
   }
@@ -1314,7 +1318,7 @@ Result<QueryReport> QueryReport::FromJson(const JsonValue& value) {
       value, kWhat,
       {"index", "exact", "found", "series_id", "distance", "timestamp",
        "seconds", "io", "counters", "access_locality", "heatmap",
-       "batch_size"}));
+       "batch_size", "degraded"}));
   QueryReport report;
   COCONUT_ASSIGN_OR_RETURN(report.index, ReqString(value, "index", kWhat));
   COCONUT_ASSIGN_OR_RETURN(report.exact, ReqBool(value, "exact", kWhat));
@@ -1343,6 +1347,7 @@ Result<QueryReport> QueryReport::FromJson(const JsonValue& value) {
   }
   COCONUT_RETURN_NOT_OK(OptUint(value, "batch_size", kWhat,
                                 &report.batch_size));
+  COCONUT_RETURN_NOT_OK(OptBool(value, "degraded", kWhat, &report.degraded));
   return report;
 }
 
@@ -1369,6 +1374,9 @@ void QueryReport::ToJson(JsonWriter* w) const {
   // Only batched-scan reports carry the marker; single-query JSON stays
   // byte-identical to the pre-batching shape.
   if (batch_size > 1) w->Field("batch_size", batch_size);
+  // Only degraded coordinator answers carry the marker (same wire-additive
+  // discipline as batch_size).
+  if (degraded) w->Field("degraded", degraded);
   w->EndObject();
 }
 
@@ -1739,7 +1747,8 @@ Result<ServerStatsResponse> ServerStatsResponse::FromJson(
     const JsonValue& value) {
   static constexpr const char* kWhat = "server_stats response";
   COCONUT_RETURN_NOT_OK(ExpectObject(value, kWhat));
-  COCONUT_RETURN_NOT_OK(RejectUnknown(value, kWhat, {"cache", "quota"}));
+  COCONUT_RETURN_NOT_OK(
+      RejectUnknown(value, kWhat, {"cache", "quota", "shards"}));
   ServerStatsResponse response;
   const JsonValue* cache = value.Find("cache");
   if (cache == nullptr) {
@@ -1749,7 +1758,8 @@ Result<ServerStatsResponse> ServerStatsResponse::FromJson(
   COCONUT_RETURN_NOT_OK(RejectUnknown(
       *cache, "server_stats cache",
       {"enabled", "entries", "bytes", "hits", "misses", "inserts",
-       "evictions", "stale_drops", "invalidations"}));
+       "evictions", "stale_drops", "invalidations", "negative_enabled",
+       "negative_hits", "negative_inserts"}));
   COCONUT_ASSIGN_OR_RETURN(response.cache_enabled,
                            ReqBool(*cache, "enabled", kWhat));
   COCONUT_ASSIGN_OR_RETURN(response.cache_entries,
@@ -1768,6 +1778,12 @@ Result<ServerStatsResponse> ServerStatsResponse::FromJson(
                            ReqUint(*cache, "stale_drops", kWhat));
   COCONUT_ASSIGN_OR_RETURN(response.cache_invalidations,
                            ReqUint(*cache, "invalidations", kWhat));
+  COCONUT_RETURN_NOT_OK(OptBool(*cache, "negative_enabled", kWhat,
+                                &response.cache_negative_enabled));
+  COCONUT_RETURN_NOT_OK(OptUint(*cache, "negative_hits", kWhat,
+                                &response.cache_negative_hits));
+  COCONUT_RETURN_NOT_OK(OptUint(*cache, "negative_inserts", kWhat,
+                                &response.cache_negative_inserts));
   const JsonValue* quota = value.Find("quota");
   if (quota == nullptr) {
     return FieldError(kWhat, "quota", "is required");
@@ -1784,6 +1800,32 @@ Result<ServerStatsResponse> ServerStatsResponse::FromJson(
                            ReqUint(*quota, "throttled", kWhat));
   COCONUT_ASSIGN_OR_RETURN(response.quota_unauthenticated,
                            ReqUint(*quota, "unauthenticated", kWhat));
+  if (const JsonValue* shards = value.Find("shards"); shards != nullptr) {
+    if (!shards->is_array() || shards->is_packed_array()) {
+      return FieldError(kWhat, "shards", "must be an array of objects");
+    }
+    for (const JsonValue& entry : shards->array()) {
+      static constexpr const char* kShardWhat = "server_stats shard";
+      COCONUT_RETURN_NOT_OK(ExpectObject(entry, kShardWhat));
+      COCONUT_RETURN_NOT_OK(RejectUnknown(
+          entry, kShardWhat,
+          {"endpoint", "healthy", "requests", "failures",
+           "consecutive_failures"}));
+      ShardHealth health;
+      COCONUT_ASSIGN_OR_RETURN(health.endpoint,
+                               ReqString(entry, "endpoint", kShardWhat));
+      COCONUT_ASSIGN_OR_RETURN(health.healthy,
+                               ReqBool(entry, "healthy", kShardWhat));
+      COCONUT_ASSIGN_OR_RETURN(health.requests,
+                               ReqUint(entry, "requests", kShardWhat));
+      COCONUT_ASSIGN_OR_RETURN(health.failures,
+                               ReqUint(entry, "failures", kShardWhat));
+      COCONUT_ASSIGN_OR_RETURN(
+          health.consecutive_failures,
+          ReqUint(entry, "consecutive_failures", kShardWhat));
+      response.shards.push_back(std::move(health));
+    }
+  }
   return response;
 }
 
@@ -1800,6 +1842,13 @@ void ServerStatsResponse::ToJson(JsonWriter* w) const {
   w->Field("evictions", cache_evictions);
   w->Field("stale_drops", cache_stale_drops);
   w->Field("invalidations", cache_invalidations);
+  // Wire-additive: only servers with negative caching on emit the
+  // negative_* fields, so legacy responses stay byte-identical.
+  if (cache_negative_enabled) {
+    w->Field("negative_enabled", cache_negative_enabled);
+    w->Field("negative_hits", cache_negative_hits);
+    w->Field("negative_inserts", cache_negative_inserts);
+  }
   w->EndObject();
   w->Key("quota");
   w->BeginObject();
@@ -1808,6 +1857,21 @@ void ServerStatsResponse::ToJson(JsonWriter* w) const {
   w->Field("throttled", quota_throttled);
   w->Field("unauthenticated", quota_unauthenticated);
   w->EndObject();
+  // Wire-additive: only a distributed coordinator has shards to report.
+  if (!shards.empty()) {
+    w->Key("shards");
+    w->BeginArray();
+    for (const ShardHealth& shard : shards) {
+      w->BeginObject();
+      w->Field("endpoint", shard.endpoint);
+      w->Field("healthy", shard.healthy);
+      w->Field("requests", shard.requests);
+      w->Field("failures", shard.failures);
+      w->Field("consecutive_failures", shard.consecutive_failures);
+      w->EndObject();
+    }
+    w->EndArray();
+  }
   w->EndObject();
 }
 
@@ -1855,6 +1919,9 @@ ServerStatsResponse Service::ServerStats() const {
     response.cache_evictions = cache.evictions;
     response.cache_stale_drops = cache.stale_drops;
     response.cache_invalidations = cache.invalidations;
+    response.cache_negative_enabled = query_cache_->negative_caching_enabled();
+    response.cache_negative_hits = cache.negative_hits;
+    response.cache_negative_inserts = cache.negative_inserts;
   }
   if (quota_ != nullptr) {
     const QuotaStats quota = quota_->Snapshot();

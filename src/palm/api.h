@@ -271,6 +271,11 @@ struct QueryReport {
   /// delta (the scan is shared, so per-query attribution is undefined).
   /// Serialized only when >1 so legacy outputs stay byte-identical.
   uint64_t batch_size = 1;
+  /// True when a distributed coordinator answered from the surviving
+  /// shards only (degraded reads enabled, >=1 shard unavailable): the
+  /// result covers a subset of the key space. Serialized only when true
+  /// so legacy outputs stay byte-identical.
+  bool degraded = false;
 
   static Result<QueryReport> FromJson(const JsonValue& value);
   void ToJson(JsonWriter* writer) const;
@@ -402,10 +407,28 @@ struct ServerStatsResponse {
   uint64_t cache_evictions = 0;
   uint64_t cache_stale_drops = 0;
   uint64_t cache_invalidations = 0;
+  /// Negative-result caching (not-found exact answers). The flag rides in
+  /// the cache object; the counters are serialized only when the feature
+  /// is on so legacy outputs stay byte-identical.
+  bool cache_negative_enabled = false;
+  uint64_t cache_negative_hits = 0;
+  uint64_t cache_negative_inserts = 0;
   bool quota_enabled = false;
   uint64_t quota_admitted = 0;
   uint64_t quota_throttled = 0;
   uint64_t quota_unauthenticated = 0;
+
+  /// Per-shard health as seen by a distributed coordinator. Empty for
+  /// plain services; serialized (as "shards":[...]) only when non-empty
+  /// so plain server_stats responses stay byte-identical.
+  struct ShardHealth {
+    std::string endpoint;
+    bool healthy = true;
+    uint64_t requests = 0;
+    uint64_t failures = 0;
+    uint64_t consecutive_failures = 0;
+  };
+  std::vector<ShardHealth> shards;
 
   static Result<ServerStatsResponse> FromJson(const JsonValue& value);
   void ToJson(JsonWriter* writer) const;

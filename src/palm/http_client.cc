@@ -1,13 +1,16 @@
 #include "palm/http_client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
@@ -25,8 +28,9 @@ std::string ToLower(std::string s) {
 
 }  // namespace
 
-BlockingHttpClient::BlockingHttpClient(std::string host, uint16_t port)
-    : host_(std::move(host)), port_(port) {}
+BlockingHttpClient::BlockingHttpClient(std::string host, uint16_t port,
+                                       BlockingHttpClientOptions options)
+    : host_(std::move(host)), port_(port), client_options_(options) {}
 
 BlockingHttpClient::~BlockingHttpClient() { Close(); }
 
@@ -36,6 +40,31 @@ void BlockingHttpClient::Close() {
     fd_ = -1;
   }
   buffer_.clear();
+}
+
+int BlockingHttpClient::RemainingMs() const {
+  if (!deadline_armed_) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline_ - std::chrono::steady_clock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+Status BlockingHttpClient::ArmSocketDeadline(int optname) {
+  const int remaining = RemainingMs();
+  if (remaining < 0) return Status::OK();
+  if (remaining == 0) {
+    return Status::Unavailable("request to " + host_ + ":" +
+                               std::to_string(port_) + " timed out after " +
+                               std::to_string(
+                                   client_options_.request_timeout_ms) +
+                               "ms");
+  }
+  timeval tv{};
+  tv.tv_sec = remaining / 1000;
+  tv.tv_usec = (remaining % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, optname, &tv, sizeof(tv));
+  return Status::OK();
 }
 
 Status BlockingHttpClient::EnsureConnected() {
@@ -54,22 +83,70 @@ Status BlockingHttpClient::EnsureConnected() {
     Close();
     return Status::InvalidArgument("not an IPv4 address: " + host_);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string message = std::strerror(errno);
-    Close();
-    return Status::IoError("connect " + host_ + ":" +
-                           std::to_string(port_) + ": " + message);
+  const std::string endpoint = host_ + ":" + std::to_string(port_);
+  if (client_options_.connect_timeout_ms <= 0) {
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      const std::string message = std::strerror(errno);
+      Close();
+      return Status::IoError("connect " + endpoint + ": " + message);
+    }
+    return Status::OK();
   }
+  // Bounded connect: non-blocking connect, poll for writability, then
+  // read SO_ERROR for the real outcome and restore blocking mode.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      const std::string message = std::strerror(errno);
+      Close();
+      return Status::Unavailable("connect " + endpoint + ": " + message);
+    }
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLOUT;
+    int poll_rc;
+    do {
+      poll_rc = ::poll(&pfd, 1, client_options_.connect_timeout_ms);
+    } while (poll_rc < 0 && errno == EINTR);
+    if (poll_rc == 0) {
+      Close();
+      return Status::Unavailable(
+          "connect " + endpoint + " timed out after " +
+          std::to_string(client_options_.connect_timeout_ms) + "ms");
+    }
+    if (poll_rc < 0) {
+      const std::string message = std::strerror(errno);
+      Close();
+      return Status::IoError("poll(connect " + endpoint + "): " + message);
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    if (so_error != 0) {
+      Close();
+      return Status::Unavailable("connect " + endpoint + ": " +
+                                 std::strerror(so_error));
+    }
+  }
+  ::fcntl(fd_, F_SETFL, flags);
   return Status::OK();
 }
 
 Status BlockingHttpClient::SendAll(const std::string& data) {
   size_t sent = 0;
   while (sent < data.size()) {
+    COCONUT_RETURN_NOT_OK(ArmSocketDeadline(SO_SNDTIMEO));
     const ssize_t n =
         ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // EAGAIN = the per-send deadline expired; loop so ArmSocketDeadline
+      // converts an exhausted budget into the structured timeout status.
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) && deadline_armed_) {
+        continue;
+      }
       return Status::IoError("send: " + std::string(std::strerror(errno)));
     }
     sent += static_cast<size_t>(n);
@@ -80,6 +157,7 @@ Status BlockingHttpClient::SendAll(const std::string& data) {
 Result<HttpClientResponse> BlockingHttpClient::ReadResponse() {
   size_t header_end;
   while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    COCONUT_RETURN_NOT_OK(ArmSocketDeadline(SO_RCVTIMEO));
     char chunk[8192];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n > 0) {
@@ -87,6 +165,10 @@ Result<HttpClientResponse> BlockingHttpClient::ReadResponse() {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+        deadline_armed_) {
+      continue;  // deadline re-checked by ArmSocketDeadline above
+    }
     return Status::IoError(n == 0 ? "connection closed mid-response"
                                   : "recv: " +
                                         std::string(std::strerror(errno)));
@@ -124,6 +206,7 @@ Result<HttpClientResponse> BlockingHttpClient::ReadResponse() {
   buffer_.erase(0, header_end + 4);
 
   while (buffer_.size() < content_length) {
+    COCONUT_RETURN_NOT_OK(ArmSocketDeadline(SO_RCVTIMEO));
     char chunk[8192];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n > 0) {
@@ -131,6 +214,10 @@ Result<HttpClientResponse> BlockingHttpClient::ReadResponse() {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+        deadline_armed_) {
+      continue;  // deadline re-checked by ArmSocketDeadline above
+    }
     return Status::IoError(n == 0 ? "connection closed mid-body"
                                   : "recv: " +
                                         std::string(std::strerror(errno)));
@@ -144,6 +231,11 @@ Result<HttpClientResponse> BlockingHttpClient::ReadResponse() {
 Result<HttpClientResponse> BlockingHttpClient::Post(
     const std::string& target, const std::string& body,
     const std::vector<std::pair<std::string, std::string>>& headers) {
+  if (client_options_.request_timeout_ms > 0) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(client_options_.request_timeout_ms);
+    deadline_armed_ = true;
+  }
   const bool was_connected = fd_ >= 0;
   COCONUT_RETURN_NOT_OK(EnsureConnected());
   std::string request = "POST " + target + " HTTP/1.1\r\n";
@@ -158,15 +250,22 @@ Result<HttpClientResponse> BlockingHttpClient::Post(
   Status sent = SendAll(request);
   Result<HttpClientResponse> response =
       sent.ok() ? ReadResponse() : Result<HttpClientResponse>(sent);
-  if (!response.ok() && was_connected) {
+  if (!response.ok() && was_connected &&
+      response.status().code() != StatusCode::kUnavailable) {
     // The keep-alive connection likely idled out between requests; one
     // reconnect-and-retry is safe because the request never started
-    // processing on a dead socket.
+    // processing on a dead socket. A deadline expiry (kUnavailable) is
+    // deliberately NOT retried: the server may be mid-request, and a
+    // blind resend could double-apply a non-idempotent call.
     Close();
-    COCONUT_RETURN_NOT_OK(EnsureConnected());
-    COCONUT_RETURN_NOT_OK(SendAll(request));
-    return ReadResponse();
+    const auto retry = [&]() -> Result<HttpClientResponse> {
+      COCONUT_RETURN_NOT_OK(EnsureConnected());
+      COCONUT_RETURN_NOT_OK(SendAll(request));
+      return ReadResponse();
+    };
+    response = retry();
   }
+  deadline_armed_ = false;
   return response;
 }
 

@@ -1,6 +1,7 @@
 #ifndef COCONUT_PALM_HTTP_CLIENT_H_
 #define COCONUT_PALM_HTTP_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -20,6 +21,18 @@ struct HttpClientResponse {
   bool connection_close = false;
 };
 
+struct BlockingHttpClientOptions {
+  /// Bound on establishing the TCP connection; 0 = no bound (blocking
+  /// connect). Expiry surfaces as StatusCode::kUnavailable.
+  int connect_timeout_ms = 0;
+  /// Bound on one whole Post() round trip (send + response), measured
+  /// from the call; 0 = no bound. Expiry surfaces as
+  /// StatusCode::kUnavailable with a "timed out" message, and is never
+  /// retried internally — the server may still be processing the
+  /// request, so blind resends are the caller's decision.
+  int request_timeout_ms = 0;
+};
+
 /// Minimal blocking HTTP/1.1 client over one keep-alive connection —
 /// just enough wire for talking to palm::HttpServer from the load
 /// generator and the front-door tests. Not thread-safe: one instance per
@@ -28,7 +41,8 @@ struct HttpClientResponse {
 /// mid-response surfaces as an error.
 class BlockingHttpClient {
  public:
-  BlockingHttpClient(std::string host, uint16_t port);
+  BlockingHttpClient(std::string host, uint16_t port,
+                     BlockingHttpClientOptions options = {});
   ~BlockingHttpClient();
 
   BlockingHttpClient(const BlockingHttpClient&) = delete;
@@ -47,9 +61,20 @@ class BlockingHttpClient {
   Status EnsureConnected();
   Status SendAll(const std::string& data);
   Result<HttpClientResponse> ReadResponse();
+  /// Remaining budget before deadline_, or -1 when no deadline is armed.
+  /// 0 means expired.
+  int RemainingMs() const;
+  /// Arms SO_RCVTIMEO/SO_SNDTIMEO to the remaining budget (no-op without
+  /// a deadline); returns Unavailable once the budget is spent.
+  Status ArmSocketDeadline(int optname);
 
   std::string host_;
   uint16_t port_;
+  BlockingHttpClientOptions client_options_;
+  /// Absolute deadline for the in-flight Post (valid when
+  /// request_timeout_ms > 0).
+  std::chrono::steady_clock::time_point deadline_{};
+  bool deadline_armed_ = false;
   int fd_ = -1;
   /// Bytes received past the previous response (keep-alive pipelining
   /// slack) — consumed before touching the socket again.

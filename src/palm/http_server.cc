@@ -73,6 +73,8 @@ const char* ReasonPhrase(int status) {
       return "Request Header Fields Too Large";
     case 501:
       return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
     case 505:
       return "HTTP Version Not Supported";
     default:
@@ -87,6 +89,9 @@ struct ParsedRequest {
   std::string target;
   bool keep_alive = true;
   std::string body;
+  /// Content-Type header value, lowercased, parameters stripped after
+  /// ';'. Empty when absent (JSON assumed).
+  std::string content_type;
   /// Credential from the Authorization header ("Bearer <x>" -> "<x>";
   /// other schemes pass through whole). Empty = anonymous.
   std::string client_token;
@@ -159,6 +164,24 @@ std::string JsonError(const Status& status) {
   return api::ApiError::FromStatus(status).ToJsonString();
 }
 
+/// The canonical dispatcher: bodies straight into the typed service. The
+/// Content-Type is deliberately ignored (curl -d sends form-urlencoded;
+/// the body was always treated as JSON) — binary framings are negotiated
+/// only by the distributed endpoints, which implement HttpDispatcher
+/// themselves.
+class ServiceDispatcher : public HttpDispatcher {
+ public:
+  explicit ServiceDispatcher(api::Service* service) : service_(service) {}
+
+  Result<std::string> Dispatch(const HttpRequestInfo& request) override {
+    return service_->Dispatch(request.method, request.body,
+                              request.client_token);
+  }
+
+ private:
+  api::Service* service_;
+};
+
 }  // namespace
 
 Result<std::unique_ptr<HttpServer>> HttpServer::Start(
@@ -166,7 +189,19 @@ Result<std::unique_ptr<HttpServer>> HttpServer::Start(
   if (service == nullptr) {
     return Status::InvalidArgument("HttpServer needs a service");
   }
-  std::unique_ptr<HttpServer> server(new HttpServer(service, options));
+  auto adapter = std::make_unique<ServiceDispatcher>(service);
+  COCONUT_ASSIGN_OR_RETURN(std::unique_ptr<HttpServer> server,
+                           Start(adapter.get(), options));
+  server->owned_dispatcher_ = std::move(adapter);
+  return server;
+}
+
+Result<std::unique_ptr<HttpServer>> HttpServer::Start(
+    HttpDispatcher* dispatcher, const HttpServerOptions& options) {
+  if (dispatcher == nullptr) {
+    return Status::InvalidArgument("HttpServer needs a dispatcher");
+  }
+  std::unique_ptr<HttpServer> server(new HttpServer(dispatcher, options));
   COCONUT_RETURN_NOT_OK(server->Listen());
   server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   const size_t threads = options.threads == 0 ? 1 : options.threads;
@@ -421,6 +456,16 @@ void HttpServer::HandleConnection(int fd) {
                         false);
           ::close(fd);
           return;
+        } else if (name == "content-type") {
+          std::string media = ToLower(value);
+          if (const size_t semi = media.find(';'); semi != std::string::npos) {
+            media.resize(semi);
+          }
+          while (!media.empty() && (media.back() == ' ' ||
+                                    media.back() == '\t')) {
+            media.pop_back();
+          }
+          request.content_type = media;
         } else if (name == "authorization") {
           const std::string lowered = ToLower(value);
           if (lowered.rfind("bearer ", 0) == 0) {
@@ -549,8 +594,12 @@ void HttpServer::HandleConnection(int fd) {
         Result<std::string> dispatched =
             Status::Internal("dispatch did not run");
         try {
-          dispatched = service_->Dispatch(method_name, request.body,
-                                          request.client_token);
+          HttpRequestInfo info;
+          info.method = method_name;
+          info.body = std::move(request.body);
+          info.content_type = request.content_type;
+          info.client_token = request.client_token;
+          dispatched = dispatcher_->Dispatch(info);
         } catch (const std::exception& e) {
           dispatched = Status::Internal(std::string("unhandled exception: ") +
                                         e.what());

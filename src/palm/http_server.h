@@ -17,6 +17,29 @@
 namespace coconut {
 namespace palm {
 
+/// One API request as seen by the transport: the /api/v1/<method> suffix,
+/// the raw body bytes, the Content-Type the client declared (empty when
+/// absent — treated as JSON), and the bearer credential.
+struct HttpRequestInfo {
+  std::string method;
+  std::string body;
+  std::string content_type;
+  std::string client_token;
+};
+
+/// Seam between the HTTP transport and whatever answers API calls. The
+/// canonical implementation forwards to api::Service::Dispatch; the
+/// distributed coordinator and shard endpoints implement it directly so
+/// they can negotiate non-JSON bodies by Content-Type. Implementations
+/// must be thread-safe: every server worker calls Dispatch concurrently.
+/// The returned string is always a JSON response body; failures map to
+/// HTTP codes through api::StatusCodeToHttpStatus.
+class HttpDispatcher {
+ public:
+  virtual ~HttpDispatcher() = default;
+  virtual Result<std::string> Dispatch(const HttpRequestInfo& request) = 0;
+};
+
 struct HttpServerOptions {
   /// Interface to bind; the demo backend is loopback-only by default.
   std::string bind_address = "127.0.0.1";
@@ -57,6 +80,11 @@ class HttpServer {
   static Result<std::unique_ptr<HttpServer>> Start(
       api::Service* service, const HttpServerOptions& options = {});
 
+  /// Same, but serving an arbitrary dispatcher (coordinator, shard
+  /// endpoint). The dispatcher must outlive the server.
+  static Result<std::unique_ptr<HttpServer>> Start(
+      HttpDispatcher* dispatcher, const HttpServerOptions& options = {});
+
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -69,15 +97,18 @@ class HttpServer {
   const std::string& address() const { return options_.bind_address; }
 
  private:
-  HttpServer(api::Service* service, HttpServerOptions options)
-      : service_(service), options_(std::move(options)) {}
+  HttpServer(HttpDispatcher* dispatcher, HttpServerOptions options)
+      : dispatcher_(dispatcher), options_(std::move(options)) {}
 
   Status Listen();
   void AcceptLoop();
   void WorkerLoop();
   void HandleConnection(int fd);
 
-  api::Service* service_;
+  HttpDispatcher* dispatcher_;
+  /// Keeps the Service->HttpDispatcher adapter alive for the
+  /// Start(api::Service*) convenience overload.
+  std::unique_ptr<HttpDispatcher> owned_dispatcher_;
   HttpServerOptions options_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -77,12 +77,16 @@ std::optional<QueryReport> QueryCache::Lookup(const std::string& key,
     return std::nullopt;
   }
   ++stats_.hits;
+  if (!it->second->report.found) ++stats_.negative_hits;
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->report;
 }
 
 void QueryCache::Insert(const std::string& key, const std::string& index,
                         uint64_t version, const QueryReport& report) {
+  // Not-found answers are only cached when the operator opted in; the
+  // positive-path behavior is unchanged either way.
+  if (!report.found && !options_.cache_negative_results) return;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it != map_.end()) EraseLocked(it->second);
@@ -99,6 +103,7 @@ void QueryCache::Insert(const std::string& key, const std::string& index,
   map_.emplace(lru_.front().key, lru_.begin());
   bytes_ += lru_.front().charge;
   ++stats_.inserts;
+  if (!report.found) ++stats_.negative_inserts;
 
   while (lru_.size() > options_.max_entries || bytes_ > options_.max_bytes) {
     ++stats_.evictions;

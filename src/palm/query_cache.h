@@ -19,6 +19,12 @@ namespace api {
 struct QueryCacheOptions {
   size_t max_entries = 4096;
   size_t max_bytes = 64ull << 20;
+  /// Cache not-found exact answers too (a miss on the data is still a
+  /// deterministic answer at a snapshot version). Off by default: a
+  /// negative entry is only as trustworthy as the version stamp, and
+  /// workloads probing absent keys can churn the LRU. Counted separately
+  /// (negative_hits/negative_inserts) so operators can watch the win.
+  bool cache_negative_results = false;
 };
 
 /// Counter snapshot (monotonic since cache creation, except entries/bytes
@@ -33,6 +39,10 @@ struct QueryCacheStats {
   uint64_t stale_drops = 0;
   /// Entries removed because their index was dropped or republished.
   uint64_t invalidations = 0;
+  /// Subset of hits/inserts whose stored report is found=false (only
+  /// nonzero with cache_negative_results on).
+  uint64_t negative_hits = 0;
+  uint64_t negative_inserts = 0;
   uint64_t entries = 0;
   uint64_t bytes = 0;
 };
@@ -77,6 +87,11 @@ class QueryCache {
   void InvalidateIndex(const std::string& index);
 
   QueryCacheStats Snapshot() const;
+
+  /// True when not-found answers are cached (QueryCacheOptions knob).
+  bool negative_caching_enabled() const {
+    return options_.cache_negative_results;
+  }
 
  private:
   struct Entry {

@@ -1,8 +1,13 @@
 #include "palm/quota.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace coconut {
 namespace palm {
@@ -16,7 +21,115 @@ double SteadySeconds() {
       .count();
 }
 
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+Status LineError(const std::string& where, size_t line_number,
+                 const std::string& line, const char* why) {
+  return Status::InvalidArgument("quota config " + where + " line " +
+                                 std::to_string(line_number) + ": " + why +
+                                 " in '" + line + "'");
+}
+
+/// Strict non-negative double: the whole string must parse.
+bool ParseRate(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  if (!(value >= 0.0) || !std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
 }  // namespace
+
+Result<QuotaOptions> ParseQuotaConfig(const std::string& text,
+                                      const std::string& where) {
+  QuotaOptions options;
+  size_t line_number = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t newline = text.find('\n', pos);
+    if (newline == std::string::npos) newline = text.size();
+    std::string line = text.substr(pos, newline - pos);
+    pos = newline + 1;
+    ++line_number;
+    if (const size_t hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    line = Trim(line);
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return LineError(where, line_number, line,
+                       "expected TOKEN=RPS[:BURST]");
+    }
+    const std::string token = Trim(line.substr(0, eq));
+    const std::string rest = Trim(line.substr(eq + 1));
+    ClientQuota quota;
+    const size_t colon = rest.find(':');
+    const std::string rps_text =
+        colon == std::string::npos ? rest : Trim(rest.substr(0, colon));
+    if (!ParseRate(rps_text, &quota.requests_per_second)) {
+      return LineError(where, line_number, line,
+                       "RPS must be a non-negative number");
+    }
+    if (colon != std::string::npos) {
+      if (!ParseRate(Trim(rest.substr(colon + 1)), &quota.burst)) {
+        return LineError(where, line_number, line,
+                         "BURST must be a non-negative number");
+      }
+    } else {
+      quota.burst = 2.0 * quota.requests_per_second;
+    }
+    if (token == "*") {
+      if (options.allow_anonymous) {
+        return LineError(where, line_number, line,
+                         "duplicate anonymous ('*') entry");
+      }
+      options.allow_anonymous = true;
+      options.anonymous_quota = quota;
+    } else {
+      if (options.clients.count(token) != 0) {
+        return LineError(where, line_number, line, "duplicate token");
+      }
+      options.clients[token] = quota;
+    }
+  }
+  return options;
+}
+
+Result<QuotaOptions> LoadQuotaFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("open quota file " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string text;
+  char chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    text.append(chunk, n);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Status::IoError("read quota file " + path);
+  }
+  return ParseQuotaConfig(text, path);
+}
 
 QuotaEnforcer::QuotaEnforcer(QuotaOptions options)
     : options_(std::move(options)) {

@@ -39,6 +39,23 @@ struct QuotaOptions {
   std::function<double()> clock_seconds;
 };
 
+/// Parses a quota config. One client per line:
+///
+///   TOKEN=RPS[:BURST]     # burst defaults to 2*RPS
+///   *=RPS[:BURST]         # '*' = the shared anonymous bucket (and turns
+///                         # allow_anonymous on)
+///
+/// Blank lines and lines starting with '#' are ignored; inline trailing
+/// "# ..." comments are stripped. RPS of 0 means unlimited. Malformed
+/// lines fail with InvalidArgument naming the line number; the result on
+/// failure is unspecified. `where` names the source in error messages
+/// (a file path, or "<inline>").
+Result<QuotaOptions> ParseQuotaConfig(const std::string& text,
+                                      const std::string& where);
+
+/// Reads `path` and parses it with ParseQuotaConfig.
+Result<QuotaOptions> LoadQuotaFile(const std::string& path);
+
 /// Counter snapshot (monotonic since enforcer creation).
 struct QuotaStats {
   uint64_t admitted = 0;

@@ -1,0 +1,169 @@
+// Unit tests for the binary bulk-ingest framing (dist/binary_codec.h):
+// bit-exact encode/decode round trips (including non-finite float
+// payloads) and a corruption sweep hitting every decode error path —
+// truncation at each boundary, bad magic, bad version, oversized
+// declared shapes, torn tails, and CRC-detected bit flips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "common/crc32c.h"
+#include "dist/binary_codec.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace palm {
+namespace dist {
+namespace {
+
+api::IngestBatchRequest MakeRequest(size_t count, size_t length,
+                                    uint64_t seed) {
+  api::IngestBatchRequest request;
+  request.stream = "live";
+  request.batch = testutil::RandomWalkCollection(count, length, seed);
+  request.timestamps.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    request.timestamps[i] = static_cast<int64_t>(i * 10) - 5;
+  }
+  return request;
+}
+
+TEST(DistCodecTest, RoundTripIsBitExact) {
+  const api::IngestBatchRequest request = MakeRequest(37, 64, 99);
+  const std::string frame = EncodeIngestFrame(request);
+  auto decoded = DecodeIngestFrame(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+  EXPECT_EQ(decoded.value().stream, "live");
+  ASSERT_EQ(decoded.value().batch.size(), request.batch.size());
+  ASSERT_EQ(decoded.value().batch.length(), request.batch.length());
+  EXPECT_EQ(decoded.value().timestamps, request.timestamps);
+  // Bit-exact, not approximately-equal: the frame carries raw float bit
+  // patterns, so what goes in must come out.
+  EXPECT_EQ(std::memcmp(decoded.value().batch.data().data(),
+                        request.batch.data().data(),
+                        request.batch.size() * request.batch.length() *
+                            sizeof(float)),
+            0);
+}
+
+TEST(DistCodecTest, RoundTripPreservesNonFiniteBits) {
+  api::IngestBatchRequest request;
+  request.stream = "weird";
+  series::SeriesCollection batch(4);
+  batch.Append(std::vector<float>{std::numeric_limits<float>::quiet_NaN(),
+                                  std::numeric_limits<float>::infinity(),
+                                  -std::numeric_limits<float>::infinity(),
+                                  -0.0f});
+  request.batch = std::move(batch);
+  request.timestamps = {std::numeric_limits<int64_t>::min()};
+  const std::string frame = EncodeIngestFrame(request);
+  auto decoded = DecodeIngestFrame(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(std::memcmp(decoded.value().batch.data().data(),
+                        request.batch.data().data(), 4 * sizeof(float)),
+            0);
+  EXPECT_EQ(decoded.value().timestamps[0],
+            std::numeric_limits<int64_t>::min());
+}
+
+TEST(DistCodecTest, RoundTripEmptyBatch) {
+  api::IngestBatchRequest request;
+  request.stream = "empty";
+  request.batch = series::SeriesCollection(16);
+  const std::string frame = EncodeIngestFrame(request);
+  auto decoded = DecodeIngestFrame(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().stream, "empty");
+  EXPECT_EQ(decoded.value().batch.size(), 0u);
+  EXPECT_EQ(static_cast<int>(decoded.value().batch.length()), 16);
+}
+
+TEST(DistCodecTest, RejectsTruncationAtEveryLength) {
+  // Every proper prefix of a valid frame must fail loudly — never decode
+  // to a (wrong) batch. This sweeps all truncation branches at once.
+  const std::string frame = EncodeIngestFrame(MakeRequest(3, 8, 7));
+  for (size_t len = 0; len < frame.size(); ++len) {
+    auto decoded = DecodeIngestFrame(frame.substr(0, len));
+    ASSERT_FALSE(decoded.ok()) << "prefix of length " << len << " decoded";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(decoded.status().message().find("binary ingest frame"),
+              std::string::npos)
+        << decoded.status().message();
+  }
+}
+
+TEST(DistCodecTest, RejectsTrailingGarbage) {
+  std::string frame = EncodeIngestFrame(MakeRequest(3, 8, 7));
+  frame += "x";
+  auto decoded = DecodeIngestFrame(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("torn or truncated"),
+            std::string::npos)
+      << decoded.status().message();
+}
+
+TEST(DistCodecTest, RejectsBadMagic) {
+  std::string frame = EncodeIngestFrame(MakeRequest(1, 4, 1));
+  frame[0] ^= 0xFF;
+  auto decoded = DecodeIngestFrame(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("bad magic"), std::string::npos)
+      << decoded.status().message();
+}
+
+TEST(DistCodecTest, RejectsUnsupportedVersion) {
+  std::string frame = EncodeIngestFrame(MakeRequest(1, 4, 1));
+  frame[4] = 0x7F;  // version word, little-endian low byte
+  auto decoded = DecodeIngestFrame(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("unsupported version"),
+            std::string::npos)
+      << decoded.status().message();
+}
+
+TEST(DistCodecTest, EveryBitFlipIsDetected) {
+  // CRC-32C (or a header check) must catch any single-bit corruption —
+  // the property the WAL relies on, reused here for frames in flight.
+  const std::string frame = EncodeIngestFrame(MakeRequest(2, 8, 3));
+  const auto original = DecodeIngestFrame(frame);
+  ASSERT_TRUE(original.ok());
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = frame;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      auto decoded = DecodeIngestFrame(corrupt);
+      ASSERT_FALSE(decoded.ok())
+          << "flip of byte " << byte << " bit " << bit << " went unnoticed";
+      EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(DistCodecTest, RejectsOversizedDeclaredShapes) {
+  // A frame whose header declares absurd shapes must be rejected by the
+  // caps before any allocation is attempted (a hostile or corrupt header
+  // must not OOM the shard). Rebuild a syntactically valid frame with a
+  // huge count and a correct CRC so only the cap check can refuse it.
+  std::string frame = EncodeIngestFrame(MakeRequest(1, 4, 1));
+  // count lives after magic(4) + version(2) + reserved(2) + name_len(4) +
+  // name(4 for "live") + series_length(4) = offset 20.
+  const size_t count_offset = 20;
+  const uint32_t huge = (1u << 24) + 1;
+  std::memcpy(frame.data() + count_offset, &huge, sizeof(huge));
+  std::string body = frame.substr(0, frame.size() - 4);
+  const uint32_t crc = Crc32c(body.data(), body.size());
+  std::memcpy(frame.data() + frame.size() - 4, &crc, sizeof(crc));
+  auto decoded = DecodeIngestFrame(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("count"), std::string::npos)
+      << decoded.status().message();
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace palm
+}  // namespace coconut

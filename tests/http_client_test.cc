@@ -1,0 +1,234 @@
+// Edge-case tests for BlockingHttpClient (palm/http_client.h), the
+// channel under every loadgen worker and coordinator shard link:
+// reconnecting after the server restarts, reassembling responses that
+// arrive in many small TCP segments, and surfacing connect/request
+// timeouts as structured kUnavailable statuses instead of hanging.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+#include <thread>
+
+#include "palm/api.h"
+#include "palm/http_client.h"
+#include "palm/http_server.h"
+
+namespace coconut {
+namespace palm {
+namespace {
+
+std::unique_ptr<api::Service> MakeService(const std::string& name) {
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "coconut_http_client" / name)
+          .string();
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  return api::Service::Create(root).TakeValue();
+}
+
+/// Hand-rolled one-shot TCP server for byte-level control of the
+/// response: accepts one connection, reads until the request headers+body
+/// are plausibly in, then runs `respond` on the raw fd.
+class RawServer {
+ public:
+  explicit RawServer(std::function<void(int fd)> respond)
+      : respond_(std::move(respond)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::listen(listen_fd_, 1);
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;
+      // Drain the request (best effort — the tests send small bodies).
+      char buf[4096];
+      std::string request;
+      while (request.find("\r\n\r\n") == std::string::npos) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        request.append(buf, static_cast<size_t>(n));
+      }
+      respond_(fd);
+      ::close(fd);
+    });
+  }
+
+  ~RawServer() {
+    ::close(listen_fd_);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::function<void(int fd)> respond_;
+  std::thread thread_;
+};
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+TEST(HttpClientTest, ReconnectsAfterServerRestart) {
+  auto service = MakeService("restart");
+  auto server = HttpServer::Start(service.get(), {}).TakeValue();
+  const uint16_t port = server->port();
+
+  BlockingHttpClient client("127.0.0.1", port);
+  auto first = client.Post("/api/v1/list_indexes", "");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.value().status, 200);
+
+  // Bounce the server on the same port. The client's keep-alive socket
+  // now points at a dead peer; the NEXT Post must fail cleanly (stale
+  // connection, never a hang or a garbage response)...
+  server->Stop();
+  auto service2 = MakeService("restart2");
+  HttpServerOptions reuse;
+  reuse.port = port;
+  auto reborn = HttpServer::Start(service2.get(), reuse);
+  if (!reborn.ok()) {
+    GTEST_SKIP() << "could not rebind port " << port << ": "
+                 << reborn.status().ToString();
+  }
+  auto stale = client.Post("/api/v1/list_indexes", "");
+  // ...and after Close() (what ShardClient's bounded retry does) the same
+  // client object reaches the restarted server.
+  if (!stale.ok()) {
+    client.Close();
+    stale = client.Post("/api/v1/list_indexes", "");
+  }
+  ASSERT_TRUE(stale.ok()) << stale.status().ToString();
+  EXPECT_EQ(stale.value().status, 200);
+  EXPECT_EQ(stale.value().body, "[]");
+}
+
+TEST(HttpClientTest, ReassemblesResponseSplitAcrossManySegments) {
+  // A response bigger than any single recv(), delivered in deliberately
+  // tiny bursts: the client must reassemble exactly the declared
+  // Content-Length bytes, no more, no less.
+  std::string body;
+  body.reserve(64 * 1024);
+  for (int i = 0; body.size() < 64 * 1024; ++i) {
+    body += "chunk " + std::to_string(i) + "|";
+  }
+  RawServer raw([&body](int fd) {
+    const std::string head =
+        "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n";
+    SendAll(fd, head);
+    for (size_t off = 0; off < body.size(); off += 1024) {
+      SendAll(fd, body.substr(off, 1024));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  BlockingHttpClient client("127.0.0.1", raw.port());
+  auto response = client.Post("/api/v1/anything", "{}");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().status, 200);
+  EXPECT_EQ(response.value().body.size(), body.size());
+  EXPECT_EQ(response.value().body, body);
+}
+
+TEST(HttpClientTest, RequestTimeoutIsAStructuredStatus) {
+  // The server accepts and never answers: an armed request timeout must
+  // surface as kUnavailable within the budget.
+  RawServer raw([](int fd) {
+    std::this_thread::sleep_for(std::chrono::seconds(3));
+    (void)fd;
+  });
+  BlockingHttpClientOptions options;
+  options.request_timeout_ms = 200;
+  BlockingHttpClient client("127.0.0.1", raw.port(), options);
+  const auto before = std::chrono::steady_clock::now();
+  auto response = client.Post("/api/v1/server_stats", "");
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - before)
+                      .count();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(response.status().message().find("timed out"), std::string::npos)
+      << response.status().message();
+  EXPECT_LT(ms, 2000);
+}
+
+TEST(HttpClientTest, ConnectTimeoutIsAStructuredStatus) {
+  // A listener whose accept queue is saturated drops further SYNs, so a
+  // fresh connect() hangs in retransmission — the one way to make
+  // connect stall deterministically on loopback.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 0), 0);
+  socklen_t len = sizeof(addr);
+  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
+  std::vector<int> fillers;
+  for (int i = 0; i < 4; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    timeval tv{0, 200000};
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    fillers.push_back(fd);
+  }
+
+  BlockingHttpClientOptions options;
+  options.connect_timeout_ms = 200;
+  BlockingHttpClient client("127.0.0.1", ntohs(addr.sin_port), options);
+  const auto before = std::chrono::steady_clock::now();
+  auto response = client.Post("/api/v1/server_stats", "");
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - before)
+                      .count();
+  for (int fd : fillers) ::close(fd);
+  ::close(listener);
+  if (response.ok()) {
+    GTEST_SKIP() << "kernel accepted past a full backlog; cannot stall "
+                    "connect on this host";
+  }
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_LT(ms, 2000);
+}
+
+TEST(HttpClientTest, KeepAliveChurnReconnectsTransparently) {
+  // A server that closes after every response (Connection: close) forces
+  // the documented transparent reconnect between requests.
+  auto service = MakeService("churn");
+  auto server = HttpServer::Start(service.get(), {}).TakeValue();
+  BlockingHttpClient client("127.0.0.1", server->port());
+  for (int i = 0; i < 3; ++i) {
+    auto response = client.Post("/api/v1/list_indexes", "",
+                                {{"Connection", "close"}});
+    ASSERT_TRUE(response.ok()) << "round " << i << ": "
+                               << response.status().ToString();
+    EXPECT_EQ(response.value().status, 200);
+  }
+}
+
+}  // namespace
+}  // namespace palm
+}  // namespace coconut

@@ -291,6 +291,118 @@ TEST_F(QueryCacheServiceTest, IngestInvalidatesBySnapshotVersion) {
   EXPECT_EQ(again.value().ToJsonString(), after.value().ToJsonString());
 }
 
+TEST(QueryCacheUnit, NegativeAnswersNotCachedByDefault) {
+  QueryCache cache({});
+  EXPECT_FALSE(cache.negative_caching_enabled());
+  const std::string key =
+      QueryCache::KeyFor(MakeRequest("idx", std::vector<float>(kLength, 1.f)));
+
+  QueryReport not_found;
+  not_found.found = false;
+  cache.Insert(key, "idx", 3, not_found);
+  EXPECT_FALSE(cache.Lookup(key, 3).has_value());
+
+  const QueryCacheStats stats = cache.Snapshot();
+  EXPECT_EQ(stats.inserts, 0u);
+  EXPECT_EQ(stats.negative_inserts, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+
+  // Positive answers are unaffected by the flag being off.
+  cache.Insert(key, "idx", 3, MakeReport(7, 0.5));
+  EXPECT_TRUE(cache.Lookup(key, 3).has_value());
+  EXPECT_EQ(cache.Snapshot().negative_hits, 0u);
+}
+
+TEST(QueryCacheUnit, NegativeCachingCountsSeparatelyAndRespectsVersions) {
+  QueryCacheOptions options;
+  options.cache_negative_results = true;
+  QueryCache cache(options);
+  EXPECT_TRUE(cache.negative_caching_enabled());
+
+  const std::string neg_key =
+      QueryCache::KeyFor(MakeRequest("idx", std::vector<float>(kLength, 1.f)));
+  const std::string pos_key =
+      QueryCache::KeyFor(MakeRequest("idx", std::vector<float>(kLength, 2.f)));
+
+  QueryReport not_found;
+  not_found.found = false;
+  cache.Insert(neg_key, "idx", 3, not_found);
+  cache.Insert(pos_key, "idx", 3, MakeReport(7, 0.5));
+
+  auto neg_hit = cache.Lookup(neg_key, 3);
+  ASSERT_TRUE(neg_hit.has_value());
+  EXPECT_FALSE(neg_hit->found);
+  auto pos_hit = cache.Lookup(pos_key, 3);
+  ASSERT_TRUE(pos_hit.has_value());
+  EXPECT_TRUE(pos_hit->found);
+
+  QueryCacheStats stats = cache.Snapshot();
+  EXPECT_EQ(stats.inserts, 2u);
+  EXPECT_EQ(stats.hits, 2u);
+  // The negative subset is tallied apart, so operators can see how much
+  // of the win comes from cached misses.
+  EXPECT_EQ(stats.negative_inserts, 1u);
+  EXPECT_EQ(stats.negative_hits, 1u);
+
+  // A negative entry is only as good as its version stamp: after an
+  // ingest bumps the snapshot, the cached "not found" must be dropped —
+  // the key may well exist now.
+  EXPECT_FALSE(cache.Lookup(neg_key, 4).has_value());
+  EXPECT_EQ(cache.Snapshot().stale_drops, 1u);
+}
+
+TEST_F(QueryCacheServiceTest, NegativeCachingEndToEnd) {
+  QueryCacheOptions options;
+  options.cache_negative_results = true;
+  service_->EnableQueryCache(options);
+
+  CreateStreamRequest create;
+  create.stream = "live";
+  create.spec = TestSpec();
+  create.spec.mode = stream_mode();
+  ASSERT_TRUE(service_->CreateStream(create).ok());
+  const series::SeriesCollection seed =
+      testutil::RandomWalkCollection(32, kLength, 21);
+  ASSERT_TRUE(Ingest(seed, 0));
+
+  // An exact query whose window excludes every timestamp is a clean
+  // deterministic "not found" — exactly the answer negative caching
+  // stores.
+  QueryRequest request = MakeRequest("live", testutil::NoisyCopy(seed, 3, 0.1, 5));
+  request.window = core::TimeWindow{100000, 200000};
+  Result<QueryReport> first = service_->Query(request);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first.value().found);
+  Result<QueryReport> second = service_->Query(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().found);
+
+  ServerStatsResponse stats = service_->ServerStats();
+  EXPECT_TRUE(stats.cache_negative_enabled);
+  EXPECT_EQ(stats.cache_negative_inserts, 1u);
+  EXPECT_EQ(stats.cache_negative_hits, 1u);
+
+  // Ingesting into the window turns the cached miss stale; the fresh
+  // answer finds the new series instead of re-serving "not found".
+  series::SeriesCollection inside(kLength);
+  inside.Append(request.query);
+  IngestBatchRequest late;
+  late.stream = "live";
+  late.batch = inside;
+  late.timestamps = {150000};
+  ASSERT_TRUE(service_->IngestBatch(late).ok());
+  Result<QueryReport> after = service_->Query(request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().found);
+  EXPECT_LT(after.value().distance, 1e-4);
+
+  // The wire shape follows the flag: negative counters round-trip through
+  // the server_stats JSON only when enabled.
+  const std::string wire = service_->ServerStats().ToJsonString();
+  EXPECT_NE(wire.find("\"negative_enabled\":true"), std::string::npos) << wire;
+  EXPECT_NE(wire.find("\"negative_inserts\":1"), std::string::npos) << wire;
+}
+
 TEST_F(QueryCacheServiceTest, DropAndRebuildUnderReusedNameNeverStale) {
   const series::SeriesCollection a =
       testutil::RandomWalkCollection(64, kLength, 21);

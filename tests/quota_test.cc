@@ -248,6 +248,89 @@ TEST_F(QuotaHttpTest, SchemeParsingIsCaseInsensitive) {
   EXPECT_EQ(response.value().status, 200) << response.value().body;
 }
 
+// ----------------------------------------------------- config-file layer
+
+TEST(QuotaConfig, ParsesTokensBurstsCommentsAndAnonymous) {
+  const std::string text =
+      "# front-door quotas\n"
+      "\n"
+      "alice=10:25\n"
+      "bob = 4   # trailing comment, burst defaults to 2*RPS\n"
+      "*=2:3\n"
+      "firehose=0\n";
+  auto parsed = ParseQuotaConfig(text, "<inline>");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const QuotaOptions& options = parsed.value();
+
+  ASSERT_EQ(options.clients.count("alice"), 1u);
+  EXPECT_EQ(options.clients.at("alice").requests_per_second, 10.0);
+  EXPECT_EQ(options.clients.at("alice").burst, 25.0);
+  ASSERT_EQ(options.clients.count("bob"), 1u);
+  EXPECT_EQ(options.clients.at("bob").requests_per_second, 4.0);
+  EXPECT_EQ(options.clients.at("bob").burst, 8.0);
+  // RPS 0 = unlimited, still a recognized token.
+  ASSERT_EQ(options.clients.count("firehose"), 1u);
+  EXPECT_EQ(options.clients.at("firehose").requests_per_second, 0.0);
+  EXPECT_TRUE(options.allow_anonymous);
+  ASSERT_TRUE(options.anonymous_quota.has_value());
+  EXPECT_EQ(options.anonymous_quota->requests_per_second, 2.0);
+  EXPECT_EQ(options.anonymous_quota->burst, 3.0);
+}
+
+TEST(QuotaConfig, MalformedLinesNameTheLineAndTheSource) {
+  const struct {
+    const char* text;
+    const char* expect;  // substring of the error message
+  } kCases[] = {
+      {"alice\n", "line 1: expected TOKEN=RPS[:BURST] in 'alice'"},
+      {"=5\n", "line 1: expected TOKEN=RPS[:BURST]"},
+      {"\n# c\nalice=fast\n", "line 3: RPS must be a non-negative number"},
+      {"alice=5:-1\n", "BURST must be a non-negative number"},
+      {"alice=5\nalice=6\n", "line 2: duplicate token"},
+      {"*=1\n*=2\n", "line 2: duplicate anonymous ('*') entry"},
+  };
+  for (const auto& c : kCases) {
+    auto parsed = ParseQuotaConfig(c.text, "quotas.conf");
+    ASSERT_FALSE(parsed.ok()) << "accepted: " << c.text;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(parsed.status().message().find("quota config quotas.conf"),
+              std::string::npos)
+        << parsed.status().message();
+    EXPECT_NE(parsed.status().message().find(c.expect), std::string::npos)
+        << parsed.status().message() << "\n  wanted: " << c.expect;
+  }
+}
+
+TEST(QuotaConfig, LoadQuotaFileRoundTripsAndEnforces) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "coconut_quota_test.conf")
+          .string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("alice=1000:2\n", f);
+    std::fclose(f);
+  }
+  auto loaded = LoadQuotaFile(path);
+  std::filesystem::remove(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded.value().allow_anonymous);
+
+  // The loaded options drive a real enforcer: burst of 2 admits exactly
+  // two back-to-back, and anonymous callers are locked out.
+  QuotaOptions options = loaded.value();
+  options.clock_seconds = [] { return 0.0; };
+  QuotaEnforcer enforcer(options);
+  EXPECT_TRUE(enforcer.Admit("alice").ok());
+  EXPECT_TRUE(enforcer.Admit("alice").ok());
+  EXPECT_EQ(enforcer.Admit("alice").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(enforcer.Admit("").code(), StatusCode::kUnauthenticated);
+
+  auto missing = LoadQuotaFile(path + ".does-not-exist");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+}
+
 }  // namespace
 }  // namespace api
 }  // namespace palm
