@@ -10,6 +10,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -111,6 +113,92 @@ void BM_IngestTpAsync(benchmark::State& state) {
   RunIngest(state, palm::StreamMode::kTP, /*async=*/true);
 }
 BENCHMARK(BM_IngestTpAsync)->Unit(benchmark::kMillisecond);
+
+/// The lock-free read path's claim, measured: readers hammer exact
+/// searches *while* the writer ingests the whole collection through
+/// seal/merge churn. Queries run against epoch-published snapshots and
+/// never take the admission lock, so their latency distribution should
+/// be decoupled from ingest admission (and in particular from
+/// backpressure stalls). Reports both sides' percentiles from one run;
+/// CI tracks query_p99_us over time against the ingest tail.
+void RunConcurrentReaders(benchmark::State& state, palm::StreamMode mode) {
+  const auto& collection = AstroCollection(kSeries, kLength);
+  ThreadPool background(2);
+  constexpr size_t kReaders = 2;
+  double ingest_p50_us = 0, ingest_p99_us = 0;
+  double query_p50_us = 0, query_p99_us = 0;
+  double queries_total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Arena arena = Arena::Make("bench_stream_rd", kLength);
+    arena.FillRaw(collection);
+    palm::VariantSpec spec = StreamSpec(/*async=*/true, mode);
+    spec.background_pool = &background;
+    auto index = palm::CreateStreamingIndex(spec, arena.storage.get(),
+                                            "stream", nullptr,
+                                            arena.raw.get())
+                     .TakeValue();
+    std::vector<double> ingest_us;
+    ingest_us.reserve(collection.size());
+    std::vector<std::vector<double>> query_us(kReaders);
+    std::atomic<bool> stop{false};
+    state.ResumeTiming();
+
+    std::vector<std::thread> readers;
+    for (size_t t = 0; t < kReaders; ++t) {
+      readers.emplace_back([&, t] {
+        size_t probe = t * 37;
+        while (!stop.load(std::memory_order_acquire)) {
+          WallTimer timer;
+          core::QueryCounters counters;
+          auto r = index->ExactSearch(collection[probe % collection.size()],
+                                      {}, &counters);
+          if (!r.ok()) std::abort();
+          query_us[t].push_back(timer.ElapsedSeconds() * 1e6);
+          probe += 131;
+        }
+      });
+    }
+    for (size_t i = 0; i < collection.size(); ++i) {
+      WallTimer timer;
+      if (!index->Ingest(i, collection[i], static_cast<int64_t>(i)).ok()) {
+        std::abort();
+      }
+      ingest_us.push_back(timer.ElapsedSeconds() * 1e6);
+    }
+    if (!index->FlushAll().ok()) std::abort();
+    stop.store(true, std::memory_order_release);
+    for (std::thread& r : readers) r.join();
+
+    std::vector<double> merged;
+    for (const auto& per_thread : query_us) {
+      merged.insert(merged.end(), per_thread.begin(), per_thread.end());
+    }
+    queries_total = static_cast<double>(merged.size());
+    ingest_p50_us = Percentile(&ingest_us, 0.50);
+    ingest_p99_us = Percentile(&ingest_us, 0.99);
+    query_p50_us = Percentile(&merged, 0.50);
+    query_p99_us = Percentile(&merged, 0.99);
+  }
+  state.counters["ingest_p50_us"] = ingest_p50_us;
+  state.counters["ingest_p99_us"] = ingest_p99_us;
+  state.counters["query_p50_us"] = query_p50_us;
+  state.counters["query_p99_us"] = query_p99_us;
+  state.counters["queries_run"] = queries_total;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(collection.size()));
+  state.SetLabel(series::kernels::IsaName(series::kernels::ActiveIsa()));
+}
+
+void BM_ConcurrentReadersTpAsync(benchmark::State& state) {
+  RunConcurrentReaders(state, palm::StreamMode::kTP);
+}
+BENCHMARK(BM_ConcurrentReadersTpAsync)->Unit(benchmark::kMillisecond);
+
+void BM_ConcurrentReadersBtpAsync(benchmark::State& state) {
+  RunConcurrentReaders(state, palm::StreamMode::kBTP);
+}
+BENCHMARK(BM_ConcurrentReadersBtpAsync)->Unit(benchmark::kMillisecond);
 
 void BM_IngestClsmPpSync(benchmark::State& state) {
   RunIngest(state, palm::StreamMode::kPP, /*async=*/false);

@@ -85,15 +85,27 @@ Clsm::Clsm(storage::StorageManager* storage, std::string prefix,
       options_(options),
       pool_(pool),
       raw_(raw),
+      gen_(std::make_shared<stream::BufferGen>(
+          options_.buffer_entries,
+          static_cast<size_t>(options_.sax.series_length),
+          options_.materialized)),
       runs_(std::make_shared<RunSet>()) {
   if (options_.background != nullptr) {
     executor_ = std::make_unique<SerialExecutor>(options_.background);
   }
+  // Initial publication; no readers exist yet, so nothing to retire.
+  std::lock_guard<std::mutex> lock(mu_);
+  RepublishSnapshotLocked();
 }
 
 Clsm::~Clsm() {
   // Background tasks close over `this`; drain them before members die.
   if (executor_ != nullptr) executor_->Drain();
+  // Unpublish, then wait out every reader that could still hold any
+  // snapshot of this tree before members are torn down.
+  stream::epoch::EpochManager::Global().Retire(
+      snapshot_.exchange(nullptr, std::memory_order_acq_rel));
+  stream::epoch::EpochManager::Global().Synchronize();
 }
 
 Result<std::unique_ptr<Clsm>> Clsm::Create(storage::StorageManager* storage,
@@ -131,14 +143,46 @@ std::string Clsm::RunName(size_t level) {
          std::to_string(version_++);
 }
 
+const Clsm::QuerySnapshot* Clsm::RepublishSnapshotLocked() {
+  auto snap = std::make_unique<QuerySnapshot>();
+  snap->memtable = gen_;
+  snap->pending = pending_;
+  snap->runs = runs_;
+  for (const auto& pending : pending_) snap->entries_pending += pending->count;
+  for (const auto& level : *runs_) {
+    if (level != nullptr) snap->entries_in_runs += level->num_entries();
+  }
+  snap->entries_rewritten = entries_rewritten_;
+  snap->merges_performed = merges_performed_;
+  snap->flushes_completed = flushes_completed_;
+  return snapshot_.exchange(snap.release(), std::memory_order_acq_rel);
+}
+
+Clsm::QueryView Clsm::CaptureView() const {
+  QueryView view;
+  view.snap = snapshot_.load(std::memory_order_acquire);
+  if (view.snap->memtable != nullptr) {
+    // Capture the published count ONCE: the approximate seed and the exact
+    // pass must evaluate the identical prefix even while admissions race
+    // the count forward.
+    const size_t count = static_cast<size_t>(
+        view.snap->memtable->published.load(std::memory_order_acquire));
+    view.memtable = view.snap->memtable->EntrySpan(count);
+    view.memtable_payloads = view.snap->memtable->PayloadSpan(count);
+  }
+  return view;
+}
+
 std::shared_ptr<Clsm::PendingFlush> Clsm::DetachMemtableLocked() {
-  if (memtable_.empty()) return nullptr;
+  const size_t count = MemtableCountLocked();
+  if (count == 0) return nullptr;
   auto pending = std::make_shared<PendingFlush>();
-  pending->entries = std::move(memtable_);
-  pending->payloads = std::move(memtable_payloads_);
-  memtable_.clear();
-  memtable_payloads_.clear();
+  pending->gen = gen_;
+  pending->count = count;
   pending_.push_back(pending);
+  gen_ = std::make_shared<stream::BufferGen>(
+      options_.buffer_entries,
+      static_cast<size_t>(options_.sax.series_length), options_.materialized);
   return pending;
 }
 
@@ -163,29 +207,34 @@ void Clsm::RecordBackgroundError(const Status& status) {
 void Clsm::PublishRuns(std::shared_ptr<const RunSet> runs,
                        const PendingFlush* retired_pending,
                        uint64_t rewritten, uint64_t merges) {
-  std::lock_guard<std::mutex> lock(mu_);
-  runs_ = std::move(runs);
-  // Run-set publication (flush or cascade) changes the queryable snapshot.
-  snapshot_version_.fetch_add(1, std::memory_order_acq_rel);
-  if (retired_pending != nullptr) {
-    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-      if (it->get() == retired_pending) {
-        pending_.erase(it);
-        break;
+  const QuerySnapshot* superseded = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    runs_ = std::move(runs);
+    // Run-set publication (flush or cascade) changes the queryable snapshot.
+    snapshot_version_.fetch_add(1, std::memory_order_acq_rel);
+    if (retired_pending != nullptr) {
+      for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->get() == retired_pending) {
+          pending_.erase(it);
+          break;
+        }
       }
+      ++flushes_completed_;
+      // A pending flush retired: inserts blocked on the cap may proceed.
+      backpressure_.Notify();
     }
-    ++flushes_completed_;
-    // A pending flush retired: inserts blocked on the cap may proceed.
-    backpressure_.Notify();
+    entries_rewritten_ += rewritten;
+    merges_performed_ += merges;
+    superseded = RepublishSnapshotLocked();
   }
-  entries_rewritten_ += rewritten;
-  merges_performed_ += merges;
+  stream::epoch::EpochManager::Global().Retire(superseded);
 }
 
 Status Clsm::ApplyBackpressureLocked(std::unique_lock<std::mutex>* lock) {
   const size_t cap = options_.max_inflight_seals;
   if (cap == 0 || !async()) return Status::OK();
-  if (memtable_.size() + 1 < options_.buffer_entries ||
+  if (MemtableCountLocked() + 1 < options_.buffer_entries ||
       pending_.size() < cap) {
     return Status::OK();
   }
@@ -211,16 +260,18 @@ Status Clsm::Insert(uint64_t series_id, std::span<const float> znorm_values,
   entry.timestamp = timestamp;
 
   std::shared_ptr<const PendingFlush> pending;
+  const QuerySnapshot* superseded = nullptr;
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (!background_status_.ok()) return background_status_;
     // Backpressure gates admission before any state commits: a refused or
     // error-woken entry leaves the memtable untouched.
     COCONUT_RETURN_NOT_OK(ApplyBackpressureLocked(&lock));
-    memtable_.push_back(entry);
+    const uint64_t n = gen_->published.load(std::memory_order_relaxed);
+    gen_->entries[n] = entry;
     if (options_.materialized) {
-      memtable_payloads_.insert(memtable_payloads_.end(),
-                                znorm_values.begin(), znorm_values.end());
+      std::copy(znorm_values.begin(), znorm_values.end(),
+                gen_->payloads.get() + n * gen_->series_length);
     }
     // The admission commit point, still under mu_: log record order is
     // exactly the admission order. The PP facade clamps timestamps before
@@ -228,16 +279,21 @@ Status Clsm::Insert(uint64_t series_id, std::span<const float> znorm_values,
     if (options_.wal != nullptr) {
       options_.wal->AppendAdmit(series_id, timestamp, znorm_values);
     }
-    // Admitted: visible to memtable-snapshot queries from here.
+    // Admitted: visible to snapshot readers from this release store.
+    gen_->published.store(n + 1, std::memory_order_release);
     snapshot_version_.fetch_add(1, std::memory_order_acq_rel);
-    if (memtable_.size() >= options_.buffer_entries) {
+    if (n + 1 >= options_.buffer_entries) {
       pending = DetachMemtableLocked();
-      if (pending != nullptr && async()) {
-        EnqueueFlushLocked(pending);
-        pending = nullptr;
+      if (pending != nullptr) {
+        superseded = RepublishSnapshotLocked();
+        if (async()) {
+          EnqueueFlushLocked(pending);
+          pending = nullptr;
+        }
       }
     }
   }
+  stream::epoch::EpochManager::Global().Retire(superseded);
   // Sync mode: flush inline, off the lock (FlushTask re-acquires mu_).
   if (pending != nullptr) return FlushTask(std::move(pending));
   return Status::OK();
@@ -245,14 +301,19 @@ Status Clsm::Insert(uint64_t series_id, std::span<const float> znorm_values,
 
 Status Clsm::FlushBuffer() {
   std::shared_ptr<const PendingFlush> pending;
+  const QuerySnapshot* superseded = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     pending = DetachMemtableLocked();
-    if (pending != nullptr && async()) {
-      EnqueueFlushLocked(pending);
-      pending = nullptr;
+    if (pending != nullptr) {
+      superseded = RepublishSnapshotLocked();
+      if (async()) {
+        EnqueueFlushLocked(pending);
+        pending = nullptr;
+      }
     }
   }
+  stream::epoch::EpochManager::Global().Retire(superseded);
   if (pending != nullptr) {
     COCONUT_RETURN_NOT_OK(FlushTask(std::move(pending)));
   }
@@ -272,7 +333,8 @@ Status Clsm::MergeIntoLevel(RunSet* work, size_t level,
   // Assemble the newer input.
   std::unique_ptr<MergeSource> newer;
   if (from_memtable) {
-    // Sort the buffer: indices sorted by key, then payloads permuted.
+    // Sort the buffer: indices sorted by key, then payloads permuted. The
+    // detached generation is immutable, so the spans read race-free.
     std::vector<size_t> order(mem_entries.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     std::sort(order.begin(), order.end(),
@@ -371,8 +433,8 @@ Status Clsm::FlushTask(std::shared_ptr<const PendingFlush> pending) {
   // the pending data is retired the instant it is queryable on disk.
   std::vector<std::string> retired;
   uint64_t rewritten = 0;
-  COCONUT_RETURN_NOT_OK(MergeIntoLevel(&work, 0, pending->entries,
-                                       pending->payloads,
+  COCONUT_RETURN_NOT_OK(MergeIntoLevel(&work, 0, pending->entries(),
+                                       pending->payloads(),
                                        /*from_memtable=*/true, &retired,
                                        &rewritten));
   PublishRuns(std::make_shared<RunSet>(work), pending.get(), rewritten,
@@ -436,7 +498,7 @@ void Clsm::EncodeManifest(std::vector<uint8_t>* manifest,
 Status Clsm::RestoreFromManifest(std::span<const uint8_t> manifest) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!memtable_.empty() || !pending_.empty() || !runs_->empty()) {
+    if (MemtableCountLocked() != 0 || !pending_.empty() || !runs_->empty()) {
       return Status::InvalidArgument(
           "manifest restore requires an empty tree");
     }
@@ -477,13 +539,18 @@ Status Clsm::RestoreFromManifest(std::span<const uint8_t> manifest) {
       !reader.AtEnd()) {
     return Status::DataLoss("checkpoint manifest truncated");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  runs_ = std::move(runs);
-  version_ = version;
-  entries_rewritten_ = rewritten;
-  merges_performed_ = merges;
-  flushes_completed_ = flushes;
-  snapshot_version_.fetch_add(1, std::memory_order_acq_rel);
+  const QuerySnapshot* superseded = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    runs_ = std::move(runs);
+    version_ = version;
+    entries_rewritten_ = rewritten;
+    merges_performed_ = merges;
+    flushes_completed_ = flushes;
+    snapshot_version_.fetch_add(1, std::memory_order_acq_rel);
+    superseded = RepublishSnapshotLocked();
+  }
+  stream::epoch::EpochManager::Global().Retire(superseded);
   return Status::OK();
 }
 
@@ -515,30 +582,12 @@ Status Clsm::RetireFile(const std::string& name) {
   return storage_->RemoveFile(name);
 }
 
-Clsm::QuerySnapshot Clsm::TakeSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  QuerySnapshot snap;
-  if (async()) {
-    // Inserts mutate the memtable concurrently: copy. (Spans into the
-    // owned vectors survive the return — moves keep heap storage.)
-    snap.memtable_copy = memtable_;
-    snap.payload_copy = memtable_payloads_;
-    snap.memtable = snap.memtable_copy;
-    snap.memtable_payloads = snap.payload_copy;
-  } else {
-    snap.memtable = memtable_;
-    snap.memtable_payloads = memtable_payloads_;
-  }
-  snap.pending = pending_;
-  snap.runs = runs_;
-  return snap;
-}
-
 Result<std::vector<SearchResult>> Clsm::KnnSearch(
     std::span<const float> query, size_t k, const SearchOptions& options,
     core::QueryCounters* counters) {
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
-  QuerySnapshot snap = TakeSnapshot();
+  stream::epoch::EpochGuard guard;
+  const QueryView view = CaptureView();
   std::vector<float> paa_storage;
   seqtable::SearchContext ctx = seqtable::MakeSearchContext(
       options_.sax, query, &paa_storage, raw_, counters);
@@ -577,12 +626,12 @@ Result<std::vector<SearchResult>> Clsm::KnnSearch(
     }
     return Status::OK();
   };
-  COCONUT_RETURN_NOT_OK(offer_batch(snap.memtable, snap.memtable_payloads));
-  for (const auto& pending : snap.pending) {
-    COCONUT_RETURN_NOT_OK(offer_batch(pending->entries, pending->payloads));
+  COCONUT_RETURN_NOT_OK(offer_batch(view.memtable, view.memtable_payloads));
+  for (const auto& pending : view.snap->pending) {
+    COCONUT_RETURN_NOT_OK(offer_batch(pending->entries(), pending->payloads()));
   }
 
-  for (const auto& level : *snap.runs) {
+  for (const auto& level : *view.snap->runs) {
     if (level == nullptr) continue;
     COCONUT_RETURN_NOT_OK(
         seqtable::ExactKnnScanTable(*level, ctx, options, &collector));
@@ -591,69 +640,61 @@ Result<std::vector<SearchResult>> Clsm::KnnSearch(
 }
 
 uint64_t Clsm::num_entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint64_t total = memtable_.size();
-  for (const auto& pending : pending_) total += pending->entries.size();
-  for (const auto& level : *runs_) {
-    if (level != nullptr) total += level->num_entries();
+  stream::epoch::EpochGuard guard;
+  const QuerySnapshot* snap = snapshot_.load(std::memory_order_acquire);
+  uint64_t total = snap->entries_pending + snap->entries_in_runs;
+  if (snap->memtable != nullptr) {
+    total += snap->memtable->published.load(std::memory_order_acquire);
   }
   return total;
 }
 
 size_t Clsm::num_active_levels() const {
-  std::shared_ptr<const RunSet> runs;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    runs = runs_;
-  }
+  stream::epoch::EpochGuard guard;
+  const QuerySnapshot* snap = snapshot_.load(std::memory_order_acquire);
   size_t active = 0;
-  for (const auto& level : *runs) {
+  for (const auto& level : *snap->runs) {
     if (level != nullptr) ++active;
   }
   return active;
 }
 
 uint64_t Clsm::level_entries(size_t level) const {
-  std::shared_ptr<const RunSet> runs;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    runs = runs_;
-  }
-  if (level >= runs->size() || (*runs)[level] == nullptr) return 0;
-  return (*runs)[level]->num_entries();
+  stream::epoch::EpochGuard guard;
+  const QuerySnapshot* snap = snapshot_.load(std::memory_order_acquire);
+  if (level >= snap->runs->size() || (*snap->runs)[level] == nullptr) return 0;
+  return (*snap->runs)[level]->num_entries();
 }
 
 uint64_t Clsm::total_file_bytes() const {
-  std::shared_ptr<const RunSet> runs;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    runs = runs_;
-  }
+  stream::epoch::EpochGuard guard;
+  const QuerySnapshot* snap = snapshot_.load(std::memory_order_acquire);
   uint64_t total = 0;
-  for (const auto& level : *runs) {
+  for (const auto& level : *snap->runs) {
     if (level != nullptr) total += level->file_bytes();
   }
   return total;
 }
 
 stream::StreamingStats Clsm::SnapshotStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  stream::epoch::EpochGuard guard;
+  const QuerySnapshot* snap = snapshot_.load(std::memory_order_acquire);
   stream::StreamingStats stats;
-  stats.buffered = memtable_.size();
-  stats.entries = stats.buffered;
+  stats.buffered =
+      snap->memtable != nullptr
+          ? static_cast<size_t>(
+                snap->memtable->published.load(std::memory_order_acquire))
+          : 0;
+  stats.entries = stats.buffered + snap->entries_pending + snap->entries_in_runs;
   uint64_t runs = 0;
-  for (const auto& pending : pending_) stats.entries += pending->entries.size();
-  for (const auto& level : *runs_) {
-    if (level != nullptr) {
-      stats.entries += level->num_entries();
-      ++runs;
-    }
+  for (const auto& level : *snap->runs) {
+    if (level != nullptr) ++runs;
   }
   stats.sealed_partitions = runs;
-  stats.pending_tasks = pending_.size();
-  stats.seals_completed = flushes_completed_;
-  stats.merges_completed = merges_performed_;
-  stats.seals_inflight = pending_.size();
+  stats.pending_tasks = snap->pending.size();
+  stats.seals_completed = snap->flushes_completed;
+  stats.merges_completed = snap->merges_performed;
+  stats.seals_inflight = snap->pending.size();
   stats.ingest_stalls = backpressure_.stalls();
   stats.ingest_rejects = backpressure_.rejects();
   stats.stall_ms_p50 = backpressure_.StallPercentileMs(0.50);
@@ -677,23 +718,23 @@ Status Clsm::SearchMemtableEntries(std::span<const IndexEntry> entries,
                                       max_verifications, best);
 }
 
-Status Clsm::ApproxPassOverSnapshot(const QuerySnapshot& snap,
+Status Clsm::ApproxPassOverSnapshot(const QueryView& view,
                                     std::span<const float> query,
                                     const SearchOptions& options,
                                     core::QueryCounters* counters,
                                     SearchResult* best) {
   COCONUT_RETURN_NOT_OK(SearchMemtableEntries(
-      snap.memtable, snap.memtable_payloads, query, options, counters,
+      view.memtable, view.memtable_payloads, query, options, counters,
       options.approx_candidates, best));
-  for (const auto& pending : snap.pending) {
+  for (const auto& pending : view.snap->pending) {
     COCONUT_RETURN_NOT_OK(SearchMemtableEntries(
-        pending->entries, pending->payloads, query, options, counters,
+        pending->entries(), pending->payloads(), query, options, counters,
         options.approx_candidates, best));
   }
   std::vector<float> paa_storage;
   seqtable::SearchContext ctx = seqtable::MakeSearchContext(
       options_.sax, query, &paa_storage, raw_, counters);
-  for (const auto& level : *snap.runs) {
+  for (const auto& level : *view.snap->runs) {
     if (level == nullptr) continue;
     COCONUT_ASSIGN_OR_RETURN(SearchResult r,
                              seqtable::ApproxSearchTable(*level, ctx, options));
@@ -705,35 +746,37 @@ Status Clsm::ApproxPassOverSnapshot(const QuerySnapshot& snap,
 Result<SearchResult> Clsm::ApproxSearch(std::span<const float> query,
                                         const SearchOptions& options,
                                         core::QueryCounters* counters) {
-  QuerySnapshot snap = TakeSnapshot();
+  stream::epoch::EpochGuard guard;
+  const QueryView view = CaptureView();
   SearchResult best;
   COCONUT_RETURN_NOT_OK(
-      ApproxPassOverSnapshot(snap, query, options, counters, &best));
+      ApproxPassOverSnapshot(view, query, options, counters, &best));
   return best;
 }
 
 Result<SearchResult> Clsm::ExactSearch(std::span<const float> query,
                                        const SearchOptions& options,
                                        core::QueryCounters* counters) {
-  // One snapshot serves the approximate seed and the exact scans, so both
-  // passes see the same entries even while ingestion races ahead. The best
-  // distance is shared across runs, so later runs prune harder.
-  QuerySnapshot snap = TakeSnapshot();
+  // One captured view serves the approximate seed and the exact scans, so
+  // both passes see the same entries even while ingestion races ahead. The
+  // best distance is shared across runs, so later runs prune harder.
+  stream::epoch::EpochGuard guard;
+  const QueryView view = CaptureView();
   SearchResult best;
   COCONUT_RETURN_NOT_OK(
-      ApproxPassOverSnapshot(snap, query, options, counters, &best));
+      ApproxPassOverSnapshot(view, query, options, counters, &best));
   std::vector<float> paa_storage;
   seqtable::SearchContext ctx = seqtable::MakeSearchContext(
       options_.sax, query, &paa_storage, raw_, counters);
   COCONUT_RETURN_NOT_OK(SearchMemtableEntries(
-      snap.memtable, snap.memtable_payloads, query, options, counters,
+      view.memtable, view.memtable_payloads, query, options, counters,
       /*max_verifications=*/-1, &best));
-  for (const auto& pending : snap.pending) {
+  for (const auto& pending : view.snap->pending) {
     COCONUT_RETURN_NOT_OK(SearchMemtableEntries(
-        pending->entries, pending->payloads, query, options, counters,
+        pending->entries(), pending->payloads(), query, options, counters,
         /*max_verifications=*/-1, &best));
   }
-  for (const auto& level : *snap.runs) {
+  for (const auto& level : *view.snap->runs) {
     if (level == nullptr) continue;
     COCONUT_RETURN_NOT_OK(
         seqtable::ExactScanTable(*level, ctx, options, &best));

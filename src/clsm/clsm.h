@@ -16,6 +16,8 @@
 #include "core/raw_store.h"
 #include "core/types.h"
 #include "seqtable/seq_table.h"
+#include "stream/buffer_gen.h"
+#include "stream/epoch.h"
 #include "stream/streaming_index.h"
 
 namespace coconut {
@@ -36,14 +38,19 @@ namespace clsm {
 /// more rewriting per merge (slower ingestion) — the Section 2 read/write
 /// knob.
 ///
-/// Concurrency: with Options.background set, Insert appends to the
-/// memtable under a light lock and returns; the flush and its compaction
-/// cascade run as one deferred task on a per-index strand (FIFO over the
-/// shared pool), so the run sequence is identical to the synchronous
-/// build. Queries snapshot the memtable, the in-flight flush payloads and
-/// the shared_ptr run set, so they never observe a half-swapped level;
-/// replaced run files are unlinked only after the new set is published.
-/// Without a background pool behaviour is the synchronous original.
+/// Concurrency — the epoch-based read path (mirroring stream/tp.h): the
+/// tree publishes an atomic pointer to an immutable QuerySnapshot (the
+/// live memtable generation, in-flight flushes, and the shared run set).
+/// Readers bracket the query in an epoch::EpochGuard, load the pointer,
+/// and search without taking mu_ or copying the memtable; writers
+/// republish at every structural edge (memtable detach, run-set publish,
+/// manifest restore) and retire superseded snapshots to epoch quiescence.
+/// The flush and its compaction cascade run as one deferred task on a
+/// per-index strand (FIFO over the shared pool), so the run sequence is
+/// identical to the synchronous build; replaced run files are unlinked
+/// only after the new set is published (open fds keep in-flight scans
+/// valid). Without a background pool the ingest side keeps its
+/// single-caller contract, but reads go through the same snapshot path.
 class Clsm {
  public:
   struct Options {
@@ -113,14 +120,18 @@ class Clsm {
 
   uint64_t num_entries() const;
   size_t buffered_entries() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return memtable_.size();
+    stream::epoch::EpochGuard guard;
+    const QuerySnapshot* snap = snapshot_.load(std::memory_order_acquire);
+    return snap->memtable == nullptr
+               ? 0
+               : static_cast<size_t>(snap->memtable->published.load(
+                     std::memory_order_acquire));
   }
 
   /// Flush tasks enqueued but not yet folded into a level.
   size_t pending_flushes() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return pending_.size();
+    stream::epoch::EpochGuard guard;
+    return snapshot_.load(std::memory_order_acquire)->pending.size();
   }
 
   /// Number of disk levels currently holding a run.
@@ -135,15 +146,17 @@ class Clsm {
   /// Cumulative entries rewritten by flushes and compactions — the write
   /// amplification the growth factor trades against read cost.
   uint64_t entries_rewritten() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return entries_rewritten_;
+    stream::epoch::EpochGuard guard;
+    return snapshot_.load(std::memory_order_acquire)->entries_rewritten;
   }
   uint64_t merges_performed() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return merges_performed_;
+    stream::epoch::EpochGuard guard;
+    return snapshot_.load(std::memory_order_acquire)->merges_performed;
   }
 
-  /// Race-free progress snapshot for the streaming facade.
+  /// Race-free progress snapshot for the streaming facade. Lock-free:
+  /// served from the published snapshot and atomic gate counters, so it
+  /// never stalls behind a backpressure-blocked insert.
   stream::StreamingStats SnapshotStats() const;
 
   /// Monotonic snapshot-version stamp: bumped on every Insert admission and
@@ -171,26 +184,43 @@ class Clsm {
   /// Levels as an immutable snapshot; index = level, nullptr = empty.
   using RunSet = std::vector<std::shared_ptr<seqtable::SeqTable>>;
 
-  /// A memtable moved out of the insert path, waiting for (or undergoing)
-  /// its background flush. Immutable after construction so queries can
-  /// evaluate it without copying.
+  /// A memtable generation moved out of the insert path, waiting for (or
+  /// undergoing) its background flush. The generation is immutable from
+  /// detach (count frozen), so queries evaluate it without copying.
   struct PendingFlush {
-    std::vector<core::IndexEntry> entries;
-    std::vector<float> payloads;
+    std::shared_ptr<const stream::BufferGen> gen;
+    size_t count = 0;
+
+    std::span<const core::IndexEntry> entries() const {
+      return gen->EntrySpan(count);
+    }
+    std::span<const float> payloads() const { return gen->PayloadSpan(count); }
   };
 
-  /// In async mode the memtable is copied (inserts keep mutating it); in
-  /// sync mode — single-caller contract — the spans alias the live
-  /// memtable and queries pay no copy, as before this layer went
-  /// concurrent.
+  /// The immutable unit the tree publishes through an atomic pointer and
+  /// retires through the epoch manager; see stream/tp.h's QuerySnapshot.
   struct QuerySnapshot {
-    std::vector<core::IndexEntry> memtable_copy;
-    std::vector<float> payload_copy;
-    std::span<const core::IndexEntry> memtable;
-    std::span<const float> memtable_payloads;
+    std::shared_ptr<const stream::BufferGen> memtable;
     std::vector<std::shared_ptr<const PendingFlush>> pending;
     std::shared_ptr<const RunSet> runs;
+
+    // Stats mirrors, exact as of publication.
+    uint64_t entries_pending = 0;  // Sum of pending-flush counts.
+    uint64_t entries_in_runs = 0;
+    uint64_t entries_rewritten = 0;
+    uint64_t merges_performed = 0;
+    uint64_t flushes_completed = 0;
   };
+
+  /// One query's frozen view: the published snapshot plus the memtable
+  /// prefix captured once (seed and exact pass must agree). Valid only
+  /// under the caller's EpochGuard.
+  struct QueryView {
+    const QuerySnapshot* snap = nullptr;
+    std::span<const core::IndexEntry> memtable;
+    std::span<const float> memtable_payloads;
+  };
+  QueryView CaptureView() const;
 
   Clsm(storage::StorageManager* storage, std::string prefix, Options options,
        storage::BufferPool* pool, core::RawSeriesStore* raw);
@@ -200,10 +230,22 @@ class Clsm {
 
   storage::BufferPool* ReadPool() const { return async() ? nullptr : pool_; }
 
-  QuerySnapshot TakeSnapshot() const;
+  /// Builds an immutable snapshot of the current state, swaps it into
+  /// snapshot_, and returns the superseded one. Caller holds mu_ and MUST
+  /// pass the returned pointer to the epoch manager's Retire after
+  /// releasing the lock (never delete it — readers may hold it).
+  const QuerySnapshot* RepublishSnapshotLocked();
 
-  /// Detaches the full memtable into the pending list; caller holds mu_.
+  /// Detaches the full memtable generation into the pending list; caller
+  /// holds mu_ and republishes afterwards.
   std::shared_ptr<PendingFlush> DetachMemtableLocked();
+
+  size_t MemtableCountLocked() const {
+    return gen_ == nullptr
+               ? 0
+               : static_cast<size_t>(
+                     gen_->published.load(std::memory_order_relaxed));
+  }
 
   /// Blocks (kBlock) or refuses (kReject) when admitting one more entry
   /// would detach a memtable past the flush cap. Caller holds `lock` on
@@ -254,9 +296,9 @@ class Clsm {
   void RecordBackgroundError(const Status& status);
 
   /// The approximate pass (memtable, in-flight flushes, every run) over
-  /// one snapshot — ApproxSearch's whole body and ExactSearch's
+  /// one query view — ApproxSearch's whole body and ExactSearch's
   /// bound-tightening seed, so the two cannot drift.
-  Status ApproxPassOverSnapshot(const QuerySnapshot& snap,
+  Status ApproxPassOverSnapshot(const QueryView& view,
                                 std::span<const float> query,
                                 const core::SearchOptions& options,
                                 core::QueryCounters* counters,
@@ -277,11 +319,18 @@ class Clsm {
   storage::BufferPool* pool_;
   core::RawSeriesStore* raw_;
 
-  /// The light insert/state lock; never held across flush/merge I/O.
+  /// The light insert/state lock: guards the writer-side authoritative
+  /// state and serializes snapshot republication. Queries never take it.
+  /// Never held across flush/merge I/O.
   mutable std::mutex mu_;
 
-  std::vector<core::IndexEntry> memtable_;
-  std::vector<float> memtable_payloads_;
+  /// The published read snapshot; see stream/tp.h.
+  std::atomic<const QuerySnapshot*> snapshot_{nullptr};
+
+  /// The live memtable generation. Writer-owned; readers reach it via the
+  /// snapshot.
+  std::shared_ptr<stream::BufferGen> gen_;
+
   std::vector<std::shared_ptr<const PendingFlush>> pending_;
   std::shared_ptr<const RunSet> runs_;
   uint64_t entries_rewritten_ = 0;
@@ -289,8 +338,9 @@ class Clsm {
   uint64_t flushes_completed_ = 0;
   Status background_status_;
 
-  /// Backpressure state (guarded by mu_): notified when a pending flush
-  /// retires or a background error lands, so blocked inserts always wake.
+  /// Backpressure state (writers guarded by mu_; counters and the stall
+  /// window readable lock-free): notified when a pending flush retires or
+  /// a background error lands, so blocked inserts always wake.
   stream::BackpressureGate backpressure_;
 
   /// Only touched by the (serialized) flush/cascade path.

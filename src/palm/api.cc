@@ -13,6 +13,7 @@
 #include "palm/sharded_index.h"
 #include "palm/sharded_streaming_index.h"
 #include "series/series.h"
+#include "stream/epoch.h"
 
 namespace coconut {
 namespace palm {
@@ -2505,6 +2506,33 @@ Result<QueryReport> Service::Query(const QueryRequest& request) {
       return *std::move(hit);
     }
   }
+  // Lock-free read path: a stream that serves queries from epoch-published
+  // snapshots never needs the per-handle op mutex, so a query cannot stall
+  // behind a backpressure-blocked ingest batch. The whole read — tombstone
+  // check, version bracket, scan, cache stamp — sits inside one epoch
+  // guard, so DropIndex's Synchronize (which runs after the tombstone is
+  // set) waits this query out before teardown and before the cache purge.
+  // Heat-map capture mutates the handle's shared access tracker, so it
+  // stays on the serialized path.
+  if (handle->stream_index != nullptr &&
+      handle->stream_index->ConcurrentReadsSafe() && !request.capture_heatmap) {
+    stream::epoch::EpochGuard guard;
+    if (handle->building.load()) {
+      return Status::NotFound("index '" + request.index + "' not found");
+    }
+    // Fill guard, lock-free form: the version counter is monotone (never
+    // reused, never rolled back), so two equal bracket reads prove the
+    // scan observed one stable snapshot even though seals/merges publish
+    // concurrently. A racing publish lands between the reads, the bracket
+    // differs, and the entry is simply not stamped — a stale answer can
+    // never be inserted at the new version.
+    const uint64_t version_before = cacheable ? IndexVersion(*handle) : 0;
+    Result<QueryReport> report = QueryLocked(request, handle.get());
+    if (cacheable && report.ok() && IndexVersion(*handle) == version_before) {
+      cache->Insert(cache_key, request.index, version_before, report.value());
+    }
+    return report;
+  }
   std::lock_guard<std::mutex> op_lock(handle->op_mutex);
   if (handle->building.load()) {
     return Status::NotFound("index '" + request.index + "' not found");
@@ -2842,21 +2870,34 @@ ListIndexesResponse Service::ListIndexes() const {
   ListIndexesResponse response;
   response.indexes.reserve(pinned.size());
   for (const auto& [name, handle] : pinned) {
+    auto read_info = [&](const std::string& index_name) {
+      ListIndexesResponse::IndexInfo info;
+      info.name = index_name;
+      info.variant = VariantName(handle->spec);
+      info.streaming = handle->stream_index != nullptr;
+      info.shards = handle->spec.num_shards;
+      info.entries = handle->static_index != nullptr
+                         ? handle->static_index->num_entries()
+                         : handle->stream_index->num_entries();
+      info.total_bytes = handle->storage->TotalBytesOnDisk();
+      response.indexes.push_back(std::move(info));
+    };
+    if (handle->stream_index != nullptr &&
+        handle->stream_index->ConcurrentReadsSafe()) {
+      // Epoch-snapshot streams answer stats reads lock-free; taking the op
+      // mutex here would park the listing behind a backpressure-blocked
+      // ingest batch on this one index.
+      stream::epoch::EpochGuard guard;
+      if (handle->building.load()) continue;
+      read_info(name);
+      continue;
+    }
     // Serialize with per-index operations: sync streaming indexes update
     // entry counts without internal synchronization.
     std::lock_guard<std::mutex> op_lock(handle->op_mutex);
     // Dropped between the snapshot and here: skip, like the lookup miss.
     if (handle->building.load()) continue;
-    ListIndexesResponse::IndexInfo info;
-    info.name = name;
-    info.variant = VariantName(handle->spec);
-    info.streaming = handle->stream_index != nullptr;
-    info.shards = handle->spec.num_shards;
-    info.entries = handle->static_index != nullptr
-                       ? handle->static_index->num_entries()
-                       : handle->stream_index->num_entries();
-    info.total_bytes = handle->storage->TotalBytesOnDisk();
-    response.indexes.push_back(std::move(info));
+    read_info(name);
   }
   return response;
 }
@@ -2903,6 +2944,13 @@ Result<DropIndexResponse> Service::DropIndex(const std::string& index_name) {
     }
     response.reclaimed_bytes = handle->storage->TotalBytesOnDisk();
   }
+  // Wait out every lock-free reader that pinned the handle before the
+  // tombstone above: each checks `building` inside its epoch guard, so any
+  // query still touching this index's snapshots (or about to stamp its
+  // cache) entered before the store and is drained here. After this
+  // barrier no thread can insert a stale entry under this name or touch
+  // the stack the teardown below destroys.
+  stream::epoch::EpochManager::Global().Synchronize();
   // The name is about to disappear; purge its cached answers so a future
   // index reusing the name (whose version counter restarts at 0) can
   // never collide with this one's entries.

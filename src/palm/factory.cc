@@ -293,6 +293,9 @@ Result<std::unique_ptr<stream::StreamingIndex>> CreateStreamingIndex(
         pp->set_manifest_restorer([lsm](std::span<const uint8_t> manifest) {
           return lsm->RestoreFromManifest(manifest);
         });
+        // Async CLSM serves queries from epoch-published snapshots, so the
+        // service may fan reads out without the per-handle op lock.
+        pp->set_concurrent_reads_safe(lsm->async());
       }
       pp->set_wal(spec.wal);
       return std::unique_ptr<stream::StreamingIndex>(std::move(pp));

@@ -60,9 +60,18 @@ struct QueryCacheStats {
 /// the version they were computed at and Lookup only returns them while
 /// the index still reports that version. The service fills an entry only
 /// when the version read before the scan equals the version read after it
-/// (the scan observed one stable snapshot). Because a dropped-and-
-/// recreated index restarts its counter, the service additionally calls
-/// InvalidateIndex on every drop/republish of a name.
+/// (the scan observed one stable snapshot). That bracket is the whole
+/// guard on the lock-free read path too: the version counter is monotone
+/// and bumped inside the writer's critical section *before* the
+/// replacement snapshot is published, so a scan racing a background
+/// publish either reads the old version twice (and computed against the
+/// old snapshot — a correct entry for it) or sees the bracket differ and
+/// stamps nothing. A stale answer can therefore never be inserted under
+/// the new version, with no lock shared between filler and writer.
+/// Because a dropped-and-recreated index restarts its counter, the
+/// service additionally calls InvalidateIndex on every drop/republish of
+/// a name (after an epoch Synchronize, so no in-flight lock-free fill
+/// can stamp behind the invalidation).
 ///
 /// Thread safety: a single internal mutex; every operation is O(1) except
 /// InvalidateIndex (O(entries), drop-rate rare).

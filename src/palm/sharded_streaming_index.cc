@@ -108,8 +108,10 @@ Result<std::unique_ptr<ShardedStreamingIndex>> ShardedStreamingIndex::Build(
       // A trailing map whose admit never committed maps an ordinal the
       // crash un-consumed; the next admission reuses both.
       outcome.local_to_global.resize(outcome.ordinals);
-      shard->local_to_global = std::move(outcome.local_to_global);
-      for (const uint64_t global_id : shard->local_to_global) {
+      for (uint64_t local = 0; local < outcome.local_to_global.size();
+           ++local) {
+        const uint64_t global_id = outcome.local_to_global[local];
+        shard->local_to_global.Set(local, global_id);
         sharded->recovered_next_id_ =
             std::max(sharded->recovered_next_id_, global_id + 1);
       }
@@ -189,17 +191,13 @@ Status ShardedStreamingIndex::AdmitToShard(uint64_t series_id,
   std::lock_guard<std::mutex> ingest_lock(shard.ingest_mu);
   COCONUT_ASSIGN_OR_RETURN(const uint64_t local_id,
                            shard.raw->Append(znorm_values));
-  {
-    // The map covers the ordinal even if the inner index then refuses
-    // the entry (a surfaced background error, a backpressure reject):
-    // ids of later admissions keep lining up with the raw file, and
-    // searches never return unindexed slots.
-    std::lock_guard<std::mutex> map_lock(shard.map_mu);
-    if (shard.local_to_global.size() <= local_id) {
-      shard.local_to_global.resize(local_id + 1);
-    }
-    shard.local_to_global[local_id] = series_id;
-  }
+  // The map covers the ordinal even if the inner index then refuses the
+  // entry (a surfaced background error, a backpressure reject): ids of
+  // later admissions keep lining up with the raw file, and searches never
+  // return unindexed slots. The slot commits before the inner Ingest
+  // publishes the entry citing it, so a gather that sees the entry also
+  // sees the mapping.
+  shard.local_to_global.Set(local_id, series_id);
   // Durable streams journal the mapping immediately before the record
   // that consumes the ordinal: the inner Ingest logs the admit inside its
   // own critical section, and a refusal burns the ordinal with a hole, so
@@ -294,10 +292,7 @@ Result<core::SearchResult> ShardedStreamingIndex::ScatterSearch(
     COCONUT_RETURN_NOT_OK(results[i].status());
     core::SearchResult r = results[i].value();
     if (r.found) {
-      {
-        std::lock_guard<std::mutex> map_lock(shards_[i]->map_mu);
-        r.series_id = shards_[i]->local_to_global[r.series_id];
-      }
+      r.series_id = shards_[i]->local_to_global.Get(r.series_id);
       if (!best.found || r.distance_sq < best.distance_sq ||
           (r.distance_sq == best.distance_sq &&
            r.series_id < best.series_id)) {

@@ -1,6 +1,9 @@
 #ifndef COCONUT_PALM_SHARDED_STREAMING_INDEX_H_
 #define COCONUT_PALM_SHARDED_STREAMING_INDEX_H_
 
+#include <array>
+#include <atomic>
+#include <bit>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -148,7 +151,69 @@ class ShardedStreamingIndex : public stream::StreamingIndex {
   /// thread-safe snapshot reads).
   storage::IoStats AggregateIoStats() const;
 
+  /// All shards wrap the same spec, so one delegate answers for the group:
+  /// the gather path reads each shard's epoch-published snapshot and the
+  /// lock-free id map, never an admission lock.
+  bool ConcurrentReadsSafe() const override {
+    return !shards_.empty() && shards_[0]->index->ConcurrentReadsSafe();
+  }
+
  private:
+  /// Lock-free, grow-only map from shard-local raw-store ordinal to global
+  /// series id. A chunked spine (chunk k holds kBase << k slots, bases
+  /// contiguous) so growth never relocates published slots. The single
+  /// writer — serialized by the shard's ingest_mu — fills slot `local_id`
+  /// before the inner index publishes the entry that cites it, and a
+  /// reader only looks up ordinals it obtained from a published entry, so
+  /// the release/acquire pair on the inner index's admission count orders
+  /// every Set before the Get that needs it. Slot and spine stores are
+  /// atomic, so even an out-of-thin-air probe reads cleanly.
+  class IdMap {
+   public:
+    IdMap() = default;
+    IdMap(const IdMap&) = delete;
+    IdMap& operator=(const IdMap&) = delete;
+    ~IdMap() {
+      for (auto& slot : chunks_) {
+        delete[] slot.load(std::memory_order_relaxed);
+      }
+    }
+
+    /// Writer side; callers are serialized by the shard's admission lock.
+    void Set(uint64_t local_id, uint64_t global_id) {
+      const size_t c = ChunkIndex(local_id);
+      std::atomic<uint64_t>* chunk = chunks_[c].load(std::memory_order_acquire);
+      if (chunk == nullptr) {
+        chunk = new std::atomic<uint64_t>[ChunkCapacity(c)]();
+        chunks_[c].store(chunk, std::memory_order_release);
+      }
+      chunk[local_id - ChunkBase(c)].store(global_id,
+                                           std::memory_order_relaxed);
+    }
+
+    uint64_t Get(uint64_t local_id) const {
+      const size_t c = ChunkIndex(local_id);
+      std::atomic<uint64_t>* chunk = chunks_[c].load(std::memory_order_acquire);
+      return chunk[local_id - ChunkBase(c)].load(std::memory_order_relaxed);
+    }
+
+   private:
+    /// First chunk holds 1024 ids; 48 doubling chunks cover ~2.8e17.
+    static constexpr size_t kBaseBits = 10;
+    static constexpr size_t kMaxChunks = 48;
+
+    /// Chunk k covers [kBase*(2^k - 1), kBase*(2^(k+1) - 1)).
+    static size_t ChunkIndex(uint64_t id) {
+      return static_cast<size_t>(std::bit_width((id >> kBaseBits) + 1)) - 1;
+    }
+    static uint64_t ChunkBase(size_t c) {
+      return ((uint64_t{1} << c) - 1) << kBaseBits;
+    }
+    static size_t ChunkCapacity(size_t c) { return size_t{1} << (kBaseBits + c); }
+
+    std::array<std::atomic<std::atomic<uint64_t>*>, kMaxChunks> chunks_{};
+  };
+
   struct Shard {
     std::unique_ptr<storage::StorageManager> storage;
     std::unique_ptr<storage::BufferPool> pool;
@@ -158,10 +223,9 @@ class ShardedStreamingIndex : public stream::StreamingIndex {
     /// index's destructor.
     std::unique_ptr<stream::Wal> wal;
     std::unique_ptr<stream::StreamingIndex> index;
-    /// Shard-local raw-store ordinal -> global series id. Guarded by
-    /// map_mu: ingestion appends while gathers translate result ids.
-    std::vector<uint64_t> local_to_global;
-    mutable std::mutex map_mu;
+    /// Shard-local raw-store ordinal -> global series id; lock-free so the
+    /// gather never waits on a backpressure-blocked admission.
+    IdMap local_to_global;
     /// Serializes this shard's admission path (raw append + inner Ingest +
     /// id-map append must agree on the local ordinal).
     std::mutex ingest_mu;

@@ -7,6 +7,8 @@
 
 #include <immintrin.h>
 
+#include <array>
+#include <cmath>
 #include <cstring>
 
 #include "series/breakpoints.h"
@@ -166,12 +168,140 @@ void ComputePaaAvx2(const float* values, size_t n, int num_segments,
   }
 }
 
-// sax_from_paa deliberately stays scalar on this tier: the 4-lane
-// gather-based binary search (see git history) measurably loses to the
-// scalar upper_bound on gather-slow parts — BENCH_kernels.json has tracked
-// the regression since the dispatch layer landed. The AVX-512 tier keeps
-// its 8-lane form, where the gather amortizes over twice the lanes. Bit-
-// identity is trivial here: the table entry *is* the scalar kernel.
+// sax_from_paa: shuffle-free compare-count quantization. An earlier 4-lane
+// gather-based binary search measurably lost to the scalar upper_bound on
+// gather-slow parts (BENCH_kernels.json tracked the regression, and the
+// slot was demoted to scalar). This form uses no gathers at all:
+//
+//   symbol = |{ t in breakpoints : !(v < t) }|
+//
+// which equals upper_bound's index by monotonicity, including NaN (every
+// _CMP_NLT_UQ compare is unordered-true, so NaN counts all 2^bits - 1
+// breakpoints and lands on the top symbol, exactly like the scalar
+// kernel's upper_bound over a NaN). All compares run in double against
+// the double breakpoint table — the scalar kernel's precision.
+//
+// bits == 8 runs two levels: a coarse pivot-major pass (15 pivots, every
+// 16th breakpoint, broadcast against 8 widened lanes) picks each lane's
+// 16-wide bucket, then a fine pass counts the bucket's 15 breakpoints
+// with four regular 256-bit loads from a padded row table + movemask /
+// popcount. bits <= 4 has at most 15 breakpoints total, so the coarse
+// pass alone is the answer. 5..7-bit cardinalities are not used by any
+// index configuration (isax defaults to 8) and delegate to scalar.
+
+/// Breakpoint tables laid out for the compare-count passes, built once per
+/// process (magic static) from the canonical double table.
+struct SaxTables8 {
+  /// pivots[k] = breakpoints[16k + 15]: the upper fence of bucket k.
+  double pivots[15];
+  /// rows[c][j] = breakpoints[16c + j] for j < 15; slot 15 pads with
+  /// +inf and is masked out of the popcount anyway.
+  alignas(32) double rows[16][16];
+};
+
+const SaxTables8& Tables8() {
+  static const SaxTables8 tables = [] {
+    SaxTables8 t;
+    const std::vector<double>& tab = Breakpoints::ForBits(8);  // 255 entries
+    for (int k = 0; k < 15; ++k) t.pivots[k] = tab[16 * k + 15];
+    for (int c = 0; c < 16; ++c) {
+      for (int j = 0; j < 15; ++j) t.rows[c][j] = tab[16 * c + j];
+      t.rows[c][15] = HUGE_VAL;
+    }
+    return t;
+  }();
+  return tables;
+}
+
+/// Padded single row for bits <= 4 (2^bits - 1 <= 15 breakpoints).
+struct SaxTableSmall {
+  alignas(32) double row[16];
+};
+
+const SaxTableSmall& TablesSmall(int bits) {
+  // Index 0 unused; one magic static builds every small cardinality.
+  static const std::array<SaxTableSmall, 5> built = [] {
+    std::array<SaxTableSmall, 5> all{};
+    for (int b = 1; b <= 4; ++b) {
+      const std::vector<double>& tab = Breakpoints::ForBits(b);
+      for (size_t j = 0; j < 16; ++j) {
+        all[b].row[j] = j < tab.size() ? tab[j] : HUGE_VAL;
+      }
+    }
+    return all;
+  }();
+  return built[bits];
+}
+
+/// Counts breakpoints <= v (unordered counts too) for the 8 lanes starting
+/// at `paa`, over `n` pivot values broadcast one at a time. Counts land in
+/// lanes[0..7].
+inline void PivotCount8(const float* paa, const double* pivots, int n,
+                        long long lanes[8]) {
+  const __m256d v_lo = Widen4(paa);
+  const __m256d v_hi = Widen4(paa + 4);
+  __m256i cnt_lo = _mm256_setzero_si256();
+  __m256i cnt_hi = _mm256_setzero_si256();
+  for (int k = 0; k < n; ++k) {
+    const __m256d t = _mm256_set1_pd(pivots[k]);
+    // The compare mask is all-ones (-1) per passing lane; subtracting it
+    // increments the lane count branchlessly.
+    cnt_lo = _mm256_sub_epi64(
+        cnt_lo, _mm256_castpd_si256(_mm256_cmp_pd(v_lo, t, _CMP_NLT_UQ)));
+    cnt_hi = _mm256_sub_epi64(
+        cnt_hi, _mm256_castpd_si256(_mm256_cmp_pd(v_hi, t, _CMP_NLT_UQ)));
+  }
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), cnt_lo);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes + 4), cnt_hi);
+}
+
+void SaxFromPaaAvx2(const float* paa, int num_segments, int bits,
+                    uint8_t* out) {
+  if (bits == 8) {
+    const SaxTables8& tables = Tables8();
+    int s = 0;
+    for (; s + 8 <= num_segments; s += 8) {
+      alignas(32) long long coarse[8];
+      PivotCount8(paa + s, tables.pivots, 15, coarse);
+      for (int k = 0; k < 8; ++k) {
+        // Fine pass: count the chosen bucket's 15 breakpoints with four
+        // regular loads; lane 15 is padding, masked off the popcount.
+        const __m256d v =
+            _mm256_set1_pd(static_cast<double>(paa[s + k]));
+        const double* row = tables.rows[coarse[k]];
+        int mask = 0;
+        for (int j = 0; j < 4; ++j) {
+          mask |= _mm256_movemask_pd(_mm256_cmp_pd(
+                      v, _mm256_load_pd(row + 4 * j), _CMP_NLT_UQ))
+                  << (4 * j);
+        }
+        out[s + k] = static_cast<uint8_t>(
+            (coarse[k] << 4) + __builtin_popcount(mask & 0x7FFF));
+      }
+    }
+    if (s < num_segments) {
+      SaxFromPaaScalar(paa + s, num_segments - s, bits, out + s);
+    }
+    return;
+  }
+  if (bits <= 4) {
+    const int n = (1 << bits) - 1;
+    const SaxTableSmall& table = TablesSmall(bits);
+    int s = 0;
+    for (; s + 8 <= num_segments; s += 8) {
+      alignas(32) long long counts[8];
+      PivotCount8(paa + s, table.row, n, counts);
+      for (int k = 0; k < 8; ++k) {
+        out[s + k] = static_cast<uint8_t>(counts[k]);
+      }
+    }
+    if (s < num_segments) {
+      SaxFromPaaScalar(paa + s, num_segments - s, bits, out + s);
+    }
+    return;
+  }
+  SaxFromPaaScalar(paa, num_segments, bits, out);
+}
 
 // Per-segment gaps vectorized in float — max(max(lo-q, q-up), 0) matches
 // the scalar branches including NaN/inf edge cases (maxps returns its
@@ -214,7 +344,7 @@ constexpr KernelTable kAvx2Table = {
     Isa::kAvx2,
     "avx2",
     &ComputePaaAvx2,
-    &SaxFromPaaScalar,  // Demoted: scalar beats the gather binary search.
+    &SaxFromPaaAvx2,
     &EuclideanSqAvx2,
     &EuclideanSqEaAvx2,
     &MinDistAccAvx2,

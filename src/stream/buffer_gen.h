@@ -1,0 +1,59 @@
+#ifndef COCONUT_STREAM_BUFFER_GEN_H_
+#define COCONUT_STREAM_BUFFER_GEN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "core/entry.h"
+
+namespace coconut {
+namespace stream {
+
+/// One generation of the in-memory ingest buffer (TP/BTP's unsealed
+/// buffer, CLSM's memtable), laid out for lock-free readers: fixed
+/// preallocated entry and payload arrays plus an atomic published count.
+///
+/// The writer — always serialized by the owner's admission mutex — writes
+/// entries[n] (and the payload slab when materialized) and then
+/// release-stores published = n+1; a reader acquire-loads published and
+/// may touch exactly that prefix. Slots are written once and never
+/// mutated, so a reader holding an older snapshot that observes a fresher
+/// count of a still-active generation simply sees more admitted entries —
+/// monotone append-only, never torn.
+///
+/// When the buffer detaches for its background seal/flush, the generation
+/// moves (by shared_ptr) into the pending descriptor with the count
+/// frozen at detach, and the writer starts a fresh generation. Published
+/// query snapshots reference generations by shared_ptr, so a generation
+/// lives exactly as long as any snapshot (or pending seal) that can still
+/// reach it.
+struct BufferGen {
+  BufferGen(size_t capacity, size_t series_length, bool materialized)
+      : entries(new core::IndexEntry[capacity]),
+        payloads(materialized ? new float[capacity * series_length] : nullptr),
+        capacity(capacity),
+        series_length(series_length) {}
+
+  std::span<const core::IndexEntry> EntrySpan(size_t count) const {
+    return {entries.get(), count};
+  }
+  std::span<const float> PayloadSpan(size_t count) const {
+    if (payloads == nullptr) return {};
+    return {payloads.get(), count * series_length};
+  }
+
+  const std::unique_ptr<core::IndexEntry[]> entries;
+  const std::unique_ptr<float[]> payloads;
+  const size_t capacity;
+  const size_t series_length;
+  /// Entries admitted into this generation; release-stored by the writer
+  /// after the slot write, acquire-loaded by readers. Frozen at detach.
+  std::atomic<uint64_t> published{0};
+};
+
+}  // namespace stream
+}  // namespace coconut
+
+#endif  // COCONUT_STREAM_BUFFER_GEN_H_

@@ -2,6 +2,7 @@
 #define COCONUT_STREAM_STREAMING_INDEX_H_
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -50,16 +51,20 @@ enum class BackpressurePolicy {
 /// The stall/reject bookkeeping and blocking wait shared by every
 /// backpressured index — TP/BTP gate on their pending-seal list, CLSM on
 /// its pending-flush list, with identical semantics. The gate owns no
-/// lock: every method is called with the owner's state mutex held (Block
-/// waits on it), and the owner calls Notify() — still under that mutex —
-/// whenever a pending item retires or the background flusher records an
-/// error, so a blocked producer always wakes.
+/// lock: Block waits on the owner's state mutex, and the owner calls
+/// Notify() — still under that mutex — whenever a pending item retires or
+/// the background flusher records an error, so a blocked producer always
+/// wakes. Writers (Block/Reject) are serialized by the owner's mutex, but
+/// all *reads* (stalls/rejects/samples/percentiles) are lock-free: the
+/// counters are atomic and the sample window is a fixed array of atomic
+/// doubles, so stats snapshots never queue behind a backpressure-blocked
+/// ingest holding the admission path.
 class BackpressureGate {
  public:
   /// Counts and returns the structured refusal (one wire-stable message
   /// shape across index families).
   Status Reject(size_t pending, size_t cap) {
-    ++rejects_;
+    rejects_.fetch_add(1, std::memory_order_relaxed);
     return Status::ResourceExhausted(
         "ingest rejected: " + std::to_string(pending) +
         " seals in flight >= max_inflight_seals (" + std::to_string(cap) +
@@ -71,32 +76,44 @@ class BackpressureGate {
   /// records the stall duration into the bounded percentile window.
   template <typename Pred>
   void Block(std::unique_lock<std::mutex>* lock, Pred done) {
-    ++stalls_;
+    stalls_.fetch_add(1, std::memory_order_relaxed);
     WallTimer stall;
     cv_.wait(*lock, std::move(done));
-    if (samples_.size() < kSampleWindow) {
-      samples_.push_back(stall.ElapsedMillis());
+    const size_t count = sample_count_.load(std::memory_order_relaxed);
+    const size_t slot = count < kSampleWindow ? count : next_;
+    samples_[slot].store(stall.ElapsedMillis(), std::memory_order_relaxed);
+    if (count < kSampleWindow) {
+      sample_count_.store(count + 1, std::memory_order_release);
     } else {
-      samples_[next_] = stall.ElapsedMillis();
+      next_ = (next_ + 1) % kSampleWindow;
     }
-    next_ = (next_ + 1) % kSampleWindow;
   }
 
   /// Wakes blocked producers; owner calls this under its state mutex.
   void Notify() { cv_.notify_all(); }
 
-  uint64_t stalls() const { return stalls_; }
-  uint64_t rejects() const { return rejects_; }
+  uint64_t stalls() const { return stalls_.load(std::memory_order_relaxed); }
+  uint64_t rejects() const { return rejects_.load(std::memory_order_relaxed); }
 
-  /// Copy of the bounded stall-sample window (owner's mutex held, like
-  /// StallPercentileMs). Feeds StreamingStats::stall_samples so cross-shard
-  /// aggregation can merge sample multisets instead of percentile scalars.
-  std::vector<double> SnapshotSamples() const { return samples_; }
+  /// Copy of the bounded stall-sample window — lock-free, callable while a
+  /// producer is blocked in Block(). A sample being overwritten
+  /// concurrently reads as either the old or the new stall duration
+  /// (atomic per slot), which is fine for a percentile estimate. Feeds
+  /// StreamingStats::stall_samples so cross-shard aggregation can merge
+  /// sample multisets instead of percentile scalars.
+  std::vector<double> SnapshotSamples() const {
+    const size_t count = sample_count_.load(std::memory_order_acquire);
+    std::vector<double> out(count);
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = samples_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
 
   /// Percentile over the recorded stall window (0 when nothing stalled).
   double StallPercentileMs(double p) const {
-    if (samples_.empty()) return 0.0;
-    std::vector<double> sorted = samples_;
+    std::vector<double> sorted = SnapshotSamples();
+    if (sorted.empty()) return 0.0;
     std::sort(sorted.begin(), sorted.end());
     const size_t idx =
         static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
@@ -105,14 +122,19 @@ class BackpressureGate {
 
  private:
   /// Stall samples kept for the p50/p99 estimate: large enough that one
-  /// burst does not wash the window out, small enough to sort under the
-  /// owner's state lock without a visible pause.
+  /// burst does not wash the window out, small enough to sort in a stats
+  /// snapshot without a visible pause.
   static constexpr size_t kSampleWindow = 256;
 
   std::condition_variable cv_;
-  uint64_t stalls_ = 0;
-  uint64_t rejects_ = 0;
-  std::vector<double> samples_;
+  std::atomic<uint64_t> stalls_{0};
+  std::atomic<uint64_t> rejects_{0};
+  std::array<std::atomic<double>, kSampleWindow> samples_{};
+  /// Grows 0..kSampleWindow then sticks; release-published after the slot
+  /// write so a reader never sees count cover an unwritten slot.
+  std::atomic<size_t> sample_count_{0};
+  /// Overwrite cursor once the window is full; owner's mutex serializes
+  /// writers, so plain.
   size_t next_ = 0;
 };
 
@@ -264,6 +286,17 @@ class StreamingIndex {
   /// wrapper fans this out to its per-shard logs; an index without a WAL
   /// returns OK. Runs on the admission thread, after the batch.
   virtual Status CommitDurable() { return Status::OK(); }
+
+  /// True when any number of threads may call the search/stats accessors
+  /// concurrently with each other AND with Ingest/FlushAll, with no
+  /// external serialization: the epoch-based read path (readers load a
+  /// published immutable snapshot, never take the admission mutex, and
+  /// never touch a shared BufferPool whose page pointers a concurrent
+  /// reader could invalidate). Async TP/BTP/CLSM and the sharded wrapper
+  /// qualify; sync (single-caller) indexes and anything routing reads
+  /// through a shared BufferPool do not. The service layer uses this to
+  /// bypass its per-index operation mutex on the query path.
+  virtual bool ConcurrentReadsSafe() const { return false; }
 
   /// Monotonic snapshot-version stamp, mirroring
   /// core::DataSeriesIndex::snapshot_version(): bumped on every Ingest

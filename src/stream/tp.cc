@@ -29,14 +29,29 @@ TemporalPartitioningIndex::TemporalPartitioningIndex(
       pool_(pool),
       raw_(raw),
       partitions_(std::make_shared<PartitionSet>()) {
+  if (options_.backend == PartitionBackend::kSeqTable) {
+    gen_ = std::make_shared<BufferGen>(
+        options_.buffer_entries,
+        static_cast<size_t>(options_.sax.series_length),
+        options_.materialized);
+  }
   if (options_.background != nullptr) {
     executor_ = std::make_unique<SerialExecutor>(options_.background);
   }
+  // First publication; no reader exists yet and nothing is superseded.
+  RepublishSnapshotLocked();
 }
 
 TemporalPartitioningIndex::~TemporalPartitioningIndex() {
   // Background tasks close over `this`; drain them before members die.
   DrainBackground();
+  // Unpublish and wait for epoch quiescence: a reader that loaded the
+  // snapshot before this destructor ran finishes inside its guard before
+  // the snapshot (or anything it references) is freed.
+  const QuerySnapshot* last =
+      snapshot_.exchange(nullptr, std::memory_order_acq_rel);
+  epoch::EpochManager::Global().Retire(last);
+  epoch::EpochManager::Global().Synchronize();
 }
 
 Result<std::unique_ptr<TemporalPartitioningIndex>>
@@ -92,36 +107,70 @@ size_t TemporalPartitioningIndex::UnsealedCountLocked() const {
                ? 0
                : static_cast<size_t>(current_ads_->num_entries());
   }
-  return buffer_.size();
+  return gen_ == nullptr
+             ? 0
+             : static_cast<size_t>(
+                   gen_->published.load(std::memory_order_relaxed));
+}
+
+const TemporalPartitioningIndex::QuerySnapshot*
+TemporalPartitioningIndex::RepublishSnapshotLocked() {
+  auto* snap = new QuerySnapshot();
+  snap->buffer = gen_;
+  snap->pending = pending_;
+  snap->partitions = partitions_;
+  snap->current_ads = current_ads_;
+  if (current_ads_ != nullptr) {
+    snap->ads_buffered = current_ads_->num_entries();
+  }
+  for (const auto& p : pending_) snap->entries_pending += p->count;
+  uint64_t bytes = 0;
+  for (const auto& p : *partitions_) {
+    snap->entries_sealed += p->entries;
+    if (p->table != nullptr) bytes += p->table->file_bytes();
+    if (p->ads != nullptr) bytes += p->ads->total_file_bytes();
+  }
+  if (current_ads_ != nullptr) bytes += current_ads_->total_file_bytes();
+  snap->index_bytes = bytes;
+  snap->seals_completed = seals_completed_;
+  snap->merges_completed = merges_completed_;
+  return snapshot_.exchange(snap, std::memory_order_acq_rel);
 }
 
 std::shared_ptr<const TemporalPartitioningIndex::PartitionSet>
 TemporalPartitioningIndex::CurrentPartitions() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return partitions_;
+  epoch::EpochGuard guard;
+  return snapshot_.load(std::memory_order_acquire)->partitions;
 }
 
 void TemporalPartitioningIndex::PublishPartitions(
     std::shared_ptr<const PartitionSet> set,
     const PendingSeal* retired_pending, bool count_seal,
     uint64_t merges_delta) {
-  std::lock_guard<std::mutex> lock(mu_);
-  partitions_ = std::move(set);
-  // Publication changes the queryable partition set (a seal or a merge can
-  // change approx-search pruning order even when contents are identical).
-  BumpSnapshotVersion();
-  if (retired_pending != nullptr) {
-    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-      if (it->get() == retired_pending) {
-        pending_.erase(it);
-        break;
+  const QuerySnapshot* retired = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    partitions_ = std::move(set);
+    // Publication changes the queryable partition set (a seal or a merge
+    // can change approx-search pruning order even when contents are
+    // identical).
+    BumpSnapshotVersion();
+    if (retired_pending != nullptr) {
+      for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->get() == retired_pending) {
+          pending_.erase(it);
+          break;
+        }
       }
+      // A pending seal retired: ingests blocked on the seal cap may
+      // proceed.
+      backpressure_.Notify();
     }
-    // A pending seal retired: ingests blocked on the seal cap may proceed.
-    backpressure_.Notify();
+    if (count_seal) ++seals_completed_;
+    merges_completed_ += merges_delta;
+    retired = RepublishSnapshotLocked();
   }
-  if (count_seal) ++seals_completed_;
-  merges_completed_ += merges_delta;
+  epoch::EpochManager::Global().Retire(retired);
 }
 
 void TemporalPartitioningIndex::RecordBackgroundError(const Status& status) {
@@ -138,7 +187,8 @@ Status TemporalPartitioningIndex::ApplyBackpressureLocked(
   if (cap == 0 || !async()) return Status::OK();
   // Only the admission that would detach one more buffer is gated; the
   // buffer itself is already bounded by buffer_entries.
-  if (buffer_.size() + 1 < options_.buffer_entries || pending_.size() < cap) {
+  if (UnsealedCountLocked() + 1 < options_.buffer_entries ||
+      pending_.size() < cap) {
     return Status::OK();
   }
   if (options_.backpressure == BackpressurePolicy::kReject) {
@@ -157,18 +207,23 @@ Status TemporalPartitioningIndex::BackgroundStatus() const {
 
 std::shared_ptr<TemporalPartitioningIndex::PendingSeal>
 TemporalPartitioningIndex::DetachBufferLocked() {
-  if (buffer_.empty()) return nullptr;
+  const size_t count = UnsealedCountLocked();
+  if (count == 0) return nullptr;
   auto pending = std::make_shared<PendingSeal>();
-  pending->entries = std::move(buffer_);
-  pending->payloads = std::move(buffer_payloads_);
-  buffer_.clear();
-  buffer_payloads_.clear();
+  pending->gen = gen_;
+  pending->count = count;
   pending->t_min = unsealed_t_min_;
   pending->t_max = unsealed_t_max_;
   unsealed_t_min_ = INT64_MAX;
   unsealed_t_max_ = INT64_MIN;
   pending->name = prefix_ + ".p" + std::to_string(next_partition_id_++);
   pending_.push_back(pending);
+  // Fresh generation for the ingest path; the detached one is frozen (its
+  // writer is gone) and lives on through the pending descriptor and any
+  // published snapshots.
+  gen_ = std::make_shared<BufferGen>(
+      options_.buffer_entries,
+      static_cast<size_t>(options_.sax.series_length), options_.materialized);
   return pending;
 }
 
@@ -193,10 +248,12 @@ Status TemporalPartitioningIndex::SealTask(
   // Sort by key and lay the buffer out as one compact partition. All the
   // I/O happens here, off the ingest lock.
   const size_t len = options_.sax.series_length;
-  std::vector<size_t> order(pending->entries.size());
+  const std::span<const IndexEntry> entries = pending->entries();
+  const std::span<const float> payloads = pending->payloads();
+  std::vector<size_t> order(pending->count);
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&pending](size_t a, size_t b) {
-    return core::EntryKeyLess()(pending->entries[a], pending->entries[b]);
+  std::sort(order.begin(), order.end(), [&entries](size_t a, size_t b) {
+    return core::EntryKeyLess()(entries[a], entries[b]);
   });
   seqtable::SeqTableOptions topts;
   topts.sax = options_.sax;
@@ -207,10 +264,9 @@ Status TemporalPartitioningIndex::SealTask(
   for (size_t i : order) {
     std::span<const float> payload;
     if (options_.materialized) {
-      payload =
-          std::span<const float>(pending->payloads.data() + i * len, len);
+      payload = payloads.subspan(i * len, len);
     }
-    COCONUT_RETURN_NOT_OK(builder->Add(pending->entries[i], payload));
+    COCONUT_RETURN_NOT_OK(builder->Add(entries[i], payload));
   }
   auto partition = std::make_shared<SealedPartition>();
   partition->entries = builder->entries_added();
@@ -240,41 +296,50 @@ Status TemporalPartitioningIndex::Ingest(uint64_t series_id,
 
   if (options_.backend == PartitionBackend::kAds) {
     // Synchronous-only backend; everything under the lock for simplicity.
-    std::lock_guard<std::mutex> lock(mu_);
-    if (options_.timestamp_policy == TimestampPolicy::kStrict &&
-        timestamp < last_timestamp_) {
-      return Status::InvalidArgument(
-          "timestamp regression rejected by kStrict policy");
+    const QuerySnapshot* retired = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (options_.timestamp_policy == TimestampPolicy::kStrict &&
+          timestamp < last_timestamp_) {
+        return Status::InvalidArgument(
+            "timestamp regression rejected by kStrict policy");
+      }
+      if (options_.timestamp_policy == TimestampPolicy::kClamp) {
+        timestamp = std::max(timestamp, last_timestamp_);
+      }
+      COCONUT_RETURN_NOT_OK(EnsureCurrentAdsLocked());
+      COCONUT_RETURN_NOT_OK(
+          current_ads_->Insert(series_id, znorm_values, timestamp));
+      // Watermark and range commit only once the entry is actually
+      // admitted.
+      last_timestamp_ = std::max(last_timestamp_, timestamp);
+      unsealed_t_min_ = std::min(unsealed_t_min_, timestamp);
+      unsealed_t_max_ = std::max(unsealed_t_max_, timestamp);
+      if (UnsealedCountLocked() >= options_.buffer_entries) {
+        COCONUT_RETURN_NOT_OK(current_ads_->FlushAll());
+        auto partition = std::make_shared<SealedPartition>();
+        partition->entries = current_ads_->num_entries();
+        partition->ads = std::move(current_ads_);
+        current_ads_ = nullptr;
+        partition->t_min = unsealed_t_min_;
+        partition->t_max = unsealed_t_max_;
+        partition->name =
+            prefix_ + ".p" + std::to_string(next_partition_id_++);
+        unsealed_t_min_ = INT64_MAX;
+        unsealed_t_max_ = INT64_MIN;
+        auto next = std::make_shared<PartitionSet>(*partitions_);
+        next->push_back(std::move(partition));
+        partitions_ = std::move(next);
+        ++seals_completed_;
+      }
+      // Admission (and the occasional inline seal) changed the answer set.
+      // The live ADS+ tree mutates in place, so every admission republishes
+      // the snapshot — that keeps the stats mirrors exact without readers
+      // ever touching the tree's internals.
+      BumpSnapshotVersion();
+      retired = RepublishSnapshotLocked();
     }
-    if (options_.timestamp_policy == TimestampPolicy::kClamp) {
-      timestamp = std::max(timestamp, last_timestamp_);
-    }
-    COCONUT_RETURN_NOT_OK(EnsureCurrentAdsLocked());
-    COCONUT_RETURN_NOT_OK(
-        current_ads_->Insert(series_id, znorm_values, timestamp));
-    // Watermark and range commit only once the entry is actually admitted.
-    last_timestamp_ = std::max(last_timestamp_, timestamp);
-    unsealed_t_min_ = std::min(unsealed_t_min_, timestamp);
-    unsealed_t_max_ = std::max(unsealed_t_max_, timestamp);
-    if (UnsealedCountLocked() >= options_.buffer_entries) {
-      COCONUT_RETURN_NOT_OK(current_ads_->FlushAll());
-      auto partition = std::make_shared<SealedPartition>();
-      partition->entries = current_ads_->num_entries();
-      partition->ads = std::move(current_ads_);
-      current_ads_ = nullptr;
-      partition->t_min = unsealed_t_min_;
-      partition->t_max = unsealed_t_max_;
-      partition->name =
-          prefix_ + ".p" + std::to_string(next_partition_id_++);
-      unsealed_t_min_ = INT64_MAX;
-      unsealed_t_max_ = INT64_MIN;
-      auto next = std::make_shared<PartitionSet>(*partitions_);
-      next->push_back(std::move(partition));
-      partitions_ = std::move(next);
-      ++seals_completed_;
-    }
-    // Admission (and the occasional inline seal) changed the answer set.
-    BumpSnapshotVersion();
+    epoch::EpochManager::Global().Retire(retired);
     return Status::OK();
   }
 
@@ -286,6 +351,7 @@ Status TemporalPartitioningIndex::Ingest(uint64_t series_id,
   entry.series_id = series_id;
 
   std::shared_ptr<const PendingSeal> pending;
+  const QuerySnapshot* retired = nullptr;
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (!background_status_.ok()) return background_status_;
@@ -302,30 +368,36 @@ Status TemporalPartitioningIndex::Ingest(uint64_t series_id,
     }
     last_timestamp_ = std::max(last_timestamp_, timestamp);
     entry.timestamp = timestamp;
-    buffer_.push_back(entry);
+    const uint64_t n = gen_->published.load(std::memory_order_relaxed);
+    gen_->entries[n] = entry;
     if (options_.materialized) {
-      buffer_payloads_.insert(buffer_payloads_.end(), znorm_values.begin(),
-                              znorm_values.end());
+      std::copy(znorm_values.begin(), znorm_values.end(),
+                gen_->payloads.get() +
+                    n * static_cast<size_t>(options_.sax.series_length));
     }
     // This is the admission commit point, still under mu_: the log record
     // order is exactly the admission order (a checkpoint from the strand
-    // cannot slip between the push and the record). The clamped timestamp
+    // cannot slip between the write and the record). The clamped timestamp
     // is logged so replay through this same path is idempotent.
     if (options_.wal != nullptr) {
       options_.wal->AppendAdmit(series_id, timestamp, znorm_values);
     }
     unsealed_t_min_ = std::min(unsealed_t_min_, timestamp);
     unsealed_t_max_ = std::max(unsealed_t_max_, timestamp);
-    // The entry is admitted (visible to buffer-snapshot queries) from here.
+    // The entry is admitted (visible to snapshot readers) from here: the
+    // release store pairs with readers' acquire load of the count.
+    gen_->published.store(n + 1, std::memory_order_release);
     BumpSnapshotVersion();
-    if (buffer_.size() >= options_.buffer_entries) {
+    if (n + 1 >= options_.buffer_entries) {
       pending = DetachBufferLocked();
+      retired = RepublishSnapshotLocked();
       if (pending != nullptr && async()) {
         EnqueueSealLocked(pending);
         pending = nullptr;
       }
     }
   }
+  if (retired != nullptr) epoch::EpochManager::Global().Retire(retired);
   // Sync mode: seal inline, off the lock (SealTask re-acquires mu_).
   if (pending != nullptr) return SealTask(std::move(pending));
   return Status::OK();
@@ -333,34 +405,45 @@ Status TemporalPartitioningIndex::Ingest(uint64_t series_id,
 
 Status TemporalPartitioningIndex::FlushAll() {
   if (options_.backend == PartitionBackend::kAds) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (UnsealedCountLocked() == 0) return Status::OK();
-    COCONUT_RETURN_NOT_OK(current_ads_->FlushAll());
-    auto partition = std::make_shared<SealedPartition>();
-    partition->entries = current_ads_->num_entries();
-    partition->ads = std::move(current_ads_);
-    current_ads_ = nullptr;
-    partition->t_min = unsealed_t_min_;
-    partition->t_max = unsealed_t_max_;
-    partition->name = prefix_ + ".p" + std::to_string(next_partition_id_++);
-    unsealed_t_min_ = INT64_MAX;
-    unsealed_t_max_ = INT64_MIN;
-    auto next = std::make_shared<PartitionSet>(*partitions_);
-    next->push_back(std::move(partition));
-    partitions_ = std::move(next);
-    ++seals_completed_;
+    const QuerySnapshot* retired = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (UnsealedCountLocked() == 0) return Status::OK();
+      COCONUT_RETURN_NOT_OK(current_ads_->FlushAll());
+      auto partition = std::make_shared<SealedPartition>();
+      partition->entries = current_ads_->num_entries();
+      partition->ads = std::move(current_ads_);
+      current_ads_ = nullptr;
+      partition->t_min = unsealed_t_min_;
+      partition->t_max = unsealed_t_max_;
+      partition->name = prefix_ + ".p" + std::to_string(next_partition_id_++);
+      unsealed_t_min_ = INT64_MAX;
+      unsealed_t_max_ = INT64_MIN;
+      auto next = std::make_shared<PartitionSet>(*partitions_);
+      next->push_back(std::move(partition));
+      partitions_ = std::move(next);
+      ++seals_completed_;
+      BumpSnapshotVersion();
+      retired = RepublishSnapshotLocked();
+    }
+    epoch::EpochManager::Global().Retire(retired);
     return Status::OK();
   }
 
   std::shared_ptr<const PendingSeal> pending;
+  const QuerySnapshot* retired = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     pending = DetachBufferLocked();
-    if (pending != nullptr && async()) {
-      EnqueueSealLocked(pending);
-      pending = nullptr;
+    if (pending != nullptr) {
+      retired = RepublishSnapshotLocked();
+      if (async()) {
+        EnqueueSealLocked(pending);
+        pending = nullptr;
+      }
     }
   }
+  if (retired != nullptr) epoch::EpochManager::Global().Retire(retired);
   if (pending != nullptr) {
     COCONUT_RETURN_NOT_OK(SealTask(std::move(pending)));
   }
@@ -368,25 +451,20 @@ Status TemporalPartitioningIndex::FlushAll() {
   return BackgroundStatus();
 }
 
-TemporalPartitioningIndex::QuerySnapshot
-TemporalPartitioningIndex::TakeSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  QuerySnapshot snap;
-  if (async()) {
-    // Ingestion mutates the buffer concurrently: copy. (Spans into the
-    // owned vectors survive the return — moves keep heap storage.)
-    snap.buffer_copy = buffer_;
-    snap.payload_copy = buffer_payloads_;
-    snap.buffer = snap.buffer_copy;
-    snap.buffer_payloads = snap.payload_copy;
-  } else {
-    snap.buffer = buffer_;
-    snap.buffer_payloads = buffer_payloads_;
+TemporalPartitioningIndex::QueryView
+TemporalPartitioningIndex::CaptureView() const {
+  QueryView view;
+  view.snap = snapshot_.load(std::memory_order_acquire);
+  if (view.snap->buffer != nullptr) {
+    // Capture the published count once: the approximate seed and the
+    // exact pass must evaluate exactly the same prefix even while
+    // admissions race the count forward.
+    const uint64_t n =
+        view.snap->buffer->published.load(std::memory_order_acquire);
+    view.buffer = view.snap->buffer->EntrySpan(n);
+    view.buffer_payloads = view.snap->buffer->PayloadSpan(n);
   }
-  snap.pending = pending_;
-  snap.partitions = partitions_;
-  snap.current_ads = current_ads_;
-  return snap;
+  return view;
 }
 
 Status TemporalPartitioningIndex::SearchUnsealedEntries(
@@ -403,23 +481,24 @@ Status TemporalPartitioningIndex::SearchUnsealedEntries(
 }
 
 Status TemporalPartitioningIndex::ApproxPassOverSnapshot(
-    const QuerySnapshot& snap, std::span<const float> query,
+    const QueryView& view, std::span<const float> query,
     const SearchOptions& options, core::QueryCounters* counters,
     SearchResult* best) {
+  const QuerySnapshot& snap = *view.snap;
   // Newest data first: the unsealed tail, in-flight seals, then partitions
   // newest to oldest.
-  if (snap.current_ads != nullptr && snap.current_ads->num_entries() > 0) {
+  if (snap.current_ads != nullptr && snap.ads_buffered > 0) {
     COCONUT_ASSIGN_OR_RETURN(
         SearchResult r, snap.current_ads->ApproxSearch(query, options,
                                                        counters));
     best->Improve(r);
   }
   COCONUT_RETURN_NOT_OK(SearchUnsealedEntries(
-      snap.buffer, snap.buffer_payloads, query, options, counters,
+      view.buffer, view.buffer_payloads, query, options, counters,
       /*exact=*/false, best));
   for (auto it = snap.pending.rbegin(); it != snap.pending.rend(); ++it) {
     COCONUT_RETURN_NOT_OK(SearchUnsealedEntries(
-        (*it)->entries, (*it)->payloads, query, options, counters,
+        (*it)->entries(), (*it)->payloads(), query, options, counters,
         /*exact=*/false, best));
   }
   std::vector<float> paa_storage;
@@ -454,40 +533,46 @@ Status TemporalPartitioningIndex::ApproxPassOverSnapshot(
 Result<SearchResult> TemporalPartitioningIndex::ApproxSearch(
     std::span<const float> query, const SearchOptions& options,
     core::QueryCounters* counters) {
-  QuerySnapshot snap = TakeSnapshot();
+  // Lock-free read: the guard spans the whole query (including partition
+  // I/O), so everything the snapshot references stays alive without any
+  // reference-count traffic.
+  epoch::EpochGuard guard;
+  const QueryView view = CaptureView();
   SearchResult best;
   COCONUT_RETURN_NOT_OK(
-      ApproxPassOverSnapshot(snap, query, options, counters, &best));
+      ApproxPassOverSnapshot(view, query, options, counters, &best));
   return best;
 }
 
 Result<SearchResult> TemporalPartitioningIndex::ExactSearch(
     std::span<const float> query, const SearchOptions& options,
     core::QueryCounters* counters) {
-  // One snapshot serves both passes, so the approximate seed and the exact
+  // One view serves both passes, so the approximate seed and the exact
   // scan see the same entries even while ingestion races ahead.
-  QuerySnapshot snap = TakeSnapshot();
+  epoch::EpochGuard guard;
+  const QueryView view = CaptureView();
+  const QuerySnapshot& snap = *view.snap;
   SearchResult best;
   // Approximate pass (cheap, tightens the bound) over the snapshot.
   COCONUT_RETURN_NOT_OK(
-      ApproxPassOverSnapshot(snap, query, options, counters, &best));
+      ApproxPassOverSnapshot(view, query, options, counters, &best));
   std::vector<float> paa_storage;
   seqtable::SearchContext ctx = seqtable::MakeSearchContext(
       options_.sax, query, &paa_storage, raw_, counters);
 
   // Exact pass: every intersecting source with the shared best-so-far.
-  if (snap.current_ads != nullptr && snap.current_ads->num_entries() > 0) {
+  if (snap.current_ads != nullptr && snap.ads_buffered > 0) {
     COCONUT_ASSIGN_OR_RETURN(
         SearchResult r, snap.current_ads->ExactSearch(query, options,
                                                       counters));
     best.Improve(r);
   }
   COCONUT_RETURN_NOT_OK(SearchUnsealedEntries(
-      snap.buffer, snap.buffer_payloads, query, options, counters,
+      view.buffer, view.buffer_payloads, query, options, counters,
       /*exact=*/true, &best));
   for (auto it = snap.pending.rbegin(); it != snap.pending.rend(); ++it) {
     COCONUT_RETURN_NOT_OK(SearchUnsealedEntries(
-        (*it)->entries, (*it)->payloads, query, options, counters,
+        (*it)->entries(), (*it)->payloads(), query, options, counters,
         /*exact=*/true, &best));
   }
   for (auto it = snap.partitions->rbegin(); it != snap.partitions->rend();
@@ -511,47 +596,42 @@ Result<SearchResult> TemporalPartitioningIndex::ExactSearch(
 }
 
 uint64_t TemporalPartitioningIndex::num_entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint64_t total = UnsealedCountLocked();
-  for (const auto& p : pending_) total += p->entries.size();
-  for (const auto& p : *partitions_) total += p->entries;
+  epoch::EpochGuard guard;
+  const QuerySnapshot* snap = snapshot_.load(std::memory_order_acquire);
+  uint64_t total =
+      snap->entries_sealed + snap->entries_pending + snap->ads_buffered;
+  if (snap->buffer != nullptr) {
+    total += snap->buffer->published.load(std::memory_order_acquire);
+  }
   return total;
 }
 
 size_t TemporalPartitioningIndex::num_partitions() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return partitions_->size();
+  epoch::EpochGuard guard;
+  return snapshot_.load(std::memory_order_acquire)->partitions->size();
 }
 
 uint64_t TemporalPartitioningIndex::index_bytes() const {
-  std::shared_ptr<const PartitionSet> parts;
-  std::shared_ptr<ads::AdsIndex> live_ads;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    parts = partitions_;
-    live_ads = current_ads_;
-  }
-  uint64_t total = 0;
-  for (const auto& p : *parts) {
-    if (p->table != nullptr) total += p->table->file_bytes();
-    if (p->ads != nullptr) total += p->ads->total_file_bytes();
-  }
-  if (live_ads != nullptr) total += live_ads->total_file_bytes();
-  return total;
+  epoch::EpochGuard guard;
+  return snapshot_.load(std::memory_order_acquire)->index_bytes;
 }
 
 StreamingStats TemporalPartitioningIndex::SnapshotStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Pure snapshot + atomic reads: never blocks, even while a
+  // backpressure-stalled producer holds the admission path.
+  epoch::EpochGuard guard;
+  const QuerySnapshot* snap = snapshot_.load(std::memory_order_acquire);
   StreamingStats stats;
-  stats.buffered = UnsealedCountLocked();
-  stats.entries = stats.buffered;
-  for (const auto& p : pending_) stats.entries += p->entries.size();
-  for (const auto& p : *partitions_) stats.entries += p->entries;
-  stats.sealed_partitions = partitions_->size();
-  stats.pending_tasks = pending_.size();
-  stats.seals_completed = seals_completed_;
-  stats.merges_completed = merges_completed_;
-  stats.seals_inflight = pending_.size();
+  stats.buffered = snap->ads_buffered;
+  if (snap->buffer != nullptr) {
+    stats.buffered += snap->buffer->published.load(std::memory_order_acquire);
+  }
+  stats.entries = stats.buffered + snap->entries_pending + snap->entries_sealed;
+  stats.sealed_partitions = snap->partitions->size();
+  stats.pending_tasks = snap->pending.size();
+  stats.seals_completed = snap->seals_completed;
+  stats.merges_completed = snap->merges_completed;
+  stats.seals_inflight = snap->pending.size();
   stats.ingest_stalls = backpressure_.stalls();
   stats.ingest_rejects = backpressure_.rejects();
   stats.stall_ms_p50 = backpressure_.StallPercentileMs(0.50);
@@ -639,7 +719,8 @@ Status TemporalPartitioningIndex::RestoreFromManifest(
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!buffer_.empty() || !pending_.empty() || !partitions_->empty()) {
+    if (UnsealedCountLocked() != 0 || !pending_.empty() ||
+        !partitions_->empty()) {
       return Status::InvalidArgument(
           "manifest restore requires an empty index");
     }
@@ -681,6 +762,7 @@ Status TemporalPartitioningIndex::RestoreFromManifest(
       !reader.GetU64(&merges) || !reader.GetU64(&aux) || !reader.AtEnd()) {
     return Status::DataLoss("checkpoint manifest truncated");
   }
+  const QuerySnapshot* retired = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     partitions_ = std::move(set);
@@ -688,7 +770,9 @@ Status TemporalPartitioningIndex::RestoreFromManifest(
     seals_completed_ = seals;
     merges_completed_ = merges;
     BumpSnapshotVersion();
+    retired = RepublishSnapshotLocked();
   }
+  epoch::EpochManager::Global().Retire(retired);
   RestoreManifestAuxCounter(aux);
   return Status::OK();
 }

@@ -1,10 +1,12 @@
 #ifndef COCONUT_STREAM_TP_H_
 #define COCONUT_STREAM_TP_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,8 @@
 #include "core/entry.h"
 #include "core/raw_store.h"
 #include "seqtable/seq_table.h"
+#include "stream/buffer_gen.h"
+#include "stream/epoch.h"
 #include "stream/streaming_index.h"
 
 namespace coconut {
@@ -33,15 +37,23 @@ enum class PartitionBackend {
 /// nearly everything — but partitions accumulate without bound, so large
 /// windows pay one probe per partition.
 ///
-/// Concurrency: with Options.background set, Ingest appends to the buffer
-/// under a light lock and returns; sealing (sorting + the partition write)
-/// runs on the pool, serialized per index so the sealed-partition sequence
-/// is identical to the synchronous build. Queries take an immutable
-/// snapshot — buffer copy, in-flight seal payloads, and the shared_ptr
-/// partition set — so they never block on, and are never corrupted by,
-/// concurrent seals or merges. Every acknowledged entry is visible to the
-/// very next query: entries move buffer → pending → sealed under one lock.
-/// Without a background pool behaviour is the synchronous original.
+/// Concurrency — the epoch-based read path: the index publishes an atomic
+/// pointer to an immutable QuerySnapshot (the current buffer generation,
+/// the in-flight seals, and the shared partition set, with stats mirrors
+/// precomputed). Readers bracket the whole query in an epoch::EpochGuard,
+/// load the pointer, and search — they never take mu_, never copy the
+/// ingest buffer (admissions publish into a fixed buffer generation via
+/// an atomic count), and never block behind a backpressure-stalled
+/// producer. Writers replace the snapshot at every structural edge
+/// (buffer detach, seal retire, merge install, manifest restore) and hand
+/// the superseded one to the epoch manager, which frees it once every
+/// reader that could hold it has exited. Every acknowledged entry is
+/// visible to the very next query: admissions bump the generation's
+/// published count, detaches move the generation wholesale into the
+/// pending list within one republish.
+///
+/// Without a background pool the index keeps its single-caller contract
+/// (one thread at a time), but reads go through the same snapshot path.
 class TemporalPartitioningIndex : public StreamingIndex {
  public:
   struct Options {
@@ -90,6 +102,58 @@ class TemporalPartitioningIndex : public StreamingIndex {
     int64_t t_max = 0;
   };
 
+  struct SealedPartition {
+    std::shared_ptr<seqtable::SeqTable> table;  // kSeqTable backend.
+    std::shared_ptr<ads::AdsIndex> ads;         // kAds backend.
+    int64_t t_min = 0;
+    int64_t t_max = 0;
+    uint64_t entries = 0;
+    int size_class = 0;  // Used by the BTP subclass.
+    std::string name;
+  };
+  /// Immutable once published; snapshots hold shared_ptr copies while
+  /// merges swap in replacement sets.
+  using PartitionSet = std::vector<std::shared_ptr<const SealedPartition>>;
+
+  /// A buffer generation moved out of the ingest path, waiting for (or
+  /// undergoing) its background seal. The generation is immutable from
+  /// detach (count frozen), so queries evaluate it without copying.
+  struct PendingSeal {
+    std::shared_ptr<const BufferGen> gen;
+    size_t count = 0;
+    int64_t t_min = 0;
+    int64_t t_max = 0;
+    std::string name;
+
+    std::span<const core::IndexEntry> entries() const {
+      return gen->EntrySpan(count);
+    }
+    std::span<const float> payloads() const { return gen->PayloadSpan(count); }
+  };
+
+  /// Everything one query evaluates — the immutable unit the index
+  /// publishes through an atomic pointer and retires through the epoch
+  /// manager. Readers access members directly (no shared_ptr copies on
+  /// the hot path) for the lifetime of their EpochGuard. The stats
+  /// mirrors are precomputed at publication so stats/health reads are
+  /// pure loads that can never stall behind a blocked writer.
+  struct QuerySnapshot {
+    /// Live buffer generation; its atomic published count is the only
+    /// part of a snapshot that advances after publication (append-only).
+    std::shared_ptr<const BufferGen> buffer;
+    std::vector<std::shared_ptr<const PendingSeal>> pending;
+    std::shared_ptr<const PartitionSet> partitions;
+    std::shared_ptr<ads::AdsIndex> current_ads;
+
+    // Stats mirrors, exact as of publication.
+    uint64_t ads_buffered = 0;     // kAds: live-tree entries at publish.
+    uint64_t entries_pending = 0;  // Sum of pending-seal counts.
+    uint64_t entries_sealed = 0;   // Sum over *partitions.
+    uint64_t seals_completed = 0;
+    uint64_t merges_completed = 0;
+    uint64_t index_bytes = 0;      // Partition files (+ live ADS+ tree).
+  };
+
   static Result<std::unique_ptr<TemporalPartitioningIndex>> Create(
       storage::StorageManager* storage, const std::string& prefix,
       const Options& options, storage::BufferPool* pool,
@@ -117,6 +181,13 @@ class TemporalPartitioningIndex : public StreamingIndex {
 
   bool async() const { return executor_ != nullptr; }
 
+  /// Readers are lock-free (epoch-guarded snapshot loads) whenever the
+  /// index is async: async mode reads partitions with direct preads (no
+  /// shared BufferPool frames), so any number of queries may run against
+  /// each other and against Ingest. Sync mode keeps the single-caller
+  /// contract (reads share the caller's pool).
+  bool ConcurrentReadsSafe() const override { return async(); }
+
   /// Metadata of every sealed partition, oldest first.
   std::vector<PartitionInfo> SnapshotPartitions() const;
 
@@ -125,45 +196,14 @@ class TemporalPartitioningIndex : public StreamingIndex {
   /// kSeqTable partitions only.
   Result<std::vector<core::IndexEntry>> DumpPartitionEntries(size_t idx) const;
 
+  /// Test seam for the epoch-reclamation suite: the raw published
+  /// snapshot. Must only be loaded and dereferenced under an
+  /// epoch::EpochGuard held for the whole use.
+  const QuerySnapshot* snapshot_for_testing() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
  protected:
-  struct SealedPartition {
-    std::shared_ptr<seqtable::SeqTable> table;  // kSeqTable backend.
-    std::shared_ptr<ads::AdsIndex> ads;         // kAds backend.
-    int64_t t_min = 0;
-    int64_t t_max = 0;
-    uint64_t entries = 0;
-    int size_class = 0;  // Used by the BTP subclass.
-    std::string name;
-  };
-  /// Immutable once published; queries hold shared_ptr copies while merges
-  /// swap in replacement sets.
-  using PartitionSet = std::vector<std::shared_ptr<const SealedPartition>>;
-
-  /// A buffer moved out of the ingest path, waiting for (or undergoing) its
-  /// background seal. Immutable after construction so queries can evaluate
-  /// it without copying.
-  struct PendingSeal {
-    std::vector<core::IndexEntry> entries;
-    std::vector<float> payloads;
-    int64_t t_min = 0;
-    int64_t t_max = 0;
-    std::string name;
-  };
-
-  /// Everything one query evaluates, captured atomically under mu_. In
-  /// async mode the unsealed buffer is copied (ingestion keeps mutating
-  /// it); in sync mode — single-caller contract — the spans alias the live
-  /// buffer and queries pay no copy, as before this layer went concurrent.
-  struct QuerySnapshot {
-    std::vector<core::IndexEntry> buffer_copy;
-    std::vector<float> payload_copy;
-    std::span<const core::IndexEntry> buffer;
-    std::span<const float> buffer_payloads;
-    std::vector<std::shared_ptr<const PendingSeal>> pending;
-    std::shared_ptr<const PartitionSet> partitions;
-    std::shared_ptr<ads::AdsIndex> current_ads;
-  };
-
   TemporalPartitioningIndex(storage::StorageManager* storage,
                             std::string prefix, const Options& options,
                             storage::BufferPool* pool,
@@ -181,7 +221,18 @@ class TemporalPartitioningIndex : public StreamingIndex {
     if (executor_ != nullptr) executor_->Drain();
   }
 
-  QuerySnapshot TakeSnapshot() const;
+  /// One query's frozen view: the published snapshot plus the buffer
+  /// prefix captured once, so the approximate seed and the exact pass
+  /// evaluate exactly the same entries even while admissions race the
+  /// generation's count forward. Valid only under the caller's
+  /// EpochGuard.
+  struct QueryView {
+    const QuerySnapshot* snap = nullptr;
+    std::span<const core::IndexEntry> buffer;
+    std::span<const float> buffer_payloads;
+  };
+  QueryView CaptureView() const;
+
   std::shared_ptr<const PartitionSet> CurrentPartitions() const;
 
   /// Builds the partition for one pending seal (I/O, off-lock), publishes
@@ -225,10 +276,23 @@ class TemporalPartitioningIndex : public StreamingIndex {
   /// durable checkpoint may still reference it (a crash between the
   /// unlink and the next checkpoint would otherwise be unrecoverable
   /// once the log is truncated). Strand-serialized.
+  ///
+  /// Unlink-while-read safety is POSIX's: an epoch-held snapshot may keep
+  /// the replaced partition's SeqTable (and its fd) open past the unlink,
+  /// and its preads stay valid until the last reference drops.
   Status RetireFile(const std::string& name);
 
-  /// Moves the full buffer into the pending list and hands back the seal
-  /// descriptor; returns nullptr when the buffer is empty. Caller holds mu_.
+  /// Builds an immutable snapshot of the current state (buffer
+  /// generation, pending list, partition set, stats mirrors), swaps it
+  /// into snapshot_, and returns the superseded one. Caller holds mu_
+  /// and MUST pass the returned pointer to the epoch manager's Retire
+  /// after releasing the lock (never delete it — readers may hold it).
+  const QuerySnapshot* RepublishSnapshotLocked();
+
+  /// Moves the full buffer generation into the pending list and hands
+  /// back the seal descriptor; returns nullptr when the buffer is empty.
+  /// Does NOT republish — the caller republishes once after all edges in
+  /// its critical section. Caller holds mu_.
   std::shared_ptr<PendingSeal> DetachBufferLocked();
 
   /// Enqueues the seal on the strand. Caller holds mu_, which guarantees
@@ -243,7 +307,7 @@ class TemporalPartitioningIndex : public StreamingIndex {
   /// kBlock waits on it until a seal retires or a background error lands.
   Status ApplyBackpressureLocked(std::unique_lock<std::mutex>* lock);
 
-  /// Evaluates in-memory entries (buffer copy or a pending seal).
+  /// Evaluates in-memory entries (buffer generation or a pending seal).
   Status SearchUnsealedEntries(std::span<const core::IndexEntry> entries,
                                std::span<const float> payloads,
                                std::span<const float> query,
@@ -252,9 +316,9 @@ class TemporalPartitioningIndex : public StreamingIndex {
                                core::SearchResult* best) const;
 
   /// The approximate pass (unsealed tail, in-flight seals, partitions
-  /// newest to oldest) over one snapshot — ApproxSearch's whole body and
-  /// ExactSearch's bound-tightening seed, so the two cannot drift.
-  Status ApproxPassOverSnapshot(const QuerySnapshot& snap,
+  /// newest to oldest) over one query view — ApproxSearch's whole body
+  /// and ExactSearch's bound-tightening seed, so the two cannot drift.
+  Status ApproxPassOverSnapshot(const QueryView& view,
                                 std::span<const float> query,
                                 const core::SearchOptions& options,
                                 core::QueryCounters* counters,
@@ -266,14 +330,20 @@ class TemporalPartitioningIndex : public StreamingIndex {
   storage::BufferPool* pool_;
   core::RawSeriesStore* raw_;
 
-  /// The light ingest/state lock: guards the buffer, the pending list, the
-  /// partition-set pointer and the counters below. Never held across
-  /// seal/merge I/O.
+  /// The light ingest/state lock: guards the writer-side authoritative
+  /// state below (buffer generation pointer, pending list, partition-set
+  /// pointer, counters) and serializes snapshot republication. Queries
+  /// never take it. Never held across seal/merge I/O.
   mutable std::mutex mu_;
 
-  // kSeqTable backend: buffered entries (+payloads when materialized).
-  std::vector<core::IndexEntry> buffer_;
-  std::vector<float> buffer_payloads_;
+  /// The published read snapshot. Readers acquire-load under an
+  /// EpochGuard; writers exchange under mu_ and retire the old pointer
+  /// through the epoch manager once off the lock.
+  std::atomic<const QuerySnapshot*> snapshot_{nullptr};
+
+  // kSeqTable backend: the live buffer generation (entries + payloads
+  // when materialized). Writer-owned; readers reach it via the snapshot.
+  std::shared_ptr<BufferGen> gen_;
 
   // kAds backend (synchronous only): the partition being built, live.
   std::shared_ptr<ads::AdsIndex> current_ads_;
@@ -288,9 +358,10 @@ class TemporalPartitioningIndex : public StreamingIndex {
   uint64_t merges_completed_ = 0;
   Status background_status_;
 
-  /// Backpressure state (guarded by mu_): notified whenever a pending
-  /// seal retires or a background error lands, so a blocked Ingest always
-  /// wakes — including into a failed index it must not keep feeding.
+  /// Backpressure state (writers guarded by mu_; counters and the stall
+  /// window readable lock-free): notified whenever a pending seal retires
+  /// or a background error lands, so a blocked Ingest always wakes —
+  /// including into a failed index it must not keep feeding.
   BackpressureGate backpressure_;
 
   /// Replaced partition files awaiting the next durable checkpoint (see

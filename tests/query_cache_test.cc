@@ -579,6 +579,84 @@ TEST_F(QueryCacheServiceTest, ConcurrentIngestNeverServesStaleAnswers) {
   EXPECT_GT(service_->ServerStats().cache_misses, 0u);
 }
 
+// Regression for the lock-free fill guard: with an async stream the
+// service's Query runs outside the per-handle op lock, so a background
+// publish (ingest admission, seal, merge) can land *between* the two
+// version reads bracketing the scan. The guard must then stamp nothing —
+// a report computed against the superseded snapshot inserted under the
+// new version would be served as truth. The deterministic teeth: while
+// racing queriers keep re-filling the cache entry for one fixed request,
+// the main thread ingests the query vector itself; every Query issued
+// after that IngestBatch returns must answer ~0, cached or not. A broken
+// guard lets a pre-ingest answer (distance >> 0) be stamped at the
+// post-ingest version and re-served, failing the assert.
+TEST_F(QueryCacheServiceTest, LockFreeFillGuardNeverStampsAcrossPublish) {
+  CreateStreamRequest create;
+  create.stream = "live";
+  create.spec = TestSpec();
+  create.spec.mode = StreamMode::kTP;
+  create.spec.async_ingest = true;  // ConcurrentReadsSafe: lock-free path.
+  create.spec.buffer_entries = 24;
+  ASSERT_TRUE(service_->CreateStream(create).ok());
+
+  const series::SeriesCollection data =
+      testutil::RandomWalkCollection(256, kLength, 61);
+  ASSERT_TRUE(Ingest(Slice(data, 0, 64), 0));
+
+  const std::vector<float> target = testutil::NoisyCopy(data, 31, 0.4, 71);
+  const QueryRequest request = MakeRequest("live", target);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> fillers;
+  for (size_t t = 0; t < 2; ++t) {
+    fillers.emplace_back([&] {
+      // Keeps the cache entry for `request` hot: every iteration either
+      // hits or races an ingest's publish and must refuse to stamp.
+      while (!stop.load(std::memory_order_acquire)) {
+        Result<QueryReport> r = service_->Query(request);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+      }
+    });
+  }
+
+  // Phase 1: grow the index under the racing fills; for the fixed
+  // request the exact nearest distance must be non-increasing in ingest
+  // order even when served from cache.
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 64; i + 8 <= 128; i += 8) {
+    ASSERT_TRUE(Ingest(Slice(data, i, 8), static_cast<int64_t>(i)));
+    Result<QueryReport> r = service_->Query(request);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value().found);
+    EXPECT_LE(r.value().distance, best + 1e-6);
+    best = std::min(best, r.value().distance);
+  }
+  ASSERT_GT(best, 1e-3);  // The target itself is not in the index yet.
+
+  // Phase 2: admit the query vector itself. IngestBatch returns after the
+  // admission published, so every Query from here on must see it.
+  series::SeriesCollection exact(kLength);
+  {
+    std::vector<float> buf = target;
+    exact.Append(buf);
+  }
+  ASSERT_TRUE(Ingest(exact, 5000));
+  for (int round = 0; round < 20; ++round) {
+    Result<QueryReport> r = service_->Query(request);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value().found);
+    EXPECT_LT(r.value().distance, 1e-4) << "round " << round
+        << ": a stale pre-ingest answer was served from the cache";
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& f : fillers) f.join();
+  // The racing fills really exercised the cache, both directions.
+  const ServerStatsResponse stats = service_->ServerStats();
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.cache_misses, 0u);
+}
+
 }  // namespace
 }  // namespace api
 }  // namespace palm
